@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the partial-isomorphism-type machinery: building
+//! the expression universe, closing types, evaluating conditions and the
+//! implication test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::{BTreeSet, HashSet};
+use verifas_core::{eval::compile_condition, eval::eval_extensions, ExprUniverse, Pit, PitBuilder};
+use verifas_model::{Condition, DataValue, Term, VarRef, VarId};
+use verifas_workloads::order_fulfillment;
+
+fn bench_pit_ops(c: &mut Criterion) {
+    let spec = order_fulfillment();
+    let constants: BTreeSet<DataValue> = ["Init", "OrderPlaced", "Passed", "Failed", "Yes", "No"]
+        .iter()
+        .map(|s| DataValue::str(*s))
+        .collect();
+    let universe = ExprUniverse::build(&spec, spec.root(), &[], &constants);
+    c.bench_function("expr_universe_build", |b| {
+        b.iter(|| ExprUniverse::build(&spec, spec.root(), &[], &constants))
+    });
+    let status = universe.var_expr(VarRef::Task(VarId::new(2))).unwrap();
+    let init = universe.const_expr(&DataValue::str("Init")).unwrap();
+    c.bench_function("pit_close_and_canonicalize", |b| {
+        b.iter(|| {
+            let mut builder = PitBuilder::new(&universe);
+            builder.assert_eq(status, init);
+            builder.assert_neq(
+                universe.var_expr(VarRef::Task(VarId::new(0))).unwrap(),
+                universe.null_expr(),
+            );
+            builder.finish().unwrap()
+        })
+    });
+    let cond = Condition::or([
+        Condition::eq(Term::var(VarId::new(2)), Term::str("Init")),
+        Condition::eq(Term::var(VarId::new(2)), Term::str("Passed")),
+    ]);
+    let compiled = compile_condition(&cond, &universe);
+    let none = HashSet::new();
+    c.bench_function("eval_extensions", |b| {
+        b.iter(|| eval_extensions(&Pit::empty(), &compiled, &universe, &none))
+    });
+    let mut builder = PitBuilder::new(&universe);
+    builder.assert_eq(status, init);
+    let strong = builder.finish().unwrap();
+    c.bench_function("pit_implies", |b| b.iter(|| strong.implies(&Pit::empty())));
+}
+
+criterion_group!(benches, bench_pit_ops);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end verification benchmarks on benchmark workflows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use verifas_core::{SearchLimits, Verifier, VerifierOptions};
+use verifas_workloads::{generate, generate_properties, loan_approval, order_fulfillment, SyntheticParams};
+
+fn bench_verification(c: &mut Criterion) {
+    let limits = SearchLimits {
+        max_states: 20_000,
+        max_millis: 10_000,
+    };
+    let mut group = c.benchmark_group("verify_workflow");
+    group.sample_size(10);
+    let mut cases = vec![
+        ("order_fulfillment", order_fulfillment()),
+        ("loan_approval", loan_approval()),
+    ];
+    if let Some(synthetic) = generate(SyntheticParams::small(), 2017) {
+        cases.push(("synthetic_small", synthetic));
+    }
+    for (name, spec) in cases {
+        let properties = generate_properties(&spec, 2017);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut options = VerifierOptions::default();
+                options.limits = limits;
+                for property in properties.iter().take(3) {
+                    let verifier = Verifier::new(&spec, property, options).unwrap();
+                    let _ = verifier.verify();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! The baseline verifier standing in for the Spin-based verifier of the
+//! paper (Section 4.1, "Baseline").
+//!
+//! The Spin-based verifier of [Li, Deutsch, Vianu — arXiv:1705.09427] has
+//! two defining characteristics in the evaluation of the paper:
+//!
+//! 1. it cannot handle updatable artifact relations (it verifies the
+//!    restricted model only), and
+//! 2. it explores a much larger state space because it lacks the lazy
+//!    partial-isomorphism-type representation and the subsumption pruning.
+//!
+//! Spin itself is not redistributable inside this repository, so the
+//! baseline is implemented as the same search engine with every
+//! optimisation disabled and with *exact-duplicate* pruning only
+//! (`CoverageKind::Equality`), over the specification with artifact
+//! relations stripped.  This reproduces the mechanism responsible for the
+//! performance gap reported in Table 2 — state-space blowup — rather than
+//! Spin's absolute running times (see `DESIGN.md`, substitution table).
+
+use crate::coverage::CoverageKind;
+use crate::product::ProductSystem;
+use crate::repeated::find_infinite_violation;
+use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome};
+use crate::verifier::{Counterexample, VerificationOutcome, VerificationResult};
+use verifas_ltl::LtlFoProperty;
+use verifas_model::{HasSpec, ModelError, ServiceRef};
+
+/// The baseline ("Spin-Opt"-like) verifier.
+pub struct BaselineVerifier {
+    product: ProductSystem,
+    limits: SearchLimits,
+}
+
+impl BaselineVerifier {
+    /// Build the baseline verifier.  Artifact relations are always
+    /// ignored, mirroring the restriction of the Spin-based verifier.
+    pub fn new(
+        spec: &HasSpec,
+        property: &LtlFoProperty,
+        limits: SearchLimits,
+    ) -> Result<Self, ModelError> {
+        spec.validate()?;
+        let product = ProductSystem::new(spec, property, false)?;
+        Ok(BaselineVerifier { product, limits })
+    }
+
+    /// Run the baseline verification.
+    pub fn verify(&self) -> VerificationResult {
+        let mut search =
+            KarpMillerSearch::new(&self.product, CoverageKind::Equality, false, self.limits);
+        let outcome = search.run();
+        let stats = search.stats;
+        let describe = |services: &[ServiceRef]| {
+            services
+                .iter()
+                .map(|s| self.product.task.spec.service_name(*s))
+                .collect::<Vec<_>>()
+                .join(" → ")
+        };
+        match outcome {
+            SearchOutcome::FiniteViolation(node) => {
+                let services: Vec<ServiceRef> =
+                    search.trace(node).into_iter().map(|(s, _)| s).collect();
+                VerificationResult {
+                    outcome: VerificationOutcome::Violated,
+                    counterexample: Some(Counterexample {
+                        description: describe(&services),
+                        services,
+                        finite: true,
+                    }),
+                    stats,
+                    repeated_stats: None,
+                }
+            }
+            SearchOutcome::LimitReached => VerificationResult {
+                outcome: VerificationOutcome::Inconclusive,
+                counterexample: None,
+                stats,
+                repeated_stats: None,
+            },
+            SearchOutcome::Exhausted => {
+                let repeated = find_infinite_violation(
+                    &self.product,
+                    CoverageKind::Equality,
+                    false,
+                    self.limits,
+                );
+                let repeated_stats = Some(repeated.stats);
+                if let Some(finite) = repeated.finite_violation {
+                    return VerificationResult {
+                        outcome: VerificationOutcome::Violated,
+                        counterexample: Some(Counterexample {
+                            description: describe(&finite),
+                            services: finite,
+                            finite: true,
+                        }),
+                        stats,
+                        repeated_stats,
+                    };
+                }
+                match repeated.violation {
+                    Some(v) => VerificationResult {
+                        outcome: VerificationOutcome::Violated,
+                        counterexample: Some(Counterexample {
+                            description: describe(&v.prefix),
+                            services: v.prefix,
+                            finite: false,
+                        }),
+                        stats,
+                        repeated_stats,
+                    },
+                    None if repeated.limit_reached => VerificationResult {
+                        outcome: VerificationOutcome::Inconclusive,
+                        counterexample: None,
+                        stats,
+                        repeated_stats,
+                    },
+                    None => VerificationResult {
+                        outcome: VerificationOutcome::Satisfied,
+                        counterexample: None,
+                        stats,
+                        repeated_stats,
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::{Verifier, VerifierOptions};
+    use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
+    use verifas_model::schema::attr::data;
+    use verifas_model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, TaskId, Term};
+
+    fn small_spec() -> HasSpec {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let status = root.data_var("status");
+        root.service_parts(
+            "go",
+            Condition::eq(Term::var(status), Term::Null),
+            Condition::eq(Term::var(status), Term::str("Done")),
+            vec![],
+            None,
+        );
+        root.service_parts(
+            "reset",
+            Condition::eq(Term::var(status), Term::str("Done")),
+            Condition::eq(Term::var(status), Term::Null),
+            vec![],
+            None,
+        );
+        let mut b = SpecBuilder::new("small", db, root.build());
+        b.global_pre(Condition::eq(Term::var(status), Term::Null));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baseline_and_verifas_agree_on_small_specs() {
+        let spec = small_spec();
+        for (name, formula, cond) in [
+            ("violated", Ltl::globally(Ltl::not(Ltl::prop(0))), "Done"),
+            ("satisfied", Ltl::globally(Ltl::not(Ltl::prop(0))), "Missing"),
+        ] {
+            let property = LtlFoProperty::new(
+                name,
+                TaskId::new(0),
+                vec![],
+                formula,
+                vec![PropAtom::Condition(Condition::eq(
+                    Term::var(verifas_model::VarId::new(0)),
+                    Term::str(cond),
+                ))],
+            );
+            let baseline =
+                BaselineVerifier::new(&spec, &property, SearchLimits::default()).unwrap();
+            let verifas = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+            assert_eq!(
+                baseline.verify().outcome,
+                verifas.verify().outcome,
+                "disagreement on {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_explores_at_least_as_many_states() {
+        let spec = small_spec();
+        let property = LtlFoProperty::new(
+            "safety",
+            TaskId::new(0),
+            vec![],
+            Ltl::globally(Ltl::not(Ltl::prop(0))),
+            vec![PropAtom::Condition(Condition::eq(
+                Term::var(verifas_model::VarId::new(0)),
+                Term::str("Missing"),
+            ))],
+        );
+        let baseline = BaselineVerifier::new(&spec, &property, SearchLimits::default()).unwrap();
+        let verifas = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+        let b = baseline.verify();
+        let v = verifas.verify();
+        assert!(b.stats.states_created >= v.stats.states_created);
+    }
+}

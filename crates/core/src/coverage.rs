@@ -1,0 +1,441 @@
+//! Coverage orders between partial symbolic instances: the classic
+//! Karp–Miller order `≤` (Section 3.3), the novel subsumption order `≼`
+//! (Section 3.5, Definition 22) decided through a max-flow reduction, and
+//! its strict variant `≼⁺` used by the repeated-reachability extension
+//! (Appendix C, Definition 31).
+
+use crate::product::ProductState;
+use crate::psi::{CounterVec, StoredTypeInterner, OMEGA};
+
+/// Which order the search uses to prune covered states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoverageKind {
+    /// Exact equality only (duplicate detection) — the baseline verifier.
+    Equality,
+    /// The classic Karp–Miller order: identical types, pointwise-smaller
+    /// counters.
+    Standard,
+    /// The ≼ order of Definition 22: a less restrictive type plus a
+    /// tuple-wise mapping into less restrictive stored types (max-flow).
+    Subsumption,
+    /// The ≼⁺ order of Definition 31 (equality, or ≼ with strict slack on
+    /// the stored tuples), which restores strict monotonicity for the
+    /// repeated-reachability analysis.
+    StrictSubsumption,
+}
+
+/// Capacity used to represent `ω` in the flow network.
+const BIG: i64 = 1 << 40;
+
+fn count_value(c: u32) -> i64 {
+    if c == OMEGA {
+        BIG
+    } else {
+        i64::from(c)
+    }
+}
+
+/// Discrete components (automaton state, child activation, closed flag)
+/// must match exactly for any coverage relation.
+fn discrete_match(covered: &ProductState, covering: &ProductState) -> bool {
+    covered.buchi == covering.buchi
+        && covered.psi.child_active == covering.psi.child_active
+        && covered.closed == covering.closed
+}
+
+/// `true` iff `covering` covers `covered` under the given order
+/// (`covered ⊑ covering`), i.e. `covered` may be pruned in favour of
+/// `covering`.
+pub fn covers(
+    kind: CoverageKind,
+    covered: &ProductState,
+    covering: &ProductState,
+    interner: &StoredTypeInterner,
+) -> bool {
+    if !discrete_match(covered, covering) {
+        return false;
+    }
+    match kind {
+        CoverageKind::Equality => covered == covering,
+        CoverageKind::Standard => {
+            covered.psi.pit == covering.psi.pit && covered.psi.counters.leq(&covering.psi.counters)
+        }
+        CoverageKind::Subsumption => {
+            covered.psi.pit.implies(&covering.psi.pit)
+                && flow_feasible(&covered.psi.counters, &covering.psi.counters, interner, 0)
+        }
+        CoverageKind::StrictSubsumption => {
+            covered == covering
+                || (covered.psi.pit.implies(&covering.psi.pit)
+                    && flow_feasible(&covered.psi.counters, &covering.psi.counters, interner, 1))
+        }
+    }
+}
+
+/// `true` iff the tuples counted by `left` can be injectively mapped to
+/// tuples counted by `right` such that every tuple lands on a type it
+/// implies (Definition 22).  When `required_slack > 0` the mapping must in
+/// addition leave at least that much unused capacity on the right
+/// (Definition 31).
+pub fn flow_feasible(
+    left: &CounterVec,
+    right: &CounterVec,
+    interner: &StoredTypeInterner,
+    required_slack: i64,
+) -> bool {
+    let left_entries: Vec<(u32, i64)> = left.iter().map(|(t, c)| (t, count_value(c))).collect();
+    let right_entries: Vec<(u32, i64)> = right.iter().map(|(t, c)| (t, count_value(c))).collect();
+    let demand: i64 = left_entries.iter().map(|(_, c)| *c).sum();
+    let supply: i64 = right_entries.iter().map(|(_, c)| *c).sum();
+    if demand == 0 {
+        return supply >= required_slack;
+    }
+    if supply < demand + required_slack {
+        return false;
+    }
+    // Max-flow on the bipartite graph: source -> left (capacity = count),
+    // left -> right when the stored type of the left implies the stored
+    // type of the right (and they belong to the same artifact relation),
+    // right -> sink (capacity = count).
+    let n = 2 + left_entries.len() + right_entries.len();
+    let source = 0;
+    let sink = 1;
+    let left_node = |i: usize| 2 + i;
+    let right_node = |i: usize| 2 + left_entries.len() + i;
+    let mut flow = MaxFlow::new(n);
+    for (i, (_, c)) in left_entries.iter().enumerate() {
+        flow.add_edge(source, left_node(i), *c);
+    }
+    for (j, (_, c)) in right_entries.iter().enumerate() {
+        flow.add_edge(right_node(j), sink, *c);
+    }
+    for (i, (lt, _)) in left_entries.iter().enumerate() {
+        let (lrel, lpit) = interner.get(*lt);
+        for (j, (rt, _)) in right_entries.iter().enumerate() {
+            let (rrel, rpit) = interner.get(*rt);
+            if lrel == rrel && lpit.implies(rpit) {
+                flow.add_edge(left_node(i), right_node(j), BIG);
+            }
+        }
+    }
+    flow.max_flow(source, sink) >= demand
+}
+
+/// The Karp–Miller acceleration: compare a candidate state against an
+/// ancestor; when the ancestor is covered by the candidate and some counter
+/// strictly grew, that counter is set to `ω` (Section 3.3; the
+/// subsumption-based generalisation of Section 3.5 sets `ω` on every
+/// right-hand type that can keep strict slack in a feasible mapping).
+/// Returns `None` when no acceleration applies.
+pub fn accelerate(
+    kind: CoverageKind,
+    ancestor: &ProductState,
+    candidate: &ProductState,
+    interner: &StoredTypeInterner,
+) -> Option<CounterVec> {
+    if !discrete_match(ancestor, candidate) {
+        return None;
+    }
+    match kind {
+        CoverageKind::Equality => None,
+        CoverageKind::Standard => {
+            if ancestor.psi.pit != candidate.psi.pit
+                || !ancestor.psi.counters.leq(&candidate.psi.counters)
+                || !ancestor
+                    .psi
+                    .counters
+                    .strictly_less_somewhere(&candidate.psi.counters)
+            {
+                return None;
+            }
+            let mut counters = candidate.psi.counters.clone();
+            for (t, c) in candidate.psi.counters.iter() {
+                let anc = ancestor.psi.counters.get(t);
+                if anc != OMEGA && c != OMEGA && anc < c {
+                    counters = counters.with_omega(t);
+                }
+                if anc != OMEGA && c == OMEGA {
+                    counters = counters.with_omega(t);
+                }
+            }
+            Some(counters)
+        }
+        CoverageKind::Subsumption | CoverageKind::StrictSubsumption => {
+            if !ancestor.psi.pit.implies(&candidate.psi.pit)
+                || !flow_feasible(&ancestor.psi.counters, &candidate.psi.counters, interner, 0)
+            {
+                return None;
+            }
+            // A right-hand type can be accelerated if the mapping can leave
+            // slack on it: feasibility still holds after lowering its
+            // capacity by one.
+            let mut counters = candidate.psi.counters.clone();
+            let mut changed = false;
+            for (t, c) in candidate.psi.counters.iter() {
+                if c == OMEGA {
+                    continue;
+                }
+                let Some(reduced) = candidate.psi.counters.decremented(t) else {
+                    continue;
+                };
+                if flow_feasible(&ancestor.psi.counters, &reduced, interner, 0) {
+                    counters = counters.with_omega(t);
+                    changed = true;
+                }
+            }
+            if changed {
+                Some(counters)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// A small Dinic-style max-flow (BFS levels + DFS blocking flow), adequate
+/// for the tiny bipartite networks produced by the ≼ test.
+struct MaxFlow {
+    graph: Vec<Vec<usize>>,
+    to: Vec<usize>,
+    cap: Vec<i64>,
+}
+
+impl MaxFlow {
+    fn new(n: usize) -> Self {
+        MaxFlow {
+            graph: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: i64) {
+        let e = self.to.len();
+        self.graph[from].push(e);
+        self.to.push(to);
+        self.cap.push(cap);
+        self.graph[to].push(e + 1);
+        self.to.push(from);
+        self.cap.push(0);
+    }
+
+    fn bfs(&self, source: usize, sink: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1; self.graph.len()];
+        level[source] = 0;
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.graph[u] {
+                let v = self.to[e];
+                if self.cap[e] > 0 && level[v] < 0 {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if level[sink] >= 0 {
+            Some(level)
+        } else {
+            None
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        u: usize,
+        sink: usize,
+        pushed: i64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> i64 {
+        if u == sink {
+            return pushed;
+        }
+        while it[u] < self.graph[u].len() {
+            let e = self.graph[u][it[u]];
+            let v = self.to[e];
+            if self.cap[e] > 0 && level[v] == level[u] + 1 {
+                let d = self.dfs(v, sink, pushed.min(self.cap[e]), level, it);
+                if d > 0 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+
+    fn max_flow(&mut self, source: usize, sink: usize) -> i64 {
+        let mut total = 0;
+        while let Some(level) = self.bfs(source, sink) {
+            let mut it = vec![0usize; self.graph.len()];
+            loop {
+                let pushed = self.dfs(source, sink, i64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pit::{Pit, PitBuilder};
+    use crate::psi::Psi;
+    use crate::expr::ExprUniverse;
+    use std::collections::BTreeSet;
+    use verifas_model::schema::attr::data;
+    use verifas_model::{
+        ArtRelId, Condition, DataValue, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder,
+        VarId, VarRef,
+    };
+
+    fn setup() -> (HasSpec, ExprUniverse) {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let x = root.data_var("x");
+        root.art_relation_like("S", &[x]);
+        root.service_parts("noop", Condition::True, Condition::True, vec![], None);
+        let spec = SpecBuilder::new("cov", db, root.build()).build().unwrap();
+        let consts = BTreeSet::from([DataValue::str("a"), DataValue::str("b")]);
+        let u = ExprUniverse::build(&spec, spec.root(), &[], &consts);
+        (spec, u)
+    }
+
+    fn state(pit: Pit, counters: crate::psi::CounterVec) -> ProductState {
+        ProductState {
+            psi: Psi {
+                pit,
+                counters,
+                child_active: 0,
+            },
+            buchi: 0,
+            closed: false,
+        }
+    }
+
+    fn constrained(u: &ExprUniverse, c: &str) -> Pit {
+        let x = u.var_expr(VarRef::Task(VarId::new(0))).unwrap();
+        let k = u.const_expr(&DataValue::str(c)).unwrap();
+        let mut b = PitBuilder::new(u);
+        b.assert_eq(x, k);
+        b.finish().unwrap()
+    }
+
+    fn slot_constrained(u: &ExprUniverse, c: &str) -> Pit {
+        let s = u.slot_expr(ArtRelId::new(0), 0).unwrap();
+        let k = u.const_expr(&DataValue::str(c)).unwrap();
+        let mut b = PitBuilder::new(u);
+        b.assert_eq(s, k);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn standard_coverage_requires_identical_types() {
+        let (_s, u) = setup();
+        let interner = StoredTypeInterner::new();
+        let a = state(Pit::empty(), crate::psi::CounterVec::empty());
+        let b = state(constrained(&u, "a"), crate::psi::CounterVec::empty());
+        assert!(covers(CoverageKind::Standard, &a, &a, &interner));
+        assert!(!covers(CoverageKind::Standard, &b, &a, &interner));
+        // Subsumption allows pruning the more constrained state in favour of
+        // the less constrained one.
+        assert!(covers(CoverageKind::Subsumption, &b, &a, &interner));
+        assert!(!covers(CoverageKind::Subsumption, &a, &b, &interner));
+        // Equality is the strictest.
+        assert!(!covers(CoverageKind::Equality, &b, &a, &interner));
+    }
+
+    #[test]
+    fn subsumption_counters_use_the_flow_mapping() {
+        // Example 23 of the paper: {τa: 2, τb: 2} ≼ {τa: 3, τb: 1} when
+        // τb ⊨ τa (τb is more restrictive).
+        let (_s, u) = setup();
+        let mut interner = StoredTypeInterner::new();
+        let rel = ArtRelId::new(0);
+        let tau_a = interner.intern(rel, Pit::empty());
+        let tau_b = interner.intern(rel, slot_constrained(&u, "a"));
+        let left = crate::psi::CounterVec::empty()
+            .incremented(tau_a)
+            .incremented(tau_a)
+            .incremented(tau_b)
+            .incremented(tau_b);
+        let right = crate::psi::CounterVec::empty()
+            .incremented(tau_a)
+            .incremented(tau_a)
+            .incremented(tau_a)
+            .incremented(tau_b);
+        let covered = state(Pit::empty(), left.clone());
+        let covering = state(Pit::empty(), right.clone());
+        assert!(covers(CoverageKind::Subsumption, &covered, &covering, &interner));
+        // Standard coverage fails: counters are not pointwise comparable.
+        assert!(!covers(CoverageKind::Standard, &covered, &covering, &interner));
+        // The reverse direction does not hold: τa tuples cannot map to τb.
+        assert!(!covers(CoverageKind::Subsumption, &covering, &covered, &interner));
+    }
+
+    #[test]
+    fn strict_subsumption_needs_slack_or_equality() {
+        let (_s, u) = setup();
+        let mut interner = StoredTypeInterner::new();
+        let rel = ArtRelId::new(0);
+        let tau_a = interner.intern(rel, Pit::empty());
+        let one = crate::psi::CounterVec::empty().incremented(tau_a);
+        let two = one.incremented(tau_a);
+        let s1 = state(Pit::empty(), one.clone());
+        let s2 = state(Pit::empty(), two);
+        assert!(covers(CoverageKind::StrictSubsumption, &s1, &s1, &interner));
+        assert!(covers(CoverageKind::StrictSubsumption, &s1, &s2, &interner));
+        // Same totals, different nothing: ≼ holds but ≼⁺ needs strict slack.
+        let s1b = state(Pit::empty(), one);
+        assert!(covers(CoverageKind::Subsumption, &s1, &s1b, &interner));
+        assert!(covers(CoverageKind::StrictSubsumption, &s1, &s1b, &interner)); // equality case
+        let different = state(constrained(&u, "a"), crate::psi::CounterVec::empty().incremented(tau_a));
+        assert!(!covers(CoverageKind::StrictSubsumption, &different, &s1, &interner));
+        let _ = u;
+    }
+
+    #[test]
+    fn acceleration_pumps_strictly_growing_counters() {
+        let (_s, _u) = setup();
+        let mut interner = StoredTypeInterner::new();
+        let rel = ArtRelId::new(0);
+        let t = interner.intern(rel, Pit::empty());
+        let ancestor = state(Pit::empty(), crate::psi::CounterVec::empty().incremented(t));
+        let candidate = state(
+            Pit::empty(),
+            crate::psi::CounterVec::empty().incremented(t).incremented(t),
+        );
+        let accelerated = accelerate(CoverageKind::Standard, &ancestor, &candidate, &interner)
+            .expect("acceleration applies");
+        assert_eq!(accelerated.get(t), OMEGA);
+        // No acceleration when counters did not grow.
+        assert!(accelerate(CoverageKind::Standard, &ancestor, &ancestor, &interner).is_none());
+        // Subsumption-based acceleration also pumps.
+        let accelerated = accelerate(CoverageKind::Subsumption, &ancestor, &candidate, &interner)
+            .expect("subsumption acceleration applies");
+        assert_eq!(accelerated.get(t), OMEGA);
+    }
+
+    #[test]
+    fn discrete_components_must_match() {
+        let (_s, _u) = setup();
+        let interner = StoredTypeInterner::new();
+        let a = state(Pit::empty(), crate::psi::CounterVec::empty());
+        let mut b = a.clone();
+        b.buchi = 1;
+        assert!(!covers(CoverageKind::Subsumption, &a, &b, &interner));
+        let mut c = a.clone();
+        c.psi.child_active = 1;
+        assert!(!covers(CoverageKind::Standard, &a, &c, &interner));
+        let mut d = a.clone();
+        d.closed = true;
+        assert!(!covers(CoverageKind::Equality, &a, &d, &interner));
+    }
+}

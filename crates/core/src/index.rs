@@ -1,0 +1,252 @@
+//! Data-structure support for the pruning tests (Section 3.6).
+//!
+//! Every time a new state is produced the search must (1) find the active
+//! states it covers and (2) check whether an active state covers it.  Both
+//! reduce to subset/superset queries over `E(I)` — the set of edges
+//! appearing in the state's type or in any stored type with positive count
+//! — which over-approximate the ≼ tests and cheaply filter the candidates
+//! before the exact (max-flow based) comparison runs.
+//!
+//! The paper uses a Trie for superset queries and inverted lists for subset
+//! queries; this implementation answers both kinds of queries from posting
+//! lists (an inverted index from edges to states), which has the same
+//! filtering power: a stored state is a *subset candidate* when all of its
+//! edges occur in the query, and a *superset candidate* when it occurs in
+//! the posting list of every query edge.
+
+use crate::pit::Edge;
+use crate::product::ProductState;
+use crate::psi::StoredTypeInterner;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Discrete part of a state; candidates are only comparable within the same
+/// group.
+type GroupKey = (usize, u64, bool);
+
+fn group_key(state: &ProductState) -> GroupKey {
+    (state.buchi, state.psi.child_active, state.closed)
+}
+
+/// The edge signature `E(I)` of a state: the edges of its type plus the
+/// edges of every stored type with a positive counter.
+pub fn edge_signature(state: &ProductState, interner: &StoredTypeInterner) -> BTreeSet<Edge> {
+    let mut edges: BTreeSet<Edge> = state.psi.pit.edges().iter().copied().collect();
+    for (t, _) in state.psi.counters.iter() {
+        edges.extend(interner.get(t).1.edges().iter().copied());
+    }
+    edges
+}
+
+#[derive(Debug, Default)]
+struct GroupIndex {
+    /// Posting lists: edge → states whose signature contains the edge.
+    postings: HashMap<Edge, Vec<usize>>,
+    /// Signature size per state.
+    sizes: HashMap<usize, usize>,
+    /// States with an empty signature.
+    empty: Vec<usize>,
+}
+
+/// Inverted index over active states used to filter coverage candidates.
+#[derive(Debug, Default)]
+pub struct StateIndex {
+    groups: HashMap<GroupKey, GroupIndex>,
+    removed: HashSet<usize>,
+}
+
+impl StateIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        StateIndex::default()
+    }
+
+    /// Insert a state under the given id.
+    pub fn insert(&mut self, id: usize, state: &ProductState, interner: &StoredTypeInterner) {
+        self.removed.remove(&id);
+        let group = self.groups.entry(group_key(state)).or_default();
+        let signature = edge_signature(state, interner);
+        group.sizes.insert(id, signature.len());
+        if signature.is_empty() {
+            group.empty.push(id);
+        } else {
+            for edge in signature {
+                group.postings.entry(edge).or_default().push(id);
+            }
+        }
+    }
+
+    /// Mark a state as removed (lazily filtered out of query results).
+    pub fn remove(&mut self, id: usize) {
+        self.removed.insert(id);
+    }
+
+    /// Candidate states whose signature is a *subset* of the query's
+    /// signature — the only states that can possibly cover the query under
+    /// ≼ (their types are less restrictive).
+    pub fn subset_candidates(
+        &self,
+        state: &ProductState,
+        interner: &StoredTypeInterner,
+    ) -> Vec<usize> {
+        let Some(group) = self.groups.get(&group_key(state)) else {
+            return Vec::new();
+        };
+        let signature = edge_signature(state, interner);
+        let mut hits: HashMap<usize, usize> = HashMap::new();
+        for edge in &signature {
+            if let Some(list) = group.postings.get(edge) {
+                for &id in list {
+                    *hits.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<usize> = group
+            .empty
+            .iter()
+            .copied()
+            .filter(|id| !self.removed.contains(id))
+            .collect();
+        out.extend(hits.into_iter().filter_map(|(id, count)| {
+            (!self.removed.contains(&id) && count == group.sizes[&id]).then_some(id)
+        }));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate states whose signature is a *superset* of the query's
+    /// signature — the only states that the query can possibly cover under
+    /// ≼.
+    pub fn superset_candidates(
+        &self,
+        state: &ProductState,
+        interner: &StoredTypeInterner,
+    ) -> Vec<usize> {
+        let Some(group) = self.groups.get(&group_key(state)) else {
+            return Vec::new();
+        };
+        let signature = edge_signature(state, interner);
+        let mut result: Option<HashSet<usize>> = None;
+        if signature.is_empty() {
+            // Every state of the group is a superset of the empty signature.
+            let mut all: HashSet<usize> = group.sizes.keys().copied().collect();
+            all.retain(|id| !self.removed.contains(id));
+            let mut out: Vec<usize> = all.into_iter().collect();
+            out.sort_unstable();
+            return out;
+        }
+        for edge in &signature {
+            let list: HashSet<usize> = group
+                .postings
+                .get(edge)
+                .map(|l| l.iter().copied().collect())
+                .unwrap_or_default();
+            result = Some(match result {
+                None => list,
+                Some(prev) => prev.intersection(&list).copied().collect(),
+            });
+            if result.as_ref().is_some_and(HashSet::is_empty) {
+                return Vec::new();
+            }
+        }
+        let mut out: Vec<usize> = result
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|id| !self.removed.contains(id))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExprUniverse;
+    use crate::pit::{Pit, PitBuilder};
+    use crate::psi::Psi;
+    use std::collections::BTreeSet as StdBTreeSet;
+    use verifas_model::schema::attr::data;
+    use verifas_model::{
+        Condition, DataValue, DatabaseSchema, SpecBuilder, TaskBuilder, VarId, VarRef,
+    };
+
+    fn universe() -> ExprUniverse {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        root.data_var("x");
+        root.data_var("y");
+        root.service_parts("noop", Condition::True, Condition::True, vec![], None);
+        let spec = SpecBuilder::new("idx", db, root.build()).build().unwrap();
+        ExprUniverse::build(
+            &spec,
+            spec.root(),
+            &[],
+            &StdBTreeSet::from([DataValue::str("a"), DataValue::str("b")]),
+        )
+    }
+
+    fn state_with(pit: Pit) -> ProductState {
+        ProductState {
+            psi: Psi::with_pit(pit),
+            buchi: 0,
+            closed: false,
+        }
+    }
+
+    fn pit_eq(u: &ExprUniverse, var: u32, c: &str) -> Pit {
+        let x = u.var_expr(VarRef::Task(VarId::new(var))).unwrap();
+        let k = u.const_expr(&DataValue::str(c)).unwrap();
+        let mut b = PitBuilder::new(u);
+        b.assert_eq(x, k);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn subset_and_superset_candidates() {
+        let u = universe();
+        let interner = StoredTypeInterner::new();
+        let mut index = StateIndex::new();
+        let empty = state_with(Pit::empty());
+        let xa = state_with(pit_eq(&u, 0, "a"));
+        let both = state_with(pit_eq(&u, 0, "a").conjoin(&pit_eq(&u, 1, "b"), &u).unwrap());
+        index.insert(0, &empty, &interner);
+        index.insert(1, &xa, &interner);
+        index.insert(2, &both, &interner);
+        // Subset candidates of `both`: everything with signature ⊆ both.
+        assert_eq!(index.subset_candidates(&both, &interner), vec![0, 1, 2]);
+        // Subset candidates of `xa`: the empty state and itself.
+        assert_eq!(index.subset_candidates(&xa, &interner), vec![0, 1]);
+        // Superset candidates of `xa`: itself and `both`.
+        assert_eq!(index.superset_candidates(&xa, &interner), vec![1, 2]);
+        // Superset candidates of the empty state: all.
+        assert_eq!(index.superset_candidates(&empty, &interner), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn removed_states_disappear_from_queries() {
+        let u = universe();
+        let interner = StoredTypeInterner::new();
+        let mut index = StateIndex::new();
+        let xa = state_with(pit_eq(&u, 0, "a"));
+        index.insert(0, &xa, &interner);
+        index.insert(1, &state_with(Pit::empty()), &interner);
+        index.remove(0);
+        assert_eq!(index.subset_candidates(&xa, &interner), vec![1]);
+        assert_eq!(index.superset_candidates(&xa, &interner), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn groups_partition_by_discrete_state() {
+        let u = universe();
+        let interner = StoredTypeInterner::new();
+        let mut index = StateIndex::new();
+        let mut a = state_with(pit_eq(&u, 0, "a"));
+        index.insert(0, &a, &interner);
+        a.buchi = 3;
+        // Different automaton state: no candidates from the other group.
+        assert!(index.subset_candidates(&a, &interner).is_empty());
+        assert!(index.superset_candidates(&a, &interner).is_empty());
+    }
+}

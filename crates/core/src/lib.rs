@@ -1,0 +1,52 @@
+//! # verifas-core — the VERIFAS symbolic verifier
+//!
+//! This crate implements the verifier described in Section 3 of
+//! "VERIFAS: A Practical Verifier for Artifact Systems" (VLDB 2017):
+//!
+//! * [`expr`] — the finite universe of foreign-key navigation expressions,
+//! * [`pit`] — partial isomorphism types with congruence closure,
+//! * [`eval`] — condition evaluation producing minimal extensions,
+//! * [`psi`] — partial symbolic instances (types + counters + child flags),
+//! * [`transition`] — the symbolic `succ` function over one task,
+//! * [`product`] — the product with the Büchi automaton of the negated
+//!   property,
+//! * [`coverage`] — the `≤`, `≼` and `≼⁺` comparison relations (the latter
+//!   two via a max-flow reduction),
+//! * [`index`] — Trie / inverted-list indices for candidate filtering,
+//! * [`static_analysis`] — the non-violating-edge analysis of Section 3.7,
+//! * [`search`] — the Karp–Miller search with monotone pruning and
+//!   acceleration,
+//! * [`repeated`] — repeated reachability for full LTL-FO support
+//!   (Appendix C),
+//! * [`verifier`] — the user-facing API tying everything together,
+//! * [`baseline`] — the unoptimised baseline standing in for the Spin-based
+//!   verifier of the paper,
+//! * [`vass`] — a small generic VASS + classic Karp–Miller implementation
+//!   used for testing and benchmarking the search machinery in isolation.
+
+pub mod baseline;
+pub mod coverage;
+pub mod eval;
+pub mod expr;
+pub mod index;
+pub mod pit;
+pub mod product;
+pub mod psi;
+pub mod repeated;
+pub mod search;
+pub mod static_analysis;
+pub mod transition;
+pub mod vass;
+pub mod verifier;
+
+pub use baseline::BaselineVerifier;
+pub use coverage::{accelerate, covers, CoverageKind};
+pub use expr::{ExprHead, ExprId, ExprSort, ExprUniverse};
+pub use pit::{Edge, Pit, PitBuilder};
+pub use product::{ProductState, ProductSuccessor, ProductSystem};
+pub use psi::{CounterVec, Psi, StoredTypeId, StoredTypeInterner, OMEGA};
+pub use search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
+pub use transition::SymbolicTask;
+pub use verifier::{
+    Counterexample, VerificationOutcome, VerificationResult, Verifier, VerifierOptions,
+};

@@ -1,0 +1,622 @@
+//! Partial isomorphism types (paper Definition 17).
+//!
+//! A partial isomorphism type is an undirected graph over the expression
+//! universe whose edges are labelled `=` or `≠`, such that
+//!
+//! 1. the equivalence induced by the `=`-edges is closed under foreign-key
+//!    navigation (if `e ∼ e'` and both `e.A` and `e'.A` exist, then
+//!    `e.A ∼ e'.A`), and
+//! 2. `≠`-edges are propagated to whole equivalence classes and never
+//!    contradict the `=`-edges.
+//!
+//! [`Pit`] stores the *canonically closed* edge set (every implied pair is
+//! materialised), which makes the implication test of Definition 22
+//! (`τ ⊨ τ'` iff `τ' ⊆ τ`) a plain sorted-subset test and gives types a
+//! canonical hashable form.  [`PitBuilder`] is the working representation: a
+//! union-find plus disequality constraints with congruence closure and
+//! consistency checking (conflicting constants, incompatible ID types,
+//! `≠` inside a class).
+
+use crate::expr::{ExprId, ExprSort, ExprUniverse};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use verifas_model::AttrId;
+
+/// An edge of a partial isomorphism type: an (in)equality between two
+/// expressions, encoded compactly for fast set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge(u64);
+
+impl Edge {
+    /// An `=` edge (order of endpoints is irrelevant).
+    pub fn eq(a: ExprId, b: ExprId) -> Edge {
+        Edge::encode(a, b, false)
+    }
+
+    /// A `≠` edge (order of endpoints is irrelevant).
+    pub fn neq(a: ExprId, b: ExprId) -> Edge {
+        Edge::encode(a, b, true)
+    }
+
+    fn encode(a: ExprId, b: ExprId, neq: bool) -> Edge {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        Edge(((lo as u64) << 33) | ((hi as u64) << 1) | (neq as u64))
+    }
+
+    /// `true` iff this is a `≠` edge.
+    pub fn is_neq(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The two endpoints (smaller id first).
+    pub fn endpoints(self) -> (ExprId, ExprId) {
+        (((self.0 >> 33) & 0xFFFF_FFFF) as ExprId, ((self.0 >> 1) & 0xFFFF_FFFF) as ExprId)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.endpoints();
+        write!(f, "e{a} {} e{b}", if self.is_neq() { "≠" } else { "=" })
+    }
+}
+
+/// A canonically closed, consistent partial isomorphism type.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pit {
+    edges: Vec<Edge>,
+}
+
+impl Pit {
+    /// The empty type (no constraints).
+    pub fn empty() -> Pit {
+        Pit::default()
+    }
+
+    /// The (sorted) closed edge set.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of edges of the closed representation.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff the type imposes no constraint.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Implication of Definition 22: `self ⊨ weaker` iff every edge of
+    /// `weaker` is an edge of `self` (both are closed, so syntactic subset
+    /// coincides with semantic implication).
+    pub fn implies(&self, weaker: &Pit) -> bool {
+        // Sorted-merge subset test.
+        let mut i = 0;
+        for edge in &weaker.edges {
+            while i < self.edges.len() && self.edges[i] < *edge {
+                i += 1;
+            }
+            if i >= self.edges.len() || self.edges[i] != *edge {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// `true` iff the edge belongs to the type.
+    pub fn contains(&self, edge: Edge) -> bool {
+        self.edges.binary_search(&edge).is_ok()
+    }
+
+    /// Projection: keep only the edges whose two endpoints satisfy the
+    /// predicate (paper: "keeps only the expressions headed by variables in
+    /// ȳ and their connections").  The result is still closed and
+    /// consistent.
+    pub fn project(&self, keep: impl Fn(ExprId) -> bool) -> Pit {
+        Pit {
+            edges: self
+                .edges
+                .iter()
+                .copied()
+                .filter(|e| {
+                    let (a, b) = e.endpoints();
+                    keep(a) && keep(b)
+                })
+                .collect(),
+        }
+    }
+
+    /// Remove the given edges (used by the static-analysis optimisation of
+    /// Section 3.7 to drop non-violating constraints).
+    pub fn without_edges(&self, remove: &HashSet<Edge>) -> Pit {
+        if remove.is_empty() {
+            return self.clone();
+        }
+        Pit {
+            edges: self
+                .edges
+                .iter()
+                .copied()
+                .filter(|e| !remove.contains(e))
+                .collect(),
+        }
+    }
+
+    /// Rename expressions through `map` (expressions without a mapping are
+    /// dropped), re-closing and re-checking consistency.  Used when moving
+    /// a tuple type between task variables and artifact-relation slots.
+    pub fn rename(&self, universe: &ExprUniverse, map: &HashMap<ExprId, ExprId>) -> Option<Pit> {
+        let mut builder = PitBuilder::new(universe);
+        for edge in &self.edges {
+            let (a, b) = edge.endpoints();
+            let (Some(&a2), Some(&b2)) = (map.get(&a), map.get(&b)) else {
+                continue;
+            };
+            if edge.is_neq() {
+                builder.assert_neq(a2, b2);
+            } else {
+                builder.assert_eq(a2, b2);
+            }
+        }
+        builder.finish()
+    }
+
+    /// Conjoin two types (union of constraints), re-closing; `None` when
+    /// the conjunction is inconsistent.
+    pub fn conjoin(&self, other: &Pit, universe: &ExprUniverse) -> Option<Pit> {
+        let mut builder = PitBuilder::from_pit(universe, self);
+        builder.merge_pit(other);
+        builder.finish()
+    }
+}
+
+/// Working representation of a partial isomorphism type under
+/// construction: a union-find with congruence closure plus disequalities.
+pub struct PitBuilder<'u> {
+    universe: &'u ExprUniverse,
+    parent: Vec<u32>,
+    /// Per-representative navigation children (attr → child representative).
+    class_children: HashMap<(u32, AttrId), ExprId>,
+    /// Per-representative "strong" sort (ignores `null`).
+    class_sort: HashMap<u32, ExprSort>,
+    /// Per-representative constant member (a `DataConst` or `Null` expr).
+    class_const: HashMap<u32, ExprId>,
+    /// Asserted disequalities (by original expression ids).
+    neqs: Vec<(ExprId, ExprId)>,
+    inconsistent: bool,
+}
+
+impl<'u> PitBuilder<'u> {
+    /// A builder with no constraints.
+    pub fn new(universe: &'u ExprUniverse) -> Self {
+        let n = universe.len();
+        let mut class_children = HashMap::new();
+        let mut class_sort = HashMap::new();
+        let mut class_const = HashMap::new();
+        for (id, expr) in universe.iter() {
+            for (attr, child) in &expr.children {
+                class_children.insert((id, *attr), *child);
+            }
+            match expr.sort {
+                ExprSort::Null => {
+                    class_const.insert(id, id);
+                }
+                ExprSort::DataConst => {
+                    class_sort.insert(id, ExprSort::DataConst);
+                    class_const.insert(id, id);
+                }
+                s => {
+                    class_sort.insert(id, s);
+                }
+            }
+        }
+        PitBuilder {
+            universe,
+            parent: (0..n as u32).collect(),
+            class_children,
+            class_sort,
+            class_const,
+            neqs: Vec::new(),
+            inconsistent: false,
+        }
+    }
+
+    /// A builder pre-loaded with the constraints of an existing type.
+    pub fn from_pit(universe: &'u ExprUniverse, pit: &Pit) -> Self {
+        let mut b = PitBuilder::new(universe);
+        b.merge_pit(pit);
+        b
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sorts of two classes; marks the builder inconsistent on a
+    /// type clash.
+    fn merge_sorts(&mut self, keep: u32, drop: u32) {
+        let sort_drop = self.class_sort.remove(&drop);
+        match (self.class_sort.get(&keep).copied(), sort_drop) {
+            (None, Some(s)) => {
+                self.class_sort.insert(keep, s);
+            }
+            (Some(a), Some(b)) if !sorts_compatible(a, b) => {
+                self.inconsistent = true;
+            }
+            (Some(a), Some(b)) => {
+                self.class_sort.insert(keep, merge_sort(a, b));
+            }
+            _ => {}
+        }
+        let const_drop = self.class_const.remove(&drop);
+        match (self.class_const.get(&keep).copied(), const_drop) {
+            (None, Some(c)) => {
+                self.class_const.insert(keep, c);
+            }
+            (Some(a), Some(b)) if a != b => {
+                // Two distinct constant expressions (distinct constants, or
+                // null vs a constant) in the same class.
+                self.inconsistent = true;
+            }
+            _ => {}
+        }
+    }
+
+    /// Assert `a = b`, with congruence closure.
+    pub fn assert_eq(&mut self, a: ExprId, b: ExprId) {
+        if self.inconsistent {
+            return;
+        }
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Union by arbitrary orientation (keep ra).
+        self.parent[rb as usize] = ra;
+        self.merge_sorts(ra, rb);
+        if self.inconsistent {
+            return;
+        }
+        // Congruence: merge navigation children attribute-wise.
+        let drop_children: Vec<(AttrId, ExprId)> = self
+            .class_children
+            .iter()
+            .filter(|((rep, _), _)| *rep == rb)
+            .map(|((_, attr), child)| (*attr, *child))
+            .collect();
+        for (attr, child_b) in drop_children {
+            self.class_children.remove(&(rb, attr));
+            match self.class_children.get(&(ra, attr)).copied() {
+                Some(child_a) => self.assert_eq(child_a, child_b),
+                None => {
+                    self.class_children.insert((ra, attr), child_b);
+                }
+            }
+            if self.inconsistent {
+                return;
+            }
+        }
+    }
+
+    /// Assert `a ≠ b`.
+    pub fn assert_neq(&mut self, a: ExprId, b: ExprId) {
+        if self.inconsistent {
+            return;
+        }
+        self.neqs.push((a, b));
+    }
+
+    /// Add a single edge.
+    pub fn assert_edge(&mut self, edge: Edge) {
+        let (a, b) = edge.endpoints();
+        if edge.is_neq() {
+            self.assert_neq(a, b);
+        } else {
+            self.assert_eq(a, b);
+        }
+    }
+
+    /// Add all the constraints of an existing type.
+    pub fn merge_pit(&mut self, pit: &Pit) {
+        for edge in pit.edges() {
+            self.assert_edge(*edge);
+        }
+    }
+
+    /// Finish: `None` if the accumulated constraints are inconsistent,
+    /// otherwise the canonically closed type.
+    pub fn finish(mut self) -> Option<Pit> {
+        if self.inconsistent {
+            return None;
+        }
+        // Disequalities must separate distinct classes.
+        for i in 0..self.neqs.len() {
+            let (a, b) = self.neqs[i];
+            if self.find(a) == self.find(b) {
+                return None;
+            }
+        }
+        let n = self.universe.len() as u32;
+        // Group expressions by representative.
+        let mut classes: HashMap<u32, Vec<ExprId>> = HashMap::new();
+        for x in 0..n {
+            classes.entry(self.find(x)).or_default().push(x);
+        }
+        let mut edges: Vec<Edge> = Vec::new();
+        for members in classes.values() {
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    edges.push(Edge::eq(members[i], members[j]));
+                }
+            }
+        }
+        // Propagate each asserted disequality to the full classes.
+        let mut neq_class_pairs: HashSet<(u32, u32)> = HashSet::new();
+        for i in 0..self.neqs.len() {
+            let (a, b) = self.neqs[i];
+            let (ra, rb) = (self.find(a), self.find(b));
+            let key = if ra < rb { (ra, rb) } else { (rb, ra) };
+            neq_class_pairs.insert(key);
+        }
+        for (ra, rb) in neq_class_pairs {
+            let (ca, cb) = (&classes[&ra], &classes[&rb]);
+            for &a in ca {
+                for &b in cb {
+                    edges.push(Edge::neq(a, b));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Some(Pit { edges })
+    }
+
+    /// `true` if an inconsistency has already been detected (the final
+    /// verdict still requires [`PitBuilder::finish`], which also checks the
+    /// disequalities).
+    pub fn is_inconsistent(&self) -> bool {
+        self.inconsistent
+    }
+}
+
+/// Can two class sorts co-exist in one equivalence class?
+///
+/// Expressions of different domains (an ID of relation `R` and a data
+/// value, or IDs of two different relations) *can* still be equal when both
+/// are `null`, so such merges are not rejected — rejecting them would make
+/// the symbolic search unsound the other way (dropping reachable states).
+/// The only impossible combination is an ID-sorted expression equal to a
+/// *non-null data constant*, which can never be `null`.
+fn sorts_compatible(a: ExprSort, b: ExprSort) -> bool {
+    use ExprSort::*;
+    !matches!((a, b), (Id(_), DataConst) | (DataConst, Id(_)))
+}
+
+fn merge_sort(a: ExprSort, b: ExprSort) -> ExprSort {
+    use ExprSort::*;
+    match (a, b) {
+        (DataConst, _) | (_, DataConst) => DataConst,
+        (Id(r), _) | (_, Id(r)) => Id(r),
+        (Null, x) | (x, Null) => x,
+        _ => Data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use verifas_model::schema::attr::{data, fk};
+    use verifas_model::{
+        Condition, DataValue, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder, Term, VarId,
+        VarRef,
+    };
+
+    /// Schema R(ID, A) with variables x, y, z of type R.ID — the setting of
+    /// Example 18 of the paper — plus two constants.
+    fn example18() -> (HasSpec, ExprUniverse) {
+        let mut db = DatabaseSchema::new();
+        let r = db.add_relation("R", vec![data("A")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let x = root.id_var("x", r);
+        root.id_var("y", r);
+        root.id_var("z", r);
+        root.service_parts(
+            "noop",
+            Condition::True,
+            Condition::neq(Term::var(x), Term::Null),
+            vec![],
+            None,
+        );
+        let spec = SpecBuilder::new("ex18", db, root.build()).build().unwrap();
+        let consts = BTreeSet::from([DataValue::str("c1"), DataValue::str("c2")]);
+        let u = ExprUniverse::build(&spec, spec.root(), &[], &consts);
+        (spec, u)
+    }
+
+    fn var(u: &ExprUniverse, i: u32) -> ExprId {
+        u.var_expr(VarRef::Task(VarId::new(i))).unwrap()
+    }
+
+    fn attr_of(u: &ExprUniverse, v: ExprId) -> ExprId {
+        u.navigate(v, AttrId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn edge_encoding_is_symmetric_and_typed() {
+        assert_eq!(Edge::eq(3, 5), Edge::eq(5, 3));
+        assert_ne!(Edge::eq(3, 5), Edge::neq(3, 5));
+        assert_eq!(Edge::eq(3, 5).endpoints(), (3, 5));
+        assert!(Edge::neq(1, 2).is_neq());
+        assert!(!Edge::eq(1, 2).is_neq());
+    }
+
+    #[test]
+    fn key_dependency_congruence_is_enforced() {
+        // Example 18: x = y forces x.A = y.A.
+        let (_spec, u) = example18();
+        let (x, y) = (var(&u, 0), var(&u, 1));
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(x, y);
+        let pit = b.finish().unwrap();
+        assert!(pit.contains(Edge::eq(x, y)));
+        assert!(pit.contains(Edge::eq(attr_of(&u, x), attr_of(&u, y))));
+        // z remains unconstrained.
+        let z = var(&u, 2);
+        assert!(!pit.contains(Edge::eq(attr_of(&u, x), attr_of(&u, z))));
+    }
+
+    #[test]
+    fn inconsistent_types_are_rejected() {
+        let (_spec, u) = example18();
+        let (x, y, z) = (var(&u, 0), var(&u, 1), var(&u, 2));
+        // x = y, y = z, x ≠ z is inconsistent.
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(x, y);
+        b.assert_eq(y, z);
+        b.assert_neq(x, z);
+        assert!(b.finish().is_none());
+        // Distinct constants cannot be merged.
+        let c1 = u.const_expr(&DataValue::str("c1")).unwrap();
+        let c2 = u.const_expr(&DataValue::str("c2")).unwrap();
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(c1, c2);
+        assert!(b.finish().is_none());
+        // A constant cannot equal null.
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(c1, u.null_expr());
+        assert!(b.finish().is_none());
+        // An ID variable cannot equal a data constant.
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(x, c1);
+        assert!(b.finish().is_none());
+        // ...but x.A (data-sorted) can.
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(attr_of(&u, x), c1);
+        assert!(b.finish().is_some());
+    }
+
+    #[test]
+    fn implication_is_subset_of_closed_edges() {
+        let (_spec, u) = example18();
+        let (x, y, z) = (var(&u, 0), var(&u, 1), var(&u, 2));
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(x, y);
+        b.assert_neq(y, z);
+        let strong = b.finish().unwrap();
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(x, y);
+        let weak = b.finish().unwrap();
+        assert!(strong.implies(&weak));
+        assert!(!weak.implies(&strong));
+        assert!(strong.implies(&Pit::empty()));
+        assert!(Pit::empty().implies(&Pit::empty()));
+        // ≠ propagates to the whole classes: y ≠ z implies x ≠ z since x = y.
+        assert!(strong.contains(Edge::neq(x, z)));
+    }
+
+    #[test]
+    fn canonical_form_is_order_independent() {
+        let (_spec, u) = example18();
+        let (x, y, z) = (var(&u, 0), var(&u, 1), var(&u, 2));
+        let mut b1 = PitBuilder::new(&u);
+        b1.assert_eq(x, y);
+        b1.assert_eq(y, z);
+        let p1 = b1.finish().unwrap();
+        let mut b2 = PitBuilder::new(&u);
+        b2.assert_eq(z, x);
+        b2.assert_eq(x, y);
+        let p2 = b2.finish().unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn projection_keeps_only_selected_heads() {
+        let (_spec, u) = example18();
+        let (x, y, z) = (var(&u, 0), var(&u, 1), var(&u, 2));
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(x, y);
+        b.assert_neq(x, z);
+        let pit = b.finish().unwrap();
+        // Keep only expressions headed by y and z (and constants/null).
+        let keep: Vec<ExprId> = u.headed_by(|h| {
+            matches!(h, crate::expr::ExprHead::Var(VarRef::Task(v)) if v.index() >= 1)
+                || matches!(h, crate::expr::ExprHead::Null | crate::expr::ExprHead::Const(_))
+        });
+        let keep_set: std::collections::HashSet<ExprId> = keep.into_iter().collect();
+        let projected = pit.project(|e| keep_set.contains(&e));
+        assert!(!projected.contains(Edge::eq(x, y)));
+        assert!(!projected.contains(Edge::neq(x, z)));
+        // The propagated disequality between the kept variables survives
+        // (x = y and x ≠ z imply y ≠ z, and both y and z are kept).
+        assert!(projected.contains(Edge::neq(y, z)));
+        assert_eq!(projected.edge_count(), 1);
+    }
+
+    #[test]
+    fn conjoin_detects_conflicts() {
+        let (_spec, u) = example18();
+        let (x, y) = (var(&u, 0), var(&u, 1));
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(x, y);
+        let eq = b.finish().unwrap();
+        let mut b = PitBuilder::new(&u);
+        b.assert_neq(x, y);
+        let neq = b.finish().unwrap();
+        assert!(eq.conjoin(&neq, &u).is_none());
+        let mut b = PitBuilder::new(&u);
+        b.assert_neq(x, var(&u, 2));
+        let other = b.finish().unwrap();
+        let combined = eq.conjoin(&other, &u).unwrap();
+        assert!(combined.contains(Edge::eq(x, y)));
+        assert!(combined.contains(Edge::neq(y, var(&u, 2))));
+    }
+
+    #[test]
+    fn rename_moves_constraints_between_heads() {
+        let (_spec, u) = example18();
+        let (x, y) = (var(&u, 0), var(&u, 1));
+        let c1 = u.const_expr(&DataValue::str("c1")).unwrap();
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(attr_of(&u, x), c1);
+        let pit = b.finish().unwrap();
+        // Rename x -> y (and x.A -> y.A); keep constants fixed.
+        let mut map = HashMap::new();
+        map.insert(x, y);
+        map.insert(attr_of(&u, x), attr_of(&u, y));
+        map.insert(c1, c1);
+        map.insert(u.null_expr(), u.null_expr());
+        let renamed = pit.rename(&u, &map).unwrap();
+        assert!(renamed.contains(Edge::eq(attr_of(&u, y), c1)));
+        assert!(!renamed.contains(Edge::eq(attr_of(&u, x), c1)));
+    }
+
+    #[test]
+    fn without_edges_removes_exact_edges() {
+        let (_spec, u) = example18();
+        let (x, y) = (var(&u, 0), var(&u, 1));
+        let mut b = PitBuilder::new(&u);
+        b.assert_eq(x, y);
+        let pit = b.finish().unwrap();
+        let mut remove = HashSet::new();
+        remove.insert(Edge::eq(x, y));
+        let cleaned = pit.without_edges(&remove);
+        assert!(!cleaned.contains(Edge::eq(x, y)));
+        // The congruence-derived edge survives.
+        assert!(cleaned.contains(Edge::eq(attr_of(&u, x), attr_of(&u, y))));
+    }
+}

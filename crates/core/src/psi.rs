@@ -1,0 +1,308 @@
+//! Partial symbolic instances (paper Definition 19 / Definition 30).
+//!
+//! A partial symbolic instance (PSI) consists of
+//!
+//! * the partial isomorphism type of the current artifact tuple,
+//! * one counter per *stored* partial isomorphism type, counting the tuples
+//!   of the artifact relations that share that type (sparse: only non-zero
+//!   counters are materialised, and a counter may hold the ordinal `ω`
+//!   after acceleration),
+//! * the activation status of the task's children (Definition 30).
+//!
+//! Stored tuple types are interned globally by the search through
+//! [`StoredTypeInterner`] so counters are plain `(type id, count)` pairs.
+
+use crate::pit::Pit;
+use std::collections::HashMap;
+use std::fmt;
+use verifas_model::ArtRelId;
+
+/// Identifier of an interned stored-tuple type.
+pub type StoredTypeId = u32;
+
+/// Counter value standing for the ordinal `ω` (introduced by the
+/// Karp–Miller acceleration).
+pub const OMEGA: u32 = u32::MAX;
+
+/// Interner of stored-tuple partial isomorphism types, shared by a whole
+/// search so that counter dimensions are stable integers.
+#[derive(Debug, Default, Clone)]
+pub struct StoredTypeInterner {
+    types: Vec<(ArtRelId, Pit)>,
+    map: HashMap<(ArtRelId, Pit), StoredTypeId>,
+}
+
+impl StoredTypeInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        StoredTypeInterner::default()
+    }
+
+    /// Intern a stored type, returning its stable id.
+    pub fn intern(&mut self, rel: ArtRelId, pit: Pit) -> StoredTypeId {
+        if let Some(&id) = self.map.get(&(rel, pit.clone())) {
+            return id;
+        }
+        let id = self.types.len() as StoredTypeId;
+        self.types.push((rel, pit.clone()));
+        self.map.insert((rel, pit), id);
+        id
+    }
+
+    /// The artifact relation and type of an interned id.
+    pub fn get(&self, id: StoredTypeId) -> &(ArtRelId, Pit) {
+        &self.types[id as usize]
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+/// A sparse vector of counters over stored types.  Counts are strictly
+/// positive; [`OMEGA`] represents `ω`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CounterVec {
+    entries: Vec<(StoredTypeId, u32)>,
+}
+
+impl CounterVec {
+    /// The all-zero counter vector.
+    pub fn empty() -> Self {
+        CounterVec::default()
+    }
+
+    /// The count for a stored type (0 if absent).
+    pub fn get(&self, id: StoredTypeId) -> u32 {
+        self.entries
+            .binary_search_by_key(&id, |(t, _)| *t)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Non-zero entries, sorted by type id.
+    pub fn iter(&self) -> impl Iterator<Item = (StoredTypeId, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of non-zero counters.
+    pub fn support_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff every counter is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of stored tuples (`ω` saturates).
+    pub fn total(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(_, c)| if *c == OMEGA { u64::from(u32::MAX) } else { u64::from(*c) })
+            .sum()
+    }
+
+    /// A copy with the counter of `id` incremented (ω stays ω).
+    pub fn incremented(&self, id: StoredTypeId) -> CounterVec {
+        let mut out = self.clone();
+        match out.entries.binary_search_by_key(&id, |(t, _)| *t) {
+            Ok(i) => {
+                if out.entries[i].1 != OMEGA {
+                    out.entries[i].1 += 1;
+                }
+            }
+            Err(i) => out.entries.insert(i, (id, 1)),
+        }
+        out
+    }
+
+    /// A copy with the counter of `id` decremented; `None` if it is zero.
+    /// Decrementing an `ω` counter leaves it at `ω`.
+    pub fn decremented(&self, id: StoredTypeId) -> Option<CounterVec> {
+        let mut out = self.clone();
+        match out.entries.binary_search_by_key(&id, |(t, _)| *t) {
+            Ok(i) => {
+                if out.entries[i].1 == OMEGA {
+                    return Some(out);
+                }
+                out.entries[i].1 -= 1;
+                if out.entries[i].1 == 0 {
+                    out.entries.remove(i);
+                }
+                Some(out)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// A copy with the counter of `id` set to `ω`.
+    pub fn with_omega(&self, id: StoredTypeId) -> CounterVec {
+        let mut out = self.clone();
+        match out.entries.binary_search_by_key(&id, |(t, _)| *t) {
+            Ok(i) => out.entries[i].1 = OMEGA,
+            Err(i) => out.entries.insert(i, (id, OMEGA)),
+        }
+        out
+    }
+
+    /// Pointwise comparison `self ≤ other` (with `n < ω` for all `n`).
+    pub fn leq(&self, other: &CounterVec) -> bool {
+        self.entries.iter().all(|(t, c)| {
+            let o = other.get(*t);
+            o == OMEGA || (*c != OMEGA && *c <= o)
+        })
+    }
+
+    /// `true` iff some counter of `other` strictly exceeds the matching
+    /// counter of `self` (used by the acceleration rule).
+    pub fn strictly_less_somewhere(&self, other: &CounterVec) -> bool {
+        other.entries.iter().any(|(t, c)| {
+            let mine = self.get(*t);
+            (mine != OMEGA && *c == OMEGA) || (mine != OMEGA && *c != OMEGA && mine < *c)
+        })
+    }
+}
+
+impl fmt::Display for CounterVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (t, c)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if *c == OMEGA {
+                write!(f, "τ{t}: ω")?;
+            } else {
+                write!(f, "τ{t}: {c}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A partial symbolic instance: the artifact-tuple type, the stored-tuple
+/// counters and the children activation flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Psi {
+    /// Partial isomorphism type of the artifact variables (plus the
+    /// property's global variables).
+    pub pit: Pit,
+    /// Counters of stored tuples per stored type.
+    pub counters: CounterVec,
+    /// Bitmask over the task's children: bit `i` set iff the `i`-th child
+    /// is currently active.
+    pub child_active: u64,
+}
+
+impl Psi {
+    /// A PSI with the given type, no stored tuples and no active child.
+    pub fn with_pit(pit: Pit) -> Self {
+        Psi {
+            pit,
+            counters: CounterVec::empty(),
+            child_active: 0,
+        }
+    }
+
+    /// `true` iff child `i` is active.
+    pub fn child_is_active(&self, i: usize) -> bool {
+        self.child_active & (1u64 << i) != 0
+    }
+
+    /// A copy with child `i` marked active/inactive.
+    pub fn with_child_active(&self, i: usize, active: bool) -> Psi {
+        let mut out = self.clone();
+        if active {
+            out.child_active |= 1u64 << i;
+        } else {
+            out.child_active &= !(1u64 << i);
+        }
+        out
+    }
+
+    /// `true` iff no child is active.
+    pub fn no_child_active(&self) -> bool {
+        self.child_active == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_vec_increment_decrement() {
+        let c = CounterVec::empty();
+        assert_eq!(c.get(3), 0);
+        assert!(c.decremented(3).is_none());
+        let c = c.incremented(3).incremented(3).incremented(1);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.support_len(), 2);
+        let c = c.decremented(3).unwrap();
+        assert_eq!(c.get(3), 1);
+        let c = c.decremented(3).unwrap();
+        assert_eq!(c.get(3), 0);
+        assert_eq!(c.support_len(), 1);
+    }
+
+    #[test]
+    fn omega_counters_absorb_updates() {
+        let c = CounterVec::empty().incremented(0).with_omega(0);
+        assert_eq!(c.get(0), OMEGA);
+        assert_eq!(c.incremented(0).get(0), OMEGA);
+        assert_eq!(c.decremented(0).unwrap().get(0), OMEGA);
+    }
+
+    #[test]
+    fn pointwise_order_with_omega() {
+        let a = CounterVec::empty().incremented(0).incremented(1);
+        let b = CounterVec::empty()
+            .incremented(0)
+            .incremented(0)
+            .incremented(1);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(a.leq(&a));
+        let w = CounterVec::empty().with_omega(0).incremented(1);
+        assert!(a.leq(&w));
+        assert!(!w.leq(&b));
+        assert!(a.strictly_less_somewhere(&b));
+        assert!(!b.strictly_less_somewhere(&a));
+        assert!(a.strictly_less_somewhere(&w));
+    }
+
+    #[test]
+    fn interner_reuses_ids() {
+        let mut interner = StoredTypeInterner::new();
+        let rel = ArtRelId::new(0);
+        let a = interner.intern(rel, Pit::empty());
+        let b = interner.intern(rel, Pit::empty());
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 1);
+        let other_rel = ArtRelId::new(1);
+        let c = interner.intern(other_rel, Pit::empty());
+        assert_ne!(a, c);
+        assert_eq!(interner.get(c).0, other_rel);
+    }
+
+    #[test]
+    fn child_activation_flags() {
+        let psi = Psi::with_pit(Pit::empty());
+        assert!(psi.no_child_active());
+        let psi = psi.with_child_active(2, true);
+        assert!(psi.child_is_active(2));
+        assert!(!psi.child_is_active(0));
+        assert!(!psi.no_child_active());
+        let psi = psi.with_child_active(2, false);
+        assert!(psi.no_child_active());
+    }
+}

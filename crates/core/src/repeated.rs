@@ -1,0 +1,301 @@
+//! Repeated reachability (Section 3.8 and Appendix C): detecting *infinite*
+//! violating local runs.
+//!
+//! An infinite local run violating the property corresponds to a run of the
+//! product system that visits accepting automaton states infinitely often.
+//! Following the paper, the analysis works on a coverability-style set of
+//! states computed by a Karp–Miller search whose pruning order is the
+//! *strict* subsumption `≼⁺` (Definition 31) — the ≼ order alone is too
+//! aggressive to preserve completeness of cycle detection.  A state is
+//! repeatedly reachable iff
+//!
+//! * one of its counters is `ω` (the acceleration that produced the `ω`
+//!   witnesses a pumpable cycle through the state), or
+//! * it lies on a cycle of the abstract transition graph over the active
+//!   states, where there is an edge `I → J` whenever some successor of `I`
+//!   is covered by `J`.
+//!
+//! The verifier reports an infinite violation when an *accepting* state is
+//! repeatedly reachable.
+
+use crate::coverage::{covers, CoverageKind};
+use crate::product::ProductSystem;
+use crate::psi::OMEGA;
+use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
+use verifas_model::ServiceRef;
+
+/// Result of the repeated-reachability analysis.
+#[derive(Debug, Clone)]
+pub struct InfiniteViolation {
+    /// The prefix of observable services leading to the repeatedly
+    /// reachable accepting state.
+    pub prefix: Vec<ServiceRef>,
+    /// Human-readable explanation of why the state repeats.
+    pub reason: String,
+}
+
+/// Outcome of the analysis together with the statistics of the underlying
+/// search.
+#[derive(Debug, Clone)]
+pub struct RepeatedOutcome {
+    /// An infinite violation, if one exists (within the limits).
+    pub violation: Option<InfiniteViolation>,
+    /// Statistics of the auxiliary search.
+    pub stats: SearchStats,
+    /// `true` when the auxiliary search hit a resource limit (the answer
+    /// may then be incomplete).
+    pub limit_reached: bool,
+    /// `true` when the auxiliary search found a finite violation first
+    /// (can happen because it explores the same product).
+    pub finite_violation: Option<Vec<ServiceRef>>,
+}
+
+/// Run the repeated-reachability analysis on a product system.
+///
+/// `coverage` selects the pruning order of the auxiliary search: callers
+/// pass [`CoverageKind::StrictSubsumption`] when the main search used the
+/// ≼ pruning (Appendix C), [`CoverageKind::Standard`] when it used the
+/// classic order, and [`CoverageKind::Equality`] for the baseline verifier.
+pub fn find_infinite_violation(
+    product: &ProductSystem,
+    coverage: CoverageKind,
+    use_index: bool,
+    limits: SearchLimits,
+) -> RepeatedOutcome {
+    let mut search = KarpMillerSearch::new(product, coverage, use_index, limits);
+    let outcome = search.run();
+    let stats = search.stats;
+    if let SearchOutcome::FiniteViolation(node) = outcome {
+        let prefix = search.trace(node).into_iter().map(|(s, _)| s).collect();
+        return RepeatedOutcome {
+            violation: None,
+            stats,
+            limit_reached: false,
+            finite_violation: Some(prefix),
+        };
+    }
+    let limit_reached = outcome == SearchOutcome::LimitReached;
+    let active = search.active_nodes();
+    // Rule (a): an accepting active state with an ω counter is repeatedly
+    // reachable — the acceleration that produced the ω witnesses a cycle.
+    for &i in &active {
+        let node = &search.nodes[i];
+        if product.is_accepting(&node.state)
+            && !node.state.closed
+            && node.state.psi.counters.iter().any(|(_, c)| c == OMEGA)
+        {
+            let prefix = search.trace(i).into_iter().map(|(s, _)| s).collect();
+            return RepeatedOutcome {
+                violation: Some(InfiniteViolation {
+                    prefix,
+                    reason: "accepting state with an unbounded (ω) artifact-relation counter"
+                        .to_owned(),
+                }),
+                stats,
+                limit_reached,
+                finite_violation: None,
+            };
+        }
+    }
+    // Rule (b): cycle detection over the abstract transition graph of the
+    // active states.
+    let mut interner = search.interner.clone();
+    let n = active.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ai, &i) in active.iter().enumerate() {
+        let state = &search.nodes[i].state;
+        if state.closed {
+            continue;
+        }
+        for succ in product.successors(state, &mut interner) {
+            for (aj, &j) in active.iter().enumerate() {
+                // Note: use the extended interner — the successor may refer
+                // to stored types that were first interned just above.
+                if covers(coverage, &succ.state, &search.nodes[j].state, &interner) {
+                    edges[ai].push(aj);
+                }
+            }
+        }
+    }
+    for (ai, &i) in active.iter().enumerate() {
+        let state = &search.nodes[i].state;
+        if !product.is_accepting(state) || state.closed {
+            continue;
+        }
+        // Is `ai` on a cycle (reachable from itself)?
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = edges[ai].clone();
+        let mut on_cycle = false;
+        while let Some(x) = stack.pop() {
+            if x == ai {
+                on_cycle = true;
+                break;
+            }
+            if seen[x] {
+                continue;
+            }
+            seen[x] = true;
+            stack.extend(edges[x].iter().copied());
+        }
+        if on_cycle {
+            let prefix = search.trace(i).into_iter().map(|(s, _)| s).collect();
+            return RepeatedOutcome {
+                violation: Some(InfiniteViolation {
+                    prefix,
+                    reason: "accepting state lies on a cycle of the coverability graph".to_owned(),
+                }),
+                stats,
+                limit_reached,
+                finite_violation: None,
+            };
+        }
+    }
+    RepeatedOutcome {
+        violation: None,
+        stats,
+        limit_reached,
+        finite_violation: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
+    use verifas_model::schema::attr::data;
+    use verifas_model::{
+        Condition, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder, TaskId, Term,
+    };
+
+    /// status cycles null -> "Working" -> "Done" -> null forever.
+    fn cycling_spec() -> HasSpec {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let status = root.data_var("status");
+        root.service_parts(
+            "begin",
+            Condition::eq(Term::var(status), Term::Null),
+            Condition::eq(Term::var(status), Term::str("Working")),
+            vec![],
+            None,
+        );
+        root.service_parts(
+            "finish",
+            Condition::eq(Term::var(status), Term::str("Working")),
+            Condition::eq(Term::var(status), Term::str("Done")),
+            vec![],
+            None,
+        );
+        root.service_parts(
+            "reset",
+            Condition::eq(Term::var(status), Term::str("Done")),
+            Condition::eq(Term::var(status), Term::Null),
+            vec![],
+            None,
+        );
+        let mut b = SpecBuilder::new("cycle", db, root.build());
+        b.global_pre(Condition::eq(Term::var(status), Term::Null));
+        b.build().unwrap()
+    }
+
+    fn status_is(v: &str) -> Condition {
+        Condition::eq(Term::var(verifas_model::VarId::new(0)), Term::str(v))
+    }
+
+    #[test]
+    fn violated_invariant_is_found_as_infinite_violation() {
+        // G ¬(status = "Done") is violated by the infinite cycling run.
+        let spec = cycling_spec();
+        let property = LtlFoProperty::new(
+            "never-done",
+            TaskId::new(0),
+            vec![],
+            Ltl::globally(Ltl::not(Ltl::prop(0))),
+            vec![PropAtom::Condition(status_is("Done"))],
+        );
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let outcome = find_infinite_violation(
+            &product,
+            CoverageKind::StrictSubsumption,
+            true,
+            SearchLimits::default(),
+        );
+        assert!(outcome.violation.is_some());
+        assert!(!outcome.limit_reached);
+    }
+
+    #[test]
+    fn satisfied_invariant_has_no_violation() {
+        // G ¬(status = "Broken") holds.
+        let spec = cycling_spec();
+        let property = LtlFoProperty::new(
+            "never-broken",
+            TaskId::new(0),
+            vec![],
+            Ltl::globally(Ltl::not(Ltl::prop(0))),
+            vec![PropAtom::Condition(status_is("Broken"))],
+        );
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let outcome = find_infinite_violation(
+            &product,
+            CoverageKind::StrictSubsumption,
+            true,
+            SearchLimits::default(),
+        );
+        assert!(outcome.violation.is_none());
+        assert!(!outcome.limit_reached);
+    }
+
+    #[test]
+    fn liveness_violation_detected() {
+        // F (status = "Shipped") is violated: there is an infinite run that
+        // never reaches "Shipped" (indeed no run ever does).
+        let spec = cycling_spec();
+        let property = LtlFoProperty::new(
+            "eventually-shipped",
+            TaskId::new(0),
+            vec![],
+            Ltl::eventually(Ltl::prop(0)),
+            vec![PropAtom::Condition(status_is("Shipped"))],
+        );
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let outcome = find_infinite_violation(
+            &product,
+            CoverageKind::StrictSubsumption,
+            false,
+            SearchLimits::default(),
+        );
+        assert!(outcome.violation.is_some());
+    }
+
+    #[test]
+    fn satisfied_response_property() {
+        // G (status = "Working" -> F status = "Done") holds for this spec:
+        // from "Working" the only applicable service is `finish`, and
+        // fairness of local runs means the run either stops being extended
+        // (not a run) or eventually fires it.
+        let spec = cycling_spec();
+        let property = LtlFoProperty::new(
+            "working-leads-to-done",
+            TaskId::new(0),
+            vec![],
+            Ltl::globally(Ltl::implies(
+                Ltl::prop(0),
+                Ltl::eventually(Ltl::prop(1)),
+            )),
+            vec![
+                PropAtom::Condition(status_is("Working")),
+                PropAtom::Condition(status_is("Done")),
+            ],
+        );
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let outcome = find_infinite_violation(
+            &product,
+            CoverageKind::StrictSubsumption,
+            true,
+            SearchLimits::default(),
+        );
+        assert!(outcome.violation.is_none());
+    }
+}

@@ -1,0 +1,421 @@
+//! The Karp–Miller search over partial symbolic instances (Algorithm 1)
+//! with ω-acceleration (Section 3.3), monotone pruning (Section 3.4, after
+//! Reynier–Servais) and the ≼-based aggressive pruning (Section 3.5),
+//! optionally filtered through the inverted-list index (Section 3.6).
+//!
+//! The search explores the product of the symbolic transition system with
+//! the violation automaton.  It stops immediately when a *finite* violating
+//! local run is found (the task closes in a padding-accepting automaton
+//! state); otherwise it computes a coverability-style set of active states
+//! which the repeated-reachability analysis ([`crate::repeated`]) then uses
+//! to look for *infinite* violations.
+
+use crate::coverage::{accelerate, covers, CoverageKind};
+use crate::index::StateIndex;
+use crate::product::{ProductState, ProductSystem};
+use crate::psi::StoredTypeInterner;
+use std::collections::VecDeque;
+use std::time::Instant;
+use verifas_model::ServiceRef;
+
+/// Resource limits of a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Maximum number of tree nodes created before giving up.
+    pub max_states: usize,
+    /// Wall-clock budget in milliseconds.
+    pub max_millis: u64,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_states: 100_000,
+            max_millis: 60_000,
+        }
+    }
+}
+
+/// Statistics of one search run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes created in the Karp–Miller tree.
+    pub states_created: usize,
+    /// Nodes still active (the coverability set candidates) at the end.
+    pub states_active: usize,
+    /// New states discarded because an active state already covered them.
+    pub states_skipped: usize,
+    /// Active states deactivated by the monotone pruning.
+    pub states_pruned: usize,
+    /// Number of ω-accelerations applied.
+    pub accelerations: usize,
+    /// Stored tuple types interned.
+    pub stored_types: usize,
+    /// Elapsed wall-clock time in milliseconds.
+    pub elapsed_ms: u64,
+    /// `true` when a resource limit stopped the search.
+    pub limit_reached: bool,
+}
+
+/// Outcome of the search phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A finite violating local run was found; the payload is the index of
+    /// the violating tree node.
+    FiniteViolation(usize),
+    /// The reachable symbolic state space was exhausted.
+    Exhausted,
+    /// A resource limit was hit before exhaustion.
+    LimitReached,
+}
+
+/// One node of the Karp–Miller tree.
+#[derive(Debug, Clone)]
+pub struct SearchNode {
+    /// The product state.
+    pub state: ProductState,
+    /// Parent node (None for initial states).
+    pub parent: Option<usize>,
+    /// The observable service that produced this node (None only for the
+    /// virtual root of initial states, which are produced by the task's
+    /// opening service).
+    pub service: ServiceRef,
+    /// `false` when the node has been deactivated by the monotone pruning.
+    pub active: bool,
+    children: Vec<usize>,
+}
+
+/// The Karp–Miller search engine.
+pub struct KarpMillerSearch<'a> {
+    product: &'a ProductSystem,
+    /// The coverage order used for pruning.
+    pub coverage: CoverageKind,
+    /// Whether the inverted-list index filters coverage candidates
+    /// (the "data structure support" optimisation).
+    pub use_index: bool,
+    /// Resource limits.
+    pub limits: SearchLimits,
+    /// The tree.
+    pub nodes: Vec<SearchNode>,
+    /// Stored-tuple type interner shared by the whole search.
+    pub interner: StoredTypeInterner,
+    /// Statistics.
+    pub stats: SearchStats,
+    index: StateIndex,
+}
+
+impl<'a> KarpMillerSearch<'a> {
+    /// Create a search over a product system.
+    pub fn new(
+        product: &'a ProductSystem,
+        coverage: CoverageKind,
+        use_index: bool,
+        limits: SearchLimits,
+    ) -> Self {
+        KarpMillerSearch {
+            product,
+            coverage,
+            use_index,
+            limits,
+            nodes: Vec::new(),
+            interner: StoredTypeInterner::new(),
+            stats: SearchStats::default(),
+            index: StateIndex::new(),
+        }
+    }
+
+    /// Run the search to completion (or until a limit / finite violation).
+    pub fn run(&mut self) -> SearchOutcome {
+        let start = Instant::now();
+        let mut worklist: VecDeque<usize> = VecDeque::new();
+        for state in self.product.initial_states() {
+            let id = self.add_node(state, None, self.product.task.opening_service());
+            worklist.push_back(id);
+        }
+        let outcome = loop {
+            let Some(id) = worklist.pop_front() else {
+                break SearchOutcome::Exhausted;
+            };
+            if !self.nodes[id].active {
+                continue;
+            }
+            if self.nodes.len() >= self.limits.max_states
+                || start.elapsed().as_millis() as u64 >= self.limits.max_millis
+            {
+                self.stats.limit_reached = true;
+                break SearchOutcome::LimitReached;
+            }
+            let current = self.nodes[id].state.clone();
+            let successors = self.product.successors(&current, &mut self.interner);
+            let mut finite_violation = None;
+            for succ in successors {
+                let mut state = succ.state;
+                // ω-acceleration against the active ancestors.
+                let mut ancestor = Some(id);
+                while let Some(a) = ancestor {
+                    if self.nodes[a].active {
+                        if let Some(counters) =
+                            accelerate(self.coverage, &self.nodes[a].state, &state, &self.interner)
+                        {
+                            state.psi.counters = counters;
+                            self.stats.accelerations += 1;
+                        }
+                    }
+                    ancestor = self.nodes[a].parent;
+                }
+                if succ.finite_violation {
+                    let vid = self.add_node(state, Some(id), succ.service);
+                    finite_violation = Some(vid);
+                    break;
+                }
+                // Skip if an active state already covers the new one.
+                if self.covered_by_active(&state) {
+                    self.stats.states_skipped += 1;
+                    continue;
+                }
+                // Monotone pruning: deactivate active states (and their
+                // descendants) covered by the new one, except ancestors of
+                // the node being extended (conservative variant of the
+                // Reynier–Servais rule).
+                self.prune_covered(&state, id);
+                let new_id = self.add_node(state, Some(id), succ.service);
+                worklist.push_back(new_id);
+            }
+            if let Some(vid) = finite_violation {
+                break SearchOutcome::FiniteViolation(vid);
+            }
+        };
+        self.stats.states_active = self.nodes.iter().filter(|n| n.active).count();
+        self.stats.stored_types = self.interner.len();
+        self.stats.elapsed_ms = start.elapsed().as_millis() as u64;
+        outcome
+    }
+
+    fn add_node(&mut self, state: ProductState, parent: Option<usize>, service: ServiceRef) -> usize {
+        let id = self.nodes.len();
+        if self.use_index {
+            self.index.insert(id, &state, &self.interner);
+        }
+        self.nodes.push(SearchNode {
+            state,
+            parent,
+            service,
+            active: true,
+            children: Vec::new(),
+        });
+        if let Some(p) = parent {
+            self.nodes[p].children.push(id);
+        }
+        self.stats.states_created += 1;
+        id
+    }
+
+    /// Is the candidate state covered by some active state?
+    fn covered_by_active(&self, state: &ProductState) -> bool {
+        if self.use_index {
+            // Candidates whose signature is a subset of the query's — the
+            // only ones that can be less restrictive (and hence cover it).
+            self.index
+                .subset_candidates(state, &self.interner)
+                .into_iter()
+                .any(|j| {
+                    self.nodes[j].active
+                        && covers(self.coverage, state, &self.nodes[j].state, &self.interner)
+                })
+        } else {
+            self.nodes.iter().any(|n| {
+                n.active && covers(self.coverage, state, &n.state, &self.interner)
+            })
+        }
+    }
+
+    /// Deactivate the active states covered by `state` together with their
+    /// descendants, skipping the ancestors of `extending` (the branch being
+    /// extended).
+    fn prune_covered(&mut self, state: &ProductState, extending: usize) {
+        let mut ancestors = std::collections::HashSet::new();
+        let mut a = Some(extending);
+        while let Some(x) = a {
+            ancestors.insert(x);
+            a = self.nodes[x].parent;
+        }
+        let candidates: Vec<usize> = if self.use_index {
+            self.index
+                .superset_candidates(state, &self.interner)
+                .into_iter()
+                .filter(|&j| self.nodes[j].active)
+                .collect()
+        } else {
+            (0..self.nodes.len()).filter(|&j| self.nodes[j].active).collect()
+        };
+        let mut to_prune = Vec::new();
+        for j in candidates {
+            if ancestors.contains(&j) {
+                continue;
+            }
+            if covers(self.coverage, &self.nodes[j].state, state, &self.interner) {
+                to_prune.push(j);
+            }
+        }
+        for j in to_prune {
+            self.deactivate_subtree(j, &ancestors);
+        }
+    }
+
+    fn deactivate_subtree(&mut self, root: usize, protected: &std::collections::HashSet<usize>) {
+        let mut stack = vec![root];
+        while let Some(j) = stack.pop() {
+            if protected.contains(&j) || !self.nodes[j].active {
+                continue;
+            }
+            self.nodes[j].active = false;
+            self.stats.states_pruned += 1;
+            if self.use_index {
+                self.index.remove(j);
+            }
+            stack.extend(self.nodes[j].children.iter().copied());
+        }
+    }
+
+    /// Indices of the nodes still active at the end of the search (the
+    /// coverability-set candidates).
+    pub fn active_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].active).collect()
+    }
+
+    /// The path of services and states from an initial node to `node`
+    /// (inclusive), oldest first — used to build counterexample traces.
+    pub fn trace(&self, node: usize) -> Vec<(ServiceRef, ProductState)> {
+        let mut out = Vec::new();
+        let mut current = Some(node);
+        while let Some(i) = current {
+            out.push((self.nodes[i].service, self.nodes[i].state.clone()));
+            current = self.nodes[i].parent;
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifas_ltl::{Ltl, LtlFoProperty};
+    use verifas_model::schema::attr::data;
+    use verifas_model::{
+        Condition, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder, TaskId, Term, Update,
+    };
+
+    /// The unbounded-pool workflow: statuses cycle and every cycle inserts
+    /// a tuple, so the counter grows without bound and acceleration must
+    /// kick in for the search to terminate.
+    fn unbounded_pool() -> HasSpec {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let status = root.data_var("status");
+        let pool = root.art_relation_like("POOL", &[status]);
+        root.service_parts(
+            "produce",
+            Condition::eq(Term::var(status), Term::Null),
+            Condition::eq(Term::var(status), Term::str("Made")),
+            vec![],
+            None,
+        );
+        root.service_parts(
+            "stash",
+            Condition::eq(Term::var(status), Term::str("Made")),
+            Condition::eq(Term::var(status), Term::Null),
+            vec![],
+            Some(Update::Insert {
+                rel: pool,
+                vars: vec![status],
+            }),
+        );
+        let mut b = SpecBuilder::new("unbounded", db, root.build());
+        b.global_pre(Condition::eq(Term::var(status), Term::Null));
+        b.build().unwrap()
+    }
+
+    fn trivial_property() -> LtlFoProperty {
+        LtlFoProperty::new(
+            "false-baseline",
+            TaskId::new(0),
+            vec![],
+            Ltl::False,
+            vec![],
+        )
+    }
+
+    #[test]
+    fn search_terminates_on_unbounded_counters_via_acceleration() {
+        let spec = unbounded_pool();
+        let property = trivial_property();
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let mut search = KarpMillerSearch::new(
+            &product,
+            CoverageKind::Subsumption,
+            true,
+            SearchLimits {
+                max_states: 5_000,
+                max_millis: 30_000,
+            },
+        );
+        let outcome = search.run();
+        assert_eq!(outcome, SearchOutcome::Exhausted);
+        assert!(search.stats.accelerations > 0, "acceleration must fire");
+        assert!(search.stats.states_created < 100);
+    }
+
+    #[test]
+    fn standard_coverage_also_terminates_here() {
+        let spec = unbounded_pool();
+        let property = trivial_property();
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let mut search = KarpMillerSearch::new(
+            &product,
+            CoverageKind::Standard,
+            false,
+            SearchLimits::default(),
+        );
+        assert_eq!(search.run(), SearchOutcome::Exhausted);
+    }
+
+    #[test]
+    fn trace_walks_back_to_an_initial_state() {
+        let spec = unbounded_pool();
+        let property = trivial_property();
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let mut search = KarpMillerSearch::new(
+            &product,
+            CoverageKind::Subsumption,
+            false,
+            SearchLimits::default(),
+        );
+        search.run();
+        let last = search.nodes.len() - 1;
+        let trace = search.trace(last);
+        assert!(!trace.is_empty());
+        assert_eq!(trace[0].0, product.task.opening_service());
+    }
+
+    #[test]
+    fn limits_stop_the_search() {
+        let spec = unbounded_pool();
+        let property = trivial_property();
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let mut search = KarpMillerSearch::new(
+            &product,
+            // Equality pruning cannot cope with unbounded counters, so the
+            // node limit must trigger.
+            CoverageKind::Equality,
+            false,
+            SearchLimits {
+                max_states: 50,
+                max_millis: 10_000,
+            },
+        );
+        assert_eq!(search.run(), SearchOutcome::LimitReached);
+        assert!(search.stats.limit_reached);
+    }
+}

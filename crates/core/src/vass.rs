@@ -1,0 +1,225 @@
+//! A small, self-contained Vector Addition System with States (VASS) and
+//! the classic Karp–Miller coverability algorithm (Section 3.3).
+//!
+//! The full verifier works on a VASS whose states are partial symbolic
+//! instances; this module provides the textbook construction over plain
+//! integer-labelled states, used to test the acceleration/coverability
+//! machinery in isolation and as a micro-benchmark target.
+
+use std::collections::VecDeque;
+
+/// Counter value for `ω`.
+pub const OMEGA: i64 = i64::MAX;
+
+/// A VASS transition: from a control state to another, adding `delta` to
+/// the counters (which must stay non-negative).
+#[derive(Debug, Clone)]
+pub struct VassTransition {
+    /// Source control state.
+    pub from: usize,
+    /// Target control state.
+    pub to: usize,
+    /// Counter update.
+    pub delta: Vec<i64>,
+}
+
+/// A Vector Addition System with States.
+#[derive(Debug, Clone)]
+pub struct Vass {
+    /// Number of control states.
+    pub states: usize,
+    /// Number of counters.
+    pub dimensions: usize,
+    /// Transitions.
+    pub transitions: Vec<VassTransition>,
+}
+
+/// A node of the Karp–Miller tree: a control state plus (possibly
+/// ω-valued) counters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KmNode {
+    /// Control state.
+    pub state: usize,
+    /// Counter values (`OMEGA` = ω).
+    pub counters: Vec<i64>,
+}
+
+impl KmNode {
+    fn leq(&self, other: &KmNode) -> bool {
+        self.state == other.state
+            && self
+                .counters
+                .iter()
+                .zip(&other.counters)
+                .all(|(a, b)| *b == OMEGA || (*a != OMEGA && a <= b))
+    }
+}
+
+impl Vass {
+    /// Create a VASS.
+    pub fn new(states: usize, dimensions: usize) -> Self {
+        Vass {
+            states,
+            dimensions,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Add a transition.
+    pub fn add_transition(&mut self, from: usize, to: usize, delta: Vec<i64>) {
+        assert_eq!(delta.len(), self.dimensions);
+        self.transitions.push(VassTransition { from, to, delta });
+    }
+
+    fn successors(&self, node: &KmNode) -> Vec<KmNode> {
+        let mut out = Vec::new();
+        for t in self.transitions.iter().filter(|t| t.from == node.state) {
+            let mut counters = node.counters.clone();
+            let mut ok = true;
+            for (c, d) in counters.iter_mut().zip(&t.delta) {
+                if *c == OMEGA {
+                    continue;
+                }
+                *c += d;
+                if *c < 0 {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                out.push(KmNode {
+                    state: t.to,
+                    counters,
+                });
+            }
+        }
+        out
+    }
+
+    /// The classic Karp–Miller coverability set from an initial
+    /// configuration: a finite set of (possibly ω-valued) nodes such that
+    /// every reachable configuration is covered by one of them.
+    pub fn coverability_set(&self, initial: KmNode) -> Vec<KmNode> {
+        let mut tree: Vec<(KmNode, Option<usize>)> = vec![(initial.clone(), None)];
+        let mut worklist: VecDeque<usize> = VecDeque::from([0]);
+        while let Some(idx) = worklist.pop_front() {
+            let node = tree[idx].0.clone();
+            for mut succ in self.successors(&node) {
+                // Accelerate against the ancestors.
+                let mut ancestor = Some(idx);
+                while let Some(a) = ancestor {
+                    let anc = &tree[a].0;
+                    if anc.state == succ.state
+                        && anc
+                            .counters
+                            .iter()
+                            .zip(&succ.counters)
+                            .all(|(x, y)| *y == OMEGA || (*x != OMEGA && x <= y) || *x == *y)
+                        && anc.leq(&succ)
+                    {
+                        for (i, (x, y)) in anc.counters.iter().zip(succ.counters.clone()).enumerate()
+                        {
+                            if *x != OMEGA && y != OMEGA && *x < y {
+                                succ.counters[i] = OMEGA;
+                            }
+                        }
+                    }
+                    ancestor = tree[a].1;
+                }
+                // Prune if covered by an existing node.
+                if tree.iter().any(|(n, _)| succ.leq(n)) {
+                    continue;
+                }
+                tree.push((succ, Some(idx)));
+                worklist.push_back(tree.len() - 1);
+            }
+        }
+        tree.into_iter().map(|(n, _)| n).collect()
+    }
+
+    /// Coverability: can a configuration ≥ `target` be reached from
+    /// `initial`?
+    pub fn coverable(&self, initial: KmNode, target: &KmNode) -> bool {
+        self.coverability_set(initial)
+            .iter()
+            .any(|n| target.leq(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A producer/consumer net: state 0 loops producing into counter 0; a
+    /// transition moves to state 1 and consuming transitions decrement.
+    fn producer_consumer() -> Vass {
+        let mut v = Vass::new(2, 1);
+        v.add_transition(0, 0, vec![1]);
+        v.add_transition(0, 1, vec![0]);
+        v.add_transition(1, 1, vec![-1]);
+        v
+    }
+
+    #[test]
+    fn unbounded_counter_accelerates_to_omega() {
+        let v = producer_consumer();
+        let set = v.coverability_set(KmNode {
+            state: 0,
+            counters: vec![0],
+        });
+        assert!(set
+            .iter()
+            .any(|n| n.state == 0 && n.counters[0] == OMEGA));
+        // The set is finite and small.
+        assert!(set.len() <= 6);
+    }
+
+    #[test]
+    fn coverability_answers() {
+        let v = producer_consumer();
+        let init = KmNode {
+            state: 0,
+            counters: vec![0],
+        };
+        // Any finite amount is coverable in state 1.
+        assert!(v.coverable(
+            init.clone(),
+            &KmNode {
+                state: 1,
+                counters: vec![5],
+            }
+        ));
+        assert!(v.coverable(
+            init.clone(),
+            &KmNode {
+                state: 0,
+                counters: vec![100],
+            }
+        ));
+        // A bounded net: single token moved around, never two.
+        let mut bounded = Vass::new(2, 1);
+        bounded.add_transition(0, 1, vec![1]);
+        bounded.add_transition(1, 0, vec![-1]);
+        assert!(!bounded.coverable(
+            KmNode {
+                state: 0,
+                counters: vec![0],
+            },
+            &KmNode {
+                state: 1,
+                counters: vec![2],
+            }
+        ));
+    }
+
+    #[test]
+    fn negative_counters_are_not_reachable() {
+        let mut v = Vass::new(1, 1);
+        v.add_transition(0, 0, vec![-1]);
+        let set = v.coverability_set(KmNode {
+            state: 0,
+            counters: vec![0],
+        });
+        assert_eq!(set.len(), 1);
+    }
+}

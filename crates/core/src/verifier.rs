@@ -1,0 +1,437 @@
+//! The user-facing verifier API.
+//!
+//! [`Verifier`] ties together the product construction, the static
+//! analysis, the Karp–Miller search and the repeated-reachability
+//! analysis.  Every optimisation of Section 3 can be toggled through
+//! [`VerifierOptions`] so the ablation experiments of Table 3 can be
+//! reproduced:
+//!
+//! * `state_pruning` (SP) — use the ≼ subsumption order instead of the
+//!   classic ≤ order,
+//! * `static_analysis` (SA) — drop non-violating constraints,
+//! * `data_structure_support` (DSS) — filter coverage candidates through
+//!   the inverted-list index,
+//! * `handle_artifact_relations` — `false` gives the `VERIFAS-NoSet`
+//!   configuration,
+//! * `check_repeated` — run the repeated-reachability module (needed for
+//!   full LTL-FO; without it only finite violations are detected).
+
+use crate::coverage::CoverageKind;
+use crate::product::ProductSystem;
+use crate::repeated::find_infinite_violation;
+use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
+use crate::static_analysis::ConstraintGraph;
+use verifas_ltl::LtlFoProperty;
+use verifas_model::{HasSpec, ModelError, ServiceRef};
+
+/// Options controlling the verifier (all optimisations enabled by
+/// default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifierOptions {
+    /// SP — the ≼-based aggressive pruning of Section 3.5.
+    pub state_pruning: bool,
+    /// SA — the static analysis of Section 3.7.
+    pub static_analysis: bool,
+    /// DSS — the data-structure support of Section 3.6.
+    pub data_structure_support: bool,
+    /// Handle updatable artifact relations (`false` = `VERIFAS-NoSet`).
+    pub handle_artifact_relations: bool,
+    /// Run the repeated-reachability analysis (Section 3.8).
+    pub check_repeated: bool,
+    /// Resource limits of each search phase.
+    pub limits: SearchLimits,
+}
+
+impl Default for VerifierOptions {
+    fn default() -> Self {
+        VerifierOptions {
+            state_pruning: true,
+            static_analysis: true,
+            data_structure_support: true,
+            handle_artifact_relations: true,
+            check_repeated: true,
+            limits: SearchLimits::default(),
+        }
+    }
+}
+
+impl VerifierOptions {
+    /// The `VERIFAS-NoSet` configuration of the paper: artifact relations
+    /// are ignored.
+    pub fn no_set() -> Self {
+        VerifierOptions {
+            handle_artifact_relations: false,
+            ..VerifierOptions::default()
+        }
+    }
+
+    /// Disable one named optimisation (used by the Table 3 ablation):
+    /// `"SP"`, `"SA"` or `"DSS"`.
+    pub fn without(self, optimization: &str) -> Self {
+        let mut out = self;
+        match optimization {
+            "SP" => out.state_pruning = false,
+            "SA" => out.static_analysis = false,
+            "DSS" => out.data_structure_support = false,
+            other => panic!("unknown optimization {other:?}"),
+        }
+        out
+    }
+
+    fn coverage(&self) -> CoverageKind {
+        if self.state_pruning {
+            CoverageKind::Subsumption
+        } else {
+            CoverageKind::Standard
+        }
+    }
+
+    fn repeated_coverage(&self) -> CoverageKind {
+        if self.state_pruning {
+            CoverageKind::StrictSubsumption
+        } else {
+            CoverageKind::Standard
+        }
+    }
+}
+
+/// The verdict of a verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerificationOutcome {
+    /// Every local run of the task satisfies the property.
+    Satisfied,
+    /// Some local run violates the property (see the counterexample).
+    Violated,
+    /// A resource limit was reached before an answer could be established.
+    Inconclusive,
+}
+
+/// A violating symbolic local run.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The sequence of observable services of the violating run (for an
+    /// infinite violation, the prefix leading to the repeated state).
+    pub services: Vec<ServiceRef>,
+    /// The same sequence rendered with task/service names.
+    pub description: String,
+    /// `true` for a finite violating run (the task closes), `false` for an
+    /// infinite one.
+    pub finite: bool,
+}
+
+/// Result of a verification run.
+#[derive(Debug, Clone)]
+pub struct VerificationResult {
+    /// The verdict.
+    pub outcome: VerificationOutcome,
+    /// A counterexample when the property is violated.
+    pub counterexample: Option<Counterexample>,
+    /// Statistics of the main search phase.
+    pub stats: SearchStats,
+    /// Statistics of the repeated-reachability phase (when it ran).
+    pub repeated_stats: Option<SearchStats>,
+}
+
+impl VerificationResult {
+    /// Total elapsed time across phases, in milliseconds.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.stats.elapsed_ms + self.repeated_stats.map_or(0, |s| s.elapsed_ms)
+    }
+}
+
+/// The VERIFAS verifier for one (specification, property) pair.
+pub struct Verifier {
+    product: ProductSystem,
+    options: VerifierOptions,
+}
+
+impl Verifier {
+    /// Build a verifier; the property is validated against the
+    /// specification.
+    pub fn new(
+        spec: &HasSpec,
+        property: &LtlFoProperty,
+        options: VerifierOptions,
+    ) -> Result<Self, ModelError> {
+        spec.validate()?;
+        let mut product =
+            ProductSystem::new(spec, property, options.handle_artifact_relations)?;
+        if options.static_analysis {
+            let graph =
+                ConstraintGraph::build(spec, property.task, property, &product.task.universe);
+            let removed = graph.non_violating_edges(&product.task.universe);
+            product.set_static_removed(removed);
+        }
+        Ok(Verifier { product, options })
+    }
+
+    /// The product system (exposed for inspection and benchmarking).
+    pub fn product(&self) -> &ProductSystem {
+        &self.product
+    }
+
+    /// Run the verification.
+    pub fn verify(&self) -> VerificationResult {
+        // Phase 1: reachability search (finds finite violations).
+        let mut search = KarpMillerSearch::new(
+            &self.product,
+            self.options.coverage(),
+            self.options.data_structure_support,
+            self.options.limits,
+        );
+        let outcome = search.run();
+        let stats = search.stats;
+        match outcome {
+            SearchOutcome::FiniteViolation(node) => {
+                let services: Vec<ServiceRef> =
+                    search.trace(node).into_iter().map(|(s, _)| s).collect();
+                let description = self.describe(&services);
+                VerificationResult {
+                    outcome: VerificationOutcome::Violated,
+                    counterexample: Some(Counterexample {
+                        services,
+                        description,
+                        finite: true,
+                    }),
+                    stats,
+                    repeated_stats: None,
+                }
+            }
+            SearchOutcome::LimitReached => VerificationResult {
+                outcome: VerificationOutcome::Inconclusive,
+                counterexample: None,
+                stats,
+                repeated_stats: None,
+            },
+            SearchOutcome::Exhausted => {
+                if !self.options.check_repeated {
+                    return VerificationResult {
+                        outcome: VerificationOutcome::Satisfied,
+                        counterexample: None,
+                        stats,
+                        repeated_stats: None,
+                    };
+                }
+                // Phase 2: repeated reachability for infinite violations.
+                let repeated = find_infinite_violation(
+                    &self.product,
+                    self.options.repeated_coverage(),
+                    self.options.data_structure_support,
+                    self.options.limits,
+                );
+                let repeated_stats = Some(repeated.stats);
+                if let Some(finite) = repeated.finite_violation {
+                    let description = self.describe(&finite);
+                    return VerificationResult {
+                        outcome: VerificationOutcome::Violated,
+                        counterexample: Some(Counterexample {
+                            services: finite,
+                            description,
+                            finite: true,
+                        }),
+                        stats,
+                        repeated_stats,
+                    };
+                }
+                match repeated.violation {
+                    Some(v) => {
+                        let description = format!(
+                            "{} (infinite run: {})",
+                            self.describe(&v.prefix),
+                            v.reason
+                        );
+                        VerificationResult {
+                            outcome: VerificationOutcome::Violated,
+                            counterexample: Some(Counterexample {
+                                services: v.prefix,
+                                description,
+                                finite: false,
+                            }),
+                            stats,
+                            repeated_stats,
+                        }
+                    }
+                    None if repeated.limit_reached => VerificationResult {
+                        outcome: VerificationOutcome::Inconclusive,
+                        counterexample: None,
+                        stats,
+                        repeated_stats,
+                    },
+                    None => VerificationResult {
+                        outcome: VerificationOutcome::Satisfied,
+                        counterexample: None,
+                        stats,
+                        repeated_stats,
+                    },
+                }
+            }
+        }
+    }
+
+    fn describe(&self, services: &[ServiceRef]) -> String {
+        services
+            .iter()
+            .map(|s| self.product.task.spec.service_name(*s))
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
+    use verifas_model::schema::attr::data;
+    use verifas_model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, TaskId, Term};
+
+    /// Root task with a child whose closing requires approval; the root
+    /// then archives the result.
+    fn approval_spec() -> HasSpec {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Main");
+        let decision = root.data_var("decision");
+        root.service_parts(
+            "archive",
+            Condition::neq(Term::var(decision), Term::Null),
+            Condition::eq(Term::var(decision), Term::Null),
+            vec![],
+            None,
+        );
+        let mut b = SpecBuilder::new("approval", db, root.build());
+        let mut review = TaskBuilder::new("Review");
+        let d = review.data_var("decision");
+        review.outputs([d]);
+        review.opening_pre(Condition::eq(Term::var(decision), Term::Null));
+        review.closing_pre(Condition::or([
+            Condition::eq(Term::var(d), Term::str("Approve")),
+            Condition::eq(Term::var(d), Term::str("Deny")),
+        ]));
+        review.service_parts(
+            "decide",
+            Condition::True,
+            Condition::or([
+                Condition::eq(Term::var(d), Term::str("Approve")),
+                Condition::eq(Term::var(d), Term::str("Deny")),
+            ]),
+            vec![],
+            None,
+        );
+        b.add_child("Main", review.build()).unwrap();
+        b.global_pre(Condition::eq(Term::var(decision), Term::Null));
+        b.build().unwrap()
+    }
+
+    fn decision_is(v: &str) -> Condition {
+        Condition::eq(Term::var(verifas_model::VarId::new(0)), Term::str(v))
+    }
+
+    #[test]
+    fn satisfied_safety_property_on_root_task() {
+        // G ¬(decision = "Garbage"): the review child can only return
+        // Approve or Deny... but the closing drops constraints lazily, so
+        // the verifier conservatively allows any returned value — the
+        // property is therefore *violated* symbolically only if "Garbage"
+        // is producible; it is not mentioned anywhere, yet the child's
+        // output is unconstrained, so the verifier must report a violation.
+        // This documents the over-approximation of child returns.
+        let spec = approval_spec();
+        let property = LtlFoProperty::new(
+            "no-garbage",
+            TaskId::new(0),
+            vec![],
+            Ltl::globally(Ltl::not(Ltl::prop(0))),
+            vec![PropAtom::Condition(decision_is("Garbage"))],
+        );
+        let verifier = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+        let result = verifier.verify();
+        assert_eq!(result.outcome, VerificationOutcome::Violated);
+        assert!(result.counterexample.is_some());
+    }
+
+    #[test]
+    fn violated_property_on_child_task_is_found_with_counterexample() {
+        // On the Review task itself: G ¬(decision = "Deny") is violated by
+        // a finite local run that decides Deny and closes.
+        let spec = approval_spec();
+        let property = LtlFoProperty::new(
+            "never-deny",
+            TaskId::new(1),
+            vec![],
+            Ltl::globally(Ltl::not(Ltl::prop(0))),
+            vec![PropAtom::Condition(decision_is("Deny"))],
+        );
+        let verifier = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+        let result = verifier.verify();
+        assert_eq!(result.outcome, VerificationOutcome::Violated);
+        let cex = result.counterexample.unwrap();
+        assert!(!cex.services.is_empty());
+        assert!(cex.description.contains("Review"));
+    }
+
+    #[test]
+    fn satisfied_property_on_child_task() {
+        // On the Review task: G (close(Review) -> decision ≠ null): the
+        // closing condition forces a decision, so this holds.
+        let spec = approval_spec();
+        let close = verifas_model::ServiceRef::Closing(TaskId::new(1));
+        let property = LtlFoProperty::new(
+            "closed-means-decided",
+            TaskId::new(1),
+            vec![],
+            Ltl::globally(Ltl::implies(Ltl::prop(0), Ltl::prop(1))),
+            vec![
+                PropAtom::Service(close),
+                PropAtom::Condition(Condition::neq(
+                    Term::var(verifas_model::VarId::new(0)),
+                    Term::Null,
+                )),
+            ],
+        );
+        let verifier = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+        let result = verifier.verify();
+        assert_eq!(result.outcome, VerificationOutcome::Satisfied);
+        assert!(result.counterexample.is_none());
+    }
+
+    #[test]
+    fn ablation_options_produce_the_same_verdicts() {
+        let spec = approval_spec();
+        let property = LtlFoProperty::new(
+            "never-deny",
+            TaskId::new(1),
+            vec![],
+            Ltl::globally(Ltl::not(Ltl::prop(0))),
+            vec![PropAtom::Condition(decision_is("Deny"))],
+        );
+        let mut verdicts = Vec::new();
+        for options in [
+            VerifierOptions::default(),
+            VerifierOptions::default().without("SP"),
+            VerifierOptions::default().without("SA"),
+            VerifierOptions::default().without("DSS"),
+            VerifierOptions::no_set(),
+        ] {
+            let verifier = Verifier::new(&spec, &property, options).unwrap();
+            verdicts.push(verifier.verify().outcome);
+        }
+        assert!(verdicts
+            .iter()
+            .all(|v| *v == VerificationOutcome::Violated));
+    }
+
+    #[test]
+    fn elapsed_time_accumulates_phases() {
+        let spec = approval_spec();
+        let property = LtlFoProperty::new(
+            "closed-means-decided",
+            TaskId::new(1),
+            vec![],
+            Ltl::globally(Ltl::prop(0)),
+            vec![PropAtom::Condition(Condition::True)],
+        );
+        let verifier = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+        let result = verifier.verify();
+        assert!(result.elapsed_ms() >= result.stats.elapsed_ms);
+    }
+}

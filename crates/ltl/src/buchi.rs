@@ -1,0 +1,706 @@
+//! LTL → Büchi automaton translation (GPVW tableau) and the *property
+//! automaton* used by the verifier.
+//!
+//! The construction is the classic on-the-fly tableau of Gerth, Peled,
+//! Vardi and Wolper ("Simple on-the-fly automatic verification of linear
+//! temporal logic"), producing a generalized Büchi automaton whose states
+//! carry a *label*: a conjunction of literals that the letter read when
+//! entering the state must satisfy.  The generalized acceptance condition
+//! (one set per until-subformula) is degeneralized with the standard
+//! counter construction.
+//!
+//! [`PropertyAutomaton`] packages the automaton of the *negated*,
+//! finite-trace-embedded property together with the reserved `alive`
+//! proposition and the per-state "padding acceptance" information used to
+//! detect violations by finite local runs (the paper's `Q_fin`).
+
+use crate::formula::{letter_has, Letter, Ltl, PropId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The label of an automaton state: a conjunction of propositional
+/// literals constraining the letter read when *entering* the state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuchiLabel {
+    /// Bitmask of propositions that must be true.
+    pub pos: u64,
+    /// Bitmask of propositions that must be false.
+    pub neg: u64,
+}
+
+impl BuchiLabel {
+    /// `true` iff the letter satisfies every literal of the label.
+    pub fn satisfied_by(&self, letter: Letter) -> bool {
+        (letter & self.pos) == self.pos && (letter & self.neg) == 0
+    }
+
+    /// `true` iff the label requires proposition `p` to be true.
+    pub fn requires_true(&self, p: PropId) -> bool {
+        letter_has(self.pos, p)
+    }
+
+    /// `true` iff the label requires proposition `p` to be false.
+    pub fn requires_false(&self, p: PropId) -> bool {
+        letter_has(self.neg, p)
+    }
+
+    /// Propositions required true, in increasing order.
+    pub fn positives(&self) -> Vec<PropId> {
+        (0..64).filter(|p| letter_has(self.pos, *p)).collect()
+    }
+
+    /// Propositions required false, in increasing order.
+    pub fn negatives(&self) -> Vec<PropId> {
+        (0..64).filter(|p| letter_has(self.neg, *p)).collect()
+    }
+
+    /// `true` iff the label is contradictory (some proposition required
+    /// both true and false).
+    pub fn is_contradictory(&self) -> bool {
+        self.pos & self.neg != 0
+    }
+}
+
+/// A (state-labelled) nondeterministic Büchi automaton.
+///
+/// The automaton reads a letter when *entering* a state: a run over
+/// `a₀a₁a₂…` is a sequence `q₀q₁q₂…` with `q₀` initial,
+/// `a₀ ⊨ label(q₀)`, `qᵢ₊₁ ∈ transitions(qᵢ)` and `aᵢ₊₁ ⊨ label(qᵢ₊₁)`.
+/// It accepts iff some accepting state occurs infinitely often.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuchiAutomaton {
+    /// Per-state labels.
+    pub labels: Vec<BuchiLabel>,
+    /// Per-state outgoing transitions.
+    pub transitions: Vec<Vec<usize>>,
+    /// States a run may start in (reading the first letter).
+    pub initial: Vec<usize>,
+    /// Per-state acceptance flag.
+    pub accepting: Vec<bool>,
+}
+
+impl BuchiAutomaton {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Translate an LTL formula to a Büchi automaton accepting exactly the
+    /// infinite words that satisfy it.
+    pub fn from_ltl(formula: &Ltl) -> Self {
+        let nnf = formula.nnf();
+        let (nodes, untils) = gpvw_expand(&nnf);
+        degeneralize(&nodes, &untils)
+    }
+
+    /// Check acceptance of the ultimately-periodic word `prefix·loop^ω`
+    /// (reference implementation used in tests; exponential-free but not
+    /// optimised).
+    pub fn accepts_lasso(&self, prefix: &[Letter], looped: &[Letter]) -> bool {
+        assert!(!looped.is_empty());
+        let n = prefix.len() + looped.len();
+        let letter = |i: usize| {
+            if i < prefix.len() {
+                prefix[i]
+            } else {
+                looped[i - prefix.len()]
+            }
+        };
+        let next = |i: usize| if i + 1 < n { i + 1 } else { prefix.len() };
+        let node = |q: usize, i: usize| q * n + i;
+        let total = self.num_states() * n;
+        // Forward reachability from the initial configurations.
+        let mut reachable = vec![false; total];
+        let mut stack = Vec::new();
+        for &q0 in &self.initial {
+            if self.labels[q0].satisfied_by(letter(0)) && !reachable[node(q0, 0)] {
+                reachable[node(q0, 0)] = true;
+                stack.push((q0, 0));
+            }
+        }
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); total];
+        while let Some((q, i)) = stack.pop() {
+            let j = next(i);
+            for &q2 in &self.transitions[q] {
+                if self.labels[q2].satisfied_by(letter(j)) {
+                    edges[node(q, i)].push((q2, j));
+                    if !reachable[node(q2, j)] {
+                        reachable[node(q2, j)] = true;
+                        stack.push((q2, j));
+                    }
+                }
+            }
+        }
+        // Rebuild edges for all reachable nodes (the loop above only added
+        // edges when first visiting the source; redo to be exhaustive).
+        for q in 0..self.num_states() {
+            for i in 0..n {
+                if !reachable[node(q, i)] {
+                    continue;
+                }
+                let j = next(i);
+                edges[node(q, i)] = self.transitions[q]
+                    .iter()
+                    .copied()
+                    .filter(|&q2| self.labels[q2].satisfied_by(letter(j)))
+                    .map(|q2| (q2, j))
+                    .collect();
+            }
+        }
+        // An accepting configuration in the loop region that can reach itself.
+        for q in 0..self.num_states() {
+            if !self.accepting[q] {
+                continue;
+            }
+            for i in prefix.len()..n {
+                if !reachable[node(q, i)] {
+                    continue;
+                }
+                // DFS from (q, i) looking for (q, i) again.
+                let mut seen = vec![false; total];
+                let mut stack: Vec<(usize, usize)> = edges[node(q, i)].clone();
+                let mut found = false;
+                while let Some((q2, j)) = stack.pop() {
+                    if (q2, j) == (q, i) {
+                        found = true;
+                        break;
+                    }
+                    if seen[node(q2, j)] {
+                        continue;
+                    }
+                    seen[node(q2, j)] = true;
+                    stack.extend(edges[node(q2, j)].iter().copied());
+                }
+                if found {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A node of the GPVW tableau.
+#[derive(Debug, Clone)]
+struct StoredNode {
+    incoming: BTreeSet<usize>,
+    /// `usize::MAX` in `incoming` denotes the virtual initial node.
+    old: BTreeSet<Ltl>,
+    next: BTreeSet<Ltl>,
+}
+
+const INIT: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct PendingNode {
+    incoming: BTreeSet<usize>,
+    new: BTreeSet<Ltl>,
+    old: BTreeSet<Ltl>,
+    next: BTreeSet<Ltl>,
+}
+
+/// Run the GPVW expansion on an NNF formula.  Returns the tableau nodes and
+/// the list of until-subformulas (for the generalized acceptance sets).
+fn gpvw_expand(nnf: &Ltl) -> (Vec<StoredNode>, Vec<Ltl>) {
+    let mut store: Vec<StoredNode> = Vec::new();
+    let initial = PendingNode {
+        incoming: BTreeSet::from([INIT]),
+        new: BTreeSet::from([nnf.clone()]),
+        old: BTreeSet::new(),
+        next: BTreeSet::new(),
+    };
+    expand(initial, &mut store);
+    let mut untils = Vec::new();
+    collect_untils(nnf, &mut untils);
+    (store, untils)
+}
+
+fn collect_untils(f: &Ltl, out: &mut Vec<Ltl>) {
+    match f {
+        Ltl::True | Ltl::False | Ltl::Prop(_) => {}
+        Ltl::Not(a) | Ltl::Next(a) => collect_untils(a, out),
+        Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Release(a, b) => {
+            collect_untils(a, out);
+            collect_untils(b, out);
+        }
+        Ltl::Until(a, b) => {
+            if !out.contains(f) {
+                out.push(f.clone());
+            }
+            collect_untils(a, out);
+            collect_untils(b, out);
+        }
+    }
+}
+
+fn is_literal(f: &Ltl) -> bool {
+    matches!(f, Ltl::True | Ltl::False | Ltl::Prop(_) | Ltl::Not(_))
+}
+
+/// Negation of a literal (inputs are NNF literals only).
+fn literal_negation(f: &Ltl) -> Ltl {
+    match f {
+        Ltl::True => Ltl::False,
+        Ltl::False => Ltl::True,
+        Ltl::Prop(p) => Ltl::Not(Box::new(Ltl::Prop(*p))),
+        Ltl::Not(inner) => (**inner).clone(),
+        _ => unreachable!("literal_negation called on a non-literal"),
+    }
+}
+
+fn expand(mut node: PendingNode, store: &mut Vec<StoredNode>) {
+    match node.new.iter().next().cloned() {
+        None => {
+            // Fully processed: merge with an equivalent stored node or store.
+            if let Some(existing) = store
+                .iter_mut()
+                .find(|n| n.old == node.old && n.next == node.next)
+            {
+                existing.incoming.extend(node.incoming.iter().copied());
+                return;
+            }
+            let id = store.len();
+            store.push(StoredNode {
+                incoming: node.incoming.clone(),
+                old: node.old.clone(),
+                next: node.next.clone(),
+            });
+            let successor = PendingNode {
+                incoming: BTreeSet::from([id]),
+                new: node.next.clone(),
+                old: BTreeSet::new(),
+                next: BTreeSet::new(),
+            };
+            expand(successor, store);
+        }
+        Some(eta) => {
+            node.new.remove(&eta);
+            if node.old.contains(&eta) {
+                expand(node, store);
+                return;
+            }
+            match &eta {
+                f if is_literal(f) => {
+                    if *f == Ltl::False || node.old.contains(&literal_negation(f)) {
+                        // Contradiction: discard this node.
+                        return;
+                    }
+                    if *f != Ltl::True {
+                        node.old.insert(eta.clone());
+                    }
+                    expand(node, store);
+                }
+                Ltl::And(a, b) => {
+                    for part in [a.as_ref(), b.as_ref()] {
+                        if !node.old.contains(part) {
+                            node.new.insert(part.clone());
+                        }
+                    }
+                    node.old.insert(eta.clone());
+                    expand(node, store);
+                }
+                Ltl::Next(a) => {
+                    node.old.insert(eta.clone());
+                    node.next.insert((**a).clone());
+                    expand(node, store);
+                }
+                Ltl::Or(a, b) | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+                    // Split into two nodes following the GPVW tableau rules.
+                    let (new1, next1, new2): (Vec<Ltl>, Vec<Ltl>, Vec<Ltl>) = match &eta {
+                        Ltl::Or(..) => (vec![(**a).clone()], vec![], vec![(**b).clone()]),
+                        Ltl::Until(..) => (
+                            vec![(**a).clone()],
+                            vec![eta.clone()],
+                            vec![(**b).clone()],
+                        ),
+                        Ltl::Release(..) => (
+                            vec![(**b).clone()],
+                            vec![eta.clone()],
+                            vec![(**a).clone(), (**b).clone()],
+                        ),
+                        _ => unreachable!(),
+                    };
+                    let mut node1 = node.clone();
+                    node1.old.insert(eta.clone());
+                    for f in new1 {
+                        if !node1.old.contains(&f) {
+                            node1.new.insert(f);
+                        }
+                    }
+                    node1.next.extend(next1);
+                    let mut node2 = node;
+                    node2.old.insert(eta.clone());
+                    for f in new2 {
+                        if !node2.old.contains(&f) {
+                            node2.new.insert(f);
+                        }
+                    }
+                    expand(node1, store);
+                    expand(node2, store);
+                }
+                _ => unreachable!("unexpected formula shape in GPVW expansion"),
+            }
+        }
+    }
+}
+
+/// Turn the tableau into a Büchi automaton, degeneralizing the per-until
+/// acceptance sets with the counter construction.
+fn degeneralize(nodes: &[StoredNode], untils: &[Ltl]) -> BuchiAutomaton {
+    let n = nodes.len();
+    // Per-node label and (generalized) acceptance membership.
+    let mut labels = Vec::with_capacity(n);
+    for node in nodes {
+        let mut label = BuchiLabel::default();
+        for f in &node.old {
+            match f {
+                Ltl::Prop(p) => label.pos |= 1u64 << p,
+                Ltl::Not(inner) => {
+                    if let Ltl::Prop(p) = inner.as_ref() {
+                        label.neg |= 1u64 << p;
+                    }
+                }
+                _ => {}
+            }
+        }
+        labels.push(label);
+    }
+    let in_accept_set = |node: &StoredNode, until: &Ltl| -> bool {
+        let Ltl::Until(_, b) = until else { return true };
+        !node.old.contains(until) || node.old.contains(b.as_ref())
+    };
+    // Base (generalized) transition relation: q -> r iff q ∈ r.incoming.
+    let mut base_trans: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut base_initial: Vec<usize> = Vec::new();
+    for (r, node) in nodes.iter().enumerate() {
+        for &q in &node.incoming {
+            if q == INIT {
+                base_initial.push(r);
+            } else {
+                base_trans[q].push(r);
+            }
+        }
+    }
+    let k = untils.len();
+    if k == 0 {
+        return BuchiAutomaton {
+            labels,
+            transitions: base_trans,
+            initial: base_initial,
+            accepting: vec![true; n],
+        };
+    }
+    // Counter construction: states are (node, counter) with counter in 0..k.
+    let idx = |q: usize, c: usize| q * k + c;
+    let mut labels2 = Vec::with_capacity(n * k);
+    let mut accepting = vec![false; n * k];
+    for q in 0..n {
+        for c in 0..k {
+            labels2.push(labels[q].clone());
+            if c == 0 && in_accept_set(&nodes[q], &untils[0]) {
+                accepting[idx(q, c)] = true;
+            }
+        }
+    }
+    let mut transitions = vec![Vec::new(); n * k];
+    for q in 0..n {
+        for c in 0..k {
+            let c_next = if in_accept_set(&nodes[q], &untils[c]) {
+                (c + 1) % k
+            } else {
+                c
+            };
+            for &r in &base_trans[q] {
+                transitions[idx(q, c)].push(idx(r, c_next));
+            }
+        }
+    }
+    let initial = base_initial.iter().map(|&q| idx(q, 0)).collect();
+    BuchiAutomaton {
+        labels: labels2,
+        transitions,
+        initial,
+        accepting,
+    }
+}
+
+/// The automaton used by the verifier to search for *violations* of an
+/// LTL property over the local runs of a task.
+///
+/// It is the Büchi automaton of `finite_embedding(nnf(¬φ), alive)`:
+///
+/// * on infinite (never-closing) local runs — where every letter carries
+///   `alive` — it accepts exactly the runs violating `φ`,
+/// * on finite local runs (the task closes), acceptance of the padded word
+///   `w · ∅^ω` is pre-computed per state in `padding_accepting`: after the
+///   closing letter drives the automaton into state `q`, the finite run
+///   violates `φ` iff `padding_accepting[q]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropertyAutomaton {
+    /// The underlying Büchi automaton (over the property's propositions
+    /// plus `alive`).
+    pub buchi: BuchiAutomaton,
+    /// The reserved `alive` proposition.
+    pub alive: PropId,
+    /// Per-state flag: can an accepting run be completed from this state by
+    /// reading only the padding letter (no proposition true)?
+    pub padding_accepting: Vec<bool>,
+}
+
+impl PropertyAutomaton {
+    /// Build the violation automaton for `property` (the *positive*
+    /// property; the negation is taken internally).  `alive` must be a
+    /// proposition id not used by the property.
+    pub fn for_violations(property: &Ltl, alive: PropId) -> Self {
+        assert!(
+            !property.props().contains(&alive),
+            "the alive proposition must not occur in the property"
+        );
+        let negated = property.negated_nnf();
+        let embedded = negated.finite_embedding(alive);
+        let buchi = BuchiAutomaton::from_ltl(&embedded);
+        let padding_accepting = compute_padding_acceptance(&buchi);
+        PropertyAutomaton {
+            buchi,
+            alive,
+            padding_accepting,
+        }
+    }
+
+    /// States that a violating run may start in while reading a real
+    /// (alive) letter whose set of true propositions is `letter`
+    /// (`alive` is added internally).
+    pub fn initial_states_for(&self, letter: Letter) -> Vec<usize> {
+        let letter = letter | (1u64 << self.alive);
+        self.buchi
+            .initial
+            .iter()
+            .copied()
+            .filter(|&q| self.buchi.labels[q].satisfied_by(letter))
+            .collect()
+    }
+
+    /// Successor states from `state` reading a real (alive) letter.
+    pub fn successors_for(&self, state: usize, letter: Letter) -> Vec<usize> {
+        let letter = letter | (1u64 << self.alive);
+        self.buchi.transitions[state]
+            .iter()
+            .copied()
+            .filter(|&q| self.buchi.labels[q].satisfied_by(letter))
+            .collect()
+    }
+}
+
+/// For each state, can an accepting run be completed reading only the
+/// all-false padding letter?
+fn compute_padding_acceptance(buchi: &BuchiAutomaton) -> Vec<bool> {
+    let n = buchi.num_states();
+    let padding: Letter = 0;
+    // Restricted graph: q -> r if r is a successor whose label accepts the
+    // padding letter.
+    let succ: Vec<Vec<usize>> = (0..n)
+        .map(|q| {
+            buchi.transitions[q]
+                .iter()
+                .copied()
+                .filter(|&r| buchi.labels[r].satisfied_by(padding))
+                .collect()
+        })
+        .collect();
+    // Accepting states lying on a cycle of the restricted graph.
+    let mut on_accepting_cycle = vec![false; n];
+    for q in 0..n {
+        if !buchi.accepting[q] {
+            continue;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = succ[q].clone();
+        while let Some(r) = stack.pop() {
+            if r == q {
+                on_accepting_cycle[q] = true;
+                break;
+            }
+            if seen[r] {
+                continue;
+            }
+            seen[r] = true;
+            stack.extend(succ[r].iter().copied());
+        }
+    }
+    // Backward reachability: states from which some accepting cycle state
+    // is reachable in the restricted graph.
+    let mut result = vec![false; n];
+    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for q in 0..n {
+        for &r in &succ[q] {
+            pred[r].push(q);
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&q| on_accepting_cycle[q]).collect();
+    for &q in &stack {
+        result[q] = true;
+    }
+    while let Some(q) = stack.pop() {
+        for &p in &pred[q] {
+            if !result[p] {
+                result[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::letter_of;
+
+    fn p(i: PropId) -> Ltl {
+        Ltl::prop(i)
+    }
+
+    #[test]
+    fn globally_automaton_accepts_only_constant_words() {
+        let b = BuchiAutomaton::from_ltl(&Ltl::globally(p(0)));
+        let a = letter_of(&[0]);
+        let empty = 0u64;
+        assert!(b.accepts_lasso(&[], &[a]));
+        assert!(b.accepts_lasso(&[a, a], &[a]));
+        assert!(!b.accepts_lasso(&[], &[empty]));
+        assert!(!b.accepts_lasso(&[a], &[a, empty]));
+    }
+
+    #[test]
+    fn eventually_automaton() {
+        let b = BuchiAutomaton::from_ltl(&Ltl::eventually(p(1)));
+        let w1 = letter_of(&[1]);
+        let empty = 0u64;
+        assert!(b.accepts_lasso(&[empty, empty, w1], &[empty]));
+        assert!(b.accepts_lasso(&[], &[w1]));
+        assert!(!b.accepts_lasso(&[empty], &[empty]));
+    }
+
+    #[test]
+    fn until_automaton() {
+        let b = BuchiAutomaton::from_ltl(&Ltl::until(p(0), p(1)));
+        let a = letter_of(&[0]);
+        let w1 = letter_of(&[1]);
+        let empty = 0u64;
+        assert!(b.accepts_lasso(&[a, a, w1], &[empty]));
+        assert!(!b.accepts_lasso(&[a, empty, w1], &[empty]));
+        assert!(!b.accepts_lasso(&[a], &[a]));
+    }
+
+    #[test]
+    fn response_property_automaton() {
+        // G(p0 -> F p1)
+        let f = Ltl::globally(Ltl::implies(p(0), Ltl::eventually(p(1))));
+        let b = BuchiAutomaton::from_ltl(&f);
+        let a = letter_of(&[0]);
+        let w1 = letter_of(&[1]);
+        let empty = 0u64;
+        assert!(b.accepts_lasso(&[], &[a, w1]));
+        assert!(b.accepts_lasso(&[], &[empty]));
+        assert!(!b.accepts_lasso(&[a], &[empty]));
+        assert!(b.accepts_lasso(&[], &[a, w1, a, w1]));
+    }
+
+    /// Exhaustive agreement between the automaton and the direct lasso
+    /// semantics on all small lassos for a family of formulas.
+    #[test]
+    fn automaton_agrees_with_lasso_semantics() {
+        let formulas = vec![
+            Ltl::globally(p(0)),
+            Ltl::eventually(p(0)),
+            Ltl::until(p(0), p(1)),
+            Ltl::release(p(0), p(1)),
+            Ltl::next(p(1)),
+            Ltl::globally(Ltl::implies(p(0), Ltl::eventually(p(1)))),
+            Ltl::globally(Ltl::eventually(p(0))),
+            Ltl::eventually(Ltl::globally(p(0))),
+            Ltl::implies(Ltl::globally(Ltl::eventually(p(0))), Ltl::globally(Ltl::eventually(p(1)))),
+            Ltl::and(Ltl::eventually(p(0)), Ltl::globally(Ltl::not(p(1)))),
+            Ltl::or(Ltl::globally(p(0)), Ltl::globally(p(1))),
+            Ltl::not(Ltl::until(p(0), p(1))),
+        ];
+        // All lassos with prefix length <= 2 and loop length 1..=2 over 2 props.
+        for f in formulas {
+            let b = BuchiAutomaton::from_ltl(&f);
+            for plen in 0..=2usize {
+                for llen in 1..=2usize {
+                    let total = plen + llen;
+                    for bits in 0..(1u32 << (2 * total)) {
+                        let letters: Vec<Letter> = (0..total)
+                            .map(|i| ((bits >> (2 * i)) & 0b11) as u64)
+                            .collect();
+                        let (prefix, looped) = letters.split_at(plen);
+                        let expected = f.eval_lasso(prefix, looped);
+                        let got = b.accepts_lasso(prefix, looped);
+                        assert_eq!(
+                            expected, got,
+                            "automaton disagreement for {f} on prefix {prefix:?} loop {looped:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property_automaton_padding_detects_finite_violations() {
+        // Property: G p0.  A finite run with a letter lacking p0 violates it.
+        let alive = 5;
+        let pa = PropertyAutomaton::for_violations(&Ltl::globally(p(0)), alive);
+        // Simulate reading the one-letter word {p0}: no violation possible.
+        let good_states = pa.initial_states_for(letter_of(&[0]));
+        assert!(good_states.iter().all(|&q| !pa.padding_accepting[q]));
+        // Reading the one-letter word {} (p0 false): violation.
+        let bad_states = pa.initial_states_for(0);
+        assert!(bad_states.iter().any(|&q| pa.padding_accepting[q]));
+    }
+
+    #[test]
+    fn property_automaton_padding_eventually() {
+        // Property: F p1.  Any finite run without p1 violates it; a run
+        // containing p1 does not.
+        let alive = 5;
+        let pa = PropertyAutomaton::for_violations(&Ltl::eventually(p(1)), alive);
+        // One-letter run without p1.
+        assert!(pa
+            .initial_states_for(0)
+            .iter()
+            .any(|&q| pa.padding_accepting[q]));
+        // Two-letter run: {} then {p1}.
+        let mut violating_after_two = false;
+        for q0 in pa.initial_states_for(0) {
+            for q1 in pa.successors_for(q0, letter_of(&[1])) {
+                violating_after_two |= pa.padding_accepting[q1];
+            }
+        }
+        assert!(!violating_after_two);
+    }
+
+    #[test]
+    fn property_automaton_rejects_alive_in_property() {
+        let result = std::panic::catch_unwind(|| PropertyAutomaton::for_violations(&p(3), 3));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn labels_expose_literals() {
+        let label = BuchiLabel {
+            pos: letter_of(&[1, 3]),
+            neg: letter_of(&[2]),
+        };
+        assert!(label.requires_true(1));
+        assert!(label.requires_false(2));
+        assert!(!label.requires_true(2));
+        assert_eq!(label.positives(), vec![1, 3]);
+        assert_eq!(label.negatives(), vec![2]);
+        assert!(!label.is_contradictory());
+        assert!(label.satisfied_by(letter_of(&[1, 3])));
+        assert!(!label.satisfied_by(letter_of(&[1, 2, 3])));
+        assert!(!label.satisfied_by(letter_of(&[1])));
+    }
+}

@@ -1,0 +1,522 @@
+//! Propositional linear-time temporal logic (LTL) formulas.
+//!
+//! LTL formulas are built over opaque proposition identifiers
+//! ([`PropId`]); the mapping from propositions to first-order conditions or
+//! services of a HAS\* task lives in [`crate::ltlfo`].  Besides the usual
+//! constructors the module provides
+//!
+//! * negation normal form ([`Ltl::nnf`]) used by the Büchi construction,
+//! * a reference semantics over ultimately-periodic ("lasso") words
+//!   ([`Ltl::eval_lasso`]) used to cross-check the automaton construction,
+//! * the *alive* embedding ([`Ltl::finite_embedding`]) translating
+//!   finite-trace (LTLf) satisfaction into infinite-trace satisfaction over
+//!   words padded with a `¬alive` suffix — this is how VERIFAS handles
+//!   local runs that terminate (the paper's `Q_fin` mechanism).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of an (opaque) atomic proposition.
+pub type PropId = u32;
+
+/// A truth assignment to propositions, encoded as a bit set (proposition
+/// `i` is true iff bit `i` is set).  Sufficient for the ≤ 64 propositions
+/// used anywhere in this project.
+pub type Letter = u64;
+
+/// `true` iff proposition `p` holds in `letter`.
+pub fn letter_has(letter: Letter, p: PropId) -> bool {
+    letter & (1u64 << p) != 0
+}
+
+/// Build a letter from the list of true propositions.
+pub fn letter_of(props: &[PropId]) -> Letter {
+    props.iter().fold(0u64, |acc, p| acc | (1u64 << p))
+}
+
+/// An LTL formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Ltl {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Atomic proposition.
+    Prop(PropId),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Next (`X φ`).
+    Next(Box<Ltl>),
+    /// Until (`φ U ψ`).
+    Until(Box<Ltl>, Box<Ltl>),
+    /// Release (`φ R ψ`), the dual of until.
+    Release(Box<Ltl>, Box<Ltl>),
+}
+
+impl Ltl {
+    /// Atomic proposition.
+    pub fn prop(p: PropId) -> Ltl {
+        Ltl::Prop(p)
+    }
+
+    /// Negation (with trivial simplifications).
+    pub fn not(f: Ltl) -> Ltl {
+        match f {
+            Ltl::True => Ltl::False,
+            Ltl::False => Ltl::True,
+            Ltl::Not(inner) => *inner,
+            other => Ltl::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction (with unit simplifications).
+    pub fn and(a: Ltl, b: Ltl) -> Ltl {
+        match (a, b) {
+            (Ltl::False, _) | (_, Ltl::False) => Ltl::False,
+            (Ltl::True, x) | (x, Ltl::True) => x,
+            (a, b) => Ltl::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction (with unit simplifications).
+    pub fn or(a: Ltl, b: Ltl) -> Ltl {
+        match (a, b) {
+            (Ltl::True, _) | (_, Ltl::True) => Ltl::True,
+            (Ltl::False, x) | (x, Ltl::False) => x,
+            (a, b) => Ltl::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Implication `a → b` encoded as `¬a ∨ b`.
+    pub fn implies(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::or(Ltl::not(a), b)
+    }
+
+    /// Next.
+    pub fn next(f: Ltl) -> Ltl {
+        Ltl::Next(Box::new(f))
+    }
+
+    /// Until.
+    pub fn until(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::Until(Box::new(a), Box::new(b))
+    }
+
+    /// Release.
+    pub fn release(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::Release(Box::new(a), Box::new(b))
+    }
+
+    /// Eventually (`F φ = true U φ`).
+    pub fn eventually(f: Ltl) -> Ltl {
+        Ltl::until(Ltl::True, f)
+    }
+
+    /// Always (`G φ = false R φ`).
+    pub fn globally(f: Ltl) -> Ltl {
+        Ltl::release(Ltl::False, f)
+    }
+
+    /// Negation normal form: negations pushed down to propositions using
+    /// the dualities `¬X = X¬`, `¬(φ U ψ) = ¬φ R ¬ψ`, `¬(φ R ψ) = ¬φ U ¬ψ`.
+    pub fn nnf(&self) -> Ltl {
+        fn go(f: &Ltl, neg: bool) -> Ltl {
+            match f {
+                Ltl::True => {
+                    if neg {
+                        Ltl::False
+                    } else {
+                        Ltl::True
+                    }
+                }
+                Ltl::False => {
+                    if neg {
+                        Ltl::True
+                    } else {
+                        Ltl::False
+                    }
+                }
+                Ltl::Prop(p) => {
+                    if neg {
+                        Ltl::Not(Box::new(Ltl::Prop(*p)))
+                    } else {
+                        Ltl::Prop(*p)
+                    }
+                }
+                Ltl::Not(inner) => go(inner, !neg),
+                Ltl::And(a, b) => {
+                    let (a, b) = (go(a, neg), go(b, neg));
+                    if neg {
+                        Ltl::or(a, b)
+                    } else {
+                        Ltl::and(a, b)
+                    }
+                }
+                Ltl::Or(a, b) => {
+                    let (a, b) = (go(a, neg), go(b, neg));
+                    if neg {
+                        Ltl::and(a, b)
+                    } else {
+                        Ltl::or(a, b)
+                    }
+                }
+                Ltl::Next(inner) => Ltl::next(go(inner, neg)),
+                Ltl::Until(a, b) => {
+                    let (a, b) = (go(a, neg), go(b, neg));
+                    if neg {
+                        Ltl::release(a, b)
+                    } else {
+                        Ltl::until(a, b)
+                    }
+                }
+                Ltl::Release(a, b) => {
+                    let (a, b) = (go(a, neg), go(b, neg));
+                    if neg {
+                        Ltl::until(a, b)
+                    } else {
+                        Ltl::release(a, b)
+                    }
+                }
+            }
+        }
+        go(self, false)
+    }
+
+    /// The negated formula, in negation normal form.
+    pub fn negated_nnf(&self) -> Ltl {
+        Ltl::not(self.clone()).nnf()
+    }
+
+    /// All proposition identifiers occurring in the formula.
+    pub fn props(&self) -> BTreeSet<PropId> {
+        let mut out = BTreeSet::new();
+        fn go(f: &Ltl, out: &mut BTreeSet<PropId>) {
+            match f {
+                Ltl::True | Ltl::False => {}
+                Ltl::Prop(p) => {
+                    out.insert(*p);
+                }
+                Ltl::Not(a) | Ltl::Next(a) => go(a, out),
+                Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Number of nodes of the syntax tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) => 1,
+            Ltl::Not(a) | Ltl::Next(a) => 1 + a.size(),
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+                1 + a.size() + b.size()
+            }
+        }
+    }
+
+    /// The *alive* embedding of finite-trace (LTLf) semantics into standard
+    /// infinite-trace semantics (De Giacomo & Vardi).  Given a reserved
+    /// proposition `alive` that holds exactly on the positions of the
+    /// original finite word (and is false on the infinite padding that
+    /// follows it), the returned formula is satisfied by
+    /// `w · padding^ω` iff the finite word `w` satisfies `self` under
+    /// finite-trace semantics with *strong* next.
+    ///
+    /// The formula must be in negation normal form (call [`Ltl::nnf`]
+    /// first); propositions are guarded so that their value on padding
+    /// positions is irrelevant.
+    pub fn finite_embedding(&self, alive: PropId) -> Ltl {
+        let alive_f = Ltl::prop(alive);
+        let not_alive = Ltl::not(Ltl::prop(alive));
+        match self {
+            Ltl::True => Ltl::True,
+            Ltl::False => Ltl::False,
+            Ltl::Prop(_) | Ltl::Not(_) => self.clone(),
+            Ltl::And(a, b) => Ltl::and(a.finite_embedding(alive), b.finite_embedding(alive)),
+            Ltl::Or(a, b) => Ltl::or(a.finite_embedding(alive), b.finite_embedding(alive)),
+            // Strong next: there must be a next position of the finite word.
+            Ltl::Next(a) => Ltl::next(Ltl::and(alive_f, a.finite_embedding(alive))),
+            // The witness position of an until must be a real position.
+            Ltl::Until(a, b) => Ltl::until(
+                a.finite_embedding(alive),
+                Ltl::and(alive_f, b.finite_embedding(alive)),
+            ),
+            // Release only constrains real positions.
+            Ltl::Release(a, b) => Ltl::release(
+                a.finite_embedding(alive),
+                Ltl::or(not_alive, b.finite_embedding(alive)),
+            ),
+        }
+    }
+
+    /// Reference semantics over an ultimately-periodic word
+    /// `prefix · looped^ω` (the loop must be non-empty).  Used to validate
+    /// the Büchi construction; complexity is `O(|φ|·(|prefix|+|loop|)²)`,
+    /// fine for tests.
+    pub fn eval_lasso(&self, prefix: &[Letter], looped: &[Letter]) -> bool {
+        assert!(!looped.is_empty(), "the loop of a lasso word must be non-empty");
+        let n = prefix.len() + looped.len();
+        let letter = |i: usize| -> Letter {
+            if i < prefix.len() {
+                prefix[i]
+            } else {
+                looped[i - prefix.len()]
+            }
+        };
+        let next = |i: usize| -> usize {
+            if i + 1 < n {
+                i + 1
+            } else {
+                prefix.len()
+            }
+        };
+        // Evaluate bottom-up; truth vector per subformula, fixpoints for
+        // until/release.
+        fn eval(
+            f: &Ltl,
+            n: usize,
+            letter: &dyn Fn(usize) -> Letter,
+            next: &dyn Fn(usize) -> usize,
+        ) -> Vec<bool> {
+            match f {
+                Ltl::True => vec![true; n],
+                Ltl::False => vec![false; n],
+                Ltl::Prop(p) => (0..n).map(|i| letter_has(letter(i), *p)).collect(),
+                Ltl::Not(a) => eval(a, n, letter, next).into_iter().map(|b| !b).collect(),
+                Ltl::And(a, b) => {
+                    let (va, vb) = (eval(a, n, letter, next), eval(b, n, letter, next));
+                    va.into_iter().zip(vb).map(|(x, y)| x && y).collect()
+                }
+                Ltl::Or(a, b) => {
+                    let (va, vb) = (eval(a, n, letter, next), eval(b, n, letter, next));
+                    va.into_iter().zip(vb).map(|(x, y)| x || y).collect()
+                }
+                Ltl::Next(a) => {
+                    let va = eval(a, n, letter, next);
+                    (0..n).map(|i| va[next(i)]).collect()
+                }
+                Ltl::Until(a, b) => {
+                    let (va, vb) = (eval(a, n, letter, next), eval(b, n, letter, next));
+                    // Least fixpoint of v = vb ∨ (va ∧ v∘next).
+                    let mut v = vec![false; n];
+                    loop {
+                        let mut changed = false;
+                        for i in (0..n).rev() {
+                            let new = vb[i] || (va[i] && v[next(i)]);
+                            if new != v[i] {
+                                v[i] = new;
+                                changed = true;
+                            }
+                        }
+                        if !changed {
+                            break;
+                        }
+                    }
+                    v
+                }
+                Ltl::Release(a, b) => {
+                    let (va, vb) = (eval(a, n, letter, next), eval(b, n, letter, next));
+                    // Greatest fixpoint of v = vb ∧ (va ∨ v∘next).
+                    let mut v = vec![true; n];
+                    loop {
+                        let mut changed = false;
+                        for i in (0..n).rev() {
+                            let new = vb[i] && (va[i] || v[next(i)]);
+                            if new != v[i] {
+                                v[i] = new;
+                                changed = true;
+                            }
+                        }
+                        if !changed {
+                            break;
+                        }
+                    }
+                    v
+                }
+            }
+        }
+        eval(self, n, &letter, &next)[0]
+    }
+
+    /// Finite-trace (LTLf) semantics with strong next, evaluated directly
+    /// on a finite non-empty word.  Used as the concrete-run oracle.
+    pub fn eval_finite(&self, word: &[Letter]) -> bool {
+        assert!(!word.is_empty(), "LTLf semantics is defined on non-empty words");
+        fn at(f: &Ltl, word: &[Letter], i: usize) -> bool {
+            match f {
+                Ltl::True => true,
+                Ltl::False => false,
+                Ltl::Prop(p) => letter_has(word[i], *p),
+                Ltl::Not(a) => !at(a, word, i),
+                Ltl::And(a, b) => at(a, word, i) && at(b, word, i),
+                Ltl::Or(a, b) => at(a, word, i) || at(b, word, i),
+                Ltl::Next(a) => i + 1 < word.len() && at(a, word, i + 1),
+                Ltl::Until(a, b) => (i..word.len())
+                    .any(|j| at(b, word, j) && (i..j).all(|k| at(a, word, k))),
+                Ltl::Release(a, b) => (i..word.len()).all(|j| {
+                    at(b, word, j) || (i..j).any(|k| at(a, word, k))
+                }),
+            }
+        }
+        at(self, word, 0)
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Prop(p) => write!(f, "p{p}"),
+            Ltl::Not(a) => write!(f, "¬({a})"),
+            Ltl::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Ltl::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Ltl::Next(a) => write!(f, "X({a})"),
+            Ltl::Until(a, b) => write!(f, "({a} U {b})"),
+            Ltl::Release(a, b) => write!(f, "({a} R {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: PropId) -> Ltl {
+        Ltl::prop(i)
+    }
+
+    #[test]
+    fn constructors_simplify_units() {
+        assert_eq!(Ltl::and(Ltl::True, p(0)), p(0));
+        assert_eq!(Ltl::and(Ltl::False, p(0)), Ltl::False);
+        assert_eq!(Ltl::or(Ltl::False, p(0)), p(0));
+        assert_eq!(Ltl::or(Ltl::True, p(0)), Ltl::True);
+        assert_eq!(Ltl::not(Ltl::not(p(0))), p(0));
+        assert_eq!(Ltl::not(Ltl::True), Ltl::False);
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        let f = Ltl::not(Ltl::until(p(0), p(1)));
+        assert_eq!(f.nnf(), Ltl::release(Ltl::not(p(0)).nnf(), Ltl::not(p(1)).nnf()));
+        let g = Ltl::not(Ltl::globally(p(0)));
+        // ¬G p = F ¬p = true U ¬p
+        assert_eq!(g.nnf(), Ltl::until(Ltl::True, Ltl::Not(Box::new(p(0)))));
+        let h = Ltl::not(Ltl::next(p(2)));
+        assert_eq!(h.nnf(), Ltl::next(Ltl::Not(Box::new(p(2)))));
+    }
+
+    #[test]
+    fn props_and_size() {
+        let f = Ltl::until(p(0), Ltl::and(p(3), Ltl::next(p(1))));
+        assert_eq!(f.props().into_iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(f.size(), 6);
+    }
+
+    #[test]
+    fn lasso_semantics_globally_eventually() {
+        let a = letter_of(&[0]);
+        let b = letter_of(&[1]);
+        let empty = letter_of(&[]);
+        // G p0 on (a)^ω
+        assert!(Ltl::globally(p(0)).eval_lasso(&[], &[a]));
+        assert!(!Ltl::globally(p(0)).eval_lasso(&[], &[a, b]));
+        // F p1 with p1 only in the loop
+        assert!(Ltl::eventually(p(1)).eval_lasso(&[empty, empty], &[b]));
+        // F p1 never true
+        assert!(!Ltl::eventually(p(1)).eval_lasso(&[empty], &[a]));
+        // GF p0 on alternating loop
+        assert!(Ltl::globally(Ltl::eventually(p(0))).eval_lasso(&[], &[a, b]));
+        // FG p0 on alternating loop is false
+        assert!(!Ltl::eventually(Ltl::globally(p(0))).eval_lasso(&[], &[a, b]));
+    }
+
+    #[test]
+    fn lasso_semantics_until_release_next() {
+        let a = letter_of(&[0]);
+        let b = letter_of(&[1]);
+        let ab = letter_of(&[0, 1]);
+        let empty = 0u64;
+        // p0 U p1 on a a b ...
+        assert!(Ltl::until(p(0), p(1)).eval_lasso(&[a, a], &[b]));
+        assert!(!Ltl::until(p(0), p(1)).eval_lasso(&[a, empty], &[b]));
+        // p0 R p1: p1 must hold until (and including when) p0 holds.
+        assert!(Ltl::release(p(0), p(1)).eval_lasso(&[b, b], &[ab]));
+        assert!(Ltl::release(p(0), p(1)).eval_lasso(&[], &[b]));
+        assert!(!Ltl::release(p(0), p(1)).eval_lasso(&[b], &[empty]));
+        // X p1
+        assert!(Ltl::next(p(1)).eval_lasso(&[a], &[b]));
+        assert!(!Ltl::next(p(1)).eval_lasso(&[a], &[a]));
+    }
+
+    #[test]
+    fn finite_semantics_strong_next_and_until() {
+        let a = letter_of(&[0]);
+        let b = letter_of(&[1]);
+        // X p at the last position is false under strong next.
+        assert!(!Ltl::next(p(0)).eval_finite(&[a]));
+        assert!(Ltl::next(p(1)).eval_finite(&[a, b]));
+        // G p on a finite word only constrains real positions.
+        assert!(Ltl::globally(p(0)).eval_finite(&[a, a, a]));
+        assert!(!Ltl::globally(p(0)).eval_finite(&[a, b]));
+        // F p requires a real witness.
+        assert!(Ltl::eventually(p(1)).eval_finite(&[a, a, b]));
+        assert!(!Ltl::eventually(p(1)).eval_finite(&[a, a]));
+        // Until with witness at the last position.
+        assert!(Ltl::until(p(0), p(1)).eval_finite(&[a, a, b]));
+        assert!(!Ltl::until(p(0), p(1)).eval_finite(&[a, a]));
+    }
+
+    #[test]
+    fn finite_embedding_matches_finite_semantics() {
+        // Exhaustively compare LTLf satisfaction with the alive-embedded
+        // formula evaluated on the padded infinite word, over all words of
+        // length ≤ 4 on 2 propositions, for a few representative formulas.
+        let alive: PropId = 2;
+        let formulas = vec![
+            Ltl::globally(p(0)),
+            Ltl::eventually(p(1)),
+            Ltl::until(p(0), p(1)),
+            Ltl::next(p(0)),
+            Ltl::globally(Ltl::implies(p(0), Ltl::eventually(p(1)))),
+            Ltl::release(p(0), p(1)),
+            Ltl::and(Ltl::eventually(p(0)), Ltl::globally(Ltl::not(p(1)))),
+        ];
+        for f in formulas {
+            let embedded = f.nnf().finite_embedding(alive);
+            for len in 1..=4usize {
+                for bits in 0..(1u32 << (2 * len)) {
+                    let word: Vec<Letter> = (0..len)
+                        .map(|i| {
+                            let chunk = (bits >> (2 * i)) & 0b11;
+                            (chunk as u64) | (1u64 << alive)
+                        })
+                        .collect();
+                    let finite = f.eval_finite(&word);
+                    // Pad with the all-false (not alive) letter.
+                    let infinite = embedded.eval_lasso(&word, &[0u64]);
+                    assert_eq!(
+                        finite, infinite,
+                        "formula {f} disagrees on word {word:?} (finite={finite})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let f = Ltl::until(p(0), Ltl::and(p(1), Ltl::next(p(2))));
+        assert_eq!(f.to_string(), "(p0 U (p1 ∧ X(p2)))");
+    }
+}

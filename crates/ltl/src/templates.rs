@@ -1,0 +1,206 @@
+//! The LTL property templates of Table 4 of the paper.
+//!
+//! The benchmark instantiates each template by replacing its placeholder
+//! propositions `ϕ` and `ψ` with FO conditions drawn from the
+//! pre/post-conditions of the specification under test (see
+//! `verifas-workloads::properties`).  The eleven non-trivial templates are
+//! the safety/liveness/fairness examples collected by Sistla ("Safety,
+//! liveness and fairness in temporal logic"); `False` is the baseline
+//! property whose Büchi automaton is a single accepting loop.
+
+use crate::formula::Ltl;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a template, as reported in Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PropertyClass {
+    /// The trivial `False` baseline.
+    Baseline,
+    /// Safety properties.
+    Safety,
+    /// Liveness properties.
+    Liveness,
+    /// Fairness properties.
+    Fairness,
+}
+
+/// One row of Table 4: a named LTL template over at most two placeholder
+/// propositions.
+#[derive(Debug, Clone, Copy)]
+pub struct LtlTemplate {
+    /// Stable identifier (index into [`all_templates`]).
+    pub id: usize,
+    /// Human-readable rendering used in reports (matches the paper).
+    pub name: &'static str,
+    /// Safety / liveness / fairness class.
+    pub class: PropertyClass,
+    /// Number of placeholder propositions used (0, 1 or 2).
+    pub arity: usize,
+    build: fn(&Ltl, &Ltl) -> Ltl,
+}
+
+impl LtlTemplate {
+    /// Instantiate the template with concrete propositions (formulas) for
+    /// `ϕ` and `ψ`; unused placeholders are ignored.
+    pub fn instantiate(&self, phi: &Ltl, psi: &Ltl) -> Ltl {
+        (self.build)(phi, psi)
+    }
+}
+
+fn t_false(_: &Ltl, _: &Ltl) -> Ltl {
+    Ltl::False
+}
+fn t_g(phi: &Ltl, _: &Ltl) -> Ltl {
+    Ltl::globally(phi.clone())
+}
+fn t_not_until(phi: &Ltl, psi: &Ltl) -> Ltl {
+    Ltl::until(Ltl::not(phi.clone()), psi.clone())
+}
+fn t_absence_after(phi: &Ltl, psi: &Ltl) -> Ltl {
+    Ltl::and(
+        Ltl::until(Ltl::not(phi.clone()), psi.clone()),
+        Ltl::globally(Ltl::implies(
+            phi.clone(),
+            Ltl::next(Ltl::until(Ltl::not(phi.clone()), psi.clone())),
+        )),
+    )
+}
+fn t_bounded_response(phi: &Ltl, psi: &Ltl) -> Ltl {
+    Ltl::globally(Ltl::implies(
+        phi.clone(),
+        Ltl::or(
+            psi.clone(),
+            Ltl::or(Ltl::next(psi.clone()), Ltl::next(Ltl::next(psi.clone()))),
+        ),
+    ))
+}
+fn t_stability(phi: &Ltl, _: &Ltl) -> Ltl {
+    Ltl::globally(Ltl::or(
+        phi.clone(),
+        Ltl::globally(Ltl::not(phi.clone())),
+    ))
+}
+fn t_response(phi: &Ltl, psi: &Ltl) -> Ltl {
+    Ltl::globally(Ltl::implies(phi.clone(), Ltl::eventually(psi.clone())))
+}
+fn t_eventually(phi: &Ltl, _: &Ltl) -> Ltl {
+    Ltl::eventually(phi.clone())
+}
+fn t_strong_fairness(phi: &Ltl, psi: &Ltl) -> Ltl {
+    Ltl::implies(
+        Ltl::globally(Ltl::eventually(phi.clone())),
+        Ltl::globally(Ltl::eventually(psi.clone())),
+    )
+}
+fn t_recurrence(phi: &Ltl, _: &Ltl) -> Ltl {
+    Ltl::globally(Ltl::eventually(phi.clone()))
+}
+fn t_disjunctive_invariant(phi: &Ltl, psi: &Ltl) -> Ltl {
+    Ltl::globally(Ltl::or(phi.clone(), Ltl::globally(psi.clone())))
+}
+fn t_weak_fairness(phi: &Ltl, psi: &Ltl) -> Ltl {
+    Ltl::implies(
+        Ltl::eventually(Ltl::globally(phi.clone())),
+        Ltl::globally(Ltl::eventually(psi.clone())),
+    )
+}
+
+/// All twelve templates of Table 4, in the paper's order.
+pub fn all_templates() -> Vec<LtlTemplate> {
+    vec![
+        LtlTemplate { id: 0, name: "False", class: PropertyClass::Baseline, arity: 0, build: t_false },
+        LtlTemplate { id: 1, name: "G phi", class: PropertyClass::Safety, arity: 1, build: t_g },
+        LtlTemplate { id: 2, name: "(!phi U psi)", class: PropertyClass::Safety, arity: 2, build: t_not_until },
+        LtlTemplate { id: 3, name: "(!phi U psi) & G(phi -> X(!phi U psi))", class: PropertyClass::Safety, arity: 2, build: t_absence_after },
+        LtlTemplate { id: 4, name: "G(phi -> (psi | X psi | XX psi))", class: PropertyClass::Safety, arity: 2, build: t_bounded_response },
+        LtlTemplate { id: 5, name: "G(phi | G(!phi))", class: PropertyClass::Safety, arity: 1, build: t_stability },
+        LtlTemplate { id: 6, name: "G(phi -> F psi)", class: PropertyClass::Liveness, arity: 2, build: t_response },
+        LtlTemplate { id: 7, name: "F phi", class: PropertyClass::Liveness, arity: 1, build: t_eventually },
+        LtlTemplate { id: 8, name: "GF phi -> GF psi", class: PropertyClass::Fairness, arity: 2, build: t_strong_fairness },
+        LtlTemplate { id: 9, name: "GF phi", class: PropertyClass::Fairness, arity: 1, build: t_recurrence },
+        LtlTemplate { id: 10, name: "G(phi | G psi)", class: PropertyClass::Fairness, arity: 2, build: t_disjunctive_invariant },
+        LtlTemplate { id: 11, name: "FG phi -> GF psi", class: PropertyClass::Fairness, arity: 2, build: t_weak_fairness },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buchi::BuchiAutomaton;
+    use crate::formula::letter_of;
+
+    #[test]
+    fn there_are_twelve_templates_in_the_papers_classes() {
+        let templates = all_templates();
+        assert_eq!(templates.len(), 12);
+        assert_eq!(
+            templates
+                .iter()
+                .filter(|t| t.class == PropertyClass::Safety)
+                .count(),
+            5
+        );
+        assert_eq!(
+            templates
+                .iter()
+                .filter(|t| t.class == PropertyClass::Liveness)
+                .count(),
+            2
+        );
+        assert_eq!(
+            templates
+                .iter()
+                .filter(|t| t.class == PropertyClass::Fairness)
+                .count(),
+            4
+        );
+        for (i, t) in templates.iter().enumerate() {
+            assert_eq!(t.id, i);
+            assert!(t.arity <= 2);
+        }
+    }
+
+    #[test]
+    fn instantiation_produces_expected_shapes() {
+        let templates = all_templates();
+        let phi = Ltl::prop(0);
+        let psi = Ltl::prop(1);
+        assert_eq!(templates[0].instantiate(&phi, &psi), Ltl::False);
+        assert_eq!(
+            templates[1].instantiate(&phi, &psi),
+            Ltl::globally(Ltl::prop(0))
+        );
+        assert_eq!(
+            templates[6].instantiate(&phi, &psi),
+            Ltl::globally(Ltl::implies(Ltl::prop(0), Ltl::eventually(Ltl::prop(1))))
+        );
+        // All templates produce translatable formulas.
+        for t in &templates {
+            let f = t.instantiate(&phi, &psi);
+            let b = BuchiAutomaton::from_ltl(&f);
+            assert!(b.num_states() > 0 || f == Ltl::False);
+        }
+    }
+
+    #[test]
+    fn template_semantics_spot_checks() {
+        let templates = all_templates();
+        let phi = Ltl::prop(0);
+        let psi = Ltl::prop(1);
+        let a = letter_of(&[0]);
+        let b = letter_of(&[1]);
+        let empty = 0u64;
+        // Absence-after (template 3): after every phi, no phi until psi.
+        let f = templates[3].instantiate(&phi, &psi);
+        assert!(f.eval_lasso(&[b, a, b], &[empty]));
+        assert!(!f.eval_lasso(&[b, a, a], &[b]));
+        // Bounded response (template 4): psi within two steps of phi.
+        let g = templates[4].instantiate(&phi, &psi);
+        assert!(g.eval_lasso(&[a, empty, b], &[empty]));
+        assert!(!g.eval_lasso(&[a, empty, empty], &[empty]));
+        // Weak fairness (template 11).
+        let h = templates[11].instantiate(&phi, &psi);
+        assert!(h.eval_lasso(&[], &[a, b]));
+        assert!(!h.eval_lasso(&[], &[a]));
+    }
+}

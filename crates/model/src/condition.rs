@@ -1,0 +1,779 @@
+//! Quantifier-free first-order conditions over a database schema
+//! (paper Section 2, "conditions").
+//!
+//! A condition is a Boolean combination of
+//!
+//! * (in)equality atoms between terms (`x = y`, `x ≠ "Good"`, `x = null`),
+//! * relational atoms `R(x, t₁, …, tₙ)` whose first argument is the key and
+//!   whose remaining arguments follow the declared attribute order of `R`.
+//!
+//! Terms are artifact variables, constants from `DOM_val`, or `null`.
+//! Conditions appear as pre/post conditions of services, as the global
+//! pre-condition of a specification and as interpretations of the
+//! propositions of LTL-FO properties; in the latter case terms may also
+//! refer to the *global* (universally quantified) variables of the
+//! property, which is why variable references carry a [`VarRef`] rather
+//! than a bare [`VarId`].
+//!
+//! Following the paper, the semantics of relational atoms over `null` is
+//! strict: if any argument is `null` the atom is false (`null` never occurs
+//! in database relations).
+
+use crate::error::{ModelError, Result};
+use crate::instance::DatabaseInstance;
+use crate::schema::{AttrKind, DatabaseSchema, RelId};
+use crate::task::{Task, VarId, VarType};
+use crate::value::{DataValue, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A reference to a variable usable in a condition: either an artifact
+/// variable of the task the condition is attached to, or a global variable
+/// of an LTL-FO property (Definition 29).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VarRef {
+    /// An artifact variable of the enclosing task.
+    Task(VarId),
+    /// A global (property-level, universally quantified) variable.
+    Global(u32),
+}
+
+/// A term of a condition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable reference.
+    Var(VarRef),
+    /// A constant data value.
+    Const(DataValue),
+    /// The special constant `null`.
+    Null,
+}
+
+impl Term {
+    /// A term referring to task variable `v`.
+    pub fn var(v: VarId) -> Self {
+        Term::Var(VarRef::Task(v))
+    }
+
+    /// A term referring to global property variable `g`.
+    pub fn global(g: u32) -> Self {
+        Term::Var(VarRef::Global(g))
+    }
+
+    /// A string-constant term.
+    pub fn str(s: impl Into<String>) -> Self {
+        Term::Const(DataValue::Str(s.into()))
+    }
+
+    /// An integer-constant term.
+    pub fn int(i: i64) -> Self {
+        Term::Const(DataValue::Int(i))
+    }
+}
+
+/// Comparison operator of an (in)equality atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality `=`.
+    Eq,
+    /// Disequality `≠`.
+    Neq,
+}
+
+impl CmpOp {
+    /// The opposite operator.
+    pub fn negate(self) -> Self {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+        }
+    }
+}
+
+/// A quantifier-free condition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Condition {
+    /// The always-true condition.
+    True,
+    /// The always-false condition.
+    False,
+    /// Comparison atom `left op right`.
+    Cmp(Term, CmpOp, Term),
+    /// Relational atom `R(id, args…)`; `args` follow the attribute order of
+    /// the relation (non-key and foreign-key attributes interleaved exactly
+    /// as declared).
+    Rel {
+        /// The database relation.
+        rel: RelId,
+        /// Term bound to the key attribute `ID`.
+        id: Term,
+        /// Terms bound to the remaining attributes, in declaration order.
+        args: Vec<Term>,
+    },
+    /// Negation.
+    Not(Box<Condition>),
+    /// Conjunction of zero or more conditions (empty = true).
+    And(Vec<Condition>),
+    /// Disjunction of zero or more conditions (empty = false).
+    Or(Vec<Condition>),
+}
+
+/// A literal: an atom or a negated relational atom, produced by
+/// [`Condition::nnf_literals`]/[`Condition::dnf`].  Negated comparisons are
+/// normalised into the opposite operator, so only relational atoms carry an
+/// explicit sign.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Literal {
+    /// `left op right`.
+    Cmp(Term, CmpOp, Term),
+    /// `R(id, args…)` or its negation (when `positive` is false).
+    Rel {
+        /// The database relation.
+        rel: RelId,
+        /// Term bound to the key attribute.
+        id: Term,
+        /// Terms bound to the remaining attributes.
+        args: Vec<Term>,
+        /// Sign of the atom.
+        positive: bool,
+    },
+}
+
+impl Condition {
+    /// Conjunction helper that flattens nested `And`s and drops `True`.
+    pub fn and(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        let mut out = Vec::new();
+        for c in conds {
+            match c {
+                Condition::True => {}
+                Condition::And(inner) => out.extend(inner),
+                Condition::False => return Condition::False,
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Condition::True,
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Condition::And(out),
+        }
+    }
+
+    /// Disjunction helper that flattens nested `Or`s and drops `False`.
+    pub fn or(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        let mut out = Vec::new();
+        for c in conds {
+            match c {
+                Condition::False => {}
+                Condition::Or(inner) => out.extend(inner),
+                Condition::True => return Condition::True,
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Condition::False,
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Condition::Or(out),
+        }
+    }
+
+    /// Negation helper.
+    pub fn not(c: Condition) -> Condition {
+        match c {
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+            Condition::Not(inner) => *inner,
+            other => Condition::Not(Box::new(other)),
+        }
+    }
+
+    /// Equality atom between two task variables.
+    pub fn eq(a: Term, b: Term) -> Condition {
+        Condition::Cmp(a, CmpOp::Eq, b)
+    }
+
+    /// Disequality atom between two terms.
+    pub fn neq(a: Term, b: Term) -> Condition {
+        Condition::Cmp(a, CmpOp::Neq, b)
+    }
+
+    /// Implication `a → b`, encoded as `¬a ∨ b`.
+    pub fn implies(a: Condition, b: Condition) -> Condition {
+        Condition::or([Condition::not(a), b])
+    }
+
+    /// Negation normal form: negations pushed to the atoms.  Negated
+    /// comparisons flip the operator; negated relational atoms stay as
+    /// negated atoms; `¬True = False` and vice versa.
+    pub fn nnf(&self) -> Condition {
+        fn go(c: &Condition, neg: bool) -> Condition {
+            match c {
+                Condition::True => {
+                    if neg {
+                        Condition::False
+                    } else {
+                        Condition::True
+                    }
+                }
+                Condition::False => {
+                    if neg {
+                        Condition::True
+                    } else {
+                        Condition::False
+                    }
+                }
+                Condition::Cmp(l, op, r) => {
+                    let op = if neg { op.negate() } else { *op };
+                    Condition::Cmp(l.clone(), op, r.clone())
+                }
+                Condition::Rel { rel, id, args } => {
+                    let atom = Condition::Rel {
+                        rel: *rel,
+                        id: id.clone(),
+                        args: args.clone(),
+                    };
+                    if neg {
+                        Condition::Not(Box::new(atom))
+                    } else {
+                        atom
+                    }
+                }
+                Condition::Not(inner) => go(inner, !neg),
+                Condition::And(cs) => {
+                    let parts: Vec<_> = cs.iter().map(|c| go(c, neg)).collect();
+                    if neg {
+                        Condition::or(parts)
+                    } else {
+                        Condition::and(parts)
+                    }
+                }
+                Condition::Or(cs) => {
+                    let parts: Vec<_> = cs.iter().map(|c| go(c, neg)).collect();
+                    if neg {
+                        Condition::and(parts)
+                    } else {
+                        Condition::or(parts)
+                    }
+                }
+            }
+        }
+        go(self, false)
+    }
+
+    /// Disjunctive normal form as a set of conjuncts of literals
+    /// (`conj(ϕ)` in Appendix A, without the relational-atom flattening
+    /// which is performed by the symbolic layer).
+    ///
+    /// An empty outer vector means the condition is unsatisfiable
+    /// (equivalent to `False`); a conjunct that is an empty vector is the
+    /// trivially true conjunct.
+    pub fn dnf(&self) -> Vec<Vec<Literal>> {
+        fn go(c: &Condition) -> Vec<Vec<Literal>> {
+            match c {
+                Condition::True => vec![vec![]],
+                Condition::False => vec![],
+                Condition::Cmp(l, op, r) => vec![vec![Literal::Cmp(l.clone(), *op, r.clone())]],
+                Condition::Rel { rel, id, args } => vec![vec![Literal::Rel {
+                    rel: *rel,
+                    id: id.clone(),
+                    args: args.clone(),
+                    positive: true,
+                }]],
+                Condition::Not(inner) => match inner.as_ref() {
+                    Condition::Rel { rel, id, args } => vec![vec![Literal::Rel {
+                        rel: *rel,
+                        id: id.clone(),
+                        args: args.clone(),
+                        positive: false,
+                    }]],
+                    // nnf() guarantees negation only wraps relational atoms,
+                    // but be defensive for hand-built conditions.
+                    other => go(&Condition::not(other.clone()).nnf()),
+                },
+                Condition::And(cs) => {
+                    let mut acc: Vec<Vec<Literal>> = vec![vec![]];
+                    for part in cs {
+                        let sub = go(part);
+                        let mut next = Vec::with_capacity(acc.len() * sub.len());
+                        for a in &acc {
+                            for s in &sub {
+                                let mut merged = a.clone();
+                                merged.extend(s.iter().cloned());
+                                next.push(merged);
+                            }
+                        }
+                        acc = next;
+                        if acc.is_empty() {
+                            return acc;
+                        }
+                    }
+                    acc
+                }
+                Condition::Or(cs) => cs.iter().flat_map(go).collect(),
+            }
+        }
+        go(&self.nnf())
+    }
+
+    /// All variables referenced by the condition.
+    pub fn variables(&self) -> BTreeSet<VarRef> {
+        let mut out = BTreeSet::new();
+        self.visit_terms(&mut |t| {
+            if let Term::Var(v) = t {
+                out.insert(*v);
+            }
+        });
+        out
+    }
+
+    /// All task variables referenced by the condition.
+    pub fn task_variables(&self) -> BTreeSet<VarId> {
+        self.variables()
+            .into_iter()
+            .filter_map(|v| match v {
+                VarRef::Task(id) => Some(id),
+                VarRef::Global(_) => None,
+            })
+            .collect()
+    }
+
+    /// All constants appearing in the condition.
+    pub fn constants(&self) -> BTreeSet<DataValue> {
+        let mut out = BTreeSet::new();
+        self.visit_terms(&mut |t| {
+            if let Term::Const(c) = t {
+                out.insert(c.clone());
+            }
+        });
+        out
+    }
+
+    /// Visit every term of the condition.
+    pub fn visit_terms(&self, f: &mut impl FnMut(&Term)) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::Cmp(l, _, r) => {
+                f(l);
+                f(r);
+            }
+            Condition::Rel { id, args, .. } => {
+                f(id);
+                args.iter().for_each(&mut *f);
+            }
+            Condition::Not(c) => c.visit_terms(f),
+            Condition::And(cs) | Condition::Or(cs) => cs.iter().for_each(|c| c.visit_terms(f)),
+        }
+    }
+
+    /// All atomic sub-conditions (comparison and relational atoms),
+    /// used by the benchmark property generator which draws FO
+    /// interpretations from the sub-formulas of a specification.
+    pub fn atoms(&self) -> Vec<Condition> {
+        let mut out = Vec::new();
+        fn go(c: &Condition, out: &mut Vec<Condition>) {
+            match c {
+                Condition::True | Condition::False => {}
+                Condition::Cmp(..) | Condition::Rel { .. } => out.push(c.clone()),
+                Condition::Not(inner) => go(inner, out),
+                Condition::And(cs) | Condition::Or(cs) => cs.iter().for_each(|c| go(c, out)),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Number of atoms in the condition (size measure used by statistics).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Condition::True | Condition::False => 0,
+            Condition::Cmp(..) | Condition::Rel { .. } => 1,
+            Condition::Not(c) => c.atom_count(),
+            Condition::And(cs) | Condition::Or(cs) => cs.iter().map(|c| c.atom_count()).sum(),
+        }
+    }
+
+    /// Type-check the condition against the variables of `task` and the
+    /// (optional) types of the property's global variables.
+    ///
+    /// Rules (paper Section 2): in a relational atom
+    /// `R(x, y₁…yₘ, z₁…zₙ)` the key position and foreign-key positions
+    /// take ID-typed terms of the right relation, non-key positions take
+    /// data-typed terms; constants are data values, so they cannot occur in
+    /// ID positions; comparisons must compare terms of compatible types
+    /// (`null` is compatible with everything).
+    pub fn typecheck(
+        &self,
+        schema: &DatabaseSchema,
+        task: &Task,
+        global_types: &[VarType],
+    ) -> Result<()> {
+        let term_type = |t: &Term| -> Result<Option<VarType>> {
+            match t {
+                Term::Null => Ok(None),
+                Term::Const(_) => Ok(Some(VarType::Data)),
+                Term::Var(VarRef::Task(v)) => {
+                    let idx = v.index();
+                    if idx >= task.vars.len() {
+                        return Err(ModelError::UnknownName {
+                            kind: "variable",
+                            name: format!("var#{idx} in task {}", task.name),
+                        });
+                    }
+                    Ok(Some(task.vars[idx].typ))
+                }
+                Term::Var(VarRef::Global(g)) => {
+                    let idx = *g as usize;
+                    if idx >= global_types.len() {
+                        return Err(ModelError::UnknownName {
+                            kind: "global variable",
+                            name: format!("global#{idx}"),
+                        });
+                    }
+                    Ok(Some(global_types[idx]))
+                }
+            }
+        };
+        let compatible = |a: Option<VarType>, b: Option<VarType>| match (a, b) {
+            (None, _) | (_, None) => true,
+            (Some(x), Some(y)) => x == y,
+        };
+        match self {
+            Condition::True | Condition::False => Ok(()),
+            Condition::Cmp(l, _, r) => {
+                let (tl, tr) = (term_type(l)?, term_type(r)?);
+                if compatible(tl, tr) {
+                    Ok(())
+                } else {
+                    Err(ModelError::TypeMismatch {
+                        context: format!("comparison between {l:?} and {r:?}"),
+                    })
+                }
+            }
+            Condition::Rel { rel, id, args } => {
+                let relation = schema.relation(*rel);
+                if args.len() != relation.arity() {
+                    return Err(ModelError::TypeMismatch {
+                        context: format!(
+                            "relation {} has arity {}, got {} arguments",
+                            relation.name,
+                            relation.arity(),
+                            args.len()
+                        ),
+                    });
+                }
+                if !compatible(term_type(id)?, Some(VarType::Id(*rel))) {
+                    return Err(ModelError::TypeMismatch {
+                        context: format!("key position of {} bound to {id:?}", relation.name),
+                    });
+                }
+                for (attr, arg) in relation.attrs.iter().zip(args) {
+                    let expected = match attr.kind {
+                        AttrKind::NonKey => VarType::Data,
+                        AttrKind::ForeignKey(target) => VarType::Id(target),
+                    };
+                    if !compatible(term_type(arg)?, Some(expected)) {
+                        return Err(ModelError::TypeMismatch {
+                            context: format!(
+                                "attribute {}.{} bound to {arg:?}",
+                                relation.name, attr.name
+                            ),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Condition::Not(c) => c.typecheck(schema, task, global_types),
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.typecheck(schema, task, global_types)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluate the condition on a concrete database instance under a
+    /// valuation of the variables (used by the concrete interpreter and as
+    /// a test oracle).
+    ///
+    /// Relational atoms with any `null` argument are false, as in the
+    /// paper.
+    pub fn eval_concrete(
+        &self,
+        db: &DatabaseInstance,
+        valuation: &impl Fn(VarRef) -> Value,
+    ) -> bool {
+        let term_value = |t: &Term| -> Value {
+            match t {
+                Term::Null => Value::Null,
+                Term::Const(c) => Value::Data(c.clone()),
+                Term::Var(v) => valuation(*v),
+            }
+        };
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Cmp(l, op, r) => {
+                let (lv, rv) = (term_value(l), term_value(r));
+                match op {
+                    CmpOp::Eq => lv == rv,
+                    CmpOp::Neq => lv != rv,
+                }
+            }
+            Condition::Rel { rel, id, args } => {
+                let idv = term_value(id);
+                let argvs: Vec<Value> = args.iter().map(term_value).collect();
+                if idv.is_null() || argvs.iter().any(Value::is_null) {
+                    return false;
+                }
+                db.tuples(*rel)
+                    .any(|t| Value::Id(*rel, t.id) == idv && t.attrs == argvs)
+            }
+            Condition::Not(c) => !c.eval_concrete(db, valuation),
+            Condition::And(cs) => cs.iter().all(|c| c.eval_concrete(db, valuation)),
+            Condition::Or(cs) => cs.iter().any(|c| c.eval_concrete(db, valuation)),
+        }
+    }
+
+    /// Render the condition with task-variable names resolved through
+    /// `task` (best effort; falls back to indices).
+    pub fn display<'a>(&'a self, task: &'a Task) -> ConditionDisplay<'a> {
+        ConditionDisplay { cond: self, task }
+    }
+}
+
+/// Helper returned by [`Condition::display`].
+pub struct ConditionDisplay<'a> {
+    cond: &'a Condition,
+    task: &'a Task,
+}
+
+impl fmt::Display for ConditionDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn term(t: &Term, task: &Task, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match t {
+                Term::Null => write!(f, "null"),
+                Term::Const(c) => write!(f, "{c}"),
+                Term::Var(VarRef::Task(v)) => {
+                    if v.index() < task.vars.len() {
+                        write!(f, "{}", task.vars[v.index()].name)
+                    } else {
+                        write!(f, "var#{}", v.index())
+                    }
+                }
+                Term::Var(VarRef::Global(g)) => write!(f, "$g{g}"),
+            }
+        }
+        fn go(c: &Condition, task: &Task, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match c {
+                Condition::True => write!(f, "true"),
+                Condition::False => write!(f, "false"),
+                Condition::Cmp(l, op, r) => {
+                    term(l, task, f)?;
+                    write!(f, " {} ", if *op == CmpOp::Eq { "=" } else { "≠" })?;
+                    term(r, task, f)
+                }
+                Condition::Rel { rel, id, args } => {
+                    write!(f, "R{}(", rel.index())?;
+                    term(id, task, f)?;
+                    for a in args {
+                        write!(f, ", ")?;
+                        term(a, task, f)?;
+                    }
+                    write!(f, ")")
+                }
+                Condition::Not(c) => {
+                    write!(f, "¬(")?;
+                    go(c, task, f)?;
+                    write!(f, ")")
+                }
+                Condition::And(cs) => {
+                    write!(f, "(")?;
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∧ ")?;
+                        }
+                        go(c, task, f)?;
+                    }
+                    write!(f, ")")
+                }
+                Condition::Or(cs) => {
+                    write!(f, "(")?;
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∨ ")?;
+                        }
+                        go(c, task, f)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self.cond, self.task, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Task, VarId, Variable};
+
+    fn var(i: u32) -> Term {
+        Term::var(VarId::new(i))
+    }
+
+    fn dummy_task(n: usize) -> Task {
+        let mut t = Task::new("T");
+        for i in 0..n {
+            t.vars.push(Variable {
+                name: format!("x{i}"),
+                typ: VarType::Data,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn and_or_flatten_and_short_circuit() {
+        let a = Condition::eq(var(0), Term::str("a"));
+        let b = Condition::neq(var(1), Term::Null);
+        assert_eq!(Condition::and([]), Condition::True);
+        assert_eq!(Condition::or([]), Condition::False);
+        assert_eq!(Condition::and([Condition::True, a.clone()]), a);
+        assert_eq!(Condition::or([Condition::False, b.clone()]), b);
+        assert_eq!(
+            Condition::and([a.clone(), Condition::False, b.clone()]),
+            Condition::False
+        );
+        assert_eq!(
+            Condition::or([a.clone(), Condition::True]),
+            Condition::True
+        );
+        // Nested And flattening.
+        let nested = Condition::and([Condition::and([a.clone(), b.clone()]), a.clone()]);
+        assert_eq!(nested.atom_count(), 3);
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_atoms() {
+        let a = Condition::eq(var(0), var(1));
+        let b = Condition::Rel {
+            rel: RelId::new(0),
+            id: var(0),
+            args: vec![var(1)],
+        };
+        let c = Condition::not(Condition::and([a.clone(), b.clone()]));
+        let nnf = c.nnf();
+        // ¬(a ∧ b) = ¬a ∨ ¬b; ¬(x=y) becomes x≠y, ¬R stays wrapped.
+        match nnf {
+            Condition::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert_eq!(parts[0], Condition::neq(var(0), var(1)));
+                assert!(matches!(parts[1], Condition::Not(_)));
+            }
+            other => panic!("unexpected NNF: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let a = Condition::eq(var(0), Term::str("a"));
+        let c = Condition::not(Condition::not(a.clone()));
+        assert_eq!(c.nnf(), a);
+    }
+
+    #[test]
+    fn dnf_of_conjunction_of_disjunctions() {
+        let a = Condition::eq(var(0), Term::str("a"));
+        let b = Condition::eq(var(1), Term::str("b"));
+        let c = Condition::eq(var(2), Term::str("c"));
+        let d = Condition::eq(var(3), Term::str("d"));
+        // (a ∨ b) ∧ (c ∨ d) -> 4 conjuncts of 2 literals each
+        let cond = Condition::and([Condition::or([a, b]), Condition::or([c, d])]);
+        let dnf = cond.dnf();
+        assert_eq!(dnf.len(), 4);
+        assert!(dnf.iter().all(|conj| conj.len() == 2));
+    }
+
+    #[test]
+    fn dnf_of_true_false() {
+        assert_eq!(Condition::True.dnf(), vec![vec![]]);
+        assert!(Condition::False.dnf().is_empty());
+        let a = Condition::eq(var(0), Term::Null);
+        assert!(Condition::and([a.clone(), Condition::False]).dnf().is_empty());
+    }
+
+    #[test]
+    fn dnf_negated_relational_atom_keeps_sign() {
+        let r = Condition::Rel {
+            rel: RelId::new(1),
+            id: var(0),
+            args: vec![var(1), var(2)],
+        };
+        let dnf = Condition::not(r).dnf();
+        assert_eq!(dnf.len(), 1);
+        match &dnf[0][0] {
+            Literal::Rel { positive, .. } => assert!(!positive),
+            other => panic!("unexpected literal: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_encoding() {
+        let a = Condition::eq(var(0), Term::str("a"));
+        let b = Condition::eq(var(1), Term::str("b"));
+        let imp = Condition::implies(a, b);
+        // ¬a ∨ b has two DNF conjuncts.
+        assert_eq!(imp.dnf().len(), 2);
+    }
+
+    #[test]
+    fn variables_and_constants_are_collected() {
+        let c = Condition::and([
+            Condition::eq(var(0), Term::str("Good")),
+            Condition::Rel {
+                rel: RelId::new(0),
+                id: var(1),
+                args: vec![Term::global(0), Term::int(5)],
+            },
+        ]);
+        let vars = c.variables();
+        assert!(vars.contains(&VarRef::Task(VarId::new(0))));
+        assert!(vars.contains(&VarRef::Task(VarId::new(1))));
+        assert!(vars.contains(&VarRef::Global(0)));
+        assert_eq!(c.task_variables().len(), 2);
+        let consts = c.constants();
+        assert!(consts.contains(&DataValue::str("Good")));
+        assert!(consts.contains(&DataValue::int(5)));
+        assert_eq!(c.atoms().len(), 2);
+        assert_eq!(c.atom_count(), 2);
+    }
+
+    #[test]
+    fn eval_concrete_comparisons() {
+        let db = DatabaseInstance::default();
+        let values = vec![Value::str("Good"), Value::Null];
+        let lookup = |v: VarRef| match v {
+            VarRef::Task(id) => values[id.index()].clone(),
+            VarRef::Global(_) => Value::Null,
+        };
+        assert!(Condition::eq(var(0), Term::str("Good")).eval_concrete(&db, &lookup));
+        assert!(Condition::neq(var(0), Term::str("Bad")).eval_concrete(&db, &lookup));
+        assert!(Condition::eq(var(1), Term::Null).eval_concrete(&db, &lookup));
+        assert!(!Condition::eq(var(0), var(1)).eval_concrete(&db, &lookup));
+        assert!(Condition::not(Condition::eq(var(0), var(1))).eval_concrete(&db, &lookup));
+    }
+
+    #[test]
+    fn display_uses_variable_names() {
+        let task = dummy_task(2);
+        let c = Condition::and([
+            Condition::eq(var(0), Term::str("a")),
+            Condition::neq(var(1), Term::Null),
+        ]);
+        let s = format!("{}", c.display(&task));
+        assert!(s.contains("x0"));
+        assert!(s.contains("x1"));
+        assert!(s.contains('∧'));
+    }
+}

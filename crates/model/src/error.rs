@@ -1,0 +1,59 @@
+//! Error type shared by the model crate.
+
+use std::fmt;
+
+/// Errors raised while building or validating a HAS\* specification, or
+/// while executing its concrete semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The foreign-key graph of the database schema contains a cycle.
+    CyclicForeignKeys { cycle: Vec<String> },
+    /// A name (relation, attribute, task, variable, service…) was not found.
+    UnknownName { kind: &'static str, name: String },
+    /// A name is declared twice in the same scope.
+    DuplicateName { kind: &'static str, name: String },
+    /// A term or variable is used at a type it does not have.
+    TypeMismatch { context: String },
+    /// The task hierarchy is not a rooted tree.
+    MalformedHierarchy { reason: String },
+    /// A service definition violates a structural restriction of HAS\*
+    /// (e.g. an update combined with propagation of non-input variables).
+    InvalidService { task: String, service: String, reason: String },
+    /// A specification-level well-formedness violation.
+    InvalidSpec { reason: String },
+    /// A concrete transition was requested that is not enabled.
+    TransitionNotEnabled { service: String, reason: String },
+    /// A database instance violates a key or foreign-key dependency.
+    InvalidDatabase { reason: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CyclicForeignKeys { cycle } => {
+                write!(f, "cyclic foreign keys: {}", cycle.join(" -> "))
+            }
+            ModelError::UnknownName { kind, name } => write!(f, "unknown {kind}: {name:?}"),
+            ModelError::DuplicateName { kind, name } => write!(f, "duplicate {kind}: {name:?}"),
+            ModelError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            ModelError::MalformedHierarchy { reason } => {
+                write!(f, "malformed task hierarchy: {reason}")
+            }
+            ModelError::InvalidService {
+                task,
+                service,
+                reason,
+            } => write!(f, "invalid service {service:?} of task {task:?}: {reason}"),
+            ModelError::InvalidSpec { reason } => write!(f, "invalid specification: {reason}"),
+            ModelError::TransitionNotEnabled { service, reason } => {
+                write!(f, "service {service:?} is not enabled: {reason}")
+            }
+            ModelError::InvalidDatabase { reason } => write!(f, "invalid database: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias used across the model crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

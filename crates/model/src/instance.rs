@@ -1,0 +1,361 @@
+//! Concrete instances of database schemas and artifact schemas
+//! (paper Definitions 7 and 14).
+
+use crate::error::{ModelError, Result};
+use crate::schema::{AttrKind, DatabaseSchema, RelId};
+use crate::spec::HasSpec;
+use crate::task::{ArtRelId, TaskId, VarId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A tuple of a database relation: the key value plus the remaining
+/// attribute values in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Key (`ID`) value of the tuple.
+    pub id: u64,
+    /// Values of the non-`ID` attributes, in declaration order.
+    pub attrs: Vec<Value>,
+}
+
+/// A concrete instance of a database schema: a finite set of tuples per
+/// relation, satisfying the key and foreign-key dependencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseInstance {
+    relations: Vec<Vec<Tuple>>,
+}
+
+impl DatabaseInstance {
+    /// An empty instance of a schema with `n` relations.
+    pub fn empty(n: usize) -> Self {
+        DatabaseInstance {
+            relations: vec![Vec::new(); n],
+        }
+    }
+
+    /// Insert a tuple into `rel`.  The caller is responsible for key
+    /// uniqueness; [`DatabaseInstance::validate`] checks it after the fact.
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple) {
+        if self.relations.len() <= rel.index() {
+            self.relations.resize(rel.index() + 1, Vec::new());
+        }
+        self.relations[rel.index()].push(tuple);
+    }
+
+    /// Iterate over the tuples of `rel` (empty if the relation has no
+    /// tuples or is unknown).
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(rel.index()).into_iter().flatten()
+    }
+
+    /// Find the tuple of `rel` with the given key.
+    pub fn get(&self, rel: RelId, id: u64) -> Option<&Tuple> {
+        self.tuples(rel).find(|t| t.id == id)
+    }
+
+    /// Total number of tuples across relations.
+    pub fn len(&self) -> usize {
+        self.relations.iter().map(Vec::len).sum()
+    }
+
+    /// `true` iff the instance contains no tuple.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All values of the active domain that have the given ID type, plus
+    /// all data values appearing anywhere (used by the interpreter to draw
+    /// candidate values).
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        for (rel_idx, tuples) in self.relations.iter().enumerate() {
+            for t in tuples {
+                out.push(Value::Id(RelId::new(rel_idx as u32), t.id));
+                out.extend(t.attrs.iter().cloned());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Check the instance against a schema: attribute arity and types, key
+    /// uniqueness and foreign-key (inclusion) dependencies.
+    pub fn validate(&self, schema: &DatabaseSchema) -> Result<()> {
+        for (rel_id, rel) in schema.iter() {
+            let mut keys = std::collections::HashSet::new();
+            for tuple in self.tuples(rel_id) {
+                if !keys.insert(tuple.id) {
+                    return Err(ModelError::InvalidDatabase {
+                        reason: format!("duplicate key {} in relation {}", tuple.id, rel.name),
+                    });
+                }
+                if tuple.attrs.len() != rel.arity() {
+                    return Err(ModelError::InvalidDatabase {
+                        reason: format!(
+                            "tuple of {} has {} attributes, expected {}",
+                            rel.name,
+                            tuple.attrs.len(),
+                            rel.arity()
+                        ),
+                    });
+                }
+                for (attr, value) in rel.attrs.iter().zip(&tuple.attrs) {
+                    match (&attr.kind, value) {
+                        (_, Value::Null) => {
+                            return Err(ModelError::InvalidDatabase {
+                                reason: format!(
+                                    "null value for {}.{} (nulls never occur in the database)",
+                                    rel.name, attr.name
+                                ),
+                            })
+                        }
+                        (AttrKind::NonKey, Value::Data(_)) => {}
+                        (AttrKind::ForeignKey(target), Value::Id(r, key)) if r == target => {
+                            if self.get(*target, *key).is_none() {
+                                return Err(ModelError::InvalidDatabase {
+                                    reason: format!(
+                                        "dangling foreign key {}.{} -> {}",
+                                        rel.name,
+                                        attr.name,
+                                        schema.relation(*target).name
+                                    ),
+                                });
+                            }
+                        }
+                        _ => {
+                            return Err(ModelError::InvalidDatabase {
+                                reason: format!(
+                                    "value {value} has the wrong type for {}.{}",
+                                    rel.name, attr.name
+                                ),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Activation stage of a task within an artifact instance (Definition 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// The task has been called and has not yet returned.
+    Active,
+    /// The task is not running.
+    Inactive,
+}
+
+/// Per-task component of an artifact instance: the valuation of its
+/// variables, its stage, and the contents of its artifact relations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskState {
+    /// Current values of the task's artifact variables, indexed by
+    /// [`VarId`].
+    pub valuation: Vec<Value>,
+    /// Whether the task is currently active.
+    pub stage: Stage,
+    /// Contents of the task's artifact relations (sets of tuples), indexed
+    /// by [`ArtRelId`].
+    pub relations: Vec<Vec<Vec<Value>>>,
+}
+
+/// A concrete instance (snapshot) of an artifact schema: one [`TaskState`]
+/// per task, sharing a fixed read-only database.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactInstance {
+    /// Per-task state, indexed by [`TaskId`].
+    pub tasks: Vec<TaskState>,
+}
+
+impl ArtifactInstance {
+    /// The initial instance of a specification: every variable `null`,
+    /// every artifact relation empty, the root task active and every other
+    /// task inactive (Definition 14 — the interpreter subsequently adjusts
+    /// the root valuation to satisfy the global pre-condition).
+    pub fn initial(spec: &HasSpec) -> Self {
+        ArtifactInstance {
+            tasks: spec
+                .iter_tasks()
+                .map(|(tid, task)| TaskState {
+                    valuation: vec![Value::Null; task.vars.len()],
+                    stage: if tid == spec.root() {
+                        Stage::Active
+                    } else {
+                        Stage::Inactive
+                    },
+                    relations: vec![Vec::new(); task.art_relations.len()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Value of a task variable.
+    pub fn value(&self, task: TaskId, var: VarId) -> &Value {
+        &self.tasks[task.index()].valuation[var.index()]
+    }
+
+    /// Set the value of a task variable.
+    pub fn set_value(&mut self, task: TaskId, var: VarId, value: Value) {
+        self.tasks[task.index()].valuation[var.index()] = value;
+    }
+
+    /// Stage of a task.
+    pub fn stage(&self, task: TaskId) -> Stage {
+        self.tasks[task.index()].stage
+    }
+
+    /// Set the stage of a task.
+    pub fn set_stage(&mut self, task: TaskId, stage: Stage) {
+        self.tasks[task.index()].stage = stage;
+    }
+
+    /// Contents of an artifact relation.
+    pub fn relation(&self, task: TaskId, rel: ArtRelId) -> &[Vec<Value>] {
+        &self.tasks[task.index()].relations[rel.index()]
+    }
+
+    /// Mutable contents of an artifact relation.
+    pub fn relation_mut(&mut self, task: TaskId, rel: ArtRelId) -> &mut Vec<Vec<Value>> {
+        &mut self.tasks[task.index()].relations[rel.index()]
+    }
+
+    /// Total number of tuples stored across all artifact relations.
+    pub fn stored_tuples(&self) -> usize {
+        self.tasks
+            .iter()
+            .flat_map(|t| t.relations.iter())
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr::{data, fk};
+    use crate::task::{Task, VarType, Variable};
+    use crate::value::DataValue;
+
+    fn schema() -> (DatabaseSchema, RelId, RelId) {
+        let mut db = DatabaseSchema::new();
+        let credit = db.add_relation("CREDIT", vec![data("status")]).unwrap();
+        let cust = db
+            .add_relation("CUSTOMERS", vec![data("name"), fk("record", credit)])
+            .unwrap();
+        (db, credit, cust)
+    }
+
+    #[test]
+    fn database_instance_validation_accepts_consistent_data() {
+        let (db, credit, cust) = schema();
+        let mut inst = DatabaseInstance::empty(db.len());
+        inst.insert(
+            credit,
+            Tuple {
+                id: 1,
+                attrs: vec![Value::str("Good")],
+            },
+        );
+        inst.insert(
+            cust,
+            Tuple {
+                id: 1,
+                attrs: vec![Value::str("John"), Value::Id(credit, 1)],
+            },
+        );
+        inst.validate(&db).unwrap();
+        assert_eq!(inst.len(), 2);
+        assert!(inst.get(cust, 1).is_some());
+        assert!(inst.get(cust, 2).is_none());
+        let adom = inst.active_domain();
+        assert!(adom.contains(&Value::str("Good")));
+        assert!(adom.contains(&Value::Id(credit, 1)));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let (db, credit, _) = schema();
+        let mut inst = DatabaseInstance::empty(db.len());
+        for _ in 0..2 {
+            inst.insert(
+                credit,
+                Tuple {
+                    id: 7,
+                    attrs: vec![Value::str("Good")],
+                },
+            );
+        }
+        assert!(matches!(
+            inst.validate(&db).unwrap_err(),
+            ModelError::InvalidDatabase { .. }
+        ));
+    }
+
+    #[test]
+    fn dangling_foreign_keys_are_rejected() {
+        let (db, credit, cust) = schema();
+        let mut inst = DatabaseInstance::empty(db.len());
+        inst.insert(
+            cust,
+            Tuple {
+                id: 1,
+                attrs: vec![Value::str("John"), Value::Id(credit, 99)],
+            },
+        );
+        assert!(inst.validate(&db).is_err());
+    }
+
+    #[test]
+    fn null_in_database_is_rejected() {
+        let (db, credit, _) = schema();
+        let mut inst = DatabaseInstance::empty(db.len());
+        inst.insert(
+            credit,
+            Tuple {
+                id: 1,
+                attrs: vec![Value::Null],
+            },
+        );
+        assert!(inst.validate(&db).is_err());
+    }
+
+    #[test]
+    fn wrong_attribute_type_is_rejected() {
+        let (db, credit, cust) = schema();
+        let mut inst = DatabaseInstance::empty(db.len());
+        inst.insert(
+            credit,
+            Tuple {
+                id: 1,
+                attrs: vec![Value::Data(DataValue::str("Good"))],
+            },
+        );
+        inst.insert(
+            cust,
+            Tuple {
+                id: 1,
+                // name should be a data value, not an id.
+                attrs: vec![Value::Id(credit, 1), Value::Id(credit, 1)],
+            },
+        );
+        assert!(inst.validate(&db).is_err());
+    }
+
+    #[test]
+    fn initial_artifact_instance_shape() {
+        let (db, _, cust) = schema();
+        let mut root = Task::new("Root");
+        root.vars.push(Variable {
+            name: "c".into(),
+            typ: VarType::Id(cust),
+        });
+        let spec = HasSpec::new("s", db, root);
+        let inst = ArtifactInstance::initial(&spec);
+        assert_eq!(inst.stage(TaskId::new(0)), Stage::Active);
+        assert_eq!(*inst.value(TaskId::new(0), VarId::new(0)), Value::Null);
+        assert_eq!(inst.stored_tuples(), 0);
+    }
+}

@@ -1,0 +1,731 @@
+//! Concrete (sampling-based) interpreter for HAS\* specifications.
+//!
+//! The interpreter executes the operational semantics of Definition 27 /
+//! Definition 28 on a fixed, concrete database instance.  It is *not* a
+//! decision procedure — post-conditions are satisfied by sampling candidate
+//! values from the active domain, the constants of the specification and
+//! `null` — but it is deterministic for a fixed seed, which makes it a
+//! convenient test oracle: concrete local runs it produces must never
+//! violate a property that the symbolic verifier proves, and the examples
+//! use it to animate workflows.
+
+use crate::condition::{Condition, VarRef};
+use crate::error::{ModelError, Result};
+use crate::instance::{ArtifactInstance, DatabaseInstance, Stage};
+use crate::service::{ServiceRef, Update};
+use crate::spec::HasSpec;
+use crate::task::{TaskId, VarId, VarType};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration of a random run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// PRNG seed; runs are deterministic for a fixed seed, database and
+    /// specification.
+    pub seed: u64,
+    /// Maximum number of transitions to execute.
+    pub max_steps: usize,
+    /// Number of random valuations sampled when trying to satisfy a
+    /// post-condition before giving up on a service.
+    pub max_post_attempts: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0xC0FFEE,
+            max_steps: 200,
+            max_post_attempts: 64,
+        }
+    }
+}
+
+/// Result of a single interpreter step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A service was applied.
+    Applied(ServiceRef),
+    /// No service could be applied (the sampling found no valid successor).
+    NoEnabledService,
+}
+
+/// One observable transition of a local run of the observed task: the
+/// service applied and the resulting values of the task's variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalEvent {
+    /// The observable service that caused the transition.
+    pub service: ServiceRef,
+    /// Values of the observed task's variables *after* the transition.
+    pub valuation: Vec<Value>,
+}
+
+/// A local run of a task induced by a global run (paper, Section 2 and
+/// Appendix A): the subsequence of transitions caused by the task's
+/// observable services, from an opening transition up to (and including)
+/// the first closing transition, if any.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalRun {
+    /// The observed task.
+    pub task: TaskId,
+    /// The observable transitions, starting with the opening service.
+    pub events: Vec<LocalEvent>,
+    /// Whether the run ended with the task's closing service (a *finite*
+    /// local run in the sense of the paper).
+    pub closed: bool,
+}
+
+/// Small deterministic PRNG (SplitMix64) so that the model crate does not
+/// need an external randomness dependency.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// The sampling-based interpreter.
+pub struct Interpreter<'a> {
+    spec: &'a HasSpec,
+    db: &'a DatabaseInstance,
+    rng: SplitMix64,
+    config: RunConfig,
+    /// Current snapshot of the artifact system.
+    pub instance: ArtifactInstance,
+    /// Constants appearing anywhere in the specification (candidate values
+    /// for data variables).
+    constants: Vec<Value>,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Create an interpreter over a validated specification and database.
+    ///
+    /// The initial root valuation is sampled to satisfy the global
+    /// pre-condition; an error is returned if no satisfying valuation is
+    /// found within the sampling budget.
+    pub fn new(spec: &'a HasSpec, db: &'a DatabaseInstance, config: RunConfig) -> Result<Self> {
+        let mut constants: BTreeSet<Value> = BTreeSet::new();
+        for task in &spec.tasks {
+            for svc in &task.services {
+                for c in svc.pre.constants().into_iter().chain(svc.post.constants()) {
+                    constants.insert(Value::Data(c));
+                }
+            }
+            for c in task
+                .opening
+                .pre
+                .constants()
+                .into_iter()
+                .chain(task.closing.pre.constants())
+            {
+                constants.insert(Value::Data(c));
+            }
+        }
+        for c in spec.global_pre.constants() {
+            constants.insert(Value::Data(c));
+        }
+        let mut interp = Interpreter {
+            spec,
+            db,
+            rng: SplitMix64::new(config.seed),
+            config,
+            instance: ArtifactInstance::initial(spec),
+            constants: constants.into_iter().collect(),
+        };
+        // Choose an initial valuation of the root satisfying Π.
+        let root = spec.root();
+        let all_vars: Vec<VarId> = (0..spec.task(root).vars.len())
+            .map(|i| VarId::new(i as u32))
+            .collect();
+        let found = interp.sample_valuation(root, &all_vars, &spec.global_pre, &[])?;
+        if !found {
+            return Err(ModelError::TransitionNotEnabled {
+                service: "initial".into(),
+                reason: "no initial valuation satisfying the global pre-condition was found".into(),
+            });
+        }
+        Ok(interp)
+    }
+
+    /// The current artifact instance.
+    pub fn snapshot(&self) -> &ArtifactInstance {
+        &self.instance
+    }
+
+    /// Evaluate a condition over a task's current valuation.
+    fn holds(&self, task: TaskId, cond: &Condition) -> bool {
+        let valuation = &self.instance.tasks[task.index()].valuation;
+        cond.eval_concrete(self.db, &|v| match v {
+            VarRef::Task(id) => valuation[id.index()].clone(),
+            VarRef::Global(_) => Value::Null,
+        })
+    }
+
+    /// Candidate values for a variable of the given type.
+    fn candidates(&self, typ: VarType) -> Vec<Value> {
+        let mut out = vec![Value::Null];
+        match typ {
+            VarType::Data => {
+                out.extend(self.constants.iter().cloned());
+                out.extend(
+                    self.db
+                        .active_domain()
+                        .into_iter()
+                        .filter(|v| matches!(v, Value::Data(_))),
+                );
+            }
+            VarType::Id(rel) => {
+                out.extend(self.db.tuples(rel).map(|t| Value::Id(rel, t.id)));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Try to find values for `free_vars` of `task` such that `cond` holds;
+    /// `fixed` pairs are assigned first.  On success the instance valuation
+    /// is updated and `true` is returned; on failure the valuation is left
+    /// unchanged.
+    fn sample_valuation(
+        &mut self,
+        task: TaskId,
+        free_vars: &[VarId],
+        cond: &Condition,
+        fixed: &[(VarId, Value)],
+    ) -> Result<bool> {
+        let saved = self.instance.tasks[task.index()].valuation.clone();
+        let task_def = self.spec.task(task);
+        let pools: Vec<Vec<Value>> = free_vars
+            .iter()
+            .map(|v| self.candidates(task_def.var(*v).typ))
+            .collect();
+        for attempt in 0..self.config.max_post_attempts.max(1) {
+            {
+                let valuation = &mut self.instance.tasks[task.index()].valuation;
+                for (v, value) in fixed {
+                    valuation[v.index()] = value.clone();
+                }
+            }
+            for (i, v) in free_vars.iter().enumerate() {
+                let value = if attempt == 0 {
+                    // First attempt: keep the current (saved) value.
+                    saved[v.index()].clone()
+                } else if attempt == 1 {
+                    Value::Null
+                } else {
+                    pools[i][self.rng.below(pools[i].len())].clone()
+                };
+                self.instance.tasks[task.index()].valuation[v.index()] = value;
+            }
+            if self.holds(task, cond) {
+                return Ok(true);
+            }
+        }
+        self.instance.tasks[task.index()].valuation = saved;
+        Ok(false)
+    }
+
+    /// Services whose *control* prerequisites hold (stage, children, guard,
+    /// non-empty retrieval source).  Whether a valid successor valuation
+    /// exists is only determined when the service is applied.
+    pub fn candidate_services(&self) -> Vec<ServiceRef> {
+        let mut out = Vec::new();
+        for (tid, task) in self.spec.iter_tasks() {
+            let active = self.instance.stage(tid) == Stage::Active;
+            let children_inactive = self
+                .spec
+                .children(tid)
+                .iter()
+                .all(|c| self.instance.stage(*c) == Stage::Inactive);
+            if active && children_inactive {
+                for (i, svc) in task.services.iter().enumerate() {
+                    if !self.holds(tid, &svc.pre) {
+                        continue;
+                    }
+                    if let Some(Update::Retrieve { rel, .. }) = &svc.update {
+                        if self.instance.relation(tid, *rel).is_empty() {
+                            continue;
+                        }
+                    }
+                    out.push(ServiceRef::Internal { task: tid, index: i });
+                }
+                if tid != self.spec.root() && self.holds(tid, &task.closing.pre) {
+                    out.push(ServiceRef::Closing(tid));
+                }
+            }
+            if active {
+                for &c in self.spec.children(tid) {
+                    if self.instance.stage(c) == Stage::Inactive
+                        && self.holds(tid, &self.spec.task(c).opening.pre)
+                    {
+                        out.push(ServiceRef::Opening(c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Try to apply a service; returns `Ok(true)` on success, `Ok(false)`
+    /// if the service turned out not to be applicable (e.g. no valuation
+    /// satisfying the post-condition was found).
+    pub fn try_apply(&mut self, service: ServiceRef) -> Result<bool> {
+        match service {
+            ServiceRef::Internal { task, index } => self.apply_internal(task, index),
+            ServiceRef::Opening(task) => self.apply_opening(task),
+            ServiceRef::Closing(task) => self.apply_closing(task),
+        }
+    }
+
+    fn apply_internal(&mut self, tid: TaskId, index: usize) -> Result<bool> {
+        let task = self.spec.task(tid).clone();
+        let svc = task.services[index].clone();
+        if self.instance.stage(tid) != Stage::Active
+            || !self
+                .spec
+                .children(tid)
+                .iter()
+                .all(|c| self.instance.stage(*c) == Stage::Inactive)
+            || !self.holds(tid, &svc.pre)
+        {
+            return Ok(false);
+        }
+        let propagated: BTreeSet<VarId> = svc.propagated.iter().copied().collect();
+        // Pre-compute the update effect.
+        let mut fixed: Vec<(VarId, Value)> = Vec::new();
+        let mut insert_after: Option<(crate::task::ArtRelId, Vec<Value>)> = None;
+        let mut removed: Option<(crate::task::ArtRelId, usize)> = None;
+        match &svc.update {
+            Some(Update::Insert { rel, vars }) => {
+                let tuple: Vec<Value> = vars
+                    .iter()
+                    .map(|v| self.instance.value(tid, *v).clone())
+                    .collect();
+                insert_after = Some((*rel, tuple));
+            }
+            Some(Update::Retrieve { rel, vars }) => {
+                let contents = self.instance.relation(tid, *rel);
+                if contents.is_empty() {
+                    return Ok(false);
+                }
+                let pick = self.rng.below(contents.len());
+                let tuple = contents[pick].clone();
+                removed = Some((*rel, pick));
+                for (v, value) in vars.iter().zip(tuple) {
+                    fixed.push((*v, value));
+                }
+            }
+            None => {}
+        }
+        // Propagated variables keep their values.
+        for v in &propagated {
+            fixed.push((*v, self.instance.value(tid, *v).clone()));
+        }
+        // Free variables: everything not fixed above.
+        let fixed_set: BTreeSet<VarId> = fixed.iter().map(|(v, _)| *v).collect();
+        let free: Vec<VarId> = (0..task.vars.len())
+            .map(|i| VarId::new(i as u32))
+            .filter(|v| !fixed_set.contains(v))
+            .collect();
+        if !self.sample_valuation(tid, &free, &svc.post, &fixed)? {
+            return Ok(false);
+        }
+        if let Some((rel, pick)) = removed {
+            self.instance.relation_mut(tid, rel).remove(pick);
+        }
+        if let Some((rel, tuple)) = insert_after {
+            let contents = self.instance.relation_mut(tid, rel);
+            if !contents.contains(&tuple) {
+                contents.push(tuple);
+            }
+        }
+        Ok(true)
+    }
+
+    fn apply_opening(&mut self, child: TaskId) -> Result<bool> {
+        let Some(parent) = self.spec.task(child).parent else {
+            return Ok(false);
+        };
+        if self.instance.stage(child) != Stage::Inactive
+            || self.instance.stage(parent) != Stage::Active
+            || !self.holds(parent, &self.spec.task(child).opening.pre)
+        {
+            return Ok(false);
+        }
+        // Reset all child variables to null, then copy the inputs.
+        let n = self.spec.task(child).vars.len();
+        for i in 0..n {
+            self.instance.set_value(child, VarId::new(i as u32), Value::Null);
+        }
+        let input_map = self.spec.task(child).opening.input_map.clone();
+        for (cv, pv) in input_map {
+            let value = self.instance.value(parent, pv).clone();
+            self.instance.set_value(child, cv, value);
+        }
+        // Empty the child's artifact relations and activate it.
+        for rel in &mut self.instance.tasks[child.index()].relations {
+            rel.clear();
+        }
+        self.instance.set_stage(child, Stage::Active);
+        Ok(true)
+    }
+
+    fn apply_closing(&mut self, tid: TaskId) -> Result<bool> {
+        let Some(parent) = self.spec.task(tid).parent else {
+            return Ok(false); // the root never closes
+        };
+        if self.instance.stage(tid) != Stage::Active
+            || !self
+                .spec
+                .children(tid)
+                .iter()
+                .all(|c| self.instance.stage(*c) == Stage::Inactive)
+            || !self.holds(tid, &self.spec.task(tid).closing.pre)
+        {
+            return Ok(false);
+        }
+        let output_map = self.spec.task(tid).closing.output_map.clone();
+        for (cv, pv) in output_map {
+            let value = self.instance.value(tid, cv).clone();
+            self.instance.set_value(parent, pv, value);
+        }
+        for rel in &mut self.instance.tasks[tid.index()].relations {
+            rel.clear();
+        }
+        self.instance.set_stage(tid, Stage::Inactive);
+        Ok(true)
+    }
+
+    /// Perform one random step: shuffle the candidate services and apply
+    /// the first one that succeeds.
+    pub fn step(&mut self) -> StepOutcome {
+        let mut candidates = self.candidate_services();
+        // Fisher-Yates shuffle with the internal PRNG.
+        for i in (1..candidates.len()).rev() {
+            let j = self.rng.below(i + 1);
+            candidates.swap(i, j);
+        }
+        for service in candidates {
+            if self.try_apply(service).unwrap_or(false) {
+                return StepOutcome::Applied(service);
+            }
+        }
+        StepOutcome::NoEnabledService
+    }
+
+    /// Run for up to `max_steps` transitions, collecting the local runs of
+    /// `observed` (paper: `Runs_T(ρ)`).  The trailing run is reported even
+    /// if it has not closed by the time the budget is exhausted.
+    pub fn run_collecting_local_runs(&mut self, observed: TaskId) -> Vec<LocalRun> {
+        let observable: BTreeSet<ServiceRef> =
+            self.spec.observable_services(observed).into_iter().collect();
+        let mut runs: Vec<LocalRun> = Vec::new();
+        let mut current: Option<LocalRun> = None;
+        // The root task opens implicitly at the start of the global run.
+        if observed == self.spec.root() {
+            current = Some(LocalRun {
+                task: observed,
+                events: vec![LocalEvent {
+                    service: ServiceRef::Opening(observed),
+                    valuation: self.instance.tasks[observed.index()].valuation.clone(),
+                }],
+                closed: false,
+            });
+        }
+        for _ in 0..self.config.max_steps {
+            match self.step() {
+                StepOutcome::NoEnabledService => break,
+                StepOutcome::Applied(service) => {
+                    if !observable.contains(&service) {
+                        continue;
+                    }
+                    let event = LocalEvent {
+                        service,
+                        valuation: self.instance.tasks[observed.index()].valuation.clone(),
+                    };
+                    match (&mut current, service) {
+                        (None, ServiceRef::Opening(t)) if t == observed => {
+                            current = Some(LocalRun {
+                                task: observed,
+                                events: vec![event],
+                                closed: false,
+                            });
+                        }
+                        (Some(run), ServiceRef::Closing(t)) if t == observed => {
+                            run.events.push(event);
+                            run.closed = true;
+                            runs.push(current.take().expect("current run exists"));
+                        }
+                        (Some(run), _) => run.events.push(event),
+                        (None, _) => {
+                            // Observable event outside a local run of the task
+                            // (e.g. before it opens); ignored.
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(run) = current.take() {
+            runs.push(run);
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{SpecBuilder, TaskBuilder};
+    use crate::condition::Term;
+    use crate::instance::Tuple;
+    use crate::schema::attr::data;
+    use crate::schema::DatabaseSchema;
+
+    /// A tiny one-task spec: a counter-ish status machine over one data
+    /// variable with an artifact relation used as a pool.
+    fn tiny_spec() -> HasSpec {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let status = root.data_var("status");
+        let pool = root.art_relation_like("POOL", &[status]);
+        root.service_parts(
+            "start",
+            Condition::eq(Term::var(status), Term::Null),
+            Condition::eq(Term::var(status), Term::str("Working")),
+            vec![],
+            None,
+        );
+        root.service_parts(
+            "stash",
+            Condition::eq(Term::var(status), Term::str("Working")),
+            Condition::eq(Term::var(status), Term::Null),
+            vec![],
+            Some(Update::Insert {
+                rel: pool,
+                vars: vec![status],
+            }),
+        );
+        root.service_parts(
+            "unstash",
+            Condition::eq(Term::var(status), Term::Null),
+            Condition::True,
+            vec![],
+            Some(Update::Retrieve {
+                rel: pool,
+                vars: vec![status],
+            }),
+        );
+        SpecBuilder::new("tiny", db, root.build()).build().unwrap()
+    }
+
+    #[test]
+    fn interpreter_runs_deterministically_for_a_seed() {
+        let spec = tiny_spec();
+        let db = DatabaseInstance::empty(spec.db.len());
+        let config = RunConfig {
+            seed: 42,
+            max_steps: 50,
+            ..RunConfig::default()
+        };
+        let trace1: Vec<ServiceRef> = {
+            let mut i = Interpreter::new(&spec, &db, config).unwrap();
+            (0..20)
+                .filter_map(|_| match i.step() {
+                    StepOutcome::Applied(s) => Some(s),
+                    StepOutcome::NoEnabledService => None,
+                })
+                .collect()
+        };
+        let trace2: Vec<ServiceRef> = {
+            let mut i = Interpreter::new(&spec, &db, config).unwrap();
+            (0..20)
+                .filter_map(|_| match i.step() {
+                    StepOutcome::Applied(s) => Some(s),
+                    StepOutcome::NoEnabledService => None,
+                })
+                .collect()
+        };
+        assert_eq!(trace1, trace2);
+        assert!(!trace1.is_empty());
+    }
+
+    #[test]
+    fn insert_then_retrieve_round_trips() {
+        let spec = tiny_spec();
+        let db = DatabaseInstance::empty(spec.db.len());
+        let mut interp = Interpreter::new(&spec, &db, RunConfig::default()).unwrap();
+        let root = spec.root();
+        // start: status becomes "Working"
+        assert!(interp
+            .try_apply(ServiceRef::Internal { task: root, index: 0 })
+            .unwrap());
+        assert_eq!(
+            *interp.instance.value(root, VarId::new(0)),
+            Value::str("Working")
+        );
+        // stash: tuple stored, status reset to null
+        assert!(interp
+            .try_apply(ServiceRef::Internal { task: root, index: 1 })
+            .unwrap());
+        assert_eq!(interp.instance.stored_tuples(), 1);
+        assert_eq!(*interp.instance.value(root, VarId::new(0)), Value::Null);
+        // unstash: tuple comes back
+        assert!(interp
+            .try_apply(ServiceRef::Internal { task: root, index: 2 })
+            .unwrap());
+        assert_eq!(interp.instance.stored_tuples(), 0);
+        assert_eq!(
+            *interp.instance.value(root, VarId::new(0)),
+            Value::str("Working")
+        );
+    }
+
+    #[test]
+    fn retrieve_from_empty_pool_is_not_applicable() {
+        let spec = tiny_spec();
+        let db = DatabaseInstance::empty(spec.db.len());
+        let mut interp = Interpreter::new(&spec, &db, RunConfig::default()).unwrap();
+        let root = spec.root();
+        assert!(!interp
+            .try_apply(ServiceRef::Internal { task: root, index: 2 })
+            .unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_global_pre_is_reported() {
+        let mut spec = tiny_spec();
+        spec.global_pre = Condition::False;
+        let db = DatabaseInstance::empty(spec.db.len());
+        assert!(Interpreter::new(&spec, &db, RunConfig::default()).is_err());
+    }
+
+    #[test]
+    fn parent_child_open_close_cycle() {
+        // Root with one child that sets an output and closes.
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let result = root.data_var("result");
+        root.service_parts(
+            "reset",
+            Condition::neq(Term::var(result), Term::Null),
+            Condition::eq(Term::var(result), Term::Null),
+            vec![],
+            None,
+        );
+        let mut builder = SpecBuilder::new("pc", db, root.build());
+        let mut child = TaskBuilder::new("Child");
+        let r = child.data_var("result");
+        child.outputs([r]);
+        child.opening_pre(Condition::True);
+        child.closing_pre(Condition::neq(Term::var(r), Term::Null));
+        child.service_parts(
+            "work",
+            Condition::True,
+            Condition::eq(Term::var(r), Term::str("Done")),
+            vec![],
+            None,
+        );
+        let child_id = builder.add_child("Root", child.build()).unwrap();
+        let spec = builder.build().unwrap();
+        let dbi = DatabaseInstance::empty(spec.db.len());
+        let mut interp = Interpreter::new(&spec, &dbi, RunConfig::default()).unwrap();
+
+        assert!(interp.try_apply(ServiceRef::Opening(child_id)).unwrap());
+        assert_eq!(interp.instance.stage(child_id), Stage::Active);
+        // Closing requires result != null, so run the child's service first.
+        assert!(!interp.try_apply(ServiceRef::Closing(child_id)).unwrap());
+        assert!(interp
+            .try_apply(ServiceRef::Internal { task: child_id, index: 0 })
+            .unwrap());
+        assert!(interp.try_apply(ServiceRef::Closing(child_id)).unwrap());
+        assert_eq!(interp.instance.stage(child_id), Stage::Inactive);
+        // Output copied to the parent's same-named variable.
+        assert_eq!(
+            *interp.instance.value(spec.root(), VarId::new(0)),
+            Value::str("Done")
+        );
+    }
+
+    #[test]
+    fn local_runs_of_root_are_collected() {
+        let spec = tiny_spec();
+        let db = DatabaseInstance::empty(spec.db.len());
+        let config = RunConfig {
+            seed: 7,
+            max_steps: 30,
+            ..RunConfig::default()
+        };
+        let mut interp = Interpreter::new(&spec, &db, config).unwrap();
+        let runs = interp.run_collecting_local_runs(spec.root());
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert!(!run.closed); // the root never closes
+        assert!(run.events.len() > 1);
+        assert_eq!(run.events[0].service, ServiceRef::Opening(spec.root()));
+    }
+
+    #[test]
+    fn database_tuples_feed_id_variables() {
+        // A service that requires looking up a database tuple.
+        let mut db_schema = DatabaseSchema::new();
+        let r = db_schema.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let x = root.id_var("x", r);
+        let a = root.data_var("a");
+        root.service_parts(
+            "lookup",
+            Condition::eq(Term::var(x), Term::Null),
+            Condition::Rel {
+                rel: r,
+                id: Term::var(x),
+                args: vec![Term::var(a)],
+            },
+            vec![],
+            None,
+        );
+        let spec = SpecBuilder::new("db", db_schema, root.build())
+            .build()
+            .unwrap();
+        let mut dbi = DatabaseInstance::empty(spec.db.len());
+        dbi.insert(
+            r,
+            Tuple {
+                id: 3,
+                attrs: vec![Value::str("hello")],
+            },
+        );
+        let mut interp = Interpreter::new(&spec, &dbi, RunConfig::default()).unwrap();
+        assert!(interp
+            .try_apply(ServiceRef::Internal { task: spec.root(), index: 0 })
+            .unwrap());
+        assert_eq!(*interp.instance.value(spec.root(), VarId::new(0)), Value::Id(r, 3));
+        assert_eq!(
+            *interp.instance.value(spec.root(), VarId::new(1)),
+            Value::str("hello")
+        );
+    }
+}

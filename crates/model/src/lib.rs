@@ -1,0 +1,54 @@
+//! # verifas-model — the HAS\* (Hierarchical Artifact System) model
+//!
+//! This crate implements the specification language verified by VERIFAS
+//! (Li, Deutsch, Vianu — VLDB 2017): *Hierarchical Artifact Systems*
+//! (HAS\*).  A HAS\* specification consists of
+//!
+//! * a read-only **database schema** with key and acyclic foreign-key
+//!   constraints ([`schema::DatabaseSchema`]),
+//! * a rooted tree (**hierarchy**) of **tasks** ([`task::Task`]), each
+//!   carrying a tuple of *artifact variables* and a set of updatable
+//!   *artifact relations*,
+//! * **services** attached to each task ([`service`]): *internal* services
+//!   guarded by pre-conditions and constrained by post-conditions which may
+//!   insert into / retrieve from the artifact relations, plus an *opening*
+//!   and a *closing* service per task used for parent/child interaction,
+//! * a **global pre-condition** constraining the initial artifact tuple of
+//!   the root task.
+//!
+//! Conditions are quantifier-free first-order formulas over the database
+//! schema with equality ([`condition::Condition`]); existential quantifiers
+//! can be simulated by adding scratch variables to a task (see the paper,
+//! Section 2).
+//!
+//! Besides the specification language this crate implements the *concrete*
+//! operational semantics of HAS\* (instances, transitions and runs —
+//! [`instance`], [`interpreter`]), used by the examples and as a test oracle
+//! for the symbolic verifier in `verifas-core`.
+//!
+//! The design follows Section 2 and Appendix A of the paper; the
+//! module-level documentation of each module points at the relevant
+//! definitions.
+
+pub mod builder;
+pub mod condition;
+pub mod error;
+pub mod instance;
+pub mod interpreter;
+pub mod schema;
+pub mod service;
+pub mod spec;
+pub mod task;
+pub mod validate;
+pub mod value;
+
+pub use builder::{SpecBuilder, TaskBuilder};
+pub use condition::{CmpOp, Condition, Literal, Term, VarRef};
+pub use error::ModelError;
+pub use instance::{ArtifactInstance, DatabaseInstance, Stage, Tuple};
+pub use interpreter::{Interpreter, LocalEvent, LocalRun, RunConfig, StepOutcome};
+pub use schema::{AttrId, AttrKind, Attribute, DatabaseSchema, RelId, Relation};
+pub use service::{ClosingService, InternalService, OpeningService, ServiceRef, Update};
+pub use spec::HasSpec;
+pub use task::{ArtRelId, ArtRelation, Task, TaskId, VarId, VarType, Variable};
+pub use value::{DataValue, Value};

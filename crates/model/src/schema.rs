@@ -1,0 +1,454 @@
+//! Database schemas with keys and acyclic foreign keys (paper Definition 1).
+//!
+//! Every relation has an implicit key attribute `ID`, a set of non-key
+//! (data-valued) attributes and a set of foreign-key attributes, each
+//! referencing the `ID` of another relation.  The schema must be *acyclic*:
+//! the graph whose nodes are relations and whose edges follow foreign keys
+//! has no cycle (Definition 2).  Acyclicity is what makes the set of
+//! foreign-key navigation expressions finite, which the symbolic
+//! representation of `verifas-core` relies on.
+
+use crate::error::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a relation within a [`DatabaseSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// Create a relation id from a raw index.
+    pub fn new(index: u32) -> Self {
+        RelId(index)
+    }
+
+    /// The raw index of this relation within its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Index of an attribute within a relation (excluding the implicit `ID`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(u32);
+
+impl AttrId {
+    /// Create an attribute id from a raw index.
+    pub fn new(index: u32) -> Self {
+        AttrId(index)
+    }
+
+    /// The raw index of this attribute within its relation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a (non-`ID`) attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// A non-key attribute holding a data value from `DOM_val`.
+    NonKey,
+    /// A foreign-key attribute referencing the `ID` of another relation.
+    ForeignKey(RelId),
+}
+
+/// A non-`ID` attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within the relation.
+    pub name: String,
+    /// Whether the attribute is a plain data attribute or a foreign key.
+    pub kind: AttrKind,
+}
+
+/// A relation of the read-only database (Definition 1).
+///
+/// The key attribute `ID` is implicit and always present; `attrs` lists the
+/// remaining attributes in declaration order.  Relational atoms in
+/// conditions refer to attributes positionally in this order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Relation name, unique within the schema.
+    pub name: String,
+    /// Non-`ID` attributes in declaration order.
+    pub attrs: Vec<Attribute>,
+}
+
+impl Relation {
+    /// Number of non-`ID` attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Find an attribute by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<(AttrId, &Attribute)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.name == name)
+            .map(|(i, a)| (AttrId::new(i as u32), a))
+    }
+
+    /// Get an attribute by id.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id.index()]
+    }
+}
+
+/// A read-only database schema: a set of relations with acyclic foreign
+/// keys (Definitions 1 and 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseSchema {
+    relations: Vec<Relation>,
+}
+
+impl DatabaseSchema {
+    /// Create an empty schema.
+    pub fn new() -> Self {
+        DatabaseSchema::default()
+    }
+
+    /// Add a relation to the schema.
+    ///
+    /// `attrs` pairs each attribute name with its kind.  Returns the id of
+    /// the new relation.  Duplicate relation or attribute names are
+    /// rejected; acyclicity is checked by [`DatabaseSchema::validate`] (and
+    /// by the spec-level validation) because forward references may be
+    /// needed while building.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        attrs: Vec<(String, AttrKind)>,
+    ) -> Result<RelId> {
+        let name = name.into();
+        if self.relation_by_name(&name).is_some() {
+            return Err(ModelError::DuplicateName {
+                kind: "relation",
+                name,
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (attr_name, _) in &attrs {
+            if !seen.insert(attr_name.clone()) {
+                return Err(ModelError::DuplicateName {
+                    kind: "attribute",
+                    name: attr_name.clone(),
+                });
+            }
+            if attr_name == "ID" {
+                return Err(ModelError::InvalidSpec {
+                    reason: format!("relation {name:?}: the key attribute ID is implicit"),
+                });
+            }
+        }
+        let id = RelId::new(self.relations.len() as u32);
+        self.relations.push(Relation {
+            name,
+            attrs: attrs
+                .into_iter()
+                .map(|(name, kind)| Attribute { name, kind })
+                .collect(),
+        });
+        Ok(id)
+    }
+
+    /// Number of relations in the schema.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` iff the schema has no relation.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate over `(RelId, &Relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId::new(i as u32), r))
+    }
+
+    /// Get a relation by id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Look up a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<(RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.name == name)
+            .map(|(i, r)| (RelId::new(i as u32), r))
+    }
+
+    /// Check that every foreign key references an existing relation and
+    /// that the foreign-key graph is acyclic (Definition 2).
+    pub fn validate(&self) -> Result<()> {
+        // Referenced relations exist (indices are always in range because
+        // RelIds can only be minted by add_relation, but a schema might be
+        // deserialized, so check anyway).
+        for (_, rel) in self.iter() {
+            for attr in &rel.attrs {
+                if let AttrKind::ForeignKey(target) = attr.kind {
+                    if target.index() >= self.relations.len() {
+                        return Err(ModelError::UnknownName {
+                            kind: "relation (foreign key target)",
+                            name: format!("{}.{}", rel.name, attr.name),
+                        });
+                    }
+                }
+            }
+        }
+        // Acyclicity by depth-first search with colouring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.relations.len();
+        let mut color = vec![Color::White; n];
+        let mut stack_names = Vec::new();
+        fn dfs(
+            schema: &DatabaseSchema,
+            node: usize,
+            color: &mut [Color],
+            stack_names: &mut Vec<String>,
+        ) -> Result<()> {
+            color[node] = Color::Gray;
+            stack_names.push(schema.relations[node].name.clone());
+            for attr in &schema.relations[node].attrs {
+                if let AttrKind::ForeignKey(target) = attr.kind {
+                    match color[target.index()] {
+                        Color::Gray => {
+                            let mut cycle = stack_names.clone();
+                            cycle.push(schema.relations[target.index()].name.clone());
+                            return Err(ModelError::CyclicForeignKeys { cycle });
+                        }
+                        Color::White => dfs(schema, target.index(), color, stack_names)?,
+                        Color::Black => {}
+                    }
+                }
+            }
+            stack_names.pop();
+            color[node] = Color::Black;
+            Ok(())
+        }
+        for i in 0..n {
+            if color[i] == Color::White {
+                dfs(self, i, &mut color, &mut stack_names)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The relations reachable from `rel` by following foreign keys
+    /// (excluding `rel` itself unless it is reachable through a longer
+    /// path, which acyclicity forbids).
+    pub fn reachable_from(&self, rel: RelId) -> Vec<RelId> {
+        let mut seen = vec![false; self.relations.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![rel];
+        while let Some(r) = stack.pop() {
+            for attr in &self.relation(r).attrs {
+                if let AttrKind::ForeignKey(t) = attr.kind {
+                    if !seen[t.index()] {
+                        seen[t.index()] = true;
+                        order.push(t);
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// The maximum length of a foreign-key navigation path in the schema.
+    ///
+    /// Useful as a sanity bound for the expression universe of the
+    /// symbolic representation.
+    pub fn max_navigation_depth(&self) -> usize {
+        fn depth(schema: &DatabaseSchema, rel: RelId, memo: &mut Vec<Option<usize>>) -> usize {
+            if let Some(d) = memo[rel.index()] {
+                return d;
+            }
+            let mut best = 0usize;
+            for attr in &schema.relation(rel).attrs {
+                if let AttrKind::ForeignKey(t) = attr.kind {
+                    best = best.max(1 + depth(schema, t, memo));
+                }
+            }
+            memo[rel.index()] = Some(best);
+            best
+        }
+        let mut memo = vec![None; self.relations.len()];
+        (0..self.relations.len())
+            .map(|i| depth(self, RelId::new(i as u32), &mut memo))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Convenience helpers for describing attributes when building schemas.
+pub mod attr {
+    use super::{AttrKind, RelId};
+
+    /// A non-key (data) attribute.
+    pub fn data(name: &str) -> (String, AttrKind) {
+        (name.to_owned(), AttrKind::NonKey)
+    }
+
+    /// A foreign-key attribute referencing `target`.
+    pub fn fk(name: &str, target: RelId) -> (String, AttrKind) {
+        (name.to_owned(), AttrKind::ForeignKey(target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::attr::{data, fk};
+    use super::*;
+
+    /// The order-fulfillment schema from Example 2 of the paper.
+    fn order_fulfillment_schema() -> (DatabaseSchema, RelId, RelId, RelId) {
+        let mut db = DatabaseSchema::new();
+        let credit = db
+            .add_relation("CREDIT_RECORD", vec![data("status")])
+            .unwrap();
+        let customers = db
+            .add_relation(
+                "CUSTOMERS",
+                vec![data("name"), data("address"), fk("record", credit)],
+            )
+            .unwrap();
+        let items = db
+            .add_relation("ITEMS", vec![data("item_name"), data("price")])
+            .unwrap();
+        (db, credit, customers, items)
+    }
+
+    #[test]
+    fn example_schema_is_valid_and_acyclic() {
+        let (db, credit, customers, items) = order_fulfillment_schema();
+        db.validate().unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.relation(customers).arity(), 3);
+        assert_eq!(db.relation(items).name, "ITEMS");
+        assert_eq!(db.reachable_from(customers), vec![credit]);
+        assert!(db.reachable_from(credit).is_empty());
+        assert_eq!(db.max_navigation_depth(), 1);
+    }
+
+    #[test]
+    fn duplicate_relation_names_are_rejected() {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let err = db.add_relation("R", vec![data("b")]).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName { kind: "relation", .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_names_are_rejected() {
+        let mut db = DatabaseSchema::new();
+        let err = db
+            .add_relation("R", vec![data("a"), data("a")])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName { kind: "attribute", .. }));
+    }
+
+    #[test]
+    fn explicit_id_attribute_is_rejected() {
+        let mut db = DatabaseSchema::new();
+        let err = db.add_relation("R", vec![data("ID")]).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidSpec { .. }));
+    }
+
+    #[test]
+    fn cyclic_foreign_keys_are_rejected() {
+        // Build a 2-cycle R -> S -> R by forging RelIds (the builder cannot
+        // produce forward references, so construct relations directly).
+        let db = DatabaseSchema {
+            relations: vec![
+                Relation {
+                    name: "R".into(),
+                    attrs: vec![Attribute {
+                        name: "s".into(),
+                        kind: AttrKind::ForeignKey(RelId::new(1)),
+                    }],
+                },
+                Relation {
+                    name: "S".into(),
+                    attrs: vec![Attribute {
+                        name: "r".into(),
+                        kind: AttrKind::ForeignKey(RelId::new(0)),
+                    }],
+                },
+            ],
+        };
+        let err = db.validate().unwrap_err();
+        assert!(matches!(err, ModelError::CyclicForeignKeys { .. }));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let db = DatabaseSchema {
+            relations: vec![Relation {
+                name: "R".into(),
+                attrs: vec![Attribute {
+                    name: "self_ref".into(),
+                    kind: AttrKind::ForeignKey(RelId::new(0)),
+                }],
+            }],
+        };
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_foreign_key_is_rejected() {
+        let db = DatabaseSchema {
+            relations: vec![Relation {
+                name: "R".into(),
+                attrs: vec![Attribute {
+                    name: "x".into(),
+                    kind: AttrKind::ForeignKey(RelId::new(7)),
+                }],
+            }],
+        };
+        assert!(matches!(
+            db.validate().unwrap_err(),
+            ModelError::UnknownName { .. }
+        ));
+    }
+
+    #[test]
+    fn navigation_depth_of_chain() {
+        let mut db = DatabaseSchema::new();
+        let a = db.add_relation("A", vec![data("v")]).unwrap();
+        let b = db.add_relation("B", vec![fk("a", a)]).unwrap();
+        let c = db.add_relation("C", vec![fk("b", b), data("w")]).unwrap();
+        db.validate().unwrap();
+        assert_eq!(db.max_navigation_depth(), 2);
+        assert_eq!(db.reachable_from(c).len(), 2);
+    }
+
+    #[test]
+    fn attr_lookup_by_name() {
+        let (db, _, customers, _) = order_fulfillment_schema();
+        let rel = db.relation(customers);
+        let (aid, a) = rel.attr_by_name("record").unwrap();
+        assert_eq!(aid.index(), 2);
+        assert!(matches!(a.kind, AttrKind::ForeignKey(_)));
+        assert!(rel.attr_by_name("missing").is_none());
+        assert_eq!(rel.attr(aid).name, "record");
+    }
+}

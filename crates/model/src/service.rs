@@ -1,0 +1,223 @@
+//! Services: internal, opening and closing (paper Definition 10 and
+//! Appendix A Definition 26).
+//!
+//! * An **internal service** of a task is guarded by a pre-condition over
+//!   the task's variables, constrains the *next* values of the variables by
+//!   a post-condition, propagates (keeps unchanged) a declared subset of
+//!   variables, and may perform at most one artifact-relation update: an
+//!   insertion `+S(z̄)` or a retrieval `−S(z̄)`.  When an update is present
+//!   the propagated set must be exactly the task's input variables
+//!   (Definition 10).
+//! * The **opening service** of a (non-root) task is guarded by a condition
+//!   over the *parent's* variables and passes parameters to the child's
+//!   input variables.
+//! * The **closing service** of a task is guarded by a condition over the
+//!   task's own variables and copies its output variables back into
+//!   variables of the parent.
+
+use crate::condition::Condition;
+use crate::task::{ArtRelId, TaskId, VarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The artifact-relation update of an internal service (`δ` in
+/// Definition 10): at most one insertion or retrieval.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Update {
+    /// `+S(z̄)`: insert the current values of `vars` into artifact relation
+    /// `rel`.
+    Insert {
+        /// Target artifact relation.
+        rel: ArtRelId,
+        /// Task variables providing the inserted tuple, in column order.
+        vars: Vec<VarId>,
+    },
+    /// `−S(z̄)`: nondeterministically choose and remove a tuple from `rel`,
+    /// assigning it to `vars`.
+    Retrieve {
+        /// Source artifact relation.
+        rel: ArtRelId,
+        /// Task variables receiving the retrieved tuple, in column order.
+        vars: Vec<VarId>,
+    },
+}
+
+impl Update {
+    /// The artifact relation touched by the update.
+    pub fn relation(&self) -> ArtRelId {
+        match self {
+            Update::Insert { rel, .. } | Update::Retrieve { rel, .. } => *rel,
+        }
+    }
+
+    /// The task variables involved in the update, in column order.
+    pub fn vars(&self) -> &[VarId] {
+        match self {
+            Update::Insert { vars, .. } | Update::Retrieve { vars, .. } => vars,
+        }
+    }
+
+    /// `true` for an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert { .. })
+    }
+}
+
+/// An internal service of a task (Definition 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InternalService {
+    /// Service name, unique within its task.
+    pub name: String,
+    /// Pre-condition `π` over the task's variables.
+    pub pre: Condition,
+    /// Post-condition `ψ` constraining the next variable values.
+    pub post: Condition,
+    /// Propagated variables `ȳ` whose values are preserved by the
+    /// transition; always a superset of the task's input variables.
+    pub propagated: Vec<VarId>,
+    /// Optional artifact-relation update.
+    pub update: Option<Update>,
+}
+
+impl InternalService {
+    /// Create a service with `true` pre/post conditions, no propagation and
+    /// no update.
+    pub fn new(name: impl Into<String>) -> Self {
+        InternalService {
+            name: name.into(),
+            pre: Condition::True,
+            post: Condition::True,
+            propagated: Vec::new(),
+            update: None,
+        }
+    }
+}
+
+/// The opening service `σᵒ_T` of a task (Appendix A Definition 26 (i)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpeningService {
+    /// Pre-condition over the *parent's* variables (for the root task:
+    /// `true`).
+    pub pre: Condition,
+    /// Input-variable mapping `f_in`: pairs `(child input variable, parent
+    /// variable)`; a 1-1 mapping from the child's input variables.
+    pub input_map: Vec<(VarId, VarId)>,
+}
+
+impl Default for OpeningService {
+    fn default() -> Self {
+        OpeningService {
+            pre: Condition::True,
+            input_map: Vec::new(),
+        }
+    }
+}
+
+/// The closing service `σᶜ_T` of a task (Appendix A Definition 26 (ii)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosingService {
+    /// Pre-condition over the task's *own* variables (for the root task:
+    /// `false`).
+    pub pre: Condition,
+    /// Output-variable mapping `f_out`: pairs `(child output variable,
+    /// parent variable)`; a 1-1 mapping from the child's output variables.
+    pub output_map: Vec<(VarId, VarId)>,
+}
+
+impl Default for ClosingService {
+    fn default() -> Self {
+        ClosingService {
+            pre: Condition::False,
+            output_map: Vec::new(),
+        }
+    }
+}
+
+/// A reference to a service observable in runs of some task: one of its
+/// internal services, its own opening/closing service, or the
+/// opening/closing service of one of its children (the set `Σ^obs_T` of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceRef {
+    /// The `index`-th internal service of `task`.
+    Internal {
+        /// Owning task.
+        task: TaskId,
+        /// Index into the task's internal-service list.
+        index: usize,
+    },
+    /// The opening service of `task`.
+    Opening(TaskId),
+    /// The closing service of `task`.
+    Closing(TaskId),
+}
+
+impl ServiceRef {
+    /// The task the referenced service belongs to.
+    pub fn task(&self) -> TaskId {
+        match self {
+            ServiceRef::Internal { task, .. } | ServiceRef::Opening(task) | ServiceRef::Closing(task) => {
+                *task
+            }
+        }
+    }
+}
+
+impl fmt::Display for ServiceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceRef::Internal { task, index } => write!(f, "{task}.svc{index}"),
+            ServiceRef::Opening(task) => write!(f, "open({task})"),
+            ServiceRef::Closing(task) => write!(f, "close({task})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_accessors() {
+        let ins = Update::Insert {
+            rel: ArtRelId::new(0),
+            vars: vec![VarId::new(0), VarId::new(1)],
+        };
+        let ret = Update::Retrieve {
+            rel: ArtRelId::new(1),
+            vars: vec![VarId::new(2)],
+        };
+        assert!(ins.is_insert());
+        assert!(!ret.is_insert());
+        assert_eq!(ins.relation(), ArtRelId::new(0));
+        assert_eq!(ret.relation(), ArtRelId::new(1));
+        assert_eq!(ins.vars().len(), 2);
+    }
+
+    #[test]
+    fn default_opening_closing_conditions() {
+        assert_eq!(OpeningService::default().pre, Condition::True);
+        assert_eq!(ClosingService::default().pre, Condition::False);
+    }
+
+    #[test]
+    fn service_ref_task_and_display() {
+        let s = ServiceRef::Internal {
+            task: TaskId::new(2),
+            index: 1,
+        };
+        assert_eq!(s.task(), TaskId::new(2));
+        assert_eq!(s.to_string(), "T3.svc1");
+        assert_eq!(ServiceRef::Opening(TaskId::new(0)).to_string(), "open(T1)");
+        assert_eq!(ServiceRef::Closing(TaskId::new(1)).to_string(), "close(T2)");
+    }
+
+    #[test]
+    fn internal_service_defaults() {
+        let s = InternalService::new("Init");
+        assert_eq!(s.pre, Condition::True);
+        assert_eq!(s.post, Condition::True);
+        assert!(s.propagated.is_empty());
+        assert!(s.update.is_none());
+    }
+}

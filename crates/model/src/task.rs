@@ -1,0 +1,300 @@
+//! Task schemas and artifact relations (paper Definitions 3–6).
+//!
+//! A *task* carries a tuple of artifact variables (ID-typed or data-typed),
+//! distinguished subsequences of *input* and *output* variables, a set of
+//! updatable *artifact relations*, a set of internal services and one
+//! opening/closing service pair.  Tasks are organised in a rooted tree (the
+//! hierarchy), encoded here by parent/children links; the root task has
+//! index 0 in the specification.
+
+use crate::schema::RelId;
+use crate::service::{ClosingService, InternalService, OpeningService};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an artifact variable within its task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Create a variable id from a raw index.
+    pub fn new(index: u32) -> Self {
+        VarId(index)
+    }
+
+    /// The raw index of this variable within its task.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The type of an artifact variable or artifact-relation column: either a
+/// data value from `DOM_val` or an identifier of a specific relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VarType {
+    /// Data-valued (`DOM_val ∪ {null}`).
+    Data,
+    /// ID-valued for the given database relation (`Dom(R.ID) ∪ {null}`).
+    Id(RelId),
+}
+
+/// An artifact variable (or artifact-relation column) declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Variable name, unique within its task.
+    pub name: String,
+    /// The variable's type.
+    pub typ: VarType,
+}
+
+/// Index of an artifact relation within its task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArtRelId(u32);
+
+impl ArtRelId {
+    /// Create an artifact-relation id from a raw index.
+    pub fn new(index: u32) -> Self {
+        ArtRelId(index)
+    }
+
+    /// The raw index of this artifact relation within its task.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An updatable artifact relation of a task (the `S^T` of Definition 3).
+///
+/// Unlike database relations, artifact relations have no key; they are sets
+/// of tuples inserted and retrieved by internal services.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtRelation {
+    /// Artifact-relation name, unique within its task.
+    pub name: String,
+    /// Column declarations (name + type) in positional order.
+    pub columns: Vec<Variable>,
+}
+
+impl ArtRelation {
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// Index of a task within a specification; the root task is always index 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Create a task id from a raw index.
+    pub fn new(index: u32) -> Self {
+        TaskId(index)
+    }
+
+    /// The id of the root task.
+    pub const ROOT: TaskId = TaskId(0);
+
+    /// The raw index of this task within its specification.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+/// A task schema (Definition 3) together with its services and its position
+/// in the hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task name, unique within the specification.
+    pub name: String,
+    /// Artifact variables of the task, in declaration order.
+    pub vars: Vec<Variable>,
+    /// Input variables (`x̄ᵀ_in`), initialised by the parent when the task
+    /// opens.
+    pub input_vars: Vec<VarId>,
+    /// Output variables (`x̄ᵀ_out`), copied back to the parent when the
+    /// task closes.
+    pub output_vars: Vec<VarId>,
+    /// Updatable artifact relations of the task.
+    pub art_relations: Vec<ArtRelation>,
+    /// Internal services of the task.
+    pub services: Vec<InternalService>,
+    /// The opening service (`σᵒ_T`); for the root task the pre-condition is
+    /// `true` and the input map is empty.
+    pub opening: OpeningService,
+    /// The closing service (`σᶜ_T`); for the root task the pre-condition is
+    /// `false` so it never fires.
+    pub closing: ClosingService,
+    /// Parent task, `None` for the root.
+    pub parent: Option<TaskId>,
+    /// Children tasks (subtasks).
+    pub children: Vec<TaskId>,
+}
+
+impl Task {
+    /// Create an empty task with the given name, a `true` opening
+    /// condition and a `false` closing condition (root-task defaults).
+    pub fn new(name: impl Into<String>) -> Self {
+        Task {
+            name: name.into(),
+            vars: Vec::new(),
+            input_vars: Vec::new(),
+            output_vars: Vec::new(),
+            art_relations: Vec::new(),
+            services: Vec::new(),
+            opening: OpeningService::default(),
+            closing: ClosingService::default(),
+            parent: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Number of artifact variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Iterate over `(VarId, &Variable)` pairs.
+    pub fn iter_vars(&self) -> impl Iterator<Item = (VarId, &Variable)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId::new(i as u32), v))
+    }
+
+    /// Look up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<(VarId, &Variable)> {
+        self.iter_vars().find(|(_, v)| v.name == name)
+    }
+
+    /// Get a variable declaration by id.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.index()]
+    }
+
+    /// Look up an artifact relation by name.
+    pub fn art_rel_by_name(&self, name: &str) -> Option<(ArtRelId, &ArtRelation)> {
+        self.art_relations
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.name == name)
+            .map(|(i, r)| (ArtRelId::new(i as u32), r))
+    }
+
+    /// Get an artifact relation by id.
+    pub fn art_rel(&self, id: ArtRelId) -> &ArtRelation {
+        &self.art_relations[id.index()]
+    }
+
+    /// ID-typed variables of the task (`x̄ᵀ_id`).
+    pub fn id_vars(&self) -> Vec<VarId> {
+        self.iter_vars()
+            .filter(|(_, v)| matches!(v.typ, VarType::Id(_)))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Data-typed variables of the task (`x̄ᵀ_val`).
+    pub fn data_vars(&self) -> Vec<VarId> {
+        self.iter_vars()
+            .filter(|(_, v)| v.typ == VarType::Data)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// `true` iff the task declares `v` as an input variable.
+    pub fn is_input(&self, v: VarId) -> bool {
+        self.input_vars.contains(&v)
+    }
+
+    /// `true` iff the task declares `v` as an output variable.
+    pub fn is_output(&self, v: VarId) -> bool {
+        self.output_vars.contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_variable_lookup() {
+        let mut t = Task::new("ProcessOrders");
+        t.vars.push(Variable {
+            name: "cust_id".into(),
+            typ: VarType::Id(RelId::new(0)),
+        });
+        t.vars.push(Variable {
+            name: "status".into(),
+            typ: VarType::Data,
+        });
+        assert_eq!(t.var_count(), 2);
+        let (id, v) = t.var_by_name("status").unwrap();
+        assert_eq!(id.index(), 1);
+        assert_eq!(v.typ, VarType::Data);
+        assert!(t.var_by_name("missing").is_none());
+        assert_eq!(t.id_vars(), vec![VarId::new(0)]);
+        assert_eq!(t.data_vars(), vec![VarId::new(1)]);
+        assert_eq!(t.var(VarId::new(0)).name, "cust_id");
+    }
+
+    #[test]
+    fn art_relation_lookup() {
+        let mut t = Task::new("T");
+        t.art_relations.push(ArtRelation {
+            name: "ORDERS".into(),
+            columns: vec![
+                Variable {
+                    name: "cust_id".into(),
+                    typ: VarType::Id(RelId::new(0)),
+                },
+                Variable {
+                    name: "status".into(),
+                    typ: VarType::Data,
+                },
+            ],
+        });
+        let (id, r) = t.art_rel_by_name("ORDERS").unwrap();
+        assert_eq!(id.index(), 0);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(t.art_rel(id).name, "ORDERS");
+        assert!(t.art_rel_by_name("POOL").is_none());
+    }
+
+    #[test]
+    fn input_output_flags() {
+        let mut t = Task::new("T");
+        t.vars.push(Variable {
+            name: "a".into(),
+            typ: VarType::Data,
+        });
+        t.vars.push(Variable {
+            name: "b".into(),
+            typ: VarType::Data,
+        });
+        t.input_vars.push(VarId::new(0));
+        t.output_vars.push(VarId::new(1));
+        assert!(t.is_input(VarId::new(0)));
+        assert!(!t.is_input(VarId::new(1)));
+        assert!(t.is_output(VarId::new(1)));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(TaskId::new(0).to_string(), "T1");
+        assert_eq!(VarId::new(3).to_string(), "x3");
+        assert_eq!(TaskId::ROOT, TaskId::new(0));
+    }
+}

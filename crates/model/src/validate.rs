@@ -1,0 +1,552 @@
+//! Well-formedness validation of HAS\* specifications.
+//!
+//! The checks implement the structural restrictions of Definitions 1–13 and
+//! Appendix A Definition 26 of the paper:
+//!
+//! * the database schema is acyclic,
+//! * the tasks form a rooted tree with consistent parent/children links,
+//! * names are unique in their scope and all conditions type-check,
+//! * internal services propagate at least their task's input variables and,
+//!   when they carry an artifact-relation update, propagate *exactly* the
+//!   input variables (Definition 10),
+//! * update tuples match the column types of their artifact relation,
+//! * opening/closing services use 1-1, type-correct variable mappings and
+//!   returned variables do not overlap the parent's input variables,
+//! * the root task's opening condition is `true` and its closing condition
+//!   is `false` (so the root never returns).
+
+use crate::condition::{Condition, VarRef};
+use crate::error::{ModelError, Result};
+use crate::spec::HasSpec;
+use crate::task::{Task, TaskId, VarId, VarType};
+use std::collections::{BTreeSet, HashSet};
+
+/// Validate a full specification.  Returns the first violation found.
+pub fn validate_spec(spec: &HasSpec) -> Result<()> {
+    spec.db.validate()?;
+    validate_hierarchy(spec)?;
+    let mut task_names = HashSet::new();
+    for (tid, task) in spec.iter_tasks() {
+        if !task_names.insert(task.name.clone()) {
+            return Err(ModelError::DuplicateName {
+                kind: "task",
+                name: task.name.clone(),
+            });
+        }
+        validate_task(spec, tid, task)?;
+    }
+    // Global pre-condition ranges over the root task's variables only.
+    let root = spec.task(spec.root());
+    spec.global_pre.typecheck(&spec.db, root, &[])?;
+    ensure_no_globals(&spec.global_pre, "global pre-condition")?;
+    Ok(())
+}
+
+fn validate_hierarchy(spec: &HasSpec) -> Result<()> {
+    if spec.tasks.is_empty() {
+        return Err(ModelError::MalformedHierarchy {
+            reason: "specification has no task".into(),
+        });
+    }
+    if spec.tasks[0].parent.is_some() {
+        return Err(ModelError::MalformedHierarchy {
+            reason: "root task must have no parent".into(),
+        });
+    }
+    for (tid, task) in spec.iter_tasks() {
+        if tid != spec.root() && task.parent.is_none() {
+            return Err(ModelError::MalformedHierarchy {
+                reason: format!("task {} has no parent", task.name),
+            });
+        }
+        for &child in &task.children {
+            if child.index() >= spec.tasks.len() {
+                return Err(ModelError::MalformedHierarchy {
+                    reason: format!("task {} lists an unknown child", task.name),
+                });
+            }
+            if spec.task(child).parent != Some(tid) {
+                return Err(ModelError::MalformedHierarchy {
+                    reason: format!(
+                        "task {} lists child {} whose parent pointer disagrees",
+                        task.name,
+                        spec.task(child).name
+                    ),
+                });
+            }
+        }
+        if let Some(parent) = task.parent {
+            if parent.index() >= spec.tasks.len() || !spec.task(parent).children.contains(&tid) {
+                return Err(ModelError::MalformedHierarchy {
+                    reason: format!(
+                        "task {} has parent {} which does not list it as a child",
+                        task.name,
+                        parent.index()
+                    ),
+                });
+            }
+        }
+    }
+    // Every task must be reachable from the root (tree, not forest), and
+    // the parent links must be acyclic.
+    let mut seen = vec![false; spec.tasks.len()];
+    let mut stack = vec![spec.root()];
+    seen[0] = true;
+    while let Some(t) = stack.pop() {
+        for &c in spec.children(t) {
+            if seen[c.index()] {
+                return Err(ModelError::MalformedHierarchy {
+                    reason: format!("task {} is reachable twice", spec.task(c).name),
+                });
+            }
+            seen[c.index()] = true;
+            stack.push(c);
+        }
+    }
+    if let Some(pos) = seen.iter().position(|s| !s) {
+        return Err(ModelError::MalformedHierarchy {
+            reason: format!("task {} is not reachable from the root", spec.tasks[pos].name),
+        });
+    }
+    Ok(())
+}
+
+fn validate_task(spec: &HasSpec, tid: TaskId, task: &Task) -> Result<()> {
+    // Unique variable and artifact-relation names.
+    let mut names = HashSet::new();
+    for v in &task.vars {
+        if !names.insert(v.name.clone()) {
+            return Err(ModelError::DuplicateName {
+                kind: "variable",
+                name: format!("{}.{}", task.name, v.name),
+            });
+        }
+        if let VarType::Id(rel) = v.typ {
+            if rel.index() >= spec.db.len() {
+                return Err(ModelError::UnknownName {
+                    kind: "relation (variable type)",
+                    name: format!("{}.{}", task.name, v.name),
+                });
+            }
+        }
+    }
+    let mut rel_names = HashSet::new();
+    for r in &task.art_relations {
+        if !rel_names.insert(r.name.clone()) {
+            return Err(ModelError::DuplicateName {
+                kind: "artifact relation",
+                name: format!("{}.{}", task.name, r.name),
+            });
+        }
+    }
+    // Input/output variables exist and are distinct.
+    for list in [&task.input_vars, &task.output_vars] {
+        let mut seen = BTreeSet::new();
+        for &v in list {
+            if v.index() >= task.vars.len() {
+                return Err(ModelError::UnknownName {
+                    kind: "variable",
+                    name: format!("{}.var#{}", task.name, v.index()),
+                });
+            }
+            if !seen.insert(v) {
+                return Err(ModelError::InvalidSpec {
+                    reason: format!(
+                        "task {}: variable {} listed twice as input/output",
+                        task.name,
+                        task.var(v).name
+                    ),
+                });
+            }
+        }
+    }
+    // Root task conventions.
+    if tid == spec.root() {
+        if task.opening.pre != Condition::True {
+            return Err(ModelError::InvalidSpec {
+                reason: "the root task's opening condition must be true".into(),
+            });
+        }
+        if task.closing.pre != Condition::False {
+            return Err(ModelError::InvalidSpec {
+                reason: "the root task's closing condition must be false".into(),
+            });
+        }
+        if !task.input_vars.is_empty() || !task.output_vars.is_empty() {
+            return Err(ModelError::InvalidSpec {
+                reason: "the root task cannot have input or output variables".into(),
+            });
+        }
+    }
+    // Internal services.
+    let mut svc_names = HashSet::new();
+    for svc in &task.services {
+        if !svc_names.insert(svc.name.clone()) {
+            return Err(ModelError::DuplicateName {
+                kind: "service",
+                name: format!("{}.{}", task.name, svc.name),
+            });
+        }
+        let invalid = |reason: String| ModelError::InvalidService {
+            task: task.name.clone(),
+            service: svc.name.clone(),
+            reason,
+        };
+        svc.pre.typecheck(&spec.db, task, &[])?;
+        svc.post.typecheck(&spec.db, task, &[])?;
+        ensure_no_globals(&svc.pre, "service pre-condition")?;
+        ensure_no_globals(&svc.post, "service post-condition")?;
+        // Propagated variables exist and include the input variables.
+        for &v in &svc.propagated {
+            if v.index() >= task.vars.len() {
+                return Err(invalid(format!("propagated variable #{} unknown", v.index())));
+            }
+        }
+        let propagated: BTreeSet<VarId> = svc.propagated.iter().copied().collect();
+        let inputs: BTreeSet<VarId> = task.input_vars.iter().copied().collect();
+        if !inputs.is_subset(&propagated) && !task.input_vars.is_empty() {
+            return Err(invalid(
+                "propagated variables must include the task's input variables".into(),
+            ));
+        }
+        if let Some(update) = &svc.update {
+            // Definition 10: with an update, exactly the input variables propagate.
+            if propagated != inputs {
+                return Err(invalid(
+                    "a service with an artifact-relation update must propagate exactly the input variables"
+                        .into(),
+                ));
+            }
+            let rel_id = update.relation();
+            if rel_id.index() >= task.art_relations.len() {
+                return Err(invalid(format!(
+                    "unknown artifact relation #{}",
+                    rel_id.index()
+                )));
+            }
+            let rel = task.art_rel(rel_id);
+            if update.vars().len() != rel.arity() {
+                return Err(invalid(format!(
+                    "update tuple has {} variables, artifact relation {} has arity {}",
+                    update.vars().len(),
+                    rel.name,
+                    rel.arity()
+                )));
+            }
+            for (v, col) in update.vars().iter().zip(&rel.columns) {
+                if v.index() >= task.vars.len() {
+                    return Err(invalid(format!("update variable #{} unknown", v.index())));
+                }
+                if task.var(*v).typ != col.typ {
+                    return Err(invalid(format!(
+                        "update variable {} has a different type than column {} of {}",
+                        task.var(*v).name,
+                        col.name,
+                        rel.name
+                    )));
+                }
+            }
+        }
+    }
+    // Opening / closing services of non-root tasks.
+    if let Some(parent_id) = task.parent {
+        let parent = spec.task(parent_id);
+        task.opening.pre.typecheck(&spec.db, parent, &[])?;
+        ensure_no_globals(&task.opening.pre, "opening condition")?;
+        task.closing.pre.typecheck(&spec.db, task, &[])?;
+        ensure_no_globals(&task.closing.pre, "closing condition")?;
+        validate_mapping(
+            spec,
+            task,
+            parent,
+            &task.opening.input_map,
+            &task.input_vars,
+            true,
+        )?;
+        validate_mapping(
+            spec,
+            task,
+            parent,
+            &task.closing.output_map,
+            &task.output_vars,
+            false,
+        )?;
+        // Returned parent variables must not overlap the parent's input variables.
+        let parent_inputs: BTreeSet<VarId> = parent.input_vars.iter().copied().collect();
+        for (_, pv) in &task.closing.output_map {
+            if parent_inputs.contains(pv) {
+                return Err(ModelError::InvalidSpec {
+                    reason: format!(
+                        "task {}: output variable returned into {}'s input variable {}",
+                        task.name,
+                        parent.name,
+                        parent.var(*pv).name
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that `map` is a 1-1, type-correct mapping covering exactly
+/// `expected_child_vars` on the child side.
+fn validate_mapping(
+    _spec: &HasSpec,
+    child: &Task,
+    parent: &Task,
+    map: &[(VarId, VarId)],
+    expected_child_vars: &[VarId],
+    is_input: bool,
+) -> Result<()> {
+    let kind = if is_input { "input" } else { "output" };
+    let mut child_side = BTreeSet::new();
+    let mut parent_side = BTreeSet::new();
+    for (cv, pv) in map {
+        if cv.index() >= child.vars.len() {
+            return Err(ModelError::UnknownName {
+                kind: "variable",
+                name: format!("{}.var#{} ({kind} map)", child.name, cv.index()),
+            });
+        }
+        if pv.index() >= parent.vars.len() {
+            return Err(ModelError::UnknownName {
+                kind: "variable",
+                name: format!("{}.var#{} ({kind} map)", parent.name, pv.index()),
+            });
+        }
+        if !child_side.insert(*cv) || !parent_side.insert(*pv) {
+            return Err(ModelError::InvalidSpec {
+                reason: format!(
+                    "task {}: {kind} variable mapping is not one-to-one",
+                    child.name
+                ),
+            });
+        }
+        if child.var(*cv).typ != parent.var(*pv).typ {
+            return Err(ModelError::TypeMismatch {
+                context: format!(
+                    "{kind} mapping {}.{} ↦ {}.{}",
+                    child.name,
+                    child.var(*cv).name,
+                    parent.name,
+                    parent.var(*pv).name
+                ),
+            });
+        }
+    }
+    let expected: BTreeSet<VarId> = expected_child_vars.iter().copied().collect();
+    if child_side != expected {
+        return Err(ModelError::InvalidSpec {
+            reason: format!(
+                "task {}: the {kind} mapping must cover exactly the declared {kind} variables",
+                child.name
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn ensure_no_globals(cond: &Condition, what: &str) -> Result<()> {
+    if cond
+        .variables()
+        .iter()
+        .any(|v| matches!(v, VarRef::Global(_)))
+    {
+        return Err(ModelError::InvalidSpec {
+            reason: format!("{what} may not mention property-global variables"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr::data;
+    use crate::schema::DatabaseSchema;
+    use crate::service::{InternalService, Update};
+    use crate::task::{ArtRelId, ArtRelation, Variable};
+    use crate::condition::Term;
+
+    fn base_spec() -> HasSpec {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = Task::new("Root");
+        root.vars.push(Variable {
+            name: "x".into(),
+            typ: VarType::Data,
+        });
+        root.vars.push(Variable {
+            name: "y".into(),
+            typ: VarType::Data,
+        });
+        root.services.push(InternalService::new("s"));
+        HasSpec::new("spec", db, root)
+    }
+
+    #[test]
+    fn valid_single_task_spec() {
+        base_spec().validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_variable_name_rejected() {
+        let mut spec = base_spec();
+        spec.tasks[0].vars.push(Variable {
+            name: "x".into(),
+            typ: VarType::Data,
+        });
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ModelError::DuplicateName { kind: "variable", .. }
+        ));
+    }
+
+    #[test]
+    fn root_closing_must_be_false() {
+        let mut spec = base_spec();
+        spec.tasks[0].closing.pre = Condition::True;
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ModelError::InvalidSpec { .. }
+        ));
+    }
+
+    #[test]
+    fn update_requires_exact_input_propagation() {
+        let mut spec = base_spec();
+        spec.tasks[0].art_relations.push(ArtRelation {
+            name: "S".into(),
+            columns: vec![Variable {
+                name: "x".into(),
+                typ: VarType::Data,
+            }],
+        });
+        let mut svc = InternalService::new("store");
+        svc.update = Some(Update::Insert {
+            rel: ArtRelId::new(0),
+            vars: vec![VarId::new(0)],
+        });
+        // Propagating a non-input variable together with an update violates Def. 10.
+        svc.propagated = vec![VarId::new(1)];
+        spec.tasks[0].services.push(svc);
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ModelError::InvalidService { .. }
+        ));
+    }
+
+    #[test]
+    fn update_arity_mismatch_rejected() {
+        let mut spec = base_spec();
+        spec.tasks[0].art_relations.push(ArtRelation {
+            name: "S".into(),
+            columns: vec![
+                Variable {
+                    name: "c0".into(),
+                    typ: VarType::Data,
+                },
+                Variable {
+                    name: "c1".into(),
+                    typ: VarType::Data,
+                },
+            ],
+        });
+        let mut svc = InternalService::new("store");
+        svc.update = Some(Update::Insert {
+            rel: ArtRelId::new(0),
+            vars: vec![VarId::new(0)],
+        });
+        spec.tasks[0].services.push(svc);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn child_mapping_must_cover_inputs() {
+        let mut spec = base_spec();
+        let mut child = Task::new("Child");
+        child.vars.push(Variable {
+            name: "in".into(),
+            typ: VarType::Data,
+        });
+        child.input_vars.push(VarId::new(0));
+        child.parent = Some(TaskId::new(0));
+        // Empty input map although an input variable is declared.
+        spec.tasks.push(child);
+        spec.tasks[0].children.push(TaskId::new(1));
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ModelError::InvalidSpec { .. }
+        ));
+    }
+
+    #[test]
+    fn child_output_cannot_target_parent_input() {
+        let mut spec = base_spec();
+        // Give the root an "input" variable: not allowed for root, so use a
+        // deeper hierarchy: Root -> Mid -> Leaf, where Leaf returns into
+        // Mid's input variable.
+        let mut mid = Task::new("Mid");
+        mid.vars.push(Variable {
+            name: "m".into(),
+            typ: VarType::Data,
+        });
+        mid.input_vars.push(VarId::new(0));
+        mid.parent = Some(TaskId::new(0));
+        mid.opening.input_map = vec![(VarId::new(0), VarId::new(0))];
+        spec.tasks.push(mid);
+        spec.tasks[0].children.push(TaskId::new(1));
+
+        let mut leaf = Task::new("Leaf");
+        leaf.vars.push(Variable {
+            name: "l".into(),
+            typ: VarType::Data,
+        });
+        leaf.output_vars.push(VarId::new(0));
+        leaf.parent = Some(TaskId::new(1));
+        leaf.closing.output_map = vec![(VarId::new(0), VarId::new(0))]; // Mid's input var!
+        spec.tasks.push(leaf);
+        spec.tasks[1].children.push(TaskId::new(2));
+
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ModelError::InvalidSpec { .. }
+        ));
+    }
+
+    #[test]
+    fn inconsistent_parent_pointer_rejected() {
+        let mut spec = base_spec();
+        let mut child = Task::new("Child");
+        child.parent = None; // missing parent pointer
+        spec.tasks.push(child);
+        spec.tasks[0].children.push(TaskId::new(1));
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ModelError::MalformedHierarchy { .. }
+        ));
+    }
+
+    #[test]
+    fn condition_type_errors_are_caught() {
+        let mut spec = base_spec();
+        // x is data-typed; compare it against an ID position of R.
+        spec.tasks[0].services[0].pre = Condition::Rel {
+            rel: crate::schema::RelId::new(0),
+            id: Term::var(VarId::new(0)),
+            args: vec![Term::str("v")],
+        };
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            ModelError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn global_vars_forbidden_in_spec_conditions() {
+        let mut spec = base_spec();
+        spec.tasks[0].services[0].pre = Condition::eq(Term::global(0), Term::str("a"));
+        assert!(spec.validate().is_err());
+    }
+}

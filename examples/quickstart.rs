@@ -1,0 +1,68 @@
+//! Quickstart: specify a tiny artifact system, state an LTL-FO property and
+//! verify it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use verifas::core::{Verifier, VerifierOptions};
+use verifas::ltl::{Ltl, LtlFoProperty, PropAtom};
+use verifas::model::schema::attr::data;
+use verifas::model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, Term, VarId};
+
+fn main() {
+    // 1. A database schema with a single ITEMS relation.
+    let mut db = DatabaseSchema::new();
+    db.add_relation("ITEMS", vec![data("name")]).unwrap();
+
+    // 2. A one-task workflow: an order moves null -> "Placed" -> "Shipped".
+    let mut root = TaskBuilder::new("Orders");
+    let status = root.data_var("status");
+    root.service_parts(
+        "Place",
+        Condition::eq(Term::var(status), Term::Null),
+        Condition::eq(Term::var(status), Term::str("Placed")),
+        vec![],
+        None,
+    );
+    root.service_parts(
+        "Ship",
+        Condition::eq(Term::var(status), Term::str("Placed")),
+        Condition::eq(Term::var(status), Term::str("Shipped")),
+        vec![],
+        None,
+    );
+    root.service_parts(
+        "Archive",
+        Condition::eq(Term::var(status), Term::str("Shipped")),
+        Condition::eq(Term::var(status), Term::Null),
+        vec![],
+        None,
+    );
+    let mut builder = SpecBuilder::new("quickstart", db, root.build());
+    builder.global_pre(Condition::eq(Term::var(status), Term::Null));
+    let spec = builder.build().expect("specification is well-formed");
+
+    // 3. A property: an order is never shipped before being placed —
+    //    expressed as "¬shipped until placed".
+    let shipped = Condition::eq(Term::var(VarId::new(0)), Term::str("Shipped"));
+    let placed = Condition::eq(Term::var(VarId::new(0)), Term::str("Placed"));
+    let property = LtlFoProperty::new(
+        "no-ship-before-place",
+        spec.root(),
+        vec![],
+        Ltl::until(Ltl::not(Ltl::prop(0)), Ltl::prop(1)),
+        vec![PropAtom::Condition(shipped), PropAtom::Condition(placed)],
+    );
+
+    // 4. Verify.
+    let verifier = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+    let result = verifier.verify();
+    println!("property {:?}: {:?}", property.name, result.outcome);
+    println!(
+        "explored {} symbolic states in {} ms",
+        result.stats.states_created,
+        result.elapsed_ms()
+    );
+    if let Some(cex) = result.counterexample {
+        println!("counterexample: {}", cex.description);
+    }
+}

@@ -1,0 +1,37 @@
+//! Generate synthetic workflows (Appendix D) and verify the benchmark
+//! properties on them, printing a small stress-test report.
+//!
+//! Run with `cargo run --release --example synthetic_stress`.
+
+use verifas::core::{SearchLimits, Verifier, VerifierOptions, VerificationOutcome};
+use verifas::workloads::{cyclomatic_complexity, generate_properties, generate_set, SyntheticParams};
+
+fn main() {
+    let params = SyntheticParams::small();
+    let specs = generate_set(params, 6, 2017);
+    println!("generated {} synthetic specifications ({params:?})", specs.len());
+    let mut options = VerifierOptions::default();
+    options.limits = SearchLimits { max_states: 5_000, max_millis: 1_000 };
+    for spec in &specs {
+        let mut verified = 0;
+        let mut violated = 0;
+        let mut inconclusive = 0;
+        let start = std::time::Instant::now();
+        for property in generate_properties(spec, 2017) {
+            match Verifier::new(spec, &property, options).unwrap().verify().outcome {
+                VerificationOutcome::Satisfied => verified += 1,
+                VerificationOutcome::Violated => violated += 1,
+                VerificationOutcome::Inconclusive => inconclusive += 1,
+            }
+        }
+        println!(
+            "{:<18} complexity {:>3}: {:>2} satisfied, {:>2} violated, {:>2} inconclusive ({} ms)",
+            spec.name,
+            cyclomatic_complexity(spec),
+            verified,
+            violated,
+            inconclusive,
+            start.elapsed().as_millis()
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! # VERIFAS — a practical verifier for artifact systems
+//!
+//! Façade crate re-exporting the public API of the VERIFAS workspace:
+//!
+//! * [`model`] — the HAS\* specification language and its concrete
+//!   operational semantics (`verifas-model`),
+//! * [`ltl`] — LTL / LTL-FO properties and Büchi automata (`verifas-ltl`),
+//! * [`core`] — the symbolic verifier itself (`verifas-core`),
+//! * [`workloads`] — benchmark workflows, the synthetic generator and the
+//!   cyclomatic-complexity metric (`verifas-workloads`).
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! architecture and the mapping from the paper's sections to modules.
+
+pub use verifas_core as core;
+pub use verifas_ltl as ltl;
+pub use verifas_model as model;
+pub use verifas_workloads as workloads;

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the paper's running example end-to-end,
+//! agreement between the optimised verifier, the baseline and the concrete
+//! interpreter, and ablation consistency.
+
+use verifas::core::{
+    BaselineVerifier, SearchLimits, VerificationOutcome, Verifier, VerifierOptions,
+};
+use verifas::ltl::{Ltl, LtlFoProperty, PropAtom};
+use verifas::model::{Condition, DatabaseInstance, Interpreter, RunConfig, ServiceRef, Term, Tuple, Value, VarId};
+use verifas::workloads::{
+    generate_properties, loan_approval, order_fulfillment, order_fulfillment_buggy,
+    order_fulfillment_property, real_workflows,
+};
+
+fn small_limits() -> SearchLimits {
+    SearchLimits {
+        max_states: 20_000,
+        max_millis: 10_000,
+    }
+}
+
+/// The guard property "whenever ShipItem opens the item is in stock" holds
+/// on the correct order-fulfillment specification and fails on the buggy
+/// variant (the error discussed in Section 2.1 of the paper).
+#[test]
+fn order_fulfillment_shipping_guard() {
+    for (spec, expected) in [
+        (order_fulfillment(), VerificationOutcome::Satisfied),
+        (order_fulfillment_buggy(), VerificationOutcome::Violated),
+    ] {
+        let (_, root) = spec.task_by_name("ProcessOrders").unwrap();
+        let instock = root.var_by_name("instock").unwrap().0;
+        let ship = spec.task_by_name("ShipItem").unwrap().0;
+        let property = LtlFoProperty::new(
+            "ship-only-in-stock",
+            spec.root(),
+            vec![],
+            Ltl::globally(Ltl::implies(Ltl::prop(0), Ltl::prop(1))),
+            vec![
+                PropAtom::Service(ServiceRef::Opening(ship)),
+                PropAtom::Condition(Condition::eq(Term::var(instock), Term::str("Yes"))),
+            ],
+        );
+        let mut options = VerifierOptions::default();
+        options.limits = small_limits();
+        let result = Verifier::new(&spec, &property, options).unwrap().verify();
+        assert_eq!(result.outcome, expected, "spec {}", spec.name);
+        if expected == VerificationOutcome::Violated {
+            let cex = result.counterexample.expect("counterexample available");
+            assert!(cex.description.contains("ShipItem"));
+        }
+    }
+}
+
+/// The paper's property (†) is violated on the buggy variant and the
+/// verifier produces a counterexample mentioning ShipItem; on the correct
+/// variant the verifier terminates with a definite verdict.
+#[test]
+fn order_fulfillment_paper_property() {
+    let buggy = order_fulfillment_buggy();
+    let property = order_fulfillment_property(&buggy);
+    let mut options = VerifierOptions::default();
+    options.limits = small_limits();
+    let result = Verifier::new(&buggy, &property, options).unwrap().verify();
+    assert_eq!(result.outcome, VerificationOutcome::Violated);
+
+    let good = order_fulfillment();
+    let property = order_fulfillment_property(&good);
+    let result = Verifier::new(&good, &property, options).unwrap().verify();
+    assert_ne!(result.outcome, VerificationOutcome::Inconclusive);
+}
+
+/// All twelve generated benchmark properties verify (with some definite
+/// verdict) on the order-fulfillment workflow within a small budget, and
+/// the ablated configurations agree with the default one.
+#[test]
+fn benchmark_properties_and_ablations_agree() {
+    let spec = order_fulfillment();
+    for property in generate_properties(&spec, 2017).iter().take(6) {
+        let mut verdicts = Vec::new();
+        for options in [
+            VerifierOptions::default(),
+            VerifierOptions::default().without("SP"),
+            VerifierOptions::default().without("SA"),
+            VerifierOptions::default().without("DSS"),
+        ] {
+            let mut options = options;
+            options.limits = small_limits();
+            let result = Verifier::new(&spec, property, options).unwrap().verify();
+            verdicts.push(result.outcome);
+        }
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "ablations disagree on {}: {verdicts:?}",
+            property.name
+        );
+    }
+}
+
+/// The baseline verifier and VERIFAS-NoSet agree on the real workflows
+/// (both ignore artifact relations), modulo runs where either hits a limit.
+#[test]
+fn baseline_agrees_with_noset_on_real_workflows() {
+    let limits = SearchLimits {
+        max_states: 4_000,
+        max_millis: 2_000,
+    };
+    for spec in real_workflows().into_iter().take(8) {
+        for property in generate_properties(&spec, 2017).into_iter().take(3) {
+            let baseline = BaselineVerifier::new(&spec, &property, limits).unwrap().verify();
+            let mut options = VerifierOptions::no_set();
+            options.limits = limits;
+            let noset = Verifier::new(&spec, &property, options).unwrap().verify();
+            if baseline.outcome == VerificationOutcome::Inconclusive
+                || noset.outcome == VerificationOutcome::Inconclusive
+            {
+                continue;
+            }
+            assert_eq!(
+                baseline.outcome, noset.outcome,
+                "disagreement on {} / {}",
+                spec.name, property.name
+            );
+        }
+    }
+}
+
+/// Concrete runs produced by the interpreter never violate a property the
+/// symbolic verifier proves (the verifier over-approximates behaviour).
+#[test]
+fn concrete_runs_respect_verified_properties() {
+    let spec = loan_approval();
+    let review = spec.task_by_name("Review").unwrap().0;
+    let property = LtlFoProperty::new(
+        "review-always-decides",
+        review,
+        vec![],
+        Ltl::globally(Ltl::implies(Ltl::prop(0), Ltl::prop(1))),
+        vec![
+            PropAtom::Service(ServiceRef::Closing(review)),
+            PropAtom::Condition(Condition::neq(Term::var(VarId::new(3)), Term::Null)),
+        ],
+    );
+    let mut options = VerifierOptions::default();
+    options.limits = small_limits();
+    let verdict = Verifier::new(&spec, &property, options).unwrap().verify();
+    assert_eq!(verdict.outcome, VerificationOutcome::Satisfied);
+
+    // Build a concrete database and sample runs.
+    let bureau = spec.db.relation_by_name("BUREAU").unwrap().0;
+    let applicants = spec.db.relation_by_name("APPLICANTS").unwrap().0;
+    let mut db = DatabaseInstance::empty(spec.db.len());
+    db.insert(bureau, Tuple { id: 1, attrs: vec![Value::str("Prime")] });
+    db.insert(bureau, Tuple { id: 2, attrs: vec![Value::str("Thin")] });
+    db.insert(applicants, Tuple { id: 1, attrs: vec![Value::str("Ada"), Value::Id(bureau, 1)] });
+    db.insert(applicants, Tuple { id: 2, attrs: vec![Value::str("Bob"), Value::Id(bureau, 2)] });
+    db.validate(&spec.db).unwrap();
+    for seed in 0..5u64 {
+        let config = RunConfig {
+            seed,
+            max_steps: 150,
+            ..RunConfig::default()
+        };
+        let mut interp = Interpreter::new(&spec, &db, config).unwrap();
+        for run in interp.run_collecting_local_runs(review) {
+            if run.closed {
+                assert_eq!(
+                    property.check_local_run(&db, &run),
+                    Some(true),
+                    "concrete run violates a verified property (seed {seed})"
+                );
+            }
+        }
+    }
+}

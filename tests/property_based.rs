@@ -1,0 +1,44 @@
+//! Property-based tests over the symbolic machinery using randomly
+//! generated synthetic specifications and LTL templates.
+
+use proptest::prelude::*;
+use verifas::core::{SearchLimits, VerificationOutcome, Verifier, VerifierOptions};
+use verifas::workloads::{cyclomatic_complexity, generate, generate_properties, SyntheticParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generated specifications validate, have non-negative complexity and
+    /// every template property is accepted by the verifier front-end.
+    #[test]
+    fn synthetic_specs_are_well_formed(seed in 0u64..500) {
+        if let Some(spec) = generate(SyntheticParams::small(), seed) {
+            prop_assert!(spec.validate().is_ok());
+            prop_assert!(cyclomatic_complexity(&spec) >= 0);
+            let properties = generate_properties(&spec, seed);
+            prop_assert_eq!(properties.len(), 12);
+            for p in &properties {
+                prop_assert!(p.validate(&spec).is_ok());
+            }
+        }
+    }
+
+    /// Disabling optimizations never changes a definite verdict (the
+    /// optimizations are pure pruning).
+    #[test]
+    fn ablation_preserves_verdicts(seed in 0u64..200, prop_index in 0usize..12) {
+        let Some(spec) = generate(SyntheticParams::small(), seed) else { return Ok(()); };
+        let property = generate_properties(&spec, seed).swap_remove(prop_index);
+        let limits = SearchLimits { max_states: 2_000, max_millis: 500 };
+        let run = |options: VerifierOptions| {
+            let mut options = options;
+            options.limits = limits;
+            Verifier::new(&spec, &property, options).unwrap().verify().outcome
+        };
+        let default = run(VerifierOptions::default());
+        let no_sp = run(VerifierOptions::default().without("SP"));
+        if default != VerificationOutcome::Inconclusive && no_sp != VerificationOutcome::Inconclusive {
+            prop_assert_eq!(default, no_sp);
+        }
+    }
+}
