@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::{BTreeSet, HashSet};
 use verifas_core::{eval::compile_condition, eval::eval_extensions, ExprUniverse, Pit, PitBuilder};
-use verifas_model::{Condition, DataValue, Term, VarRef, VarId};
+use verifas_model::{Condition, DataValue, Term, VarId, VarRef};
 use verifas_workloads::order_fulfillment;
 
 fn bench_pit_ops(c: &mut Criterion) {

@@ -1,8 +1,11 @@
-//! End-to-end verification benchmarks on benchmark workflows.
+//! End-to-end verification benchmarks on benchmark workflows, through the
+//! session-oriented engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use verifas_core::{SearchLimits, Verifier, VerifierOptions};
-use verifas_workloads::{generate, generate_properties, loan_approval, order_fulfillment, SyntheticParams};
+use verifas_core::{Engine, SearchLimits, VerifierOptions};
+use verifas_workloads::{
+    generate, generate_properties, loan_approval, order_fulfillment, SyntheticParams,
+};
 
 fn bench_verification(c: &mut Criterion) {
     let limits = SearchLimits {
@@ -22,11 +25,13 @@ fn bench_verification(c: &mut Criterion) {
         let properties = generate_properties(&spec, 2017);
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut options = VerifierOptions::default();
-                options.limits = limits;
+                let options = VerifierOptions {
+                    limits,
+                    ..VerifierOptions::default()
+                };
+                let engine = Engine::load_with_options(spec.clone(), options).unwrap();
                 for property in properties.iter().take(3) {
-                    let verifier = Verifier::new(&spec, property, options).unwrap();
-                    let _ = verifier.verify();
+                    let _ = engine.check(property).unwrap();
                 }
             })
         });

@@ -19,7 +19,10 @@ fn main() {
     );
     let mut within_budget = 0usize;
     let mut low_complexity = 0usize;
-    for (name, set) in [("Real", &workloads.real), ("Synthetic", &workloads.synthetic)] {
+    for (name, set) in [
+        ("Real", &workloads.real),
+        ("Synthetic", &workloads.synthetic),
+    ] {
         for spec in set {
             let complexity = cyclomatic_complexity(spec);
             let mut total = 0.0;
@@ -34,7 +37,11 @@ fn main() {
                     count += 1;
                 }
             }
-            let avg = if count == 0 { f64::NAN } else { total / count as f64 };
+            let avg = if count == 0 {
+                f64::NAN
+            } else {
+                total / count as f64
+            };
             if complexity <= 15 {
                 low_complexity += 1;
                 if failures == 0 && avg <= 10_000.0 {

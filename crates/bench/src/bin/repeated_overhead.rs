@@ -9,17 +9,31 @@ fn main() {
     let config = HarnessConfig::from_args();
     let workloads = build_workloads(&config);
     println!("Overhead of the Repeated-Reachability Module");
-    println!("{:<10} {:>16} {:>16} {:>10}", "Dataset", "Full (ms)", "No-RR (ms)", "Overhead");
-    for (name, set) in [("Real", &workloads.real), ("Synthetic", &workloads.synthetic)] {
+    println!(
+        "{:<10} {:>16} {:>16} {:>10}",
+        "Dataset", "Full (ms)", "No-RR (ms)", "Overhead"
+    );
+    for (name, set) in [
+        ("Real", &workloads.real),
+        ("Synthetic", &workloads.synthetic),
+    ] {
         let mut full = 0.0;
         let mut without = 0.0;
         let mut count = 0usize;
         for spec in set {
             for property in properties_for(spec, &config) {
                 let a = run_one(Engine::Verifas, spec, &property, config.limits, None);
-                let mut options = VerifierOptions::default();
-                options.check_repeated = false;
-                let b = run_one(Engine::Verifas, spec, &property, config.limits, Some(options));
+                let options = VerifierOptions {
+                    check_repeated: false,
+                    ..VerifierOptions::default()
+                };
+                let b = run_one(
+                    Engine::Verifas,
+                    spec,
+                    &property,
+                    config.limits,
+                    Some(options),
+                );
                 if a.failed || b.failed {
                     continue;
                 }

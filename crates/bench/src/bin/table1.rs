@@ -11,7 +11,10 @@ fn main() {
         "{:<10} {:>5} {:>11} {:>7} {:>11} {:>10}",
         "Dataset", "Size", "#Relations", "#Tasks", "#Variables", "#Services"
     );
-    for (name, set) in [("Real", &workloads.real), ("Synthetic", &workloads.synthetic)] {
+    for (name, set) in [
+        ("Real", &workloads.real),
+        ("Synthetic", &workloads.synthetic),
+    ] {
         let (rels, tasks, vars, svcs) = average_stats(set);
         println!(
             "{:<10} {:>5} {:>11.3} {:>7.3} {:>11.2} {:>10.2}",
@@ -25,5 +28,7 @@ fn main() {
     }
     println!();
     println!("Paper reports: Real 32 specs (3.563 relations, 3.219 tasks, 20.63 variables, 11.59 services);");
-    println!("               Synthetic 120 specs (5 relations, 5 tasks, 75 variables, 75 services).");
+    println!(
+        "               Synthetic 120 specs (5 relations, 5 tasks, 75 variables, 75 services)."
+    );
 }

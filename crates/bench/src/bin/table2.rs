@@ -37,5 +37,7 @@ fn main() {
     println!();
     println!("Paper reports (10-min timeout, authors' testbed): Spin-Opt 2.97s / 3 fails (real),");
     println!("83.98s / 440 fails (synthetic); VERIFAS-NoSet 0.229s / 0 and 6.98s / 19;");
-    println!("VERIFAS 0.245s / 0 and 11.01s / 16.  Expect the same ordering, not the same numbers.");
+    println!(
+        "VERIFAS 0.245s / 0 and 11.01s / 16.  Expect the same ordering, not the same numbers."
+    );
 }

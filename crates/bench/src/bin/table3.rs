@@ -16,7 +16,10 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "Dataset", "SP mean", "SP trim", "SA mean", "SA trim", "DSS mean", "DSS trim"
     );
-    for (name, set) in [("Real", &workloads.real), ("Synthetic", &workloads.synthetic)] {
+    for (name, set) in [
+        ("Real", &workloads.real),
+        ("Synthetic", &workloads.synthetic),
+    ] {
         let mut speedups: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for spec in set {
             for property in properties_for(spec, &config) {
@@ -26,8 +29,13 @@ fn main() {
                 }
                 for (i, opt) in ["SP", "SA", "DSS"].iter().enumerate() {
                     let options = VerifierOptions::default().without(opt);
-                    let ablated =
-                        run_one(Engine::Verifas, spec, &property, config.limits, Some(options));
+                    let ablated = run_one(
+                        Engine::Verifas,
+                        spec,
+                        &property,
+                        config.limits,
+                        Some(options),
+                    );
                     let ablated_ms = if ablated.failed {
                         config.limits.max_millis as f64
                     } else {
@@ -40,13 +48,7 @@ fn main() {
         let cells: Vec<(f64, f64)> = speedups.iter().map(|v| mean_and_trimmed(v)).collect();
         println!(
             "{:<10} {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x",
-            name,
-            cells[0].0,
-            cells[0].1,
-            cells[1].0,
-            cells[1].1,
-            cells[2].0,
-            cells[2].1
+            name, cells[0].0, cells[0].1, cells[1].0, cells[1].1, cells[2].0, cells[2].1
         );
     }
     println!();

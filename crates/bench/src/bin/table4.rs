@@ -26,7 +26,11 @@ fn main() {
                     count += 1;
                 }
             }
-            cells.push(if count == 0 { 0.0 } else { total / count as f64 });
+            cells.push(if count == 0 {
+                0.0
+            } else {
+                total / count as f64
+            });
         }
         println!(
             "{:<42} {:<9?} {:>12.1} {:>14.1}",

@@ -130,7 +130,7 @@ impl BaselineVerifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verifier::{Verifier, VerifierOptions};
+    use crate::engine::Engine;
     use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
     use verifas_model::schema::attr::data;
     use verifas_model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, TaskId, Term};
@@ -164,7 +164,11 @@ mod tests {
         let spec = small_spec();
         for (name, formula, cond) in [
             ("violated", Ltl::globally(Ltl::not(Ltl::prop(0))), "Done"),
-            ("satisfied", Ltl::globally(Ltl::not(Ltl::prop(0))), "Missing"),
+            (
+                "satisfied",
+                Ltl::globally(Ltl::not(Ltl::prop(0))),
+                "Missing",
+            ),
         ] {
             let property = LtlFoProperty::new(
                 name,
@@ -178,10 +182,10 @@ mod tests {
             );
             let baseline =
                 BaselineVerifier::new(&spec, &property, SearchLimits::default()).unwrap();
-            let verifas = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+            let engine = Engine::load(spec.clone()).unwrap();
             assert_eq!(
                 baseline.verify().outcome,
-                verifas.verify().outcome,
+                engine.check(&property).unwrap().outcome,
                 "disagreement on {name}"
             );
         }
@@ -201,9 +205,9 @@ mod tests {
             ))],
         );
         let baseline = BaselineVerifier::new(&spec, &property, SearchLimits::default()).unwrap();
-        let verifas = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
+        let engine = Engine::load(spec.clone()).unwrap();
         let b = baseline.verify();
-        let v = verifas.verify();
+        let v = engine.check(&property).unwrap();
         assert!(b.stats.states_created >= v.stats.states_created);
     }
 }

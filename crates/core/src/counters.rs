@@ -1,0 +1,29 @@
+//! Process-wide construction counters for the expensive spec-side
+//! preprocessing artefacts.
+//!
+//! [`crate::engine::Engine::check_all`] promises to build the expression
+//! universe and the spec-side constraint graph once per (task,
+//! configuration) key and share them across the properties of a batch.
+//! These counters make that promise testable: they count every call to
+//! [`crate::expr::ExprUniverse::build`] and
+//! [`crate::static_analysis::ConstraintGraph::build_spec_side`] in the
+//! current process.  They exist for tests and diagnostics only — nothing in
+//! the verifier reads them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub(crate) static UNIVERSE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+pub(crate) static SPEC_GRAPH_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`crate::expr::ExprUniverse::build`] calls so far in this
+/// process.
+pub fn universe_builds() -> usize {
+    UNIVERSE_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Number of spec-side constraint-graph constructions
+/// ([`crate::static_analysis::ConstraintGraph::build_spec_side`]) so far in
+/// this process.
+pub fn spec_graph_builds() -> usize {
+    SPEC_GRAPH_BUILDS.load(Ordering::Relaxed)
+}

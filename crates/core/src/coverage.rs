@@ -239,14 +239,7 @@ impl MaxFlow {
         }
     }
 
-    fn dfs(
-        &mut self,
-        u: usize,
-        sink: usize,
-        pushed: i64,
-        level: &[i32],
-        it: &mut [usize],
-    ) -> i64 {
+    fn dfs(&mut self, u: usize, sink: usize, pushed: i64, level: &[i32], it: &mut [usize]) -> i64 {
         if u == sink {
             return pushed;
         }
@@ -285,14 +278,14 @@ impl MaxFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::ExprUniverse;
     use crate::pit::{Pit, PitBuilder};
     use crate::psi::Psi;
-    use crate::expr::ExprUniverse;
     use std::collections::BTreeSet;
     use verifas_model::schema::attr::data;
     use verifas_model::{
-        ArtRelId, Condition, DataValue, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder,
-        VarId, VarRef,
+        ArtRelId, Condition, DataValue, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder, VarId,
+        VarRef,
     };
 
     fn setup() -> (HasSpec, ExprUniverse) {
@@ -373,11 +366,26 @@ mod tests {
             .incremented(tau_b);
         let covered = state(Pit::empty(), left.clone());
         let covering = state(Pit::empty(), right.clone());
-        assert!(covers(CoverageKind::Subsumption, &covered, &covering, &interner));
+        assert!(covers(
+            CoverageKind::Subsumption,
+            &covered,
+            &covering,
+            &interner
+        ));
         // Standard coverage fails: counters are not pointwise comparable.
-        assert!(!covers(CoverageKind::Standard, &covered, &covering, &interner));
+        assert!(!covers(
+            CoverageKind::Standard,
+            &covered,
+            &covering,
+            &interner
+        ));
         // The reverse direction does not hold: τa tuples cannot map to τb.
-        assert!(!covers(CoverageKind::Subsumption, &covering, &covered, &interner));
+        assert!(!covers(
+            CoverageKind::Subsumption,
+            &covering,
+            &covered,
+            &interner
+        ));
     }
 
     #[test]
@@ -395,9 +403,22 @@ mod tests {
         // Same totals, different nothing: ≼ holds but ≼⁺ needs strict slack.
         let s1b = state(Pit::empty(), one);
         assert!(covers(CoverageKind::Subsumption, &s1, &s1b, &interner));
-        assert!(covers(CoverageKind::StrictSubsumption, &s1, &s1b, &interner)); // equality case
-        let different = state(constrained(&u, "a"), crate::psi::CounterVec::empty().incremented(tau_a));
-        assert!(!covers(CoverageKind::StrictSubsumption, &different, &s1, &interner));
+        assert!(covers(
+            CoverageKind::StrictSubsumption,
+            &s1,
+            &s1b,
+            &interner
+        )); // equality case
+        let different = state(
+            constrained(&u, "a"),
+            crate::psi::CounterVec::empty().incremented(tau_a),
+        );
+        assert!(!covers(
+            CoverageKind::StrictSubsumption,
+            &different,
+            &s1,
+            &interner
+        ));
         let _ = u;
     }
 
@@ -410,7 +431,9 @@ mod tests {
         let ancestor = state(Pit::empty(), crate::psi::CounterVec::empty().incremented(t));
         let candidate = state(
             Pit::empty(),
-            crate::psi::CounterVec::empty().incremented(t).incremented(t),
+            crate::psi::CounterVec::empty()
+                .incremented(t)
+                .incremented(t),
         );
         let accelerated = accelerate(CoverageKind::Standard, &ancestor, &candidate, &interner)
             .expect("acceleration applies");

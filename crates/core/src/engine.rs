@@ -1,0 +1,513 @@
+//! The session-oriented verification engine.
+//!
+//! [`Engine`] is the long-lived front door of VERIFAS: it loads a
+//! [`HasSpec`] once and serves many verification requests against it,
+//! amortizing the spec-side preprocessing — the expression universe, the
+//! compiled symbolic task and the spec-side static-analysis constraint
+//! graph — across properties.  Three entry points:
+//!
+//! * [`Engine::check`] — verify one property with the engine's default
+//!   options,
+//! * [`Engine::verification`] — a builder for one request: override
+//!   options, attach a [`ProgressObserver`], set a deadline or a
+//!   [`CancelToken`], then [`VerificationBuilder::run`],
+//! * [`Engine::check_all`] — verify a batch of properties, building each
+//!   distinct (task, configuration) preprocessing exactly once and fanning
+//!   the per-property product construction and search out across threads.
+//!
+//! Every run returns a structured, serializable
+//! [`VerificationReport`]; every failure is a typed [`VerifasError`].
+//!
+//! ```
+//! use verifas_core::engine::Engine;
+//! # use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
+//! # use verifas_model::schema::attr::data;
+//! # use verifas_model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, Term, VarId};
+//! # let mut db = DatabaseSchema::new();
+//! # db.add_relation("R", vec![data("a")]).unwrap();
+//! # let mut root = TaskBuilder::new("Root");
+//! # let status = root.data_var("status");
+//! # root.service_parts("go", Condition::eq(Term::var(status), Term::Null),
+//! #     Condition::eq(Term::var(status), Term::str("Done")), vec![], None);
+//! # let mut b = SpecBuilder::new("doc", db, root.build());
+//! # b.global_pre(Condition::eq(Term::var(status), Term::Null));
+//! # let spec = b.build().unwrap();
+//! # let property = LtlFoProperty::new("p", spec.root(), vec![],
+//! #     Ltl::globally(Ltl::not(Ltl::prop(0))),
+//! #     vec![PropAtom::Condition(Condition::eq(Term::var(VarId::new(0)), Term::str("Broken")))]);
+//! let engine = Engine::load(spec).unwrap();
+//! let report = engine.check(&property).unwrap();
+//! println!("{}", report.to_json());
+//! ```
+
+use crate::error::VerifasError;
+use crate::expr::ExprUniverse;
+use crate::observer::{CancelToken, ProgressObserver, SearchControl};
+use crate::product::ProductSystem;
+use crate::report::VerificationReport;
+use crate::search::SearchLimits;
+use crate::static_analysis::ConstraintGraph;
+use crate::transition::{spec_constants, SymbolicTask};
+use crate::verifier::{run_verification, VerifierOptions};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use verifas_ltl::{LtlFoProperty, PropertyHandle};
+use verifas_model::{DataValue, HasSpec, TaskId, VarType};
+
+/// Cache key of one spec-side preprocessing artefact.
+///
+/// Two properties share a preprocessing iff they verify the same task under
+/// the same artifact-relation handling, bind global variables of the same
+/// types, and add the same constants on top of the specification's own
+/// (for almost all benchmark properties that extra set is empty).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PrepKey {
+    task: TaskId,
+    include_sets: bool,
+    global_types: Vec<VarType>,
+    extra_constants: Vec<DataValue>,
+}
+
+/// The shared spec-side preprocessing of one cache key: the compiled
+/// symbolic task (which owns the expression universe) and the
+/// property-independent part of the static-analysis constraint graph,
+/// built lazily on the first request that actually enables the static
+/// analysis.
+struct TaskPreprocessing {
+    task: SymbolicTask,
+    spec_graph: std::sync::OnceLock<ConstraintGraph>,
+}
+
+impl TaskPreprocessing {
+    fn spec_graph(&self, spec: &HasSpec, task: TaskId) -> &ConstraintGraph {
+        self.spec_graph
+            .get_or_init(|| ConstraintGraph::build_spec_side(spec, task, &self.task.universe))
+    }
+}
+
+/// The preprocessing cache clears itself once it holds this many entries
+/// (distinct keys arise from properties adding unseen constants or global
+/// variable types); a long-lived service with adversarial properties must
+/// not grow without bound.
+const PREPROCESSING_CACHE_CAPACITY: usize = 64;
+
+/// A long-lived verification engine over one loaded specification.
+///
+/// The engine is `Sync`: one engine can serve concurrent `check` calls
+/// from many threads, sharing its preprocessing cache.
+pub struct Engine {
+    spec: HasSpec,
+    options: VerifierOptions,
+    /// The specification's own constants (property constants are keyed on
+    /// top of these).
+    base_constants: BTreeSet<DataValue>,
+    cache: Mutex<HashMap<PrepKey, Arc<TaskPreprocessing>>>,
+}
+
+impl Engine {
+    /// Load and validate a specification with default options.
+    pub fn load(spec: HasSpec) -> Result<Self, VerifasError> {
+        Engine::load_with_options(spec, VerifierOptions::default())
+    }
+
+    /// Load and validate a specification; `options` become the engine's
+    /// defaults (individual requests can still override them through
+    /// [`Engine::verification`]).
+    pub fn load_with_options(
+        spec: HasSpec,
+        options: VerifierOptions,
+    ) -> Result<Self, VerifasError> {
+        spec.validate()?;
+        let base_constants = spec_constants(&spec);
+        Ok(Engine {
+            spec,
+            options,
+            base_constants,
+            cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The loaded specification.
+    pub fn spec(&self) -> &HasSpec {
+        &self.spec
+    }
+
+    /// The engine's default options.
+    pub fn options(&self) -> VerifierOptions {
+        self.options
+    }
+
+    /// Number of distinct spec-side preprocessings currently cached
+    /// (diagnostic; see [`crate::counters`] for process-wide build counts).
+    pub fn cached_preprocessings(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Build (or reuse) the spec-side preprocessing a property needs,
+    /// without running any search, and return the property's
+    /// [`PropertyHandle`].
+    ///
+    /// A verification service calls this while admitting a batch — keyed
+    /// by the returned handle — so the first real request does not pay the
+    /// one-off setup cost; [`Engine::check_all`] warms the cache the same
+    /// way.
+    pub fn warm(&self, property: &LtlFoProperty) -> Result<PropertyHandle, VerifasError> {
+        property.validate(&self.spec)?;
+        self.preprocessing(property, self.options);
+        Ok(property.handle())
+    }
+
+    /// Verify one property with the engine's default options.
+    pub fn check(&self, property: &LtlFoProperty) -> Result<VerificationReport, VerifasError> {
+        self.run_request(property, self.options, &mut SearchControl::default())
+    }
+
+    /// Start building one verification request.
+    pub fn verification(&self) -> VerificationBuilder<'_, '_> {
+        VerificationBuilder {
+            engine: self,
+            property: None,
+            options: self.options,
+            observer: None,
+            deadline: None,
+            cancel: None,
+            progress_every: 0,
+        }
+    }
+
+    /// Verify a batch of properties with the engine's default options,
+    /// returning one result per property in input order.
+    ///
+    /// The spec-side preprocessing (expression universe, compiled task,
+    /// static-analysis graph) is built exactly once per distinct
+    /// (task, configuration) key — see [`crate::counters`] — and the
+    /// per-property product construction and search fan out across
+    /// `min(#properties, available_parallelism)` threads.
+    pub fn check_all(
+        &self,
+        properties: &[LtlFoProperty],
+    ) -> Vec<Result<VerificationReport, VerifasError>> {
+        // Warm the cache sequentially so every preprocessing is built once
+        // no matter how the worker threads interleave (invalid properties
+        // report their error from the worker instead).
+        for property in properties {
+            let _ = self.warm(property);
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(properties.len())
+            .max(1);
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<VerificationReport, VerifasError>>>> =
+            properties.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(property) = properties.get(i) else {
+                        break;
+                    };
+                    let report =
+                        self.run_request(property, self.options, &mut SearchControl::default());
+                    *results[i].lock().unwrap() = Some(report);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every property index was processed")
+            })
+            .collect()
+    }
+
+    /// Get or build the preprocessing shared by all properties with the
+    /// same [`PrepKey`].
+    fn preprocessing(
+        &self,
+        property: &LtlFoProperty,
+        options: VerifierOptions,
+    ) -> Arc<TaskPreprocessing> {
+        let extra_constants: Vec<DataValue> = property
+            .condition_constants()
+            .into_iter()
+            .filter(|c| !self.base_constants.contains(c))
+            .collect();
+        let key = PrepKey {
+            task: property.task,
+            include_sets: options.handle_artifact_relations,
+            global_types: property.global_vars.clone(),
+            extra_constants,
+        };
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(prep) = cache.get(&key) {
+            return Arc::clone(prep);
+        }
+        // Bound the cache: distinct keys come from properties introducing
+        // unseen constants or global types, which an adversarial stream
+        // could mint indefinitely.  Dropping everything is safe — entries
+        // are pure caches — and simpler than tracking recency.
+        if cache.len() >= PREPROCESSING_CACHE_CAPACITY {
+            cache.clear();
+        }
+        let mut constants = self.base_constants.clone();
+        constants.extend(key.extra_constants.iter().cloned());
+        let universe = ExprUniverse::build(&self.spec, key.task, &key.global_types, &constants);
+        let task = SymbolicTask::with_universe(&self.spec, key.task, universe, key.include_sets);
+        let prep = Arc::new(TaskPreprocessing {
+            task,
+            spec_graph: std::sync::OnceLock::new(),
+        });
+        cache.insert(key, Arc::clone(&prep));
+        prep
+    }
+
+    /// Run one request against the shared preprocessing.
+    fn run_request(
+        &self,
+        property: &LtlFoProperty,
+        options: VerifierOptions,
+        control: &mut SearchControl<'_>,
+    ) -> Result<VerificationReport, VerifasError> {
+        property.validate(&self.spec)?;
+        let prep = self.preprocessing(property, options);
+        // The property was validated against the engine's spec just above,
+        // and the cached task was compiled from that same spec.
+        let mut product = ProductSystem::with_task_prevalidated(prep.task.clone(), property);
+        if options.static_analysis {
+            let graph = prep
+                .spec_graph(&self.spec, property.task)
+                .with_property(property, &product.task.universe);
+            let removed = graph.non_violating_edges(&product.task.universe);
+            product.set_static_removed(removed);
+        }
+        let result = run_verification(&product, options, control);
+        Ok(VerificationReport::from_result(
+            &self.spec,
+            &property.name,
+            property.task,
+            options,
+            result,
+        ))
+    }
+}
+
+/// Builder for one verification request (see [`Engine::verification`]).
+pub struct VerificationBuilder<'e, 'o> {
+    engine: &'e Engine,
+    property: Option<LtlFoProperty>,
+    options: VerifierOptions,
+    observer: Option<&'o mut dyn ProgressObserver>,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+    progress_every: usize,
+}
+
+impl<'e, 'o> VerificationBuilder<'e, 'o> {
+    /// The property to verify (required).
+    pub fn property(mut self, property: &LtlFoProperty) -> Self {
+        self.property = Some(property.clone());
+        self
+    }
+
+    /// Override the engine's default options for this request.
+    pub fn options(mut self, options: VerifierOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Override only the resource limits for this request.
+    pub fn limits(mut self, limits: SearchLimits) -> Self {
+        self.options.limits = limits;
+        self
+    }
+
+    /// Attach a progress observer (a `FnMut(&ProgressEvent)` closure works
+    /// directly).
+    pub fn observer(mut self, observer: &'o mut dyn ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Emit a progress event every `expansions` state expansions
+    /// (default 128).
+    pub fn progress_every(mut self, expansions: usize) -> Self {
+        self.progress_every = expansions;
+        self
+    }
+
+    /// Stop the run once this much wall-clock time has passed.  The
+    /// report's `cancelled` flag is set; the outcome is `Inconclusive`
+    /// unless a violation was already found (then `Violated`, which is
+    /// always sound).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cancellation token; cancelling any clone of it stops the
+    /// run at its next state expansion.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Run the request.
+    pub fn run(self) -> Result<VerificationReport, VerifasError> {
+        let property = self.property.ok_or(VerifasError::MissingProperty)?;
+        let mut control = SearchControl {
+            observer: self.observer,
+            cancel: self.cancel,
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            progress_every: self.progress_every,
+            ..SearchControl::default()
+        };
+        self.engine
+            .run_request(&property, self.options, &mut control)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::VerificationOutcome;
+    use verifas_ltl::{Ltl, PropAtom};
+    use verifas_model::schema::attr::data;
+    use verifas_model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, Term, VarId};
+
+    fn flow_spec() -> HasSpec {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let status = root.data_var("status");
+        root.service_parts(
+            "begin",
+            Condition::eq(Term::var(status), Term::Null),
+            Condition::eq(Term::var(status), Term::str("Working")),
+            vec![],
+            None,
+        );
+        root.service_parts(
+            "finish",
+            Condition::eq(Term::var(status), Term::str("Working")),
+            Condition::eq(Term::var(status), Term::str("Done")),
+            vec![],
+            None,
+        );
+        root.service_parts(
+            "reset",
+            Condition::eq(Term::var(status), Term::str("Done")),
+            Condition::eq(Term::var(status), Term::Null),
+            vec![],
+            None,
+        );
+        let mut b = SpecBuilder::new("flow", db, root.build());
+        b.global_pre(Condition::eq(Term::var(status), Term::Null));
+        b.build().unwrap()
+    }
+
+    fn status_is(v: &str) -> Condition {
+        Condition::eq(Term::var(VarId::new(0)), Term::str(v))
+    }
+
+    fn never(name: &str, spec: &HasSpec, value: &str) -> LtlFoProperty {
+        LtlFoProperty::new(
+            name,
+            spec.root(),
+            vec![],
+            Ltl::globally(Ltl::not(Ltl::prop(0))),
+            vec![PropAtom::Condition(status_is(value))],
+        )
+    }
+
+    #[test]
+    fn engine_checks_a_property() {
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        let violated = engine.check(&never("never-done", &spec, "Done")).unwrap();
+        assert_eq!(violated.outcome, VerificationOutcome::Violated);
+        assert!(violated.witness.is_some());
+        let satisfied = engine
+            .check(&never("never-broken", &spec, "Broken"))
+            .unwrap();
+        assert_eq!(satisfied.outcome, VerificationOutcome::Satisfied);
+        assert!(satisfied.witness.is_none());
+    }
+
+    #[test]
+    fn builder_requires_a_property() {
+        let engine = Engine::load(flow_spec()).unwrap();
+        assert!(matches!(
+            engine.verification().run(),
+            Err(VerifasError::MissingProperty)
+        ));
+    }
+
+    #[test]
+    fn check_all_matches_sequential_checks() {
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        let properties = vec![
+            never("a", &spec, "Done"),
+            never("b", &spec, "Broken"),
+            never("c", &spec, "Working"),
+        ];
+        let batched = engine.check_all(&properties);
+        for (property, batched) in properties.iter().zip(&batched) {
+            let single = engine.check(property).unwrap();
+            let batched = batched.as_ref().unwrap();
+            assert_eq!(single.outcome, batched.outcome, "{}", property.name);
+            assert_eq!(single.witness, batched.witness, "{}", property.name);
+        }
+    }
+
+    #[test]
+    fn warm_builds_the_cache_without_searching() {
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        let property = never("warmed", &spec, "Done");
+        let handle = engine.warm(&property).unwrap();
+        assert_eq!(handle, property.handle());
+        assert_eq!(engine.cached_preprocessings(), 1);
+        // The subsequent check reuses the warmed preprocessing.
+        engine.check(&property).unwrap();
+        assert_eq!(engine.cached_preprocessings(), 1);
+    }
+
+    #[test]
+    fn invalid_properties_report_typed_errors() {
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        // Proposition 1 has no interpretation.
+        let bad = LtlFoProperty::new(
+            "bad",
+            spec.root(),
+            vec![],
+            Ltl::globally(Ltl::prop(7)),
+            vec![],
+        );
+        assert!(matches!(engine.check(&bad), Err(VerifasError::Model(_))));
+    }
+
+    #[test]
+    fn preprocessing_is_cached_per_key() {
+        // (The strict exactly-once assertion via crate::counters lives in
+        // the facade's `check_all_sharing` integration test, which runs in
+        // its own process; the process-wide counters are not reliable here
+        // where other unit tests build universes concurrently.)
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        engine.check(&never("p1", &spec, "Done")).unwrap();
+        engine.check(&never("p2", &spec, "Working")).unwrap();
+        assert_eq!(engine.cached_preprocessings(), 1);
+        // "Broken" introduces a constant the spec does not mention, so it
+        // gets its own universe; the first two share one.
+        engine.check(&never("p3", &spec, "Broken")).unwrap();
+        assert_eq!(engine.cached_preprocessings(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! The typed top-level error of the VERIFAS public API.
+//!
+//! Every fallible operation of [`crate::engine::Engine`] (and the
+//! deprecated `Verifier` front-end behind it) reports a [`VerifasError`]
+//! instead of passing raw [`ModelError`]s through or panicking: callers of
+//! a long-lived verification service need to distinguish "your
+//! specification is malformed" from "your request is malformed" without
+//! string-matching.
+
+use crate::json::JsonError;
+use std::fmt;
+use verifas_model::ModelError;
+
+/// The optimisation names accepted by
+/// [`crate::verifier::VerifierOptions::try_without`].
+pub const VALID_OPTIMIZATIONS: &[&str] = &["SP", "SA", "DSS"];
+
+/// Top-level error type of the `verifas` public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifasError {
+    /// The specification (or the property checked against it) is
+    /// malformed.
+    Model(ModelError),
+    /// An unknown optimisation name was passed to
+    /// [`crate::verifier::VerifierOptions::try_without`].
+    UnknownOptimization {
+        /// The name that was not recognised.
+        given: String,
+    },
+    /// A verification was started without a property
+    /// (`engine.verification().run()` before `.property(...)`).
+    MissingProperty,
+    /// A serialized [`crate::report::VerificationReport`] could not be
+    /// parsed.
+    MalformedReport {
+        /// What was wrong with the document.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VerifasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifasError::Model(e) => write!(f, "specification error: {e}"),
+            VerifasError::UnknownOptimization { given } => write!(
+                f,
+                "unknown optimization {given:?}; valid names are {VALID_OPTIMIZATIONS:?}"
+            ),
+            VerifasError::MissingProperty => {
+                write!(f, "no property was set on the verification request")
+            }
+            VerifasError::MalformedReport { reason } => {
+                write!(f, "malformed verification report: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifasError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for VerifasError {
+    fn from(e: ModelError) -> Self {
+        VerifasError::Model(e)
+    }
+}
+
+impl From<JsonError> for VerifasError {
+    fn from(e: JsonError) -> Self {
+        VerifasError::MalformedReport {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_valid_optimizations() {
+        let e = VerifasError::UnknownOptimization {
+            given: "SPP".to_owned(),
+        };
+        let text = e.to_string();
+        for name in VALID_OPTIMIZATIONS {
+            assert!(text.contains(name), "{text:?} must list {name}");
+        }
+    }
+
+    #[test]
+    fn model_errors_convert_and_chain() {
+        let model = ModelError::InvalidSpec {
+            reason: "no root".to_owned(),
+        };
+        let top: VerifasError = model.clone().into();
+        assert_eq!(top, VerifasError::Model(model));
+        assert!(std::error::Error::source(&top).is_some());
+    }
+}

@@ -85,10 +85,7 @@ pub fn compile_condition(cond: &Condition, universe: &ExprUniverse) -> CompiledC
                     }
                 }
                 Literal::Rel {
-                    id,
-                    args,
-                    positive,
-                    ..
+                    id, args, positive, ..
                 } => {
                     if matches!(id, Term::Null) {
                         // A relational atom with a null key is false.
@@ -228,7 +225,9 @@ mod tests {
         root.data_var("name");
         root.data_var("status");
         root.service_parts("noop", Condition::True, Condition::True, vec![], None);
-        let spec = SpecBuilder::new("eval-test", db, root.build()).build().unwrap();
+        let spec = SpecBuilder::new("eval-test", db, root.build())
+            .build()
+            .unwrap();
         let consts = BTreeSet::from([DataValue::str("Good"), DataValue::str("Init")]);
         let u = ExprUniverse::build(&spec, spec.root(), &[], &consts);
         (spec, u)
@@ -253,8 +252,7 @@ mod tests {
             compile_condition(&Condition::eq(status.clone(), status.clone()), &u),
             CompiledCondition::trivial()
         );
-        assert!(compile_condition(&Condition::neq(status.clone(), status), &u)
-            .is_unsatisfiable());
+        assert!(compile_condition(&Condition::neq(status.clone(), status), &u).is_unsatisfiable());
         assert!(compile_condition(&Condition::False, &u).is_unsatisfiable());
     }
 
@@ -276,7 +274,7 @@ mod tests {
         let compiled = compile_condition(&atom, &u);
         assert_eq!(compiled.conjuncts.len(), 1);
         assert_eq!(compiled.conjuncts[0].len(), 2); // cust_id.name = name, cust_id.record = null
-        // Negated atom: one conjunct per attribute.
+                                                    // Negated atom: one conjunct per attribute.
         let neg = Condition::not(atom);
         let compiled_neg = compile_condition(&neg, &u);
         assert_eq!(compiled_neg.conjuncts.len(), 2);

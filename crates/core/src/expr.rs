@@ -91,6 +91,7 @@ impl ExprUniverse {
         global_types: &[VarType],
         constants: &BTreeSet<DataValue>,
     ) -> Self {
+        crate::counters::UNIVERSE_BUILDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut universe = ExprUniverse {
             exprs: Vec::new(),
             constants: Vec::new(),
@@ -268,7 +269,10 @@ impl ExprUniverse {
             ExprHead::Var(v) => self.var_expr(*v)?,
             ExprHead::Slot(rel, col) => self.slot_expr(*rel, *col)?,
             ExprHead::Null => self.null_id,
-            ExprHead::Const(idx) => self.const_ids.get(&self.constants[*idx as usize]).copied()?,
+            ExprHead::Const(idx) => self
+                .const_ids
+                .get(&self.constants[*idx as usize])
+                .copied()?,
         };
         for attr in &e.path {
             current = self.navigate(current, *attr)?;
@@ -278,10 +282,7 @@ impl ExprUniverse {
 
     /// Iterate over all `(ExprId, &Expr)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ExprId, &Expr)> {
-        self.exprs
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (i as ExprId, e))
+        self.exprs.iter().enumerate().map(|(i, e)| (i as ExprId, e))
     }
 
     /// Human-readable rendering of an expression (for counterexamples and
@@ -335,12 +336,11 @@ mod tests {
     /// relation.
     fn spec() -> (HasSpec, RelId, RelId) {
         let mut db = DatabaseSchema::new();
-        let credit = db.add_relation("CREDIT_RECORD", vec![data("status")]).unwrap();
+        let credit = db
+            .add_relation("CREDIT_RECORD", vec![data("status")])
+            .unwrap();
         let customers = db
-            .add_relation(
-                "CUSTOMERS",
-                vec![data("name"), fk("record", credit)],
-            )
+            .add_relation("CUSTOMERS", vec![data("name"), fk("record", credit)])
             .unwrap();
         let mut root = TaskBuilder::new("Root");
         let cust = root.id_var("cust_id", customers);
@@ -353,7 +353,9 @@ mod tests {
             vec![],
             None,
         );
-        let spec = SpecBuilder::new("expr-test", db, root.build()).build().unwrap();
+        let spec = SpecBuilder::new("expr-test", db, root.build())
+            .build()
+            .unwrap();
         (spec, credit, customers)
     }
 
@@ -398,7 +400,11 @@ mod tests {
         assert_eq!(u.expr(rebased).sort, u.expr(record).sort);
         // Rebasing an expression with a different head returns None.
         assert!(u
-            .rebase(record, &ExprHead::Var(VarRef::Task(VarId::new(1))), &slot_head)
+            .rebase(
+                record,
+                &ExprHead::Var(VarRef::Task(VarId::new(1))),
+                &slot_head
+            )
             .is_none());
         let _ = customers;
     }
@@ -422,7 +428,10 @@ mod tests {
         let cust = u.var_expr(VarRef::Task(VarId::new(0))).unwrap();
         let record = u.navigate(cust, AttrId::new(1)).unwrap();
         let status = u.navigate(record, AttrId::new(0)).unwrap();
-        assert_eq!(u.display(&spec, spec.root(), status), "cust_id.record.status");
+        assert_eq!(
+            u.display(&spec, spec.root(), status),
+            "cust_id.record.status"
+        );
         let slot = u.slot_expr(ArtRelId::new(0), 1).unwrap();
         assert_eq!(u.display(&spec, spec.root(), slot), "ORDERS[status]");
     }

@@ -234,7 +234,10 @@ mod tests {
         index.insert(1, &state_with(Pit::empty()), &interner);
         index.remove(0);
         assert_eq!(index.subset_candidates(&xa, &interner), vec![1]);
-        assert_eq!(index.superset_candidates(&xa, &interner), Vec::<usize>::new());
+        assert_eq!(
+            index.superset_candidates(&xa, &interner),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

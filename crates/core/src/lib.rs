@@ -25,14 +25,20 @@
 //!   used for testing and benchmarking the search machinery in isolation.
 
 pub mod baseline;
+pub mod counters;
 pub mod coverage;
+pub mod engine;
+pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod index;
+pub mod json;
+pub mod observer;
 pub mod pit;
 pub mod product;
 pub mod psi;
 pub mod repeated;
+pub mod report;
 pub mod search;
 pub mod static_analysis;
 pub mod transition;
@@ -41,12 +47,19 @@ pub mod verifier;
 
 pub use baseline::BaselineVerifier;
 pub use coverage::{accelerate, covers, CoverageKind};
+pub use engine::{Engine, VerificationBuilder};
+pub use error::{VerifasError, VALID_OPTIMIZATIONS};
 pub use expr::{ExprHead, ExprId, ExprSort, ExprUniverse};
+pub use json::{Json, JsonError};
+pub use observer::{CancelToken, Phase, ProgressEvent, ProgressObserver, SearchControl};
 pub use pit::{Edge, Pit, PitBuilder};
 pub use product::{ProductState, ProductSuccessor, ProductSystem};
 pub use psi::{CounterVec, Psi, StoredTypeId, StoredTypeInterner, OMEGA};
+pub use report::{VerificationReport, Witness, WitnessStep, REPORT_SCHEMA_VERSION};
 pub use search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
-pub use transition::SymbolicTask;
+pub use transition::{spec_constants, SymbolicTask};
+#[allow(deprecated)]
+pub use verifier::Verifier;
 pub use verifier::{
-    Counterexample, VerificationOutcome, VerificationResult, Verifier, VerifierOptions,
+    run_verification, Counterexample, VerificationOutcome, VerificationResult, VerifierOptions,
 };

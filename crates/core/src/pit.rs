@@ -50,7 +50,10 @@ impl Edge {
 
     /// The two endpoints (smaller id first).
     pub fn endpoints(self) -> (ExprId, ExprId) {
-        (((self.0 >> 33) & 0xFFFF_FFFF) as ExprId, ((self.0 >> 1) & 0xFFFF_FFFF) as ExprId)
+        (
+            ((self.0 >> 33) & 0xFFFF_FFFF) as ExprId,
+            ((self.0 >> 1) & 0xFFFF_FFFF) as ExprId,
+        )
     }
 }
 
@@ -420,7 +423,7 @@ fn merge_sort(a: ExprSort, b: ExprSort) -> ExprSort {
 mod tests {
     use super::*;
     use std::collections::BTreeSet;
-    use verifas_model::schema::attr::{data, fk};
+    use verifas_model::schema::attr::data;
     use verifas_model::{
         Condition, DataValue, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder, Term, VarId,
         VarRef,
@@ -555,7 +558,10 @@ mod tests {
         // Keep only expressions headed by y and z (and constants/null).
         let keep: Vec<ExprId> = u.headed_by(|h| {
             matches!(h, crate::expr::ExprHead::Var(VarRef::Task(v)) if v.index() >= 1)
-                || matches!(h, crate::expr::ExprHead::Null | crate::expr::ExprHead::Const(_))
+                || matches!(
+                    h,
+                    crate::expr::ExprHead::Null | crate::expr::ExprHead::Const(_)
+                )
         });
         let keep_set: std::collections::HashSet<ExprId> = keep.into_iter().collect();
         let projected = pit.project(|e| keep_set.contains(&e));

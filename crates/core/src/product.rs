@@ -25,8 +25,8 @@ use crate::pit::Pit;
 use crate::psi::{Psi, StoredTypeInterner};
 use crate::transition::SymbolicTask;
 use std::collections::HashSet;
-use verifas_model::{Condition, HasSpec, ModelError, ServiceRef};
 use verifas_ltl::{LtlFoProperty, PropAtom, PropertyAutomaton};
+use verifas_model::{Condition, HasSpec, ModelError, ServiceRef};
 
 /// A state of the product system.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -93,6 +93,25 @@ impl ProductSystem {
             &property.global_vars,
             include_sets,
         );
+        Self::with_task(task, property)
+    }
+
+    /// Build the product from a pre-compiled symbolic task.
+    ///
+    /// The task must belong to the property's task and its expression
+    /// universe must contain every constant of the property's conditions
+    /// and an expression per global variable of the property —
+    /// `verifas::Engine` uses this to compile the task once and share it
+    /// across the properties of a batch.
+    pub fn with_task(task: SymbolicTask, property: &LtlFoProperty) -> Result<Self, ModelError> {
+        property.validate(&task.spec)?;
+        Ok(Self::with_task_prevalidated(task, property))
+    }
+
+    /// [`ProductSystem::with_task`] for callers that have already
+    /// validated the property against the task's spec (the engine
+    /// validates once per request).
+    pub(crate) fn with_task_prevalidated(task: SymbolicTask, property: &LtlFoProperty) -> Self {
         let automaton = PropertyAutomaton::for_violations(&property.formula, property.alive_prop());
         let mut prop_pos = Vec::new();
         let mut prop_neg = Vec::new();
@@ -114,14 +133,14 @@ impl ProductSystem {
                 }
             }
         }
-        Ok(ProductSystem {
+        ProductSystem {
             task,
             automaton,
             property: property.clone(),
             prop_pos,
             prop_neg,
             prop_service,
-        })
+        }
     }
 
     /// Set the non-violating edges computed by the static analysis.
@@ -241,7 +260,7 @@ mod tests {
     use verifas_ltl::Ltl;
     use verifas_model::schema::attr::data;
     use verifas_model::{
-        Condition, DatabaseSchema, SpecBuilder, TaskBuilder, Term, TaskId, VarType,
+        Condition, DatabaseSchema, SpecBuilder, TaskBuilder, TaskId, Term, VarType,
     };
 
     /// A one-task flow: status goes null -> "Working" -> "Done" and loops

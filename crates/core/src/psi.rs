@@ -105,7 +105,13 @@ impl CounterVec {
     pub fn total(&self) -> u64 {
         self.entries
             .iter()
-            .map(|(_, c)| if *c == OMEGA { u64::from(u32::MAX) } else { u64::from(*c) })
+            .map(|(_, c)| {
+                if *c == OMEGA {
+                    u64::from(u32::MAX)
+                } else {
+                    u64::from(*c)
+                }
+            })
             .sum()
     }
 
@@ -165,7 +171,7 @@ impl CounterVec {
     pub fn strictly_less_somewhere(&self, other: &CounterVec) -> bool {
         other.entries.iter().any(|(t, c)| {
             let mine = self.get(*t);
-            (mine != OMEGA && *c == OMEGA) || (mine != OMEGA && *c != OMEGA && mine < *c)
+            mine != OMEGA && (*c == OMEGA || mine < *c)
         })
     }
 }

@@ -19,6 +19,7 @@
 //! repeatedly reachable.
 
 use crate::coverage::{covers, CoverageKind};
+use crate::observer::{Phase, SearchControl};
 use crate::product::ProductSystem;
 use crate::psi::OMEGA;
 use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
@@ -62,9 +63,31 @@ pub fn find_infinite_violation(
     use_index: bool,
     limits: SearchLimits,
 ) -> RepeatedOutcome {
+    find_infinite_violation_with(
+        product,
+        coverage,
+        use_index,
+        limits,
+        &mut SearchControl::default(),
+    )
+}
+
+/// Like [`find_infinite_violation`], but observable and cancellable: the
+/// auxiliary search emits progress events to the control's observer (under
+/// [`Phase::RepeatedReachability`]) and both the search and the cycle
+/// detection stop early when the control's token is cancelled or its
+/// deadline passes (the outcome then reports `limit_reached`).
+pub fn find_infinite_violation_with(
+    product: &ProductSystem,
+    coverage: CoverageKind,
+    use_index: bool,
+    limits: SearchLimits,
+    control: &mut SearchControl<'_>,
+) -> RepeatedOutcome {
+    control.phase = Some(Phase::RepeatedReachability);
     let mut search = KarpMillerSearch::new(product, coverage, use_index, limits);
-    let outcome = search.run();
-    let stats = search.stats;
+    let outcome = search.run_with(control);
+    let mut stats = search.stats;
     if let SearchOutcome::FiniteViolation(node) = outcome {
         let prefix = search.trace(node).into_iter().map(|(s, _)| s).collect();
         return RepeatedOutcome {
@@ -74,7 +97,7 @@ pub fn find_infinite_violation(
             finite_violation: Some(prefix),
         };
     }
-    let limit_reached = outcome == SearchOutcome::LimitReached;
+    let mut limit_reached = outcome == SearchOutcome::LimitReached;
     let active = search.active_nodes();
     // Rule (a): an accepting active state with an ω counter is repeatedly
     // reachable — the acceleration that produced the ω witnesses a cycle.
@@ -106,6 +129,15 @@ pub fn find_infinite_violation(
         let state = &search.nodes[i].state;
         if state.closed {
             continue;
+        }
+        if control.should_stop() {
+            // Record the interruption on the stats too: the report's
+            // `cancelled` flag must distinguish a cancelled/past-deadline
+            // run from a genuinely inconclusive one.
+            limit_reached = true;
+            stats.limit_reached = true;
+            stats.cancelled = true;
+            break;
         }
         for succ in product.successors(state, &mut interner) {
             for (aj, &j) in active.iter().enumerate() {
@@ -280,10 +312,7 @@ mod tests {
             "working-leads-to-done",
             TaskId::new(0),
             vec![],
-            Ltl::globally(Ltl::implies(
-                Ltl::prop(0),
-                Ltl::eventually(Ltl::prop(1)),
-            )),
+            Ltl::globally(Ltl::implies(Ltl::prop(0), Ltl::eventually(Ltl::prop(1)))),
             vec![
                 PropAtom::Condition(status_is("Working")),
                 PropAtom::Condition(status_is("Done")),

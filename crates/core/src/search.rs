@@ -12,6 +12,7 @@
 
 use crate::coverage::{accelerate, covers, CoverageKind};
 use crate::index::StateIndex;
+use crate::observer::{ProgressEvent, SearchControl};
 use crate::product::{ProductState, ProductSystem};
 use crate::psi::StoredTypeInterner;
 use std::collections::VecDeque;
@@ -55,6 +56,9 @@ pub struct SearchStats {
     pub elapsed_ms: u64,
     /// `true` when a resource limit stopped the search.
     pub limit_reached: bool,
+    /// `true` when the search was stopped by a cancellation token or a
+    /// deadline (a subset of `limit_reached`).
+    pub cancelled: bool,
 }
 
 /// Outcome of the search phase.
@@ -124,9 +128,24 @@ impl<'a> KarpMillerSearch<'a> {
         }
     }
 
-    /// Run the search to completion (or until a limit / finite violation).
+    /// Run the search to completion (or until a limit / finite violation),
+    /// without observation or cancellation.
     pub fn run(&mut self) -> SearchOutcome {
+        self.run_with(&mut SearchControl::default())
+    }
+
+    /// Run the search under a [`SearchControl`]: progress events are
+    /// emitted to its observer every [`SearchControl::progress_every`]
+    /// state expansions, and the search stops (reporting
+    /// [`SearchOutcome::LimitReached`] with
+    /// [`SearchStats::cancelled`] set) when its token is cancelled or its
+    /// deadline passes.
+    pub fn run_with(&mut self, control: &mut SearchControl<'_>) -> SearchOutcome {
         let start = Instant::now();
+        let phase = control.current_phase();
+        let granularity = control.granularity();
+        let mut expanded_since_event = 0usize;
+        control.emit(ProgressEvent::PhaseStarted { phase });
         let mut worklist: VecDeque<usize> = VecDeque::new();
         for state in self.product.initial_states() {
             let id = self.add_node(state, None, self.product.task.opening_service());
@@ -139,11 +158,26 @@ impl<'a> KarpMillerSearch<'a> {
             if !self.nodes[id].active {
                 continue;
             }
+            if control.should_stop() {
+                self.stats.limit_reached = true;
+                self.stats.cancelled = true;
+                break SearchOutcome::LimitReached;
+            }
             if self.nodes.len() >= self.limits.max_states
                 || start.elapsed().as_millis() as u64 >= self.limits.max_millis
             {
                 self.stats.limit_reached = true;
                 break SearchOutcome::LimitReached;
+            }
+            expanded_since_event += 1;
+            if expanded_since_event >= granularity {
+                expanded_since_event = 0;
+                control.emit(ProgressEvent::Progress {
+                    phase,
+                    states_created: self.stats.states_created,
+                    frontier: worklist.len(),
+                    accelerations: self.stats.accelerations,
+                });
             }
             let current = self.nodes[id].state.clone();
             let successors = self.product.successors(&current, &mut self.interner);
@@ -188,10 +222,19 @@ impl<'a> KarpMillerSearch<'a> {
         self.stats.states_active = self.nodes.iter().filter(|n| n.active).count();
         self.stats.stored_types = self.interner.len();
         self.stats.elapsed_ms = start.elapsed().as_millis() as u64;
+        control.emit(ProgressEvent::PhaseFinished {
+            phase,
+            stats: self.stats,
+        });
         outcome
     }
 
-    fn add_node(&mut self, state: ProductState, parent: Option<usize>, service: ServiceRef) -> usize {
+    fn add_node(
+        &mut self,
+        state: ProductState,
+        parent: Option<usize>,
+        service: ServiceRef,
+    ) -> usize {
         let id = self.nodes.len();
         if self.use_index {
             self.index.insert(id, &state, &self.interner);
@@ -223,9 +266,9 @@ impl<'a> KarpMillerSearch<'a> {
                         && covers(self.coverage, state, &self.nodes[j].state, &self.interner)
                 })
         } else {
-            self.nodes.iter().any(|n| {
-                n.active && covers(self.coverage, state, &n.state, &self.interner)
-            })
+            self.nodes
+                .iter()
+                .any(|n| n.active && covers(self.coverage, state, &n.state, &self.interner))
         }
     }
 
@@ -246,7 +289,9 @@ impl<'a> KarpMillerSearch<'a> {
                 .filter(|&j| self.nodes[j].active)
                 .collect()
         } else {
-            (0..self.nodes.len()).filter(|&j| self.nodes[j].active).collect()
+            (0..self.nodes.len())
+                .filter(|&j| self.nodes[j].active)
+                .collect()
         };
         let mut to_prune = Vec::new();
         for j in candidates {
@@ -280,7 +325,9 @@ impl<'a> KarpMillerSearch<'a> {
     /// Indices of the nodes still active at the end of the search (the
     /// coverability-set candidates).
     pub fn active_nodes(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].active).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].active)
+            .collect()
     }
 
     /// The path of services and states from an initial node to `node`
@@ -338,13 +385,7 @@ mod tests {
     }
 
     fn trivial_property() -> LtlFoProperty {
-        LtlFoProperty::new(
-            "false-baseline",
-            TaskId::new(0),
-            vec![],
-            Ltl::False,
-            vec![],
-        )
+        LtlFoProperty::new("false-baseline", TaskId::new(0), vec![], Ltl::False, vec![])
     }
 
     #[test]

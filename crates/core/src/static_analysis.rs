@@ -20,12 +20,12 @@ use crate::eval::compile_condition;
 use crate::expr::{ExprId, ExprUniverse};
 use crate::pit::Edge;
 use std::collections::{HashMap, HashSet};
-use verifas_model::{Condition, HasSpec, TaskId};
 use verifas_ltl::{LtlFoProperty, PropAtom};
+use verifas_model::{Condition, HasSpec, TaskId};
 
 /// The constraint graph of a specification/property pair, restricted to the
 /// verified task's expression universe.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ConstraintGraph {
     /// All `=`-edges that can ever be asserted.
     pub eq_edges: HashSet<(ExprId, ExprId)>,
@@ -43,6 +43,16 @@ impl ConstraintGraph {
         property: &LtlFoProperty,
         universe: &ExprUniverse,
     ) -> Self {
+        ConstraintGraph::build_spec_side(spec, task, universe).with_property(property, universe)
+    }
+
+    /// Build the property-independent part of the constraint graph: every
+    /// condition observable in local runs of the task (service pre/post
+    /// conditions, opening/closing guards, the global pre-condition).  The
+    /// result can be shared across properties of the same task and extended
+    /// per property with [`ConstraintGraph::with_property`].
+    pub fn build_spec_side(spec: &HasSpec, task: TaskId, universe: &ExprUniverse) -> Self {
+        crate::counters::SPEC_GRAPH_BUILDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut graph = ConstraintGraph::default();
         let mut conditions: Vec<Condition> = Vec::new();
         let task_def = spec.task(task);
@@ -57,13 +67,27 @@ impl ConstraintGraph {
         if task == spec.root() {
             conditions.push(spec.global_pre.clone());
         }
+        graph.add_conditions(&conditions, universe);
+        graph
+    }
+
+    /// Extend a (spec-side) graph with the edges of a property's FO
+    /// conditions and their negations, returning the completed graph.
+    pub fn with_property(&self, property: &LtlFoProperty, universe: &ExprUniverse) -> Self {
+        let mut graph = self.clone();
+        let mut conditions: Vec<Condition> = Vec::new();
         for atom in &property.props {
             if let PropAtom::Condition(c) = atom {
                 conditions.push(c.clone());
                 conditions.push(Condition::not(c.clone()));
             }
         }
-        for cond in &conditions {
+        graph.add_conditions(&conditions, universe);
+        graph
+    }
+
+    fn add_conditions(&mut self, conditions: &[Condition], universe: &ExprUniverse) {
+        for cond in conditions {
             // Compiling both the condition and, through DNF, all its atoms
             // yields exactly the edges a symbolic transition may add; add
             // their navigation consequences as well (Definition 24 closes
@@ -71,11 +95,10 @@ impl ConstraintGraph {
             let compiled = compile_condition(&cond.nnf(), universe);
             for conjunct in &compiled.conjuncts {
                 for edge in conjunct {
-                    graph.add_edge_with_suffixes(*edge, universe);
+                    self.add_edge_with_suffixes(*edge, universe);
                 }
             }
         }
-        graph
     }
 
     fn add_edge_with_suffixes(&mut self, edge: Edge, universe: &ExprUniverse) {
@@ -171,9 +194,9 @@ fn ordered(a: ExprId, b: ExprId) -> (ExprId, ExprId) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use verifas_ltl::Ltl;
     use verifas_model::schema::attr::data;
     use verifas_model::{DatabaseSchema, SpecBuilder, TaskBuilder, Term, VarId, VarRef};
-    use verifas_ltl::Ltl;
 
     /// Spec where variable x is compared only by equality to "a" (never
     /// disequated) and variable y is both equated and disequated to "b".

@@ -112,21 +112,26 @@ impl SymbolicTask {
         global_types: &[VarType],
         include_sets: bool,
     ) -> Self {
-        // Collect every constant of the specification and the property.
-        let mut constants: BTreeSet<DataValue> = BTreeSet::new();
-        for t in &spec.tasks {
-            for svc in &t.services {
-                constants.extend(svc.pre.constants());
-                constants.extend(svc.post.constants());
-            }
-            constants.extend(t.opening.pre.constants());
-            constants.extend(t.closing.pre.constants());
-        }
-        constants.extend(spec.global_pre.constants());
+        let mut constants = spec_constants(spec);
         for c in extra_conditions {
             constants.extend(c.constants());
         }
         let universe = ExprUniverse::build(spec, task, global_types, &constants);
+        Self::with_universe(spec, task, universe, include_sets)
+    }
+
+    /// Build the symbolic transition system against a pre-built expression
+    /// universe.  The universe must contain every constant of the
+    /// specification (see [`spec_constants`]) and of any property that will
+    /// be verified against this task — `verifas::Engine` uses this to build
+    /// the universe once and share the compiled task across the properties
+    /// of a batch.
+    pub fn with_universe(
+        spec: &HasSpec,
+        task: TaskId,
+        universe: ExprUniverse,
+        include_sets: bool,
+    ) -> Self {
         let task_def = spec.task(task);
 
         // Expressions that always survive projection: constants, null and
@@ -152,9 +157,9 @@ impl SymbolicTask {
             let mut keep: HashSet<ExprId> = persistent.clone();
             keep.extend(headed_by_vars(&svc.propagated));
             let update = if include_sets {
-                svc.update.as_ref().map(|u| {
-                    compile_update(&universe, task_def, u, &persistent)
-                })
+                svc.update
+                    .as_ref()
+                    .map(|u| compile_update(&universe, task_def, u, &persistent))
             } else {
                 None
             };
@@ -258,8 +263,15 @@ impl SymbolicTask {
         for &v in &self.initial_null_vars {
             base.assert_eq(v, null);
         }
-        let base = base.finish().expect("null initialisation is always consistent");
-        eval_extensions(&base, &self.initial_condition, &self.universe, &self.static_removed)
+        let base = base
+            .finish()
+            .expect("null initialisation is always consistent");
+        eval_extensions(
+            &base,
+            &self.initial_condition,
+            &self.universe,
+            &self.static_removed,
+        )
     }
 
     /// `succ(I)`: every successor of the partial symbolic instance under
@@ -298,9 +310,10 @@ impl SymbolicTask {
                                 )),
                                 Some(u) if u.insert => {
                                     let tuple = tau0.project(|e| u.tuple_keep.contains(&e));
-                                    let stored = tuple
-                                        .rename(&self.universe, &u.var_to_slot)
-                                        .expect("renaming a consistent tuple type stays consistent");
+                                    let stored =
+                                        tuple.rename(&self.universe, &u.var_to_slot).expect(
+                                            "renaming a consistent tuple type stays consistent",
+                                        );
                                     let id = interner.intern(u.rel, stored);
                                     out.push((
                                         svc.service,
@@ -324,8 +337,7 @@ impl SymbolicTask {
                                         else {
                                             continue;
                                         };
-                                        let Some(tau3) =
-                                            tau2.conjoin(&retrieved, &self.universe)
+                                        let Some(tau3) = tau2.conjoin(&retrieved, &self.universe)
                                         else {
                                             continue;
                                         };
@@ -396,6 +408,25 @@ impl SymbolicTask {
         }
         out
     }
+}
+
+/// Every constant occurring in the conditions of a specification (service
+/// pre/post conditions, opening/closing guards, the global pre-condition).
+///
+/// The expression universe of a verified task must contain at least these,
+/// plus the constants of the property being verified.
+pub fn spec_constants(spec: &HasSpec) -> BTreeSet<DataValue> {
+    let mut constants: BTreeSet<DataValue> = BTreeSet::new();
+    for t in &spec.tasks {
+        for svc in &t.services {
+            constants.extend(svc.pre.constants());
+            constants.extend(svc.post.constants());
+        }
+        constants.extend(t.opening.pre.constants());
+        constants.extend(t.closing.pre.constants());
+    }
+    constants.extend(spec.global_pre.constants());
+    constants
 }
 
 fn compile_update(
@@ -487,10 +518,7 @@ mod tests {
         let st = SymbolicTask::new(&spec, spec.root(), &[], &[], true);
         let pits = st.initial_pits();
         assert_eq!(pits.len(), 1);
-        let status = st
-            .universe
-            .var_expr(VarRef::Task(VarId::new(0)))
-            .unwrap();
+        let status = st.universe.var_expr(VarRef::Task(VarId::new(0))).unwrap();
         assert!(pits[0].contains(Edge::eq(status, st.universe.null_expr())));
     }
 
@@ -500,10 +528,7 @@ mod tests {
         let st = SymbolicTask::new(&spec, spec.root(), &[], &[], true);
         let mut interner = StoredTypeInterner::new();
         let status = st.universe.var_expr(VarRef::Task(VarId::new(0))).unwrap();
-        let working = st
-            .universe
-            .const_expr(&DataValue::str("Working"))
-            .unwrap();
+        let working = st.universe.const_expr(&DataValue::str("Working")).unwrap();
 
         let initial = Psi::with_pit(st.initial_pits().remove(0));
         // start: only the "start" service applies (status = null holds).
@@ -525,7 +550,9 @@ mod tests {
             .collect();
         assert_eq!(stashed.len(), 1);
         assert_eq!(stashed[0].counters.total(), 1);
-        assert!(stashed[0].pit.contains(Edge::eq(status, st.universe.null_expr())));
+        assert!(stashed[0]
+            .pit
+            .contains(Edge::eq(status, st.universe.null_expr())));
         let (_, stored_type) = interner.get(stashed[0].counters.iter().next().unwrap().0);
         let slot = st.universe.slot_expr(ArtRelId::new(0), 0).unwrap();
         assert!(stored_type.contains(Edge::eq(slot, working)));

@@ -117,7 +117,8 @@ impl Vass {
                             .all(|(x, y)| *y == OMEGA || (*x != OMEGA && x <= y) || *x == *y)
                         && anc.leq(&succ)
                     {
-                        for (i, (x, y)) in anc.counters.iter().zip(succ.counters.clone()).enumerate()
+                        for (i, (x, y)) in
+                            anc.counters.iter().zip(succ.counters.clone()).enumerate()
                         {
                             if *x != OMEGA && y != OMEGA && *x < y {
                                 succ.counters[i] = OMEGA;
@@ -140,9 +141,7 @@ impl Vass {
     /// Coverability: can a configuration ≥ `target` be reached from
     /// `initial`?
     pub fn coverable(&self, initial: KmNode, target: &KmNode) -> bool {
-        self.coverability_set(initial)
-            .iter()
-            .any(|n| target.leq(n))
+        self.coverability_set(initial).iter().any(|n| target.leq(n))
     }
 }
 
@@ -167,9 +166,7 @@ mod tests {
             state: 0,
             counters: vec![0],
         });
-        assert!(set
-            .iter()
-            .any(|n| n.state == 0 && n.counters[0] == OMEGA));
+        assert!(set.iter().any(|n| n.state == 0 && n.counters[0] == OMEGA));
         // The set is finite and small.
         assert!(set.len() <= 6);
     }

@@ -17,8 +17,10 @@
 //!   full LTL-FO; without it only finite violations are detected).
 
 use crate::coverage::CoverageKind;
+use crate::error::VerifasError;
+use crate::observer::SearchControl;
 use crate::product::ProductSystem;
-use crate::repeated::find_infinite_violation;
+use crate::repeated::find_infinite_violation_with;
 use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
 use crate::static_analysis::ConstraintGraph;
 use verifas_ltl::LtlFoProperty;
@@ -67,15 +69,36 @@ impl VerifierOptions {
 
     /// Disable one named optimisation (used by the Table 3 ablation):
     /// `"SP"`, `"SA"` or `"DSS"`.
+    ///
+    /// # Panics
+    /// On an unknown name, with a message listing the valid ones — a typo
+    /// must not silently run the ablation with every optimisation still
+    /// enabled.  Use [`VerifierOptions::try_without`] to handle the error
+    /// instead.
     pub fn without(self, optimization: &str) -> Self {
+        match self.try_without(optimization) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Disable one named optimisation (`"SP"`, `"SA"` or `"DSS"`),
+    /// reporting unknown names as
+    /// [`VerifasError::UnknownOptimization`] (whose message lists
+    /// [`crate::error::VALID_OPTIMIZATIONS`]).
+    pub fn try_without(self, optimization: &str) -> Result<Self, VerifasError> {
         let mut out = self;
         match optimization {
             "SP" => out.state_pruning = false,
             "SA" => out.static_analysis = false,
             "DSS" => out.data_structure_support = false,
-            other => panic!("unknown optimization {other:?}"),
+            other => {
+                return Err(VerifasError::UnknownOptimization {
+                    given: other.to_owned(),
+                })
+            }
         }
-        out
+        Ok(out)
     }
 
     fn coverage(&self) -> CoverageKind {
@@ -140,11 +163,23 @@ impl VerificationResult {
 }
 
 /// The VERIFAS verifier for one (specification, property) pair.
+///
+/// Deprecated: this one-shot front-end rebuilds the spec-side
+/// preprocessing on every construction.  Use `verifas::Engine`, which
+/// loads a specification once, serves many properties, shares the
+/// preprocessing across them and returns serializable
+/// [`crate::report::VerificationReport`]s.
+#[deprecated(
+    since = "0.2.0",
+    note = "use verifas::Engine (Engine::load(spec).check(&property)); \
+            Verifier will be removed after one release"
+)]
 pub struct Verifier {
     product: ProductSystem,
     options: VerifierOptions,
 }
 
+#[allow(deprecated)]
 impl Verifier {
     /// Build a verifier; the property is validated against the
     /// specification.
@@ -154,8 +189,7 @@ impl Verifier {
         options: VerifierOptions,
     ) -> Result<Self, ModelError> {
         spec.validate()?;
-        let mut product =
-            ProductSystem::new(spec, property, options.handle_artifact_relations)?;
+        let mut product = ProductSystem::new(spec, property, options.handle_artifact_relations)?;
         if options.static_analysis {
             let graph =
                 ConstraintGraph::build(spec, property.task, property, &product.task.universe);
@@ -172,112 +206,126 @@ impl Verifier {
 
     /// Run the verification.
     pub fn verify(&self) -> VerificationResult {
-        // Phase 1: reachability search (finds finite violations).
-        let mut search = KarpMillerSearch::new(
-            &self.product,
-            self.options.coverage(),
-            self.options.data_structure_support,
-            self.options.limits,
-        );
-        let outcome = search.run();
-        let stats = search.stats;
-        match outcome {
-            SearchOutcome::FiniteViolation(node) => {
-                let services: Vec<ServiceRef> =
-                    search.trace(node).into_iter().map(|(s, _)| s).collect();
-                let description = self.describe(&services);
-                VerificationResult {
+        run_verification(&self.product, self.options, &mut SearchControl::default())
+    }
+}
+
+/// Run the two verification phases over a prepared product system under a
+/// [`SearchControl`] (observer + cancellation).  This is the shared
+/// implementation behind [`Verifier::verify`] and `verifas::Engine`.
+pub fn run_verification(
+    product: &ProductSystem,
+    options: VerifierOptions,
+    control: &mut SearchControl<'_>,
+) -> VerificationResult {
+    // Phase 1: reachability search (finds finite violations).
+    control.phase = Some(crate::observer::Phase::Reachability);
+    let mut search = KarpMillerSearch::new(
+        product,
+        options.coverage(),
+        options.data_structure_support,
+        options.limits,
+    );
+    let outcome = search.run_with(control);
+    let stats = search.stats;
+    match outcome {
+        SearchOutcome::FiniteViolation(node) => {
+            let services: Vec<ServiceRef> =
+                search.trace(node).into_iter().map(|(s, _)| s).collect();
+            let description = describe(product, &services);
+            VerificationResult {
+                outcome: VerificationOutcome::Violated,
+                counterexample: Some(Counterexample {
+                    services,
+                    description,
+                    finite: true,
+                }),
+                stats,
+                repeated_stats: None,
+            }
+        }
+        SearchOutcome::LimitReached => VerificationResult {
+            outcome: VerificationOutcome::Inconclusive,
+            counterexample: None,
+            stats,
+            repeated_stats: None,
+        },
+        SearchOutcome::Exhausted => {
+            if !options.check_repeated {
+                return VerificationResult {
+                    outcome: VerificationOutcome::Satisfied,
+                    counterexample: None,
+                    stats,
+                    repeated_stats: None,
+                };
+            }
+            // Phase 2: repeated reachability for infinite violations.
+            let repeated = find_infinite_violation_with(
+                product,
+                options.repeated_coverage(),
+                options.data_structure_support,
+                options.limits,
+                control,
+            );
+            let repeated_stats = Some(repeated.stats);
+            if let Some(finite) = repeated.finite_violation {
+                let description = describe(product, &finite);
+                return VerificationResult {
                     outcome: VerificationOutcome::Violated,
                     counterexample: Some(Counterexample {
-                        services,
+                        services: finite,
                         description,
                         finite: true,
                     }),
                     stats,
-                    repeated_stats: None,
-                }
+                    repeated_stats,
+                };
             }
-            SearchOutcome::LimitReached => VerificationResult {
-                outcome: VerificationOutcome::Inconclusive,
-                counterexample: None,
-                stats,
-                repeated_stats: None,
-            },
-            SearchOutcome::Exhausted => {
-                if !self.options.check_repeated {
-                    return VerificationResult {
-                        outcome: VerificationOutcome::Satisfied,
-                        counterexample: None,
-                        stats,
-                        repeated_stats: None,
-                    };
-                }
-                // Phase 2: repeated reachability for infinite violations.
-                let repeated = find_infinite_violation(
-                    &self.product,
-                    self.options.repeated_coverage(),
-                    self.options.data_structure_support,
-                    self.options.limits,
-                );
-                let repeated_stats = Some(repeated.stats);
-                if let Some(finite) = repeated.finite_violation {
-                    let description = self.describe(&finite);
-                    return VerificationResult {
+            match repeated.violation {
+                Some(v) => {
+                    let description = format!(
+                        "{} (infinite run: {})",
+                        describe(product, &v.prefix),
+                        v.reason
+                    );
+                    VerificationResult {
                         outcome: VerificationOutcome::Violated,
                         counterexample: Some(Counterexample {
-                            services: finite,
+                            services: v.prefix,
                             description,
-                            finite: true,
+                            finite: false,
                         }),
                         stats,
                         repeated_stats,
-                    };
-                }
-                match repeated.violation {
-                    Some(v) => {
-                        let description = format!(
-                            "{} (infinite run: {})",
-                            self.describe(&v.prefix),
-                            v.reason
-                        );
-                        VerificationResult {
-                            outcome: VerificationOutcome::Violated,
-                            counterexample: Some(Counterexample {
-                                services: v.prefix,
-                                description,
-                                finite: false,
-                            }),
-                            stats,
-                            repeated_stats,
-                        }
                     }
-                    None if repeated.limit_reached => VerificationResult {
-                        outcome: VerificationOutcome::Inconclusive,
-                        counterexample: None,
-                        stats,
-                        repeated_stats,
-                    },
-                    None => VerificationResult {
-                        outcome: VerificationOutcome::Satisfied,
-                        counterexample: None,
-                        stats,
-                        repeated_stats,
-                    },
                 }
+                None if repeated.limit_reached => VerificationResult {
+                    outcome: VerificationOutcome::Inconclusive,
+                    counterexample: None,
+                    stats,
+                    repeated_stats,
+                },
+                None => VerificationResult {
+                    outcome: VerificationOutcome::Satisfied,
+                    counterexample: None,
+                    stats,
+                    repeated_stats,
+                },
             }
         }
     }
+}
 
-    fn describe(&self, services: &[ServiceRef]) -> String {
-        services
-            .iter()
-            .map(|s| self.product.task.spec.service_name(*s))
-            .collect::<Vec<_>>()
-            .join(" → ")
-    }
+fn describe(product: &ProductSystem, services: &[ServiceRef]) -> String {
+    services
+        .iter()
+        .map(|s| product.task.spec.service_name(*s))
+        .collect::<Vec<_>>()
+        .join(" → ")
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
@@ -415,9 +463,7 @@ mod tests {
             let verifier = Verifier::new(&spec, &property, options).unwrap();
             verdicts.push(verifier.verify().outcome);
         }
-        assert!(verdicts
-            .iter()
-            .all(|v| *v == VerificationOutcome::Violated));
+        assert!(verdicts.iter().all(|v| *v == VerificationOutcome::Violated));
     }
 
     #[test]

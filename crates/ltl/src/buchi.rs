@@ -15,12 +15,11 @@
 //! detect violations by finite local runs (the paper's `Q_fin`).
 
 use crate::formula::{letter_has, Letter, Ltl, PropId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// The label of an automaton state: a conjunction of propositional
 /// literals constraining the letter read when *entering* the state.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BuchiLabel {
     /// Bitmask of propositions that must be true.
     pub pos: u64,
@@ -67,7 +66,7 @@ impl BuchiLabel {
 /// `a₀a₁a₂…` is a sequence `q₀q₁q₂…` with `q₀` initial,
 /// `a₀ ⊨ label(q₀)`, `qᵢ₊₁ ∈ transitions(qᵢ)` and `aᵢ₊₁ ⊨ label(qᵢ₊₁)`.
 /// It accepts iff some accepting state occurs infinitely often.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BuchiAutomaton {
     /// Per-state labels.
     pub labels: Vec<BuchiLabel>,
@@ -308,11 +307,9 @@ fn expand(mut node: PendingNode, store: &mut Vec<StoredNode>) {
                     // Split into two nodes following the GPVW tableau rules.
                     let (new1, next1, new2): (Vec<Ltl>, Vec<Ltl>, Vec<Ltl>) = match &eta {
                         Ltl::Or(..) => (vec![(**a).clone()], vec![], vec![(**b).clone()]),
-                        Ltl::Until(..) => (
-                            vec![(**a).clone()],
-                            vec![eta.clone()],
-                            vec![(**b).clone()],
-                        ),
+                        Ltl::Until(..) => {
+                            (vec![(**a).clone()], vec![eta.clone()], vec![(**b).clone()])
+                        }
                         Ltl::Release(..) => (
                             vec![(**b).clone()],
                             vec![eta.clone()],
@@ -435,7 +432,7 @@ fn degeneralize(nodes: &[StoredNode], untils: &[Ltl]) -> BuchiAutomaton {
 ///   `w · ∅^ω` is pre-computed per state in `padding_accepting`: after the
 ///   closing letter drives the automaton into state `q`, the finite run
 ///   violates `φ` iff `padding_accepting[q]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PropertyAutomaton {
     /// The underlying Büchi automaton (over the property's propositions
     /// plus `alive`).
@@ -531,8 +528,8 @@ fn compute_padding_acceptance(buchi: &BuchiAutomaton) -> Vec<bool> {
     // is reachable in the restricted graph.
     let mut result = vec![false; n];
     let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for q in 0..n {
-        for &r in &succ[q] {
+    for (q, successors) in succ.iter().enumerate() {
+        for &r in successors {
             pred[r].push(q);
         }
     }
@@ -619,7 +616,10 @@ mod tests {
             Ltl::globally(Ltl::implies(p(0), Ltl::eventually(p(1)))),
             Ltl::globally(Ltl::eventually(p(0))),
             Ltl::eventually(Ltl::globally(p(0))),
-            Ltl::implies(Ltl::globally(Ltl::eventually(p(0))), Ltl::globally(Ltl::eventually(p(1)))),
+            Ltl::implies(
+                Ltl::globally(Ltl::eventually(p(0))),
+                Ltl::globally(Ltl::eventually(p(1))),
+            ),
             Ltl::and(Ltl::eventually(p(0)), Ltl::globally(Ltl::not(p(1)))),
             Ltl::or(Ltl::globally(p(0)), Ltl::globally(p(1))),
             Ltl::not(Ltl::until(p(0), p(1))),

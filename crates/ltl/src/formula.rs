@@ -13,7 +13,6 @@
 //!   words padded with a `¬alive` suffix — this is how VERIFAS handles
 //!   local runs that terminate (the paper's `Q_fin` mechanism).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -36,7 +35,7 @@ pub fn letter_of(props: &[PropId]) -> Letter {
 }
 
 /// An LTL formula.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Ltl {
     /// Constant true.
     True,
@@ -65,6 +64,7 @@ impl Ltl {
     }
 
     /// Negation (with trivial simplifications).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Ltl) -> Ltl {
         match f {
             Ltl::True => Ltl::False,
@@ -263,7 +263,10 @@ impl Ltl {
     /// the Büchi construction; complexity is `O(|φ|·(|prefix|+|loop|)²)`,
     /// fine for tests.
     pub fn eval_lasso(&self, prefix: &[Letter], looped: &[Letter]) -> bool {
-        assert!(!looped.is_empty(), "the loop of a lasso word must be non-empty");
+        assert!(
+            !looped.is_empty(),
+            "the loop of a lasso word must be non-empty"
+        );
         let n = prefix.len() + looped.len();
         let letter = |i: usize| -> Letter {
             if i < prefix.len() {
@@ -350,7 +353,10 @@ impl Ltl {
     /// Finite-trace (LTLf) semantics with strong next, evaluated directly
     /// on a finite non-empty word.  Used as the concrete-run oracle.
     pub fn eval_finite(&self, word: &[Letter]) -> bool {
-        assert!(!word.is_empty(), "LTLf semantics is defined on non-empty words");
+        assert!(
+            !word.is_empty(),
+            "LTLf semantics is defined on non-empty words"
+        );
         fn at(f: &Ltl, word: &[Letter], i: usize) -> bool {
             match f {
                 Ltl::True => true,
@@ -360,11 +366,12 @@ impl Ltl {
                 Ltl::And(a, b) => at(a, word, i) && at(b, word, i),
                 Ltl::Or(a, b) => at(a, word, i) || at(b, word, i),
                 Ltl::Next(a) => i + 1 < word.len() && at(a, word, i + 1),
-                Ltl::Until(a, b) => (i..word.len())
-                    .any(|j| at(b, word, j) && (i..j).all(|k| at(a, word, k))),
-                Ltl::Release(a, b) => (i..word.len()).all(|j| {
-                    at(b, word, j) || (i..j).any(|k| at(a, word, k))
-                }),
+                Ltl::Until(a, b) => {
+                    (i..word.len()).any(|j| at(b, word, j) && (i..j).all(|k| at(a, word, k)))
+                }
+                Ltl::Release(a, b) => {
+                    (i..word.len()).all(|j| at(b, word, j) || (i..j).any(|k| at(a, word, k)))
+                }
             }
         }
         at(self, word, 0)
@@ -408,7 +415,10 @@ mod tests {
     #[test]
     fn nnf_pushes_negations() {
         let f = Ltl::not(Ltl::until(p(0), p(1)));
-        assert_eq!(f.nnf(), Ltl::release(Ltl::not(p(0)).nnf(), Ltl::not(p(1)).nnf()));
+        assert_eq!(
+            f.nnf(),
+            Ltl::release(Ltl::not(p(0)).nnf(), Ltl::not(p(1)).nnf())
+        );
         let g = Ltl::not(Ltl::globally(p(0)));
         // ¬G p = F ¬p = true U ¬p
         assert_eq!(g.nnf(), Ltl::until(Ltl::True, Ltl::Not(Box::new(p(0)))));

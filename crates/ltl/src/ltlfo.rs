@@ -16,15 +16,14 @@
 //! symbolic verifier on runs produced by the interpreter.
 
 use crate::formula::{Letter, Ltl, PropId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use verifas_model::{
-    Condition, DatabaseInstance, HasSpec, LocalRun, ModelError, ServiceRef, TaskId, Value, VarRef,
-    VarType,
+    Condition, DataValue, DatabaseInstance, HasSpec, LocalRun, ModelError, ServiceRef, TaskId,
+    Value, VarRef, VarType,
 };
 
 /// Interpretation of one atomic proposition of an LTL-FO property.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PropAtom {
     /// A quantifier-free condition over the task's variables and the
     /// property's global variables.
@@ -33,8 +32,26 @@ pub enum PropAtom {
     Service(ServiceRef),
 }
 
+/// A cheap identity handle for a property: its name and the task it
+/// constrains.  Returned by [`LtlFoProperty::handle`] and by
+/// `verifas::Engine::warm`, so services can track admitted/warmed
+/// properties without carrying formulas around.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PropertyHandle {
+    /// The property's name.
+    pub name: String,
+    /// The task whose local runs the property constrains.
+    pub task: TaskId,
+}
+
+impl std::fmt::Display for PropertyHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@task{}", self.name, self.task.index())
+    }
+}
+
 /// An LTL-FO property of a task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LtlFoProperty {
     /// Property name (used in reports and benchmarks).
     pub name: String,
@@ -71,6 +88,32 @@ impl LtlFoProperty {
     /// finite-trace embedding (one past the interpreted propositions).
     pub fn alive_prop(&self) -> PropId {
         self.props.len() as PropId
+    }
+
+    /// A cheap identity handle for this property (name + verified task);
+    /// see [`PropertyHandle`].
+    pub fn handle(&self) -> PropertyHandle {
+        PropertyHandle {
+            name: self.name.clone(),
+            task: self.task,
+        }
+    }
+
+    /// Every constant appearing in the FO conditions interpreting the
+    /// property's propositions.
+    ///
+    /// The expression universe a property is verified against must contain
+    /// these constants on top of the specification's own — `verifas::Engine`
+    /// uses this set to decide which properties can share one pre-built
+    /// universe.
+    pub fn condition_constants(&self) -> BTreeSet<DataValue> {
+        let mut out = BTreeSet::new();
+        for atom in &self.props {
+            if let PropAtom::Condition(c) = atom {
+                out.extend(c.constants());
+            }
+        }
+        out
     }
 
     /// Check the property is well-formed with respect to a specification:
@@ -145,9 +188,7 @@ impl LtlFoProperty {
                         .get(id.index())
                         .cloned()
                         .unwrap_or(Value::Null),
-                    VarRef::Global(g) => {
-                        globals.get(g as usize).cloned().unwrap_or(Value::Null)
-                    }
+                    VarRef::Global(g) => globals.get(g as usize).cloned().unwrap_or(Value::Null),
                 }),
             };
             if truth {
@@ -205,11 +246,7 @@ impl LtlFoProperty {
     /// The universal quantification over the global variables is
     /// approximated by enumerating the candidate values described in
     /// [`Self::global_candidates`].
-    pub fn check_local_run(
-        &self,
-        db: &DatabaseInstance,
-        run: &LocalRun,
-    ) -> Option<bool> {
+    pub fn check_local_run(&self, db: &DatabaseInstance, run: &LocalRun) -> Option<bool> {
         if !run.closed || run.events.is_empty() {
             return None;
         }
@@ -292,7 +329,10 @@ mod tests {
                 event(ServiceRef::Opening(TaskId::new(0)), vec![Value::Null]),
                 event(service(0, 0), vec![Value::str("Working")]),
                 event(service(0, 1), vec![Value::str("Done")]),
-                event(ServiceRef::Closing(TaskId::new(0)), vec![Value::str("Done")]),
+                event(
+                    ServiceRef::Closing(TaskId::new(0)),
+                    vec![Value::str("Done")],
+                ),
             ],
             closed: true,
         };
@@ -302,7 +342,10 @@ mod tests {
             events: vec![
                 event(ServiceRef::Opening(TaskId::new(0)), vec![Value::Null]),
                 event(service(0, 0), vec![Value::str("Working")]),
-                event(ServiceRef::Closing(TaskId::new(0)), vec![Value::str("Failed")]),
+                event(
+                    ServiceRef::Closing(TaskId::new(0)),
+                    vec![Value::str("Failed")],
+                ),
             ],
             closed: true,
         };
@@ -348,7 +391,10 @@ mod tests {
             events: vec![
                 event(svc, vec![Value::str("a"), Value::Null]),
                 event(svc, vec![Value::Null, Value::str("a")]),
-                event(ServiceRef::Closing(TaskId::new(0)), vec![Value::Null, Value::Null]),
+                event(
+                    ServiceRef::Closing(TaskId::new(0)),
+                    vec![Value::Null, Value::Null],
+                ),
             ],
             closed: true,
         };
@@ -358,7 +404,10 @@ mod tests {
             events: vec![
                 event(svc, vec![Value::str("a"), Value::Null]),
                 event(svc, vec![Value::Null, Value::str("b")]),
-                event(ServiceRef::Closing(TaskId::new(0)), vec![Value::Null, Value::Null]),
+                event(
+                    ServiceRef::Closing(TaskId::new(0)),
+                    vec![Value::Null, Value::Null],
+                ),
             ],
             closed: true,
         };

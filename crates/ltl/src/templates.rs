@@ -9,10 +9,9 @@
 //! property whose Büchi automaton is a single accepting loop.
 
 use crate::formula::Ltl;
-use serde::{Deserialize, Serialize};
 
 /// Classification of a template, as reported in Table 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PropertyClass {
     /// The trivial `False` baseline.
     Baseline,
@@ -75,10 +74,7 @@ fn t_bounded_response(phi: &Ltl, psi: &Ltl) -> Ltl {
     ))
 }
 fn t_stability(phi: &Ltl, _: &Ltl) -> Ltl {
-    Ltl::globally(Ltl::or(
-        phi.clone(),
-        Ltl::globally(Ltl::not(phi.clone())),
-    ))
+    Ltl::globally(Ltl::or(phi.clone(), Ltl::globally(Ltl::not(phi.clone()))))
 }
 fn t_response(phi: &Ltl, psi: &Ltl) -> Ltl {
     Ltl::globally(Ltl::implies(phi.clone(), Ltl::eventually(psi.clone())))
@@ -108,18 +104,90 @@ fn t_weak_fairness(phi: &Ltl, psi: &Ltl) -> Ltl {
 /// All twelve templates of Table 4, in the paper's order.
 pub fn all_templates() -> Vec<LtlTemplate> {
     vec![
-        LtlTemplate { id: 0, name: "False", class: PropertyClass::Baseline, arity: 0, build: t_false },
-        LtlTemplate { id: 1, name: "G phi", class: PropertyClass::Safety, arity: 1, build: t_g },
-        LtlTemplate { id: 2, name: "(!phi U psi)", class: PropertyClass::Safety, arity: 2, build: t_not_until },
-        LtlTemplate { id: 3, name: "(!phi U psi) & G(phi -> X(!phi U psi))", class: PropertyClass::Safety, arity: 2, build: t_absence_after },
-        LtlTemplate { id: 4, name: "G(phi -> (psi | X psi | XX psi))", class: PropertyClass::Safety, arity: 2, build: t_bounded_response },
-        LtlTemplate { id: 5, name: "G(phi | G(!phi))", class: PropertyClass::Safety, arity: 1, build: t_stability },
-        LtlTemplate { id: 6, name: "G(phi -> F psi)", class: PropertyClass::Liveness, arity: 2, build: t_response },
-        LtlTemplate { id: 7, name: "F phi", class: PropertyClass::Liveness, arity: 1, build: t_eventually },
-        LtlTemplate { id: 8, name: "GF phi -> GF psi", class: PropertyClass::Fairness, arity: 2, build: t_strong_fairness },
-        LtlTemplate { id: 9, name: "GF phi", class: PropertyClass::Fairness, arity: 1, build: t_recurrence },
-        LtlTemplate { id: 10, name: "G(phi | G psi)", class: PropertyClass::Fairness, arity: 2, build: t_disjunctive_invariant },
-        LtlTemplate { id: 11, name: "FG phi -> GF psi", class: PropertyClass::Fairness, arity: 2, build: t_weak_fairness },
+        LtlTemplate {
+            id: 0,
+            name: "False",
+            class: PropertyClass::Baseline,
+            arity: 0,
+            build: t_false,
+        },
+        LtlTemplate {
+            id: 1,
+            name: "G phi",
+            class: PropertyClass::Safety,
+            arity: 1,
+            build: t_g,
+        },
+        LtlTemplate {
+            id: 2,
+            name: "(!phi U psi)",
+            class: PropertyClass::Safety,
+            arity: 2,
+            build: t_not_until,
+        },
+        LtlTemplate {
+            id: 3,
+            name: "(!phi U psi) & G(phi -> X(!phi U psi))",
+            class: PropertyClass::Safety,
+            arity: 2,
+            build: t_absence_after,
+        },
+        LtlTemplate {
+            id: 4,
+            name: "G(phi -> (psi | X psi | XX psi))",
+            class: PropertyClass::Safety,
+            arity: 2,
+            build: t_bounded_response,
+        },
+        LtlTemplate {
+            id: 5,
+            name: "G(phi | G(!phi))",
+            class: PropertyClass::Safety,
+            arity: 1,
+            build: t_stability,
+        },
+        LtlTemplate {
+            id: 6,
+            name: "G(phi -> F psi)",
+            class: PropertyClass::Liveness,
+            arity: 2,
+            build: t_response,
+        },
+        LtlTemplate {
+            id: 7,
+            name: "F phi",
+            class: PropertyClass::Liveness,
+            arity: 1,
+            build: t_eventually,
+        },
+        LtlTemplate {
+            id: 8,
+            name: "GF phi -> GF psi",
+            class: PropertyClass::Fairness,
+            arity: 2,
+            build: t_strong_fairness,
+        },
+        LtlTemplate {
+            id: 9,
+            name: "GF phi",
+            class: PropertyClass::Fairness,
+            arity: 1,
+            build: t_recurrence,
+        },
+        LtlTemplate {
+            id: 10,
+            name: "G(phi | G psi)",
+            class: PropertyClass::Fairness,
+            arity: 2,
+            build: t_disjunctive_invariant,
+        },
+        LtlTemplate {
+            id: 11,
+            name: "FG phi -> GF psi",
+            class: PropertyClass::Fairness,
+            arity: 2,
+            build: t_weak_fairness,
+        },
     ]
 }
 

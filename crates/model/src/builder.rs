@@ -63,11 +63,7 @@ impl TaskBuilder {
     /// Declare an artifact relation whose columns mirror the given task
     /// variables (same names and types), the common case in the paper's
     /// examples (e.g. `ORDERS(cust_id, item_id, status, instock)`).
-    pub fn art_relation_like(
-        &mut self,
-        name: impl Into<String>,
-        vars: &[VarId],
-    ) -> ArtRelId {
+    pub fn art_relation_like(&mut self, name: impl Into<String>, vars: &[VarId]) -> ArtRelId {
         let id = ArtRelId::new(self.task.art_relations.len() as u32);
         let columns = vars.iter().map(|v| self.task.var(*v).clone()).collect();
         self.task.art_relations.push(ArtRelation {
@@ -218,8 +214,7 @@ impl SpecBuilder {
             })?;
         let child_id = TaskId::new(self.tasks.len() as u32);
         task.parent = Some(parent_id);
-        task.opening.input_map =
-            self.resolve_map(&task, parent_id, &task.input_vars, input_map)?;
+        task.opening.input_map = self.resolve_map(&task, parent_id, &task.input_vars, input_map)?;
         task.closing.output_map =
             self.resolve_map(&task, parent_id, &task.output_vars, output_map)?;
         self.tasks[parent_id.index()].children.push(child_id);
@@ -239,18 +234,20 @@ impl SpecBuilder {
             Some(pairs) => pairs
                 .into_iter()
                 .map(|(cname, pname)| {
-                    let (cv, _) = child.var_by_name(&cname).ok_or_else(|| {
-                        ModelError::UnknownName {
-                            kind: "variable",
-                            name: format!("{}.{}", child.name, cname),
-                        }
-                    })?;
-                    let (pv, _) = parent.var_by_name(&pname).ok_or_else(|| {
-                        ModelError::UnknownName {
-                            kind: "variable",
-                            name: format!("{}.{}", parent.name, pname),
-                        }
-                    })?;
+                    let (cv, _) =
+                        child
+                            .var_by_name(&cname)
+                            .ok_or_else(|| ModelError::UnknownName {
+                                kind: "variable",
+                                name: format!("{}.{}", child.name, cname),
+                            })?;
+                    let (pv, _) =
+                        parent
+                            .var_by_name(&pname)
+                            .ok_or_else(|| ModelError::UnknownName {
+                                kind: "variable",
+                                name: format!("{}.{}", parent.name, pname),
+                            })?;
                     Ok((cv, pv))
                 })
                 .collect(),
@@ -258,12 +255,13 @@ impl SpecBuilder {
                 .iter()
                 .map(|&cv| {
                     let cname = &child.var(cv).name;
-                    let (pv, _) = parent.var_by_name(cname).ok_or_else(|| {
-                        ModelError::UnknownName {
-                            kind: "variable (same-name mapping)",
-                            name: format!("{}.{}", parent.name, cname),
-                        }
-                    })?;
+                    let (pv, _) =
+                        parent
+                            .var_by_name(cname)
+                            .ok_or_else(|| ModelError::UnknownName {
+                                kind: "variable (same-name mapping)",
+                                name: format!("{}.{}", parent.name, cname),
+                            })?;
                     Ok((cv, pv))
                 })
                 .collect(),
@@ -328,8 +326,14 @@ mod tests {
 
         let spec = builder.build().unwrap();
         assert_eq!(spec.tasks.len(), 2);
-        assert_eq!(spec.tasks[1].opening.input_map, vec![(VarId::new(0), VarId::new(0))]);
-        assert_eq!(spec.tasks[1].closing.output_map, vec![(VarId::new(0), VarId::new(0))]);
+        assert_eq!(
+            spec.tasks[1].opening.input_map,
+            vec![(VarId::new(0), VarId::new(0))]
+        );
+        assert_eq!(
+            spec.tasks[1].closing.output_map,
+            vec![(VarId::new(0), VarId::new(0))]
+        );
         assert_eq!(spec.children(TaskId::new(0)), &[TaskId::new(1)]);
     }
 
@@ -371,7 +375,10 @@ mod tests {
             )
             .unwrap();
         let spec = builder.build().unwrap();
-        assert_eq!(spec.tasks[1].opening.input_map, vec![(VarId::new(0), VarId::new(0))]);
+        assert_eq!(
+            spec.tasks[1].opening.input_map,
+            vec![(VarId::new(0), VarId::new(0))]
+        );
     }
 
     #[test]

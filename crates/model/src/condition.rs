@@ -24,14 +24,13 @@ use crate::instance::DatabaseInstance;
 use crate::schema::{AttrKind, DatabaseSchema, RelId};
 use crate::task::{Task, VarId, VarType};
 use crate::value::{DataValue, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A reference to a variable usable in a condition: either an artifact
 /// variable of the task the condition is attached to, or a global variable
 /// of an LTL-FO property (Definition 29).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum VarRef {
     /// An artifact variable of the enclosing task.
     Task(VarId),
@@ -40,7 +39,7 @@ pub enum VarRef {
 }
 
 /// A term of a condition.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A variable reference.
     Var(VarRef),
@@ -73,7 +72,7 @@ impl Term {
 }
 
 /// Comparison operator of an (in)equality atom.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equality `=`.
     Eq,
@@ -92,7 +91,7 @@ impl CmpOp {
 }
 
 /// A quantifier-free condition.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Condition {
     /// The always-true condition.
     True,
@@ -123,7 +122,7 @@ pub enum Condition {
 /// [`Condition::nnf_literals`]/[`Condition::dnf`].  Negated comparisons are
 /// normalised into the opposite operator, so only relational atoms carry an
 /// explicit sign.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Literal {
     /// `left op right`.
     Cmp(Term, CmpOp, Term),
@@ -178,6 +177,7 @@ impl Condition {
     }
 
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(c: Condition) -> Condition {
         match c {
             Condition::True => Condition::False,
@@ -645,10 +645,7 @@ mod tests {
             Condition::and([a.clone(), Condition::False, b.clone()]),
             Condition::False
         );
-        assert_eq!(
-            Condition::or([a.clone(), Condition::True]),
-            Condition::True
-        );
+        assert_eq!(Condition::or([a.clone(), Condition::True]), Condition::True);
         // Nested And flattening.
         let nested = Condition::and([Condition::and([a.clone(), b.clone()]), a.clone()]);
         assert_eq!(nested.atom_count(), 3);
@@ -700,7 +697,9 @@ mod tests {
         assert_eq!(Condition::True.dnf(), vec![vec![]]);
         assert!(Condition::False.dnf().is_empty());
         let a = Condition::eq(var(0), Term::Null);
-        assert!(Condition::and([a.clone(), Condition::False]).dnf().is_empty());
+        assert!(Condition::and([a.clone(), Condition::False])
+            .dnf()
+            .is_empty());
     }
 
     #[test]
@@ -752,7 +751,7 @@ mod tests {
     #[test]
     fn eval_concrete_comparisons() {
         let db = DatabaseInstance::default();
-        let values = vec![Value::str("Good"), Value::Null];
+        let values = [Value::str("Good"), Value::Null];
         let lookup = |v: VarRef| match v {
             VarRef::Task(id) => values[id.index()].clone(),
             VarRef::Global(_) => Value::Null,

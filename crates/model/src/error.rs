@@ -18,7 +18,11 @@ pub enum ModelError {
     MalformedHierarchy { reason: String },
     /// A service definition violates a structural restriction of HAS\*
     /// (e.g. an update combined with propagation of non-input variables).
-    InvalidService { task: String, service: String, reason: String },
+    InvalidService {
+        task: String,
+        service: String,
+        reason: String,
+    },
     /// A specification-level well-formedness violation.
     InvalidSpec { reason: String },
     /// A concrete transition was requested that is not enabled.

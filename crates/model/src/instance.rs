@@ -6,11 +6,10 @@ use crate::schema::{AttrKind, DatabaseSchema, RelId};
 use crate::spec::HasSpec;
 use crate::task::{ArtRelId, TaskId, VarId};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// A tuple of a database relation: the key value plus the remaining
 /// attribute values in declaration order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tuple {
     /// Key (`ID`) value of the tuple.
     pub id: u64,
@@ -20,7 +19,7 @@ pub struct Tuple {
 
 /// A concrete instance of a database schema: a finite set of tuples per
 /// relation, satisfying the key and foreign-key dependencies.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DatabaseInstance {
     relations: Vec<Vec<Tuple>>,
 }
@@ -140,7 +139,7 @@ impl DatabaseInstance {
 }
 
 /// Activation stage of a task within an artifact instance (Definition 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// The task has been called and has not yet returned.
     Active,
@@ -150,7 +149,7 @@ pub enum Stage {
 
 /// Per-task component of an artifact instance: the valuation of its
 /// variables, its stage, and the contents of its artifact relations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskState {
     /// Current values of the task's artifact variables, indexed by
     /// [`VarId`].
@@ -164,7 +163,7 @@ pub struct TaskState {
 
 /// A concrete instance (snapshot) of an artifact schema: one [`TaskState`]
 /// per task, sharing a fixed read-only database.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArtifactInstance {
     /// Per-task state, indexed by [`TaskId`].
     pub tasks: Vec<TaskState>,

@@ -16,11 +16,10 @@ use crate::service::{ServiceRef, Update};
 use crate::spec::HasSpec;
 use crate::task::{TaskId, VarId, VarType};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Configuration of a random run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
     /// PRNG seed; runs are deterministic for a fixed seed, database and
     /// specification.
@@ -53,7 +52,7 @@ pub enum StepOutcome {
 
 /// One observable transition of a local run of the observed task: the
 /// service applied and the resulting values of the task's variables.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalEvent {
     /// The observable service that caused the transition.
     pub service: ServiceRef,
@@ -65,7 +64,7 @@ pub struct LocalEvent {
 /// Appendix A): the subsequence of transitions caused by the task's
 /// observable services, from an opening transition up to (and including)
 /// the first closing transition, if any.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalRun {
     /// The observed task.
     pub task: TaskId,
@@ -269,7 +268,10 @@ impl<'a> Interpreter<'a> {
                             continue;
                         }
                     }
-                    out.push(ServiceRef::Internal { task: tid, index: i });
+                    out.push(ServiceRef::Internal {
+                        task: tid,
+                        index: i,
+                    });
                 }
                 if tid != self.spec.root() && self.holds(tid, &task.closing.pre) {
                     out.push(ServiceRef::Closing(tid));
@@ -377,7 +379,8 @@ impl<'a> Interpreter<'a> {
         // Reset all child variables to null, then copy the inputs.
         let n = self.spec.task(child).vars.len();
         for i in 0..n {
-            self.instance.set_value(child, VarId::new(i as u32), Value::Null);
+            self.instance
+                .set_value(child, VarId::new(i as u32), Value::Null);
         }
         let input_map = self.spec.task(child).opening.input_map.clone();
         for (cv, pv) in input_map {
@@ -439,8 +442,11 @@ impl<'a> Interpreter<'a> {
     /// `observed` (paper: `Runs_T(ρ)`).  The trailing run is reported even
     /// if it has not closed by the time the budget is exhausted.
     pub fn run_collecting_local_runs(&mut self, observed: TaskId) -> Vec<LocalRun> {
-        let observable: BTreeSet<ServiceRef> =
-            self.spec.observable_services(observed).into_iter().collect();
+        let observable: BTreeSet<ServiceRef> = self
+            .spec
+            .observable_services(observed)
+            .into_iter()
+            .collect();
         let mut runs: Vec<LocalRun> = Vec::new();
         let mut current: Option<LocalRun> = None;
         // The root task opens implicitly at the start of the global run.
@@ -580,7 +586,10 @@ mod tests {
         let root = spec.root();
         // start: status becomes "Working"
         assert!(interp
-            .try_apply(ServiceRef::Internal { task: root, index: 0 })
+            .try_apply(ServiceRef::Internal {
+                task: root,
+                index: 0
+            })
             .unwrap());
         assert_eq!(
             *interp.instance.value(root, VarId::new(0)),
@@ -588,13 +597,19 @@ mod tests {
         );
         // stash: tuple stored, status reset to null
         assert!(interp
-            .try_apply(ServiceRef::Internal { task: root, index: 1 })
+            .try_apply(ServiceRef::Internal {
+                task: root,
+                index: 1
+            })
             .unwrap());
         assert_eq!(interp.instance.stored_tuples(), 1);
         assert_eq!(*interp.instance.value(root, VarId::new(0)), Value::Null);
         // unstash: tuple comes back
         assert!(interp
-            .try_apply(ServiceRef::Internal { task: root, index: 2 })
+            .try_apply(ServiceRef::Internal {
+                task: root,
+                index: 2
+            })
             .unwrap());
         assert_eq!(interp.instance.stored_tuples(), 0);
         assert_eq!(
@@ -610,7 +625,10 @@ mod tests {
         let mut interp = Interpreter::new(&spec, &db, RunConfig::default()).unwrap();
         let root = spec.root();
         assert!(!interp
-            .try_apply(ServiceRef::Internal { task: root, index: 2 })
+            .try_apply(ServiceRef::Internal {
+                task: root,
+                index: 2
+            })
             .unwrap());
     }
 
@@ -659,7 +677,10 @@ mod tests {
         // Closing requires result != null, so run the child's service first.
         assert!(!interp.try_apply(ServiceRef::Closing(child_id)).unwrap());
         assert!(interp
-            .try_apply(ServiceRef::Internal { task: child_id, index: 0 })
+            .try_apply(ServiceRef::Internal {
+                task: child_id,
+                index: 0
+            })
             .unwrap());
         assert!(interp.try_apply(ServiceRef::Closing(child_id)).unwrap());
         assert_eq!(interp.instance.stage(child_id), Stage::Inactive);
@@ -720,9 +741,15 @@ mod tests {
         );
         let mut interp = Interpreter::new(&spec, &dbi, RunConfig::default()).unwrap();
         assert!(interp
-            .try_apply(ServiceRef::Internal { task: spec.root(), index: 0 })
+            .try_apply(ServiceRef::Internal {
+                task: spec.root(),
+                index: 0
+            })
             .unwrap());
-        assert_eq!(*interp.instance.value(spec.root(), VarId::new(0)), Value::Id(r, 3));
+        assert_eq!(
+            *interp.instance.value(spec.root(), VarId::new(0)),
+            Value::Id(r, 3)
+        );
         assert_eq!(
             *interp.instance.value(spec.root(), VarId::new(1)),
             Value::str("hello")

@@ -9,11 +9,10 @@
 //! representation of `verifas-core` relies on.
 
 use crate::error::{ModelError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a relation within a [`DatabaseSchema`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelId(u32);
 
 impl RelId {
@@ -35,7 +34,7 @@ impl fmt::Display for RelId {
 }
 
 /// Index of an attribute within a relation (excluding the implicit `ID`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttrId(u32);
 
 impl AttrId {
@@ -51,7 +50,7 @@ impl AttrId {
 }
 
 /// The kind of a (non-`ID`) attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrKind {
     /// A non-key attribute holding a data value from `DOM_val`.
     NonKey,
@@ -60,7 +59,7 @@ pub enum AttrKind {
 }
 
 /// A non-`ID` attribute of a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     /// Attribute name, unique within the relation.
     pub name: String,
@@ -73,7 +72,7 @@ pub struct Attribute {
 /// The key attribute `ID` is implicit and always present; `attrs` lists the
 /// remaining attributes in declaration order.  Relational atoms in
 /// conditions refer to attributes positionally in this order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     /// Relation name, unique within the schema.
     pub name: String,
@@ -104,7 +103,7 @@ impl Relation {
 
 /// A read-only database schema: a set of relations with acyclic foreign
 /// keys (Definitions 1 and 2).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DatabaseSchema {
     relations: Vec<Relation>,
 }
@@ -354,7 +353,13 @@ mod tests {
         let mut db = DatabaseSchema::new();
         db.add_relation("R", vec![data("a")]).unwrap();
         let err = db.add_relation("R", vec![data("b")]).unwrap_err();
-        assert!(matches!(err, ModelError::DuplicateName { kind: "relation", .. }));
+        assert!(matches!(
+            err,
+            ModelError::DuplicateName {
+                kind: "relation",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -363,7 +368,13 @@ mod tests {
         let err = db
             .add_relation("R", vec![data("a"), data("a")])
             .unwrap_err();
-        assert!(matches!(err, ModelError::DuplicateName { kind: "attribute", .. }));
+        assert!(matches!(
+            err,
+            ModelError::DuplicateName {
+                kind: "attribute",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -17,12 +17,11 @@
 
 use crate::condition::Condition;
 use crate::task::{ArtRelId, TaskId, VarId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The artifact-relation update of an internal service (`δ` in
 /// Definition 10): at most one insertion or retrieval.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Update {
     /// `+S(z̄)`: insert the current values of `vars` into artifact relation
     /// `rel`.
@@ -64,7 +63,7 @@ impl Update {
 }
 
 /// An internal service of a task (Definition 10).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InternalService {
     /// Service name, unique within its task.
     pub name: String,
@@ -94,7 +93,7 @@ impl InternalService {
 }
 
 /// The opening service `σᵒ_T` of a task (Appendix A Definition 26 (i)).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpeningService {
     /// Pre-condition over the *parent's* variables (for the root task:
     /// `true`).
@@ -114,7 +113,7 @@ impl Default for OpeningService {
 }
 
 /// The closing service `σᶜ_T` of a task (Appendix A Definition 26 (ii)).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClosingService {
     /// Pre-condition over the task's *own* variables (for the root task:
     /// `false`).
@@ -137,7 +136,7 @@ impl Default for ClosingService {
 /// internal services, its own opening/closing service, or the
 /// opening/closing service of one of its children (the set `Σ^obs_T` of the
 /// paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ServiceRef {
     /// The `index`-th internal service of `task`.
     Internal {
@@ -156,9 +155,9 @@ impl ServiceRef {
     /// The task the referenced service belongs to.
     pub fn task(&self) -> TaskId {
         match self {
-            ServiceRef::Internal { task, .. } | ServiceRef::Opening(task) | ServiceRef::Closing(task) => {
-                *task
-            }
+            ServiceRef::Internal { task, .. }
+            | ServiceRef::Opening(task)
+            | ServiceRef::Closing(task) => *task,
         }
     }
 }

@@ -6,12 +6,11 @@ use crate::schema::DatabaseSchema;
 use crate::service::ServiceRef;
 use crate::task::{Task, TaskId};
 use crate::validate;
-use serde::{Deserialize, Serialize};
 
 /// A Hierarchical Artifact System\* specification `Γ = ⟨A, Σ, Π⟩`:
 /// an artifact schema (database schema + task hierarchy), the services of
 /// every task, and a global pre-condition over the root task's variables.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HasSpec {
     /// Human-readable name of the specification (used by the benchmark
     /// harness).
@@ -149,7 +148,7 @@ impl HasSpec {
 }
 
 /// Structural statistics of a specification (Table 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpecStats {
     /// Number of database relations.
     pub relations: usize,

@@ -9,11 +9,10 @@
 
 use crate::schema::RelId;
 use crate::service::{ClosingService, InternalService, OpeningService};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an artifact variable within its task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(u32);
 
 impl VarId {
@@ -36,7 +35,7 @@ impl fmt::Display for VarId {
 
 /// The type of an artifact variable or artifact-relation column: either a
 /// data value from `DOM_val` or an identifier of a specific relation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VarType {
     /// Data-valued (`DOM_val ∪ {null}`).
     Data,
@@ -45,7 +44,7 @@ pub enum VarType {
 }
 
 /// An artifact variable (or artifact-relation column) declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Variable {
     /// Variable name, unique within its task.
     pub name: String,
@@ -54,7 +53,7 @@ pub struct Variable {
 }
 
 /// Index of an artifact relation within its task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArtRelId(u32);
 
 impl ArtRelId {
@@ -73,7 +72,7 @@ impl ArtRelId {
 ///
 /// Unlike database relations, artifact relations have no key; they are sets
 /// of tuples inserted and retrieved by internal services.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArtRelation {
     /// Artifact-relation name, unique within its task.
     pub name: String,
@@ -89,7 +88,7 @@ impl ArtRelation {
 }
 
 /// Index of a task within a specification; the root task is always index 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(u32);
 
 impl TaskId {
@@ -115,7 +114,7 @@ impl fmt::Display for TaskId {
 
 /// A task schema (Definition 3) together with its services and its position
 /// in the hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Task name, unique within the specification.
     pub name: String,

@@ -105,7 +105,10 @@ fn validate_hierarchy(spec: &HasSpec) -> Result<()> {
     }
     if let Some(pos) = seen.iter().position(|s| !s) {
         return Err(ModelError::MalformedHierarchy {
-            reason: format!("task {} is not reachable from the root", spec.tasks[pos].name),
+            reason: format!(
+                "task {} is not reachable from the root",
+                spec.tasks[pos].name
+            ),
         });
     }
     Ok(())
@@ -199,7 +202,10 @@ fn validate_task(spec: &HasSpec, tid: TaskId, task: &Task) -> Result<()> {
         // Propagated variables exist and include the input variables.
         for &v in &svc.propagated {
             if v.index() >= task.vars.len() {
-                return Err(invalid(format!("propagated variable #{} unknown", v.index())));
+                return Err(invalid(format!(
+                    "propagated variable #{} unknown",
+                    v.index()
+                )));
             }
         }
         let propagated: BTreeSet<VarId> = svc.propagated.iter().copied().collect();
@@ -363,11 +369,11 @@ fn ensure_no_globals(cond: &Condition, what: &str) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::condition::Term;
     use crate::schema::attr::data;
     use crate::schema::DatabaseSchema;
     use crate::service::{InternalService, Update};
     use crate::task::{ArtRelId, ArtRelation, Variable};
-    use crate::condition::Term;
 
     fn base_spec() -> HasSpec {
         let mut db = DatabaseSchema::new();
@@ -399,7 +405,10 @@ mod tests {
         });
         assert!(matches!(
             spec.validate().unwrap_err(),
-            ModelError::DuplicateName { kind: "variable", .. }
+            ModelError::DuplicateName {
+                kind: "variable",
+                ..
+            }
         ));
     }
 

@@ -7,14 +7,13 @@
 //! identifier value carries the relation it belongs to.
 
 use crate::schema::RelId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A data (non-identifier) value from the unbounded value domain `DOM_val`.
 ///
 /// The verifier never interprets data values beyond equality, so strings
 /// and integers are enough to write realistic workflows.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DataValue {
     /// A string constant such as `"Good"` or `"OrderPlaced"`.
     Str(String),
@@ -62,7 +61,7 @@ impl From<i64> for DataValue {
 }
 
 /// A value of the combined domain `DOM_id ∪ DOM_val ∪ {null}`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// The special default/initialisation constant `null`.
     Null,

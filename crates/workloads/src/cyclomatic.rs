@@ -54,12 +54,14 @@ fn eval_projected(cond: &Condition, x: VarId, value: &AbstractValue) -> bool {
             // Only negations of atoms that survive projection matter; a
             // projected-away atom inside a negation is also treated as true.
             match inner.as_ref() {
-                Condition::Cmp(..) => !eval_projected(inner, x, value) || {
-                    // If the inner comparison was projected away it returned
-                    // true and the negation would wrongly become false; check
-                    // whether the atom actually mentions x.
-                    !mentions(inner, x)
-                },
+                Condition::Cmp(..) => {
+                    !eval_projected(inner, x, value) || {
+                        // If the inner comparison was projected away it returned
+                        // true and the negation would wrongly become false; check
+                        // whether the atom actually mentions x.
+                        !mentions(inner, x)
+                    }
+                }
                 _ => true,
             }
         }

@@ -56,10 +56,7 @@ pub fn generate_properties(spec: &HasSpec, seed: u64) -> Vec<LtlFoProperty> {
                 ),
                 _ => (
                     template.instantiate(&Ltl::prop(0), &Ltl::prop(1)),
-                    vec![
-                        PropAtom::Condition(phi_cond),
-                        PropAtom::Condition(psi_cond),
-                    ],
+                    vec![PropAtom::Condition(phi_cond), PropAtom::Condition(psi_cond)],
                 ),
             };
             LtlFoProperty::new(
@@ -79,7 +76,9 @@ pub fn generate_properties(spec: &HasSpec, seed: u64) -> Vec<LtlFoProperty> {
 /// across time by a universally quantified global variable.
 pub fn order_fulfillment_property(spec: &HasSpec) -> LtlFoProperty {
     use verifas_model::{ServiceRef, Term, VarType};
-    let (_, root) = spec.task_by_name("ProcessOrders").expect("order fulfillment spec");
+    let (_, root) = spec
+        .task_by_name("ProcessOrders")
+        .expect("order fulfillment spec");
     let item_id = root.var_by_name("item_id").unwrap().0;
     let instock = root.var_by_name("instock").unwrap().0;
     let (take, _) = spec.task_by_name("TakeOrder").unwrap();
@@ -101,11 +100,11 @@ pub fn order_fulfillment_property(spec: &HasSpec) -> LtlFoProperty {
     ]);
     let out_of_stock = Condition::eq(Term::var(instock), Term::str("No"));
     let props = vec![
-        p_take,                                              // 0
-        PropAtom::Condition(item_is_i.clone()),              // 1
-        PropAtom::Condition(out_of_stock),                   // 2
-        p_ship,                                              // 3
-        p_restock,                                           // 4
+        p_take,                                 // 0
+        PropAtom::Condition(item_is_i.clone()), // 1
+        PropAtom::Condition(out_of_stock),      // 2
+        p_ship,                                 // 3
+        p_restock,                              // 4
     ];
     // ∀i G((σc_TakeOrder ∧ item=i ∧ instock=No) →
     //        (¬(σo_ShipItem ∧ item=i) U (σo_Restock ∧ item=i)))

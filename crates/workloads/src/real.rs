@@ -256,7 +256,9 @@ pub fn order_fulfillment() -> HasSpec {
     );
     builder.add_child("ProcessOrders", ship.build()).unwrap();
 
-    builder.build().expect("order fulfillment specification is well-formed")
+    builder
+        .build()
+        .expect("order fulfillment specification is well-formed")
 }
 
 /// A buggy variant of [`order_fulfillment`] in which `ShipItem` can open
@@ -391,16 +393,16 @@ pub fn loan_approval() -> HasSpec {
         None,
     );
     builder.add_child("LoanDesk", review.build()).unwrap();
-    builder.build().expect("loan approval specification is well-formed")
+    builder
+        .build()
+        .expect("loan approval specification is well-formed")
 }
 
 /// Insurance claim handling: claims are registered, triaged, optionally
 /// inspected, then settled or denied.
 pub fn insurance_claim() -> HasSpec {
     let mut db = DatabaseSchema::new();
-    let policies = db
-        .add_relation("POLICIES", vec![data("coverage")])
-        .unwrap();
+    let policies = db.add_relation("POLICIES", vec![data("coverage")]).unwrap();
     let holders = db
         .add_relation("HOLDERS", vec![data("name"), fk("policy", policies)])
         .unwrap();
@@ -539,17 +541,14 @@ pub fn insurance_claim() -> HasSpec {
         None,
     );
     builder.add_child("ClaimsDesk", settle.build()).unwrap();
-    builder.build().expect("insurance claim specification is well-formed")
+    builder
+        .build()
+        .expect("insurance claim specification is well-formed")
 }
 
 /// A simple single-variable process used as a template for several further
 /// workflows: a status machine with a work pool and one review subtask.
-fn staged_process(
-    name: &str,
-    stages: &[&str],
-    reviewer: &str,
-    verdicts: (&str, &str),
-) -> HasSpec {
+fn staged_process(name: &str, stages: &[&str], reviewer: &str, verdicts: (&str, &str)) -> HasSpec {
     let mut db = DatabaseSchema::new();
     let catalog = db.add_relation("CATALOG", vec![data("kind")]).unwrap();
     let mut root = TaskBuilder::new("Coordinator");
@@ -638,7 +637,9 @@ fn staged_process(
         None,
     );
     builder.add_child("Coordinator", review.build()).unwrap();
-    builder.build().expect("staged process specification is well-formed")
+    builder
+        .build()
+        .expect("staged process specification is well-formed")
 }
 
 /// Travel booking: request, quote, book, then a confirmation subtask.

@@ -122,7 +122,11 @@ pub fn generate(params: SyntheticParams, seed: u64) -> Option<HasSpec> {
         tb.inputs(inputs.iter().copied());
         tb.outputs(outputs.iter().copied());
         // One artifact relation over a prefix of the variables.
-        let pool_vars: Vec<VarId> = vars.iter().take(4.min(vars.len())).map(|(v, _)| *v).collect();
+        let pool_vars: Vec<VarId> = vars
+            .iter()
+            .take(4.min(vars.len()))
+            .map(|(v, _)| *v)
+            .collect();
         let pool = tb.art_relation_like("POOL", &pool_vars);
         // Services.
         for s in 0..per_task_services {
@@ -160,9 +164,7 @@ pub fn generate(params: SyntheticParams, seed: u64) -> Option<HasSpec> {
         // declares the same variable names; if the parent lacks a name the
         // child is attached without that mapping by falling back to an
         // explicit empty mapping.
-        builder
-            .add_child(&parent, task)
-            .ok()?;
+        builder.add_child(&parent, task).ok()?;
         names.push(name);
         let _ = i;
     }
@@ -297,7 +299,10 @@ fn random_atom(
                 .filter(|(v, t)| *t == tx && *v != x)
                 .map(|(v, _)| *v)
                 .collect();
-            if let Some(&y) = same.get(rng.gen_range(0..same.len().max(1)).min(same.len().saturating_sub(1))) {
+            if let Some(&y) = same.get(
+                rng.gen_range(0..same.len().max(1))
+                    .min(same.len().saturating_sub(1)),
+            ) {
                 Condition::eq(Term::var(x), Term::var(y))
             } else {
                 Condition::eq(Term::var(x), Term::Null)

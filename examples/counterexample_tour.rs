@@ -1,14 +1,13 @@
 //! A tour of counterexample extraction: verify a property that fails and
-//! inspect the violating symbolic local run service by service.
+//! inspect the violating symbolic local run service by service, through
+//! the structured [`Witness`] of a [`VerificationReport`].
 //!
 //! Run with `cargo run --example counterexample_tour`.
 
-use verifas::core::{Verifier, VerifierOptions, VerificationOutcome};
-use verifas::ltl::{Ltl, LtlFoProperty, PropAtom};
-use verifas::model::{Condition, Term, VarId};
+use verifas::prelude::*;
 use verifas::workloads::loan_approval;
 
-fn main() {
+fn main() -> Result<(), VerifasError> {
     let spec = loan_approval();
     let review = spec.task_by_name("Review").unwrap().0;
     // A property that does NOT hold: the review never rejects an
@@ -23,16 +22,26 @@ fn main() {
             Term::str("Rejected"),
         ))],
     );
-    let result = Verifier::new(&spec, &property, VerifierOptions::default())
-        .unwrap()
-        .verify();
-    assert_eq!(result.outcome, VerificationOutcome::Violated);
-    let cex = result.counterexample.expect("a counterexample is produced");
-    println!("property {:?} is violated", property.name);
-    println!("kind: {}", if cex.finite { "finite local run" } else { "infinite local run" });
-    println!("violating run ({} observable transitions):", cex.services.len());
-    for (i, service) in cex.services.iter().enumerate() {
-        println!("  {:>2}. {}", i + 1, spec.service_name(*service));
+    let engine = Engine::load(spec)?;
+    let report = engine.check(&property)?;
+    assert_eq!(report.outcome, VerificationOutcome::Violated);
+    let witness = report.witness.as_ref().expect("a witness is produced");
+    println!("property {:?} is violated", report.property);
+    println!(
+        "kind: {}",
+        if witness.finite {
+            "finite local run"
+        } else {
+            "infinite local run"
+        }
+    );
+    println!(
+        "violating run ({} observable transitions):",
+        witness.steps.len()
+    );
+    for (i, step) in witness.steps.iter().enumerate() {
+        println!("  {:>2}. {}", i + 1, step.label);
     }
-    println!("\nsearch statistics: {:?}", result.stats);
+    println!("\nsearch statistics: {:?}", report.stats);
+    Ok(())
 }

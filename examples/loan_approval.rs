@@ -3,31 +3,59 @@
 //!
 //! Run with `cargo run --example loan_approval`.
 
-use verifas::core::{Verifier, VerifierOptions};
-use verifas::ltl::{Ltl, LtlFoProperty, PropAtom};
-use verifas::model::{
-    Condition, DatabaseInstance, Interpreter, RunConfig, ServiceRef, Term, Tuple, Value, VarId,
-};
+use verifas::model::{DatabaseInstance, Interpreter, RunConfig, Tuple, Value};
+use verifas::prelude::*;
 use verifas::workloads::loan_approval;
 
-fn main() {
+fn main() -> Result<(), VerifasError> {
     let spec = loan_approval();
     // A concrete database: two applicants, one prime and one subprime.
     let bureau = spec.db.relation_by_name("BUREAU").unwrap().0;
     let applicants = spec.db.relation_by_name("APPLICANTS").unwrap().0;
     let mut db = DatabaseInstance::empty(spec.db.len());
-    db.insert(bureau, Tuple { id: 1, attrs: vec![Value::str("Prime")] });
-    db.insert(bureau, Tuple { id: 2, attrs: vec![Value::str("Subprime")] });
-    db.insert(applicants, Tuple { id: 1, attrs: vec![Value::str("Ada"), Value::Id(bureau, 1)] });
-    db.insert(applicants, Tuple { id: 2, attrs: vec![Value::str("Bob"), Value::Id(bureau, 2)] });
+    db.insert(
+        bureau,
+        Tuple {
+            id: 1,
+            attrs: vec![Value::str("Prime")],
+        },
+    );
+    db.insert(
+        bureau,
+        Tuple {
+            id: 2,
+            attrs: vec![Value::str("Subprime")],
+        },
+    );
+    db.insert(
+        applicants,
+        Tuple {
+            id: 1,
+            attrs: vec![Value::str("Ada"), Value::Id(bureau, 1)],
+        },
+    );
+    db.insert(
+        applicants,
+        Tuple {
+            id: 2,
+            attrs: vec![Value::str("Bob"), Value::Id(bureau, 2)],
+        },
+    );
     db.validate(&spec.db).unwrap();
 
     // Animate a random run and collect local runs of the Review task.
     let review = spec.task_by_name("Review").unwrap().0;
-    let config = RunConfig { seed: 7, max_steps: 120, ..RunConfig::default() };
+    let config = RunConfig {
+        seed: 7,
+        max_steps: 120,
+        ..RunConfig::default()
+    };
     let mut interpreter = Interpreter::new(&spec, &db, config).unwrap();
     let runs = interpreter.run_collecting_local_runs(review);
-    println!("concrete run produced {} local run(s) of Review", runs.len());
+    println!(
+        "concrete run produced {} local run(s) of Review",
+        runs.len()
+    );
     for (i, run) in runs.iter().enumerate() {
         println!(
             "  run {i}: {} events, closed = {}",
@@ -47,14 +75,14 @@ fn main() {
             PropAtom::Condition(Condition::neq(Term::var(VarId::new(3)), Term::Null)),
         ],
     );
-    let result = Verifier::new(&spec, &property, VerifierOptions::default())
-        .unwrap()
-        .verify();
-    println!("G(close(Review) -> decision != null): {:?}", result.outcome);
+    let engine = Engine::load(spec)?;
+    let report = engine.check(&property)?;
+    println!("G(close(Review) -> decision != null): {:?}", report.outcome);
 
     // The concrete runs are consistent with the verifier's verdict.
     for run in runs.iter().filter(|r| r.closed) {
         assert_eq!(property.check_local_run(&db, run), Some(true));
     }
     println!("all closed concrete local runs satisfy the property (oracle check)");
+    Ok(())
 }

@@ -2,17 +2,24 @@
 //! restock-before-ship property (†), verified on the correct specification
 //! and on a buggy variant whose ShipItem task forgets to check the stock.
 //!
+//! One [`Engine`] per specification serves both properties, sharing the
+//! spec-side preprocessing between them.
+//!
 //! Run with `cargo run --release --example order_fulfillment`.
 
-use verifas::core::{Verifier, VerifierOptions, VerificationOutcome};
-use verifas::ltl::{Ltl, LtlFoProperty, PropAtom};
-use verifas::model::{Condition, ServiceRef, Term};
+use verifas::prelude::*;
 use verifas::workloads::{order_fulfillment, order_fulfillment_buggy, order_fulfillment_property};
 
-fn main() {
+fn main() -> Result<(), VerifasError> {
     for spec in [order_fulfillment(), order_fulfillment_buggy()] {
         println!("=== {} ===", spec.name);
-        println!("tasks: {:?}", spec.tasks.iter().map(|t| t.name.clone()).collect::<Vec<_>>());
+        println!(
+            "tasks: {:?}",
+            spec.tasks
+                .iter()
+                .map(|t| t.name.clone())
+                .collect::<Vec<_>>()
+        );
 
         // A guard property that distinguishes the two variants crisply:
         // whenever ShipItem is opened, the item must be in stock.
@@ -29,25 +36,31 @@ fn main() {
                 PropAtom::Condition(Condition::eq(Term::var(instock), Term::str("Yes"))),
             ],
         );
-        let result = Verifier::new(&spec, &guard, VerifierOptions::default())
-            .unwrap()
-            .verify();
-        println!("  G(open(ShipItem) -> instock = \"Yes\"): {:?}", result.outcome);
-        if let Some(cex) = &result.counterexample {
-            println!("    counterexample: {}", cex.description);
-        }
-
         // The paper's property (†) with a universally quantified item.
         let dagger = order_fulfillment_property(&spec);
-        let result = Verifier::new(&spec, &dagger, VerifierOptions::default())
-            .unwrap()
-            .verify();
-        println!("  property (†) restock-before-ship: {:?}", result.outcome);
-        if result.outcome == VerificationOutcome::Violated {
-            if let Some(cex) = &result.counterexample {
-                println!("    counterexample ({} steps): {}", cex.services.len(), cex.description);
+
+        let engine = Engine::load(spec)?;
+        let report = engine.check(&guard)?;
+        println!(
+            "  G(open(ShipItem) -> instock = \"Yes\"): {:?}",
+            report.outcome
+        );
+        if let Some(witness) = &report.witness {
+            println!("    counterexample: {}", witness.description);
+        }
+
+        let report = engine.check(&dagger)?;
+        println!("  property (†) restock-before-ship: {:?}", report.outcome);
+        if report.outcome == VerificationOutcome::Violated {
+            if let Some(witness) = &report.witness {
+                println!(
+                    "    counterexample ({} steps): {}",
+                    witness.steps.len(),
+                    witness.description
+                );
             }
         }
         println!();
     }
+    Ok(())
 }

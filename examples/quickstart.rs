@@ -1,14 +1,12 @@
 //! Quickstart: specify a tiny artifact system, state an LTL-FO property and
-//! verify it.
+//! verify it through the session-oriented [`Engine`] API.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use verifas::core::{Verifier, VerifierOptions};
-use verifas::ltl::{Ltl, LtlFoProperty, PropAtom};
 use verifas::model::schema::attr::data;
-use verifas::model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, Term, VarId};
+use verifas::prelude::*;
 
-fn main() {
+fn main() -> Result<(), VerifasError> {
     // 1. A database schema with a single ITEMS relation.
     let mut db = DatabaseSchema::new();
     db.add_relation("ITEMS", vec![data("name")]).unwrap();
@@ -53,16 +51,19 @@ fn main() {
         vec![PropAtom::Condition(shipped), PropAtom::Condition(placed)],
     );
 
-    // 4. Verify.
-    let verifier = Verifier::new(&spec, &property, VerifierOptions::default()).unwrap();
-    let result = verifier.verify();
-    println!("property {:?}: {:?}", property.name, result.outcome);
+    // 4. Load the engine once, then verify.
+    let engine = Engine::load(spec)?;
+    let report = engine.check(&property)?;
+    println!("property {:?}: {:?}", report.property, report.outcome);
     println!(
         "explored {} symbolic states in {} ms",
-        result.stats.states_created,
-        result.elapsed_ms()
+        report.stats.states_created,
+        report.elapsed_ms()
     );
-    if let Some(cex) = result.counterexample {
-        println!("counterexample: {}", cex.description);
+    if let Some(witness) = &report.witness {
+        println!("counterexample: {}", witness.description);
     }
+    // Every report is JSON-serializable for downstream tooling.
+    println!("report: {}", report.to_json());
+    Ok(())
 }

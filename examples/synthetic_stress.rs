@@ -1,24 +1,41 @@
 //! Generate synthetic workflows (Appendix D) and verify the benchmark
-//! properties on them, printing a small stress-test report.
+//! properties on them through [`Engine::check_all`], printing a small
+//! stress-test report.
 //!
 //! Run with `cargo run --release --example synthetic_stress`.
 
-use verifas::core::{SearchLimits, Verifier, VerifierOptions, VerificationOutcome};
-use verifas::workloads::{cyclomatic_complexity, generate_properties, generate_set, SyntheticParams};
+use verifas::prelude::*;
+use verifas::workloads::{
+    cyclomatic_complexity, generate_properties, generate_set, SyntheticParams,
+};
 
-fn main() {
+fn main() -> Result<(), VerifasError> {
     let params = SyntheticParams::small();
     let specs = generate_set(params, 6, 2017);
-    println!("generated {} synthetic specifications ({params:?})", specs.len());
-    let mut options = VerifierOptions::default();
-    options.limits = SearchLimits { max_states: 5_000, max_millis: 1_000 };
+    println!(
+        "generated {} synthetic specifications ({params:?})",
+        specs.len()
+    );
+    let options = VerifierOptions {
+        limits: SearchLimits {
+            max_states: 5_000,
+            max_millis: 1_000,
+        },
+        ..VerifierOptions::default()
+    };
     for spec in &specs {
+        let complexity = cyclomatic_complexity(spec);
+        let name = spec.name.clone();
+        let properties = generate_properties(spec, 2017);
+        let engine = Engine::load_with_options(spec.clone(), options)?;
+        let start = std::time::Instant::now();
+        // Batched verification: one preprocessing, parallel fan-out.
+        let reports = engine.check_all(&properties);
         let mut verified = 0;
         let mut violated = 0;
         let mut inconclusive = 0;
-        let start = std::time::Instant::now();
-        for property in generate_properties(spec, 2017) {
-            match Verifier::new(spec, &property, options).unwrap().verify().outcome {
+        for report in reports {
+            match report?.outcome {
                 VerificationOutcome::Satisfied => verified += 1,
                 VerificationOutcome::Violated => violated += 1,
                 VerificationOutcome::Inconclusive => inconclusive += 1,
@@ -26,12 +43,13 @@ fn main() {
         }
         println!(
             "{:<18} complexity {:>3}: {:>2} satisfied, {:>2} violated, {:>2} inconclusive ({} ms)",
-            spec.name,
-            cyclomatic_complexity(spec),
+            name,
+            complexity,
             verified,
             violated,
             inconclusive,
             start.elapsed().as_millis()
         );
     }
+    Ok(())
 }

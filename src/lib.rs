@@ -1,18 +1,115 @@
 //! # VERIFAS — a practical verifier for artifact systems
 //!
-//! Façade crate re-exporting the public API of the VERIFAS workspace:
+//! Façade crate of the VERIFAS workspace.  The public API is the
+//! session-oriented [`Engine`]: load a HAS\* specification once, then
+//! serve many verification requests against it.
+//!
+//! ```
+//! use verifas::prelude::*;
+//! # use verifas::model::schema::attr::data;
+//! # let mut db = DatabaseSchema::new();
+//! # db.add_relation("ITEMS", vec![data("name")]).unwrap();
+//! # let mut root = TaskBuilder::new("Orders");
+//! # let status = root.data_var("status");
+//! # root.service_parts("Place", Condition::eq(Term::var(status), Term::Null),
+//! #     Condition::eq(Term::var(status), Term::str("Placed")), vec![], None);
+//! # let mut builder = SpecBuilder::new("docs", db, root.build());
+//! # builder.global_pre(Condition::eq(Term::var(status), Term::Null));
+//! # let spec = builder.build().unwrap();
+//! # let property = LtlFoProperty::new("no-ghost", spec.root(), vec![],
+//! #     Ltl::globally(Ltl::not(Ltl::prop(0))),
+//! #     vec![PropAtom::Condition(Condition::eq(Term::var(VarId::new(0)), Term::str("Ghost")))]);
+//! let engine = Engine::load(spec)?;
+//!
+//! // One-shot check with the engine defaults…
+//! let report = engine.check(&property)?;
+//! println!("{:?} — {}", report.outcome, report.to_json());
+//!
+//! // …or a fully configured request.
+//! let mut on_progress = |event: &ProgressEvent| eprintln!("{event:?}");
+//! let report = engine
+//!     .verification()
+//!     .property(&property)
+//!     .options(VerifierOptions::default())
+//!     .observer(&mut on_progress)
+//!     .deadline(std::time::Duration::from_secs(10))
+//!     .run()?;
+//! # assert_eq!(report.outcome, VerificationOutcome::Satisfied);
+//! # Ok::<(), verifas::VerifasError>(())
+//! ```
+//!
+//! Batches of properties over one specification should use
+//! [`Engine::check_all`], which builds the spec-side preprocessing (the
+//! expression universe, the compiled symbolic task and the static-analysis
+//! constraint graph) once per task and fans the per-property searches out
+//! across threads.
+//!
+//! ## Migrating from `Verifier` (pre-0.2) to `Engine`
+//!
+//! The one-shot `Verifier` front-end is deprecated and will be removed
+//! after one release.  The mapping is mechanical:
+//!
+//! | pre-0.2 | 0.2 |
+//! |---|---|
+//! | `Verifier::new(&spec, &prop, options)?` | `Engine::load_with_options(spec, options)?` (once per spec) |
+//! | `verifier.verify()` | `engine.check(&prop)?` |
+//! | `VerificationResult { outcome, counterexample, stats, .. }` | [`VerificationReport`] `{ outcome, witness, stats, .. }` |
+//! | `result.counterexample.unwrap().description` | `report.witness.unwrap().description` |
+//! | `result.elapsed_ms()` | `report.elapsed_ms()` |
+//! | `ModelError` / panics | typed [`VerifasError`] |
+//!
+//! Differences worth knowing:
+//!
+//! * `Engine::load` takes the specification **by value** and validates it
+//!   once; clone the spec if you still need it locally.
+//! * The report's [`Witness`] carries a structured step list
+//!   (service references plus rendered labels), not just a string, and
+//!   the whole report serializes to JSON
+//!   ([`VerificationReport::to_json`] / [`VerificationReport::from_json`]).
+//! * Per-run knobs that used to require building a new `Verifier`
+//!   (options, limits) move to the request builder
+//!   ([`Engine::verification`]), alongside new ones: observers, deadlines
+//!   and cancellation tokens.
+//! * `VerifierOptions::without("TYPO")` used to be easy to mis-spell;
+//!   prefer [`VerifierOptions::try_without`], which returns a typed error
+//!   listing the valid names.
+//!
+//! ## Workspace layout
 //!
 //! * [`model`] — the HAS\* specification language and its concrete
 //!   operational semantics (`verifas-model`),
 //! * [`ltl`] — LTL / LTL-FO properties and Büchi automata (`verifas-ltl`),
-//! * [`core`] — the symbolic verifier itself (`verifas-core`),
+//! * [`core`] — the symbolic verifier and the engine (`verifas-core`),
 //! * [`workloads`] — benchmark workflows, the synthetic generator and the
 //!   cyclomatic-complexity metric (`verifas-workloads`).
 //!
-//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
-//! architecture and the mapping from the paper's sections to modules.
+//! See the repository `README.md` for a quickstart.
 
 pub use verifas_core as core;
 pub use verifas_ltl as ltl;
 pub use verifas_model as model;
 pub use verifas_workloads as workloads;
+
+pub use verifas_core::{
+    CancelToken, Engine, Phase, ProgressEvent, ProgressObserver, SearchLimits, SearchStats,
+    VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport, VerifierOptions,
+    Witness, WitnessStep,
+};
+
+/// Everything a typical engine user needs, in one import.
+///
+/// ```
+/// use verifas::prelude::*;
+/// ```
+pub mod prelude {
+    pub use verifas_core::{
+        CancelToken, CoverageKind, Engine, Phase, ProgressEvent, ProgressObserver, SearchLimits,
+        SearchStats, VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport,
+        VerifierOptions, Witness, WitnessStep,
+    };
+    pub use verifas_ltl::{Ltl, LtlFoProperty, PropAtom, PropertyHandle};
+    pub use verifas_model::{
+        Condition, DatabaseSchema, HasSpec, ServiceRef, SpecBuilder, TaskBuilder, TaskId, Term,
+        VarId,
+    };
+}

@@ -1,0 +1,93 @@
+//! The `Engine::check_all` acceptance test: batched multi-property
+//! verification over one workload spec must (a) produce byte-identical
+//! verdicts to one-by-one `check` calls and (b) construct the expression
+//! universe and the spec-side static-analysis constraint graph exactly
+//! once, measured through `verifas::core::counters`.
+//!
+//! This file deliberately contains a single `#[test]`: the construction
+//! counters are process-wide, and integration-test binaries each run in
+//! their own process, so nothing else can increment them concurrently.
+
+use verifas::core::counters;
+use verifas::core::Json;
+use verifas::prelude::*;
+use verifas::workloads::{generate_properties, order_fulfillment};
+
+#[test]
+fn check_all_shares_preprocessing_and_matches_sequential_checks() {
+    let spec = order_fulfillment();
+    let options = VerifierOptions {
+        limits: SearchLimits {
+            max_states: 20_000,
+            max_millis: 10_000,
+        },
+        ..VerifierOptions::default()
+    };
+    // All twelve benchmark properties verify the root task with no global
+    // variables and draw their constants from the spec's own conditions,
+    // so one preprocessing must serve the whole batch.
+    let properties: Vec<LtlFoProperty> = generate_properties(&spec, 2017)
+        .into_iter()
+        .take(4)
+        .collect();
+    assert!(properties.len() >= 3);
+
+    let engine = Engine::load_with_options(spec.clone(), options).unwrap();
+    let universes_before = counters::universe_builds();
+    let graphs_before = counters::spec_graph_builds();
+    let batched = engine.check_all(&properties);
+    assert_eq!(
+        counters::universe_builds() - universes_before,
+        1,
+        "check_all must build the expression universe exactly once"
+    );
+    assert_eq!(
+        counters::spec_graph_builds() - graphs_before,
+        1,
+        "check_all must build the spec-side constraint graph exactly once"
+    );
+
+    // Sequential one-by-one checks on a fresh engine.
+    let sequential_engine = Engine::load_with_options(spec, options).unwrap();
+    for (property, batched) in properties.iter().zip(&batched) {
+        let batched = batched.as_ref().unwrap();
+        let sequential = sequential_engine.check(property).unwrap();
+        // Byte-identical verdicts: outcome and witness serialize to the
+        // same JSON (stats carry wall-clock times and are compared
+        // structurally instead).
+        let verdict_json = |report: &VerificationReport| {
+            Json::Obj(vec![
+                (
+                    "outcome".to_owned(),
+                    Json::parse(&report.to_json())
+                        .unwrap()
+                        .get("outcome")
+                        .unwrap()
+                        .clone(),
+                ),
+                (
+                    "witness".to_owned(),
+                    Json::parse(&report.to_json())
+                        .unwrap()
+                        .get("witness")
+                        .unwrap()
+                        .clone(),
+                ),
+            ])
+            .to_string()
+        };
+        assert_eq!(
+            verdict_json(batched),
+            verdict_json(&sequential),
+            "batched and sequential verdicts differ on {}",
+            property.name
+        );
+        assert_eq!(batched.outcome, sequential.outcome);
+        assert_eq!(batched.witness, sequential.witness);
+        assert_eq!(
+            batched.stats.states_created, sequential.stats.states_created,
+            "the searches themselves must be identical for {}",
+            property.name
+        );
+    }
+}

@@ -1,12 +1,10 @@
-//! Cross-crate integration tests: the paper's running example end-to-end,
-//! agreement between the optimised verifier, the baseline and the concrete
-//! interpreter, and ablation consistency.
+//! Cross-crate integration tests: the paper's running example end-to-end
+//! through the `Engine` API, agreement between the optimised verifier, the
+//! baseline and the concrete interpreter, and ablation consistency.
 
-use verifas::core::{
-    BaselineVerifier, SearchLimits, VerificationOutcome, Verifier, VerifierOptions,
-};
-use verifas::ltl::{Ltl, LtlFoProperty, PropAtom};
-use verifas::model::{Condition, DatabaseInstance, Interpreter, RunConfig, ServiceRef, Term, Tuple, Value, VarId};
+use verifas::core::BaselineVerifier;
+use verifas::model::{DatabaseInstance, Interpreter, RunConfig, Tuple, Value};
+use verifas::prelude::*;
 use verifas::workloads::{
     generate_properties, loan_approval, order_fulfillment, order_fulfillment_buggy,
     order_fulfillment_property, real_workflows,
@@ -19,6 +17,13 @@ fn small_limits() -> SearchLimits {
     }
 }
 
+fn small_options() -> VerifierOptions {
+    VerifierOptions {
+        limits: small_limits(),
+        ..VerifierOptions::default()
+    }
+}
+
 /// The guard property "whenever ShipItem opens the item is in stock" holds
 /// on the correct order-fulfillment specification and fails on the buggy
 /// variant (the error discussed in Section 2.1 of the paper).
@@ -28,6 +33,7 @@ fn order_fulfillment_shipping_guard() {
         (order_fulfillment(), VerificationOutcome::Satisfied),
         (order_fulfillment_buggy(), VerificationOutcome::Violated),
     ] {
+        let name = spec.name.clone();
         let (_, root) = spec.task_by_name("ProcessOrders").unwrap();
         let instock = root.var_by_name("instock").unwrap().0;
         let ship = spec.task_by_name("ShipItem").unwrap().0;
@@ -41,59 +47,83 @@ fn order_fulfillment_shipping_guard() {
                 PropAtom::Condition(Condition::eq(Term::var(instock), Term::str("Yes"))),
             ],
         );
-        let mut options = VerifierOptions::default();
-        options.limits = small_limits();
-        let result = Verifier::new(&spec, &property, options).unwrap().verify();
-        assert_eq!(result.outcome, expected, "spec {}", spec.name);
+        let engine = Engine::load_with_options(spec, small_options()).unwrap();
+        let report = engine.check(&property).unwrap();
+        assert_eq!(report.outcome, expected, "spec {name}");
         if expected == VerificationOutcome::Violated {
-            let cex = result.counterexample.expect("counterexample available");
-            assert!(cex.description.contains("ShipItem"));
+            let witness = report.witness.expect("witness available");
+            assert!(witness.description.contains("ShipItem"));
+            assert!(witness.steps.iter().any(|s| s.label.contains("ShipItem")));
         }
     }
 }
 
 /// The paper's property (†) is violated on the buggy variant and the
-/// verifier produces a counterexample mentioning ShipItem; on the correct
-/// variant the verifier terminates with a definite verdict.
+/// verifier produces a witness mentioning ShipItem; on the correct variant
+/// the verifier terminates with a definite verdict.
 #[test]
 fn order_fulfillment_paper_property() {
     let buggy = order_fulfillment_buggy();
     let property = order_fulfillment_property(&buggy);
-    let mut options = VerifierOptions::default();
-    options.limits = small_limits();
-    let result = Verifier::new(&buggy, &property, options).unwrap().verify();
-    assert_eq!(result.outcome, VerificationOutcome::Violated);
+    let engine = Engine::load_with_options(buggy, small_options()).unwrap();
+    let report = engine.check(&property).unwrap();
+    assert_eq!(report.outcome, VerificationOutcome::Violated);
 
     let good = order_fulfillment();
     let property = order_fulfillment_property(&good);
-    let result = Verifier::new(&good, &property, options).unwrap().verify();
-    assert_ne!(result.outcome, VerificationOutcome::Inconclusive);
+    let engine = Engine::load_with_options(good, small_options()).unwrap();
+    let report = engine.check(&property).unwrap();
+    assert_ne!(report.outcome, VerificationOutcome::Inconclusive);
 }
 
-/// All twelve generated benchmark properties verify (with some definite
-/// verdict) on the order-fulfillment workflow within a small budget, and
-/// the ablated configurations agree with the default one.
+/// The ablated configurations agree with the default one on every
+/// generated benchmark property where both produce a definite verdict
+/// within the budget (disabling SP can blow past the state budget — such
+/// runs are Inconclusive, which is not a disagreement).
 #[test]
 fn benchmark_properties_and_ablations_agree() {
     let spec = order_fulfillment();
+    let engine = Engine::load_with_options(spec.clone(), small_options()).unwrap();
+    let mut definite_pairs = 0;
     for property in generate_properties(&spec, 2017).iter().take(6) {
-        let mut verdicts = Vec::new();
-        for options in [
-            VerifierOptions::default(),
-            VerifierOptions::default().without("SP"),
-            VerifierOptions::default().without("SA"),
-            VerifierOptions::default().without("DSS"),
-        ] {
-            let mut options = options;
-            options.limits = small_limits();
-            let result = Verifier::new(&spec, property, options).unwrap().verify();
-            verdicts.push(result.outcome);
+        let default = engine.check(property).unwrap().outcome;
+        if default == VerificationOutcome::Inconclusive {
+            continue;
         }
-        assert!(
-            verdicts.windows(2).all(|w| w[0] == w[1]),
-            "ablations disagree on {}: {verdicts:?}",
-            property.name
-        );
+        for ablation in ["SP", "SA", "DSS"] {
+            let options = small_options().try_without(ablation).unwrap();
+            let ablated = engine
+                .verification()
+                .property(property)
+                .options(options)
+                .run()
+                .unwrap()
+                .outcome;
+            if ablated == VerificationOutcome::Inconclusive {
+                continue;
+            }
+            assert_eq!(
+                default, ablated,
+                "ablation {ablation} disagrees on {}",
+                property.name
+            );
+            definite_pairs += 1;
+        }
+    }
+    assert!(
+        definite_pairs > 0,
+        "no ablation ever produced a definite verdict"
+    );
+}
+
+/// Unknown ablation names fail loudly, listing the valid ones.
+#[test]
+fn unknown_ablation_names_are_typed_errors() {
+    let err = VerifierOptions::default().try_without("SPP").unwrap_err();
+    assert!(matches!(err, VerifasError::UnknownOptimization { ref given } if given == "SPP"));
+    let message = err.to_string();
+    for valid in ["SP", "SA", "DSS"] {
+        assert!(message.contains(valid), "{message:?} must list {valid}");
     }
 }
 
@@ -106,11 +136,15 @@ fn baseline_agrees_with_noset_on_real_workflows() {
         max_millis: 2_000,
     };
     for spec in real_workflows().into_iter().take(8) {
+        let name = spec.name.clone();
+        let mut options = VerifierOptions::no_set();
+        options.limits = limits;
+        let engine = Engine::load_with_options(spec.clone(), options).unwrap();
         for property in generate_properties(&spec, 2017).into_iter().take(3) {
-            let baseline = BaselineVerifier::new(&spec, &property, limits).unwrap().verify();
-            let mut options = VerifierOptions::no_set();
-            options.limits = limits;
-            let noset = Verifier::new(&spec, &property, options).unwrap().verify();
+            let baseline = BaselineVerifier::new(&spec, &property, limits)
+                .unwrap()
+                .verify();
+            let noset = engine.check(&property).unwrap();
             if baseline.outcome == VerificationOutcome::Inconclusive
                 || noset.outcome == VerificationOutcome::Inconclusive
             {
@@ -118,8 +152,8 @@ fn baseline_agrees_with_noset_on_real_workflows() {
             }
             assert_eq!(
                 baseline.outcome, noset.outcome,
-                "disagreement on {} / {}",
-                spec.name, property.name
+                "disagreement on {name} / {}",
+                property.name
             );
         }
     }
@@ -141,19 +175,42 @@ fn concrete_runs_respect_verified_properties() {
             PropAtom::Condition(Condition::neq(Term::var(VarId::new(3)), Term::Null)),
         ],
     );
-    let mut options = VerifierOptions::default();
-    options.limits = small_limits();
-    let verdict = Verifier::new(&spec, &property, options).unwrap().verify();
-    assert_eq!(verdict.outcome, VerificationOutcome::Satisfied);
+    let engine = Engine::load_with_options(spec.clone(), small_options()).unwrap();
+    let report = engine.check(&property).unwrap();
+    assert_eq!(report.outcome, VerificationOutcome::Satisfied);
 
     // Build a concrete database and sample runs.
     let bureau = spec.db.relation_by_name("BUREAU").unwrap().0;
     let applicants = spec.db.relation_by_name("APPLICANTS").unwrap().0;
     let mut db = DatabaseInstance::empty(spec.db.len());
-    db.insert(bureau, Tuple { id: 1, attrs: vec![Value::str("Prime")] });
-    db.insert(bureau, Tuple { id: 2, attrs: vec![Value::str("Thin")] });
-    db.insert(applicants, Tuple { id: 1, attrs: vec![Value::str("Ada"), Value::Id(bureau, 1)] });
-    db.insert(applicants, Tuple { id: 2, attrs: vec![Value::str("Bob"), Value::Id(bureau, 2)] });
+    db.insert(
+        bureau,
+        Tuple {
+            id: 1,
+            attrs: vec![Value::str("Prime")],
+        },
+    );
+    db.insert(
+        bureau,
+        Tuple {
+            id: 2,
+            attrs: vec![Value::str("Thin")],
+        },
+    );
+    db.insert(
+        applicants,
+        Tuple {
+            id: 1,
+            attrs: vec![Value::str("Ada"), Value::Id(bureau, 1)],
+        },
+    );
+    db.insert(
+        applicants,
+        Tuple {
+            id: 2,
+            attrs: vec![Value::str("Bob"), Value::Id(bureau, 2)],
+        },
+    );
     db.validate(&spec.db).unwrap();
     for seed in 0..5u64 {
         let config = RunConfig {
