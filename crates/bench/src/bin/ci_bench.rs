@@ -1,0 +1,443 @@
+//! `ci_bench` — the quick-mode benchmark CI runs on every push.
+//!
+//! Measures single-run states/sec of the Karp–Miller search, sequential
+//! versus N worker threads, on a fixed set of workload scenarios, and
+//! writes the results as `BENCH_parallel_search.json` so the perf
+//! trajectory of the repository is recorded per commit.  Three gates:
+//!
+//! 1. **Correctness** — the verdict and witness of every scenario must be
+//!    identical across thread counts (the parallel search is
+//!    deterministic by design; a divergence is a bug, not noise).
+//! 2. **Regression** — with `--baseline <path>`, states/sec may not drop
+//!    more than 30% below the committed baseline for any scenario.
+//! 3. **Speedup** — with `--min-speedup <x>`, the best parallel speedup
+//!    across scenarios must reach `x`.  This gate is enforced only when
+//!    the host actually has at least `--threads` cores (a single-core
+//!    runner cannot exhibit parallel speedup and reports it
+//!    informationally instead).
+//!
+//! Usage:
+//!
+//! ```text
+//! ci_bench [--quick] [--threads N] [--seed N] [--out PATH]
+//!          [--baseline PATH] [--update-baseline] [--min-speedup X]
+//! ```
+
+use std::time::Instant;
+use verifas_core::{
+    Engine as VerifasEngine, Json, SearchLimits, VerificationOutcome, VerificationReport,
+    VerifierOptions,
+};
+use verifas_ltl::LtlFoProperty;
+use verifas_model::HasSpec;
+use verifas_workloads::{generate, generate_properties, real_workflows, SyntheticParams};
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    seed: u64,
+    out: String,
+    baseline: Option<String>,
+    update_baseline: bool,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        threads: 4,
+        seed: 2017,
+        out: "BENCH_parallel_search.json".to_owned(),
+        baseline: None,
+        update_baseline: false,
+        min_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => args.threads = value("--threads").parse().expect("--threads"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+            "--out" => args.out = value("--out"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--update-baseline" => args.update_baseline = true,
+            "--min-speedup" => {
+                args.min_speedup = Some(value("--min-speedup").parse().expect("--min-speedup"))
+            }
+            other => panic!("unknown flag {other:?} (see ci_bench source for usage)"),
+        }
+    }
+    args
+}
+
+struct Scenario {
+    name: String,
+    spec: HasSpec,
+    property: LtlFoProperty,
+}
+
+/// The benchmark scenarios: for each chosen workload, the generated
+/// property with the largest sequential search (probed under a small
+/// budget), so the measurement exercises the search loop rather than the
+/// setup path.
+fn scenarios(args: &Args) -> Vec<Scenario> {
+    let mut specs: Vec<HasSpec> = real_workflows().into_iter().take(3).collect();
+    let synthetic_count = if args.quick { 1 } else { 2 };
+    for offset in 0..synthetic_count {
+        if let Some(spec) = generate(SyntheticParams::small(), args.seed + offset) {
+            specs.push(spec);
+        }
+    }
+    // The probe only needs search *size and speed*, so it runs cheap:
+    // small state budget, no repeated-reachability phase.  Workloads whose
+    // probe explores fewer than 64 states, or at under 1000 states/sec,
+    // are skipped — the benchmark measures the search loop, and a scenario
+    // that cannot reach its state budget in seconds would make the smoke
+    // job crawl.
+    let probe_limits = SearchLimits {
+        max_states: 600,
+        max_millis: 3_000,
+    };
+    let mut out = Vec::new();
+    for spec in specs {
+        let engine = VerifasEngine::load_with_options(
+            spec.clone(),
+            VerifierOptions {
+                check_repeated: false,
+                limits: probe_limits,
+                ..VerifierOptions::default()
+            },
+        )
+        .expect("workload specs are valid");
+        let mut best: Option<(usize, LtlFoProperty)> = None;
+        for property in generate_properties(&spec, args.seed) {
+            let start = Instant::now();
+            let Ok(report) = engine.check(&property) else {
+                continue;
+            };
+            let states = report.stats.states_created;
+            let per_sec = states as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            if per_sec < 1_000.0 {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(b, _)| states > *b) {
+                best = Some((states, property));
+            }
+            // A probe that fills the budget is as big as we can tell
+            // apart; stop probing this spec.
+            if best
+                .as_ref()
+                .is_some_and(|(b, _)| *b >= probe_limits.max_states)
+            {
+                break;
+            }
+        }
+        if let Some((states, property)) = best {
+            if states >= 64 {
+                out.push(Scenario {
+                    name: format!("{}/{}", spec.name, property.name),
+                    spec,
+                    property,
+                });
+            }
+        }
+    }
+    out
+}
+
+struct Measurement {
+    report: VerificationReport,
+    millis: f64,
+    states: usize,
+}
+
+fn measure(scenario: &Scenario, threads: usize, args: &Args) -> Measurement {
+    let limits = SearchLimits {
+        max_states: if args.quick { 3_000 } else { 12_000 },
+        // Wall-clock limits would make the stop point scheduling
+        // dependent; the state budget is the only limiter.
+        max_millis: 600_000,
+    };
+    // `check_repeated: false` keeps the measurement on the Karp–Miller
+    // search itself (the repeated-reachability cycle detection is a
+    // separate, still-sequential post-pass; see ROADMAP).
+    let engine = VerifasEngine::load_with_options(
+        scenario.spec.clone(),
+        VerifierOptions {
+            search_threads: threads,
+            check_repeated: false,
+            limits,
+            ..VerifierOptions::default()
+        },
+    )
+    .expect("workload specs are valid");
+    let samples = if args.quick { 1 } else { 3 };
+    let mut best: Option<Measurement> = None;
+    // One warm-up plus `samples` timed runs; keep the fastest (criterion
+    // quick-mode style: the minimum is the least noisy location estimate
+    // for a deterministic workload).
+    for sample in 0..=samples {
+        let start = Instant::now();
+        let report = engine.check(&scenario.property).expect("scenario verifies");
+        let millis = start.elapsed().as_secs_f64() * 1_000.0;
+        if sample == 0 {
+            continue;
+        }
+        let states =
+            report.stats.states_created + report.repeated_stats.map_or(0, |s| s.states_created);
+        if best.as_ref().is_none_or(|b| millis < b.millis) {
+            best = Some(Measurement {
+                report,
+                millis,
+                states,
+            });
+        }
+    }
+    best.expect("at least one timed sample")
+}
+
+struct Row {
+    name: String,
+    verdict: &'static str,
+    states: usize,
+    seq_millis: f64,
+    par_millis: f64,
+    seq_states_per_sec: f64,
+    par_states_per_sec: f64,
+    speedup: f64,
+    /// Fraction of the sequential run spent in the (parallelisable) plan
+    /// phase — an upper-bound predictor of multi-core speedup.
+    plan_fraction: f64,
+}
+
+fn verdict_name(outcome: VerificationOutcome) -> &'static str {
+    match outcome {
+        VerificationOutcome::Satisfied => "satisfied",
+        VerificationOutcome::Violated => "violated",
+        VerificationOutcome::Inconclusive => "inconclusive",
+    }
+}
+
+fn results_json(rows: &[Row], args: &Args, host_parallelism: usize) -> Json {
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Num(1.0)),
+        ("threads".to_owned(), Json::Num(args.threads as f64)),
+        (
+            "host_parallelism".to_owned(),
+            Json::Num(host_parallelism as f64),
+        ),
+        ("quick".to_owned(), Json::Bool(args.quick)),
+        (
+            "best_speedup".to_owned(),
+            Json::Num(rows.iter().map(|r| r.speedup).fold(0.0, f64::max)),
+        ),
+        (
+            "scenarios".to_owned(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".to_owned(), Json::Str(r.name.clone())),
+                            ("verdict".to_owned(), Json::Str(r.verdict.to_owned())),
+                            ("states".to_owned(), Json::Num(r.states as f64)),
+                            ("seq_millis".to_owned(), Json::Num(r.seq_millis)),
+                            ("par_millis".to_owned(), Json::Num(r.par_millis)),
+                            (
+                                "seq_states_per_sec".to_owned(),
+                                Json::Num(r.seq_states_per_sec),
+                            ),
+                            (
+                                "par_states_per_sec".to_owned(),
+                                Json::Num(r.par_states_per_sec),
+                            ),
+                            ("speedup".to_owned(), Json::Num(r.speedup)),
+                            ("plan_fraction".to_owned(), Json::Num(r.plan_fraction)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn num_member(value: &Json, key: &str) -> Option<f64> {
+    match value.get(key) {
+        Some(Json::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Compare against the committed baseline; returns the failure messages.
+fn regression_failures(rows: &[Row], baseline: &Json) -> Vec<String> {
+    const TOLERANCE: f64 = 0.7; // fail on a >30% drop
+    let mut failures = Vec::new();
+    let Some(scenarios) = baseline.get("scenarios").and_then(Json::as_array) else {
+        return vec!["baseline file has no `scenarios` array".to_owned()];
+    };
+    for row in rows {
+        let Some(base) = scenarios
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(row.name.as_str()))
+        else {
+            continue; // new scenario: nothing to regress against
+        };
+        for (metric, current) in [
+            ("seq_states_per_sec", row.seq_states_per_sec),
+            ("par_states_per_sec", row.par_states_per_sec),
+        ] {
+            if let Some(reference) = num_member(base, metric) {
+                if current < reference * TOLERANCE {
+                    failures.push(format!(
+                        "{}: {metric} regressed to {current:.0} (baseline {reference:.0}, \
+                         floor {:.0})",
+                        row.name,
+                        reference * TOLERANCE
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args = parse_args();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scenarios = scenarios(&args);
+    assert!(
+        !scenarios.is_empty(),
+        "no benchmark scenario produced a sizeable search"
+    );
+    println!(
+        "ci_bench: {} scenarios, 1 vs {} threads on a {}-core host{}",
+        scenarios.len(),
+        args.threads,
+        host_parallelism,
+        if args.quick { " (quick mode)" } else { "" }
+    );
+    let mut rows = Vec::new();
+    let mut verdict_failures = Vec::new();
+    for scenario in &scenarios {
+        let sequential = measure(scenario, 1, &args);
+        let parallel = measure(scenario, args.threads, &args);
+        if sequential.report.outcome != parallel.report.outcome
+            || sequential.report.witness != parallel.report.witness
+        {
+            verdict_failures.push(format!(
+                "{}: sequential {:?} vs {}-thread {:?}",
+                scenario.name, sequential.report.outcome, args.threads, parallel.report.outcome
+            ));
+        }
+        let busy_micros: u64 = sequential
+            .report
+            .workers
+            .iter()
+            .map(|w| w.busy_micros)
+            .sum();
+        let row = Row {
+            name: scenario.name.clone(),
+            verdict: verdict_name(sequential.report.outcome),
+            states: sequential.states,
+            seq_millis: sequential.millis,
+            par_millis: parallel.millis,
+            seq_states_per_sec: sequential.states as f64 / (sequential.millis / 1_000.0),
+            par_states_per_sec: parallel.states as f64 / (parallel.millis / 1_000.0),
+            speedup: sequential.millis / parallel.millis,
+            plan_fraction: (busy_micros as f64 / 1_000.0 / sequential.millis).min(1.0),
+        };
+        println!(
+            "  {:<48} {:>12} {:>8} states  seq {:>9.1}ms  par {:>9.1}ms  speedup {:.2}x               plan {:.0}%",
+            row.name,
+            row.verdict,
+            row.states,
+            row.seq_millis,
+            row.par_millis,
+            row.speedup,
+            row.plan_fraction * 100.0
+        );
+        rows.push(row);
+    }
+    let doc = results_json(&rows, &args, host_parallelism);
+    std::fs::write(&args.out, format!("{doc}\n")).expect("write results file");
+    println!("wrote {}", args.out);
+
+    let mut failed = false;
+    if !verdict_failures.is_empty() {
+        failed = true;
+        eprintln!("FAIL: verdicts diverged across thread counts:");
+        for failure in &verdict_failures {
+            eprintln!("  {failure}");
+        }
+    }
+    if let Some(path) = &args.baseline {
+        if args.update_baseline {
+            std::fs::write(path, format!("{doc}\n")).expect("write baseline file");
+            println!("updated baseline {path}");
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let baseline = Json::parse(&text).expect("baseline file parses");
+                    // Absolute states/sec only regresses meaningfully
+                    // against a baseline captured on comparable hardware;
+                    // across machine classes the comparison is advisory
+                    // until the baseline is refreshed where the job runs.
+                    let baseline_cores = baseline
+                        .get("host_parallelism")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0) as usize;
+                    let comparable = baseline_cores == host_parallelism;
+                    let failures = regression_failures(&rows, &baseline);
+                    if !failures.is_empty() && comparable {
+                        failed = true;
+                        eprintln!("FAIL: >30% throughput regression vs {path}:");
+                        for failure in &failures {
+                            eprintln!("  {failure}");
+                        }
+                    } else if !failures.is_empty() {
+                        eprintln!(
+                            "warning: throughput below baseline {path}, but the baseline was \
+                             captured on a {baseline_cores}-core host and this is a \
+                             {host_parallelism}-core host — advisory only; refresh with \
+                             --update-baseline from this hardware class:"
+                        );
+                        for failure in &failures {
+                            eprintln!("  {failure}");
+                        }
+                    } else {
+                        println!("no regression vs {path}");
+                    }
+                }
+                Err(e) => {
+                    failed = true;
+                    eprintln!("FAIL: cannot read baseline {path}: {e}");
+                }
+            }
+        }
+    }
+    if let Some(min) = args.min_speedup {
+        let best = rows.iter().map(|r| r.speedup).fold(0.0, f64::max);
+        if host_parallelism >= args.threads {
+            if best < min {
+                failed = true;
+                eprintln!("FAIL: best parallel speedup {best:.2}x is below the required {min:.2}x");
+            } else {
+                println!("best parallel speedup {best:.2}x (required {min:.2}x)");
+            }
+        } else {
+            println!(
+                "note: host has {host_parallelism} core(s) < {} threads; speedup gate skipped \
+                 (best observed {best:.2}x)",
+                args.threads
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -70,6 +70,7 @@ impl BaselineVerifier {
                     }),
                     stats,
                     repeated_stats: None,
+                    worker_stats: Vec::new(),
                 }
             }
             SearchOutcome::LimitReached => VerificationResult {
@@ -77,6 +78,7 @@ impl BaselineVerifier {
                 counterexample: None,
                 stats,
                 repeated_stats: None,
+                worker_stats: Vec::new(),
             },
             SearchOutcome::Exhausted => {
                 let repeated = find_infinite_violation(
@@ -96,6 +98,7 @@ impl BaselineVerifier {
                         }),
                         stats,
                         repeated_stats,
+                        worker_stats: Vec::new(),
                     };
                 }
                 match repeated.violation {
@@ -108,18 +111,21 @@ impl BaselineVerifier {
                         }),
                         stats,
                         repeated_stats,
+                        worker_stats: Vec::new(),
                     },
                     None if repeated.limit_reached => VerificationResult {
                         outcome: VerificationOutcome::Inconclusive,
                         counterexample: None,
                         stats,
                         repeated_stats,
+                        worker_stats: Vec::new(),
                     },
                     None => VerificationResult {
                         outcome: VerificationOutcome::Satisfied,
                         counterexample: None,
                         stats,
                         repeated_stats,
+                        worker_stats: Vec::new(),
                     },
                 }
             }

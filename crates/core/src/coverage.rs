@@ -5,7 +5,7 @@
 //! (Appendix C, Definition 31).
 
 use crate::product::ProductState;
-use crate::psi::{CounterVec, StoredTypeInterner, OMEGA};
+use crate::psi::{CounterVec, TypeTable, OMEGA};
 
 /// Which order the search uses to prune covered states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,7 +50,7 @@ pub fn covers(
     kind: CoverageKind,
     covered: &ProductState,
     covering: &ProductState,
-    interner: &StoredTypeInterner,
+    interner: &dyn TypeTable,
 ) -> bool {
     if !discrete_match(covered, covering) {
         return false;
@@ -80,7 +80,7 @@ pub fn covers(
 pub fn flow_feasible(
     left: &CounterVec,
     right: &CounterVec,
-    interner: &StoredTypeInterner,
+    interner: &dyn TypeTable,
     required_slack: i64,
 ) -> bool {
     let left_entries: Vec<(u32, i64)> = left.iter().map(|(t, c)| (t, count_value(c))).collect();
@@ -131,7 +131,7 @@ pub fn accelerate(
     kind: CoverageKind,
     ancestor: &ProductState,
     candidate: &ProductState,
-    interner: &StoredTypeInterner,
+    interner: &dyn TypeTable,
 ) -> Option<CounterVec> {
     if !discrete_match(ancestor, candidate) {
         return None;
@@ -280,7 +280,7 @@ mod tests {
     use super::*;
     use crate::expr::ExprUniverse;
     use crate::pit::{Pit, PitBuilder};
-    use crate::psi::Psi;
+    use crate::psi::{Psi, StoredTypeInterner};
     use std::collections::BTreeSet;
     use verifas_model::schema::attr::data;
     use verifas_model::{

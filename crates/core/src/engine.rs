@@ -142,7 +142,7 @@ impl Engine {
     /// Number of distinct spec-side preprocessings currently cached
     /// (diagnostic; see [`crate::counters`] for process-wide build counts).
     pub fn cached_preprocessings(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        lock_ignoring_poison(&self.cache).len()
     }
 
     /// Build (or reuse) the spec-side preprocessing a property needs,
@@ -210,18 +210,38 @@ impl Engine {
                     let Some(property) = properties.get(i) else {
                         break;
                     };
-                    let report =
-                        self.run_request(property, self.options, &mut SearchControl::default());
+                    // A panic in one verification must neither poison the
+                    // whole batch nor abort the process: it becomes a
+                    // typed per-property error.
+                    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.run_request(property, self.options, &mut SearchControl::default())
+                    }))
+                    .unwrap_or_else(|panic| {
+                        Err(VerifasError::Internal {
+                            reason: format!(
+                                "verification worker panicked: {}",
+                                panic_message(panic.as_ref())
+                            ),
+                        })
+                    });
                     *results[i].lock().unwrap() = Some(report);
                 });
             }
         });
         results
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap()
-                    .expect("every property index was processed")
+            .enumerate()
+            .map(|(i, slot)| {
+                let slot = slot
+                    .into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                slot.unwrap_or_else(|| {
+                    Err(VerifasError::Internal {
+                        reason: format!(
+                            "no worker thread reported a result for property index {i}"
+                        ),
+                    })
+                })
             })
             .collect()
     }
@@ -244,7 +264,12 @@ impl Engine {
             global_types: property.global_vars.clone(),
             extra_constants,
         };
-        let mut cache = self.cache.lock().unwrap();
+        // Recover from poisoning instead of propagating it: the cache is
+        // only ever mutated *after* a build succeeds, so a panic during a
+        // build (contained per-property by `check_all`) leaves the map
+        // itself consistent — treating the poison as fatal would turn one
+        // bad property into a permanently broken engine.
+        let mut cache = lock_ignoring_poison(&self.cache);
         if let Some(prep) = cache.get(&key) {
             return Arc::clone(prep);
         }
@@ -297,6 +322,27 @@ impl Engine {
     }
 }
 
+/// Lock a mutex, recovering the guard when a previous holder panicked
+/// (the protected data is only mutated through panic-free paths, so the
+/// contents stay consistent).
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Best-effort rendering of a panic payload (the common `&str` / `String`
+/// cases; anything else is reported opaquely).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Builder for one verification request (see [`Engine::verification`]).
 pub struct VerificationBuilder<'e, 'o> {
     engine: &'e Engine,
@@ -324,6 +370,15 @@ impl<'e, 'o> VerificationBuilder<'e, 'o> {
     /// Override only the resource limits for this request.
     pub fn limits(mut self, limits: SearchLimits) -> Self {
         self.options.limits = limits;
+        self
+    }
+
+    /// Number of worker threads expanding the search frontier of this one
+    /// request (1 = sequential, 0 = one per available core).  The verdict
+    /// and witness are deterministic regardless of this setting; see the
+    /// "Parallel execution" notes on `verifas_core::search`.
+    pub fn search_threads(mut self, threads: usize) -> Self {
+        self.options.search_threads = threads;
         self
     }
 
@@ -477,6 +532,24 @@ mod tests {
         // The subsequent check reuses the warmed preprocessing.
         engine.check(&property).unwrap();
         assert_eq!(engine.cached_preprocessings(), 1);
+    }
+
+    #[test]
+    fn search_threads_do_not_change_the_verdict() {
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        let property = never("never-done-mt", &spec, "Done");
+        let seq = engine.check(&property).unwrap();
+        let par = engine
+            .verification()
+            .property(&property)
+            .search_threads(4)
+            .run()
+            .unwrap();
+        assert_eq!(seq.outcome, par.outcome);
+        assert_eq!(seq.witness, par.witness);
+        assert_eq!(par.stats.threads, 4);
+        assert_eq!(seq.stats.threads, 1);
     }
 
     #[test]

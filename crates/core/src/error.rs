@@ -36,6 +36,14 @@ pub enum VerifasError {
         /// What was wrong with the document.
         reason: String,
     },
+    /// A worker thread of a batched run ([`crate::engine::Engine::check_all`])
+    /// failed — panicked, or exited without reporting a result.  The batch
+    /// surfaces this as a per-property error instead of aborting the
+    /// process.
+    Internal {
+        /// What the worker reported (a panic message when available).
+        reason: String,
+    },
 }
 
 impl fmt::Display for VerifasError {
@@ -51,6 +59,9 @@ impl fmt::Display for VerifasError {
             }
             VerifasError::MalformedReport { reason } => {
                 write!(f, "malformed verification report: {reason}")
+            }
+            VerifasError::Internal { reason } => {
+                write!(f, "internal verification failure: {reason}")
             }
         }
     }

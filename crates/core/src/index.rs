@@ -13,23 +13,46 @@
 //! filtering power: a stored state is a *subset candidate* when all of its
 //! edges occur in the query, and a *superset candidate* when it occurs in
 //! the posting list of every query edge.
+//!
+//! The index is **concurrent**: states are partitioned into groups by
+//! their discrete components (automaton state, child activation, closed
+//! flag) — only states of the same group are ever comparable — and the
+//! groups are kept behind per-group read/write locks inside a sharded
+//! group directory.  The parallel plan phase of
+//! [`crate::search::KarpMillerSearch`] issues subset/superset candidate
+//! queries from all workers at once (shared read locks per group) while
+//! the sequential apply phase inserts and removes states (short write
+//! locks per group).
 
 use crate::pit::Edge;
 use crate::product::ProductState;
-use crate::psi::StoredTypeInterner;
+use crate::psi::TypeTable;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
 
 /// Discrete part of a state; candidates are only comparable within the same
 /// group.
 type GroupKey = (usize, u64, bool);
 
+/// Number of shards in the group directory (a power of two; bounds lock
+/// contention when many groups are created at once).
+const SHARD_COUNT: usize = 16;
+
 fn group_key(state: &ProductState) -> GroupKey {
     (state.buchi, state.psi.child_active, state.closed)
 }
 
+fn shard_of(key: &GroupKey) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % SHARD_COUNT
+}
+
 /// The edge signature `E(I)` of a state: the edges of its type plus the
 /// edges of every stored type with a positive counter.
-pub fn edge_signature(state: &ProductState, interner: &StoredTypeInterner) -> BTreeSet<Edge> {
+pub fn edge_signature(state: &ProductState, interner: &dyn TypeTable) -> BTreeSet<Edge> {
     let mut edges: BTreeSet<Edge> = state.psi.pit.edges().iter().copied().collect();
     for (t, _) in state.psi.counters.iter() {
         edges.extend(interner.get(t).1.edges().iter().copied());
@@ -45,13 +68,28 @@ struct GroupIndex {
     sizes: HashMap<usize, usize>,
     /// States with an empty signature.
     empty: Vec<usize>,
+    /// States marked removed (lazily filtered out of query results).
+    removed: HashSet<usize>,
 }
 
 /// Inverted index over active states used to filter coverage candidates.
-#[derive(Debug, Default)]
+///
+/// All operations take `&self`: mutation goes through the per-group write
+/// locks, so one index can serve concurrent readers (and writers of
+/// disjoint groups) from many worker threads.
+#[derive(Debug)]
 pub struct StateIndex {
-    groups: HashMap<GroupKey, GroupIndex>,
-    removed: HashSet<usize>,
+    shards: Vec<RwLock<HashMap<GroupKey, Arc<RwLock<GroupIndex>>>>>,
+}
+
+impl Default for StateIndex {
+    fn default() -> Self {
+        StateIndex {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl StateIndex {
@@ -60,11 +98,26 @@ impl StateIndex {
         StateIndex::default()
     }
 
+    /// The group of a state, if it exists yet.
+    fn group(&self, key: &GroupKey) -> Option<Arc<RwLock<GroupIndex>>> {
+        self.shards[shard_of(key)].read().unwrap().get(key).cloned()
+    }
+
+    /// The group of a state, created on first use.
+    fn group_or_insert(&self, key: GroupKey) -> Arc<RwLock<GroupIndex>> {
+        if let Some(group) = self.group(&key) {
+            return group;
+        }
+        let mut shard = self.shards[shard_of(&key)].write().unwrap();
+        Arc::clone(shard.entry(key).or_default())
+    }
+
     /// Insert a state under the given id.
-    pub fn insert(&mut self, id: usize, state: &ProductState, interner: &StoredTypeInterner) {
-        self.removed.remove(&id);
-        let group = self.groups.entry(group_key(state)).or_default();
+    pub fn insert(&self, id: usize, state: &ProductState, interner: &dyn TypeTable) {
+        let group = self.group_or_insert(group_key(state));
         let signature = edge_signature(state, interner);
+        let mut group = group.write().unwrap();
+        group.removed.remove(&id);
         group.sizes.insert(id, signature.len());
         if signature.is_empty() {
             group.empty.push(id);
@@ -76,22 +129,21 @@ impl StateIndex {
     }
 
     /// Mark a state as removed (lazily filtered out of query results).
-    pub fn remove(&mut self, id: usize) {
-        self.removed.insert(id);
+    pub fn remove(&self, id: usize, state: &ProductState) {
+        if let Some(group) = self.group(&group_key(state)) {
+            group.write().unwrap().removed.insert(id);
+        }
     }
 
     /// Candidate states whose signature is a *subset* of the query's
     /// signature — the only states that can possibly cover the query under
     /// ≼ (their types are less restrictive).
-    pub fn subset_candidates(
-        &self,
-        state: &ProductState,
-        interner: &StoredTypeInterner,
-    ) -> Vec<usize> {
-        let Some(group) = self.groups.get(&group_key(state)) else {
+    pub fn subset_candidates(&self, state: &ProductState, interner: &dyn TypeTable) -> Vec<usize> {
+        let Some(group) = self.group(&group_key(state)) else {
             return Vec::new();
         };
         let signature = edge_signature(state, interner);
+        let group = group.read().unwrap();
         let mut hits: HashMap<usize, usize> = HashMap::new();
         for edge in &signature {
             if let Some(list) = group.postings.get(edge) {
@@ -104,10 +156,10 @@ impl StateIndex {
             .empty
             .iter()
             .copied()
-            .filter(|id| !self.removed.contains(id))
+            .filter(|id| !group.removed.contains(id))
             .collect();
         out.extend(hits.into_iter().filter_map(|(id, count)| {
-            (!self.removed.contains(&id) && count == group.sizes[&id]).then_some(id)
+            (!group.removed.contains(&id) && count == group.sizes[&id]).then_some(id)
         }));
         out.sort_unstable();
         out.dedup();
@@ -120,17 +172,18 @@ impl StateIndex {
     pub fn superset_candidates(
         &self,
         state: &ProductState,
-        interner: &StoredTypeInterner,
+        interner: &dyn TypeTable,
     ) -> Vec<usize> {
-        let Some(group) = self.groups.get(&group_key(state)) else {
+        let Some(group) = self.group(&group_key(state)) else {
             return Vec::new();
         };
         let signature = edge_signature(state, interner);
+        let group = group.read().unwrap();
         let mut result: Option<HashSet<usize>> = None;
         if signature.is_empty() {
             // Every state of the group is a superset of the empty signature.
             let mut all: HashSet<usize> = group.sizes.keys().copied().collect();
-            all.retain(|id| !self.removed.contains(id));
+            all.retain(|id| !group.removed.contains(id));
             let mut out: Vec<usize> = all.into_iter().collect();
             out.sort_unstable();
             return out;
@@ -152,7 +205,7 @@ impl StateIndex {
         let mut out: Vec<usize> = result
             .unwrap_or_default()
             .into_iter()
-            .filter(|id| !self.removed.contains(id))
+            .filter(|id| !group.removed.contains(id))
             .collect();
         out.sort_unstable();
         out
@@ -164,7 +217,7 @@ mod tests {
     use super::*;
     use crate::expr::ExprUniverse;
     use crate::pit::{Pit, PitBuilder};
-    use crate::psi::Psi;
+    use crate::psi::{Psi, StoredTypeInterner};
     use std::collections::BTreeSet as StdBTreeSet;
     use verifas_model::schema::attr::data;
     use verifas_model::{
@@ -207,7 +260,7 @@ mod tests {
     fn subset_and_superset_candidates() {
         let u = universe();
         let interner = StoredTypeInterner::new();
-        let mut index = StateIndex::new();
+        let index = StateIndex::new();
         let empty = state_with(Pit::empty());
         let xa = state_with(pit_eq(&u, 0, "a"));
         let both = state_with(pit_eq(&u, 0, "a").conjoin(&pit_eq(&u, 1, "b"), &u).unwrap());
@@ -228,11 +281,11 @@ mod tests {
     fn removed_states_disappear_from_queries() {
         let u = universe();
         let interner = StoredTypeInterner::new();
-        let mut index = StateIndex::new();
+        let index = StateIndex::new();
         let xa = state_with(pit_eq(&u, 0, "a"));
         index.insert(0, &xa, &interner);
         index.insert(1, &state_with(Pit::empty()), &interner);
-        index.remove(0);
+        index.remove(0, &xa);
         assert_eq!(index.subset_candidates(&xa, &interner), vec![1]);
         assert_eq!(
             index.superset_candidates(&xa, &interner),
@@ -244,12 +297,42 @@ mod tests {
     fn groups_partition_by_discrete_state() {
         let u = universe();
         let interner = StoredTypeInterner::new();
-        let mut index = StateIndex::new();
+        let index = StateIndex::new();
         let mut a = state_with(pit_eq(&u, 0, "a"));
         index.insert(0, &a, &interner);
         a.buchi = 3;
         // Different automaton state: no candidates from the other group.
         assert!(index.subset_candidates(&a, &interner).is_empty());
         assert!(index.superset_candidates(&a, &interner).is_empty());
+    }
+
+    #[test]
+    fn concurrent_queries_and_inserts_are_safe() {
+        let u = universe();
+        let interner = StoredTypeInterner::new();
+        let index = StateIndex::new();
+        let states: Vec<ProductState> = (0..4)
+            .map(|i| {
+                let mut s = state_with(pit_eq(&u, 0, "a"));
+                s.buchi = i;
+                s
+            })
+            .collect();
+        for (i, s) in states.iter().enumerate() {
+            index.insert(i, s, &interner);
+        }
+        std::thread::scope(|scope| {
+            for s in &states {
+                let index = &index;
+                let interner = &interner;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let subs = index.subset_candidates(s, interner);
+                        assert_eq!(subs.len(), 1);
+                        assert_eq!(index.superset_candidates(s, interner), subs);
+                    }
+                });
+            }
+        });
     }
 }

@@ -54,9 +54,12 @@ pub use json::{Json, JsonError};
 pub use observer::{CancelToken, Phase, ProgressEvent, ProgressObserver, SearchControl};
 pub use pit::{Edge, Pit, PitBuilder};
 pub use product::{ProductState, ProductSuccessor, ProductSystem};
-pub use psi::{CounterVec, Psi, StoredTypeId, StoredTypeInterner, OMEGA};
+pub use psi::{
+    CounterVec, InternTypes, Psi, StoredTypeId, StoredTypeInterner, TypeTable, WorkerInterner,
+    OMEGA,
+};
 pub use report::{VerificationReport, Witness, WitnessStep, REPORT_SCHEMA_VERSION};
-pub use search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
+pub use search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats};
 pub use transition::{spec_constants, SymbolicTask};
 #[allow(deprecated)]
 pub use verifier::Verifier;

@@ -64,15 +64,21 @@ pub enum ProgressEvent {
 
 /// Observer of verification progress.
 ///
-/// Implemented for every `FnMut(&ProgressEvent) + Send`, so a closure can
-/// be passed directly to `verification().observer(...)`.
-pub trait ProgressObserver: Send {
-    /// Called for every event, in order, from the thread running the
+/// Implemented for every `FnMut(&ProgressEvent) + Send + Sync`, so a
+/// closure can be passed directly to `verification().observer(...)`.
+///
+/// The trait requires `Sync` so that a [`SearchControl`] holding an
+/// observer is itself `Sync`: the parallel search shares one control with
+/// all of its worker threads (for cancellation and deadline checks) while
+/// events keep being emitted, in deterministic order, from the
+/// coordinating thread.
+pub trait ProgressObserver: Send + Sync {
+    /// Called for every event, in order, from the thread coordinating the
     /// search.
     fn on_event(&mut self, event: &ProgressEvent);
 }
 
-impl<F: FnMut(&ProgressEvent) + Send> ProgressObserver for F {
+impl<F: FnMut(&ProgressEvent) + Send + Sync> ProgressObserver for F {
     fn on_event(&mut self, event: &ProgressEvent) {
         self(event)
     }
@@ -107,6 +113,11 @@ impl CancelToken {
 /// Observer, cancellation and deadline for one search run.
 ///
 /// [`SearchControl::default`] observes nothing and never stops a search.
+///
+/// The control is `Sync`: the parallel search hands shared references to
+/// every worker thread so they can poll [`SearchControl::should_stop`]
+/// between state expansions, while event emission (which needs `&mut`)
+/// stays on the coordinating thread.
 #[derive(Default)]
 pub struct SearchControl<'o> {
     /// Progress observer, if any.
@@ -137,7 +148,9 @@ impl<'o> SearchControl<'o> {
     }
 
     /// `true` when the run was cancelled or its deadline has passed.
-    pub(crate) fn should_stop(&self) -> bool {
+    /// Callable from any thread (the parallel search polls it from every
+    /// worker between state expansions).
+    pub fn should_stop(&self) -> bool {
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
                 return true;
@@ -161,6 +174,13 @@ impl<'o> SearchControl<'o> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn control_and_token_are_shareable_across_threads() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<SearchControl<'_>>();
+        assert_sync::<CancelToken>();
+    }
 
     #[test]
     fn cancel_token_is_shared_across_clones() {

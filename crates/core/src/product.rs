@@ -22,7 +22,7 @@
 
 use crate::eval::{compile_condition, extend_all, CompiledCondition};
 use crate::pit::Pit;
-use crate::psi::{Psi, StoredTypeInterner};
+use crate::psi::{InternTypes, Psi};
 use crate::transition::SymbolicTask;
 use std::collections::HashSet;
 use verifas_ltl::{LtlFoProperty, PropAtom, PropertyAutomaton};
@@ -223,7 +223,7 @@ impl ProductSystem {
     pub fn successors(
         &self,
         state: &ProductState,
-        interner: &mut StoredTypeInterner,
+        interner: &mut dyn InternTypes,
     ) -> Vec<ProductSuccessor> {
         if state.closed {
             return Vec::new();
@@ -257,6 +257,7 @@ impl ProductSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::psi::StoredTypeInterner;
     use verifas_ltl::Ltl;
     use verifas_model::schema::attr::data;
     use verifas_model::{

@@ -11,6 +11,13 @@
 //!
 //! Stored tuple types are interned globally by the search through
 //! [`StoredTypeInterner`] so counters are plain `(type id, count)` pairs.
+//! The parallel search gives each worker a [`WorkerInterner`]: a read-only
+//! view of the shared table plus a private scratch cache that hands out
+//! *provisional* ids for types the shared table does not know yet.  The
+//! apply phase of each search round publishes the scratch types to the
+//! shared table in a deterministic order (see [`crate::search`]), so the
+//! final numbering is independent of how work was scheduled across
+//! workers.
 
 use crate::pit::Pit;
 use std::collections::HashMap;
@@ -19,6 +26,22 @@ use verifas_model::ArtRelId;
 
 /// Identifier of an interned stored-tuple type.
 pub type StoredTypeId = u32;
+
+/// Read access to a table of stored-tuple types.  Implemented by the
+/// shared [`StoredTypeInterner`] and by the per-worker [`WorkerInterner`]
+/// overlay, so the coverage tests ([`crate::coverage`]) and the state
+/// index ([`crate::index`]) can resolve ids from either.
+pub trait TypeTable {
+    /// The artifact relation and type of an interned id.
+    fn get(&self, id: StoredTypeId) -> &(ArtRelId, Pit);
+}
+
+/// Write access to a table of stored-tuple types: interning is idempotent
+/// and returns a stable id for the lifetime of the table.
+pub trait InternTypes: TypeTable {
+    /// Intern a stored type, returning its id.
+    fn intern(&mut self, rel: ArtRelId, pit: Pit) -> StoredTypeId;
+}
 
 /// Counter value standing for the ordinal `ω` (introduced by the
 /// Karp–Miller acceleration).
@@ -54,6 +77,11 @@ impl StoredTypeInterner {
         &self.types[id as usize]
     }
 
+    /// The id of an already-interned type, without interning it.
+    pub fn lookup(&self, rel: ArtRelId, pit: &Pit) -> Option<StoredTypeId> {
+        self.map.get(&(rel, pit.clone())).copied()
+    }
+
     /// Number of interned types.
     pub fn len(&self) -> usize {
         self.types.len()
@@ -62,6 +90,126 @@ impl StoredTypeInterner {
     /// `true` iff nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.types.is_empty()
+    }
+}
+
+impl TypeTable for StoredTypeInterner {
+    fn get(&self, id: StoredTypeId) -> &(ArtRelId, Pit) {
+        StoredTypeInterner::get(self, id)
+    }
+}
+
+impl InternTypes for StoredTypeInterner {
+    fn intern(&mut self, rel: ArtRelId, pit: Pit) -> StoredTypeId {
+        StoredTypeInterner::intern(self, rel, pit)
+    }
+}
+
+/// Bit marking a provisional (worker-scratch) type id.
+const PROVISIONAL_BIT: StoredTypeId = 1 << 31;
+/// Bits reserved for the worker tag inside a provisional id.
+const WORKER_SHIFT: u32 = 20;
+const WORKER_MASK: StoredTypeId = 0x7FF;
+const LOCAL_MASK: StoredTypeId = (1 << WORKER_SHIFT) - 1;
+
+/// `true` iff the id was handed out by a [`WorkerInterner`] scratch cache
+/// and still awaits publication to the shared table.
+pub fn is_provisional(id: StoredTypeId) -> bool {
+    id != OMEGA && id & PROVISIONAL_BIT != 0
+}
+
+/// Decompose a provisional id into `(worker, local index)`.
+pub fn provisional_parts(id: StoredTypeId) -> (usize, usize) {
+    debug_assert!(is_provisional(id));
+    (
+        ((id >> WORKER_SHIFT) & WORKER_MASK) as usize,
+        (id & LOCAL_MASK) as usize,
+    )
+}
+
+/// A per-worker interner overlay used during the parallel plan phase of a
+/// search round: reads resolve against the frozen shared table first, then
+/// against the worker's private scratch; writes of unknown types go to the
+/// scratch under provisional ids.  [`WorkerInterner::begin_node`] /
+/// [`WorkerInterner::take_node_new`] bracket the processing of one search
+/// node and report, in first-intern order, the provisional ids of the
+/// types that node introduced relative to the shared table — the apply
+/// phase replays these lists in deterministic node order to publish the
+/// types with scheduling-independent final ids.
+pub struct WorkerInterner<'a> {
+    base: &'a StoredTypeInterner,
+    worker: StoredTypeId,
+    map: HashMap<(ArtRelId, Pit), StoredTypeId>,
+    types: Vec<(ArtRelId, Pit)>,
+    node_new: Vec<StoredTypeId>,
+}
+
+impl<'a> WorkerInterner<'a> {
+    /// A scratch overlay for `worker` on top of the frozen shared table.
+    pub fn new(base: &'a StoredTypeInterner, worker: usize) -> Self {
+        assert!(
+            worker as StoredTypeId <= WORKER_MASK,
+            "worker tag {worker} does not fit the provisional-id encoding"
+        );
+        WorkerInterner {
+            base,
+            worker: worker as StoredTypeId,
+            map: HashMap::new(),
+            types: Vec::new(),
+            node_new: Vec::new(),
+        }
+    }
+
+    /// Start recording the new types of the next search node.
+    pub fn begin_node(&mut self) {
+        self.node_new.clear();
+    }
+
+    /// The provisional ids first interned while processing the current
+    /// node (in intern-call order, deduplicated).
+    pub fn take_node_new(&mut self) -> Vec<StoredTypeId> {
+        std::mem::take(&mut self.node_new)
+    }
+
+    /// The scratch type table, indexed by the local part of the
+    /// provisional ids this worker handed out.
+    pub fn into_types(self) -> Vec<(ArtRelId, Pit)> {
+        self.types
+    }
+}
+
+impl TypeTable for WorkerInterner<'_> {
+    fn get(&self, id: StoredTypeId) -> &(ArtRelId, Pit) {
+        if is_provisional(id) {
+            let (worker, local) = provisional_parts(id);
+            debug_assert_eq!(worker, self.worker as usize);
+            &self.types[local]
+        } else {
+            self.base.get(id)
+        }
+    }
+}
+
+impl InternTypes for WorkerInterner<'_> {
+    fn intern(&mut self, rel: ArtRelId, pit: Pit) -> StoredTypeId {
+        if let Some(id) = self.base.lookup(rel, &pit) {
+            return id;
+        }
+        let id = match self.map.get(&(rel, pit.clone())) {
+            Some(&id) => id,
+            None => {
+                let local = self.types.len() as StoredTypeId;
+                assert!(local <= LOCAL_MASK, "worker scratch interner overflow");
+                let id = PROVISIONAL_BIT | (self.worker << WORKER_SHIFT) | local;
+                self.types.push((rel, pit.clone()));
+                self.map.insert((rel, pit), id);
+                id
+            }
+        };
+        if !self.node_new.contains(&id) {
+            self.node_new.push(id);
+        }
+        id
     }
 }
 
@@ -154,6 +302,28 @@ impl CounterVec {
         match out.entries.binary_search_by_key(&id, |(t, _)| *t) {
             Ok(i) => out.entries[i].1 = OMEGA,
             Err(i) => out.entries.insert(i, (id, OMEGA)),
+        }
+        out
+    }
+
+    /// A copy with every type id rewritten through `f` (used to publish
+    /// provisional worker ids as final shared ids).  Entries mapping to
+    /// the same id are merged (`ω` saturates).
+    pub fn map_ids(&self, mut f: impl FnMut(StoredTypeId) -> StoredTypeId) -> CounterVec {
+        let mut out = CounterVec::empty();
+        for (t, c) in self.entries.iter() {
+            let t = f(*t);
+            match out.entries.binary_search_by_key(&t, |(u, _)| *u) {
+                Ok(i) => {
+                    let merged = if out.entries[i].1 == OMEGA || *c == OMEGA {
+                        OMEGA
+                    } else {
+                        out.entries[i].1.saturating_add(*c)
+                    };
+                    out.entries[i].1 = merged;
+                }
+                Err(i) => out.entries.insert(i, (t, *c)),
+            }
         }
         out
     }
@@ -298,6 +468,52 @@ mod tests {
         let c = interner.intern(other_rel, Pit::empty());
         assert_ne!(a, c);
         assert_eq!(interner.get(c).0, other_rel);
+    }
+
+    #[test]
+    fn worker_interner_resolves_shared_and_scratch_ids() {
+        let mut shared = StoredTypeInterner::new();
+        let rel = ArtRelId::new(0);
+        let known = shared.intern(rel, Pit::empty());
+        let mut worker = WorkerInterner::new(&shared, 3);
+        worker.begin_node();
+        // Known types resolve to the shared id without touching scratch.
+        assert_eq!(worker.intern(rel, Pit::empty()), known);
+        assert!(worker.take_node_new().is_empty());
+        // Unknown types get a provisional id, recorded once per node.
+        let other = ArtRelId::new(1);
+        worker.begin_node();
+        let p = worker.intern(other, Pit::empty());
+        let p2 = worker.intern(other, Pit::empty());
+        assert_eq!(p, p2);
+        assert!(is_provisional(p));
+        assert!(!is_provisional(known));
+        assert_eq!(provisional_parts(p), (3, 0));
+        assert_eq!(worker.get(p).0, other);
+        assert_eq!(worker.take_node_new(), vec![p]);
+        // The same scratch type re-encountered on a later node is
+        // reported again (it is still unknown to the shared table).
+        worker.begin_node();
+        assert_eq!(worker.intern(other, Pit::empty()), p);
+        assert_eq!(worker.take_node_new(), vec![p]);
+        assert_eq!(worker.into_types(), vec![(other, Pit::empty())]);
+    }
+
+    #[test]
+    fn map_ids_renumbers_and_merges() {
+        let c = CounterVec::empty()
+            .incremented(7)
+            .incremented(7)
+            .incremented(3)
+            .with_omega(9);
+        let mapped = c.map_ids(|t| if t == 7 { 0 } else { t });
+        assert_eq!(mapped.get(0), 2);
+        assert_eq!(mapped.get(3), 1);
+        assert_eq!(mapped.get(9), OMEGA);
+        // Collisions merge; ω absorbs.
+        let collided = c.map_ids(|_| 5);
+        assert_eq!(collided.get(5), OMEGA);
+        assert_eq!(collided.support_len(), 1);
     }
 
     #[test]

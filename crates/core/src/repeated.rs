@@ -22,7 +22,7 @@ use crate::coverage::{covers, CoverageKind};
 use crate::observer::{Phase, SearchControl};
 use crate::product::ProductSystem;
 use crate::psi::OMEGA;
-use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
+use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats};
 use verifas_model::ServiceRef;
 
 /// Result of the repeated-reachability analysis.
@@ -49,6 +49,8 @@ pub struct RepeatedOutcome {
     /// `true` when the auxiliary search found a finite violation first
     /// (can happen because it explores the same product).
     pub finite_violation: Option<Vec<ServiceRef>>,
+    /// Per-worker statistics of the auxiliary search.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 /// Run the repeated-reachability analysis on a product system.
@@ -68,6 +70,7 @@ pub fn find_infinite_violation(
         coverage,
         use_index,
         limits,
+        1,
         &mut SearchControl::default(),
     )
 }
@@ -82,12 +85,15 @@ pub fn find_infinite_violation_with(
     coverage: CoverageKind,
     use_index: bool,
     limits: SearchLimits,
+    threads: usize,
     control: &mut SearchControl<'_>,
 ) -> RepeatedOutcome {
     control.phase = Some(Phase::RepeatedReachability);
     let mut search = KarpMillerSearch::new(product, coverage, use_index, limits);
+    search.threads = threads;
     let outcome = search.run_with(control);
     let mut stats = search.stats;
+    let worker_stats = std::mem::take(&mut search.worker_stats);
     if let SearchOutcome::FiniteViolation(node) = outcome {
         let prefix = search.trace(node).into_iter().map(|(s, _)| s).collect();
         return RepeatedOutcome {
@@ -95,6 +101,7 @@ pub fn find_infinite_violation_with(
             stats,
             limit_reached: false,
             finite_violation: Some(prefix),
+            worker_stats,
         };
     }
     let mut limit_reached = outcome == SearchOutcome::LimitReached;
@@ -117,6 +124,7 @@ pub fn find_infinite_violation_with(
                 stats,
                 limit_reached,
                 finite_violation: None,
+                worker_stats,
             };
         }
     }
@@ -179,6 +187,7 @@ pub fn find_infinite_violation_with(
                 stats,
                 limit_reached,
                 finite_violation: None,
+                worker_stats,
             };
         }
     }
@@ -187,6 +196,7 @@ pub fn find_infinite_violation_with(
         stats,
         limit_reached,
         finite_violation: None,
+        worker_stats,
     }
 }
 

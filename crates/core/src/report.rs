@@ -11,12 +11,16 @@
 
 use crate::error::VerifasError;
 use crate::json::Json;
-use crate::search::{SearchLimits, SearchStats};
+use crate::search::{SearchLimits, SearchStats, WorkerStats};
 use crate::verifier::{VerificationOutcome, VerificationResult, VerifierOptions};
 use verifas_model::{HasSpec, ServiceRef, TaskId};
 
 /// Version tag written into every serialized report.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+///
+/// Version 2 added the effective thread count ([`SearchStats::threads`],
+/// `VerifierOptions::search_threads`) and the per-worker statistics
+/// (`workers`).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// One observable service occurrence on a witness path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +60,9 @@ pub struct VerificationReport {
     pub stats: SearchStats,
     /// Statistics of the repeated-reachability phase (when it ran).
     pub repeated_stats: Option<SearchStats>,
+    /// Per-worker statistics across both phases (empty for sequential
+    /// engines that did not track them).
+    pub workers: Vec<WorkerStats>,
     /// The options that were in effect for this run.
     pub options: VerifierOptions,
     /// `true` when the run was stopped by cancellation or a deadline.
@@ -95,6 +102,7 @@ impl VerificationReport {
             witness,
             stats: result.stats,
             repeated_stats: result.repeated_stats,
+            workers: result.worker_stats,
             options,
             cancelled,
         }
@@ -135,6 +143,10 @@ impl VerificationReport {
                     Some(s) => stats_to_json(s),
                 },
             ),
+            (
+                "workers".to_owned(),
+                Json::Arr(self.workers.iter().map(worker_stats_to_json).collect()),
+            ),
             ("options".to_owned(), options_to_json(&self.options)),
         ];
         members.push(("cancelled".to_owned(), Json::Bool(self.cancelled)));
@@ -168,6 +180,13 @@ impl VerificationReport {
                 Json::Null => None,
                 s => Some(stats_from_json(s)?),
             },
+            workers: doc
+                .require("workers")?
+                .as_array()
+                .ok_or_else(|| malformed("workers"))?
+                .iter()
+                .map(worker_stats_from_json)
+                .collect::<Result<Vec<_>, VerifasError>>()?,
             options: options_from_json(doc.require("options")?)?,
             cancelled: bool_member(&doc, "cancelled")?,
         })
@@ -315,9 +334,37 @@ fn stats_to_json(stats: &SearchStats) -> Json {
             Json::Num(stats.stored_types as f64),
         ),
         ("elapsed_ms".to_owned(), Json::Num(stats.elapsed_ms as f64)),
+        ("threads".to_owned(), Json::Num(stats.threads as f64)),
         ("limit_reached".to_owned(), Json::Bool(stats.limit_reached)),
         ("cancelled".to_owned(), Json::Bool(stats.cancelled)),
     ])
+}
+
+fn worker_stats_to_json(stats: &WorkerStats) -> Json {
+    Json::Obj(vec![
+        ("worker".to_owned(), Json::Num(stats.worker as f64)),
+        (
+            "nodes_planned".to_owned(),
+            Json::Num(stats.nodes_planned as f64),
+        ),
+        (
+            "successors_planned".to_owned(),
+            Json::Num(stats.successors_planned as f64),
+        ),
+        (
+            "busy_micros".to_owned(),
+            Json::Num(stats.busy_micros as f64),
+        ),
+    ])
+}
+
+fn worker_stats_from_json(value: &Json) -> Result<WorkerStats, VerifasError> {
+    Ok(WorkerStats {
+        worker: u64_member(value, "worker")? as usize,
+        nodes_planned: u64_member(value, "nodes_planned")? as usize,
+        successors_planned: u64_member(value, "successors_planned")? as usize,
+        busy_micros: u64_member(value, "busy_micros")?,
+    })
 }
 
 fn stats_from_json(value: &Json) -> Result<SearchStats, VerifasError> {
@@ -329,6 +376,7 @@ fn stats_from_json(value: &Json) -> Result<SearchStats, VerifasError> {
         accelerations: u64_member(value, "accelerations")? as usize,
         stored_types: u64_member(value, "stored_types")? as usize,
         elapsed_ms: u64_member(value, "elapsed_ms")?,
+        threads: u64_member(value, "threads")? as usize,
         limit_reached: bool_member(value, "limit_reached")?,
         cancelled: bool_member(value, "cancelled")?,
     })
@@ -357,6 +405,10 @@ fn options_to_json(options: &VerifierOptions) -> Json {
             Json::Bool(options.check_repeated),
         ),
         (
+            "search_threads".to_owned(),
+            Json::Num(options.search_threads as f64),
+        ),
+        (
             "limits".to_owned(),
             Json::Obj(vec![
                 (
@@ -380,6 +432,7 @@ fn options_from_json(value: &Json) -> Result<VerifierOptions, VerifasError> {
         data_structure_support: bool_member(value, "data_structure_support")?,
         handle_artifact_relations: bool_member(value, "handle_artifact_relations")?,
         check_repeated: bool_member(value, "check_repeated")?,
+        search_threads: u64_member(value, "search_threads")? as usize,
         limits: SearchLimits {
             max_states: u64_member(limits, "max_states")? as usize,
             max_millis: u64_member(limits, "max_millis")?,
@@ -421,9 +474,24 @@ mod tests {
                 states_created: 17,
                 states_active: 9,
                 elapsed_ms: 3,
+                threads: 4,
                 ..SearchStats::default()
             },
             repeated_stats: Some(SearchStats::default()),
+            workers: vec![
+                WorkerStats {
+                    worker: 0,
+                    nodes_planned: 9,
+                    successors_planned: 14,
+                    busy_micros: 2_500,
+                },
+                WorkerStats {
+                    worker: 1,
+                    nodes_planned: 8,
+                    successors_planned: 11,
+                    busy_micros: 2_311,
+                },
+            ],
             options: VerifierOptions::default(),
             cancelled: false,
         }
@@ -441,7 +509,7 @@ mod tests {
 
     #[test]
     fn missing_members_are_reported_by_name() {
-        let err = VerificationReport::from_json(r#"{"schema":1,"property":"p"}"#).unwrap_err();
+        let err = VerificationReport::from_json(r#"{"schema":2,"property":"p"}"#).unwrap_err();
         match err {
             VerifasError::MalformedReport { reason } => {
                 assert!(reason.contains("task"), "{reason:?}")
@@ -453,7 +521,7 @@ mod tests {
     #[test]
     fn unsupported_schema_versions_are_rejected() {
         let mut report = sample_report().to_json();
-        report = report.replacen("\"schema\":1", "\"schema\":99", 1);
+        report = report.replacen("\"schema\":2", "\"schema\":99", 1);
         assert!(matches!(
             VerificationReport::from_json(&report),
             Err(VerifasError::MalformedReport { .. })

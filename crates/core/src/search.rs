@@ -9,15 +9,48 @@
 //! state); otherwise it computes a coverability-style set of active states
 //! which the repeated-reachability analysis ([`crate::repeated`]) then uses
 //! to look for *infinite* violations.
+//!
+//! # Parallel execution
+//!
+//! With [`KarpMillerSearch::threads`] > 1 the search runs as a sequence of
+//! *rounds* over the frontier:
+//!
+//! 1. **Plan phase (parallel).**  A pool of workers claims chunks of the
+//!    frontier from a shared cursor (work-stealing style) and, against a
+//!    frozen snapshot of the tree, computes for every frontier node its
+//!    product successors, speculative ω-accelerations against the node's
+//!    active ancestors, a speculative covered-by-active test and the list
+//!    of active states the successor would prune.  Workers intern unknown
+//!    stored types into per-worker [`WorkerInterner`] caches under
+//!    provisional ids.
+//! 2. **Apply phase (sequential, deterministic).**  The coordinating
+//!    thread replays the plans in frontier order: it publishes each node's
+//!    new stored types to the shared interner (in first-intern order, so
+//!    the final numbering matches a sequential run exactly), validates the
+//!    speculations against what earlier applications of this round changed
+//!    (an ancestor deactivated → the acceleration is recomputed; a
+//!    covering state deactivated → the coverage test is recomputed; states
+//!    added this round are always re-checked), and mutates the tree.
+//!
+//! Because every speculation is either proven still-valid or recomputed
+//! from the live tree, a parallel run produces *bit-identical* results to
+//! a sequential one: the same tree, the same statistics, the same verdict
+//! and the same witness.  Only wall-clock timing and the per-worker
+//! [`WorkerStats`] depend on scheduling.
 
 use crate::coverage::{accelerate, covers, CoverageKind};
 use crate::index::StateIndex;
 use crate::observer::{ProgressEvent, SearchControl};
+use crate::pit::Pit;
 use crate::product::{ProductState, ProductSystem};
-use crate::psi::StoredTypeInterner;
-use std::collections::VecDeque;
-use std::time::Instant;
-use verifas_model::ServiceRef;
+use crate::psi::{
+    is_provisional, provisional_parts, CounterVec, StoredTypeId, StoredTypeInterner, WorkerInterner,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use verifas_model::{ArtRelId, ServiceRef};
 
 /// Resource limits of a search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,11 +87,39 @@ pub struct SearchStats {
     pub stored_types: usize,
     /// Elapsed wall-clock time in milliseconds.
     pub elapsed_ms: u64,
+    /// Number of search workers this run was configured with (1 for a
+    /// sequential run).
+    pub threads: usize,
     /// `true` when a resource limit stopped the search.
     pub limit_reached: bool,
     /// `true` when the search was stopped by a cancellation token or a
     /// deadline (a subset of `limit_reached`).
     pub cancelled: bool,
+}
+
+/// Per-worker statistics of one parallel search run (scheduling-dependent
+/// observability data; the search result itself is deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Frontier nodes this worker planned.
+    pub nodes_planned: usize,
+    /// Successor states this worker computed.
+    pub successors_planned: usize,
+    /// Time this worker spent planning, in microseconds.
+    pub busy_micros: u64,
+}
+
+impl WorkerStats {
+    /// Merge another worker's counters into this one (used when folding
+    /// per-round pools — and the two search phases — into one per-worker
+    /// summary).
+    pub(crate) fn absorb(&mut self, other: &WorkerStats) {
+        self.nodes_planned += other.nodes_planned;
+        self.successors_planned += other.successors_planned;
+        self.busy_micros += other.busy_micros;
+    }
 }
 
 /// Outcome of the search phase.
@@ -89,6 +150,35 @@ pub struct SearchNode {
     children: Vec<usize>,
 }
 
+/// One speculatively planned successor of a frontier node.
+struct SuccessorPlan {
+    /// The observable service that produced it.
+    service: ServiceRef,
+    /// `true` iff the transition closes the task in a padding-accepting
+    /// automaton state (a finite violation).
+    finite_violation: bool,
+    /// The successor state with the speculative acceleration applied
+    /// (counters may hold provisional type ids).
+    state: ProductState,
+    /// The successor's counters *before* acceleration, kept so the
+    /// acceleration can be replayed against the live tree when the
+    /// speculation is invalidated.
+    raw_counters: CounterVec,
+    /// ω-applications in the speculative acceleration.
+    accelerations: usize,
+    /// First snapshot-active node covering the successor, if any.
+    covered_by: Option<usize>,
+    /// Snapshot-active nodes the successor covers (prune candidates).
+    prunes: Vec<usize>,
+}
+
+/// The plan of one frontier node: the stored types it introduces (in
+/// first-intern order) and its successor plans.
+struct NodePlan {
+    new_types: Vec<StoredTypeId>,
+    succs: Vec<SuccessorPlan>,
+}
+
 /// The Karp–Miller search engine.
 pub struct KarpMillerSearch<'a> {
     product: &'a ProductSystem,
@@ -99,17 +189,23 @@ pub struct KarpMillerSearch<'a> {
     pub use_index: bool,
     /// Resource limits.
     pub limits: SearchLimits,
+    /// Number of worker threads expanding the frontier (0 = one per
+    /// available core, 1 = sequential).
+    pub threads: usize,
     /// The tree.
     pub nodes: Vec<SearchNode>,
     /// Stored-tuple type interner shared by the whole search.
     pub interner: StoredTypeInterner,
     /// Statistics.
     pub stats: SearchStats,
+    /// Per-worker statistics of the last run (empty before `run`).
+    pub worker_stats: Vec<WorkerStats>,
     index: StateIndex,
 }
 
 impl<'a> KarpMillerSearch<'a> {
-    /// Create a search over a product system.
+    /// Create a (sequential) search over a product system; set
+    /// [`KarpMillerSearch::threads`] to parallelise it.
     pub fn new(
         product: &'a ProductSystem,
         coverage: CoverageKind,
@@ -121,10 +217,22 @@ impl<'a> KarpMillerSearch<'a> {
             coverage,
             use_index,
             limits,
+            threads: 1,
             nodes: Vec::new(),
             interner: StoredTypeInterner::new(),
             stats: SearchStats::default(),
+            worker_stats: Vec::new(),
             index: StateIndex::new(),
+        }
+    }
+
+    /// The worker count after resolving the automatic setting.
+    fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
         }
     }
 
@@ -139,85 +247,84 @@ impl<'a> KarpMillerSearch<'a> {
     /// state expansions, and the search stops (reporting
     /// [`SearchOutcome::LimitReached`] with
     /// [`SearchStats::cancelled`] set) when its token is cancelled or its
-    /// deadline passes.
+    /// deadline passes.  Cancellation is polled by every worker thread, so
+    /// a parallel run stops at the next state expansion of each worker.
     pub fn run_with(&mut self, control: &mut SearchControl<'_>) -> SearchOutcome {
         let start = Instant::now();
         let phase = control.current_phase();
         let granularity = control.granularity();
+        let workers = self.effective_threads();
+        self.stats.threads = workers;
+        self.worker_stats = (0..workers)
+            .map(|worker| WorkerStats {
+                worker,
+                ..WorkerStats::default()
+            })
+            .collect();
         let mut expanded_since_event = 0usize;
         control.emit(ProgressEvent::PhaseStarted { phase });
-        let mut worklist: VecDeque<usize> = VecDeque::new();
+        let mut frontier: Vec<usize> = Vec::new();
         for state in self.product.initial_states() {
             let id = self.add_node(state, None, self.product.task.opening_service());
-            worklist.push_back(id);
+            frontier.push(id);
         }
-        let outcome = loop {
-            let Some(id) = worklist.pop_front() else {
+        let outcome = 'search: loop {
+            if frontier.is_empty() {
                 break SearchOutcome::Exhausted;
-            };
-            if !self.nodes[id].active {
-                continue;
             }
-            if control.should_stop() {
-                self.stats.limit_reached = true;
-                self.stats.cancelled = true;
-                break SearchOutcome::LimitReached;
-            }
-            if self.nodes.len() >= self.limits.max_states
-                || start.elapsed().as_millis() as u64 >= self.limits.max_millis
-            {
-                self.stats.limit_reached = true;
-                break SearchOutcome::LimitReached;
-            }
-            expanded_since_event += 1;
-            if expanded_since_event >= granularity {
-                expanded_since_event = 0;
-                control.emit(ProgressEvent::Progress {
-                    phase,
-                    states_created: self.stats.states_created,
-                    frontier: worklist.len(),
-                    accelerations: self.stats.accelerations,
-                });
-            }
-            let current = self.nodes[id].state.clone();
-            let successors = self.product.successors(&current, &mut self.interner);
-            let mut finite_violation = None;
-            for succ in successors {
-                let mut state = succ.state;
-                // ω-acceleration against the active ancestors.
-                let mut ancestor = Some(id);
-                while let Some(a) = ancestor {
-                    if self.nodes[a].active {
-                        if let Some(counters) =
-                            accelerate(self.coverage, &self.nodes[a].state, &state, &self.interner)
-                        {
-                            state.psi.counters = counters;
-                            self.stats.accelerations += 1;
-                        }
-                    }
-                    ancestor = self.nodes[a].parent;
-                }
-                if succ.finite_violation {
-                    let vid = self.add_node(state, Some(id), succ.service);
-                    finite_violation = Some(vid);
-                    break;
-                }
-                // Skip if an active state already covers the new one.
-                if self.covered_by_active(&state) {
-                    self.stats.states_skipped += 1;
+            // Plan phase: speculate on every frontier node in parallel
+            // against the frozen tree.  Workers honour the run's own
+            // wall-clock budget, so a large frontier cannot overshoot
+            // `limits.max_millis` by a whole round of planning.
+            let time_budget = start + Duration::from_millis(self.limits.max_millis);
+            let (mut plans, scratch) = self.plan_round(&frontier, workers, time_budget, control);
+            // Apply phase: replay the plans in deterministic order.
+            let round_base = self.nodes.len();
+            let mut remap: HashMap<StoredTypeId, StoredTypeId> = HashMap::new();
+            let mut deactivated_this_round: HashSet<usize> = HashSet::new();
+            let mut next: Vec<usize> = Vec::new();
+            for (pos, &id) in frontier.iter().enumerate() {
+                if !self.nodes[id].active {
                     continue;
                 }
-                // Monotone pruning: deactivate active states (and their
-                // descendants) covered by the new one, except ancestors of
-                // the node being extended (conservative variant of the
-                // Reynier–Servais rule).
-                self.prune_covered(&state, id);
-                let new_id = self.add_node(state, Some(id), succ.service);
-                worklist.push_back(new_id);
+                if control.should_stop() {
+                    self.stats.limit_reached = true;
+                    self.stats.cancelled = true;
+                    break 'search SearchOutcome::LimitReached;
+                }
+                if self.nodes.len() >= self.limits.max_states
+                    || start.elapsed().as_millis() as u64 >= self.limits.max_millis
+                {
+                    self.stats.limit_reached = true;
+                    break 'search SearchOutcome::LimitReached;
+                }
+                expanded_since_event += 1;
+                if expanded_since_event >= granularity {
+                    expanded_since_event = 0;
+                    control.emit(ProgressEvent::Progress {
+                        phase,
+                        states_created: self.stats.states_created,
+                        frontier: frontier.len() - pos - 1 + next.len(),
+                        accelerations: self.stats.accelerations,
+                    });
+                }
+                let plan = plans[pos].take().expect(
+                    "a plan can only be missing after cancellation or the time budget, \
+                     which the checks above turn into LimitReached",
+                );
+                if let Some(violation) = self.apply_plan(
+                    id,
+                    plan,
+                    &scratch,
+                    &mut remap,
+                    round_base,
+                    &mut deactivated_this_round,
+                    &mut next,
+                ) {
+                    break 'search SearchOutcome::FiniteViolation(violation);
+                }
             }
-            if let Some(vid) = finite_violation {
-                break SearchOutcome::FiniteViolation(vid);
-            }
+            frontier = next;
         };
         self.stats.states_active = self.nodes.iter().filter(|n| n.active).count();
         self.stats.stored_types = self.interner.len();
@@ -227,6 +334,308 @@ impl<'a> KarpMillerSearch<'a> {
             stats: self.stats,
         });
         outcome
+    }
+
+    /// Speculatively plan every frontier node.  Returns one optional plan
+    /// per frontier position plus the per-worker scratch type tables
+    /// needed to resolve provisional ids.
+    ///
+    /// A plan may be missing only for a node that was already inactive,
+    /// or after cancellation / the `time_budget` deadline — conditions
+    /// that are sticky, so the apply loop's own checks always break
+    /// before reaching an unplanned position.
+    #[allow(clippy::type_complexity)]
+    fn plan_round(
+        &mut self,
+        frontier: &[usize],
+        workers: usize,
+        time_budget: Instant,
+        control: &SearchControl<'_>,
+    ) -> (Vec<Option<NodePlan>>, Vec<Vec<(ArtRelId, Pit)>>) {
+        let out_of_time = move || control.should_stop() || Instant::now() >= time_budget;
+        // Small rounds are planned inline: a thread pool would cost more
+        // than it saves and the plan/apply split alone preserves
+        // determinism.
+        if workers <= 1 || frontier.len() < 2 * workers {
+            let mut interner = WorkerInterner::new(&self.interner, 0);
+            let mut stats = WorkerStats::default();
+            let t0 = Instant::now();
+            let mut plans = Vec::with_capacity(frontier.len());
+            for &id in frontier {
+                if !self.nodes[id].active || out_of_time() {
+                    plans.push(None);
+                    continue;
+                }
+                plans.push(Some(self.plan_node(id, &mut interner, &mut stats)));
+            }
+            stats.busy_micros = t0.elapsed().as_micros() as u64;
+            self.worker_stats[0].absorb(&stats);
+            return (plans, vec![interner.into_types()]);
+        }
+        let slots: Vec<Mutex<Option<NodePlan>>> =
+            frontier.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let chunk = (frontier.len() / (workers * 4)).max(1);
+        let mut scratch: Vec<Vec<(ArtRelId, Pit)>> = vec![Vec::new(); workers];
+        let mut round_stats: Vec<WorkerStats> = vec![WorkerStats::default(); workers];
+        let this = &*self;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let slots = &slots;
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut interner = WorkerInterner::new(&this.interner, worker);
+                        let mut stats = WorkerStats::default();
+                        let t0 = Instant::now();
+                        'steal: loop {
+                            let begin = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if begin >= frontier.len() {
+                                break;
+                            }
+                            let end = (begin + chunk).min(frontier.len());
+                            for pos in begin..end {
+                                if out_of_time() {
+                                    break 'steal;
+                                }
+                                let id = frontier[pos];
+                                if !this.nodes[id].active {
+                                    continue;
+                                }
+                                let plan = this.plan_node(id, &mut interner, &mut stats);
+                                *slots[pos].lock().unwrap() = Some(plan);
+                            }
+                        }
+                        stats.busy_micros = t0.elapsed().as_micros() as u64;
+                        (interner.into_types(), stats)
+                    })
+                })
+                .collect();
+            for (worker, handle) in handles.into_iter().enumerate() {
+                let (types, stats) = handle.join().expect("search worker panicked");
+                scratch[worker] = types;
+                round_stats[worker] = stats;
+            }
+        });
+        for (worker, stats) in round_stats.iter().enumerate() {
+            self.worker_stats[worker].absorb(stats);
+        }
+        (
+            slots.into_iter().map(|m| m.into_inner().unwrap()).collect(),
+            scratch,
+        )
+    }
+
+    /// Plan one frontier node against the frozen tree snapshot.
+    fn plan_node(
+        &self,
+        id: usize,
+        interner: &mut WorkerInterner<'_>,
+        stats: &mut WorkerStats,
+    ) -> NodePlan {
+        interner.begin_node();
+        let current = self.nodes[id].state.clone();
+        let successors = self.product.successors(&current, interner);
+        stats.nodes_planned += 1;
+        stats.successors_planned += successors.len();
+        let mut succs = Vec::with_capacity(successors.len());
+        for succ in successors {
+            let mut state = succ.state;
+            let raw_counters = state.psi.counters.clone();
+            // Speculative ω-acceleration against the snapshot-active
+            // ancestors (walking up from the expanded node, like the
+            // sequential search).
+            let mut accelerations = 0usize;
+            let mut ancestor = Some(id);
+            while let Some(a) = ancestor {
+                if self.nodes[a].active {
+                    if let Some(counters) =
+                        accelerate(self.coverage, &self.nodes[a].state, &state, &*interner)
+                    {
+                        state.psi.counters = counters;
+                        accelerations += 1;
+                    }
+                }
+                ancestor = self.nodes[a].parent;
+            }
+            let finite_violation = succ.finite_violation;
+            let (covered_by, prunes) = if finite_violation {
+                (None, Vec::new())
+            } else {
+                (
+                    self.snapshot_covered_by(&state, &*interner),
+                    self.snapshot_prunes(&state, &*interner),
+                )
+            };
+            succs.push(SuccessorPlan {
+                service: succ.service,
+                finite_violation,
+                state,
+                raw_counters,
+                accelerations,
+                covered_by,
+                prunes,
+            });
+            // The apply phase stops at a finite violation, so nothing
+            // after it can be needed.
+            if finite_violation {
+                break;
+            }
+        }
+        NodePlan {
+            new_types: interner.take_node_new(),
+            succs,
+        }
+    }
+
+    /// First snapshot-active node covering the candidate state, if any.
+    fn snapshot_covered_by(
+        &self,
+        state: &ProductState,
+        interner: &dyn crate::psi::TypeTable,
+    ) -> Option<usize> {
+        if self.use_index {
+            self.index
+                .subset_candidates(state, interner)
+                .into_iter()
+                .find(|&j| {
+                    self.nodes[j].active
+                        && covers(self.coverage, state, &self.nodes[j].state, interner)
+                })
+        } else {
+            (0..self.nodes.len()).find(|&j| {
+                self.nodes[j].active && covers(self.coverage, state, &self.nodes[j].state, interner)
+            })
+        }
+    }
+
+    /// All snapshot-active nodes covered by the candidate state.
+    fn snapshot_prunes(
+        &self,
+        state: &ProductState,
+        interner: &dyn crate::psi::TypeTable,
+    ) -> Vec<usize> {
+        let candidates: Vec<usize> = if self.use_index {
+            self.index
+                .superset_candidates(state, interner)
+                .into_iter()
+                .filter(|&j| self.nodes[j].active)
+                .collect()
+        } else {
+            (0..self.nodes.len())
+                .filter(|&j| self.nodes[j].active)
+                .collect()
+        };
+        candidates
+            .into_iter()
+            .filter(|&j| covers(self.coverage, &self.nodes[j].state, state, interner))
+            .collect()
+    }
+
+    /// Replay one node's plan against the live tree.  Returns the id of a
+    /// finite-violation node when one is reached.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_plan(
+        &mut self,
+        id: usize,
+        plan: NodePlan,
+        scratch: &[Vec<(ArtRelId, Pit)>],
+        remap: &mut HashMap<StoredTypeId, StoredTypeId>,
+        round_base: usize,
+        deactivated_this_round: &mut HashSet<usize>,
+        next: &mut Vec<usize>,
+    ) -> Option<usize> {
+        // Publish the node's new stored types in first-intern order; this
+        // is what makes the final type numbering (and hence successor
+        // enumeration in later rounds) independent of worker scheduling.
+        for &pid in &plan.new_types {
+            let (worker, local) = provisional_parts(pid);
+            let (rel, pit) = &scratch[worker][local];
+            let gid = self.interner.intern(*rel, pit.clone());
+            remap.insert(pid, gid);
+        }
+        let publish = |counters: &CounterVec| {
+            counters.map_ids(|t| if is_provisional(t) { remap[&t] } else { t })
+        };
+        // Did anything this round touch the ancestors the speculation was
+        // computed against?
+        let mut ancestors: HashSet<usize> = HashSet::new();
+        let mut a = Some(id);
+        while let Some(x) = a {
+            ancestors.insert(x);
+            a = self.nodes[x].parent;
+        }
+        let speculation_valid = deactivated_this_round.is_disjoint(&ancestors);
+        for succ in plan.succs {
+            let mut state = succ.state;
+            let accelerations;
+            if speculation_valid {
+                state.psi.counters = publish(&state.psi.counters);
+                accelerations = succ.accelerations;
+            } else {
+                // An ancestor was deactivated after the plan was made:
+                // replay the acceleration against the live tree.
+                state.psi.counters = publish(&succ.raw_counters);
+                let mut count = 0usize;
+                let mut ancestor = Some(id);
+                while let Some(a) = ancestor {
+                    if self.nodes[a].active {
+                        if let Some(counters) =
+                            accelerate(self.coverage, &self.nodes[a].state, &state, &self.interner)
+                        {
+                            state.psi.counters = counters;
+                            count += 1;
+                        }
+                    }
+                    ancestor = self.nodes[a].parent;
+                }
+                accelerations = count;
+            }
+            self.stats.accelerations += accelerations;
+            if succ.finite_violation {
+                let vid = self.add_node(state, Some(id), succ.service);
+                return Some(vid);
+            }
+            // Skip if an active state already covers the new one.  The
+            // speculative answer is reused when it still holds; states
+            // added earlier in this round are always re-checked live.
+            let covered = if !speculation_valid {
+                self.covered_by_active(&state)
+            } else {
+                match succ.covered_by {
+                    Some(j) if !deactivated_this_round.contains(&j) => true,
+                    Some(_) => self.covered_by_active(&state),
+                    None => self.covered_by_added(&state, round_base),
+                }
+            };
+            if covered {
+                self.stats.states_skipped += 1;
+                continue;
+            }
+            // Monotone pruning: deactivate active states (and their
+            // descendants) covered by the new one, except ancestors of
+            // the node being extended (conservative variant of the
+            // Reynier–Servais rule).
+            let mut to_prune: Vec<usize> = if speculation_valid {
+                succ.prunes
+                    .iter()
+                    .copied()
+                    .filter(|j| self.nodes[*j].active && !ancestors.contains(j))
+                    .collect()
+            } else {
+                self.live_prunes(&state, &ancestors, 0)
+            };
+            if speculation_valid {
+                // States added this round were invisible to the plan.
+                to_prune.extend(self.live_prunes(&state, &ancestors, round_base));
+            }
+            for j in to_prune {
+                self.deactivate_subtree(j, &ancestors, deactivated_this_round);
+            }
+            let new_id = self.add_node(state, Some(id), succ.service);
+            next.push(new_id);
+        }
+        None
     }
 
     fn add_node(
@@ -253,7 +662,8 @@ impl<'a> KarpMillerSearch<'a> {
         id
     }
 
-    /// Is the candidate state covered by some active state?
+    /// Is the candidate state covered by some active state of the live
+    /// tree?
     fn covered_by_active(&self, state: &ProductState) -> bool {
         if self.use_index {
             // Candidates whose signature is a subset of the query's — the
@@ -272,51 +682,70 @@ impl<'a> KarpMillerSearch<'a> {
         }
     }
 
-    /// Deactivate the active states covered by `state` together with their
-    /// descendants, skipping the ancestors of `extending` (the branch being
-    /// extended).
-    fn prune_covered(&mut self, state: &ProductState, extending: usize) {
-        let mut ancestors = std::collections::HashSet::new();
-        let mut a = Some(extending);
-        while let Some(x) = a {
-            ancestors.insert(x);
-            a = self.nodes[x].parent;
+    /// Is the candidate covered by an active state created at or after
+    /// `round_base` (i.e. in the current round)?
+    fn covered_by_added(&self, state: &ProductState, round_base: usize) -> bool {
+        if self.use_index {
+            self.index
+                .subset_candidates(state, &self.interner)
+                .into_iter()
+                .any(|j| {
+                    j >= round_base
+                        && self.nodes[j].active
+                        && covers(self.coverage, state, &self.nodes[j].state, &self.interner)
+                })
+        } else {
+            (round_base..self.nodes.len()).any(|j| {
+                self.nodes[j].active
+                    && covers(self.coverage, state, &self.nodes[j].state, &self.interner)
+            })
         }
+    }
+
+    /// Active, non-ancestor nodes with id ≥ `from` covered by `state` on
+    /// the live tree.
+    fn live_prunes(
+        &self,
+        state: &ProductState,
+        ancestors: &HashSet<usize>,
+        from: usize,
+    ) -> Vec<usize> {
         let candidates: Vec<usize> = if self.use_index {
             self.index
                 .superset_candidates(state, &self.interner)
                 .into_iter()
-                .filter(|&j| self.nodes[j].active)
+                .filter(|&j| j >= from && self.nodes[j].active)
                 .collect()
         } else {
-            (0..self.nodes.len())
+            (from..self.nodes.len())
                 .filter(|&j| self.nodes[j].active)
                 .collect()
         };
-        let mut to_prune = Vec::new();
-        for j in candidates {
-            if ancestors.contains(&j) {
-                continue;
-            }
-            if covers(self.coverage, &self.nodes[j].state, state, &self.interner) {
-                to_prune.push(j);
-            }
-        }
-        for j in to_prune {
-            self.deactivate_subtree(j, &ancestors);
-        }
+        candidates
+            .into_iter()
+            .filter(|&j| {
+                !ancestors.contains(&j)
+                    && covers(self.coverage, &self.nodes[j].state, state, &self.interner)
+            })
+            .collect()
     }
 
-    fn deactivate_subtree(&mut self, root: usize, protected: &std::collections::HashSet<usize>) {
+    fn deactivate_subtree(
+        &mut self,
+        root: usize,
+        protected: &HashSet<usize>,
+        deactivated: &mut HashSet<usize>,
+    ) {
         let mut stack = vec![root];
         while let Some(j) = stack.pop() {
             if protected.contains(&j) || !self.nodes[j].active {
                 continue;
             }
             self.nodes[j].active = false;
+            deactivated.insert(j);
             self.stats.states_pruned += 1;
             if self.use_index {
-                self.index.remove(j);
+                self.index.remove(j, &self.nodes[j].state);
             }
             stack.extend(self.nodes[j].children.iter().copied());
         }
@@ -458,5 +887,44 @@ mod tests {
         );
         assert_eq!(search.run(), SearchOutcome::LimitReached);
         assert!(search.stats.limit_reached);
+    }
+
+    /// A parallel run is bit-identical to a sequential one: same tree
+    /// size, same active set, same statistics (up to timing and thread
+    /// configuration).
+    #[test]
+    fn parallel_run_matches_sequential_exactly() {
+        let spec = unbounded_pool();
+        let property = trivial_property();
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        for (coverage, use_index) in [
+            (CoverageKind::Subsumption, true),
+            (CoverageKind::Subsumption, false),
+            (CoverageKind::Standard, false),
+        ] {
+            let limits = SearchLimits {
+                max_states: 5_000,
+                max_millis: 60_000,
+            };
+            let mut sequential = KarpMillerSearch::new(&product, coverage, use_index, limits);
+            let seq_outcome = sequential.run();
+            let mut parallel = KarpMillerSearch::new(&product, coverage, use_index, limits);
+            parallel.threads = 4;
+            let par_outcome = parallel.run();
+            assert_eq!(seq_outcome, par_outcome);
+            assert_eq!(sequential.nodes.len(), parallel.nodes.len());
+            assert_eq!(sequential.active_nodes(), parallel.active_nodes());
+            assert_eq!(sequential.interner.len(), parallel.interner.len());
+            let mut seq_stats = sequential.stats;
+            let mut par_stats = parallel.stats;
+            seq_stats.elapsed_ms = 0;
+            par_stats.elapsed_ms = 0;
+            seq_stats.threads = 0;
+            par_stats.threads = 0;
+            assert_eq!(seq_stats, par_stats);
+            assert_eq!(parallel.worker_stats.len(), 4);
+            let planned: usize = parallel.worker_stats.iter().map(|w| w.nodes_planned).sum();
+            assert!(planned > 0, "workers must have planned some nodes");
+        }
     }
 }

@@ -25,7 +25,7 @@
 use crate::eval::{compile_condition, eval_extensions, CompiledCondition};
 use crate::expr::{ExprHead, ExprId, ExprUniverse};
 use crate::pit::{Edge, Pit, PitBuilder};
-use crate::psi::{Psi, StoredTypeInterner};
+use crate::psi::{InternTypes, Psi};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use verifas_model::{
     ArtRelId, Condition, DataValue, HasSpec, ServiceRef, TaskId, Update, VarId, VarRef, VarType,
@@ -277,11 +277,7 @@ impl SymbolicTask {
     /// `succ(I)`: every successor of the partial symbolic instance under
     /// one application of an observable service, together with the service
     /// that produced it.
-    pub fn successors(
-        &self,
-        psi: &Psi,
-        interner: &mut StoredTypeInterner,
-    ) -> Vec<(ServiceRef, Psi)> {
+    pub fn successors(&self, psi: &Psi, interner: &mut dyn InternTypes) -> Vec<(ServiceRef, Psi)> {
         let mut out = Vec::new();
         for svc in &self.services {
             match &svc.kind {
@@ -469,6 +465,7 @@ fn compile_update(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::psi::StoredTypeInterner;
     use verifas_model::schema::attr::data;
     use verifas_model::{DatabaseSchema, SpecBuilder, TaskBuilder, Term};
 

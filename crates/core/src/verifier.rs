@@ -21,7 +21,7 @@ use crate::error::VerifasError;
 use crate::observer::SearchControl;
 use crate::product::ProductSystem;
 use crate::repeated::find_infinite_violation_with;
-use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats};
+use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats};
 use crate::static_analysis::ConstraintGraph;
 use verifas_ltl::LtlFoProperty;
 use verifas_model::{HasSpec, ModelError, ServiceRef};
@@ -40,6 +40,11 @@ pub struct VerifierOptions {
     pub handle_artifact_relations: bool,
     /// Run the repeated-reachability analysis (Section 3.8).
     pub check_repeated: bool,
+    /// Worker threads expanding the frontier of a single search
+    /// (1 = sequential, 0 = one per available core).  The verdict and the
+    /// witness are deterministic regardless of this setting; see the
+    /// "Parallel execution" notes on [`crate::search`].
+    pub search_threads: usize,
     /// Resource limits of each search phase.
     pub limits: SearchLimits,
 }
@@ -52,6 +57,7 @@ impl Default for VerifierOptions {
             data_structure_support: true,
             handle_artifact_relations: true,
             check_repeated: true,
+            search_threads: 1,
             limits: SearchLimits::default(),
         }
     }
@@ -153,6 +159,9 @@ pub struct VerificationResult {
     pub stats: SearchStats,
     /// Statistics of the repeated-reachability phase (when it ran).
     pub repeated_stats: Option<SearchStats>,
+    /// Per-worker statistics across both phases (empty for runs made by
+    /// engines predating the parallel search).
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 impl VerificationResult {
@@ -226,8 +235,10 @@ pub fn run_verification(
         options.data_structure_support,
         options.limits,
     );
+    search.threads = options.search_threads;
     let outcome = search.run_with(control);
     let stats = search.stats;
+    let worker_stats = std::mem::take(&mut search.worker_stats);
     match outcome {
         SearchOutcome::FiniteViolation(node) => {
             let services: Vec<ServiceRef> =
@@ -242,6 +253,7 @@ pub fn run_verification(
                 }),
                 stats,
                 repeated_stats: None,
+                worker_stats,
             }
         }
         SearchOutcome::LimitReached => VerificationResult {
@@ -249,6 +261,7 @@ pub fn run_verification(
             counterexample: None,
             stats,
             repeated_stats: None,
+            worker_stats,
         },
         SearchOutcome::Exhausted => {
             if !options.check_repeated {
@@ -257,6 +270,7 @@ pub fn run_verification(
                     counterexample: None,
                     stats,
                     repeated_stats: None,
+                    worker_stats,
                 };
             }
             // Phase 2: repeated reachability for infinite violations.
@@ -265,9 +279,20 @@ pub fn run_verification(
                 options.repeated_coverage(),
                 options.data_structure_support,
                 options.limits,
+                options.search_threads,
                 control,
             );
             let repeated_stats = Some(repeated.stats);
+            // Merge the repeated phase's pool into the per-worker totals
+            // (both phases run with the same worker count, so entries
+            // line up by index).
+            let mut worker_stats = worker_stats;
+            for stats in repeated.worker_stats {
+                match worker_stats.iter_mut().find(|w| w.worker == stats.worker) {
+                    Some(w) => w.absorb(&stats),
+                    None => worker_stats.push(stats),
+                }
+            }
             if let Some(finite) = repeated.finite_violation {
                 let description = describe(product, &finite);
                 return VerificationResult {
@@ -279,6 +304,7 @@ pub fn run_verification(
                     }),
                     stats,
                     repeated_stats,
+                    worker_stats,
                 };
             }
             match repeated.violation {
@@ -297,6 +323,7 @@ pub fn run_verification(
                         }),
                         stats,
                         repeated_stats,
+                        worker_stats,
                     }
                 }
                 None if repeated.limit_reached => VerificationResult {
@@ -304,12 +331,14 @@ pub fn run_verification(
                     counterexample: None,
                     stats,
                     repeated_stats,
+                    worker_stats,
                 },
                 None => VerificationResult {
                     outcome: VerificationOutcome::Satisfied,
                     counterexample: None,
                     stats,
                     repeated_stats,
+                    worker_stats,
                 },
             }
         }

@@ -245,7 +245,7 @@ impl LtlFoProperty {
     ///
     /// The universal quantification over the global variables is
     /// approximated by enumerating the candidate values described in
-    /// [`Self::global_candidates`].
+    /// `global_candidates`.
     pub fn check_local_run(&self, db: &DatabaseInstance, run: &LocalRun) -> Option<bool> {
         if !run.closed || run.events.is_empty() {
             return None;

@@ -119,7 +119,7 @@ pub enum Condition {
 }
 
 /// A literal: an atom or a negated relational atom, produced by
-/// [`Condition::nnf_literals`]/[`Condition::dnf`].  Negated comparisons are
+/// [`Condition::nnf`]/[`Condition::dnf`].  Negated comparisons are
 /// normalised into the opposite operator, so only relational atoms carry an
 /// explicit sign.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

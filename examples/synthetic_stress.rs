@@ -1,6 +1,8 @@
 //! Generate synthetic workflows (Appendix D) and verify the benchmark
 //! properties on them through [`Engine::check_all`], printing a small
-//! stress-test report.
+//! stress-test report — then re-verify the hardest property with a
+//! multi-threaded search (`search_threads`) and confirm the verdict and
+//! witness are identical to the sequential run.
 //!
 //! Run with `cargo run --release --example synthetic_stress`.
 
@@ -23,6 +25,7 @@ fn main() -> Result<(), VerifasError> {
         },
         ..VerifierOptions::default()
     };
+    let mut hardest: Option<(HasSpec, LtlFoProperty, usize)> = None;
     for spec in &specs {
         let complexity = cyclomatic_complexity(spec);
         let name = spec.name.clone();
@@ -34,8 +37,15 @@ fn main() -> Result<(), VerifasError> {
         let mut verified = 0;
         let mut violated = 0;
         let mut inconclusive = 0;
-        for report in reports {
-            match report?.outcome {
+        for (property, report) in properties.iter().zip(reports) {
+            let report = report?;
+            if hardest
+                .as_ref()
+                .is_none_or(|(_, _, states)| report.stats.states_created > *states)
+            {
+                hardest = Some((spec.clone(), property.clone(), report.stats.states_created));
+            }
+            match report.outcome {
                 VerificationOutcome::Satisfied => verified += 1,
                 VerificationOutcome::Violated => violated += 1,
                 VerificationOutcome::Inconclusive => inconclusive += 1,
@@ -51,5 +61,30 @@ fn main() -> Result<(), VerifasError> {
             start.elapsed().as_millis()
         );
     }
+    // The other parallelism knob: expand the frontier of a single hard
+    // search with 4 workers.  The parallel search is deterministic, so
+    // the verdict and witness must match the sequential run exactly.
+    let (spec, property, states) = hardest.expect("some property was verified");
+    println!(
+        "\nhardest single search: {} ({} states) — re-verifying with search_threads = 4",
+        property.name, states
+    );
+    let engine = Engine::load_with_options(spec, options)?;
+    let sequential = engine.check(&property)?;
+    let parallel = engine
+        .verification()
+        .property(&property)
+        .search_threads(4)
+        .run()?;
+    assert_eq!(sequential.outcome, parallel.outcome);
+    assert_eq!(sequential.witness, parallel.witness);
+    println!(
+        "sequential {:?} in {} ms; 4-thread {:?} in {} ms ({} worker(s) reported)",
+        sequential.outcome,
+        sequential.elapsed_ms(),
+        parallel.outcome,
+        parallel.elapsed_ms(),
+        parallel.workers.len()
+    );
     Ok(())
 }

@@ -93,7 +93,7 @@ pub use verifas_workloads as workloads;
 pub use verifas_core::{
     CancelToken, Engine, Phase, ProgressEvent, ProgressObserver, SearchLimits, SearchStats,
     VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport, VerifierOptions,
-    Witness, WitnessStep,
+    Witness, WitnessStep, WorkerStats,
 };
 
 /// Everything a typical engine user needs, in one import.
@@ -105,7 +105,7 @@ pub mod prelude {
     pub use verifas_core::{
         CancelToken, CoverageKind, Engine, Phase, ProgressEvent, ProgressObserver, SearchLimits,
         SearchStats, VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport,
-        VerifierOptions, Witness, WitnessStep,
+        VerifierOptions, Witness, WitnessStep, WorkerStats,
     };
     pub use verifas_ltl::{Ltl, LtlFoProperty, PropAtom, PropertyHandle};
     pub use verifas_model::{

@@ -1,0 +1,167 @@
+//! Determinism of the parallel Karp–Miller search: for every workload
+//! (real and synthetic) and every seed, a 4-worker run must return the
+//! same verdict and an identical witness as a sequential run, and a
+//! cancellation fired mid-search must stop every worker.
+//!
+//! The runs are bounded by `max_states` (deterministic) rather than wall
+//! clock, so thread scheduling cannot change where a limited run stops.
+
+use verifas::prelude::*;
+use verifas::workloads::{generate, generate_properties, real_workflows, SyntheticParams};
+
+const SEEDS: std::ops::Range<u64> = 0..8;
+
+fn limits() -> SearchLimits {
+    SearchLimits {
+        // Small enough to keep the full workload × seed sweep fast in
+        // debug builds; limit-stopped runs are themselves an interesting
+        // determinism case (the stop point is a deterministic state
+        // count, never wall clock).
+        max_states: 150,
+        // Effectively unbounded: determinism requires that only the
+        // deterministic state budget can stop a run.
+        max_millis: 600_000,
+    }
+}
+
+fn options(search_threads: usize) -> VerifierOptions {
+    VerifierOptions {
+        search_threads,
+        limits: limits(),
+        ..VerifierOptions::default()
+    }
+}
+
+/// Check one property at 1 and 4 search threads on a shared engine (the
+/// engine's preprocessing cache serves all seeds of one workload).
+fn assert_deterministic(engine: &Engine, property: &LtlFoProperty, context: &str) {
+    let sequential = engine
+        .verification()
+        .property(property)
+        .options(options(1))
+        .run()
+        .expect("sequential run");
+    let parallel = engine
+        .verification()
+        .property(property)
+        .options(options(4))
+        .run()
+        .expect("parallel run");
+    assert_eq!(
+        sequential.outcome, parallel.outcome,
+        "verdict diverged for {context}"
+    );
+    assert_eq!(
+        sequential.witness, parallel.witness,
+        "witness diverged for {context}"
+    );
+    // The searches themselves must be bit-identical, not merely
+    // equivalent: same tree sizes, same pruning, same accelerations.
+    let mut seq_stats = sequential.stats;
+    let mut par_stats = parallel.stats;
+    seq_stats.elapsed_ms = 0;
+    par_stats.elapsed_ms = 0;
+    seq_stats.threads = 0;
+    par_stats.threads = 0;
+    assert_eq!(seq_stats, par_stats, "search stats diverged for {context}");
+}
+
+#[test]
+fn real_workloads_are_deterministic_across_thread_counts() {
+    for spec in real_workflows() {
+        let engine = Engine::load(spec.clone()).expect("workload specs are valid");
+        for seed in SEEDS {
+            let properties = generate_properties(&spec, seed);
+            // One property per seed keeps the suite fast while still
+            // cycling through the whole template set over the seeds.
+            let Some(property) = properties.get(seed as usize % properties.len().max(1)) else {
+                continue;
+            };
+            assert_deterministic(
+                &engine,
+                property,
+                &format!("{}/{} (seed {seed})", spec.name, property.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn synthetic_workloads_are_deterministic_across_thread_counts() {
+    for seed in SEEDS {
+        let Some(spec) = generate(SyntheticParams::small(), seed) else {
+            continue;
+        };
+        let engine = Engine::load(spec.clone()).expect("workload specs are valid");
+        for property in generate_properties(&spec, seed).iter().take(2) {
+            assert_deterministic(
+                &engine,
+                property,
+                &format!("{}/{} (seed {seed})", spec.name, property.name),
+            );
+        }
+    }
+}
+
+/// A `CancelToken` fired mid-search stops all workers: the run returns
+/// (rather than hanging in the pool), reports `cancelled = true`, and did
+/// not exhaust its state budget.
+#[test]
+fn cancellation_mid_search_stops_all_workers() {
+    let spec = real_workflows()
+        .into_iter()
+        .next()
+        .expect("at least one real workload");
+    let engine = Engine::load(spec.clone()).unwrap();
+    // Pick a property whose search is big enough to emit progress events
+    // before finishing (so the cancellation actually lands mid-search).
+    let probe = Engine::load_with_options(
+        spec.clone(),
+        VerifierOptions {
+            limits: SearchLimits {
+                max_states: 3_000,
+                max_millis: 60_000,
+            },
+            ..VerifierOptions::default()
+        },
+    )
+    .unwrap();
+    let properties = generate_properties(&spec, 0);
+    let property = properties
+        .iter()
+        .find(|p| {
+            probe
+                .check(p)
+                .map(|r| r.stats.states_created > 200)
+                .unwrap_or(false)
+        })
+        .expect("some generated property has a sizeable search");
+    let token = CancelToken::new();
+    let trigger = token.clone();
+    let mut observer = move |event: &ProgressEvent| {
+        if matches!(event, ProgressEvent::Progress { .. }) {
+            trigger.cancel();
+        }
+    };
+    let report = engine
+        .verification()
+        .property(property)
+        .options(VerifierOptions {
+            search_threads: 4,
+            limits: SearchLimits {
+                max_states: 1_000_000,
+                max_millis: 600_000,
+            },
+            ..VerifierOptions::default()
+        })
+        .observer(&mut observer)
+        .progress_every(8)
+        .cancel_token(token)
+        .run()
+        .unwrap();
+    assert!(report.cancelled, "the report must record the cancellation");
+    assert!(
+        report.stats.states_created < 1_000_000,
+        "cancellation must stop the search before the state budget"
+    );
+}
