@@ -16,21 +16,34 @@
 //!    runner cannot exhibit parallel speedup and reports it
 //!    informationally instead).
 //!
+//! A fourth gate covers the repeated-reachability post-pass: the
+//! cycle-heavy `cycle_grid` scenario runs to exhaustion and the indexed,
+//! single-pass SCC cycle detection is timed against the retained
+//! O(active²) reference implementation (`--min-repeated-speedup`), with
+//! the parallel edge construction additionally gated on multi-core hosts
+//! (`--min-repeated-parallel-speedup`, self-disabling like gate 3).
+//!
 //! Usage:
 //!
 //! ```text
 //! ci_bench [--quick] [--threads N] [--seed N] [--out PATH]
 //!          [--baseline PATH] [--update-baseline] [--min-speedup X]
+//!          [--min-repeated-speedup X] [--min-repeated-parallel-speedup X]
 //! ```
 
 use std::time::Instant;
+use verifas_core::static_analysis::ConstraintGraph;
 use verifas_core::{
-    Engine as VerifasEngine, Json, SearchLimits, VerificationOutcome, VerificationReport,
-    VerifierOptions,
+    find_infinite_violation_reference, find_infinite_violation_with, CoverageKind,
+    Engine as VerifasEngine, Json, ProductSystem, RepeatedOutcome, SearchControl, SearchLimits,
+    VerificationOutcome, VerificationReport, VerifierOptions,
 };
 use verifas_ltl::LtlFoProperty;
 use verifas_model::HasSpec;
-use verifas_workloads::{generate, generate_properties, real_workflows, SyntheticParams};
+use verifas_workloads::{
+    cycle_grid, cycle_grid_liveness, cycle_torus, generate, generate_properties, real_workflows,
+    SyntheticParams,
+};
 
 struct Args {
     quick: bool,
@@ -40,6 +53,8 @@ struct Args {
     baseline: Option<String>,
     update_baseline: bool,
     min_speedup: Option<f64>,
+    min_repeated_speedup: Option<f64>,
+    min_repeated_parallel_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +66,8 @@ fn parse_args() -> Args {
         baseline: None,
         update_baseline: false,
         min_speedup: None,
+        min_repeated_speedup: None,
+        min_repeated_parallel_speedup: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +84,20 @@ fn parse_args() -> Args {
             "--update-baseline" => args.update_baseline = true,
             "--min-speedup" => {
                 args.min_speedup = Some(value("--min-speedup").parse().expect("--min-speedup"))
+            }
+            "--min-repeated-speedup" => {
+                args.min_repeated_speedup = Some(
+                    value("--min-repeated-speedup")
+                        .parse()
+                        .expect("--min-repeated-speedup"),
+                )
+            }
+            "--min-repeated-parallel-speedup" => {
+                args.min_repeated_parallel_speedup = Some(
+                    value("--min-repeated-parallel-speedup")
+                        .parse()
+                        .expect("--min-repeated-parallel-speedup"),
+                )
             }
             other => panic!("unknown flag {other:?} (see ci_bench source for usage)"),
         }
@@ -214,6 +245,245 @@ struct Row {
     plan_fraction: f64,
 }
 
+/// The repeated-reachability post-pass measurement: a cycle-heavy
+/// scenario run to exhaustion, timed through the retained O(active²)
+/// reference implementation, the indexed single-pass SCC implementation
+/// (sequential) and the same with parallel edge construction.  Post-pass
+/// times are tracked in microseconds — at quick-mode scale the new pass
+/// is sub-millisecond and coarser units would quantize the gate ratios
+/// to noise.
+struct RepeatedRow {
+    name: String,
+    verdict: &'static str,
+    active: usize,
+    edges: usize,
+    sccs: usize,
+    candidate_hit_rate: f64,
+    /// End-to-end times (auxiliary search + post-pass) per arm.
+    reference_millis: f64,
+    seq_millis: f64,
+    par_millis: f64,
+    /// Post-pass (cycle detection) times per arm: for the reference, the
+    /// end-to-end time minus the same sample's search time; for the new
+    /// implementation, the edge-construction plus SCC time it reports.
+    reference_postpass_micros: f64,
+    seq_postpass_micros: f64,
+    par_postpass_micros: f64,
+    /// Post-pass time ratio: reference / sequential single-pass.
+    speedup_vs_reference: f64,
+    /// Post-pass time ratio: sequential / parallel edge construction.
+    parallel_speedup: f64,
+    /// Edge-construction throughput of the sequential single-pass arm
+    /// (the quantity the baseline regression gate compares).
+    edges_per_sec: f64,
+}
+
+/// One timed arm: best-of-N end-to-end and post-pass times — both taken
+/// from the *same* best-end-to-end sample, so a ratio never mixes the
+/// wall clock of one run with the phase split of another — plus that
+/// sample's outcome for the determinism checks.
+struct RepeatedArm {
+    total_millis: f64,
+    postpass_micros: f64,
+    outcome: RepeatedOutcome,
+}
+
+/// Time one analysis arm (one warm-up, then `samples` timed runs, keep
+/// the fastest).  `postpass` extracts the post-pass time in microseconds
+/// from a finished run and its wall-clock milliseconds.
+fn time_repeated(
+    samples: usize,
+    mut run: impl FnMut() -> RepeatedOutcome,
+    postpass: impl Fn(&RepeatedOutcome, f64) -> f64,
+) -> RepeatedArm {
+    let mut best: Option<RepeatedArm> = None;
+    for sample in 0..=samples {
+        let start = Instant::now();
+        let outcome = run();
+        let total_millis = start.elapsed().as_secs_f64() * 1_000.0;
+        if sample == 0 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| total_millis < b.total_millis) {
+            best = Some(RepeatedArm {
+                total_millis,
+                postpass_micros: postpass(&outcome, total_millis),
+                outcome,
+            });
+        }
+    }
+    best.expect("at least one timed sample ran")
+}
+
+/// Measure one cycle-heavy scenario across the three arms.
+fn measure_repeated_scenario(
+    spec: HasSpec,
+    args: &Args,
+    failures: &mut Vec<String>,
+) -> RepeatedRow {
+    let property = cycle_grid_liveness(&spec);
+    let limits = SearchLimits {
+        max_states: 100_000,
+        // The state budget is the only limiter (wall-clock stops would be
+        // scheduling dependent).
+        max_millis: 600_000,
+    };
+    // The same prepared product the engine pipeline would verify: static
+    // analysis applied, artifact relations handled.
+    let mut product = ProductSystem::new(&spec, &property, true).expect("cycle grid is valid");
+    let graph = ConstraintGraph::build(&spec, property.task, &property, &product.task.universe);
+    let removed = graph.non_violating_edges(&product.task.universe);
+    product.set_static_removed(removed);
+    let samples = if args.quick { 1 } else { 3 };
+    // The reference does not track its post-pass separately: subtract the
+    // same sample's search time from its wall clock (the search time is
+    // millisecond-granular, fine against post-passes this size).
+    let reference_postpass = |outcome: &RepeatedOutcome, total_millis: f64| -> f64 {
+        ((total_millis - outcome.stats.elapsed_ms as f64) * 1_000.0).max(1.0)
+    };
+    let cycle_postpass = |outcome: &RepeatedOutcome, _total: f64| -> f64 {
+        let cycle = outcome.cycle.unwrap_or_default();
+        ((cycle.edge_micros + cycle.scc_micros) as f64).max(1.0)
+    };
+    let reference = time_repeated(
+        samples,
+        || {
+            find_infinite_violation_reference(
+                &product,
+                CoverageKind::StrictSubsumption,
+                true,
+                limits,
+            )
+        },
+        reference_postpass,
+    );
+    let seq = time_repeated(
+        samples,
+        || {
+            find_infinite_violation_with(
+                &product,
+                CoverageKind::StrictSubsumption,
+                true,
+                limits,
+                1,
+                &mut SearchControl::default(),
+            )
+        },
+        cycle_postpass,
+    );
+    let par = time_repeated(
+        samples,
+        || {
+            find_infinite_violation_with(
+                &product,
+                CoverageKind::StrictSubsumption,
+                true,
+                limits,
+                args.threads,
+                &mut SearchControl::default(),
+            )
+        },
+        cycle_postpass,
+    );
+    let name = format!("{}/{}", spec.name, property.name);
+    if seq.outcome.stats.limit_reached {
+        failures.push(format!("{name}: scenario did not exhaust its search"));
+    }
+    let prefix = |outcome: &RepeatedOutcome| outcome.violation.as_ref().map(|v| v.prefix.clone());
+    let seq_prefix = prefix(&seq.outcome);
+    if prefix(&par.outcome) != seq_prefix {
+        failures.push(format!(
+            "{name}: witness diverged between 1 and {} threads",
+            args.threads
+        ));
+    }
+    if prefix(&reference.outcome) != seq_prefix {
+        failures.push(format!(
+            "{name}: witness diverged from the reference implementation"
+        ));
+    }
+    let cycle = seq.outcome.cycle.unwrap_or_default();
+    RepeatedRow {
+        verdict: if seq.outcome.violation.is_some() {
+            "violated"
+        } else if seq.outcome.limit_reached {
+            "inconclusive"
+        } else {
+            "satisfied"
+        },
+        name,
+        active: cycle.states,
+        edges: cycle.edges,
+        sccs: cycle.sccs,
+        candidate_hit_rate: cycle.candidate_hit_rate(),
+        reference_millis: reference.total_millis,
+        seq_millis: seq.total_millis,
+        par_millis: par.total_millis,
+        reference_postpass_micros: reference.postpass_micros,
+        seq_postpass_micros: seq.postpass_micros,
+        par_postpass_micros: par.postpass_micros,
+        speedup_vs_reference: reference.postpass_micros / seq.postpass_micros,
+        parallel_speedup: seq.postpass_micros / par.postpass_micros,
+        edges_per_sec: cycle.edges as f64 / (seq.postpass_micros / 1_000_000.0),
+    }
+}
+
+/// The cycle-heavy scenario set: a wide 2D grid where the signature index
+/// filters candidates to almost exactly the true edges (the
+/// speedup-vs-reference showcase), and a high-dimensional torus whose
+/// short value cycles defeat posting-list filtering — the pass falls back
+/// to discrete-group scans there, which is the edge-construction shape
+/// with enough per-source work for parallel workers to show a speedup.
+fn measure_repeated(args: &Args, failures: &mut Vec<String>) -> Vec<RepeatedRow> {
+    let grid = cycle_grid(if args.quick { 12 } else { 16 });
+    let torus = cycle_torus(if args.quick { 5 } else { 6 }, 3);
+    vec![
+        measure_repeated_scenario(grid, args, failures),
+        measure_repeated_scenario(torus, args, failures),
+    ]
+}
+
+fn repeated_json(row: &RepeatedRow) -> Json {
+    Json::Obj(vec![
+        ("name".to_owned(), Json::Str(row.name.clone())),
+        ("verdict".to_owned(), Json::Str(row.verdict.to_owned())),
+        ("active".to_owned(), Json::Num(row.active as f64)),
+        ("edges".to_owned(), Json::Num(row.edges as f64)),
+        ("sccs".to_owned(), Json::Num(row.sccs as f64)),
+        (
+            "candidate_hit_rate".to_owned(),
+            Json::Num(row.candidate_hit_rate),
+        ),
+        (
+            "reference_millis".to_owned(),
+            Json::Num(row.reference_millis),
+        ),
+        ("seq_millis".to_owned(), Json::Num(row.seq_millis)),
+        ("par_millis".to_owned(), Json::Num(row.par_millis)),
+        (
+            "reference_postpass_micros".to_owned(),
+            Json::Num(row.reference_postpass_micros),
+        ),
+        (
+            "seq_postpass_micros".to_owned(),
+            Json::Num(row.seq_postpass_micros),
+        ),
+        (
+            "par_postpass_micros".to_owned(),
+            Json::Num(row.par_postpass_micros),
+        ),
+        (
+            "speedup_vs_reference".to_owned(),
+            Json::Num(row.speedup_vs_reference),
+        ),
+        (
+            "parallel_speedup".to_owned(),
+            Json::Num(row.parallel_speedup),
+        ),
+        ("edges_per_sec".to_owned(), Json::Num(row.edges_per_sec)),
+    ])
+}
+
 fn verdict_name(outcome: VerificationOutcome) -> &'static str {
     match outcome {
         VerificationOutcome::Satisfied => "satisfied",
@@ -222,9 +492,15 @@ fn verdict_name(outcome: VerificationOutcome) -> &'static str {
     }
 }
 
-fn results_json(rows: &[Row], args: &Args, host_parallelism: usize) -> Json {
+fn results_json(
+    rows: &[Row],
+    repeated: &[RepeatedRow],
+    args: &Args,
+    host_parallelism: usize,
+) -> Json {
     Json::Obj(vec![
-        ("schema".to_owned(), Json::Num(1.0)),
+        // Version 2 added the `repeated_reachability` section.
+        ("schema".to_owned(), Json::Num(2.0)),
         ("threads".to_owned(), Json::Num(args.threads as f64)),
         (
             "host_parallelism".to_owned(),
@@ -261,6 +537,10 @@ fn results_json(rows: &[Row], args: &Args, host_parallelism: usize) -> Json {
                     .collect(),
             ),
         ),
+        (
+            "repeated_reachability".to_owned(),
+            Json::Arr(repeated.iter().map(repeated_json).collect()),
+        ),
     ])
 }
 
@@ -272,9 +552,35 @@ fn num_member(value: &Json, key: &str) -> Option<f64> {
 }
 
 /// Compare against the committed baseline; returns the failure messages.
-fn regression_failures(rows: &[Row], baseline: &Json) -> Vec<String> {
+fn regression_failures(rows: &[Row], repeated: &[RepeatedRow], baseline: &Json) -> Vec<String> {
     const TOLERANCE: f64 = 0.7; // fail on a >30% drop
     let mut failures = Vec::new();
+    // The repeated-reachability pass regresses on its edge-construction
+    // throughput (absent from pre-PR-3 baselines: nothing to compare).
+    if let Some(bases) = baseline
+        .get("repeated_reachability")
+        .and_then(Json::as_array)
+    {
+        for row in repeated {
+            let Some(base) = bases
+                .iter()
+                .find(|b| b.get("name").and_then(Json::as_str) == Some(row.name.as_str()))
+            else {
+                continue;
+            };
+            if let Some(reference) = num_member(base, "edges_per_sec") {
+                let current = row.edges_per_sec;
+                if current < reference * TOLERANCE {
+                    failures.push(format!(
+                        "{}: edges_per_sec regressed to {current:.0} (baseline {reference:.0}, \
+                         floor {:.0})",
+                        row.name,
+                        reference * TOLERANCE
+                    ));
+                }
+            }
+        }
+    }
     let Some(scenarios) = baseline.get("scenarios").and_then(Json::as_array) else {
         return vec!["baseline file has no `scenarios` array".to_owned()];
     };
@@ -363,7 +669,24 @@ fn main() {
         );
         rows.push(row);
     }
-    let doc = results_json(&rows, &args, host_parallelism);
+    let repeated = measure_repeated(&args, &mut verdict_failures);
+    for row in &repeated {
+        println!(
+            "  {:<48} {:>12} {:>8} active  post-pass: ref {:>8.1}ms  seq {:>8.1}ms  par {:>8.1}ms  vs-ref {:.1}x  par {:.2}x  (end-to-end {:.0}/{:.0}/{:.0}ms)",
+            row.name,
+            row.verdict,
+            row.active,
+            row.reference_postpass_micros / 1_000.0,
+            row.seq_postpass_micros / 1_000.0,
+            row.par_postpass_micros / 1_000.0,
+            row.speedup_vs_reference,
+            row.parallel_speedup,
+            row.reference_millis,
+            row.seq_millis,
+            row.par_millis,
+        );
+    }
+    let doc = results_json(&rows, &repeated, &args, host_parallelism);
     std::fs::write(&args.out, format!("{doc}\n")).expect("write results file");
     println!("wrote {}", args.out);
 
@@ -375,6 +698,7 @@ fn main() {
             eprintln!("  {failure}");
         }
     }
+    let mut baseline_cores = 0usize;
     if let Some(path) = &args.baseline {
         if args.update_baseline {
             std::fs::write(path, format!("{doc}\n")).expect("write baseline file");
@@ -387,12 +711,12 @@ fn main() {
                     // against a baseline captured on comparable hardware;
                     // across machine classes the comparison is advisory
                     // until the baseline is refreshed where the job runs.
-                    let baseline_cores = baseline
+                    baseline_cores = baseline
                         .get("host_parallelism")
                         .and_then(Json::as_u64)
                         .unwrap_or(0) as usize;
                     let comparable = baseline_cores == host_parallelism;
-                    let failures = regression_failures(&rows, &baseline);
+                    let failures = regression_failures(&rows, &repeated, &baseline);
                     if !failures.is_empty() && comparable {
                         failed = true;
                         eprintln!("FAIL: >30% throughput regression vs {path}:");
@@ -433,6 +757,65 @@ fn main() {
             println!(
                 "note: host has {host_parallelism} core(s) < {} threads; speedup gate skipped \
                  (best observed {best:.2}x)",
+                args.threads
+            );
+        }
+    }
+    // Both repeated gates apply to the best scenario (mirroring the main
+    // search's best-speedup gate): each scenario showcases one side of the
+    // optimisation — the indexed grid the single-pass win, the scan-heavy
+    // torus the parallel edge construction.
+    let best_vs_reference = repeated
+        .iter()
+        .map(|r| r.speedup_vs_reference)
+        .fold(0.0, f64::max);
+    let best_parallel = repeated
+        .iter()
+        .map(|r| r.parallel_speedup)
+        .fold(0.0, f64::max);
+    if let Some(min) = args.min_repeated_speedup {
+        if best_vs_reference < min {
+            failed = true;
+            eprintln!(
+                "FAIL: repeated-reachability post-pass speedup vs the reference \
+                 implementation is {best_vs_reference:.2}x, below the required {min:.2}x"
+            );
+        } else {
+            println!(
+                "repeated-reachability post-pass speedup vs reference {best_vs_reference:.2}x \
+                 (required {min:.2}x)"
+            );
+        }
+    }
+    if let Some(min) = args.min_repeated_parallel_speedup {
+        if host_parallelism < args.threads {
+            println!(
+                "note: host has {host_parallelism} core(s) < {} threads; repeated parallel \
+                 speedup gate skipped (best observed {best_parallel:.2}x)",
+                args.threads
+            );
+        } else if best_parallel >= min {
+            println!(
+                "repeated-reachability parallel speedup {best_parallel:.2}x \
+                 (required {min:.2}x)"
+            );
+        } else if baseline_cores >= args.threads {
+            // The committed baseline proves a multi-core host has measured
+            // this number before: a miss now is a genuine regression.
+            failed = true;
+            eprintln!(
+                "FAIL: repeated-reachability parallel speedup {best_parallel:.2}x is \
+                 below the required {min:.2}x"
+            );
+        } else {
+            // No multi-core measurement has ever been committed (the
+            // baseline comes from a {baseline_cores}-core host); report
+            // without failing until one is.
+            println!(
+                "warning: repeated-reachability parallel speedup {best_parallel:.2}x is \
+                 below {min:.2}x, but the committed baseline was captured on a \
+                 {baseline_cores}-core host — advisory until the baseline is refreshed \
+                 from a host with at least {} cores",
                 args.threads
             );
         }

@@ -70,6 +70,7 @@ impl BaselineVerifier {
                     }),
                     stats,
                     repeated_stats: None,
+                    repeated_cycle: None,
                     worker_stats: Vec::new(),
                 }
             }
@@ -78,6 +79,7 @@ impl BaselineVerifier {
                 counterexample: None,
                 stats,
                 repeated_stats: None,
+                repeated_cycle: None,
                 worker_stats: Vec::new(),
             },
             SearchOutcome::Exhausted => {
@@ -88,6 +90,7 @@ impl BaselineVerifier {
                     self.limits,
                 );
                 let repeated_stats = Some(repeated.stats);
+                let repeated_cycle = repeated.cycle;
                 if let Some(finite) = repeated.finite_violation {
                     return VerificationResult {
                         outcome: VerificationOutcome::Violated,
@@ -98,6 +101,7 @@ impl BaselineVerifier {
                         }),
                         stats,
                         repeated_stats,
+                        repeated_cycle,
                         worker_stats: Vec::new(),
                     };
                 }
@@ -111,6 +115,7 @@ impl BaselineVerifier {
                         }),
                         stats,
                         repeated_stats,
+                        repeated_cycle,
                         worker_stats: Vec::new(),
                     },
                     None if repeated.limit_reached => VerificationResult {
@@ -118,6 +123,7 @@ impl BaselineVerifier {
                         counterexample: None,
                         stats,
                         repeated_stats,
+                        repeated_cycle,
                         worker_stats: Vec::new(),
                     },
                     None => VerificationResult {
@@ -125,6 +131,7 @@ impl BaselineVerifier {
                         counterexample: None,
                         stats,
                         repeated_stats,
+                        repeated_cycle,
                         worker_stats: Vec::new(),
                     },
                 }

@@ -35,12 +35,19 @@ fn count_value(c: u32) -> i64 {
     }
 }
 
+/// The discrete components of a state (automaton state, child activation,
+/// closed flag).  Two states are comparable under *any* coverage relation
+/// only when their discrete keys are equal, so both the state index and
+/// the repeated-reachability edge construction partition candidates by
+/// this key before running the exact tests.
+pub fn discrete_key(state: &ProductState) -> (usize, u64, bool) {
+    (state.buchi, state.psi.child_active, state.closed)
+}
+
 /// Discrete components (automaton state, child activation, closed flag)
 /// must match exactly for any coverage relation.
 fn discrete_match(covered: &ProductState, covering: &ProductState) -> bool {
-    covered.buchi == covering.buchi
-        && covered.psi.child_active == covering.psi.child_active
-        && covered.closed == covering.closed
+    discrete_key(covered) == discrete_key(covering)
 }
 
 /// `true` iff `covering` covers `covered` under the given order

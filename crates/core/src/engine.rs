@@ -373,10 +373,13 @@ impl<'e, 'o> VerificationBuilder<'e, 'o> {
         self
     }
 
-    /// Number of worker threads expanding the search frontier of this one
-    /// request (1 = sequential, 0 = one per available core).  The verdict
-    /// and witness are deterministic regardless of this setting; see the
-    /// "Parallel execution" notes on `verifas_core::search`.
+    /// Number of worker threads for this one request: they expand the
+    /// search frontier of both phases and build the edges of the
+    /// repeated-reachability cycle detection (1 = sequential, 0 = one per
+    /// available core).  The verdict and witness are deterministic
+    /// regardless of this setting; see the "Parallel execution" notes on
+    /// `verifas_core::search` and the cycle-detection notes on
+    /// `verifas_core::repeated`.
     pub fn search_threads(mut self, threads: usize) -> Self {
         self.options.search_threads = threads;
         self

@@ -2,10 +2,10 @@
 //!
 //! Every time a new state is produced the search must (1) find the active
 //! states it covers and (2) check whether an active state covers it.  Both
-//! reduce to subset/superset queries over `E(I)` — the set of edges
-//! appearing in the state's type or in any stored type with positive count
-//! — which over-approximate the ≼ tests and cheaply filter the candidates
-//! before the exact (max-flow based) comparison runs.
+//! reduce to subset/superset queries over the state's edge signature (see
+//! [`edge_signature`]: the `=`-edges of its type), which over-approximate
+//! the ≼ tests and cheaply filter the candidates before the exact
+//! (max-flow based) comparison runs.
 //!
 //! The paper uses a Trie for superset queries and inverted lists for subset
 //! queries; this implementation answers both kinds of queries from posting
@@ -41,7 +41,7 @@ type GroupKey = (usize, u64, bool);
 const SHARD_COUNT: usize = 16;
 
 fn group_key(state: &ProductState) -> GroupKey {
-    (state.buchi, state.psi.child_active, state.closed)
+    crate::coverage::discrete_key(state)
 }
 
 fn shard_of(key: &GroupKey) -> usize {
@@ -50,14 +50,36 @@ fn shard_of(key: &GroupKey) -> usize {
     (hasher.finish() as usize) % SHARD_COUNT
 }
 
-/// The edge signature `E(I)` of a state: the edges of its type plus the
-/// edges of every stored type with a positive counter.
-pub fn edge_signature(state: &ProductState, interner: &dyn TypeTable) -> BTreeSet<Edge> {
-    let mut edges: BTreeSet<Edge> = state.psi.pit.edges().iter().copied().collect();
-    for (t, _) in state.psi.counters.iter() {
-        edges.extend(interner.get(t).1.edges().iter().copied());
-    }
-    edges
+/// The edge signature of a state: the `=`-edges of its partial isomorphism
+/// type.
+///
+/// This is the largest signature for which the subset/superset filters are
+/// *sound* (they never drop a true coverage candidate), which the
+/// repeated-reachability cycle detection depends on — a dropped candidate
+/// there would be a missed edge and possibly a missed violation:
+///
+/// * every coverage order requires `covering.pit ⊑ covered.pit`, i.e. the
+///   covering type's closed edge set is a subset of the covered one's, so
+///   its `=`-edges are too;
+/// * `≠`-edges are excluded for cost, not soundness: a canonically closed
+///   type materialises a `≠`-edge against almost every constant of the
+///   universe, so `≠`-postings degenerate to nearly the whole group and a
+///   query over them costs more than the exact tests it filters;
+/// * stored-type edges (of positive counters) are excluded for soundness:
+///   a covering state may hold stored tuples the flow mapping leaves as
+///   slack, whose types — and edges — appear nowhere in the covered state.
+///
+/// Because the filter is sound in both directions, a search run with the
+/// index enabled is bit-identical to one without it.
+pub fn edge_signature(state: &ProductState, _interner: &dyn TypeTable) -> BTreeSet<Edge> {
+    state
+        .psi
+        .pit
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| !e.is_neq())
+        .collect()
 }
 
 #[derive(Debug, Default)]
@@ -96,6 +118,23 @@ impl StateIndex {
     /// An empty index.
     pub fn new() -> Self {
         StateIndex::default()
+    }
+
+    /// Build a compact index over a fixed set of states.
+    ///
+    /// The repeated-reachability post-pass uses this to index the final
+    /// (post-prune) active set by position: unlike the search's live
+    /// index, the result carries no removal tombstones and no inactive
+    /// entries, so candidate queries need no per-hit activity filtering.
+    pub fn over_states<'a, I>(states: I, interner: &dyn TypeTable) -> Self
+    where
+        I: IntoIterator<Item = (usize, &'a ProductState)>,
+    {
+        let index = StateIndex::new();
+        for (id, state) in states {
+            index.insert(id, state, interner);
+        }
+        index
     }
 
     /// The group of a state, if it exists yet.
@@ -139,11 +178,35 @@ impl StateIndex {
     /// signature — the only states that can possibly cover the query under
     /// ≼ (their types are less restrictive).
     pub fn subset_candidates(&self, state: &ProductState, interner: &dyn TypeTable) -> Vec<usize> {
+        self.subset_candidates_bounded(state, interner, usize::MAX)
+            .expect("an unbounded query always returns")
+    }
+
+    /// Like [`StateIndex::subset_candidates`], but gives up (returns
+    /// `None`) when answering would walk more than `budget` posting
+    /// entries.  A query's cost is the total length of the posting lists
+    /// of the query's signature edges; when high-frequency edges make that
+    /// exceed the cost of the caller's coarser fallback (typically a scan
+    /// of the state's whole discrete group), filtering through the index
+    /// is a net loss and the caller should scan instead.
+    pub fn subset_candidates_bounded(
+        &self,
+        state: &ProductState,
+        interner: &dyn TypeTable,
+        budget: usize,
+    ) -> Option<Vec<usize>> {
         let Some(group) = self.group(&group_key(state)) else {
-            return Vec::new();
+            return Some(Vec::new());
         };
         let signature = edge_signature(state, interner);
         let group = group.read().unwrap();
+        let cost: usize = signature
+            .iter()
+            .map(|edge| group.postings.get(edge).map_or(0, Vec::len))
+            .sum();
+        if cost > budget {
+            return None;
+        }
         let mut hits: HashMap<usize, usize> = HashMap::new();
         for edge in &signature {
             if let Some(list) = group.postings.get(edge) {
@@ -163,7 +226,7 @@ impl StateIndex {
         }));
         out.sort_unstable();
         out.dedup();
-        out
+        Some(out)
     }
 
     /// Candidate states whose signature is a *superset* of the query's

@@ -58,6 +58,10 @@ pub use psi::{
     CounterVec, InternTypes, Psi, StoredTypeId, StoredTypeInterner, TypeTable, WorkerInterner,
     OMEGA,
 };
+pub use repeated::{
+    find_infinite_violation, find_infinite_violation_reference, find_infinite_violation_with,
+    CycleStats, InfiniteViolation, RepeatedOutcome,
+};
 pub use report::{VerificationReport, Witness, WitnessStep, REPORT_SCHEMA_VERSION};
 pub use search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats};
 pub use transition::{spec_constants, SymbolicTask};

@@ -60,6 +60,21 @@ pub enum ProgressEvent {
         /// Final statistics of the phase.
         stats: SearchStats,
     },
+    /// Periodic progress of the cycle-detection pass of the
+    /// repeated-reachability analysis: emitted every
+    /// [`SearchControl::progress_every`] active states whose outgoing
+    /// edges of the abstract transition graph have been constructed.
+    /// These events follow the auxiliary search's `PhaseFinished` event
+    /// within [`Phase::RepeatedReachability`] — the post-pass runs on the
+    /// finished search's active set.
+    CycleProgress {
+        /// Which phase (always [`Phase::RepeatedReachability`]).
+        phase: Phase,
+        /// Active states whose outgoing edges have been built so far.
+        states_processed: usize,
+        /// Edges of the abstract transition graph built so far.
+        edges_built: usize,
+    },
 }
 
 /// Observer of verification progress.

@@ -225,10 +225,27 @@ impl ProductSystem {
         state: &ProductState,
         interner: &mut dyn InternTypes,
     ) -> Vec<ProductSuccessor> {
-        if state.closed {
-            return Vec::new();
-        }
         let mut out = Vec::new();
+        self.successors_into(state, interner, &mut out);
+        out
+    }
+
+    /// [`ProductSystem::successors`] writing into a caller-owned buffer.
+    ///
+    /// The buffer is cleared first.  Tight loops that enumerate the
+    /// successors of many states (the repeated-reachability edge
+    /// construction visits every active state) reuse one buffer instead of
+    /// allocating a fresh `Vec` per state.
+    pub fn successors_into(
+        &self,
+        state: &ProductState,
+        interner: &mut dyn InternTypes,
+        out: &mut Vec<ProductSuccessor>,
+    ) {
+        out.clear();
+        if state.closed {
+            return;
+        }
         for (service, psi) in self.task.successors(&state.psi, interner) {
             let closes = self.task.is_own_closing(service);
             for &q in &self.automaton.buchi.transitions[state.buchi] {
@@ -250,7 +267,6 @@ impl ProductSystem {
                 }
             }
         }
-        out
     }
 }
 

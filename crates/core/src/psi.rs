@@ -160,6 +160,16 @@ impl<'a> WorkerInterner<'a> {
         }
     }
 
+    /// A throwaway scratch overlay (worker tag 0) for read-mostly passes
+    /// that never publish their provisional ids — e.g. the
+    /// repeated-reachability edge construction, which interns successor
+    /// types only to run coverage tests and then discards them.  Cheaper
+    /// than cloning the shared table: the overlay starts empty and only
+    /// materialises the types the pass actually discovers.
+    pub fn scratch(base: &'a StoredTypeInterner) -> Self {
+        WorkerInterner::new(base, 0)
+    }
+
     /// Start recording the new types of the next search node.
     pub fn begin_node(&mut self) {
         self.node_new.clear();

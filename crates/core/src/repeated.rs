@@ -17,12 +17,68 @@
 //!
 //! The verifier reports an infinite violation when an *accepting* state is
 //! repeatedly reachable.
+//!
+//! # The cycle-detection pass
+//!
+//! Rule (b) above is a graph analysis over the search's final active set
+//! and is organised as a single pass in four respects:
+//!
+//! 1. **No successor re-enumeration.**  The auxiliary search records, for
+//!    every node it expands, each product successor's observable service
+//!    and pre-acceleration state (see
+//!    `KarpMillerSearch::record_successors`).  Re-running the symbolic
+//!    transition function — condition evaluation plus congruence closure —
+//!    was the dominant cost of the old post-pass; the log replaces it with
+//!    a clone made while the search had the successor in hand anyway.
+//!    The logged states carry only published type ids, so the pass needs
+//!    no interner clone.  Only active nodes a *limit-stopped* search never
+//!    expanded (absent from the log by construction) are enumerated live,
+//!    against a cheap [`WorkerInterner`] scratch overlay — an exhausted
+//!    search, the common case, expands every node.
+//! 2. **Indexed, adaptive coverage candidates.**  With `use_index` set, a
+//!    compact [`StateIndex`] is built over the final (post-prune) active
+//!    set and each successor's covering candidates come from a
+//!    subset-signature query — as long as the query's posting lists are
+//!    shorter than the successor's discrete group, which is always the
+//!    fallback candidate set (only states with equal discrete components
+//!    are ever comparable).  Both filters are sound over-approximations of
+//!    the exact `covers` test, so the resulting edge list is identical
+//!    with the index on or off.
+//! 3. **Parallel edge construction.**  With `threads > 1`, workers claim
+//!    chunks of the active set from a shared cursor and compute candidate
+//!    edges against the frozen search.  Results are keyed by active-set
+//!    position, so the merged edge list — and therefore the verdict, the
+//!    witness and the [`CycleStats`] — is bit-identical for every thread
+//!    count.
+//! 4. **One SCC pass instead of one DFS per accepting state.**  A state
+//!    lies on a cycle iff its strongly connected component has size > 1 or
+//!    it has a self-loop, so a single Tarjan pass over the abstract graph
+//!    answers the question for *all* accepting states at once — O(V + E)
+//!    where the per-state DFS walk was O(A · (V + E)) — and its SCC
+//!    structure yields a concrete cycle for the violation's
+//!    [`InfiniteViolation::reason`].
+//!
+//! The pass polls [`SearchControl::should_stop`] at a bounded interval and
+//! emits [`ProgressEvent::CycleProgress`] events, so a long post-pass is
+//! both observable and cancellable; a run stopped mid-construction skips
+//! the (then unsound) cycle check and reports itself as limit-reached and
+//! cancelled.  The pre-index O(active²) implementation is kept as
+//! [`find_infinite_violation_reference`] for differential tests and the
+//! `ci_bench` speedup measurement.
 
-use crate::coverage::{covers, CoverageKind};
-use crate::observer::{Phase, SearchControl};
-use crate::product::ProductSystem;
-use crate::psi::OMEGA;
-use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats};
+use crate::coverage::{covers, discrete_key, CoverageKind};
+use crate::index::StateIndex;
+use crate::observer::{Phase, ProgressEvent, SearchControl};
+use crate::product::{ProductState, ProductSuccessor, ProductSystem};
+use crate::psi::{StoredTypeInterner, TypeTable, WorkerInterner, OMEGA};
+use crate::search::{
+    merge_worker_stats, KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats,
+};
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 use verifas_model::ServiceRef;
 
 /// Result of the repeated-reachability analysis.
@@ -33,6 +89,57 @@ pub struct InfiniteViolation {
     pub prefix: Vec<ServiceRef>,
     /// Human-readable explanation of why the state repeats.
     pub reason: String,
+}
+
+/// Statistics of the cycle-detection pass (rule (b)) of the
+/// repeated-reachability analysis.
+///
+/// `candidates` counts the exact `covers` tests that ran after candidate
+/// filtering, so `edges as f64 / candidates as f64` is the filter's hit
+/// rate (see [`CycleStats::candidate_hit_rate`]).  Everything except the
+/// timing fields and `threads`/`used_index` is deterministic: identical
+/// for every thread count, and — apart from `candidates`, which measures
+/// the filter itself — identical with the index on or off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Vertices of the abstract transition graph (the final active set).
+    pub states: usize,
+    /// Product successors enumerated during edge construction.
+    pub successors: usize,
+    /// Exact `covers` tests run after candidate filtering.
+    pub candidates: usize,
+    /// Edges of the abstract transition graph.
+    pub edges: usize,
+    /// Strongly connected components of the graph.
+    pub sccs: usize,
+    /// States on a cycle (SCC of size > 1, or a self-loop).
+    pub cyclic_states: usize,
+    /// Worker threads the edge construction ran with.
+    pub threads: usize,
+    /// `true` when coverage candidates were filtered through the index.
+    pub used_index: bool,
+    /// Wall-clock time of the edge construction, in microseconds (the
+    /// pass is often sub-millisecond; coarser units would quantize the
+    /// benchmark ratios built on it to noise).
+    pub edge_micros: u64,
+    /// Wall-clock time of the SCC pass, in microseconds.
+    pub scc_micros: u64,
+    /// `false` when cancellation or the deadline stopped the pass before
+    /// the edge list was complete (the cycle check is then skipped and the
+    /// outcome reports `limit_reached`).
+    pub completed: bool,
+}
+
+impl CycleStats {
+    /// Fraction of the filtered candidate pairs that passed the exact
+    /// `covers` test (1.0 when nothing was tested).
+    pub fn candidate_hit_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            1.0
+        } else {
+            self.edges as f64 / self.candidates as f64
+        }
+    }
 }
 
 /// Outcome of the analysis together with the statistics of the underlying
@@ -49,8 +156,13 @@ pub struct RepeatedOutcome {
     /// `true` when the auxiliary search found a finite violation first
     /// (can happen because it explores the same product).
     pub finite_violation: Option<Vec<ServiceRef>>,
-    /// Per-worker statistics of the auxiliary search.
+    /// Per-worker statistics of the auxiliary search and the edge
+    /// construction.
     pub worker_stats: Vec<WorkerStats>,
+    /// Statistics of the cycle-detection pass, when it ran (absent when
+    /// the search found a finite violation or rule (a) already produced
+    /// the answer).
+    pub cycle: Option<CycleStats>,
 }
 
 /// Run the repeated-reachability analysis on a product system.
@@ -75,8 +187,11 @@ pub fn find_infinite_violation(
     )
 }
 
-/// Like [`find_infinite_violation`], but observable and cancellable: the
-/// auxiliary search emits progress events to the control's observer (under
+/// Like [`find_infinite_violation`], but parallel, observable and
+/// cancellable: `threads` workers run both the auxiliary search and the
+/// edge construction of the cycle-detection pass (0 = one per available
+/// core; the result is bit-identical for every thread count), progress
+/// events are emitted to the control's observer (under
 /// [`Phase::RepeatedReachability`]) and both the search and the cycle
 /// detection stop early when the control's token is cancelled or its
 /// deadline passes (the outcome then reports `limit_reached`).
@@ -91,8 +206,608 @@ pub fn find_infinite_violation_with(
     control.phase = Some(Phase::RepeatedReachability);
     let mut search = KarpMillerSearch::new(product, coverage, use_index, limits);
     search.threads = threads;
+    // The cycle-detection pass consumes the successors the search already
+    // enumerated (successor enumeration — symbolic condition evaluation
+    // plus congruence closure — is the dominant cost of re-walking the
+    // active set, and the search has done that work once).
+    search.record_successors = true;
     let outcome = search.run_with(control);
     let mut stats = search.stats;
+    let mut worker_stats = std::mem::take(&mut search.worker_stats);
+    if let SearchOutcome::FiniteViolation(node) = outcome {
+        let prefix = search.trace(node).into_iter().map(|(s, _)| s).collect();
+        return RepeatedOutcome {
+            violation: None,
+            stats,
+            limit_reached: false,
+            finite_violation: Some(prefix),
+            worker_stats,
+            cycle: None,
+        };
+    }
+    let mut limit_reached = outcome == SearchOutcome::LimitReached;
+    let active = search.active_nodes();
+    // Rule (a): an accepting active state with an ω counter is repeatedly
+    // reachable — the acceleration that produced the ω witnesses a cycle.
+    if let Some(&i) = active.iter().find(|&&i| {
+        let node = &search.nodes[i];
+        product.is_accepting(&node.state)
+            && !node.state.closed
+            && node.state.psi.counters.iter().any(|(_, c)| c == OMEGA)
+    }) {
+        let prefix = search.trace(i).into_iter().map(|(s, _)| s).collect();
+        return RepeatedOutcome {
+            violation: Some(InfiniteViolation {
+                prefix,
+                reason: "accepting state with an unbounded (ω) artifact-relation counter"
+                    .to_owned(),
+            }),
+            stats,
+            limit_reached,
+            finite_violation: None,
+            worker_stats,
+            cycle: None,
+        };
+    }
+    // Rule (b): cycle detection over the abstract transition graph of the
+    // active states — indexed candidate filtering, parallel edge
+    // construction, one SCC pass.
+    let workers = stats.threads.max(1);
+    let mut successors = std::mem::take(&mut search.successor_log);
+    // Deterministic apply order already groups the log by parent; the
+    // stable sort makes the per-parent ranges binary-searchable without
+    // relying on that.
+    successors.sort_by_key(|&(parent, _, _)| parent);
+    let (graph, mut cycle, edge_workers) = build_abstract_edges(
+        &search,
+        product,
+        coverage,
+        use_index,
+        &active,
+        &successors,
+        workers,
+        control,
+    );
+    merge_worker_stats(&mut worker_stats, &edge_workers);
+    if !cycle.completed {
+        // Cancellation or the deadline interrupted edge construction: a
+        // cycle check over the partial graph would be unsound (it could
+        // miss edges and report Satisfied), so skip it and report the run
+        // as limit-reached and cancelled.
+        limit_reached = true;
+        stats.limit_reached = true;
+        stats.cancelled = true;
+        return RepeatedOutcome {
+            violation: None,
+            stats,
+            limit_reached,
+            finite_violation: None,
+            worker_stats,
+            cycle: Some(cycle),
+        };
+    }
+    let scc_start = Instant::now();
+    let scc = tarjan_sccs(&graph);
+    let self_loop: Vec<bool> = graph
+        .iter()
+        .enumerate()
+        .map(|(ai, edges)| edges.iter().any(|&(aj, _)| aj == ai))
+        .collect();
+    let on_cycle = |ai: usize| scc.size[scc.id[ai]] > 1 || self_loop[ai];
+    cycle.sccs = scc.size.len();
+    cycle.cyclic_states = (0..graph.len()).filter(|&ai| on_cycle(ai)).count();
+    cycle.scc_micros = scc_start.elapsed().as_micros() as u64;
+    let hit = active.iter().enumerate().find(|&(ai, &i)| {
+        let state = &search.nodes[i].state;
+        product.is_accepting(state) && !state.closed && on_cycle(ai)
+    });
+    if let Some((ai, &i)) = hit {
+        let prefix = search.trace(i).into_iter().map(|(s, _)| s).collect();
+        let looped = cycle_services(ai, &graph, &scc)
+            .iter()
+            .map(|s| product.task.spec.service_name(*s))
+            .collect::<Vec<_>>()
+            .join(" → ");
+        return RepeatedOutcome {
+            violation: Some(InfiniteViolation {
+                prefix,
+                reason: format!(
+                    "accepting state lies on a cycle of the coverability graph (cycle: {looped})"
+                ),
+            }),
+            stats,
+            limit_reached,
+            finite_violation: None,
+            worker_stats,
+            cycle: Some(cycle),
+        };
+    }
+    RepeatedOutcome {
+        violation: None,
+        stats,
+        limit_reached,
+        finite_violation: None,
+        worker_stats,
+        cycle: Some(cycle),
+    }
+}
+
+/// One edge of the abstract transition graph: the target's position in the
+/// active set and the service of the (first) successor that witnessed the
+/// coverage.
+type AbstractEdge = (usize, ServiceRef);
+
+/// How candidate covering states are found for a successor: the discrete
+/// groups of the active set, optionally sharpened by a compact signature
+/// index over it.
+struct Candidates {
+    /// Active positions per discrete key, in ascending order — the coarse
+    /// candidate set (only same-key states are ever comparable), and the
+    /// fallback when an index query would cost more than scanning it.
+    groups: HashMap<(usize, u64, bool), Vec<usize>>,
+    /// Subset-signature index over the final active set (positions as
+    /// ids), when `use_index` is on.
+    index: Option<StateIndex>,
+}
+
+impl Candidates {
+    fn build(
+        use_index: bool,
+        active: &[usize],
+        nodes: &[crate::search::SearchNode],
+        interner: &StoredTypeInterner,
+    ) -> Self {
+        let mut groups: HashMap<(usize, u64, bool), Vec<usize>> = HashMap::new();
+        for (ai, &i) in active.iter().enumerate() {
+            groups
+                .entry(discrete_key(&nodes[i].state))
+                .or_default()
+                .push(ai);
+        }
+        Candidates {
+            groups,
+            index: use_index.then(|| {
+                StateIndex::over_states(
+                    active
+                        .iter()
+                        .enumerate()
+                        .map(|(ai, &i)| (ai, &nodes[i].state)),
+                    interner,
+                )
+            }),
+        }
+    }
+
+    /// Candidate target positions for one successor state, ascending.
+    ///
+    /// With the index on, the subset-signature query runs only while it is
+    /// cheaper than scanning the state's discrete group (its cost is the
+    /// total posting length of the signature's edges); otherwise the group
+    /// scan is the candidate set — the same over-approximation, just
+    /// coarser.
+    fn for_successor<'c>(
+        &'c self,
+        state: &ProductState,
+        interner: &dyn TypeTable,
+    ) -> Cow<'c, [usize]> {
+        let group = self.groups.get(&discrete_key(state));
+        if let (Some(index), Some(group)) = (&self.index, group) {
+            if let Some(hits) = index.subset_candidates_bounded(state, interner, group.len()) {
+                return Cow::Owned(hits);
+            }
+        }
+        group.map_or(Cow::Borrowed(&[]), |g| Cow::Borrowed(g.as_slice()))
+    }
+}
+
+/// Build the abstract transition graph over the active states: one edge
+/// `ai → aj` whenever some successor of `active[ai]` is covered by
+/// `active[aj]`, annotated with the service of the first such successor.
+///
+/// Successors come from the search's successor log (recorded during the
+/// apply phase), so the pass never re-runs the symbolic transition
+/// function.  The construction is chunked into waves of
+/// [`SearchControl::granularity`] source states: within a wave, `workers`
+/// threads claim chunks from a shared cursor and write their per-source
+/// edge lists into per-position slots (so the merged graph is independent
+/// of scheduling); between waves, the coordinating thread emits a
+/// [`ProgressEvent::CycleProgress`] event.  Workers poll
+/// [`SearchControl::should_stop`] per source state; an interrupted pass
+/// returns with `CycleStats::completed == false`.
+#[allow(clippy::too_many_arguments)]
+fn build_abstract_edges(
+    search: &KarpMillerSearch<'_>,
+    product: &ProductSystem,
+    coverage: CoverageKind,
+    use_index: bool,
+    active: &[usize],
+    successors: &[(usize, ServiceRef, ProductState)],
+    workers: usize,
+    control: &mut SearchControl<'_>,
+) -> (Vec<Vec<AbstractEdge>>, CycleStats, Vec<WorkerStats>) {
+    let start = Instant::now();
+    let n = active.len();
+    let mut cycle = CycleStats {
+        states: n,
+        threads: workers,
+        used_index: use_index,
+        completed: true,
+        ..CycleStats::default()
+    };
+    let candidates = Candidates::build(use_index, active, &search.nodes, &search.interner);
+    // The logged successors of each active source, as a range into the
+    // (parent-sorted) log.
+    let ranges: Vec<&[(usize, ServiceRef, ProductState)]> = active
+        .iter()
+        .map(|&i| {
+            let lo = successors.partition_point(|&(p, _, _)| p < i);
+            let hi = successors.partition_point(|&(p, _, _)| p <= i);
+            &successors[lo..hi]
+        })
+        .collect();
+    let phase = control.current_phase();
+    // Sequential waves follow the progress granularity exactly; parallel
+    // waves are floored so each std::thread::scope amortizes its spawns
+    // over real work (progress events then come at wave boundaries, still
+    // a bounded interval).
+    let wave = if workers <= 1 {
+        control.granularity()
+    } else {
+        control.granularity().max(workers * 64)
+    };
+    let mut graph: Vec<Vec<AbstractEdge>> = Vec::with_capacity(n);
+    let mut worker_stats: Vec<WorkerStats> = (0..workers)
+        .map(|worker| WorkerStats {
+            worker,
+            ..WorkerStats::default()
+        })
+        .collect();
+    let mut processed = 0usize;
+    while processed < n {
+        if control.should_stop() {
+            cycle.completed = false;
+            break;
+        }
+        let end = (processed + wave).min(n);
+        let complete = if workers <= 1 || end - processed < 2 * workers {
+            // Small waves run inline: the wave split alone bounds the
+            // cancellation-poll and event-emission intervals.
+            let mut scratch = WorkerInterner::scratch(&search.interner);
+            let mut buffer: Vec<ProductSuccessor> = Vec::new();
+            let t0 = Instant::now();
+            let mut complete = true;
+            #[allow(clippy::needless_range_loop)]
+            for pos in processed..end {
+                if control.should_stop() {
+                    complete = false;
+                    break;
+                }
+                let edges = source_edges(
+                    search,
+                    product,
+                    coverage,
+                    &candidates,
+                    active,
+                    pos,
+                    ranges[pos],
+                    &mut scratch,
+                    &mut buffer,
+                    &mut worker_stats[0],
+                    &mut cycle,
+                );
+                cycle.edges += edges.len();
+                graph.push(edges);
+            }
+            worker_stats[0].busy_micros += t0.elapsed().as_micros() as u64;
+            complete
+        } else {
+            let window = processed..end;
+            let slots: Vec<Mutex<Option<Vec<AbstractEdge>>>> =
+                window.clone().map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            let stopped = AtomicBool::new(false);
+            let chunk = ((end - processed) / (workers * 4)).max(1);
+            let mut wave_stats: Vec<(WorkerStats, CycleStats)> = Vec::with_capacity(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let slots = &slots;
+                        let cursor = &cursor;
+                        let stopped = &stopped;
+                        let candidates = &candidates;
+                        let ranges = &ranges;
+                        let window = window.clone();
+                        let control: &SearchControl<'_> = control;
+                        scope.spawn(move || {
+                            let mut scratch = WorkerInterner::scratch(&search.interner);
+                            let mut buffer: Vec<ProductSuccessor> = Vec::new();
+                            let mut stats = WorkerStats::default();
+                            let mut counts = CycleStats::default();
+                            let t0 = Instant::now();
+                            'steal: loop {
+                                let begin = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                if begin >= window.len() {
+                                    break;
+                                }
+                                let last = (begin + chunk).min(window.len());
+                                #[allow(clippy::needless_range_loop)]
+                                for offset in begin..last {
+                                    if control.should_stop() {
+                                        stopped.store(true, Ordering::Relaxed);
+                                        break 'steal;
+                                    }
+                                    let pos = window.start + offset;
+                                    let edges = source_edges(
+                                        search,
+                                        product,
+                                        coverage,
+                                        candidates,
+                                        active,
+                                        pos,
+                                        ranges[pos],
+                                        &mut scratch,
+                                        &mut buffer,
+                                        &mut stats,
+                                        &mut counts,
+                                    );
+                                    *slots[offset].lock().unwrap() = Some(edges);
+                                }
+                            }
+                            stats.busy_micros = t0.elapsed().as_micros() as u64;
+                            (stats, counts)
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    wave_stats.push(handle.join().expect("edge-construction worker panicked"));
+                }
+            });
+            for (worker, (stats, counts)) in wave_stats.iter().enumerate() {
+                worker_stats[worker].absorb(stats);
+                cycle.successors += counts.successors;
+                cycle.candidates += counts.candidates;
+            }
+            if stopped.load(Ordering::Relaxed) {
+                false
+            } else {
+                // Merge the wave in position order (determinism: the graph
+                // does not depend on which worker produced which slot).
+                for slot in slots {
+                    let edges = slot
+                        .into_inner()
+                        .unwrap()
+                        .expect("every slot of an uninterrupted wave is filled");
+                    cycle.edges += edges.len();
+                    graph.push(edges);
+                }
+                true
+            }
+        };
+        if !complete {
+            cycle.completed = false;
+            break;
+        }
+        processed = end;
+        control.emit(ProgressEvent::CycleProgress {
+            phase,
+            states_processed: processed,
+            edges_built: cycle.edges,
+        });
+    }
+    cycle.edge_micros = start.elapsed().as_micros() as u64;
+    (graph, cycle, worker_stats)
+}
+
+/// The outgoing abstract edges of one source state, ascending by target
+/// position; each target is annotated with the service of the first
+/// successor that it covers.
+///
+/// Successors normally come from the search's log; an active node a
+/// limit-stopped search never expanded has no log entries, so its
+/// successors are enumerated live against a scratch interner overlay
+/// (the old implementation's path, kept for exactly this case — an
+/// exhausted search never takes it).
+#[allow(clippy::too_many_arguments)]
+fn source_edges(
+    search: &KarpMillerSearch<'_>,
+    product: &ProductSystem,
+    coverage: CoverageKind,
+    candidates: &Candidates,
+    active: &[usize],
+    position: usize,
+    successors: &[(usize, ServiceRef, ProductState)],
+    scratch: &mut WorkerInterner<'_>,
+    buffer: &mut Vec<ProductSuccessor>,
+    stats: &mut WorkerStats,
+    counts: &mut CycleStats,
+) -> Vec<AbstractEdge> {
+    let node = &search.nodes[active[position]];
+    stats.nodes_planned += 1;
+    if node.state.closed {
+        return Vec::new();
+    }
+    let mut out: Vec<AbstractEdge> = Vec::new();
+    if node.is_expanded() {
+        stats.successors_planned += successors.len();
+        counts.successors += successors.len();
+        for (_, service, succ) in successors {
+            edges_for_successor(
+                search,
+                coverage,
+                candidates,
+                active,
+                *service,
+                succ,
+                &search.interner,
+                &mut out,
+                counts,
+            );
+        }
+    } else {
+        product.successors_into(&node.state, scratch, buffer);
+        stats.successors_planned += buffer.len();
+        counts.successors += buffer.len();
+        for succ in buffer.iter() {
+            edges_for_successor(
+                search,
+                coverage,
+                candidates,
+                active,
+                succ.service,
+                &succ.state,
+                scratch,
+                &mut out,
+                counts,
+            );
+        }
+    }
+    out.sort_unstable_by_key(|&(t, _)| t);
+    out
+}
+
+/// Test one successor against the candidate targets, appending any new
+/// edges (first witness wins).
+#[allow(clippy::too_many_arguments)]
+fn edges_for_successor(
+    search: &KarpMillerSearch<'_>,
+    coverage: CoverageKind,
+    candidates: &Candidates,
+    active: &[usize],
+    service: ServiceRef,
+    succ: &ProductState,
+    table: &dyn TypeTable,
+    out: &mut Vec<AbstractEdge>,
+    counts: &mut CycleStats,
+) {
+    for &aj in candidates.for_successor(succ, table).iter() {
+        if out.iter().any(|&(t, _)| t == aj) {
+            // Already witnessed by an earlier successor; the edge and its
+            // service are fixed by the first witness.
+            continue;
+        }
+        counts.candidates += 1;
+        if covers(coverage, succ, &search.nodes[active[aj]].state, table) {
+            out.push((aj, service));
+        }
+    }
+}
+
+/// The strongly connected components of the abstract graph.
+struct SccResult {
+    /// Component id per vertex.
+    id: Vec<usize>,
+    /// Component sizes, indexed by component id.
+    size: Vec<usize>,
+}
+
+/// Iterative Tarjan over the abstract graph (recursion-free: active sets
+/// can be large and stack depth must not depend on the workload).
+fn tarjan_sccs(graph: &[Vec<AbstractEdge>]) -> SccResult {
+    let n = graph.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut id = vec![UNVISITED; n];
+    let mut components = 0usize;
+    let mut next_index = 0usize;
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        call.push((root, 0));
+        while let Some(&(v, edge)) = call.last() {
+            if edge < graph[v].len() {
+                call.last_mut().expect("frame exists").1 += 1;
+                let (w, _) = graph[v][edge];
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(u, _)) = call.last() {
+                    low[u] = low[u].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack holds the component");
+                        on_stack[w] = false;
+                        id[w] = components;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components += 1;
+                }
+            }
+        }
+    }
+    let mut size = vec![0usize; components];
+    for &component in &id {
+        size[component] += 1;
+    }
+    SccResult { id, size }
+}
+
+/// A concrete cycle through `start` (which must lie on one): the services
+/// of a shortest edge path `start → … → start` inside its SCC, found by a
+/// deterministic BFS over the (position-ordered) edge lists.
+fn cycle_services(start: usize, graph: &[Vec<AbstractEdge>], scc: &SccResult) -> Vec<ServiceRef> {
+    let component = scc.id[start];
+    let mut parent: HashMap<usize, AbstractEdge> = HashMap::new();
+    let mut visited: HashSet<usize> = HashSet::from([start]);
+    let mut queue: VecDeque<usize> = VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        for &(w, service) in &graph[v] {
+            if w == start {
+                // Close the cycle: walk the BFS parents back to `start`.
+                let mut services = vec![service];
+                let mut current = v;
+                while current != start {
+                    let (p, s) = parent[&current];
+                    services.push(s);
+                    current = p;
+                }
+                services.reverse();
+                return services;
+            }
+            if scc.id[w] == component && visited.insert(w) {
+                parent.insert(w, (v, service));
+                queue.push_back(w);
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// The pre-index sequential implementation of the analysis — O(active²)
+/// `covers` tests for edge construction plus one DFS walk per accepting
+/// state — kept verbatim as a differential-testing oracle and as the
+/// baseline of the `ci_bench` repeated-reachability speedup measurement.
+/// New callers should use [`find_infinite_violation`].
+pub fn find_infinite_violation_reference(
+    product: &ProductSystem,
+    coverage: CoverageKind,
+    use_index: bool,
+    limits: SearchLimits,
+) -> RepeatedOutcome {
+    let mut search = KarpMillerSearch::new(product, coverage, use_index, limits);
+    let outcome = search.run();
+    let stats = search.stats;
     let worker_stats = std::mem::take(&mut search.worker_stats);
     if let SearchOutcome::FiniteViolation(node) = outcome {
         let prefix = search.trace(node).into_iter().map(|(s, _)| s).collect();
@@ -102,12 +817,11 @@ pub fn find_infinite_violation_with(
             limit_reached: false,
             finite_violation: Some(prefix),
             worker_stats,
+            cycle: None,
         };
     }
-    let mut limit_reached = outcome == SearchOutcome::LimitReached;
+    let limit_reached = outcome == SearchOutcome::LimitReached;
     let active = search.active_nodes();
-    // Rule (a): an accepting active state with an ω counter is repeatedly
-    // reachable — the acceleration that produced the ω witnesses a cycle.
     for &i in &active {
         let node = &search.nodes[i];
         if product.is_accepting(&node.state)
@@ -125,11 +839,10 @@ pub fn find_infinite_violation_with(
                 limit_reached,
                 finite_violation: None,
                 worker_stats,
+                cycle: None,
             };
         }
     }
-    // Rule (b): cycle detection over the abstract transition graph of the
-    // active states.
     let mut interner = search.interner.clone();
     let n = active.len();
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -138,19 +851,8 @@ pub fn find_infinite_violation_with(
         if state.closed {
             continue;
         }
-        if control.should_stop() {
-            // Record the interruption on the stats too: the report's
-            // `cancelled` flag must distinguish a cancelled/past-deadline
-            // run from a genuinely inconclusive one.
-            limit_reached = true;
-            stats.limit_reached = true;
-            stats.cancelled = true;
-            break;
-        }
         for succ in product.successors(state, &mut interner) {
             for (aj, &j) in active.iter().enumerate() {
-                // Note: use the extended interner — the successor may refer
-                // to stored types that were first interned just above.
                 if covers(coverage, &succ.state, &search.nodes[j].state, &interner) {
                     edges[ai].push(aj);
                 }
@@ -162,7 +864,6 @@ pub fn find_infinite_violation_with(
         if !product.is_accepting(state) || state.closed {
             continue;
         }
-        // Is `ai` on a cycle (reachable from itself)?
         let mut seen = vec![false; n];
         let mut stack: Vec<usize> = edges[ai].clone();
         let mut on_cycle = false;
@@ -188,6 +889,7 @@ pub fn find_infinite_violation_with(
                 limit_reached,
                 finite_violation: None,
                 worker_stats,
+                cycle: None,
             };
         }
     }
@@ -197,12 +899,14 @@ pub fn find_infinite_violation_with(
         limit_reached,
         finite_violation: None,
         worker_stats,
+        cycle: None,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::CancelToken;
     use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
     use verifas_model::schema::attr::data;
     use verifas_model::{
@@ -265,6 +969,12 @@ mod tests {
         );
         assert!(outcome.violation.is_some());
         assert!(!outcome.limit_reached);
+        // The SCC pass ran and found a cycle; the reason names it.
+        let cycle = outcome.cycle.expect("rule (b) ran");
+        assert!(cycle.completed);
+        assert!(cycle.edges > 0);
+        assert!(cycle.cyclic_states > 0);
+        assert!(outcome.violation.unwrap().reason.contains("cycle:"));
     }
 
     #[test]
@@ -287,6 +997,7 @@ mod tests {
         );
         assert!(outcome.violation.is_none());
         assert!(!outcome.limit_reached);
+        assert!(outcome.cycle.is_some_and(|c| c.completed));
     }
 
     #[test]
@@ -336,5 +1047,252 @@ mod tests {
             SearchLimits::default(),
         );
         assert!(outcome.violation.is_none());
+    }
+
+    /// The verdict and the witness prefix agree with the pre-index
+    /// reference implementation, for every combination of coverage order,
+    /// index setting and thread count.
+    #[test]
+    fn agrees_with_the_reference_implementation() {
+        let spec = cycling_spec();
+        for (name, formula, props) in [
+            (
+                "never-done",
+                Ltl::globally(Ltl::not(Ltl::prop(0))),
+                vec![PropAtom::Condition(status_is("Done"))],
+            ),
+            (
+                "never-broken",
+                Ltl::globally(Ltl::not(Ltl::prop(0))),
+                vec![PropAtom::Condition(status_is("Broken"))],
+            ),
+            (
+                "eventually-shipped",
+                Ltl::eventually(Ltl::prop(0)),
+                vec![PropAtom::Condition(status_is("Shipped"))],
+            ),
+        ] {
+            let property = LtlFoProperty::new(name, TaskId::new(0), vec![], formula, props);
+            let product = ProductSystem::new(&spec, &property, true).unwrap();
+            let reference = find_infinite_violation_reference(
+                &product,
+                CoverageKind::StrictSubsumption,
+                true,
+                SearchLimits::default(),
+            );
+            for use_index in [true, false] {
+                for threads in [1, 4] {
+                    let outcome = find_infinite_violation_with(
+                        &product,
+                        CoverageKind::StrictSubsumption,
+                        use_index,
+                        SearchLimits::default(),
+                        threads,
+                        &mut SearchControl::default(),
+                    );
+                    assert_eq!(
+                        reference.violation.is_some(),
+                        outcome.violation.is_some(),
+                        "{name}: verdict diverged (index {use_index}, {threads} threads)"
+                    );
+                    assert_eq!(
+                        reference.violation.as_ref().map(|v| &v.prefix),
+                        outcome.violation.as_ref().map(|v| &v.prefix),
+                        "{name}: witness prefix diverged (index {use_index}, {threads} threads)"
+                    );
+                }
+            }
+        }
+    }
+
+    /// On a limit-stopped auxiliary search the active set can contain
+    /// frontier nodes the search never expanded — their successors are
+    /// absent from the log, and the pass must enumerate them live so it
+    /// still finds every violation the reference (which re-enumerates all
+    /// active states) finds.  Sweep the state budget so the cut lands at
+    /// many different round positions.
+    #[test]
+    fn limit_stopped_searches_agree_with_the_reference() {
+        let spec = cycling_spec();
+        let property = LtlFoProperty::new(
+            "eventually-shipped",
+            TaskId::new(0),
+            vec![],
+            Ltl::eventually(Ltl::prop(0)),
+            vec![PropAtom::Condition(status_is("Shipped"))],
+        );
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let mut violations_on_truncated = 0;
+        for max_states in 2..24 {
+            let limits = SearchLimits {
+                max_states,
+                max_millis: 600_000,
+            };
+            let reference = find_infinite_violation_reference(
+                &product,
+                CoverageKind::StrictSubsumption,
+                true,
+                limits,
+            );
+            for threads in [1, 4] {
+                let outcome = find_infinite_violation_with(
+                    &product,
+                    CoverageKind::StrictSubsumption,
+                    true,
+                    limits,
+                    threads,
+                    &mut SearchControl::default(),
+                );
+                assert_eq!(
+                    reference.violation.as_ref().map(|v| &v.prefix),
+                    outcome.violation.as_ref().map(|v| &v.prefix),
+                    "witness diverged at max_states {max_states} ({threads} threads)"
+                );
+                assert_eq!(reference.limit_reached, outcome.limit_reached);
+            }
+            if reference.limit_reached && reference.violation.is_some() {
+                violations_on_truncated += 1;
+            }
+        }
+        // The sweep must actually exercise the interesting case: a
+        // truncated search whose partial active set already witnesses the
+        // violation.
+        assert!(violations_on_truncated > 0, "sweep never hit the hard case");
+    }
+
+    /// A cancellation firing during edge construction skips the cycle
+    /// check: no violation is reported and the outcome is flagged as
+    /// limit-reached and cancelled (not silently Satisfied).
+    #[test]
+    fn cancellation_during_edge_construction_is_inconclusive() {
+        let spec = cycling_spec();
+        // A property that *is* violated by an infinite run: if the
+        // cancelled pass were to run over the partial edge list, it could
+        // still (unsoundly) claim a verdict; the safe answer is none.
+        let property = LtlFoProperty::new(
+            "eventually-shipped",
+            TaskId::new(0),
+            vec![],
+            Ltl::eventually(Ltl::prop(0)),
+            vec![PropAtom::Condition(status_is("Shipped"))],
+        );
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        // Cancel the moment the post-pass reports its first progress: the
+        // token lands between waves of edge construction.
+        let mut observer = move |event: &ProgressEvent| {
+            if matches!(event, ProgressEvent::CycleProgress { .. }) {
+                trigger.cancel();
+            }
+        };
+        let mut control = SearchControl {
+            observer: Some(&mut observer),
+            cancel: Some(token),
+            progress_every: 1,
+            ..SearchControl::default()
+        };
+        let outcome = find_infinite_violation_with(
+            &product,
+            CoverageKind::StrictSubsumption,
+            true,
+            SearchLimits::default(),
+            1,
+            &mut control,
+        );
+        assert!(
+            outcome.violation.is_none(),
+            "no verdict from a partial graph"
+        );
+        assert!(outcome.limit_reached);
+        assert!(outcome.stats.limit_reached);
+        assert!(outcome.stats.cancelled);
+        let cycle = outcome.cycle.expect("the pass started");
+        assert!(!cycle.completed);
+    }
+
+    /// The post-pass emits `CycleProgress` events under the
+    /// repeated-reachability phase, with monotone counters.
+    #[test]
+    fn cycle_detection_emits_progress_events() {
+        let spec = cycling_spec();
+        let property = LtlFoProperty::new(
+            "never-broken",
+            TaskId::new(0),
+            vec![],
+            Ltl::globally(Ltl::not(Ltl::prop(0))),
+            vec![PropAtom::Condition(status_is("Broken"))],
+        );
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let mut observer = |event: &ProgressEvent| {
+            if let ProgressEvent::CycleProgress {
+                phase,
+                states_processed,
+                edges_built,
+            } = event
+            {
+                assert_eq!(*phase, Phase::RepeatedReachability);
+                seen.push((*states_processed, *edges_built));
+            }
+        };
+        let mut control = SearchControl {
+            observer: Some(&mut observer),
+            progress_every: 1,
+            ..SearchControl::default()
+        };
+        let outcome = find_infinite_violation_with(
+            &product,
+            CoverageKind::StrictSubsumption,
+            true,
+            SearchLimits::default(),
+            1,
+            &mut control,
+        );
+        drop(control);
+        assert!(outcome.cycle.is_some());
+        assert!(!seen.is_empty(), "the pass must be observable");
+        assert!(seen
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    /// The edge construction and SCC statistics are identical across
+    /// thread counts, and identical across index settings except for the
+    /// candidate count (which measures the filter itself).
+    #[test]
+    fn cycle_stats_are_deterministic() {
+        let spec = cycling_spec();
+        let property = LtlFoProperty::new(
+            "eventually-shipped",
+            TaskId::new(0),
+            vec![],
+            Ltl::eventually(Ltl::prop(0)),
+            vec![PropAtom::Condition(status_is("Shipped"))],
+        );
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        let run = |use_index: bool, threads: usize| {
+            let outcome = find_infinite_violation_with(
+                &product,
+                CoverageKind::StrictSubsumption,
+                use_index,
+                SearchLimits::default(),
+                threads,
+                &mut SearchControl::default(),
+            );
+            let mut cycle = outcome.cycle.expect("rule (b) ran");
+            cycle.edge_micros = 0;
+            cycle.scc_micros = 0;
+            cycle.threads = 0;
+            (outcome.violation.map(|v| (v.prefix, v.reason)), cycle)
+        };
+        let baseline = run(true, 1);
+        assert_eq!(baseline, run(true, 4), "thread count changed the result");
+        let (no_index_verdict, no_index_cycle) = run(false, 1);
+        assert_eq!(baseline.0, no_index_verdict, "index changed the verdict");
+        let mut comparable = no_index_cycle;
+        comparable.candidates = baseline.1.candidates;
+        comparable.used_index = baseline.1.used_index;
+        assert_eq!(baseline.1, comparable, "index changed the graph");
     }
 }

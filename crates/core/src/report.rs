@@ -11,6 +11,7 @@
 
 use crate::error::VerifasError;
 use crate::json::Json;
+use crate::repeated::CycleStats;
 use crate::search::{SearchLimits, SearchStats, WorkerStats};
 use crate::verifier::{VerificationOutcome, VerificationResult, VerifierOptions};
 use verifas_model::{HasSpec, ServiceRef, TaskId};
@@ -19,8 +20,9 @@ use verifas_model::{HasSpec, ServiceRef, TaskId};
 ///
 /// Version 2 added the effective thread count ([`SearchStats::threads`],
 /// `VerifierOptions::search_threads`) and the per-worker statistics
-/// (`workers`).
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// (`workers`).  Version 3 added the repeated-reachability cycle-detection
+/// block (`repeated_cycle`, see [`CycleStats`]).
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// One observable service occurrence on a witness path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +62,10 @@ pub struct VerificationReport {
     pub stats: SearchStats,
     /// Statistics of the repeated-reachability phase (when it ran).
     pub repeated_stats: Option<SearchStats>,
+    /// Statistics of the repeated-reachability cycle-detection pass: the
+    /// abstract-graph size, the candidate-filter hit rate and the
+    /// edge-construction/SCC timings (when the pass ran).
+    pub repeated_cycle: Option<CycleStats>,
     /// Per-worker statistics across both phases (empty for sequential
     /// engines that did not track them).
     pub workers: Vec<WorkerStats>,
@@ -102,6 +108,7 @@ impl VerificationReport {
             witness,
             stats: result.stats,
             repeated_stats: result.repeated_stats,
+            repeated_cycle: result.repeated_cycle,
             workers: result.worker_stats,
             options,
             cancelled,
@@ -144,6 +151,13 @@ impl VerificationReport {
                 },
             ),
             (
+                "repeated_cycle".to_owned(),
+                match &self.repeated_cycle {
+                    None => Json::Null,
+                    Some(c) => cycle_stats_to_json(c),
+                },
+            ),
+            (
                 "workers".to_owned(),
                 Json::Arr(self.workers.iter().map(worker_stats_to_json).collect()),
             ),
@@ -179,6 +193,10 @@ impl VerificationReport {
             repeated_stats: match doc.require("repeated_stats")? {
                 Json::Null => None,
                 s => Some(stats_from_json(s)?),
+            },
+            repeated_cycle: match doc.require("repeated_cycle")? {
+                Json::Null => None,
+                c => Some(cycle_stats_from_json(c)?),
             },
             workers: doc
                 .require("workers")?
@@ -340,6 +358,44 @@ fn stats_to_json(stats: &SearchStats) -> Json {
     ])
 }
 
+fn cycle_stats_to_json(stats: &CycleStats) -> Json {
+    Json::Obj(vec![
+        ("states".to_owned(), Json::Num(stats.states as f64)),
+        ("successors".to_owned(), Json::Num(stats.successors as f64)),
+        ("candidates".to_owned(), Json::Num(stats.candidates as f64)),
+        ("edges".to_owned(), Json::Num(stats.edges as f64)),
+        ("sccs".to_owned(), Json::Num(stats.sccs as f64)),
+        (
+            "cyclic_states".to_owned(),
+            Json::Num(stats.cyclic_states as f64),
+        ),
+        ("threads".to_owned(), Json::Num(stats.threads as f64)),
+        ("used_index".to_owned(), Json::Bool(stats.used_index)),
+        (
+            "edge_micros".to_owned(),
+            Json::Num(stats.edge_micros as f64),
+        ),
+        ("scc_micros".to_owned(), Json::Num(stats.scc_micros as f64)),
+        ("completed".to_owned(), Json::Bool(stats.completed)),
+    ])
+}
+
+fn cycle_stats_from_json(value: &Json) -> Result<CycleStats, VerifasError> {
+    Ok(CycleStats {
+        states: u64_member(value, "states")? as usize,
+        successors: u64_member(value, "successors")? as usize,
+        candidates: u64_member(value, "candidates")? as usize,
+        edges: u64_member(value, "edges")? as usize,
+        sccs: u64_member(value, "sccs")? as usize,
+        cyclic_states: u64_member(value, "cyclic_states")? as usize,
+        threads: u64_member(value, "threads")? as usize,
+        used_index: bool_member(value, "used_index")?,
+        edge_micros: u64_member(value, "edge_micros")?,
+        scc_micros: u64_member(value, "scc_micros")?,
+        completed: bool_member(value, "completed")?,
+    })
+}
+
 fn worker_stats_to_json(stats: &WorkerStats) -> Json {
     Json::Obj(vec![
         ("worker".to_owned(), Json::Num(stats.worker as f64)),
@@ -478,6 +534,19 @@ mod tests {
                 ..SearchStats::default()
             },
             repeated_stats: Some(SearchStats::default()),
+            repeated_cycle: Some(CycleStats {
+                states: 9,
+                successors: 21,
+                candidates: 34,
+                edges: 12,
+                sccs: 4,
+                cyclic_states: 6,
+                threads: 4,
+                used_index: true,
+                edge_micros: 2_150,
+                scc_micros: 480,
+                completed: true,
+            }),
             workers: vec![
                 WorkerStats {
                     worker: 0,
@@ -509,7 +578,7 @@ mod tests {
 
     #[test]
     fn missing_members_are_reported_by_name() {
-        let err = VerificationReport::from_json(r#"{"schema":2,"property":"p"}"#).unwrap_err();
+        let err = VerificationReport::from_json(r#"{"schema":3,"property":"p"}"#).unwrap_err();
         match err {
             VerifasError::MalformedReport { reason } => {
                 assert!(reason.contains("task"), "{reason:?}")
@@ -521,7 +590,7 @@ mod tests {
     #[test]
     fn unsupported_schema_versions_are_rejected() {
         let mut report = sample_report().to_json();
-        report = report.replacen("\"schema\":2", "\"schema\":99", 1);
+        report = report.replacen("\"schema\":3", "\"schema\":99", 1);
         assert!(matches!(
             VerificationReport::from_json(&report),
             Err(VerifasError::MalformedReport { .. })

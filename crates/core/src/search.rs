@@ -122,6 +122,19 @@ impl WorkerStats {
     }
 }
 
+/// Fold one pool's per-worker statistics into another, matching entries by
+/// worker index (used to combine the reachability search, the auxiliary
+/// repeated-reachability search and its edge-construction pool into one
+/// per-worker summary).
+pub fn merge_worker_stats(into: &mut Vec<WorkerStats>, from: &[WorkerStats]) {
+    for stats in from {
+        match into.iter_mut().find(|w| w.worker == stats.worker) {
+            Some(w) => w.absorb(stats),
+            None => into.push(*stats),
+        }
+    }
+}
+
 /// Outcome of the search phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchOutcome {
@@ -147,7 +160,21 @@ pub struct SearchNode {
     pub service: ServiceRef,
     /// `false` when the node has been deactivated by the monotone pruning.
     pub active: bool,
+    /// `true` once the apply phase has replayed this node's successors
+    /// (an exhausted search expands every node; a limit-stopped one can
+    /// leave active frontier nodes unexpanded, which the
+    /// repeated-reachability pass must then enumerate itself).
+    expanded: bool,
     children: Vec<usize>,
+}
+
+impl SearchNode {
+    /// Has the apply phase replayed this node's successors?  (An exhausted
+    /// search expands every node; only a limit-stopped one leaves active
+    /// frontier nodes unexpanded.)
+    pub fn is_expanded(&self) -> bool {
+        self.expanded
+    }
 }
 
 /// One speculatively planned successor of a frontier node.
@@ -200,6 +227,18 @@ pub struct KarpMillerSearch<'a> {
     pub stats: SearchStats,
     /// Per-worker statistics of the last run (empty before `run`).
     pub worker_stats: Vec<WorkerStats>,
+    /// When set, the apply phase logs every product successor it replays —
+    /// the parent node, the observable service and the successor state
+    /// *before* ω-acceleration — so the repeated-reachability post-pass
+    /// can build its abstract transition graph without re-enumerating
+    /// successors (enumeration is the dominant cost of that pass).
+    pub(crate) record_successors: bool,
+    /// The log filled when [`KarpMillerSearch::record_successors`] is set,
+    /// in deterministic apply order (grouped by parent, parents ascending).
+    pub(crate) successor_log: Vec<(usize, ServiceRef, ProductState)>,
+    /// Compact the successor log (dropping entries of pruned parents) once
+    /// it reaches this size; doubles after every compaction.
+    log_compact_at: usize,
     index: StateIndex,
 }
 
@@ -222,6 +261,9 @@ impl<'a> KarpMillerSearch<'a> {
             interner: StoredTypeInterner::new(),
             stats: SearchStats::default(),
             worker_stats: Vec::new(),
+            record_successors: false,
+            successor_log: Vec::new(),
+            log_compact_at: 1024,
             index: StateIndex::new(),
         }
     }
@@ -325,6 +367,15 @@ impl<'a> KarpMillerSearch<'a> {
                 }
             }
             frontier = next;
+            // The successor log only serves finally-active parents; drop
+            // entries of pruned nodes once the log doubles past the last
+            // compaction (amortized O(total log) over the whole search).
+            if self.record_successors && self.successor_log.len() >= self.log_compact_at {
+                let nodes = &self.nodes;
+                self.successor_log
+                    .retain(|&(parent, _, _)| nodes[parent].active);
+                self.log_compact_at = (self.successor_log.len() * 2).max(1024);
+            }
         };
         self.stats.states_active = self.nodes.iter().filter(|n| n.active).count();
         self.stats.stored_types = self.interner.len();
@@ -545,6 +596,7 @@ impl<'a> KarpMillerSearch<'a> {
         deactivated_this_round: &mut HashSet<usize>,
         next: &mut Vec<usize>,
     ) -> Option<usize> {
+        self.nodes[id].expanded = true;
         // Publish the node's new stored types in first-intern order; this
         // is what makes the final type numbering (and hence successor
         // enumeration in later rounds) independent of worker scheduling.
@@ -568,6 +620,25 @@ impl<'a> KarpMillerSearch<'a> {
         let speculation_valid = deactivated_this_round.is_disjoint(&ancestors);
         for succ in plan.succs {
             let mut state = succ.state;
+            if self.record_successors {
+                // Log the *raw* successor (pre-acceleration counters): the
+                // repeated-reachability edge tests run on the successors
+                // the product defines, exactly as a re-enumeration would
+                // produce them.
+                self.successor_log.push((
+                    id,
+                    succ.service,
+                    ProductState {
+                        psi: crate::psi::Psi {
+                            pit: state.psi.pit.clone(),
+                            counters: publish(&succ.raw_counters),
+                            child_active: state.psi.child_active,
+                        },
+                        buchi: state.buchi,
+                        closed: state.closed,
+                    },
+                ));
+            }
             let accelerations;
             if speculation_valid {
                 state.psi.counters = publish(&state.psi.counters);
@@ -653,6 +724,7 @@ impl<'a> KarpMillerSearch<'a> {
             parent,
             service,
             active: true,
+            expanded: false,
             children: Vec::new(),
         });
         if let Some(p) = parent {

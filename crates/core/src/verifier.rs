@@ -20,7 +20,7 @@ use crate::coverage::CoverageKind;
 use crate::error::VerifasError;
 use crate::observer::SearchControl;
 use crate::product::ProductSystem;
-use crate::repeated::find_infinite_violation_with;
+use crate::repeated::{find_infinite_violation_with, CycleStats};
 use crate::search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats};
 use crate::static_analysis::ConstraintGraph;
 use verifas_ltl::LtlFoProperty;
@@ -40,10 +40,13 @@ pub struct VerifierOptions {
     pub handle_artifact_relations: bool,
     /// Run the repeated-reachability analysis (Section 3.8).
     pub check_repeated: bool,
-    /// Worker threads expanding the frontier of a single search
-    /// (1 = sequential, 0 = one per available core).  The verdict and the
-    /// witness are deterministic regardless of this setting; see the
-    /// "Parallel execution" notes on [`crate::search`].
+    /// Worker threads of a single verification: they expand the frontier
+    /// of each search phase and build the edges of the
+    /// repeated-reachability cycle detection (1 = sequential, 0 = one per
+    /// available core).  The verdict and the witness are deterministic
+    /// regardless of this setting; see the "Parallel execution" notes on
+    /// [`crate::search`] and the cycle-detection notes on
+    /// [`crate::repeated`].
     pub search_threads: usize,
     /// Resource limits of each search phase.
     pub limits: SearchLimits,
@@ -159,6 +162,9 @@ pub struct VerificationResult {
     pub stats: SearchStats,
     /// Statistics of the repeated-reachability phase (when it ran).
     pub repeated_stats: Option<SearchStats>,
+    /// Statistics of the repeated-reachability cycle-detection pass (when
+    /// it ran; see [`CycleStats`]).
+    pub repeated_cycle: Option<CycleStats>,
     /// Per-worker statistics across both phases (empty for runs made by
     /// engines predating the parallel search).
     pub worker_stats: Vec<WorkerStats>,
@@ -253,6 +259,7 @@ pub fn run_verification(
                 }),
                 stats,
                 repeated_stats: None,
+                repeated_cycle: None,
                 worker_stats,
             }
         }
@@ -261,6 +268,7 @@ pub fn run_verification(
             counterexample: None,
             stats,
             repeated_stats: None,
+            repeated_cycle: None,
             worker_stats,
         },
         SearchOutcome::Exhausted => {
@@ -270,6 +278,7 @@ pub fn run_verification(
                     counterexample: None,
                     stats,
                     repeated_stats: None,
+                    repeated_cycle: None,
                     worker_stats,
                 };
             }
@@ -283,16 +292,11 @@ pub fn run_verification(
                 control,
             );
             let repeated_stats = Some(repeated.stats);
-            // Merge the repeated phase's pool into the per-worker totals
-            // (both phases run with the same worker count, so entries
-            // line up by index).
+            let repeated_cycle = repeated.cycle;
+            // Merge the repeated phase's pools (auxiliary search + edge
+            // construction) into the per-worker totals.
             let mut worker_stats = worker_stats;
-            for stats in repeated.worker_stats {
-                match worker_stats.iter_mut().find(|w| w.worker == stats.worker) {
-                    Some(w) => w.absorb(&stats),
-                    None => worker_stats.push(stats),
-                }
-            }
+            crate::search::merge_worker_stats(&mut worker_stats, &repeated.worker_stats);
             if let Some(finite) = repeated.finite_violation {
                 let description = describe(product, &finite);
                 return VerificationResult {
@@ -304,6 +308,7 @@ pub fn run_verification(
                     }),
                     stats,
                     repeated_stats,
+                    repeated_cycle,
                     worker_stats,
                 };
             }
@@ -323,6 +328,7 @@ pub fn run_verification(
                         }),
                         stats,
                         repeated_stats,
+                        repeated_cycle,
                         worker_stats,
                     }
                 }
@@ -331,6 +337,7 @@ pub fn run_verification(
                     counterexample: None,
                     stats,
                     repeated_stats,
+                    repeated_cycle,
                     worker_stats,
                 },
                 None => VerificationResult {
@@ -338,6 +345,7 @@ pub fn run_verification(
                     counterexample: None,
                     stats,
                     repeated_stats,
+                    repeated_cycle,
                     worker_stats,
                 },
             }

@@ -1,0 +1,115 @@
+//! Cycle-heavy exhausted-search workloads for the repeated-reachability
+//! post-pass.
+//!
+//! The benchmark scenarios of `ci_bench` historically measured the
+//! Karp–Miller search itself; none of them stressed the cycle-detection
+//! pass that runs *after* an exhausted search.  [`cycle_torus`] fills
+//! that gap: `dims` artifact variables each cycle independently over `k`
+//! string values, so the reachable symbolic state space is a `k^dims`
+//! torus of states that the search exhausts quickly — and every one of
+//! them stays active (no state's type implies another's, so nothing is
+//! pruned) and lies on abstract cycles.  Checking the liveness property
+//! of [`cycle_grid_liveness`] (`F (v0 = "goal")`, where `"goal"` is never
+//! reached) forces the repeated-reachability analysis to build the full
+//! abstract transition graph over those active states, which is exactly
+//! the regime where the pre-index O(active²) edge construction dominated
+//! the whole verification.  `ci_bench` uses the two-dimensional
+//! [`cycle_grid`] (wide value cycles keep the signature posting lists
+//! short, so the index filter shines).
+
+use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
+use verifas_model::schema::attr::data;
+use verifas_model::{Condition, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder, Term, VarId};
+
+/// The `i`-th value of a cycling variable.
+fn value(prefix: &str, i: usize) -> String {
+    format!("{prefix}{i}")
+}
+
+/// A `k^dims` torus of symbolic states: `dims` variables each cycle over
+/// `k` values through per-step services, so the exhausted search leaves
+/// ~`k^dims + 1` active states that are all on cycles of the abstract
+/// transition graph.  `dims` and `k` must both be at least 2.
+pub fn cycle_torus(dims: usize, k: usize) -> HasSpec {
+    assert!(dims >= 2, "a torus needs at least two dimensions");
+    assert!(k >= 2, "a cycle needs at least two values");
+    let mut db = DatabaseSchema::new();
+    db.add_relation("R", vec![data("a")]).unwrap();
+    let mut root = TaskBuilder::new("Torus");
+    let vars: Vec<_> = (0..dims).map(|d| root.data_var(format!("v{d}"))).collect();
+    root.service_parts(
+        "enter",
+        Condition::and(
+            vars.iter()
+                .map(|&v| Condition::eq(Term::var(v), Term::Null)),
+        ),
+        Condition::and(
+            vars.iter()
+                .enumerate()
+                .map(|(d, &v)| Condition::eq(Term::var(v), Term::str(value(&format!("v{d}_"), 0)))),
+        ),
+        vec![],
+        None,
+    );
+    for (d, &var) in vars.iter().enumerate() {
+        let prefix = format!("v{d}_");
+        let others: Vec<_> = vars.iter().copied().filter(|&other| other != var).collect();
+        for i in 0..k {
+            root.service_parts(
+                format!("v{d}_step_{i}"),
+                Condition::eq(Term::var(var), Term::str(value(&prefix, i))),
+                Condition::eq(Term::var(var), Term::str(value(&prefix, (i + 1) % k))),
+                // The stepped variable changes; the others keep their
+                // values, which is what makes the state space the full
+                // torus.
+                others.clone(),
+                None,
+            );
+        }
+    }
+    let mut b = SpecBuilder::new(format!("cycle-torus-{dims}x{k}"), db, root.build());
+    b.global_pre(Condition::and(
+        vars.iter()
+            .map(|&v| Condition::eq(Term::var(v), Term::Null)),
+    ));
+    b.build().unwrap()
+}
+
+/// The two-dimensional [`cycle_torus`]: a `k × k` grid of states.
+pub fn cycle_grid(k: usize) -> HasSpec {
+    cycle_torus(2, k)
+}
+
+/// The liveness property `F (x = "goal")` over a [`cycle_grid`] spec.
+///
+/// No run ever reaches `"goal"`, so every infinite run violates the
+/// property: the violation automaton accepts on every reachable state and
+/// the repeated-reachability analysis must find an accepting cycle in the
+/// full abstract transition graph (verdict: Violated, by an infinite run).
+pub fn cycle_grid_liveness(spec: &HasSpec) -> LtlFoProperty {
+    LtlFoProperty::new(
+        "eventually-goal",
+        spec.root(),
+        vec![],
+        Ltl::eventually(Ltl::prop(0)),
+        vec![PropAtom::Condition(Condition::eq(
+            Term::var(VarId::new(0)),
+            Term::str("goal"),
+        ))],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_spec_builds_and_scales_quadratically() {
+        let spec = cycle_grid(4);
+        assert_eq!(spec.name, "cycle-torus-2x4");
+        // enter + k steps per variable.
+        assert_eq!(spec.task(spec.root()).services.len(), 9);
+        let property = cycle_grid_liveness(&spec);
+        assert_eq!(property.name, "eventually-goal");
+    }
+}

@@ -7,13 +7,17 @@
 //! * [`synthetic`] — the Appendix-D random workflow generator,
 //! * [`properties`] — LTL-FO property generation from the Table-4
 //!   templates and the specification's own conditions,
-//! * [`cyclomatic`] — the cyclomatic-complexity metric of Section 4.2.
+//! * [`cyclomatic`] — the cyclomatic-complexity metric of Section 4.2,
+//! * [`cycles`] — cycle-heavy exhausted-search workloads stressing the
+//!   repeated-reachability post-pass.
 
+pub mod cycles;
 pub mod cyclomatic;
 pub mod properties;
 pub mod real;
 pub mod synthetic;
 
+pub use cycles::{cycle_grid, cycle_grid_liveness, cycle_torus};
 pub use cyclomatic::cyclomatic_complexity;
 pub use properties::{candidate_conditions, generate_properties, order_fulfillment_property};
 pub use real::{

@@ -91,9 +91,9 @@ pub use verifas_model as model;
 pub use verifas_workloads as workloads;
 
 pub use verifas_core::{
-    CancelToken, Engine, Phase, ProgressEvent, ProgressObserver, SearchLimits, SearchStats,
-    VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport, VerifierOptions,
-    Witness, WitnessStep, WorkerStats,
+    CancelToken, CycleStats, Engine, Phase, ProgressEvent, ProgressObserver, SearchLimits,
+    SearchStats, VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport,
+    VerifierOptions, Witness, WitnessStep, WorkerStats,
 };
 
 /// Everything a typical engine user needs, in one import.
@@ -103,9 +103,9 @@ pub use verifas_core::{
 /// ```
 pub mod prelude {
     pub use verifas_core::{
-        CancelToken, CoverageKind, Engine, Phase, ProgressEvent, ProgressObserver, SearchLimits,
-        SearchStats, VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport,
-        VerifierOptions, Witness, WitnessStep, WorkerStats,
+        CancelToken, CoverageKind, CycleStats, Engine, Phase, ProgressEvent, ProgressObserver,
+        SearchLimits, SearchStats, VerifasError, VerificationBuilder, VerificationOutcome,
+        VerificationReport, VerifierOptions, Witness, WitnessStep, WorkerStats,
     };
     pub use verifas_ltl::{Ltl, LtlFoProperty, PropAtom, PropertyHandle};
     pub use verifas_model::{

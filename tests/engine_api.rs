@@ -129,6 +129,15 @@ fn observer_events_are_monotone() {
                 assert!(stats.states_created > 0);
                 finished.push(phase);
             }
+            ProgressEvent::CycleProgress { phase, .. } => {
+                // Cycle-detection progress follows the repeated phase's own
+                // search (it runs over the finished search's active set).
+                assert_eq!(phase, Phase::RepeatedReachability);
+                assert!(
+                    started.contains(&Phase::RepeatedReachability),
+                    "cycle progress before the repeated phase started"
+                );
+            }
         }
     }
     assert_eq!(started, finished, "every started phase must finish");

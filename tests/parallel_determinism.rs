@@ -1,13 +1,17 @@
-//! Determinism of the parallel Karp–Miller search: for every workload
-//! (real and synthetic) and every seed, a 4-worker run must return the
-//! same verdict and an identical witness as a sequential run, and a
+//! Determinism of the parallel Karp–Miller search and of the
+//! repeated-reachability post-pass: for every workload (real and
+//! synthetic) and every seed, a 4-worker run must return the same verdict,
+//! an identical witness and bit-identical search/cycle statistics as a
+//! sequential run — with the candidate index on or off — and a
 //! cancellation fired mid-search must stop every worker.
 //!
 //! The runs are bounded by `max_states` (deterministic) rather than wall
 //! clock, so thread scheduling cannot change where a limited run stops.
 
 use verifas::prelude::*;
-use verifas::workloads::{generate, generate_properties, real_workflows, SyntheticParams};
+use verifas::workloads::{
+    cycle_grid, cycle_grid_liveness, generate, generate_properties, real_workflows, SyntheticParams,
+};
 
 const SEEDS: std::ops::Range<u64> = 0..8;
 
@@ -24,46 +28,83 @@ fn limits() -> SearchLimits {
     }
 }
 
-fn options(search_threads: usize) -> VerifierOptions {
+fn options(search_threads: usize, use_index: bool) -> VerifierOptions {
     VerifierOptions {
         search_threads,
+        data_structure_support: use_index,
         limits: limits(),
         ..VerifierOptions::default()
     }
 }
 
-/// Check one property at 1 and 4 search threads on a shared engine (the
-/// engine's preprocessing cache serves all seeds of one workload).
+/// A report's scheduling- and configuration-independent core: verdict,
+/// witness, search stats and repeated-reachability stats (search + cycle
+/// detection), with the timing and configuration-echo fields zeroed.
+fn comparable(
+    report: &VerificationReport,
+) -> (
+    VerificationOutcome,
+    Option<Witness>,
+    SearchStats,
+    Option<SearchStats>,
+    Option<CycleStats>,
+) {
+    let strip = |mut stats: SearchStats| {
+        stats.elapsed_ms = 0;
+        stats.threads = 0;
+        stats
+    };
+    let cycle = report.repeated_cycle.map(|mut cycle| {
+        cycle.edge_micros = 0;
+        cycle.scc_micros = 0;
+        cycle.threads = 0;
+        // `candidates` measures the filter itself (how many exact tests
+        // ran after it), so it legitimately differs between index on and
+        // off; everything else in the block must not.
+        cycle.candidates = 0;
+        cycle.used_index = false;
+        cycle
+    });
+    (
+        report.outcome,
+        report.witness.clone(),
+        strip(report.stats),
+        report.repeated_stats.map(strip),
+        cycle,
+    )
+}
+
+/// Check one property across 1 vs 4 search threads and candidate index on
+/// vs off on a shared engine (the engine's preprocessing cache serves all
+/// seeds of one workload): all four runs must agree bit for bit on the
+/// verdict, the witness and every deterministic statistic — including the
+/// repeated-reachability verdicts, witnesses and edge/SCC stats when the
+/// post-pass runs.
 fn assert_deterministic(engine: &Engine, property: &LtlFoProperty, context: &str) {
-    let sequential = engine
-        .verification()
-        .property(property)
-        .options(options(1))
-        .run()
-        .expect("sequential run");
-    let parallel = engine
-        .verification()
-        .property(property)
-        .options(options(4))
-        .run()
-        .expect("parallel run");
-    assert_eq!(
-        sequential.outcome, parallel.outcome,
-        "verdict diverged for {context}"
-    );
-    assert_eq!(
-        sequential.witness, parallel.witness,
-        "witness diverged for {context}"
-    );
-    // The searches themselves must be bit-identical, not merely
-    // equivalent: same tree sizes, same pruning, same accelerations.
-    let mut seq_stats = sequential.stats;
-    let mut par_stats = parallel.stats;
-    seq_stats.elapsed_ms = 0;
-    par_stats.elapsed_ms = 0;
-    seq_stats.threads = 0;
-    par_stats.threads = 0;
-    assert_eq!(seq_stats, par_stats, "search stats diverged for {context}");
+    let run = |threads: usize, use_index: bool| {
+        engine
+            .verification()
+            .property(property)
+            .options(options(threads, use_index))
+            .run()
+            .unwrap_or_else(|e| panic!("run ({threads} threads, index {use_index}): {e}"))
+    };
+    let baseline = comparable(&run(1, true));
+    for (threads, use_index) in [(4, true), (1, false), (4, false)] {
+        let this = comparable(&run(threads, use_index));
+        assert_eq!(
+            baseline.0, this.0,
+            "verdict diverged for {context} ({threads} threads, index {use_index})"
+        );
+        assert_eq!(
+            baseline.1, this.1,
+            "witness diverged for {context} ({threads} threads, index {use_index})"
+        );
+        assert_eq!(
+            baseline, this,
+            "stats diverged for {context} ({threads} threads, index {use_index})"
+        );
+    }
 }
 
 #[test]
@@ -164,4 +205,38 @@ fn cancellation_mid_search_stops_all_workers() {
         report.stats.states_created < 1_000_000,
         "cancellation must stop the search before the state budget"
     );
+}
+
+/// The cycle-heavy exhausted-search workload runs the whole
+/// repeated-reachability pipeline (large active set, full abstract graph,
+/// SCC pass, infinite-violation witness) and must be deterministic across
+/// thread counts and index settings like everything else — with the
+/// verdict actually coming from the cycle detection.
+#[test]
+fn cycle_heavy_post_pass_is_deterministic() {
+    let spec = cycle_grid(6);
+    let engine = Engine::load(spec.clone()).expect("cycle grid is valid");
+    let property = cycle_grid_liveness(&spec);
+    assert_deterministic(&engine, &property, "cycle-grid/eventually-goal");
+    let report = engine
+        .verification()
+        .property(&property)
+        .options(VerifierOptions {
+            limits: SearchLimits {
+                max_states: 10_000,
+                max_millis: 600_000,
+            },
+            ..VerifierOptions::default()
+        })
+        .run()
+        .unwrap();
+    assert_eq!(report.outcome, VerificationOutcome::Violated);
+    let witness = report.witness.expect("infinite violation has a witness");
+    assert!(!witness.finite);
+    assert!(witness.description.contains("cycle:"));
+    let cycle = report.repeated_cycle.expect("the post-pass ran");
+    assert!(cycle.completed);
+    assert!(cycle.states > 30);
+    assert!(cycle.edges >= cycle.states, "the torus is cycle-heavy");
+    assert!(cycle.cyclic_states > 0);
 }
