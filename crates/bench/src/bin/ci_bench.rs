@@ -23,26 +23,37 @@
 //! the parallel edge construction additionally gated on multi-core hosts
 //! (`--min-repeated-parallel-speedup`, self-disabling like gate 3).
 //!
+//! A fifth gate covers the sharded batch scheduler: the skewed
+//! one-heavy-plus-many-light batch of `skewed_grid` is run end to end
+//! through `Engine::check_all_with` under the flat pool and under the
+//! sharded scheduler (`--min-batch-speedup`, enforced only on hosts with
+//! at least `--threads` cores, like gate 3 — a flat pool leaves the heavy
+//! straggler on one core, the sharded scheduler hands it the whole
+//! budget once the light properties drain).  Per-property verdicts,
+//! witnesses and search sizes must be identical across both policies and
+//! a sequential reference.
+//!
 //! Usage:
 //!
 //! ```text
 //! ci_bench [--quick] [--threads N] [--seed N] [--out PATH]
 //!          [--baseline PATH] [--update-baseline] [--min-speedup X]
 //!          [--min-repeated-speedup X] [--min-repeated-parallel-speedup X]
+//!          [--min-batch-speedup X]
 //! ```
 
 use std::time::Instant;
 use verifas_core::static_analysis::ConstraintGraph;
 use verifas_core::{
-    find_infinite_violation_reference, find_infinite_violation_with, CoverageKind,
-    Engine as VerifasEngine, Json, ProductSystem, RepeatedOutcome, SearchControl, SearchLimits,
-    VerificationOutcome, VerificationReport, VerifierOptions,
+    find_infinite_violation_reference, find_infinite_violation_with, BatchOptions, CoverageKind,
+    Engine as VerifasEngine, Json, ProductSystem, RepeatedOutcome, SchedulePolicy, SearchControl,
+    SearchLimits, VerificationOutcome, VerificationReport, VerifierOptions,
 };
 use verifas_ltl::LtlFoProperty;
 use verifas_model::HasSpec;
 use verifas_workloads::{
     cycle_grid, cycle_grid_liveness, cycle_torus, generate, generate_properties, real_workflows,
-    SyntheticParams,
+    skewed_batch_properties, skewed_grid, SyntheticParams,
 };
 
 struct Args {
@@ -55,6 +66,7 @@ struct Args {
     min_speedup: Option<f64>,
     min_repeated_speedup: Option<f64>,
     min_repeated_parallel_speedup: Option<f64>,
+    min_batch_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +80,7 @@ fn parse_args() -> Args {
         min_speedup: None,
         min_repeated_speedup: None,
         min_repeated_parallel_speedup: None,
+        min_batch_speedup: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -97,6 +110,13 @@ fn parse_args() -> Args {
                     value("--min-repeated-parallel-speedup")
                         .parse()
                         .expect("--min-repeated-parallel-speedup"),
+                )
+            }
+            "--min-batch-speedup" => {
+                args.min_batch_speedup = Some(
+                    value("--min-batch-speedup")
+                        .parse()
+                        .expect("--min-batch-speedup"),
                 )
             }
             other => panic!("unknown flag {other:?} (see ci_bench source for usage)"),
@@ -443,6 +463,114 @@ fn measure_repeated(args: &Args, failures: &mut Vec<String>) -> Vec<RepeatedRow>
     ]
 }
 
+/// The sharded-batch measurement: the skewed one-heavy-plus-many-light
+/// batch of `skewed_grid`, run end to end through `check_all_with` under
+/// the flat pool and the sharded scheduler with the same core budget.
+struct BatchRow {
+    name: String,
+    properties: usize,
+    flat_millis: f64,
+    sharded_millis: f64,
+    /// End-to-end batch time ratio: flat / sharded.
+    speedup: f64,
+    /// Batch throughput of the sharded arm (the quantity the baseline
+    /// regression gate compares).
+    sharded_props_per_sec: f64,
+}
+
+/// Time one batch arm: one warm-up plus `samples` timed runs, keep the
+/// fastest together with its reports (for the determinism cross-check).
+fn time_batch(
+    samples: usize,
+    mut run: impl FnMut() -> Vec<Result<VerificationReport, verifas_core::VerifasError>>,
+) -> (f64, Vec<VerificationReport>) {
+    let mut best: Option<(f64, Vec<VerificationReport>)> = None;
+    for sample in 0..=samples {
+        let start = Instant::now();
+        let reports = run();
+        let millis = start.elapsed().as_secs_f64() * 1_000.0;
+        if sample == 0 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(b, _)| millis < *b) {
+            let reports = reports
+                .into_iter()
+                .map(|r| r.expect("skewed-batch properties verify"))
+                .collect();
+            best = Some((millis, reports));
+        }
+    }
+    best.expect("at least one timed sample ran")
+}
+
+fn measure_batch(args: &Args, failures: &mut Vec<String>) -> BatchRow {
+    let spec = skewed_grid(if args.quick { 12 } else { 16 });
+    let properties = skewed_batch_properties(&spec, 7);
+    let engine = VerifasEngine::load_with_options(
+        spec.clone(),
+        VerifierOptions {
+            limits: SearchLimits {
+                max_states: 100_000,
+                // The state budget is the only limiter (wall-clock stops
+                // would be scheduling dependent).
+                max_millis: 600_000,
+            },
+            ..VerifierOptions::default()
+        },
+    )
+    .expect("skewed grid is valid");
+    let name = format!("{}/skewed-batch", spec.name);
+    let samples = if args.quick { 1 } else { 3 };
+    let batch = |schedule: SchedulePolicy| BatchOptions {
+        batch_threads: args.threads,
+        schedule,
+    };
+    let (flat_millis, flat_reports) = time_batch(samples, || {
+        engine.check_all_with(&properties, batch(SchedulePolicy::Flat))
+    });
+    let (sharded_millis, sharded_reports) = time_batch(samples, || {
+        engine.check_all_with(&properties, batch(SchedulePolicy::Sharded))
+    });
+    // Determinism cross-check: both policies must reproduce a sequential
+    // reference bit for bit (verdict, witness, search size).
+    for (i, property) in properties.iter().enumerate() {
+        let reference = engine.check(property).expect("sequential check succeeds");
+        for (policy, report) in [("flat", &flat_reports[i]), ("sharded", &sharded_reports[i])] {
+            if report.outcome != reference.outcome
+                || report.witness != reference.witness
+                || report.stats.states_created != reference.stats.states_created
+            {
+                failures.push(format!(
+                    "{name}: property {} diverged under {policy} scheduling",
+                    property.name
+                ));
+            }
+        }
+    }
+    BatchRow {
+        name,
+        properties: properties.len(),
+        flat_millis,
+        sharded_millis,
+        speedup: flat_millis / sharded_millis,
+        sharded_props_per_sec: properties.len() as f64 / (sharded_millis / 1_000.0),
+    }
+}
+
+fn batch_json(row: &BatchRow) -> Json {
+    Json::Obj(vec![
+        ("name".to_owned(), Json::Str(row.name.clone())),
+        ("properties".to_owned(), Json::Num(row.properties as f64)),
+        ("flat_millis".to_owned(), Json::Num(row.flat_millis)),
+        ("sharded_millis".to_owned(), Json::Num(row.sharded_millis)),
+        ("speedup".to_owned(), Json::Num(row.speedup)),
+        (
+            "sharded_props_per_sec".to_owned(),
+            Json::Num(row.sharded_props_per_sec),
+        ),
+    ])
+}
+
 fn repeated_json(row: &RepeatedRow) -> Json {
     Json::Obj(vec![
         ("name".to_owned(), Json::Str(row.name.clone())),
@@ -495,12 +623,14 @@ fn verdict_name(outcome: VerificationOutcome) -> &'static str {
 fn results_json(
     rows: &[Row],
     repeated: &[RepeatedRow],
+    batch: &BatchRow,
     args: &Args,
     host_parallelism: usize,
 ) -> Json {
     Json::Obj(vec![
-        // Version 2 added the `repeated_reachability` section.
-        ("schema".to_owned(), Json::Num(2.0)),
+        // Version 2 added the `repeated_reachability` section; version 3
+        // the `batch_sharded` section.
+        ("schema".to_owned(), Json::Num(3.0)),
         ("threads".to_owned(), Json::Num(args.threads as f64)),
         (
             "host_parallelism".to_owned(),
@@ -541,6 +671,7 @@ fn results_json(
             "repeated_reachability".to_owned(),
             Json::Arr(repeated.iter().map(repeated_json).collect()),
         ),
+        ("batch_sharded".to_owned(), batch_json(batch)),
     ])
 }
 
@@ -552,9 +683,31 @@ fn num_member(value: &Json, key: &str) -> Option<f64> {
 }
 
 /// Compare against the committed baseline; returns the failure messages.
-fn regression_failures(rows: &[Row], repeated: &[RepeatedRow], baseline: &Json) -> Vec<String> {
+fn regression_failures(
+    rows: &[Row],
+    repeated: &[RepeatedRow],
+    batch: &BatchRow,
+    baseline: &Json,
+) -> Vec<String> {
     const TOLERANCE: f64 = 0.7; // fail on a >30% drop
     let mut failures = Vec::new();
+    // The sharded batch regresses on its end-to-end throughput (absent
+    // from pre-PR-4 baselines: nothing to compare).
+    if let Some(base) = baseline.get("batch_sharded") {
+        if base.get("name").and_then(Json::as_str) == Some(batch.name.as_str()) {
+            if let Some(reference) = num_member(base, "sharded_props_per_sec") {
+                let current = batch.sharded_props_per_sec;
+                if current < reference * TOLERANCE {
+                    failures.push(format!(
+                        "{}: sharded_props_per_sec regressed to {current:.2} \
+                         (baseline {reference:.2}, floor {:.2})",
+                        batch.name,
+                        reference * TOLERANCE
+                    ));
+                }
+            }
+        }
+    }
     // The repeated-reachability pass regresses on its edge-construction
     // throughput (absent from pre-PR-3 baselines: nothing to compare).
     if let Some(bases) = baseline
@@ -686,7 +839,17 @@ fn main() {
             row.par_millis,
         );
     }
-    let doc = results_json(&rows, &repeated, &args, host_parallelism);
+    let batch = measure_batch(&args, &mut verdict_failures);
+    println!(
+        "  {:<48} {:>12} {:>8} props   batch: flat {:>9.1}ms  sharded {:>9.1}ms  speedup {:.2}x",
+        batch.name,
+        "batch",
+        batch.properties,
+        batch.flat_millis,
+        batch.sharded_millis,
+        batch.speedup,
+    );
+    let doc = results_json(&rows, &repeated, &batch, &args, host_parallelism);
     std::fs::write(&args.out, format!("{doc}\n")).expect("write results file");
     println!("wrote {}", args.out);
 
@@ -716,7 +879,7 @@ fn main() {
                         .and_then(Json::as_u64)
                         .unwrap_or(0) as usize;
                     let comparable = baseline_cores == host_parallelism;
-                    let failures = regression_failures(&rows, &repeated, &baseline);
+                    let failures = regression_failures(&rows, &repeated, &batch, &baseline);
                     if !failures.is_empty() && comparable {
                         failed = true;
                         eprintln!("FAIL: >30% throughput regression vs {path}:");
@@ -817,6 +980,31 @@ fn main() {
                  {baseline_cores}-core host — advisory until the baseline is refreshed \
                  from a host with at least {} cores",
                 args.threads
+            );
+        }
+    }
+    if let Some(min) = args.min_batch_speedup {
+        // Like the main search's speedup gate: a flat pool and a sharded
+        // scheduler are indistinguishable on a host that cannot run the
+        // heavy straggler's search in parallel to begin with.
+        if host_parallelism >= args.threads {
+            if batch.speedup < min {
+                failed = true;
+                eprintln!(
+                    "FAIL: sharded batch speedup {:.2}x is below the required {min:.2}x",
+                    batch.speedup
+                );
+            } else {
+                println!(
+                    "sharded batch speedup {:.2}x (required {min:.2}x)",
+                    batch.speedup
+                );
+            }
+        } else {
+            println!(
+                "note: host has {host_parallelism} core(s) < {} threads; sharded batch \
+                 speedup gate skipped (observed {:.2}x)",
+                args.threads, batch.speedup
             );
         }
     }

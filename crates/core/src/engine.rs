@@ -12,8 +12,13 @@
 //!   options, attach a [`ProgressObserver`], set a deadline or a
 //!   [`CancelToken`], then [`VerificationBuilder::run`],
 //! * [`Engine::check_all`] — verify a batch of properties, building each
-//!   distinct (task, configuration) preprocessing exactly once and fanning
-//!   the per-property product construction and search out across threads.
+//!   distinct (task, configuration) preprocessing exactly once and
+//!   scheduling the per-property searches over the machine through the
+//!   sharded [`Scheduler`] (see [`crate::schedule`]): wide while
+//!   properties are queued, with freed cores reassigned to still-running
+//!   searches through the tail of the batch.  [`Engine::batch`] is the
+//!   builder variant with batch-level knobs ([`BatchOptions`], a
+//!   [`CancelToken`], a streaming result callback).
 //!
 //! Every run returns a structured, serializable
 //! [`VerificationReport`]; every failure is a typed [`VerifasError`].
@@ -45,12 +50,12 @@ use crate::expr::ExprUniverse;
 use crate::observer::{CancelToken, ProgressObserver, SearchControl};
 use crate::product::ProductSystem;
 use crate::report::VerificationReport;
+use crate::schedule::{BatchOptions, Scheduler};
 use crate::search::SearchLimits;
 use crate::static_analysis::ConstraintGraph;
 use crate::transition::{spec_constants, SymbolicTask};
 use crate::verifier::{run_verification, VerifierOptions};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use verifas_ltl::{LtlFoProperty, PropertyHandle};
@@ -177,73 +182,47 @@ impl Engine {
         }
     }
 
-    /// Verify a batch of properties with the engine's default options,
-    /// returning one result per property in input order.
+    /// Verify a batch of properties with the engine's default options and
+    /// the default [`BatchOptions`] (sharded scheduling over one core
+    /// budget per available core), returning one result per property in
+    /// input order.
     ///
     /// The spec-side preprocessing (expression universe, compiled task,
     /// static-analysis graph) is built exactly once per distinct
     /// (task, configuration) key — see [`crate::counters`] — and the
-    /// per-property product construction and search fan out across
-    /// `min(#properties, available_parallelism)` threads.
+    /// per-property searches are scheduled by [`crate::schedule`]'s
+    /// [`Scheduler`]: wide while properties are queued, then cores freed
+    /// by finished properties are reassigned to still-running searches.
+    /// The per-property results are bit-identical to sequential
+    /// [`Engine::check`] calls regardless of the scheduling.
     pub fn check_all(
         &self,
         properties: &[LtlFoProperty],
     ) -> Vec<Result<VerificationReport, VerifasError>> {
-        // Warm the cache sequentially so every preprocessing is built once
-        // no matter how the worker threads interleave (invalid properties
-        // report their error from the worker instead).
-        for property in properties {
-            let _ = self.warm(property);
+        self.check_all_with(properties, BatchOptions::default())
+    }
+
+    /// [`Engine::check_all`] under explicit [`BatchOptions`] (core budget
+    /// and scheduling policy).
+    pub fn check_all_with(
+        &self,
+        properties: &[LtlFoProperty],
+        batch: BatchOptions,
+    ) -> Vec<Result<VerificationReport, VerifasError>> {
+        self.batch().batch_options(batch).run(properties)
+    }
+
+    /// Start building one batch verification request: scheduling knobs
+    /// ([`BatchOptions`]), per-request [`VerifierOptions`], a batch-wide
+    /// [`CancelToken`] and a streaming per-property result callback.
+    pub fn batch(&self) -> BatchBuilder<'_, '_> {
+        BatchBuilder {
+            engine: self,
+            batch: BatchOptions::default(),
+            options: self.options,
+            cancel: None,
+            on_result: None,
         }
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(properties.len())
-            .max(1);
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<VerificationReport, VerifasError>>>> =
-            properties.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(property) = properties.get(i) else {
-                        break;
-                    };
-                    // A panic in one verification must neither poison the
-                    // whole batch nor abort the process: it becomes a
-                    // typed per-property error.
-                    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.run_request(property, self.options, &mut SearchControl::default())
-                    }))
-                    .unwrap_or_else(|panic| {
-                        Err(VerifasError::Internal {
-                            reason: format!(
-                                "verification worker panicked: {}",
-                                panic_message(panic.as_ref())
-                            ),
-                        })
-                    });
-                    *results[i].lock().unwrap() = Some(report);
-                });
-            }
-        });
-        results
-            .into_iter()
-            .enumerate()
-            .map(|(i, slot)| {
-                let slot = slot
-                    .into_inner()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-                slot.unwrap_or_else(|| {
-                    Err(VerifasError::Internal {
-                        reason: format!(
-                            "no worker thread reported a result for property index {i}"
-                        ),
-                    })
-                })
-            })
-            .collect()
     }
 
     /// Get or build the preprocessing shared by all properties with the
@@ -427,6 +406,145 @@ impl<'e, 'o> VerificationBuilder<'e, 'o> {
         };
         self.engine
             .run_request(&property, self.options, &mut control)
+    }
+}
+
+/// A per-property result callback of a batch run (see
+/// [`BatchBuilder::on_result`]).
+pub type BatchResultCallback<'f> =
+    &'f mut (dyn FnMut(usize, &Result<VerificationReport, VerifasError>) + Send);
+
+/// Builder for one batch verification request (see [`Engine::batch`]).
+pub struct BatchBuilder<'e, 'f> {
+    engine: &'e Engine,
+    batch: BatchOptions,
+    options: VerifierOptions,
+    cancel: Option<CancelToken>,
+    on_result: Option<BatchResultCallback<'f>>,
+}
+
+impl<'e, 'f> BatchBuilder<'e, 'f> {
+    /// Set all scheduling knobs at once.
+    pub fn batch_options(mut self, batch: BatchOptions) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The core budget shared by the whole batch (0 = one per available
+    /// core).
+    pub fn batch_threads(mut self, threads: usize) -> Self {
+        self.batch.batch_threads = threads;
+        self
+    }
+
+    /// How the core budget is spread over the batch (default
+    /// [`crate::schedule::SchedulePolicy::Sharded`]).
+    pub fn schedule(mut self, schedule: crate::schedule::SchedulePolicy) -> Self {
+        self.batch.schedule = schedule;
+        self
+    }
+
+    /// Override the engine's default options for every property of this
+    /// batch.  Under [`crate::schedule::SchedulePolicy::Sharded`] the
+    /// `search_threads` member is ignored — the scheduler owns the core
+    /// budget; under [`crate::schedule::SchedulePolicy::Flat`] it is each
+    /// search's fixed thread count, exactly as in a single request.
+    pub fn options(mut self, options: VerifierOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attach a batch-wide cancellation token: cancelling any clone stops
+    /// every running search at its next state expansion and makes every
+    /// not-yet-started property report `cancelled` immediately.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Stream per-property results as they complete: the callback receives
+    /// the property's batch index and its result, from the worker thread
+    /// that finished it (calls are serialized, but not in index order).
+    /// The final `Vec` is still returned in input order.  A panic in the
+    /// callback is contained — the property's result is kept and the rest
+    /// of the batch proceeds (further callback invocations may be
+    /// skipped).
+    pub fn on_result(mut self, callback: BatchResultCallback<'f>) -> Self {
+        self.on_result = Some(callback);
+        self
+    }
+
+    /// Run the batch, returning one result per property in input order.
+    pub fn run(
+        self,
+        properties: &[LtlFoProperty],
+    ) -> Vec<Result<VerificationReport, VerifasError>> {
+        let engine = self.engine;
+        let options = self.options;
+        // Warm the cache sequentially so every preprocessing is built once
+        // no matter how the worker threads interleave (invalid properties
+        // report their error from the worker instead).
+        for property in properties {
+            let _ = engine.warm(property);
+        }
+        if properties.is_empty() {
+            return Vec::new();
+        }
+        let scheduler = Scheduler::new(self.batch, properties.len());
+        let on_result = self.on_result.map(Mutex::new);
+        let outputs = scheduler.run(|index, handle| {
+            let property = &properties[index];
+            // A panic in one verification must neither poison the whole
+            // batch nor abort the process: it becomes a typed per-property
+            // error.
+            let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut control = SearchControl {
+                    cancel: self.cancel.clone(),
+                    thread_budget: handle.budget().cloned(),
+                    ..SearchControl::default()
+                };
+                engine.run_request(property, options, &mut control)
+            }))
+            .unwrap_or_else(|panic| {
+                Err(VerifasError::Internal {
+                    reason: format!(
+                        "verification worker panicked: {}",
+                        panic_message(panic.as_ref())
+                    ),
+                })
+            });
+            if let Some(callback) = &on_result {
+                // The callback is observability only: a panic in user code
+                // must not discard the finished report (the scheduler
+                // would drop the whole slot and misattribute the loss to a
+                // worker failure).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (lock_ignoring_poison(callback))(index, &report)
+                }));
+            }
+            report
+        });
+        outputs
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| match slot {
+                Some((mut report, stats)) => {
+                    if let Ok(report) = &mut report {
+                        report.schedule = Some(stats);
+                    }
+                    report
+                }
+                // The scheduler only leaves a slot empty when the job
+                // closure panicked, and the closure above converts panics
+                // into typed errors itself — but a missing result must
+                // still be a typed error, never a panic of our own.
+                None => Err(VerifasError::Internal {
+                    reason: format!(
+                        "no worker thread reported a result for property index {index}"
+                    ),
+                }),
+            })
+            .collect()
     }
 }
 

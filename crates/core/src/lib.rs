@@ -18,6 +18,8 @@
 //!   acceleration,
 //! * [`repeated`] — repeated reachability for full LTL-FO support
 //!   (Appendix C),
+//! * [`schedule`] — the sharded batch scheduler: adaptive core
+//!   partitioning between batch width and per-search depth,
 //! * [`verifier`] — the user-facing API tying everything together,
 //! * [`baseline`] — the unoptimised baseline standing in for the Spin-based
 //!   verifier of the paper,
@@ -39,6 +41,7 @@ pub mod product;
 pub mod psi;
 pub mod repeated;
 pub mod report;
+pub mod schedule;
 pub mod search;
 pub mod static_analysis;
 pub mod transition;
@@ -47,7 +50,7 @@ pub mod verifier;
 
 pub use baseline::BaselineVerifier;
 pub use coverage::{accelerate, covers, CoverageKind};
-pub use engine::{Engine, VerificationBuilder};
+pub use engine::{BatchBuilder, BatchResultCallback, Engine, VerificationBuilder};
 pub use error::{VerifasError, VALID_OPTIMIZATIONS};
 pub use expr::{ExprHead, ExprId, ExprSort, ExprUniverse};
 pub use json::{Json, JsonError};
@@ -63,6 +66,9 @@ pub use repeated::{
     CycleStats, InfiniteViolation, RepeatedOutcome,
 };
 pub use report::{VerificationReport, Witness, WitnessStep, REPORT_SCHEMA_VERSION};
+pub use schedule::{
+    BatchOptions, OccupancySample, SchedulePolicy, ScheduleStats, Scheduler, ThreadBudget,
+};
 pub use search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats};
 pub use transition::{spec_constants, SymbolicTask};
 #[allow(deprecated)]

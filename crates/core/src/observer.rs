@@ -19,6 +19,7 @@
 //! `Inconclusive`, or `Violated` when a violation was already in hand —
 //! with [`crate::search::SearchStats::cancelled`] set.
 
+use crate::schedule::ThreadBudget;
 use crate::search::SearchStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -146,6 +147,13 @@ pub struct SearchControl<'o> {
     pub progress_every: usize,
     /// The phase label attached to emitted events.
     pub phase: Option<Phase>,
+    /// A dynamic thread budget installed by the batch
+    /// [`crate::schedule::Scheduler`].  When set, it overrides the
+    /// configured `search_threads`: the search re-polls it at every round
+    /// boundary (and the repeated-reachability edge construction at every
+    /// wave boundary), so a batch can grow or shrink a running search's
+    /// worker pool without changing its result.
+    pub thread_budget: Option<ThreadBudget>,
 }
 
 impl<'o> SearchControl<'o> {
@@ -160,6 +168,16 @@ impl<'o> SearchControl<'o> {
 
     pub(crate) fn current_phase(&self) -> Phase {
         self.phase.unwrap_or(Phase::Reachability)
+    }
+
+    /// The worker count for the next round of parallel work: the live
+    /// value of the installed [`ThreadBudget`], or `configured` when no
+    /// budget governs this run.  Never 0.
+    pub(crate) fn workers_for_round(&self, configured: usize) -> usize {
+        match &self.thread_budget {
+            Some(budget) => budget.current(),
+            None => configured.max(1),
+        }
     }
 
     /// `true` when the run was cancelled or its deadline has passed.

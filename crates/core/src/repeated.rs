@@ -456,18 +456,20 @@ fn build_abstract_edges(
         control.granularity().max(workers * 64)
     };
     let mut graph: Vec<Vec<AbstractEdge>> = Vec::with_capacity(n);
-    let mut worker_stats: Vec<WorkerStats> = (0..workers)
-        .map(|worker| WorkerStats {
-            worker,
-            ..WorkerStats::default()
-        })
-        .collect();
+    let mut worker_stats: Vec<WorkerStats> = Vec::new();
+    crate::search::ensure_worker_slots(&mut worker_stats, workers.max(1));
     let mut processed = 0usize;
     while processed < n {
         if control.should_stop() {
             cycle.completed = false;
             break;
         }
+        // Wave boundary: re-poll the dynamic thread budget, if one is
+        // installed (the merged graph is position-ordered, so the worker
+        // count of a wave cannot change the result).
+        let workers = control.workers_for_round(workers);
+        cycle.threads = cycle.threads.max(workers);
+        crate::search::ensure_worker_slots(&mut worker_stats, workers);
         let end = (processed + wave).min(n);
         let complete = if workers <= 1 || end - processed < 2 * workers {
             // Small waves run inline: the wave split alone bounds the

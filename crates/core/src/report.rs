@@ -12,6 +12,7 @@
 use crate::error::VerifasError;
 use crate::json::Json;
 use crate::repeated::CycleStats;
+use crate::schedule::{OccupancySample, SchedulePolicy, ScheduleStats};
 use crate::search::{SearchLimits, SearchStats, WorkerStats};
 use crate::verifier::{VerificationOutcome, VerificationResult, VerifierOptions};
 use verifas_model::{HasSpec, ServiceRef, TaskId};
@@ -21,8 +22,11 @@ use verifas_model::{HasSpec, ServiceRef, TaskId};
 /// Version 2 added the effective thread count ([`SearchStats::threads`],
 /// `VerifierOptions::search_threads`) and the per-worker statistics
 /// (`workers`).  Version 3 added the repeated-reachability cycle-detection
-/// block (`repeated_cycle`, see [`CycleStats`]).
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// block (`repeated_cycle`, see [`CycleStats`]).  Version 4 added the
+/// batch-scheduling block (`schedule`, see [`ScheduleStats`]): the batch's
+/// policy and core budget plus the property's start/finish times and
+/// core-occupancy timeline.
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// One observable service occurrence on a witness path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +73,10 @@ pub struct VerificationReport {
     /// Per-worker statistics across both phases (empty for sequential
     /// engines that did not track them).
     pub workers: Vec<WorkerStats>,
+    /// How this run was scheduled within its batch — policy, core budget
+    /// and the core-occupancy timeline (None for single-property runs,
+    /// which are not batch-scheduled).
+    pub schedule: Option<ScheduleStats>,
     /// The options that were in effect for this run.
     pub options: VerifierOptions,
     /// `true` when the run was stopped by cancellation or a deadline.
@@ -110,6 +118,7 @@ impl VerificationReport {
             repeated_stats: result.repeated_stats,
             repeated_cycle: result.repeated_cycle,
             workers: result.worker_stats,
+            schedule: None,
             options,
             cancelled,
         }
@@ -161,6 +170,13 @@ impl VerificationReport {
                 "workers".to_owned(),
                 Json::Arr(self.workers.iter().map(worker_stats_to_json).collect()),
             ),
+            (
+                "schedule".to_owned(),
+                match &self.schedule {
+                    None => Json::Null,
+                    Some(s) => schedule_stats_to_json(s),
+                },
+            ),
             ("options".to_owned(), options_to_json(&self.options)),
         ];
         members.push(("cancelled".to_owned(), Json::Bool(self.cancelled)));
@@ -205,6 +221,10 @@ impl VerificationReport {
                 .iter()
                 .map(worker_stats_from_json)
                 .collect::<Result<Vec<_>, VerifasError>>()?,
+            schedule: match doc.require("schedule")? {
+                Json::Null => None,
+                s => Some(schedule_stats_from_json(s)?),
+            },
             options: options_from_json(doc.require("options")?)?,
             cancelled: bool_member(&doc, "cancelled")?,
         })
@@ -396,6 +416,71 @@ fn cycle_stats_from_json(value: &Json) -> Result<CycleStats, VerifasError> {
     })
 }
 
+fn schedule_stats_to_json(stats: &ScheduleStats) -> Json {
+    Json::Obj(vec![
+        (
+            "policy".to_owned(),
+            Json::Str(stats.policy.name().to_owned()),
+        ),
+        (
+            "batch_threads".to_owned(),
+            Json::Num(stats.batch_threads as f64),
+        ),
+        (
+            "property_index".to_owned(),
+            Json::Num(stats.property_index as f64),
+        ),
+        ("started_ms".to_owned(), Json::Num(stats.started_ms as f64)),
+        (
+            "finished_ms".to_owned(),
+            Json::Num(stats.finished_ms as f64),
+        ),
+        (
+            "occupancy".to_owned(),
+            Json::Arr(
+                stats
+                    .occupancy
+                    .iter()
+                    .map(|sample| {
+                        Json::Obj(vec![
+                            ("at_ms".to_owned(), Json::Num(sample.at_ms as f64)),
+                            ("threads".to_owned(), Json::Num(sample.threads as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn schedule_stats_from_json(value: &Json) -> Result<ScheduleStats, VerifasError> {
+    let policy = value
+        .require("policy")?
+        .as_str()
+        .and_then(SchedulePolicy::from_name)
+        .ok_or_else(|| malformed("schedule.policy"))?;
+    let occupancy = value
+        .require("occupancy")?
+        .as_array()
+        .ok_or_else(|| malformed("schedule.occupancy"))?
+        .iter()
+        .map(|sample| {
+            Ok(OccupancySample {
+                at_ms: u64_member(sample, "at_ms")?,
+                threads: u64_member(sample, "threads")? as usize,
+            })
+        })
+        .collect::<Result<Vec<_>, VerifasError>>()?;
+    Ok(ScheduleStats {
+        policy,
+        batch_threads: u64_member(value, "batch_threads")? as usize,
+        property_index: u64_member(value, "property_index")? as usize,
+        started_ms: u64_member(value, "started_ms")?,
+        finished_ms: u64_member(value, "finished_ms")?,
+        occupancy,
+    })
+}
+
 fn worker_stats_to_json(stats: &WorkerStats) -> Json {
     Json::Obj(vec![
         ("worker".to_owned(), Json::Num(stats.worker as f64)),
@@ -561,6 +646,23 @@ mod tests {
                     busy_micros: 2_311,
                 },
             ],
+            schedule: Some(ScheduleStats {
+                policy: SchedulePolicy::Sharded,
+                batch_threads: 4,
+                property_index: 2,
+                started_ms: 1,
+                finished_ms: 9,
+                occupancy: vec![
+                    OccupancySample {
+                        at_ms: 1,
+                        threads: 1,
+                    },
+                    OccupancySample {
+                        at_ms: 5,
+                        threads: 4,
+                    },
+                ],
+            }),
             options: VerifierOptions::default(),
             cancelled: false,
         }
@@ -578,7 +680,7 @@ mod tests {
 
     #[test]
     fn missing_members_are_reported_by_name() {
-        let err = VerificationReport::from_json(r#"{"schema":3,"property":"p"}"#).unwrap_err();
+        let err = VerificationReport::from_json(r#"{"schema":4,"property":"p"}"#).unwrap_err();
         match err {
             VerifasError::MalformedReport { reason } => {
                 assert!(reason.contains("task"), "{reason:?}")
@@ -590,7 +692,7 @@ mod tests {
     #[test]
     fn unsupported_schema_versions_are_rejected() {
         let mut report = sample_report().to_json();
-        report = report.replacen("\"schema\":3", "\"schema\":99", 1);
+        report = report.replacen("\"schema\":4", "\"schema\":99", 1);
         assert!(matches!(
             VerificationReport::from_json(&report),
             Err(VerifasError::MalformedReport { .. })

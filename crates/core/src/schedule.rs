@@ -1,0 +1,534 @@
+//! Sharded scheduling of batch verification.
+//!
+//! [`crate::engine::Engine::check_all`] used to hand whole properties to a
+//! flat thread pool: with `C` cores and `N` properties, up to `C`
+//! *sequential* searches ran side by side, and through the tail of a batch
+//! most cores idled while one straggler search ran on a single core.  The
+//! [`Scheduler`] shards the machine between *batch width* and *per-search
+//! depth* instead:
+//!
+//! * while properties are still queued, every running search gets a budget
+//!   of one thread (width first: `C` properties in flight beat one
+//!   `C`-thread search, which never scales perfectly),
+//! * once the queue drains, the scheduler splits the core budget evenly
+//!   across the searches still running, and every time one finishes the
+//!   freed cores are reassigned to the survivors — the last straggler ends
+//!   up with all `C` cores on its one search.
+//!
+//! Budgets are delivered through [`ThreadBudget`] handles: a search polls
+//! its handle at *round boundaries* (see the plan/apply rounds of
+//! [`crate::search`]), which is safe because a round is bit-identical for
+//! every thread count — growing or shrinking the pool between rounds
+//! cannot change the tree, the statistics, the verdict or the witness.
+//! The repeated-reachability edge construction polls the same handle at
+//! its wave boundaries.
+//!
+//! Every budget handle records its occupancy timeline (when it was
+//! resized, and to how many threads); the scheduler folds the timeline
+//! into a per-property [`ScheduleStats`] block that
+//! [`crate::report::VerificationReport`] serializes (schema v4) so a
+//! verification service can see exactly how the machine was shared over
+//! the life of a batch.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How [`crate::engine::Engine::check_all`] spreads a batch over the
+/// machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// The pre-scheduler behaviour: a flat pool of `batch_threads` workers,
+    /// each running whole properties with the per-request
+    /// `VerifierOptions::search_threads` setting (1 by default).  Cores
+    /// freed by finished properties are *not* reassigned.
+    Flat,
+    /// Adaptive core partitioning: wide while properties are queued, then
+    /// freed cores are reassigned to still-running searches so the last
+    /// stragglers run with the whole budget.  The per-request
+    /// `search_threads` setting is ignored — the scheduler owns the
+    /// budget.  Results are bit-identical to [`SchedulePolicy::Flat`] per
+    /// property (verdict, witness, search statistics).
+    #[default]
+    Sharded,
+}
+
+impl SchedulePolicy {
+    /// The policy's serialization name (`"flat"` / `"sharded"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulePolicy::Flat => "flat",
+            SchedulePolicy::Sharded => "sharded",
+        }
+    }
+
+    /// Parse a serialization name produced by [`SchedulePolicy::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "flat" => Some(SchedulePolicy::Flat),
+            "sharded" => Some(SchedulePolicy::Sharded),
+            _ => None,
+        }
+    }
+}
+
+/// Batch-level scheduling knobs of one `check_all` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// The core budget shared by the whole batch (0 = one per available
+    /// core).  Under [`SchedulePolicy::Sharded`] this bounds the *sum* of
+    /// all running searches' thread budgets; under
+    /// [`SchedulePolicy::Flat`] it is the width of the flat pool.
+    pub batch_threads: usize,
+    /// How the budget is spread over the batch.
+    pub schedule: SchedulePolicy,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            batch_threads: 0,
+            schedule: SchedulePolicy::Sharded,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// The flat-pool configuration (the pre-scheduler `check_all`
+    /// behaviour).
+    pub fn flat() -> Self {
+        BatchOptions {
+            schedule: SchedulePolicy::Flat,
+            ..BatchOptions::default()
+        }
+    }
+
+    /// The core budget after resolving the automatic setting.
+    pub fn resolved_threads(&self) -> usize {
+        match self.batch_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// One point of a core-occupancy timeline: from `at_ms` (milliseconds
+/// since the batch started) on, the search ran under a budget of
+/// `threads` worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// Milliseconds since the batch started.
+    pub at_ms: u64,
+    /// The thread budget from this point on.
+    pub threads: usize,
+}
+
+/// A dynamic thread budget, shared between the scheduler (which resizes
+/// it) and one running search (which polls it at round boundaries).
+///
+/// All clones share one value; [`ThreadBudget::current`] never returns 0.
+/// Every effective resize is recorded with a timestamp so the scheduler
+/// can report the search's core-occupancy timeline.
+#[derive(Debug, Clone)]
+pub struct ThreadBudget {
+    shares: Arc<AtomicUsize>,
+    timeline: Arc<Mutex<Vec<OccupancySample>>>,
+    epoch: Instant,
+}
+
+impl ThreadBudget {
+    fn with_epoch(threads: usize, epoch: Instant) -> Self {
+        let threads = threads.max(1);
+        ThreadBudget {
+            shares: Arc::new(AtomicUsize::new(threads)),
+            timeline: Arc::new(Mutex::new(vec![OccupancySample {
+                at_ms: elapsed_ms(epoch),
+                threads,
+            }])),
+            epoch,
+        }
+    }
+
+    /// A budget pinned to `threads` (0 and 1 both mean sequential); useful
+    /// for driving [`crate::search::KarpMillerSearch`] outside a batch.
+    pub fn fixed(threads: usize) -> Self {
+        ThreadBudget::with_epoch(threads, Instant::now())
+    }
+
+    /// The current budget (at least 1).  Searches poll this at round
+    /// boundaries; the round then runs with that many workers.
+    pub fn current(&self) -> usize {
+        self.shares.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Resize the budget (clamped to at least 1).  Running searches pick
+    /// the new value up at their next round boundary.  No-op resizes are
+    /// not recorded in the timeline.
+    pub fn set(&self, threads: usize) {
+        let threads = threads.max(1);
+        // Swap under the timeline lock: concurrent setters must record
+        // their samples in the order the swaps land, or the timeline's
+        // last entry could disagree with `current()`.
+        let mut timeline = lock_ignoring_poison(&self.timeline);
+        if self.shares.swap(threads, Ordering::Relaxed) != threads {
+            timeline.push(OccupancySample {
+                at_ms: elapsed_ms(self.epoch),
+                threads,
+            });
+        }
+    }
+
+    /// The recorded occupancy timeline (always starts with the initial
+    /// budget).
+    pub fn timeline(&self) -> Vec<OccupancySample> {
+        lock_ignoring_poison(&self.timeline).clone()
+    }
+}
+
+/// How one property's verification was scheduled within its batch: the
+/// policy and resolved core budget of the batch, when the property
+/// started and finished (milliseconds since the batch started) and its
+/// core-occupancy timeline.  Scheduling observability only — like
+/// [`crate::search::WorkerStats`], none of it affects the verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// The batch's scheduling policy.
+    pub policy: SchedulePolicy,
+    /// The batch's resolved core budget.
+    pub batch_threads: usize,
+    /// This property's index within the batch.
+    pub property_index: usize,
+    /// When this property's verification started, in milliseconds since
+    /// the batch started.
+    pub started_ms: u64,
+    /// When it finished, in milliseconds since the batch started.
+    pub finished_ms: u64,
+    /// The core-occupancy timeline ([`SchedulePolicy::Sharded`] only;
+    /// empty under [`SchedulePolicy::Flat`], where the budget is the
+    /// per-request `search_threads` for the whole run).
+    pub occupancy: Vec<OccupancySample>,
+}
+
+/// One claimed job of a running batch: its index, and (under
+/// [`SchedulePolicy::Sharded`]) the live [`ThreadBudget`] the scheduler
+/// resizes while the job runs.
+pub struct JobHandle {
+    index: usize,
+    started_ms: u64,
+    budget: Option<ThreadBudget>,
+}
+
+impl JobHandle {
+    /// The job's index within the batch.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The job's dynamic thread budget (None under
+    /// [`SchedulePolicy::Flat`], where the per-request configuration
+    /// rules).
+    pub fn budget(&self) -> Option<&ThreadBudget> {
+        self.budget.as_ref()
+    }
+}
+
+/// Membership of the running set, guarded by the scheduler's mutex: how
+/// many jobs are still queued, and the budgets of the jobs in flight (in
+/// start order, so leftover cores go to the longest-running search —
+/// deterministically, for a deterministic completion order).
+struct ShardState {
+    pending: usize,
+    running: Vec<(usize, ThreadBudget)>,
+}
+
+/// The batch work scheduler (see the module docs).
+///
+/// [`Scheduler::run`] executes one closure invocation per job over
+/// `min(budget, jobs)` worker threads; each invocation receives a
+/// [`JobHandle`] whose [`ThreadBudget`] the scheduler resizes as the batch
+/// drains.  The scheduler is policy-agnostic plumbing: it neither knows
+/// nor cares that the jobs are verifications.
+pub struct Scheduler {
+    threads: usize,
+    policy: SchedulePolicy,
+    epoch: Instant,
+    jobs: usize,
+    state: Mutex<ShardState>,
+}
+
+impl Scheduler {
+    /// A scheduler for `jobs` jobs under the given batch options.
+    pub fn new(options: BatchOptions, jobs: usize) -> Self {
+        Scheduler {
+            threads: options.resolved_threads(),
+            policy: options.schedule,
+            epoch: Instant::now(),
+            jobs,
+            state: Mutex::new(ShardState {
+                pending: jobs,
+                running: Vec::new(),
+            }),
+        }
+    }
+
+    /// The resolved core budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run the scheduler's jobs to completion and return one
+    /// `(result, stats)` pair per job, in job order.  A slot is `None`
+    /// only if the job's closure panicked (the panic is contained;
+    /// remaining jobs still run).  Consumes the scheduler: the job count
+    /// and the width-first pending accounting were fixed at
+    /// [`Scheduler::new`], and a second run would start from a drained
+    /// queue.
+    pub fn run<T, F>(self, run: F) -> Vec<Option<(T, ScheduleStats)>>
+    where
+        T: Send,
+        F: Fn(usize, &JobHandle) -> T + Sync,
+    {
+        let jobs = self.jobs;
+        let workers = self.threads.min(jobs).max(1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(T, ScheduleStats)>>> =
+            (0..jobs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs {
+                        break;
+                    }
+                    let handle = self.start_job(index);
+                    // Contain a panicking job: the budget it held must be
+                    // returned to the pool either way, and one bad job
+                    // must not strand the rest of the batch.
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| run(index, &handle)));
+                    let stats = self.finish_job(&handle);
+                    if let Ok(result) = result {
+                        *lock_ignoring_poison(&slots[index]) = Some((result, stats));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect()
+    }
+
+    /// Claim job `index`: register it in the running set and rebalance.
+    fn start_job(&self, index: usize) -> JobHandle {
+        let started_ms = elapsed_ms(self.epoch);
+        let budget = match self.policy {
+            SchedulePolicy::Flat => None,
+            SchedulePolicy::Sharded => Some(ThreadBudget::with_epoch(1, self.epoch)),
+        };
+        let mut state = lock_ignoring_poison(&self.state);
+        state.pending = state.pending.saturating_sub(1);
+        if let Some(budget) = &budget {
+            state.running.push((index, budget.clone()));
+        }
+        self.rebalance(&mut state);
+        JobHandle {
+            index,
+            started_ms,
+            budget,
+        }
+    }
+
+    /// Retire a finished job: hand its cores to the survivors and build
+    /// its [`ScheduleStats`].
+    fn finish_job(&self, handle: &JobHandle) -> ScheduleStats {
+        if handle.budget.is_some() {
+            let mut state = lock_ignoring_poison(&self.state);
+            state.running.retain(|(index, _)| *index != handle.index);
+            self.rebalance(&mut state);
+        }
+        ScheduleStats {
+            policy: self.policy,
+            batch_threads: self.threads,
+            property_index: handle.index,
+            started_ms: handle.started_ms,
+            finished_ms: elapsed_ms(self.epoch),
+            occupancy: handle
+                .budget
+                .as_ref()
+                .map(ThreadBudget::timeline)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Re-split the core budget over the running set: width first (budget
+    /// 1 each while jobs are still queued — every queued job will get a
+    /// core sooner than a deep search could use it), then an even split
+    /// with the remainder going to the longest-running searches.
+    fn rebalance(&self, state: &mut ShardState) {
+        if self.policy == SchedulePolicy::Flat || state.running.is_empty() {
+            return;
+        }
+        if state.pending > 0 {
+            for (_, budget) in &state.running {
+                budget.set(1);
+            }
+            return;
+        }
+        let base = self.threads / state.running.len();
+        let extra = self.threads % state.running.len();
+        for (position, (_, budget)) in state.running.iter().enumerate() {
+            budget.set(base + usize::from(position < extra));
+        }
+    }
+}
+
+fn elapsed_ms(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64
+}
+
+/// Lock a mutex, recovering the guard when a previous holder panicked
+/// (the protected data is only mutated through panic-free paths).
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sharded(batch_threads: usize) -> BatchOptions {
+        BatchOptions {
+            batch_threads,
+            schedule: SchedulePolicy::Sharded,
+        }
+    }
+
+    #[test]
+    fn budgets_clamp_to_at_least_one_thread() {
+        let budget = ThreadBudget::fixed(0);
+        assert_eq!(budget.current(), 1);
+        budget.set(0);
+        assert_eq!(budget.current(), 1);
+    }
+
+    #[test]
+    fn budget_timeline_records_only_effective_resizes() {
+        let budget = ThreadBudget::fixed(1);
+        budget.set(1); // no-op
+        budget.set(2);
+        budget.set(2); // no-op
+        budget.set(3);
+        let threads: Vec<usize> = budget.timeline().iter().map(|s| s.threads).collect();
+        assert_eq!(threads, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clones_share_one_budget() {
+        let budget = ThreadBudget::fixed(1);
+        let clone = budget.clone();
+        budget.set(7);
+        assert_eq!(clone.current(), 7);
+        assert_eq!(clone.timeline(), budget.timeline());
+    }
+
+    #[test]
+    fn a_lone_sharded_job_gets_the_whole_core_budget() {
+        let scheduler = Scheduler::new(sharded(4), 1);
+        let results = scheduler.run(|_, handle| handle.budget().unwrap().current());
+        let (threads, stats) = results.into_iter().next().unwrap().unwrap();
+        assert_eq!(threads, 4);
+        assert_eq!(stats.policy, SchedulePolicy::Sharded);
+        assert_eq!(stats.batch_threads, 4);
+        assert_eq!(stats.property_index, 0);
+        assert_eq!(stats.occupancy.last().unwrap().threads, 4);
+        assert!(stats.finished_ms >= stats.started_ms);
+    }
+
+    #[test]
+    fn a_sequential_budget_runs_jobs_in_order_with_one_thread_each() {
+        let scheduler = Scheduler::new(sharded(1), 3);
+        let results = scheduler.run(|index, handle| {
+            assert_eq!(handle.index(), index);
+            handle.budget().unwrap().current()
+        });
+        let results: Vec<_> = results.into_iter().map(Option::unwrap).collect();
+        assert!(results.iter().all(|(threads, _)| *threads == 1));
+        // One worker claims jobs in order, so starts are monotone.
+        assert!(results
+            .windows(2)
+            .all(|w| w[0].1.started_ms <= w[1].1.started_ms));
+    }
+
+    #[test]
+    fn the_last_straggler_inherits_freed_cores() {
+        // One worker (budget 4 but a single-job queue at a time is forced
+        // by claiming order): drive the membership transitions directly.
+        let scheduler = Scheduler::new(sharded(4), 2);
+        let first = scheduler.start_job(0);
+        // Job 1 still pending: width first.
+        assert_eq!(first.budget().unwrap().current(), 1);
+        let second = scheduler.start_job(1);
+        // Queue drained, two running: 2 cores each.
+        assert_eq!(first.budget().unwrap().current(), 2);
+        assert_eq!(second.budget().unwrap().current(), 2);
+        let stats = scheduler.finish_job(&first);
+        // The straggler inherits the whole budget.
+        assert_eq!(second.budget().unwrap().current(), 4);
+        assert_eq!(
+            stats
+                .occupancy
+                .iter()
+                .map(|s| s.threads)
+                .collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let stats = scheduler.finish_job(&second);
+        assert_eq!(
+            stats
+                .occupancy
+                .iter()
+                .map(|s| s.threads)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn flat_jobs_carry_no_budget() {
+        let scheduler = Scheduler::new(BatchOptions::flat(), 2);
+        let results = scheduler.run(|_, handle| handle.budget().is_none());
+        for slot in results {
+            let (no_budget, stats) = slot.unwrap();
+            assert!(no_budget);
+            assert_eq!(stats.policy, SchedulePolicy::Flat);
+            assert!(stats.occupancy.is_empty());
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_leaves_an_empty_slot_and_the_rest_complete() {
+        let scheduler = Scheduler::new(sharded(1), 3);
+        let results = scheduler.run(|index, _| {
+            if index == 1 {
+                panic!("job 1 exploded");
+            }
+            index
+        });
+        assert_eq!(results[0].as_ref().map(|(v, _)| *v), Some(0));
+        assert!(results[1].is_none());
+        assert_eq!(results[2].as_ref().map(|(v, _)| *v), Some(2));
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in [SchedulePolicy::Flat, SchedulePolicy::Sharded] {
+            assert_eq!(SchedulePolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(SchedulePolicy::from_name("adaptive"), None);
+    }
+}

@@ -37,6 +37,13 @@
 //! a sequential one: the same tree, the same statistics, the same verdict
 //! and the same witness.  Only wall-clock timing and the per-worker
 //! [`WorkerStats`] depend on scheduling.
+//!
+//! Since a round is bit-identical for *every* worker count, the pool may
+//! also be resized **between** rounds without changing the result: when a
+//! [`crate::schedule::ThreadBudget`] is installed on the run's
+//! [`SearchControl`], the search re-polls it at each round boundary, which
+//! is how the batch [`crate::schedule::Scheduler`] hands cores freed by
+//! finished properties to still-running searches mid-flight.
 
 use crate::coverage::{accelerate, covers, CoverageKind};
 use crate::index::StateIndex;
@@ -119,6 +126,19 @@ impl WorkerStats {
         self.nodes_planned += other.nodes_planned;
         self.successors_planned += other.successors_planned;
         self.busy_micros += other.busy_micros;
+    }
+}
+
+/// Grow a per-worker statistics vector (indexed by worker) to cover
+/// `workers` entries — a dynamic [`crate::schedule::ThreadBudget`] can
+/// raise the worker count mid-run, and the stats must keep one slot per
+/// worker index ever used.
+pub(crate) fn ensure_worker_slots(stats: &mut Vec<WorkerStats>, workers: usize) {
+    for worker in stats.len()..workers {
+        stats.push(WorkerStats {
+            worker,
+            ..WorkerStats::default()
+        });
     }
 }
 
@@ -295,14 +315,13 @@ impl<'a> KarpMillerSearch<'a> {
         let start = Instant::now();
         let phase = control.current_phase();
         let granularity = control.granularity();
-        let workers = self.effective_threads();
+        let configured = self.effective_threads();
+        let mut workers = control.workers_for_round(configured);
+        // `threads` reports the widest pool this run ever used (equal to
+        // the configured count when no dynamic budget is installed).
         self.stats.threads = workers;
-        self.worker_stats = (0..workers)
-            .map(|worker| WorkerStats {
-                worker,
-                ..WorkerStats::default()
-            })
-            .collect();
+        self.worker_stats = Vec::new();
+        ensure_worker_slots(&mut self.worker_stats, workers);
         let mut expanded_since_event = 0usize;
         control.emit(ProgressEvent::PhaseStarted { phase });
         let mut frontier: Vec<usize> = Vec::new();
@@ -314,6 +333,13 @@ impl<'a> KarpMillerSearch<'a> {
             if frontier.is_empty() {
                 break SearchOutcome::Exhausted;
             }
+            // Round boundary: re-poll the dynamic thread budget, if one is
+            // installed.  A round is bit-identical for every worker count,
+            // so resizing the pool here cannot change the tree, the
+            // statistics, the verdict or the witness.
+            workers = control.workers_for_round(configured);
+            self.stats.threads = self.stats.threads.max(workers);
+            ensure_worker_slots(&mut self.worker_stats, workers);
             // Plan phase: speculate on every frontier node in parallel
             // against the frozen tree.  Workers honour the run's own
             // wall-clock budget, so a large frontier cannot overshoot

@@ -17,7 +17,10 @@ pub mod properties;
 pub mod real;
 pub mod synthetic;
 
-pub use cycles::{cycle_grid, cycle_grid_liveness, cycle_torus};
+pub use cycles::{
+    counter_cycle, cycle_grid, cycle_grid_liveness, cycle_torus, skewed_batch_properties,
+    skewed_grid,
+};
 pub use cyclomatic::cyclomatic_complexity;
 pub use properties::{candidate_conditions, generate_properties, order_fulfillment_property};
 pub use real::{

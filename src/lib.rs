@@ -41,8 +41,12 @@
 //! Batches of properties over one specification should use
 //! [`Engine::check_all`], which builds the spec-side preprocessing (the
 //! expression universe, the compiled symbolic task and the static-analysis
-//! constraint graph) once per task and fans the per-property searches out
-//! across threads.
+//! constraint graph) once per task and schedules the per-property searches
+//! through the sharded batch scheduler (`verifas::core::schedule`): wide
+//! while properties are queued, with cores freed by finished properties
+//! reassigned to still-running searches.  `Engine::batch()` exposes the
+//! batch-level knobs ([`BatchOptions`], a [`CancelToken`], a streaming
+//! result callback); scheduling never changes a result.
 //!
 //! ## Migrating from `Verifier` (pre-0.2) to `Engine`
 //!
@@ -91,8 +95,9 @@ pub use verifas_model as model;
 pub use verifas_workloads as workloads;
 
 pub use verifas_core::{
-    CancelToken, CycleStats, Engine, Phase, ProgressEvent, ProgressObserver, SearchLimits,
-    SearchStats, VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport,
+    BatchBuilder, BatchOptions, CancelToken, CycleStats, Engine, OccupancySample, Phase,
+    ProgressEvent, ProgressObserver, SchedulePolicy, ScheduleStats, SearchLimits, SearchStats,
+    ThreadBudget, VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport,
     VerifierOptions, Witness, WitnessStep, WorkerStats,
 };
 
@@ -103,8 +108,9 @@ pub use verifas_core::{
 /// ```
 pub mod prelude {
     pub use verifas_core::{
-        CancelToken, CoverageKind, CycleStats, Engine, Phase, ProgressEvent, ProgressObserver,
-        SearchLimits, SearchStats, VerifasError, VerificationBuilder, VerificationOutcome,
+        BatchBuilder, BatchOptions, CancelToken, CoverageKind, CycleStats, Engine, OccupancySample,
+        Phase, ProgressEvent, ProgressObserver, SchedulePolicy, ScheduleStats, SearchLimits,
+        SearchStats, ThreadBudget, VerifasError, VerificationBuilder, VerificationOutcome,
         VerificationReport, VerifierOptions, Witness, WitnessStep, WorkerStats,
     };
     pub use verifas_ltl::{Ltl, LtlFoProperty, PropAtom, PropertyHandle};

@@ -10,7 +10,8 @@
 
 use verifas::prelude::*;
 use verifas::workloads::{
-    cycle_grid, cycle_grid_liveness, generate, generate_properties, real_workflows, SyntheticParams,
+    counter_cycle, cycle_grid, cycle_grid_liveness, generate, generate_properties, real_workflows,
+    SyntheticParams,
 };
 
 const SEEDS: std::ops::Range<u64> = 0..8;
@@ -239,4 +240,58 @@ fn cycle_heavy_post_pass_is_deterministic() {
     assert!(cycle.states > 30);
     assert!(cycle.edges >= cycle.states, "the torus is cycle-heavy");
     assert!(cycle.cyclic_states > 0);
+}
+
+/// Regression test for the `StateIndex` signature soundness (ROADMAP
+/// niche left by PR 3): on a *counter-heavy* workload — active states
+/// carrying bounded counters of many distinct stored tuple types, i.e.
+/// exactly the stored-type/`≠` pit edges the pit-`=`-only signature must
+/// ignore — the repeated-reachability post-pass must stay bit-identical
+/// with the index on and off (a signature admitting those edges could
+/// filter out true coverers, and index on/off would diverge here first).
+#[test]
+fn counter_heavy_post_pass_is_index_invariant() {
+    let spec = counter_cycle(6);
+    let engine = Engine::load(spec.clone()).expect("counter cycle is valid");
+    let property = cycle_grid_liveness(&spec);
+    // The full sweep: 1 vs 4 threads × index on vs off, bit for bit.
+    assert_deterministic(&engine, &property, "counter-cycle/eventually-goal");
+    // And at a budget that exhausts the space, pin the workload shape:
+    // the verdict must come from the cycle-detection post-pass over
+    // states that really carry stored-type counters (no ω shortcut).
+    let run = |use_index: bool| {
+        engine
+            .verification()
+            .property(&property)
+            .options(VerifierOptions {
+                data_structure_support: use_index,
+                limits: SearchLimits {
+                    max_states: 10_000,
+                    max_millis: 600_000,
+                },
+                ..VerifierOptions::default()
+            })
+            .run()
+            .unwrap()
+    };
+    let indexed = run(true);
+    assert_eq!(indexed.outcome, VerificationOutcome::Violated);
+    let witness = indexed.witness.clone().expect("infinite violation");
+    assert!(!witness.finite);
+    let repeated = indexed.repeated_stats.expect("the repeated phase ran");
+    assert!(
+        repeated.stored_types > 1,
+        "the workload must intern distinct stored tuple types"
+    );
+    let cycle = indexed.repeated_cycle.expect("the post-pass ran");
+    assert!(cycle.completed);
+    assert!(
+        cycle.cyclic_states > 0,
+        "the verdict comes from the SCC pass"
+    );
+    assert_eq!(
+        comparable(&indexed),
+        comparable(&run(false)),
+        "index on/off diverged on the counter-heavy post-pass"
+    );
 }

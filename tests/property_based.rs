@@ -8,6 +8,20 @@
 use verifas::prelude::*;
 use verifas::workloads::{cyclomatic_complexity, generate, generate_properties, SyntheticParams};
 
+/// A tiny deterministic generator (seeded-loop style, standing in for
+/// proptest) used to assemble random batch mixes.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
 /// Generated specifications validate, have non-negative complexity and
 /// every template property is accepted by the verifier front-end.
 #[test]
@@ -62,4 +76,69 @@ fn ablation_preserves_verdicts() {
         }
     }
     assert!(checked > 0, "no definite verdict pair was ever produced");
+}
+
+/// Randomly skewed batches through the sharded scheduler match
+/// independent sequential `check` calls property for property.
+///
+/// The mixes deliberately repeat properties (the scheduler must not
+/// conflate equal-keyed work), interleave heavy and light searches in
+/// random order, and run under random core budgets — the shapes that
+/// would shake out a budget race between the scheduler's rebalancing and
+/// the searches polling their budgets at round boundaries.
+#[test]
+fn random_skewed_batches_match_independent_checks() {
+    let limits = SearchLimits {
+        max_states: 300,
+        max_millis: 600_000,
+    };
+    let mut batches = 0;
+    for seed in 0u64..10 {
+        let Some(spec) = generate(SyntheticParams::small(), seed) else {
+            continue;
+        };
+        let engine = Engine::load_with_options(
+            spec.clone(),
+            VerifierOptions {
+                limits,
+                ..VerifierOptions::default()
+            },
+        )
+        .unwrap();
+        let pool = generate_properties(&spec, seed);
+        let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+        let mix: Vec<LtlFoProperty> = (0..4 + rng.next(5))
+            .map(|_| pool[rng.next(pool.len())].clone())
+            .collect();
+        let batch_threads = 1 + rng.next(4);
+        let expected: Vec<_> = mix
+            .iter()
+            .map(|p| {
+                let report = engine.check(p).unwrap();
+                (report.outcome, report.witness, report.stats.states_created)
+            })
+            .collect();
+        let batched = engine.check_all_with(
+            &mix,
+            BatchOptions {
+                batch_threads,
+                schedule: SchedulePolicy::Sharded,
+            },
+        );
+        for (i, report) in batched.iter().enumerate() {
+            let report = report.as_ref().unwrap();
+            assert_eq!(
+                (
+                    report.outcome,
+                    report.witness.clone(),
+                    report.stats.states_created
+                ),
+                expected[i],
+                "seed {seed} / property {i} ({}) under batch_threads={batch_threads}",
+                mix[i].name
+            );
+        }
+        batches += 1;
+    }
+    assert!(batches > 0, "no synthetic spec was ever generated");
 }
