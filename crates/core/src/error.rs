@@ -15,6 +15,30 @@ use verifas_model::ModelError;
 /// [`crate::verifier::VerifierOptions::try_without`].
 pub const VALID_OPTIMIZATIONS: &[&str] = &["SP", "SA", "DSS"];
 
+/// A position within a textual specification source (1-based line and
+/// column), attached to [`VerifasError::Spec`] diagnostics so tools can
+/// point at the offending construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct SourceSpan {
+    /// 1-based line number (0 when the location is unknown).
+    pub line: u32,
+    /// 1-based column number (0 when the location is unknown).
+    pub column: u32,
+}
+
+impl SourceSpan {
+    /// A span pointing at the given 1-based line and column.
+    pub fn new(line: u32, column: u32) -> Self {
+        SourceSpan { line, column }
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
 /// Top-level error type of the `verifas` public API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifasError {
@@ -44,6 +68,16 @@ pub enum VerifasError {
         /// What the worker reported (a panic message when available).
         reason: String,
     },
+    /// A textual specification (`.has` file, see the `verifas-spec` crate)
+    /// could not be parsed, type-checked or lowered.  The span points at
+    /// the offending construct in the source text.
+    Spec {
+        /// Where in the source the problem was detected (1-based
+        /// line/column; 0:0 when the location is unknown).
+        span: SourceSpan,
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for VerifasError {
@@ -62,6 +96,9 @@ impl fmt::Display for VerifasError {
             }
             VerifasError::Internal { reason } => {
                 write!(f, "internal verification failure: {reason}")
+            }
+            VerifasError::Spec { span, message } => {
+                write!(f, "specification syntax error at {span}: {message}")
             }
         }
     }
@@ -103,6 +140,18 @@ mod tests {
         for name in VALID_OPTIMIZATIONS {
             assert!(text.contains(name), "{text:?} must list {name}");
         }
+    }
+
+    #[test]
+    fn spec_errors_carry_their_source_location() {
+        let e = VerifasError::Spec {
+            span: SourceSpan::new(3, 14),
+            message: "unknown variable `statu`".to_owned(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "specification syntax error at 3:14: unknown variable `statu`"
+        );
     }
 
     #[test]

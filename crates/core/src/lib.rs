@@ -51,7 +51,7 @@ pub mod verifier;
 pub use baseline::BaselineVerifier;
 pub use coverage::{accelerate, covers, CoverageKind};
 pub use engine::{BatchBuilder, BatchResultCallback, Engine, VerificationBuilder};
-pub use error::{VerifasError, VALID_OPTIMIZATIONS};
+pub use error::{SourceSpan, VerifasError, VALID_OPTIMIZATIONS};
 pub use expr::{ExprHead, ExprId, ExprSort, ExprUniverse};
 pub use json::{Json, JsonError};
 pub use observer::{CancelToken, Phase, ProgressEvent, ProgressObserver, SearchControl};

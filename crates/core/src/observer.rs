@@ -180,6 +180,16 @@ impl<'o> SearchControl<'o> {
         }
     }
 
+    /// Report the live frontier width to the installed [`ThreadBudget`]
+    /// (no-op when this run is not batch-scheduled).  The scheduler
+    /// weights the straggler budget split by these widths; the value is
+    /// advisory and never changes a result.
+    pub(crate) fn report_frontier(&self, width: usize) {
+        if let Some(budget) = &self.thread_budget {
+            budget.report_frontier(width);
+        }
+    }
+
     /// `true` when the run was cancelled or its deadline has passed.
     /// Callable from any thread (the parallel search polls it from every
     /// worker between state expansions).

@@ -10,10 +10,14 @@
 //! * while properties are still queued, every running search gets a budget
 //!   of one thread (width first: `C` properties in flight beat one
 //!   `C`-thread search, which never scales perfectly),
-//! * once the queue drains, the scheduler splits the core budget evenly
-//!   across the searches still running, and every time one finishes the
-//!   freed cores are reassigned to the survivors — the last straggler ends
-//!   up with all `C` cores on its one search.
+//! * once the queue drains, the scheduler splits the core budget across
+//!   the searches still running *weighted by each search's live frontier
+//!   width* (reported through [`ThreadBudget::report_frontier`] at round
+//!   boundaries — a search cannot use more workers than it has frontier
+//!   nodes to plan, so wide stragglers absorb the cores narrow ones would
+//!   waste), and every time one finishes the freed cores are reassigned
+//!   to the survivors — the last straggler ends up with all `C` cores on
+//!   its one search.
 //!
 //! Budgets are delivered through [`ThreadBudget`] handles: a search polls
 //! its handle at *round boundaries* (see the plan/apply rounds of
@@ -132,9 +136,18 @@ pub struct OccupancySample {
 /// All clones share one value; [`ThreadBudget::current`] never returns 0.
 /// Every effective resize is recorded with a timestamp so the scheduler
 /// can report the search's core-occupancy timeline.
+///
+/// The budget also carries a *frontier hint* flowing the other way: the
+/// search reports its live frontier width
+/// ([`ThreadBudget::report_frontier`]) at the same round boundaries where
+/// it polls the budget, and the scheduler weights the post-drain straggler
+/// split by those widths — a search whose frontier is 4 nodes wide cannot
+/// use 12 cores next round, so they go to the search that can.  The hint
+/// is advisory scheduling input only; budgets never change results.
 #[derive(Debug, Clone)]
 pub struct ThreadBudget {
     shares: Arc<AtomicUsize>,
+    frontier: Arc<AtomicUsize>,
     timeline: Arc<Mutex<Vec<OccupancySample>>>,
     epoch: Instant,
 }
@@ -144,6 +157,7 @@ impl ThreadBudget {
         let threads = threads.max(1);
         ThreadBudget {
             shares: Arc::new(AtomicUsize::new(threads)),
+            frontier: Arc::new(AtomicUsize::new(0)),
             timeline: Arc::new(Mutex::new(vec![OccupancySample {
                 at_ms: elapsed_ms(epoch),
                 threads,
@@ -185,6 +199,20 @@ impl ThreadBudget {
     /// budget).
     pub fn timeline(&self) -> Vec<OccupancySample> {
         lock_ignoring_poison(&self.timeline).clone()
+    }
+
+    /// Report the search's live frontier width (how many nodes the next
+    /// round can plan in parallel).  Called by the search at round
+    /// boundaries and by the repeated-reachability edge construction at
+    /// wave boundaries; the scheduler reads it when it re-splits the core
+    /// budget over the stragglers.
+    pub fn report_frontier(&self, width: usize) {
+        self.frontier.store(width, Ordering::Relaxed);
+    }
+
+    /// The last reported frontier width (0 until the search reports one).
+    pub fn frontier_hint(&self) -> usize {
+        self.frontier.load(Ordering::Relaxed)
     }
 }
 
@@ -365,8 +393,12 @@ impl Scheduler {
 
     /// Re-split the core budget over the running set: width first (budget
     /// 1 each while jobs are still queued — every queued job will get a
-    /// core sooner than a deep search could use it), then an even split
-    /// with the remainder going to the longest-running searches.
+    /// core sooner than a deep search could use it), then a split weighted
+    /// by each search's live frontier width (a search can use at most one
+    /// worker per frontier node next round, so wide stragglers absorb the
+    /// cores narrow ones would waste).  Searches that have not reported a
+    /// frontier yet weigh 1, which reduces to the previous even split with
+    /// the remainder going to the longest-running searches.
     fn rebalance(&self, state: &mut ShardState) {
         if self.policy == SchedulePolicy::Flat || state.running.is_empty() {
             return;
@@ -377,12 +409,64 @@ impl Scheduler {
             }
             return;
         }
-        let base = self.threads / state.running.len();
-        let extra = self.threads % state.running.len();
-        for (position, (_, budget)) in state.running.iter().enumerate() {
-            budget.set(base + usize::from(position < extra));
+        let weights: Vec<u64> = state
+            .running
+            .iter()
+            .map(|(_, budget)| budget.frontier_hint().max(1) as u64)
+            .collect();
+        for (share, (_, budget)) in weighted_split(self.threads, &weights)
+            .into_iter()
+            .zip(&state.running)
+        {
+            budget.set(share);
         }
     }
+}
+
+/// Apportion `total` cores over `weights` (all ≥ 1): every slot gets at
+/// least one core, the rest follow the weights by the largest-remainder
+/// method, ties broken towards earlier slots (the longest-running
+/// searches).  The result always sums to `max(total, len)` — when there
+/// are more slots than cores every slot still gets its floor of one, as
+/// before (budgets are advisory and [`ThreadBudget::set`] clamps to 1
+/// anyway).  With equal weights this is exactly the even split with the
+/// remainder going to the earliest slots.
+fn weighted_split(total: usize, weights: &[u64]) -> Vec<usize> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if total <= n {
+        return vec![1; n];
+    }
+    let sum: u64 = weights.iter().sum();
+    let mut shares: Vec<usize> = Vec::with_capacity(n);
+    let mut assigned = 0usize;
+    for &w in weights {
+        let share = (((total as u64 * w) / sum) as usize).max(1);
+        shares.push(share);
+        assigned += share;
+    }
+    // Slots ordered by descending fractional remainder (earliest slot
+    // first on ties).  Leftover cores are handed out one per slot in this
+    // cyclic order; when the `max(1)` floors overshot the budget, slots
+    // give cores back from the other end of the order (never below 1).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse((total as u64 * weights[i]) % sum), i));
+    let mut cursor = 0usize;
+    while assigned < total {
+        shares[order[cursor % n]] += 1;
+        assigned += 1;
+        cursor += 1;
+    }
+    while assigned > total {
+        let Some(&slot) = order.iter().rev().find(|&&i| shares[i] > 1) else {
+            break;
+        };
+        shares[slot] -= 1;
+        assigned -= 1;
+    }
+    shares
 }
 
 fn elapsed_ms(epoch: Instant) -> u64 {
@@ -522,6 +606,60 @@ mod tests {
         assert_eq!(results[0].as_ref().map(|(v, _)| *v), Some(0));
         assert!(results[1].is_none());
         assert_eq!(results[2].as_ref().map(|(v, _)| *v), Some(2));
+    }
+
+    #[test]
+    fn weighted_split_reduces_to_the_even_split_for_equal_weights() {
+        assert_eq!(weighted_split(8, &[1, 1, 1]), vec![3, 3, 2]);
+        assert_eq!(weighted_split(4, &[1, 1]), vec![2, 2]);
+        assert_eq!(weighted_split(7, &[5, 5]), vec![4, 3]);
+        // More slots than cores: everyone keeps the floor of one.
+        assert_eq!(weighted_split(2, &[9, 9, 9]), vec![1, 1, 1]);
+        assert!(weighted_split(4, &[]).is_empty());
+    }
+
+    #[test]
+    fn weighted_split_follows_frontier_widths() {
+        // A 30-node frontier next to a 10-node one: 3/4 of the cores.
+        assert_eq!(weighted_split(8, &[30, 10]), vec![6, 2]);
+        // A very narrow straggler never starves below one core, and the
+        // wide one absorbs what it cannot use.
+        assert_eq!(weighted_split(8, &[1000, 1]), vec![7, 1]);
+        // `max(1)` floors overshooting the budget give cores back from
+        // the heavy slot, never dropping anyone below one.
+        assert_eq!(weighted_split(4, &[1, 1, 1000]), vec![1, 1, 2]);
+        // Shares always sum to the budget once it covers the slots.
+        for total in 2..=16 {
+            for weights in [vec![3, 1], vec![7, 2, 5], vec![1, 1, 1, 1]] {
+                if total >= weights.len() {
+                    let split = weighted_split(total, &weights);
+                    assert_eq!(split.iter().sum::<usize>(), total, "{total} {weights:?}");
+                    assert!(split.iter().all(|&s| s >= 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_hints_weight_the_straggler_split() {
+        let scheduler = Scheduler::new(sharded(8), 3);
+        let a = scheduler.start_job(0);
+        let b = scheduler.start_job(1);
+        let c = scheduler.start_job(2);
+        // Queue drained with no hints yet: even split of 8 over 3.
+        assert_eq!(a.budget().unwrap().current(), 3);
+        assert_eq!(b.budget().unwrap().current(), 3);
+        assert_eq!(c.budget().unwrap().current(), 2);
+        // The searches report their live frontiers; job 2 finishing
+        // triggers a rebalance that now respects the widths.
+        a.budget().unwrap().report_frontier(30);
+        b.budget().unwrap().report_frontier(10);
+        scheduler.finish_job(&c);
+        assert_eq!(a.budget().unwrap().current(), 6);
+        assert_eq!(b.budget().unwrap().current(), 2);
+        // The last straggler still inherits the whole budget.
+        scheduler.finish_job(&b);
+        assert_eq!(a.budget().unwrap().current(), 8);
     }
 
     #[test]

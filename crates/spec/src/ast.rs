@@ -1,0 +1,489 @@
+//! The abstract syntax tree of the `.has` specification language.
+//!
+//! The AST mirrors the surface grammar (see the crate docs for a sketch),
+//! not the lowered `verifas-model` structures: parenthesization survives as
+//! tree shape, conditions stay name-based, and every name carries the span
+//! of its first character so the resolver can point diagnostics at the
+//! offending construct.  [`crate::printer`] prints this tree back to
+//! canonical text and [`mod@crate::resolve`] lowers it to a
+//! `verifas_model::HasSpec` plus named LTL-FO properties.
+//!
+//! All nodes implement `PartialEq`; [`SpecFile::strip_spans`] zeroes every
+//! span so round-trip tests can compare trees structurally.
+
+use verifas_core::SourceSpan;
+
+/// An identifier with the span of its first character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name.
+    pub name: String,
+    /// Where it appeared.
+    pub span: SourceSpan,
+}
+
+impl Ident {
+    /// An identifier with a default (zero) span, for generated trees.
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        Ident {
+            name: name.into(),
+            span: SourceSpan::default(),
+        }
+    }
+}
+
+/// A whole `.has` source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecFile {
+    /// The specification name (`spec "name";`).
+    pub name: String,
+    /// Span of the `spec` keyword (anchor for file-level diagnostics).
+    pub span: SourceSpan,
+    /// Database relations, in declaration order.
+    pub relations: Vec<RelationDecl>,
+    /// Tasks, in declaration order; the first is the root.
+    pub tasks: Vec<TaskDecl>,
+    /// The global pre-condition (`init: …;`), if any.
+    pub init: Option<CondExpr>,
+    /// Named LTL-FO properties.
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// `relation NAME(attr: data, attr: ref OTHER);`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationDecl {
+    /// Relation name.
+    pub name: Ident,
+    /// Non-`ID` attributes, in declaration order.
+    pub attrs: Vec<AttrDecl>,
+}
+
+/// One attribute of a database relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: Ident,
+    /// `data`, or `ref TARGET` for a foreign key.
+    pub kind: AttrKindDecl,
+}
+
+/// The kind of a database attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrKindDecl {
+    /// A data attribute (`data`).
+    Data,
+    /// A foreign key referencing another relation (`ref TARGET`).
+    Ref(Ident),
+}
+
+/// The type of an artifact variable or property-global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeDecl {
+    /// `data`
+    Data,
+    /// `id(RELATION)`
+    Id(Ident),
+}
+
+/// `name: type`
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: Ident,
+    /// Variable type.
+    pub typ: TypeDecl,
+}
+
+/// One entry of an `inputs { … }` / `outputs { … }` block: a child
+/// variable, optionally mapped to a differently-named parent variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoPair {
+    /// The child-side variable.
+    pub child: Ident,
+    /// The parent-side variable (`child -> parent`); `None` uses the
+    /// paper's same-name convention.
+    pub parent: Option<Ident>,
+}
+
+/// `artifact NAME(var, …);` — an artifact relation whose columns mirror
+/// the named task variables (names and types).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactDecl {
+    /// Artifact-relation name.
+    pub name: Ident,
+    /// Task variables providing the column layout.
+    pub columns: Vec<Ident>,
+}
+
+/// `insert REL(vars…);` / `retrieve REL(vars…);` inside a service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateDecl {
+    /// `true` for an insertion, `false` for a retrieval.
+    pub insert: bool,
+    /// The artifact relation.
+    pub rel: Ident,
+    /// The tuple variables, in column order.
+    pub vars: Vec<Ident>,
+}
+
+/// An internal service declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceDecl {
+    /// Service name.
+    pub name: Ident,
+    /// Pre-condition over the task's variables.
+    pub pre: CondExpr,
+    /// Post-condition over the task's (next) variables.
+    pub post: CondExpr,
+    /// `propagate a, b;` — variables preserved by the transition.
+    pub propagate: Vec<Ident>,
+    /// The optional artifact-relation update.
+    pub update: Option<UpdateDecl>,
+}
+
+/// A task declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDecl {
+    /// Task name.
+    pub name: Ident,
+    /// `child of PARENT` — absent exactly for the root (first) task.
+    pub parent: Option<Ident>,
+    /// Artifact variables, in declaration order.
+    pub vars: Vec<VarDecl>,
+    /// Input variables (with optional explicit parent mapping).
+    pub inputs: Vec<IoPair>,
+    /// Output variables (with optional explicit parent mapping).
+    pub outputs: Vec<IoPair>,
+    /// Artifact relations.
+    pub artifacts: Vec<ArtifactDecl>,
+    /// Opening condition (over the *parent's* variables).
+    pub opening: Option<CondExpr>,
+    /// Closing condition (over the task's own variables).
+    pub closing: Option<CondExpr>,
+    /// Internal services, in declaration order.
+    pub services: Vec<ServiceDecl>,
+}
+
+/// A term of a condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermExpr {
+    /// `null`
+    Null(SourceSpan),
+    /// A string constant.
+    Str(String, SourceSpan),
+    /// An integer constant.
+    Int(i64, SourceSpan),
+    /// A task variable or property-global variable.
+    Var(Ident),
+}
+
+impl TermExpr {
+    /// The term's source position.
+    pub fn span(&self) -> SourceSpan {
+        match self {
+            TermExpr::Null(s) | TermExpr::Str(_, s) | TermExpr::Int(_, s) => *s,
+            TermExpr::Var(ident) => ident.span,
+        }
+    }
+}
+
+/// A quantifier-free condition, shaped as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondExpr {
+    /// `true`
+    True(SourceSpan),
+    /// `false`
+    False(SourceSpan),
+    /// `left == right` / `left != right`
+    Cmp {
+        /// Left term.
+        left: TermExpr,
+        /// `true` for `==`, `false` for `!=`.
+        eq: bool,
+        /// Right term.
+        right: TermExpr,
+    },
+    /// `REL(key, args…)`
+    Rel {
+        /// The database relation.
+        rel: Ident,
+        /// Key term followed by the attribute terms.
+        args: Vec<TermExpr>,
+    },
+    /// `!c`
+    Not(Box<CondExpr>, SourceSpan),
+    /// `c && c && …` (flat, two or more conjuncts)
+    And(Vec<CondExpr>),
+    /// `c || c || …` (flat, two or more disjuncts)
+    Or(Vec<CondExpr>),
+    /// `a -> b` (right-associative)
+    Implies(Box<CondExpr>, Box<CondExpr>),
+}
+
+impl CondExpr {
+    /// The condition's source position (its leftmost token).
+    pub fn span(&self) -> SourceSpan {
+        match self {
+            CondExpr::True(s) | CondExpr::False(s) | CondExpr::Not(_, s) => *s,
+            CondExpr::Cmp { left, .. } => left.span(),
+            CondExpr::Rel { rel, .. } => rel.span,
+            CondExpr::And(cs) | CondExpr::Or(cs) => {
+                cs.first().map(CondExpr::span).unwrap_or_default()
+            }
+            CondExpr::Implies(a, _) => a.span(),
+        }
+    }
+}
+
+/// An atomic proposition of an LTL formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomExpr {
+    /// `{ condition }` — a condition over the task's variables and the
+    /// property's global variables.
+    Cond(Box<CondExpr>, SourceSpan),
+    /// `open(Task)` — the opening service of a task fired.
+    Open(Ident),
+    /// `close(Task)` — the closing service of a task fired.
+    Close(Ident),
+    /// `did(Task.Service)` — an internal service fired.
+    Did(Ident, Ident),
+    /// A condition alias introduced by `define`.
+    Alias(Ident),
+}
+
+impl AtomExpr {
+    /// The atom's source position.
+    pub fn span(&self) -> SourceSpan {
+        match self {
+            AtomExpr::Cond(_, s) => *s,
+            AtomExpr::Open(i) | AtomExpr::Close(i) | AtomExpr::Alias(i) => i.span,
+            AtomExpr::Did(t, _) => t.span,
+        }
+    }
+}
+
+/// An LTL formula, shaped as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LtlExpr {
+    /// `true`
+    True(SourceSpan),
+    /// `false`
+    False(SourceSpan),
+    /// An atomic proposition.
+    Atom(AtomExpr),
+    /// `!f`
+    Not(Box<LtlExpr>, SourceSpan),
+    /// `a && b` (right-associative)
+    And(Box<LtlExpr>, Box<LtlExpr>),
+    /// `a || b` (right-associative)
+    Or(Box<LtlExpr>, Box<LtlExpr>),
+    /// `a -> b` (right-associative)
+    Implies(Box<LtlExpr>, Box<LtlExpr>),
+    /// `X f`
+    Next(Box<LtlExpr>, SourceSpan),
+    /// `G f`
+    Globally(Box<LtlExpr>, SourceSpan),
+    /// `F f`
+    Eventually(Box<LtlExpr>, SourceSpan),
+    /// `a U b` (right-associative)
+    Until(Box<LtlExpr>, Box<LtlExpr>),
+    /// `a R b` (right-associative)
+    Release(Box<LtlExpr>, Box<LtlExpr>),
+}
+
+/// `define name := condition;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefineDecl {
+    /// The alias name.
+    pub name: Ident,
+    /// The aliased condition.
+    pub cond: CondExpr,
+}
+
+/// The body of a property: a free-form formula, or an instantiation of
+/// one of the Table-4 templates of `verifas_ltl::templates`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyBody {
+    /// `formula: <ltl>;`
+    Formula(LtlExpr),
+    /// `template "G phi" with phi = atom, psi = atom;`
+    Template {
+        /// The template name, as in `verifas_ltl::all_templates`.
+        name: String,
+        /// Span of the template name.
+        span: SourceSpan,
+        /// The `phi` placeholder (required for arity ≥ 1).
+        phi: Option<AtomExpr>,
+        /// The `psi` placeholder (required for arity 2).
+        psi: Option<AtomExpr>,
+    },
+}
+
+/// `property "name" on Task { … }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyDecl {
+    /// The property name.
+    pub name: String,
+    /// Span of the property name.
+    pub span: SourceSpan,
+    /// The task whose local runs the property constrains.
+    pub task: Ident,
+    /// Universally quantified global variables (`forall …;`).
+    pub foralls: Vec<VarDecl>,
+    /// Condition aliases (`define …;`).
+    pub defines: Vec<DefineDecl>,
+    /// The property body.
+    pub body: PropertyBody,
+}
+
+impl SpecFile {
+    /// Zero every span in the tree, for structural comparison in
+    /// round-trip tests.
+    pub fn strip_spans(&mut self) {
+        fn ident(i: &mut Ident) {
+            i.span = SourceSpan::default();
+        }
+        fn term(t: &mut TermExpr) {
+            match t {
+                TermExpr::Null(s) | TermExpr::Str(_, s) | TermExpr::Int(_, s) => {
+                    *s = SourceSpan::default()
+                }
+                TermExpr::Var(i) => ident(i),
+            }
+        }
+        fn cond(c: &mut CondExpr) {
+            match c {
+                CondExpr::True(s) | CondExpr::False(s) => *s = SourceSpan::default(),
+                CondExpr::Cmp { left, right, .. } => {
+                    term(left);
+                    term(right);
+                }
+                CondExpr::Rel { rel, args } => {
+                    ident(rel);
+                    args.iter_mut().for_each(term);
+                }
+                CondExpr::Not(inner, s) => {
+                    *s = SourceSpan::default();
+                    cond(inner);
+                }
+                CondExpr::And(cs) | CondExpr::Or(cs) => cs.iter_mut().for_each(cond),
+                CondExpr::Implies(a, b) => {
+                    cond(a);
+                    cond(b);
+                }
+            }
+        }
+        fn atom(a: &mut AtomExpr) {
+            match a {
+                AtomExpr::Cond(c, s) => {
+                    *s = SourceSpan::default();
+                    cond(c);
+                }
+                AtomExpr::Open(i) | AtomExpr::Close(i) | AtomExpr::Alias(i) => ident(i),
+                AtomExpr::Did(t, s) => {
+                    ident(t);
+                    ident(s);
+                }
+            }
+        }
+        fn ltl(f: &mut LtlExpr) {
+            match f {
+                LtlExpr::True(s) | LtlExpr::False(s) => *s = SourceSpan::default(),
+                LtlExpr::Atom(a) => atom(a),
+                LtlExpr::Not(inner, s)
+                | LtlExpr::Next(inner, s)
+                | LtlExpr::Globally(inner, s)
+                | LtlExpr::Eventually(inner, s) => {
+                    *s = SourceSpan::default();
+                    ltl(inner);
+                }
+                LtlExpr::And(a, b)
+                | LtlExpr::Or(a, b)
+                | LtlExpr::Implies(a, b)
+                | LtlExpr::Until(a, b)
+                | LtlExpr::Release(a, b) => {
+                    ltl(a);
+                    ltl(b);
+                }
+            }
+        }
+        fn typ(t: &mut TypeDecl) {
+            if let TypeDecl::Id(i) = t {
+                ident(i)
+            }
+        }
+        self.span = SourceSpan::default();
+        for r in &mut self.relations {
+            ident(&mut r.name);
+            for a in &mut r.attrs {
+                ident(&mut a.name);
+                if let AttrKindDecl::Ref(target) = &mut a.kind {
+                    ident(target);
+                }
+            }
+        }
+        for t in &mut self.tasks {
+            ident(&mut t.name);
+            if let Some(p) = &mut t.parent {
+                ident(p);
+            }
+            for v in &mut t.vars {
+                ident(&mut v.name);
+                typ(&mut v.typ);
+            }
+            for io in t.inputs.iter_mut().chain(&mut t.outputs) {
+                ident(&mut io.child);
+                if let Some(p) = &mut io.parent {
+                    ident(p);
+                }
+            }
+            for a in &mut t.artifacts {
+                ident(&mut a.name);
+                a.columns.iter_mut().for_each(ident);
+            }
+            if let Some(c) = &mut t.opening {
+                cond(c);
+            }
+            if let Some(c) = &mut t.closing {
+                cond(c);
+            }
+            for svc in &mut t.services {
+                ident(&mut svc.name);
+                cond(&mut svc.pre);
+                cond(&mut svc.post);
+                svc.propagate.iter_mut().for_each(ident);
+                if let Some(u) = &mut svc.update {
+                    ident(&mut u.rel);
+                    u.vars.iter_mut().for_each(ident);
+                }
+            }
+        }
+        if let Some(c) = &mut self.init {
+            cond(c);
+        }
+        for p in &mut self.properties {
+            p.span = SourceSpan::default();
+            ident(&mut p.task);
+            for v in &mut p.foralls {
+                ident(&mut v.name);
+                typ(&mut v.typ);
+            }
+            for d in &mut p.defines {
+                ident(&mut d.name);
+                cond(&mut d.cond);
+            }
+            match &mut p.body {
+                PropertyBody::Formula(f) => ltl(f),
+                PropertyBody::Template { span, phi, psi, .. } => {
+                    *span = SourceSpan::default();
+                    if let Some(a) = phi {
+                        atom(a);
+                    }
+                    if let Some(a) = psi {
+                        atom(a);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Spanned diagnostics of the `.has` frontend.
+
+use std::fmt;
+use verifas_core::{SourceSpan, VerifasError};
+
+/// One diagnostic of the `.has` frontend: where in the source text the
+/// problem was detected and what was wrong.  Converts into
+/// [`VerifasError::Spec`] at the public API boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line/column of the offending construct.
+    pub span: SourceSpan,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    /// A diagnostic at the given span.
+    pub fn new(span: SourceSpan, message: impl Into<String>) -> Self {
+        SpecError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Render the diagnostic the way the `verifas` CLI prints it:
+    /// `file:line:column: error: message`.
+    pub fn render(&self, file: &str) -> String {
+        format!(
+            "{file}:{}:{}: error: {}",
+            self.span.line, self.span.column, self.message
+        )
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<SpecError> for VerifasError {
+    fn from(e: SpecError) -> Self {
+        VerifasError::Spec {
+            span: e.span,
+            message: e.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_like_a_compiler_diagnostic() {
+        let e = SpecError::new(SourceSpan::new(7, 3), "unknown task `Shp`");
+        assert_eq!(
+            e.render("demo.has"),
+            "demo.has:7:3: error: unknown task `Shp`"
+        );
+        assert_eq!(e.to_string(), "7:3: unknown task `Shp`");
+    }
+
+    #[test]
+    fn converts_into_the_typed_engine_error() {
+        let e = SpecError::new(SourceSpan::new(1, 2), "boom");
+        match VerifasError::from(e) {
+            VerifasError::Spec { span, message } => {
+                assert_eq!(span, SourceSpan::new(1, 2));
+                assert_eq!(message, "boom");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,820 @@
+//! Recursive-descent parser of the `.has` specification language.
+//!
+//! The parser consumes the token stream of [`crate::lexer`] and produces
+//! the [`crate::ast`] tree, stopping at the first error with an exact
+//! line/column span.  Operator precedence (loosest to tightest):
+//!
+//! * conditions — `->` (right-assoc), `||`, `&&`, `!`, atoms;
+//! * LTL — `->` (right-assoc), `||`, `&&`, `U` / `R` (right-assoc),
+//!   `!` / `G` / `F` / `X`, atoms.
+//!
+//! `&&` / `||` chains in conditions are collected into flat [`CondExpr::And`] /
+//! [`CondExpr::Or`] lists (mirroring `Condition::and` / `Condition::or`,
+//! which flatten); in LTL they stay right-nested binary nodes (mirroring
+//! `Ltl::and` / `Ltl::or`).
+
+use crate::ast::*;
+use crate::error::SpecError;
+use crate::lexer::{tokenize, Spanned, Token};
+use verifas_core::SourceSpan;
+
+/// Parse a whole `.has` source text into its AST.
+pub fn parse(source: &str) -> Result<SpecFile, SpecError> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, pos: 0 }.file()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn span(&self) -> SourceSpan {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SpecError {
+        SpecError::new(self.span(), message)
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<SourceSpan, SpecError> {
+        if *self.peek() == token {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error(format!(
+                "expected {} {what}, found {}",
+                token.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<Ident, SpecError> {
+        match self.peek() {
+            Token::Ident(_) => {
+                let t = self.bump();
+                let Token::Ident(name) = t.token else {
+                    unreachable!()
+                };
+                Ok(Ident { name, span: t.span })
+            }
+            other => Err(self.error(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_string(&mut self, what: &str) -> Result<(String, SourceSpan), SpecError> {
+        match self.peek() {
+            Token::Str(_) => {
+                let t = self.bump();
+                let Token::Str(text) = t.token else {
+                    unreachable!()
+                };
+                Ok((text, t.span))
+            }
+            other => Err(self.error(format!(
+                "expected a quoted {what}, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// `true` iff the next token is the identifier `word`.
+    fn at_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), Token::Ident(name) if name == word)
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<SourceSpan, SpecError> {
+        if self.at_keyword(word) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error(format!(
+                "expected keyword `{word}`, found {}",
+                self.peek().describe()
+            )))
+        }
+    }
+
+    /// Consume the identifier `word` if it is next.
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.at_keyword(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == token {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ----- file structure ------------------------------------------------
+
+    fn file(&mut self) -> Result<SpecFile, SpecError> {
+        let span = self.expect_keyword("spec")?;
+        let (name, _) = self.expect_string("specification name")?;
+        self.expect(Token::Semi, "after the specification name")?;
+        self.expect_keyword("schema")?;
+        self.expect(Token::LBrace, "to open the schema block")?;
+        let mut relations = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            relations.push(self.relation()?);
+        }
+        let mut tasks = Vec::new();
+        while self.at_keyword("task") {
+            tasks.push(self.task()?);
+        }
+        if tasks.is_empty() {
+            return Err(self.error(format!(
+                "expected at least one `task` after the schema block, found {}",
+                self.peek().describe()
+            )));
+        }
+        let init = if self.eat_keyword("init") {
+            self.expect(Token::Colon, "after `init`")?;
+            let cond = self.condition()?;
+            self.expect(Token::Semi, "after the init condition")?;
+            Some(cond)
+        } else {
+            None
+        };
+        let mut properties = Vec::new();
+        while self.at_keyword("property") {
+            properties.push(self.property()?);
+        }
+        if *self.peek() != Token::Eof {
+            return Err(self.error(format!(
+                "expected `task`, `init`, `property` or end of file, found {}",
+                self.peek().describe()
+            )));
+        }
+        Ok(SpecFile {
+            name,
+            span,
+            relations,
+            tasks,
+            init,
+            properties,
+        })
+    }
+
+    fn relation(&mut self) -> Result<RelationDecl, SpecError> {
+        self.expect_keyword("relation")?;
+        let name = self.expect_ident("a relation name")?;
+        self.expect(Token::LParen, "after the relation name")?;
+        let mut attrs = vec![self.attr()?];
+        while self.eat(&Token::Comma) {
+            attrs.push(self.attr()?);
+        }
+        self.expect(Token::RParen, "to close the attribute list")?;
+        self.expect(Token::Semi, "after the relation declaration")?;
+        Ok(RelationDecl { name, attrs })
+    }
+
+    fn attr(&mut self) -> Result<AttrDecl, SpecError> {
+        let name = self.expect_ident("an attribute name")?;
+        self.expect(Token::Colon, "after the attribute name")?;
+        let kind = if self.eat_keyword("data") {
+            AttrKindDecl::Data
+        } else if self.eat_keyword("ref") {
+            AttrKindDecl::Ref(self.expect_ident("the referenced relation")?)
+        } else {
+            return Err(self.error(format!(
+                "expected attribute type `data` or `ref <RELATION>`, found {}",
+                self.peek().describe()
+            )));
+        };
+        Ok(AttrDecl { name, kind })
+    }
+
+    fn type_decl(&mut self) -> Result<TypeDecl, SpecError> {
+        if self.eat_keyword("data") {
+            Ok(TypeDecl::Data)
+        } else if self.eat_keyword("id") {
+            self.expect(Token::LParen, "after `id`")?;
+            let rel = self.expect_ident("a relation name")?;
+            self.expect(Token::RParen, "to close the `id(...)` type")?;
+            Ok(TypeDecl::Id(rel))
+        } else {
+            Err(self.error(format!(
+                "expected a type (`data` or `id(RELATION)`), found {}",
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, SpecError> {
+        let name = self.expect_ident("a variable name")?;
+        self.expect(Token::Colon, "after the variable name")?;
+        let typ = self.type_decl()?;
+        Ok(VarDecl { name, typ })
+    }
+
+    fn io_pair(&mut self) -> Result<IoPair, SpecError> {
+        let child = self.expect_ident("a variable name")?;
+        let parent = if self.eat(&Token::Arrow) {
+            Some(self.expect_ident("the parent variable")?)
+        } else {
+            None
+        };
+        Ok(IoPair { child, parent })
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<Ident>, SpecError> {
+        let mut out = vec![self.expect_ident("a variable name")?];
+        while self.eat(&Token::Comma) {
+            out.push(self.expect_ident("a variable name")?);
+        }
+        Ok(out)
+    }
+
+    fn task(&mut self) -> Result<TaskDecl, SpecError> {
+        self.expect_keyword("task")?;
+        let name = self.expect_ident("a task name")?;
+        let parent = if self.eat_keyword("child") {
+            self.expect_keyword("of")?;
+            Some(self.expect_ident("the parent task")?)
+        } else {
+            None
+        };
+        self.expect(Token::LBrace, "to open the task body")?;
+        let mut task = TaskDecl {
+            name,
+            parent,
+            vars: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            artifacts: Vec::new(),
+            opening: None,
+            closing: None,
+            services: Vec::new(),
+        };
+        let mut seen_vars = false;
+        let mut seen_inputs = false;
+        let mut seen_outputs = false;
+        while !self.eat(&Token::RBrace) {
+            let span = self.span();
+            if self.eat_keyword("vars") {
+                if seen_vars {
+                    return Err(SpecError::new(span, "duplicate `vars` block"));
+                }
+                seen_vars = true;
+                self.expect(Token::LBrace, "to open the vars block")?;
+                task.vars.push(self.var_decl()?);
+                while self.eat(&Token::Comma) {
+                    task.vars.push(self.var_decl()?);
+                }
+                self.expect(Token::RBrace, "to close the vars block")?;
+            } else if self.eat_keyword("inputs") {
+                if seen_inputs {
+                    return Err(SpecError::new(span, "duplicate `inputs` block"));
+                }
+                seen_inputs = true;
+                self.expect(Token::LBrace, "to open the inputs block")?;
+                task.inputs.push(self.io_pair()?);
+                while self.eat(&Token::Comma) {
+                    task.inputs.push(self.io_pair()?);
+                }
+                self.expect(Token::RBrace, "to close the inputs block")?;
+            } else if self.eat_keyword("outputs") {
+                if seen_outputs {
+                    return Err(SpecError::new(span, "duplicate `outputs` block"));
+                }
+                seen_outputs = true;
+                self.expect(Token::LBrace, "to open the outputs block")?;
+                task.outputs.push(self.io_pair()?);
+                while self.eat(&Token::Comma) {
+                    task.outputs.push(self.io_pair()?);
+                }
+                self.expect(Token::RBrace, "to close the outputs block")?;
+            } else if self.eat_keyword("artifact") {
+                let name = self.expect_ident("an artifact-relation name")?;
+                self.expect(Token::LParen, "after the artifact-relation name")?;
+                let columns = self.ident_list()?;
+                self.expect(Token::RParen, "to close the column list")?;
+                self.expect(Token::Semi, "after the artifact declaration")?;
+                task.artifacts.push(ArtifactDecl { name, columns });
+            } else if self.eat_keyword("opening") {
+                if task.opening.is_some() {
+                    return Err(SpecError::new(span, "duplicate `opening` condition"));
+                }
+                self.expect(Token::Colon, "after `opening`")?;
+                let cond = self.condition()?;
+                self.expect(Token::Semi, "after the opening condition")?;
+                task.opening = Some(cond);
+            } else if self.eat_keyword("closing") {
+                if task.closing.is_some() {
+                    return Err(SpecError::new(span, "duplicate `closing` condition"));
+                }
+                self.expect(Token::Colon, "after `closing`")?;
+                let cond = self.condition()?;
+                self.expect(Token::Semi, "after the closing condition")?;
+                task.closing = Some(cond);
+            } else if self.eat_keyword("service") {
+                task.services.push(self.service()?);
+            } else {
+                return Err(self.error(format!(
+                    "expected a task item (`vars`, `inputs`, `outputs`, `artifact`, \
+                     `opening`, `closing` or `service`) or `}}`, found {}",
+                    self.peek().describe()
+                )));
+            }
+        }
+        Ok(task)
+    }
+
+    fn service(&mut self) -> Result<ServiceDecl, SpecError> {
+        let name = self.expect_ident("a service name")?;
+        self.expect(Token::LBrace, "to open the service body")?;
+        self.expect_keyword("pre")?;
+        self.expect(Token::Colon, "after `pre`")?;
+        let pre = self.condition()?;
+        self.expect(Token::Semi, "after the pre-condition")?;
+        self.expect_keyword("post")?;
+        self.expect(Token::Colon, "after `post`")?;
+        let post = self.condition()?;
+        self.expect(Token::Semi, "after the post-condition")?;
+        let propagate = if self.eat_keyword("propagate") {
+            let vars = self.ident_list()?;
+            self.expect(Token::Semi, "after the propagate list")?;
+            vars
+        } else {
+            Vec::new()
+        };
+        let update = if self.at_keyword("insert") || self.at_keyword("retrieve") {
+            let insert = self.eat_keyword("insert") || {
+                self.expect_keyword("retrieve")?;
+                false
+            };
+            let rel = self.expect_ident("an artifact-relation name")?;
+            self.expect(Token::LParen, "after the artifact-relation name")?;
+            let vars = self.ident_list()?;
+            self.expect(Token::RParen, "to close the tuple")?;
+            self.expect(Token::Semi, "after the update")?;
+            Some(UpdateDecl { insert, rel, vars })
+        } else {
+            None
+        };
+        self.expect(Token::RBrace, "to close the service body")?;
+        Ok(ServiceDecl {
+            name,
+            pre,
+            post,
+            propagate,
+            update,
+        })
+    }
+
+    fn property(&mut self) -> Result<PropertyDecl, SpecError> {
+        self.expect_keyword("property")?;
+        let (name, span) = self.expect_string("property name")?;
+        self.expect_keyword("on")?;
+        let task = self.expect_ident("the verified task")?;
+        self.expect(Token::LBrace, "to open the property body")?;
+        let mut foralls = Vec::new();
+        if self.eat_keyword("forall") {
+            foralls.push(self.var_decl()?);
+            while self.eat(&Token::Comma) {
+                foralls.push(self.var_decl()?);
+            }
+            self.expect(Token::Semi, "after the forall declarations")?;
+        }
+        let mut defines = Vec::new();
+        while self.eat_keyword("define") {
+            let name = self.expect_ident("the alias name")?;
+            self.expect(Token::Assign, "after the alias name")?;
+            let cond = self.condition()?;
+            self.expect(Token::Semi, "after the alias condition")?;
+            defines.push(DefineDecl { name, cond });
+        }
+        let body = if self.eat_keyword("formula") {
+            self.expect(Token::Colon, "after `formula`")?;
+            let f = self.ltl()?;
+            self.expect(Token::Semi, "after the formula")?;
+            PropertyBody::Formula(f)
+        } else if self.eat_keyword("template") {
+            let (name, span) = self.expect_string("template name")?;
+            let mut phi = None;
+            let mut psi = None;
+            if self.eat_keyword("with") {
+                loop {
+                    let slot = self.expect_ident("`phi` or `psi`")?;
+                    self.expect(Token::Assign, "after the placeholder name")?;
+                    let atom = self.ltl_atom()?;
+                    match slot.name.as_str() {
+                        "phi" if phi.is_none() => phi = Some(atom),
+                        "psi" if psi.is_none() => psi = Some(atom),
+                        "phi" | "psi" => {
+                            return Err(SpecError::new(
+                                slot.span,
+                                format!("placeholder `{}` is bound twice", slot.name),
+                            ))
+                        }
+                        other => {
+                            return Err(SpecError::new(
+                                slot.span,
+                                format!(
+                                "unknown template placeholder `{other}` (expected `phi` or `psi`)"
+                            ),
+                            ))
+                        }
+                    }
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(Token::Semi, "after the template instantiation")?;
+            PropertyBody::Template {
+                name,
+                span,
+                phi,
+                psi,
+            }
+        } else {
+            return Err(self.error(format!(
+                "expected `formula` or `template` in the property body, found {}",
+                self.peek().describe()
+            )));
+        };
+        self.expect(Token::RBrace, "to close the property body")?;
+        Ok(PropertyDecl {
+            name,
+            span,
+            task,
+            foralls,
+            defines,
+            body,
+        })
+    }
+
+    // ----- conditions ----------------------------------------------------
+
+    fn condition(&mut self) -> Result<CondExpr, SpecError> {
+        let left = self.cond_or()?;
+        if self.eat(&Token::Arrow) {
+            let right = self.condition()?;
+            Ok(CondExpr::Implies(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn cond_or(&mut self) -> Result<CondExpr, SpecError> {
+        let first = self.cond_and()?;
+        if *self.peek() != Token::OrOr {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat(&Token::OrOr) {
+            parts.push(self.cond_and()?);
+        }
+        Ok(CondExpr::Or(parts))
+    }
+
+    fn cond_and(&mut self) -> Result<CondExpr, SpecError> {
+        let first = self.cond_not()?;
+        if *self.peek() != Token::AndAnd {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat(&Token::AndAnd) {
+            parts.push(self.cond_not()?);
+        }
+        Ok(CondExpr::And(parts))
+    }
+
+    fn cond_not(&mut self) -> Result<CondExpr, SpecError> {
+        if *self.peek() == Token::Bang {
+            let span = self.bump().span;
+            let inner = self.cond_not()?;
+            Ok(CondExpr::Not(Box::new(inner), span))
+        } else {
+            self.cond_primary()
+        }
+    }
+
+    fn cond_primary(&mut self) -> Result<CondExpr, SpecError> {
+        match self.peek() {
+            Token::LParen => {
+                self.bump();
+                let inner = self.condition()?;
+                self.expect(Token::RParen, "to close the parenthesized condition")?;
+                Ok(inner)
+            }
+            Token::Ident(name) if name == "true" => Ok(CondExpr::True(self.bump().span)),
+            Token::Ident(name) if name == "false" => Ok(CondExpr::False(self.bump().span)),
+            Token::Ident(_) if self.tokens[self.pos + 1].token == Token::LParen => {
+                let rel = self.expect_ident("a relation name")?;
+                self.bump(); // '('
+                let mut args = vec![self.term()?];
+                while self.eat(&Token::Comma) {
+                    args.push(self.term()?);
+                }
+                self.expect(Token::RParen, "to close the relational atom")?;
+                Ok(CondExpr::Rel { rel, args })
+            }
+            _ => {
+                let left = self.term()?;
+                let eq = match self.peek() {
+                    Token::EqEq => true,
+                    Token::NotEq => false,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected `==` or `!=` after the term, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+                self.bump();
+                let right = self.term()?;
+                Ok(CondExpr::Cmp { left, eq, right })
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<TermExpr, SpecError> {
+        match self.peek() {
+            Token::Ident(name) if name == "null" => Ok(TermExpr::Null(self.bump().span)),
+            Token::Ident(_) => {
+                let ident = self.expect_ident("a variable")?;
+                Ok(TermExpr::Var(ident))
+            }
+            Token::Str(_) => {
+                let t = self.bump();
+                let Token::Str(text) = t.token else {
+                    unreachable!()
+                };
+                Ok(TermExpr::Str(text, t.span))
+            }
+            Token::Int(_) => {
+                let t = self.bump();
+                let Token::Int(value) = t.token else {
+                    unreachable!()
+                };
+                Ok(TermExpr::Int(value, t.span))
+            }
+            other => Err(self.error(format!(
+                "expected a term (variable, constant or `null`), found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    // ----- LTL formulas --------------------------------------------------
+
+    fn ltl(&mut self) -> Result<LtlExpr, SpecError> {
+        let left = self.ltl_or()?;
+        if self.eat(&Token::Arrow) {
+            let right = self.ltl()?;
+            Ok(LtlExpr::Implies(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn ltl_or(&mut self) -> Result<LtlExpr, SpecError> {
+        let left = self.ltl_and()?;
+        if self.eat(&Token::OrOr) {
+            let right = self.ltl_or()?;
+            Ok(LtlExpr::Or(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn ltl_and(&mut self) -> Result<LtlExpr, SpecError> {
+        let left = self.ltl_until()?;
+        if self.eat(&Token::AndAnd) {
+            let right = self.ltl_and()?;
+            Ok(LtlExpr::And(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn ltl_until(&mut self) -> Result<LtlExpr, SpecError> {
+        let left = self.ltl_unary()?;
+        if self.at_keyword("U") {
+            self.bump();
+            let right = self.ltl_until()?;
+            Ok(LtlExpr::Until(Box::new(left), Box::new(right)))
+        } else if self.at_keyword("R") {
+            self.bump();
+            let right = self.ltl_until()?;
+            Ok(LtlExpr::Release(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn ltl_unary(&mut self) -> Result<LtlExpr, SpecError> {
+        if *self.peek() == Token::Bang {
+            let span = self.bump().span;
+            return Ok(LtlExpr::Not(Box::new(self.ltl_unary()?), span));
+        }
+        for (word, build) in [
+            (
+                "G",
+                LtlExpr::Globally as fn(Box<LtlExpr>, SourceSpan) -> LtlExpr,
+            ),
+            ("F", LtlExpr::Eventually),
+            ("X", LtlExpr::Next),
+        ] {
+            if self.at_keyword(word) {
+                let span = self.bump().span;
+                return Ok(build(Box::new(self.ltl_unary()?), span));
+            }
+        }
+        self.ltl_primary()
+    }
+
+    fn ltl_primary(&mut self) -> Result<LtlExpr, SpecError> {
+        match self.peek() {
+            Token::LParen => {
+                self.bump();
+                let inner = self.ltl()?;
+                self.expect(Token::RParen, "to close the parenthesized formula")?;
+                Ok(inner)
+            }
+            Token::Ident(name) if name == "true" => Ok(LtlExpr::True(self.bump().span)),
+            Token::Ident(name) if name == "false" => Ok(LtlExpr::False(self.bump().span)),
+            _ => Ok(LtlExpr::Atom(self.ltl_atom()?)),
+        }
+    }
+
+    fn ltl_atom(&mut self) -> Result<AtomExpr, SpecError> {
+        match self.peek() {
+            Token::LBrace => {
+                let span = self.bump().span;
+                let cond = self.condition()?;
+                self.expect(Token::RBrace, "to close the condition atom")?;
+                Ok(AtomExpr::Cond(Box::new(cond), span))
+            }
+            Token::Ident(name) if name == "open" || name == "close" => {
+                let open = name == "open";
+                self.bump();
+                self.expect(Token::LParen, "after `open`/`close`")?;
+                let task = self.expect_ident("a task name")?;
+                self.expect(Token::RParen, "to close the service atom")?;
+                Ok(if open {
+                    AtomExpr::Open(task)
+                } else {
+                    AtomExpr::Close(task)
+                })
+            }
+            Token::Ident(name) if name == "did" => {
+                self.bump();
+                self.expect(Token::LParen, "after `did`")?;
+                let task = self.expect_ident("a task name")?;
+                self.expect(Token::Dot, "between task and service name")?;
+                let service = self.expect_ident("a service name")?;
+                self.expect(Token::RParen, "to close the service atom")?;
+                Ok(AtomExpr::Did(task, service))
+            }
+            Token::Ident(_) => Ok(AtomExpr::Alias(self.expect_ident("an atom")?)),
+            other => Err(self.error(format!(
+                "expected an atom (`{{ condition }}`, `open(Task)`, `close(Task)`, \
+                 `did(Task.Service)` or a defined alias), found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+spec "mini";
+schema {
+    relation R(a: data);
+}
+task Root {
+    vars { x: data, r: id(R) }
+    service Go {
+        pre: x == null;
+        post: x == "Done" && R(r, "v");
+    }
+}
+init: x == null;
+property "never-bad" on Root {
+    formula: G !{ x == "Bad" };
+}
+"#;
+
+    #[test]
+    fn parses_a_minimal_specification() {
+        let file = parse(MINI).unwrap();
+        assert_eq!(file.name, "mini");
+        assert_eq!(file.relations.len(), 1);
+        assert_eq!(file.tasks.len(), 1);
+        assert_eq!(file.tasks[0].vars.len(), 2);
+        assert_eq!(file.tasks[0].services.len(), 1);
+        assert!(file.init.is_some());
+        assert_eq!(file.properties.len(), 1);
+        let PropertyBody::Formula(f) = &file.properties[0].body else {
+            panic!("expected a formula body");
+        };
+        assert!(matches!(f, LtlExpr::Globally(..)));
+    }
+
+    #[test]
+    fn condition_chains_flatten_and_implies_nests_right() {
+        let file = parse(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T {
+    vars { x: data }
+    service S { pre: x == "a" && x != "b" && x != "c"; post: x == "a" -> x == "b" -> x == "c"; }
+}
+"#,
+        )
+        .unwrap();
+        let svc = &file.tasks[0].services[0];
+        match &svc.pre {
+            CondExpr::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected a flat conjunction, got {other:?}"),
+        }
+        match &svc.post {
+            CondExpr::Implies(_, b) => assert!(matches!(**b, CondExpr::Implies(..))),
+            other => panic!("expected a right-nested implication, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ltl_precedence_binds_until_tighter_than_and() {
+        let file = parse(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T { vars { x: data } }
+property "q" on T {
+    define a := x == "a";
+    define b := x == "b";
+    formula: !a U b && F a;
+}
+"#,
+        )
+        .unwrap();
+        let PropertyBody::Formula(f) = &file.properties[0].body else {
+            panic!()
+        };
+        // (!a U b) && (F a)
+        match f {
+            LtlExpr::And(left, right) => {
+                assert!(matches!(**left, LtlExpr::Until(..)));
+                assert!(matches!(**right, LtlExpr::Eventually(..)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_point_at_the_offending_token() {
+        let err = parse("spec \"x\";\nschema { relation R(a data); }").unwrap_err();
+        assert_eq!((err.span.line, err.span.column), (2, 23));
+        assert!(err.message.contains("`:`"), "{}", err.message);
+    }
+
+    #[test]
+    fn template_bodies_parse() {
+        let file = parse(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T { vars { x: data } }
+property "q" on T {
+    template "G phi" with phi := { x == "Bad" };
+}
+"#,
+        )
+        .unwrap();
+        let PropertyBody::Template { name, phi, psi, .. } = &file.properties[0].body else {
+            panic!()
+        };
+        assert_eq!(name, "G phi");
+        assert!(phi.is_some());
+        assert!(psi.is_none());
+    }
+}

@@ -1,0 +1,368 @@
+//! Canonical pretty-printer of the `.has` language (`verifas fmt`).
+//!
+//! The printer emits one canonical layout: four-space indentation, one
+//! declaration per line, and minimal parentheses (re-inserted from the
+//! tree shape by operator precedence).  Printing is *round-trip exact*:
+//! reparsing the output yields the same AST (up to spans) — the seeded
+//! round-trip fuzz test pins this against printer/parser drift — and
+//! printing is idempotent.
+
+use crate::ast::*;
+
+/// Render a parsed specification in canonical formatting.
+pub fn format_spec(file: &SpecFile) -> String {
+    let mut out = String::new();
+    let p = &mut out;
+    line(p, 0, &format!("spec {};", quoted(&file.name)));
+    blank(p);
+    line(p, 0, "schema {");
+    for rel in &file.relations {
+        let attrs: Vec<String> = rel
+            .attrs
+            .iter()
+            .map(|a| match &a.kind {
+                AttrKindDecl::Data => format!("{}: data", a.name.name),
+                AttrKindDecl::Ref(target) => format!("{}: ref {}", a.name.name, target.name),
+            })
+            .collect();
+        line(
+            p,
+            1,
+            &format!("relation {}({});", rel.name.name, attrs.join(", ")),
+        );
+    }
+    line(p, 0, "}");
+    for task in &file.tasks {
+        blank(p);
+        print_task(p, task);
+    }
+    if let Some(init) = &file.init {
+        blank(p);
+        line(p, 0, &format!("init: {};", cond(init, COND_TOP)));
+    }
+    for prop in &file.properties {
+        blank(p);
+        print_property(p, prop);
+    }
+    out
+}
+
+fn print_task(p: &mut String, task: &TaskDecl) {
+    match &task.parent {
+        None => line(p, 0, &format!("task {} {{", task.name.name)),
+        Some(parent) => line(
+            p,
+            0,
+            &format!("task {} child of {} {{", task.name.name, parent.name),
+        ),
+    }
+    if !task.vars.is_empty() {
+        line(p, 1, "vars {");
+        for (i, v) in task.vars.iter().enumerate() {
+            let comma = if i + 1 < task.vars.len() { "," } else { "" };
+            line(p, 2, &format!("{}: {}{comma}", v.name.name, typ(&v.typ)));
+        }
+        line(p, 1, "}");
+    }
+    for (keyword, pairs) in [("inputs", &task.inputs), ("outputs", &task.outputs)] {
+        if !pairs.is_empty() {
+            let rendered: Vec<String> = pairs
+                .iter()
+                .map(|pair| match &pair.parent {
+                    None => pair.child.name.clone(),
+                    Some(parent) => format!("{} -> {}", pair.child.name, parent.name),
+                })
+                .collect();
+            line(p, 1, &format!("{keyword} {{ {} }}", rendered.join(", ")));
+        }
+    }
+    for artifact in &task.artifacts {
+        let columns: Vec<&str> = artifact.columns.iter().map(|c| c.name.as_str()).collect();
+        line(
+            p,
+            1,
+            &format!("artifact {}({});", artifact.name.name, columns.join(", ")),
+        );
+    }
+    if let Some(c) = &task.opening {
+        line(p, 1, &format!("opening: {};", cond(c, COND_TOP)));
+    }
+    if let Some(c) = &task.closing {
+        line(p, 1, &format!("closing: {};", cond(c, COND_TOP)));
+    }
+    for svc in &task.services {
+        line(p, 1, &format!("service {} {{", svc.name.name));
+        line(p, 2, &format!("pre: {};", cond(&svc.pre, COND_TOP)));
+        line(p, 2, &format!("post: {};", cond(&svc.post, COND_TOP)));
+        if !svc.propagate.is_empty() {
+            let vars: Vec<&str> = svc.propagate.iter().map(|v| v.name.as_str()).collect();
+            line(p, 2, &format!("propagate {};", vars.join(", ")));
+        }
+        if let Some(update) = &svc.update {
+            let vars: Vec<&str> = update.vars.iter().map(|v| v.name.as_str()).collect();
+            let verb = if update.insert { "insert" } else { "retrieve" };
+            line(
+                p,
+                2,
+                &format!("{verb} {}({});", update.rel.name, vars.join(", ")),
+            );
+        }
+        line(p, 1, "}");
+    }
+    line(p, 0, "}");
+}
+
+fn print_property(p: &mut String, prop: &PropertyDecl) {
+    line(
+        p,
+        0,
+        &format!("property {} on {} {{", quoted(&prop.name), prop.task.name),
+    );
+    if !prop.foralls.is_empty() {
+        let decls: Vec<String> = prop
+            .foralls
+            .iter()
+            .map(|v| format!("{}: {}", v.name.name, typ(&v.typ)))
+            .collect();
+        line(p, 1, &format!("forall {};", decls.join(", ")));
+    }
+    for define in &prop.defines {
+        line(
+            p,
+            1,
+            &format!(
+                "define {} := {};",
+                define.name.name,
+                cond(&define.cond, COND_TOP)
+            ),
+        );
+    }
+    match &prop.body {
+        PropertyBody::Formula(f) => line(p, 1, &format!("formula: {};", ltl(f, LTL_TOP))),
+        PropertyBody::Template { name, phi, psi, .. } => {
+            let mut text = format!("template {}", quoted(name));
+            let mut args = Vec::new();
+            if let Some(a) = phi {
+                args.push(format!("phi := {}", atom(a)));
+            }
+            if let Some(a) = psi {
+                args.push(format!("psi := {}", atom(a)));
+            }
+            if !args.is_empty() {
+                text.push_str(&format!(" with {}", args.join(", ")));
+            }
+            text.push(';');
+            line(p, 1, &text);
+        }
+    }
+    line(p, 0, "}");
+}
+
+fn typ(t: &TypeDecl) -> String {
+    match t {
+        TypeDecl::Data => "data".into(),
+        TypeDecl::Id(rel) => format!("id({})", rel.name),
+    }
+}
+
+fn quoted(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn term(t: &TermExpr) -> String {
+    match t {
+        TermExpr::Null(_) => "null".into(),
+        TermExpr::Str(s, _) => quoted(s),
+        TermExpr::Int(i, _) => i.to_string(),
+        TermExpr::Var(ident) => ident.name.clone(),
+    }
+}
+
+// Condition precedence contexts, loosest (top) to tightest.
+const COND_TOP: u8 = 0; // `->` allowed unparenthesized
+const COND_OR: u8 = 1;
+const COND_AND: u8 = 2;
+const COND_NOT: u8 = 3;
+
+fn cond_level(c: &CondExpr) -> u8 {
+    match c {
+        CondExpr::Implies(..) => 0,
+        CondExpr::Or(_) => 1,
+        CondExpr::And(_) => 2,
+        CondExpr::Not(..) => 3,
+        _ => 4,
+    }
+}
+
+fn cond(c: &CondExpr, context: u8) -> String {
+    let text = match c {
+        CondExpr::True(_) => "true".into(),
+        CondExpr::False(_) => "false".into(),
+        CondExpr::Cmp { left, eq, right } => format!(
+            "{} {} {}",
+            term(left),
+            if *eq { "==" } else { "!=" },
+            term(right)
+        ),
+        CondExpr::Rel { rel, args } => {
+            let args: Vec<String> = args.iter().map(term).collect();
+            format!("{}({})", rel.name, args.join(", "))
+        }
+        CondExpr::Not(inner, _) => format!("!{}", cond(inner, COND_NOT + 1)),
+        CondExpr::And(parts) => {
+            let parts: Vec<String> = parts.iter().map(|part| cond(part, COND_AND + 1)).collect();
+            parts.join(" && ")
+        }
+        CondExpr::Or(parts) => {
+            let parts: Vec<String> = parts.iter().map(|part| cond(part, COND_OR + 1)).collect();
+            parts.join(" || ")
+        }
+        // `->` is right-associative: the left side must bind tighter, the
+        // right side may be another implication.
+        CondExpr::Implies(a, b) => format!("{} -> {}", cond(a, COND_OR), cond(b, COND_TOP)),
+    };
+    if cond_level(c) < context {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+// LTL precedence contexts, loosest to tightest.
+const LTL_TOP: u8 = 0; // `->`
+const LTL_OR: u8 = 1;
+const LTL_AND: u8 = 2;
+const LTL_UNTIL: u8 = 3;
+const LTL_UNARY: u8 = 4;
+
+fn ltl_level(f: &LtlExpr) -> u8 {
+    match f {
+        LtlExpr::Implies(..) => 0,
+        LtlExpr::Or(..) => 1,
+        LtlExpr::And(..) => 2,
+        LtlExpr::Until(..) | LtlExpr::Release(..) => 3,
+        LtlExpr::Not(..) | LtlExpr::Next(..) | LtlExpr::Globally(..) | LtlExpr::Eventually(..) => 4,
+        _ => 5,
+    }
+}
+
+fn ltl(f: &LtlExpr, context: u8) -> String {
+    let text = match f {
+        LtlExpr::True(_) => "true".into(),
+        LtlExpr::False(_) => "false".into(),
+        LtlExpr::Atom(a) => atom(a),
+        LtlExpr::Not(inner, _) => format!("!{}", ltl(inner, LTL_UNARY + 1)),
+        LtlExpr::Globally(inner, _) => format!("G {}", ltl(inner, LTL_UNARY + 1)),
+        LtlExpr::Eventually(inner, _) => format!("F {}", ltl(inner, LTL_UNARY + 1)),
+        LtlExpr::Next(inner, _) => format!("X {}", ltl(inner, LTL_UNARY + 1)),
+        // Right-associative binaries: left child binds tighter, right child
+        // may repeat the operator.
+        LtlExpr::And(a, b) => format!("{} && {}", ltl(a, LTL_AND + 1), ltl(b, LTL_AND)),
+        LtlExpr::Or(a, b) => format!("{} || {}", ltl(a, LTL_OR + 1), ltl(b, LTL_OR)),
+        LtlExpr::Implies(a, b) => format!("{} -> {}", ltl(a, LTL_OR), ltl(b, LTL_TOP)),
+        LtlExpr::Until(a, b) => format!("{} U {}", ltl(a, LTL_UNTIL + 1), ltl(b, LTL_UNTIL)),
+        LtlExpr::Release(a, b) => format!("{} R {}", ltl(a, LTL_UNTIL + 1), ltl(b, LTL_UNTIL)),
+    };
+    if ltl_level(f) < context {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+fn atom(a: &AtomExpr) -> String {
+    match a {
+        AtomExpr::Cond(c, _) => format!("{{ {} }}", cond(c, COND_TOP)),
+        AtomExpr::Open(task) => format!("open({})", task.name),
+        AtomExpr::Close(task) => format!("close({})", task.name),
+        AtomExpr::Did(task, service) => format!("did({}.{})", task.name, service.name),
+        AtomExpr::Alias(ident) => ident.name.clone(),
+    }
+}
+
+fn line(out: &mut String, indent: usize, text: &str) {
+    for _ in 0..indent {
+        out.push_str("    ");
+    }
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn blank(out: &mut String) {
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn printing_is_idempotent_and_round_trips() {
+        let source = r#"
+spec "demo";
+schema { relation R(a: data, b: ref R2); relation R2(c: data); }
+task Root {
+    vars { x: data, y: id(R) }
+    artifact POOL(x, y);
+    service S {
+        pre: ((x == null)) || x == "a" && x != "b";
+        post: (x == "a" -> R(y, x, y)) -> x == "c";
+        propagate y;
+        insert POOL(x, y);
+    }
+}
+init: x == null;
+property "p" on Root {
+    forall g: data;
+    define bad := x == g && x != null;
+    formula: G(bad -> (!bad U { x == "ok" }) && X F bad);
+}
+property "t" on Root {
+    template "G phi" with phi := { x == "Bad" };
+}
+"#;
+        let first = parse(source).unwrap();
+        let printed = format_spec(&first);
+        let reparsed = parse(&printed).unwrap();
+        let mut a = first.clone();
+        let mut b = reparsed.clone();
+        a.strip_spans();
+        b.strip_spans();
+        assert_eq!(a, b, "printed text must reparse to the same tree");
+        // Idempotence: formatting the formatted text changes nothing.
+        assert_eq!(format_spec(&reparsed), printed);
+    }
+
+    #[test]
+    fn minimal_parens_are_preserved_where_needed() {
+        let source = r#"
+spec "parens";
+schema { relation R(a: data); }
+task T {
+    vars { x: data }
+    service S { pre: !(x == "a" && x == "b"); post: (x == "a" || x == "b") && x != "c"; }
+}
+"#;
+        let file = parse(source).unwrap();
+        let printed = format_spec(&file);
+        assert!(printed.contains("!(x == \"a\" && x == \"b\")"));
+        assert!(printed.contains("(x == \"a\" || x == \"b\") && x != \"c\""));
+        let reparsed = parse(&printed).unwrap();
+        let mut a = file;
+        let mut b = reparsed;
+        a.strip_spans();
+        b.strip_spans();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,948 @@
+//! Name resolution, type resolution and lowering of a parsed `.has` file
+//! into a `verifas_model::HasSpec` plus named LTL-FO properties.
+//!
+//! Lowering goes through the exact same builders programmatic callers use
+//! ([`TaskBuilder`], [`SpecBuilder`], the `Condition` / `Ltl` constructor
+//! helpers), in declaration order, so a `.has` file and an equivalent
+//! Rust builder produce *structurally identical* specifications — the
+//! facade's `spec_frontend` integration test pins the two real ported
+//! workloads bit for bit, down to verdicts and search statistics.
+//!
+//! Every diagnostic carries the span of the offending construct; errors
+//! surfaced by the model-level validation (which has no source spans) are
+//! anchored at the `spec` header.
+
+use crate::ast::*;
+use crate::error::SpecError;
+use std::collections::HashMap;
+use verifas_core::SourceSpan;
+use verifas_ltl::{all_templates, Ltl, LtlFoProperty, PropAtom};
+use verifas_model::schema::AttrKind;
+use verifas_model::{
+    Condition, DatabaseSchema, HasSpec, ServiceRef, SpecBuilder, TaskBuilder, TaskId, Term, VarId,
+    VarType,
+};
+
+/// The result of compiling one `.has` file: the lowered specification and
+/// its named properties, in declaration order.
+#[derive(Debug, Clone)]
+pub struct CompiledSpec {
+    /// The validated specification.
+    pub spec: HasSpec,
+    /// The properties, validated against `spec`.
+    pub properties: Vec<LtlFoProperty>,
+}
+
+/// Per-task symbols kept for name resolution (the builders own the tasks
+/// themselves).
+struct TaskScope {
+    name: String,
+    vars: Vec<(String, VarType)>,
+    services: Vec<String>,
+}
+
+/// Words the condition grammar claims for literals: a variable with one
+/// of these names could never be referenced (the parser reads the
+/// literal first), so declaring one is rejected up front.
+const RESERVED_TERMS: &[&str] = &["true", "false", "null"];
+
+/// Words the LTL grammar claims for literals and operators: an alias
+/// with one of these names would be silently shadowed (or unreferencable)
+/// at every use site.
+const RESERVED_ATOMS: &[&str] = &[
+    "true", "false", "null", "open", "close", "did", "G", "F", "X", "U", "R",
+];
+
+fn check_reserved(ident: &Ident, reserved: &[&str], what: &str) -> Result<(), SpecError> {
+    if reserved.contains(&ident.name.as_str()) {
+        return Err(SpecError::new(
+            ident.span,
+            format!(
+                "`{}` is a reserved word and cannot name a {what}",
+                ident.name
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Lower a parsed file into a validated [`CompiledSpec`].
+pub fn resolve(file: &SpecFile) -> Result<CompiledSpec, SpecError> {
+    let db = resolve_schema(file)?;
+    let mut scopes: Vec<TaskScope> = Vec::new();
+    let mut builder: Option<SpecBuilder> = None;
+    for (index, decl) in file.tasks.iter().enumerate() {
+        if index == 0 {
+            if let Some(parent) = &decl.parent {
+                return Err(SpecError::new(
+                    parent.span,
+                    format!(
+                        "the first task (`{}`) is the root and cannot be a child",
+                        decl.name.name
+                    ),
+                ));
+            }
+        } else if decl.parent.is_none() {
+            return Err(SpecError::new(
+                decl.name.span,
+                format!(
+                    "task `{}` must declare `child of <PARENT>` (only the first task is the root)",
+                    decl.name.name
+                ),
+            ));
+        }
+        if scopes.iter().any(|s| s.name == decl.name.name) {
+            return Err(SpecError::new(
+                decl.name.span,
+                format!("duplicate task `{}`", decl.name.name),
+            ));
+        }
+        let (task, scope, maps) = resolve_task(&db, decl, &scopes)?;
+        match (&mut builder, &decl.parent) {
+            (slot @ None, _) => *slot = Some(SpecBuilder::new(file.name.clone(), db.clone(), task)),
+            (Some(builder), Some(parent)) => {
+                let (input_map, output_map) = maps;
+                builder
+                    .add_child_with_maps(&parent.name, task, input_map, output_map)
+                    .map_err(|e| SpecError::new(parent.span, format!("cannot attach task: {e}")))?;
+            }
+            (Some(_), None) => unreachable!("non-first tasks have parents"),
+        }
+        scopes.push(scope);
+    }
+    let mut builder = builder.expect("the parser guarantees at least one task");
+    if let Some(init) = &file.init {
+        let ctx = CondCtx::of(&db, &scopes[0]);
+        builder.global_pre(lower_cond(init, &ctx)?);
+    }
+    let spec = builder.build().map_err(|e| {
+        SpecError::new(
+            file.span,
+            format!("the lowered specification is invalid: {e}"),
+        )
+    })?;
+    let mut properties: Vec<LtlFoProperty> = Vec::new();
+    for decl in &file.properties {
+        // Reports and `--prop` selection key on the property name; a
+        // duplicate would make verdicts unattributable.
+        if properties.iter().any(|p| p.name == decl.name) {
+            return Err(SpecError::new(
+                decl.span,
+                format!("duplicate property {:?}", decl.name),
+            ));
+        }
+        properties.push(resolve_property(&db, &spec, &scopes, decl)?);
+    }
+    Ok(CompiledSpec { spec, properties })
+}
+
+fn resolve_schema(file: &SpecFile) -> Result<DatabaseSchema, SpecError> {
+    let mut db = DatabaseSchema::new();
+    for rel in &file.relations {
+        let mut attrs = Vec::new();
+        for attr in &rel.attrs {
+            let kind = match &attr.kind {
+                AttrKindDecl::Data => AttrKind::NonKey,
+                AttrKindDecl::Ref(target) => {
+                    let (id, _) = db.relation_by_name(&target.name).ok_or_else(|| {
+                        SpecError::new(
+                            target.span,
+                            format!(
+                                "unknown relation `{}` (foreign keys may only reference \
+                                 previously declared relations)",
+                                target.name
+                            ),
+                        )
+                    })?;
+                    AttrKind::ForeignKey(id)
+                }
+            };
+            attrs.push((attr.name.name.clone(), kind));
+        }
+        db.add_relation(rel.name.name.clone(), attrs)
+            .map_err(|e| SpecError::new(rel.name.span, e.to_string()))?;
+    }
+    Ok(db)
+}
+
+/// An explicit `(child name, parent name)` input or output mapping;
+/// `None` lowers through the builder's same-name convention.
+type NameMap = Option<Vec<(String, String)>>;
+type IoMaps = (NameMap, NameMap);
+
+fn resolve_task(
+    db: &DatabaseSchema,
+    decl: &TaskDecl,
+    scopes: &[TaskScope],
+) -> Result<(verifas_model::Task, TaskScope, IoMaps), SpecError> {
+    let mut builder = TaskBuilder::new(decl.name.name.clone());
+    let mut vars: Vec<(String, VarType)> = Vec::new();
+    let mut services: Vec<String> = Vec::new();
+    for var in &decl.vars {
+        check_reserved(&var.name, RESERVED_TERMS, "variable")?;
+        if vars.iter().any(|(name, _)| *name == var.name.name) {
+            return Err(SpecError::new(
+                var.name.span,
+                format!(
+                    "duplicate variable `{}` in task `{}`",
+                    var.name.name, decl.name.name
+                ),
+            ));
+        }
+        let typ = resolve_type(db, &var.typ)?;
+        match typ {
+            VarType::Data => builder.data_var(var.name.name.clone()),
+            VarType::Id(rel) => builder.id_var(var.name.name.clone(), rel),
+        };
+        vars.push((var.name.name.clone(), typ));
+    }
+    let lookup = |ident: &Ident| -> Result<VarId, SpecError> {
+        vars.iter()
+            .position(|(name, _)| *name == ident.name)
+            .map(|i| VarId::new(i as u32))
+            .ok_or_else(|| {
+                SpecError::new(
+                    ident.span,
+                    format!(
+                        "unknown variable `{}` in task `{}`",
+                        ident.name, decl.name.name
+                    ),
+                )
+            })
+    };
+    // Input/output declarations: resolve the child side now and validate
+    // the (optional) explicit parent side against the parent's scope, so
+    // the builder's same-name wiring can never fail without a span.
+    let parent_scope =
+        match &decl.parent {
+            None => None,
+            Some(parent) => Some(scopes.iter().find(|s| s.name == parent.name).ok_or_else(
+                || {
+                    SpecError::new(
+                        parent.span,
+                        format!(
+                            "unknown parent task `{}` (tasks may only reference \
+                             previously declared tasks)",
+                            parent.name
+                        ),
+                    )
+                },
+            )?),
+        };
+    let resolve_io = |pairs: &[IoPair]| -> Result<(Vec<VarId>, NameMap), SpecError> {
+        let mut vars = Vec::new();
+        let mut explicit = false;
+        let mut mapping = Vec::new();
+        for pair in pairs {
+            vars.push(lookup(&pair.child)?);
+            let parent_name = pair.parent.as_ref().unwrap_or(&pair.child);
+            if let Some(parent_scope) = parent_scope {
+                if !parent_scope
+                    .vars
+                    .iter()
+                    .any(|(n, _)| n == &parent_name.name)
+                {
+                    return Err(SpecError::new(
+                        parent_name.span,
+                        format!(
+                            "unknown variable `{}` in parent task `{}`",
+                            parent_name.name, parent_scope.name
+                        ),
+                    ));
+                }
+            }
+            explicit |= pair.parent.is_some();
+            mapping.push((pair.child.name.clone(), parent_name.name.clone()));
+        }
+        Ok((vars, explicit.then_some(mapping)))
+    };
+    let (input_vars, input_map) = resolve_io(&decl.inputs)?;
+    let (output_vars, output_map) = resolve_io(&decl.outputs)?;
+    builder.inputs(input_vars);
+    builder.outputs(output_vars);
+    for artifact in &decl.artifacts {
+        if builder
+            .as_task()
+            .art_rel_by_name(&artifact.name.name)
+            .is_some()
+        {
+            return Err(SpecError::new(
+                artifact.name.span,
+                format!(
+                    "duplicate artifact relation `{}` in task `{}`",
+                    artifact.name.name, decl.name.name
+                ),
+            ));
+        }
+        let columns = artifact
+            .columns
+            .iter()
+            .map(&lookup)
+            .collect::<Result<Vec<_>, _>>()?;
+        builder.art_relation_like(artifact.name.name.clone(), &columns);
+    }
+    let own_ctx = CondCtx {
+        db,
+        task_name: &decl.name.name,
+        vars: &vars,
+        globals: &[],
+    };
+    match (&decl.opening, parent_scope) {
+        (Some(cond), Some(parent_scope)) => {
+            let parent_ctx = CondCtx::of(db, parent_scope);
+            builder.opening_pre(lower_cond(cond, &parent_ctx)?);
+        }
+        (Some(cond), None) => {
+            return Err(SpecError::new(
+                cond.span(),
+                "the root task has a fixed opening condition (true) — remove the `opening` clause",
+            ))
+        }
+        (None, _) => {}
+    }
+    match (&decl.closing, &decl.parent) {
+        (Some(cond), Some(_)) => {
+            builder.closing_pre(lower_cond(cond, &own_ctx)?);
+        }
+        (Some(cond), None) => {
+            return Err(SpecError::new(
+                cond.span(),
+                "the root task has a fixed closing condition (false) — remove the `closing` clause",
+            ))
+        }
+        (None, _) => {}
+    }
+    for svc in &decl.services {
+        if services.contains(&svc.name.name) {
+            return Err(SpecError::new(
+                svc.name.span,
+                format!(
+                    "duplicate service `{}` in task `{}`",
+                    svc.name.name, decl.name.name
+                ),
+            ));
+        }
+        let pre = lower_cond(&svc.pre, &own_ctx)?;
+        let post = lower_cond(&svc.post, &own_ctx)?;
+        let propagated = svc
+            .propagate
+            .iter()
+            .map(&lookup)
+            .collect::<Result<Vec<_>, _>>()?;
+        let update = match &svc.update {
+            None => None,
+            Some(update) => {
+                let (rel, _) = builder
+                    .as_task()
+                    .art_rel_by_name(&update.rel.name)
+                    .ok_or_else(|| {
+                        SpecError::new(
+                            update.rel.span,
+                            format!(
+                                "unknown artifact relation `{}` in task `{}`",
+                                update.rel.name, decl.name.name
+                            ),
+                        )
+                    })?;
+                let vars = update
+                    .vars
+                    .iter()
+                    .map(&lookup)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some(if update.insert {
+                    verifas_model::Update::Insert { rel, vars }
+                } else {
+                    verifas_model::Update::Retrieve { rel, vars }
+                })
+            }
+        };
+        builder.service_parts(svc.name.name.clone(), pre, post, propagated, update);
+        services.push(svc.name.name.clone());
+    }
+    let scope = TaskScope {
+        name: decl.name.name.clone(),
+        vars,
+        services,
+    };
+    Ok((builder.build(), scope, (input_map, output_map)))
+}
+
+fn resolve_type(db: &DatabaseSchema, typ: &TypeDecl) -> Result<VarType, SpecError> {
+    match typ {
+        TypeDecl::Data => Ok(VarType::Data),
+        TypeDecl::Id(rel) => {
+            let (id, _) = db.relation_by_name(&rel.name).ok_or_else(|| {
+                SpecError::new(rel.span, format!("unknown relation `{}`", rel.name))
+            })?;
+            Ok(VarType::Id(id))
+        }
+    }
+}
+
+/// Scope for condition lowering: the task's variables plus (for property
+/// conditions) the property's global variables.
+struct CondCtx<'a> {
+    db: &'a DatabaseSchema,
+    task_name: &'a str,
+    vars: &'a [(String, VarType)],
+    globals: &'a [(String, VarType)],
+}
+
+impl<'a> CondCtx<'a> {
+    fn of(db: &'a DatabaseSchema, scope: &'a TaskScope) -> Self {
+        CondCtx {
+            db,
+            task_name: &scope.name,
+            vars: &scope.vars,
+            globals: &[],
+        }
+    }
+}
+
+fn lower_term(term: &TermExpr, ctx: &CondCtx<'_>) -> Result<Term, SpecError> {
+    match term {
+        TermExpr::Null(_) => Ok(Term::Null),
+        TermExpr::Str(text, _) => Ok(Term::str(text.clone())),
+        TermExpr::Int(value, _) => Ok(Term::int(*value)),
+        TermExpr::Var(ident) => {
+            if let Some(index) = ctx.vars.iter().position(|(name, _)| *name == ident.name) {
+                return Ok(Term::var(VarId::new(index as u32)));
+            }
+            if let Some(index) = ctx.globals.iter().position(|(name, _)| *name == ident.name) {
+                return Ok(Term::global(index as u32));
+            }
+            Err(SpecError::new(
+                ident.span,
+                format!(
+                    "unknown variable `{}` in task `{}`",
+                    ident.name, ctx.task_name
+                ),
+            ))
+        }
+    }
+}
+
+fn lower_cond(cond: &CondExpr, ctx: &CondCtx<'_>) -> Result<Condition, SpecError> {
+    match cond {
+        CondExpr::True(_) => Ok(Condition::True),
+        CondExpr::False(_) => Ok(Condition::False),
+        CondExpr::Cmp { left, eq, right } => {
+            let (l, r) = (lower_term(left, ctx)?, lower_term(right, ctx)?);
+            Ok(if *eq {
+                Condition::eq(l, r)
+            } else {
+                Condition::neq(l, r)
+            })
+        }
+        CondExpr::Rel { rel, args } => {
+            let (id, relation) = ctx.db.relation_by_name(&rel.name).ok_or_else(|| {
+                SpecError::new(rel.span, format!("unknown relation `{}`", rel.name))
+            })?;
+            if args.len() != relation.arity() + 1 {
+                return Err(SpecError::new(
+                    rel.span,
+                    format!(
+                        "relation `{}` takes {} terms (the key followed by {} attributes), got {}",
+                        rel.name,
+                        relation.arity() + 1,
+                        relation.arity(),
+                        args.len()
+                    ),
+                ));
+            }
+            let mut terms = args
+                .iter()
+                .map(|t| lower_term(t, ctx))
+                .collect::<Result<Vec<_>, _>>()?;
+            let rest = terms.split_off(1);
+            Ok(Condition::Rel {
+                rel: id,
+                id: terms.pop().expect("arity checked above"),
+                args: rest,
+            })
+        }
+        CondExpr::Not(inner, _) => Ok(Condition::not(lower_cond(inner, ctx)?)),
+        CondExpr::And(parts) => Ok(Condition::and(
+            parts
+                .iter()
+                .map(|c| lower_cond(c, ctx))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        CondExpr::Or(parts) => Ok(Condition::or(
+            parts
+                .iter()
+                .map(|c| lower_cond(c, ctx))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        CondExpr::Implies(a, b) => Ok(Condition::implies(lower_cond(a, ctx)?, lower_cond(b, ctx)?)),
+    }
+}
+
+fn resolve_property(
+    db: &DatabaseSchema,
+    spec: &HasSpec,
+    scopes: &[TaskScope],
+    decl: &PropertyDecl,
+) -> Result<LtlFoProperty, SpecError> {
+    let task_index = scopes
+        .iter()
+        .position(|s| s.name == decl.task.name)
+        .ok_or_else(|| {
+            SpecError::new(decl.task.span, format!("unknown task `{}`", decl.task.name))
+        })?;
+    let task_id = TaskId::new(task_index as u32);
+    let scope = &scopes[task_index];
+    let mut globals: Vec<(String, VarType)> = Vec::new();
+    for var in &decl.foralls {
+        check_reserved(&var.name, RESERVED_TERMS, "global variable")?;
+        if globals.iter().any(|(name, _)| *name == var.name.name) {
+            return Err(SpecError::new(
+                var.name.span,
+                format!("duplicate global variable `{}`", var.name.name),
+            ));
+        }
+        if scope.vars.iter().any(|(name, _)| *name == var.name.name) {
+            return Err(SpecError::new(
+                var.name.span,
+                format!(
+                    "global variable `{}` shadows a variable of task `{}`",
+                    var.name.name, scope.name
+                ),
+            ));
+        }
+        globals.push((var.name.name.clone(), resolve_type(db, &var.typ)?));
+    }
+    let ctx = CondCtx {
+        db,
+        task_name: &scope.name,
+        vars: &scope.vars,
+        globals: &globals,
+    };
+    let mut defines: HashMap<String, Condition> = HashMap::new();
+    for define in &decl.defines {
+        check_reserved(&define.name, RESERVED_ATOMS, "condition alias")?;
+        if defines.contains_key(&define.name.name) {
+            return Err(SpecError::new(
+                define.name.span,
+                format!("duplicate alias `{}`", define.name.name),
+            ));
+        }
+        let cond = lower_cond(&define.cond, &ctx)?;
+        defines.insert(define.name.name.clone(), cond);
+    }
+    let mut env = PropertyEnv {
+        ctx,
+        scopes,
+        defines: &defines,
+        atoms: Vec::new(),
+    };
+    let formula = match &decl.body {
+        PropertyBody::Formula(expr) => lower_ltl(expr, &mut env)?,
+        PropertyBody::Template {
+            name,
+            span,
+            phi,
+            psi,
+        } => lower_template(name, *span, phi.as_ref(), psi.as_ref(), &mut env)?,
+    };
+    let global_types: Vec<VarType> = globals.iter().map(|(_, typ)| *typ).collect();
+    let property = LtlFoProperty::new(decl.name.clone(), task_id, global_types, formula, env.atoms);
+    property
+        .validate(spec)
+        .map_err(|e| SpecError::new(decl.span, format!("invalid property: {e}")))?;
+    Ok(property)
+}
+
+/// Lowering state of one property body: the condition scope, the alias
+/// table and the proposition atoms interned so far (identical atoms share
+/// one proposition id, assigned in first-occurrence order).
+struct PropertyEnv<'a> {
+    ctx: CondCtx<'a>,
+    scopes: &'a [TaskScope],
+    defines: &'a HashMap<String, Condition>,
+    atoms: Vec<PropAtom>,
+}
+
+impl PropertyEnv<'_> {
+    fn intern(&mut self, atom: PropAtom) -> Ltl {
+        let id = match self.atoms.iter().position(|a| *a == atom) {
+            Some(id) => id,
+            None => {
+                self.atoms.push(atom);
+                self.atoms.len() - 1
+            }
+        };
+        Ltl::prop(id as u32)
+    }
+
+    fn task_by_name(&self, ident: &Ident) -> Result<TaskId, SpecError> {
+        self.scopes
+            .iter()
+            .position(|s| s.name == ident.name)
+            .map(|i| TaskId::new(i as u32))
+            .ok_or_else(|| SpecError::new(ident.span, format!("unknown task `{}`", ident.name)))
+    }
+}
+
+fn lower_atom(atom: &AtomExpr, env: &mut PropertyEnv<'_>) -> Result<PropAtom, SpecError> {
+    match atom {
+        AtomExpr::Cond(cond, _) => Ok(PropAtom::Condition(lower_cond(cond, &env.ctx)?)),
+        AtomExpr::Alias(ident) => env
+            .defines
+            .get(&ident.name)
+            .cloned()
+            .map(PropAtom::Condition)
+            .ok_or_else(|| {
+                SpecError::new(
+                    ident.span,
+                    format!(
+                        "unknown alias `{}` (introduce it with `define {} := …;`)",
+                        ident.name, ident.name
+                    ),
+                )
+            }),
+        AtomExpr::Open(task) => Ok(PropAtom::Service(ServiceRef::Opening(
+            env.task_by_name(task)?,
+        ))),
+        AtomExpr::Close(task) => Ok(PropAtom::Service(ServiceRef::Closing(
+            env.task_by_name(task)?,
+        ))),
+        AtomExpr::Did(task, service) => {
+            let task_id = env.task_by_name(task)?;
+            let index = env.scopes[task_id.index()]
+                .services
+                .iter()
+                .position(|name| *name == service.name)
+                .ok_or_else(|| {
+                    SpecError::new(
+                        service.span,
+                        format!("unknown service `{}` in task `{}`", service.name, task.name),
+                    )
+                })?;
+            Ok(PropAtom::Service(ServiceRef::Internal {
+                task: task_id,
+                index,
+            }))
+        }
+    }
+}
+
+fn lower_ltl(expr: &LtlExpr, env: &mut PropertyEnv<'_>) -> Result<Ltl, SpecError> {
+    Ok(match expr {
+        LtlExpr::True(_) => Ltl::True,
+        LtlExpr::False(_) => Ltl::False,
+        LtlExpr::Atom(atom) => {
+            let atom = lower_atom(atom, env)?;
+            env.intern(atom)
+        }
+        LtlExpr::Not(inner, _) => Ltl::not(lower_ltl(inner, env)?),
+        LtlExpr::And(a, b) => Ltl::and(lower_ltl(a, env)?, lower_ltl(b, env)?),
+        LtlExpr::Or(a, b) => Ltl::or(lower_ltl(a, env)?, lower_ltl(b, env)?),
+        LtlExpr::Implies(a, b) => Ltl::implies(lower_ltl(a, env)?, lower_ltl(b, env)?),
+        LtlExpr::Next(inner, _) => Ltl::next(lower_ltl(inner, env)?),
+        LtlExpr::Globally(inner, _) => Ltl::globally(lower_ltl(inner, env)?),
+        LtlExpr::Eventually(inner, _) => Ltl::eventually(lower_ltl(inner, env)?),
+        LtlExpr::Until(a, b) => Ltl::until(lower_ltl(a, env)?, lower_ltl(b, env)?),
+        LtlExpr::Release(a, b) => Ltl::release(lower_ltl(a, env)?, lower_ltl(b, env)?),
+    })
+}
+
+fn lower_template(
+    name: &str,
+    span: SourceSpan,
+    phi: Option<&AtomExpr>,
+    psi: Option<&AtomExpr>,
+    env: &mut PropertyEnv<'_>,
+) -> Result<Ltl, SpecError> {
+    let template = all_templates()
+        .into_iter()
+        .find(|t| t.name == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = all_templates().iter().map(|t| t.name).collect();
+            SpecError::new(
+                span,
+                format!("unknown template \"{name}\"; available templates: {names:?}"),
+            )
+        })?;
+    let expect = |slot: &str, given: bool, wanted: bool| -> Result<(), SpecError> {
+        if given == wanted {
+            Ok(())
+        } else if wanted {
+            Err(SpecError::new(
+                span,
+                format!("template \"{name}\" requires a `{slot}` placeholder"),
+            ))
+        } else {
+            Err(SpecError::new(
+                span,
+                format!("template \"{name}\" does not use a `{slot}` placeholder"),
+            ))
+        }
+    };
+    expect("phi", phi.is_some(), template.arity >= 1)?;
+    expect("psi", psi.is_some(), template.arity >= 2)?;
+    match template.arity {
+        0 => Ok(template.instantiate(&Ltl::True, &Ltl::True)),
+        1 => {
+            let atom = lower_atom(phi.expect("arity checked"), env)?;
+            let p = env.intern(atom);
+            Ok(template.instantiate(&p, &p))
+        }
+        _ => {
+            let phi_atom = lower_atom(phi.expect("arity checked"), env)?;
+            let p = env.intern(phi_atom);
+            let psi_atom = lower_atom(psi.expect("arity checked"), env)?;
+            let q = env.intern(psi_atom);
+            Ok(template.instantiate(&p, &q))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use verifas_ltl::PropertyClass;
+
+    fn compile(source: &str) -> Result<CompiledSpec, SpecError> {
+        resolve(&parse(source).unwrap())
+    }
+
+    const FLOW: &str = r#"
+spec "flow";
+schema {
+    relation R(a: data);
+}
+task Root {
+    vars { status: data }
+    service begin {
+        pre: status == null;
+        post: status == "Working";
+    }
+    service finish {
+        pre: status == "Working";
+        post: status == "Done";
+    }
+}
+init: status == null;
+property "never-done" on Root {
+    formula: G !{ status == "Done" };
+}
+property "recurrent" on Root {
+    template "GF phi" with phi := did(Root.begin);
+}
+"#;
+
+    #[test]
+    fn lowers_a_flow_specification() {
+        let compiled = compile(FLOW).unwrap();
+        assert_eq!(compiled.spec.name, "flow");
+        assert_eq!(compiled.spec.tasks.len(), 1);
+        assert_eq!(compiled.spec.tasks[0].services.len(), 2);
+        assert_eq!(compiled.properties.len(), 2);
+        assert_eq!(compiled.properties[0].name, "never-done");
+        assert_eq!(compiled.properties[0].props.len(), 1);
+        // The template property reuses the Table-4 recurrence template.
+        let template = all_templates()
+            .into_iter()
+            .find(|t| t.name == "GF phi")
+            .unwrap();
+        assert_eq!(template.class, PropertyClass::Fairness);
+        assert_eq!(
+            compiled.properties[1].formula,
+            template.instantiate(&Ltl::prop(0), &Ltl::prop(0))
+        );
+        assert_eq!(
+            compiled.properties[1].props,
+            vec![PropAtom::Service(ServiceRef::Internal {
+                task: TaskId::new(0),
+                index: 0
+            })]
+        );
+    }
+
+    #[test]
+    fn identical_atoms_share_one_proposition() {
+        let compiled = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T {
+    vars { x: data }
+}
+property "q" on T {
+    define seen := x != null;
+    formula: G(seen -> F seen) && F { x != null };
+}
+"#,
+        )
+        .unwrap();
+        // `seen` and the literal `{ x != null }` are the same condition:
+        // one proposition.
+        assert_eq!(compiled.properties[0].props.len(), 1);
+    }
+
+    #[test]
+    fn unknown_names_are_spanned() {
+        let err = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T {
+    vars { x: data }
+    service S { pre: y == null; post: true; }
+}
+"#,
+        )
+        .unwrap_err();
+        assert_eq!((err.span.line, err.span.column), (6, 22));
+        assert!(err.message.contains("unknown variable `y`"), "{err}");
+    }
+
+    #[test]
+    fn reserved_words_cannot_be_declared() {
+        let err = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T { vars { true: data } }
+"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("reserved word"), "{err}");
+        let err = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T { vars { x: data } }
+property "q" on T {
+    define close := x == "a";
+    formula: G close(T);
+}
+"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("reserved word"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_property_names_are_rejected() {
+        let err = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T { vars { x: data } }
+property "q" on T { formula: G !{ x == "a" }; }
+property "q" on T { formula: F { x == "b" }; }
+"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.span.line, 6);
+        assert!(err.message.contains("duplicate property"), "{err}");
+    }
+
+    #[test]
+    fn root_opening_clause_is_rejected() {
+        let err = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T {
+    vars { x: data }
+    opening: x == null;
+}
+"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("root task has a fixed opening"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn invalid_lowered_specs_are_reported_at_the_header() {
+        // A service with an update must propagate exactly the inputs; the
+        // violation is only caught by the model-level validation.
+        let err = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task T {
+    vars { x: data, y: data }
+    artifact POOL(x);
+    service S {
+        pre: true;
+        post: true;
+        propagate y;
+        insert POOL(x);
+    }
+}
+"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert!(err.message.contains("invalid"), "{err}");
+    }
+
+    #[test]
+    fn children_wire_through_the_same_name_convention() {
+        let compiled = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task Root {
+    vars { item: id(R), verdict: data }
+    service seed { pre: item == null; post: item != null; }
+}
+task Review child of Root {
+    vars { item: id(R), verdict: data }
+    inputs { item }
+    outputs { verdict }
+    opening: item != null;
+    closing: verdict != null;
+    service judge { pre: true; post: verdict == "ok"; propagate item; }
+}
+init: item == null && verdict == null;
+"#,
+        )
+        .unwrap();
+        let spec = &compiled.spec;
+        assert_eq!(spec.tasks.len(), 2);
+        assert_eq!(
+            spec.tasks[1].opening.input_map,
+            vec![(VarId::new(0), VarId::new(0))]
+        );
+        assert_eq!(
+            spec.tasks[1].closing.output_map,
+            vec![(VarId::new(1), VarId::new(1))]
+        );
+    }
+
+    #[test]
+    fn explicit_io_mappings_resolve() {
+        let compiled = compile(
+            r#"
+spec "p";
+schema { relation R(a: data); }
+task Root {
+    vars { holder: id(R), outcome: data }
+    service seed { pre: holder == null; post: holder != null; }
+}
+task Inspect child of Root {
+    vars { holder: id(R), report: data }
+    inputs { holder }
+    outputs { report -> outcome }
+    opening: holder != null;
+    closing: report != null;
+    service visit { pre: true; post: report == "ok"; propagate holder; }
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            compiled.spec.tasks[1].closing.output_map,
+            vec![(VarId::new(1), VarId::new(1))]
+        );
+    }
+}

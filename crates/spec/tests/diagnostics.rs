@@ -1,0 +1,82 @@
+//! Golden-file diagnostics: every malformed `.has` fixture under
+//! `tests/diagnostics/` must produce *exactly* the error text recorded in
+//! its sibling `.expected` file — message wording and line/column span
+//! included — so parser and resolver errors stay stable and humane.
+//!
+//! To update the goldens after an intentional wording change, run with
+//! `UPDATE_DIAGNOSTICS=1` and review the diff.
+
+use std::path::PathBuf;
+use verifas_spec::compile;
+
+fn fixtures() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/diagnostics");
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("tests/diagnostics exists")
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| path.extension().is_some_and(|e| e == "has"))
+        .collect();
+    out.sort();
+    assert!(out.len() >= 10, "the diagnostics corpus must not shrink");
+    out
+}
+
+#[test]
+fn malformed_inputs_produce_exact_spanned_diagnostics() {
+    let update = std::env::var_os("UPDATE_DIAGNOSTICS").is_some();
+    let mut failures = Vec::new();
+    for path in fixtures() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).unwrap();
+        let error = match compile(&source) {
+            Err(e) => e,
+            Ok(_) => panic!("{name}: expected a diagnostic, but the fixture compiled"),
+        };
+        let rendered = format!("{}\n", error.render(&name));
+        let expected_path = path.with_extension("expected");
+        if update {
+            std::fs::write(&expected_path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("{name}: missing golden file {expected_path:?}"));
+        if rendered != expected {
+            failures.push(format!(
+                "{name}:\n  expected: {}\n  actual:   {}",
+                expected.trim_end(),
+                rendered.trim_end()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "diagnostics drifted from their goldens:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Spans in the goldens are real positions: every recorded line/column
+/// points inside the fixture text.
+#[test]
+fn golden_spans_point_into_the_fixture() {
+    for path in fixtures() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).unwrap();
+        let error = compile(&source).expect_err("fixtures are malformed");
+        let lines: Vec<&str> = source.lines().collect();
+        let line = error.span.line as usize;
+        assert!(
+            line >= 1 && line <= lines.len() + 1,
+            "{name}: line {line} outside the fixture"
+        );
+        if line <= lines.len() {
+            // Columns may point one past the end of the line (EOF-style
+            // errors); anything further means the span is wrong.
+            assert!(
+                (error.span.column as usize) <= lines[line - 1].chars().count() + 1,
+                "{name}: column {} outside line {line}",
+                error.span.column
+            );
+        }
+    }
+}

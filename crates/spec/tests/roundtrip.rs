@@ -1,0 +1,405 @@
+//! Seeded printer/parser round-trip fuzzing.
+//!
+//! An LCG drives a generator of random small — but valid-by-construction
+//! — specification ASTs.  Each generated tree is pretty-printed with the
+//! canonical formatter, reparsed, and the two trees must be structurally
+//! identical (spans stripped); both must then lower to the *same*
+//! `HasSpec` and property list.  This pins the printer and the parser
+//! against drifting apart: any token the printer emits that the parser
+//! reads back differently (precedence, parenthesization, escaping,
+//! keyword clashes) fails a seed.
+
+use verifas_spec::ast::*;
+use verifas_spec::{format_spec, parse, resolve};
+
+/// A minimal deterministic LCG (same constants as Knuth's MMIX).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// Uniform value in `0..bound` (bound ≥ 1).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}
+
+fn ident(name: String) -> Ident {
+    Ident::synthetic(name)
+}
+
+/// Relation layout the generator tracks to keep conditions well-typed.
+struct GenRelation {
+    name: String,
+    /// `None` for a data attribute, `Some(target index)` for a foreign key.
+    attrs: Vec<Option<usize>>,
+}
+
+struct GenVar {
+    name: String,
+    /// `None` for data, `Some(relation index)` for an id variable.
+    rel: Option<usize>,
+}
+
+fn gen_relations(rng: &mut Lcg) -> Vec<GenRelation> {
+    let count = 1 + rng.below(3);
+    let mut out: Vec<GenRelation> = Vec::new();
+    for i in 0..count {
+        let attr_count = 1 + rng.below(2);
+        let mut attrs = Vec::new();
+        for _ in 0..attr_count {
+            if !out.is_empty() && rng.chance(30) {
+                attrs.push(Some(rng.below(out.len())));
+            } else {
+                attrs.push(None);
+            }
+        }
+        out.push(GenRelation {
+            name: format!("R{i}"),
+            attrs,
+        });
+    }
+    out
+}
+
+fn gen_vars(rng: &mut Lcg, relations: &[GenRelation], prefix: &str) -> Vec<GenVar> {
+    let count = 2 + rng.below(3);
+    (0..count)
+        .map(|i| GenVar {
+            name: format!("{prefix}{i}"),
+            rel: rng.chance(40).then(|| rng.below(relations.len())),
+        })
+        .collect()
+}
+
+/// A random term of the given type (`None` = data) over the scope.
+fn gen_term(rng: &mut Lcg, vars: &[GenVar], rel: Option<usize>) -> TermExpr {
+    let candidates: Vec<&GenVar> = vars.iter().filter(|v| v.rel == rel).collect();
+    match rel {
+        None => match rng.below(if candidates.is_empty() { 2 } else { 3 }) {
+            0 => TermExpr::Str(format!("c{}", rng.below(4)), Default::default()),
+            1 => TermExpr::Null(Default::default()),
+            _ => TermExpr::Var(ident(candidates[rng.below(candidates.len())].name.clone())),
+        },
+        Some(_) => {
+            if candidates.is_empty() || rng.chance(30) {
+                TermExpr::Null(Default::default())
+            } else {
+                TermExpr::Var(ident(candidates[rng.below(candidates.len())].name.clone()))
+            }
+        }
+    }
+}
+
+/// A random well-typed atomic condition over the scope.
+fn gen_atom_cond(rng: &mut Lcg, relations: &[GenRelation], vars: &[GenVar]) -> CondExpr {
+    // A relational atom needs an id variable for some relation.
+    let keyed: Vec<usize> = vars.iter().filter_map(|v| v.rel).collect();
+    if !keyed.is_empty() && rng.chance(30) {
+        let rel_index = keyed[rng.below(keyed.len())];
+        let relation = &relations[rel_index];
+        let key = gen_term(rng, vars, Some(rel_index));
+        let mut args = vec![key];
+        for attr in &relation.attrs {
+            args.push(gen_term(rng, vars, *attr));
+        }
+        return CondExpr::Rel {
+            rel: ident(relation.name.clone()),
+            args,
+        };
+    }
+    // Comparison between same-typed terms (null compares with anything).
+    let var = &vars[rng.below(vars.len())];
+    let left = TermExpr::Var(ident(var.name.clone()));
+    let right = gen_term(rng, vars, var.rel);
+    CondExpr::Cmp {
+        left,
+        eq: rng.chance(60),
+        right,
+    }
+}
+
+fn gen_cond(rng: &mut Lcg, relations: &[GenRelation], vars: &[GenVar], depth: usize) -> CondExpr {
+    if depth == 0 || rng.chance(35) {
+        return gen_atom_cond(rng, relations, vars);
+    }
+    match rng.below(5) {
+        0 => CondExpr::Not(
+            Box::new(gen_cond(rng, relations, vars, depth - 1)),
+            Default::default(),
+        ),
+        1 => CondExpr::And(
+            (0..2 + rng.below(2))
+                .map(|_| gen_cond(rng, relations, vars, depth - 1))
+                .collect(),
+        ),
+        2 => CondExpr::Or(
+            (0..2 + rng.below(2))
+                .map(|_| gen_cond(rng, relations, vars, depth - 1))
+                .collect(),
+        ),
+        3 => CondExpr::Implies(
+            Box::new(gen_cond(rng, relations, vars, depth - 1)),
+            Box::new(gen_cond(rng, relations, vars, depth - 1)),
+        ),
+        _ => {
+            if rng.chance(50) {
+                CondExpr::True(Default::default())
+            } else {
+                CondExpr::False(Default::default())
+            }
+        }
+    }
+}
+
+fn gen_ltl(rng: &mut Lcg, relations: &[GenRelation], vars: &[GenVar], depth: usize) -> LtlExpr {
+    if depth == 0 || rng.chance(30) {
+        return LtlExpr::Atom(AtomExpr::Cond(
+            Box::new(gen_cond(rng, relations, vars, 1)),
+            Default::default(),
+        ));
+    }
+    let sub = |rng: &mut Lcg| Box::new(gen_ltl(rng, relations, vars, depth - 1));
+    match rng.below(8) {
+        0 => LtlExpr::Not(sub(rng), Default::default()),
+        1 => LtlExpr::And(sub(rng), sub(rng)),
+        2 => LtlExpr::Or(sub(rng), sub(rng)),
+        3 => LtlExpr::Implies(sub(rng), sub(rng)),
+        4 => LtlExpr::Globally(sub(rng), Default::default()),
+        5 => LtlExpr::Eventually(sub(rng), Default::default()),
+        6 => LtlExpr::Until(sub(rng), sub(rng)),
+        _ => LtlExpr::Next(sub(rng), Default::default()),
+    }
+}
+
+fn type_decl(relations: &[GenRelation], rel: Option<usize>) -> TypeDecl {
+    match rel {
+        None => TypeDecl::Data,
+        Some(i) => TypeDecl::Id(ident(relations[i].name.clone())),
+    }
+}
+
+/// One random, valid-by-construction specification file.
+fn gen_spec(seed: u64) -> SpecFile {
+    let mut rng = Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let rng = &mut rng;
+    let relations = gen_relations(rng);
+    let root_vars = gen_vars(rng, &relations, "v");
+    let mut root = TaskDecl {
+        name: ident("Root".into()),
+        parent: None,
+        vars: root_vars
+            .iter()
+            .map(|v| VarDecl {
+                name: ident(v.name.clone()),
+                typ: type_decl(&relations, v.rel),
+            })
+            .collect(),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        artifacts: Vec::new(),
+        opening: None,
+        closing: None,
+        services: Vec::new(),
+    };
+    // Optionally one artifact relation plus a matching insert service
+    // (root has no inputs, so update services propagate nothing).
+    if root_vars.len() >= 2 && rng.chance(50) {
+        let columns = vec![
+            ident(root_vars[0].name.clone()),
+            ident(root_vars[1].name.clone()),
+        ];
+        root.artifacts.push(ArtifactDecl {
+            name: ident("POOL".into()),
+            columns: columns.clone(),
+        });
+        root.services.push(ServiceDecl {
+            name: ident("stash".into()),
+            pre: gen_cond(rng, &relations, &root_vars, 1),
+            post: gen_cond(rng, &relations, &root_vars, 1),
+            propagate: Vec::new(),
+            update: Some(UpdateDecl {
+                insert: rng.chance(50),
+                rel: ident("POOL".into()),
+                vars: columns,
+            }),
+        });
+    }
+    for i in 0..1 + rng.below(3) {
+        root.services.push(ServiceDecl {
+            name: ident(format!("s{i}")),
+            pre: gen_cond(rng, &relations, &root_vars, 2),
+            post: gen_cond(rng, &relations, &root_vars, 2),
+            propagate: Vec::new(),
+            update: None,
+        });
+    }
+    let mut tasks = vec![root];
+    // Optionally one child wired through the same-name convention: its
+    // variables are a prefix of the root's (same names, same types).
+    if rng.chance(60) {
+        let take = 2 + rng.below(root_vars.len() - 1);
+        let child_vars: Vec<&GenVar> = root_vars.iter().take(take).collect();
+        let input = child_vars[0];
+        let output = child_vars[child_vars.len() - 1];
+        let child_scope: Vec<GenVar> = child_vars
+            .iter()
+            .map(|v| GenVar {
+                name: v.name.clone(),
+                rel: v.rel,
+            })
+            .collect();
+        let mut services = Vec::new();
+        for i in 0..1 + rng.below(2) {
+            services.push(ServiceDecl {
+                name: ident(format!("c{i}")),
+                pre: gen_cond(rng, &relations, &child_scope, 1),
+                post: gen_cond(rng, &relations, &child_scope, 1),
+                // Every service of a task with inputs must propagate them.
+                propagate: vec![ident(input.name.clone())],
+                update: None,
+            });
+        }
+        tasks.push(TaskDecl {
+            name: ident("Child".into()),
+            parent: Some(ident("Root".into())),
+            vars: child_scope
+                .iter()
+                .map(|v| VarDecl {
+                    name: ident(v.name.clone()),
+                    typ: type_decl(&relations, v.rel),
+                })
+                .collect(),
+            inputs: vec![IoPair {
+                child: ident(input.name.clone()),
+                parent: None,
+            }],
+            outputs: if output.name != input.name {
+                vec![IoPair {
+                    child: ident(output.name.clone()),
+                    parent: None,
+                }]
+            } else {
+                Vec::new()
+            },
+            artifacts: Vec::new(),
+            opening: Some(gen_cond(rng, &relations, &root_vars, 1)),
+            closing: Some(gen_cond(rng, &relations, &child_scope, 1)),
+            services,
+        });
+    }
+    let init = rng
+        .chance(70)
+        .then(|| gen_cond(rng, &relations, &root_vars, 1));
+    let mut properties = Vec::new();
+    for i in 0..rng.below(3) {
+        let body = if rng.chance(30) {
+            PropertyBody::Template {
+                name: "G phi".into(),
+                span: Default::default(),
+                phi: Some(AtomExpr::Cond(
+                    Box::new(gen_cond(rng, &relations, &root_vars, 1)),
+                    Default::default(),
+                )),
+                psi: None,
+            }
+        } else {
+            PropertyBody::Formula(gen_ltl(rng, &relations, &root_vars, 2))
+        };
+        // `define` aliases interact with alias atoms; the generated
+        // bodies stay self-contained (inline `{ … }` condition atoms).
+        properties.push(PropertyDecl {
+            name: format!("p{i}"),
+            span: Default::default(),
+            task: ident("Root".into()),
+            foralls: if rng.chance(30) {
+                vec![VarDecl {
+                    name: ident("g0".into()),
+                    typ: TypeDecl::Data,
+                }]
+            } else {
+                Vec::new()
+            },
+            defines: Vec::new(),
+            body,
+        });
+    }
+    SpecFile {
+        name: format!("fuzz-{seed}"),
+        span: Default::default(),
+        relations: relations
+            .iter()
+            .map(|r| RelationDecl {
+                name: ident(r.name.clone()),
+                attrs: r
+                    .attrs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, target)| AttrDecl {
+                        name: ident(format!("a{i}")),
+                        kind: match target {
+                            None => AttrKindDecl::Data,
+                            Some(t) => AttrKindDecl::Ref(ident(relations[*t].name.clone())),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect(),
+        tasks,
+        init,
+        properties,
+    }
+}
+
+#[test]
+fn seeded_round_trip_is_lossless() {
+    for seed in 0..96u64 {
+        let original = gen_spec(seed);
+        let printed = format_spec(&original);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!("seed {seed}: reparse failed: {e}\n--- printed ---\n{printed}")
+        });
+        let mut a = original.clone();
+        let mut b = reparsed.clone();
+        a.strip_spans();
+        b.strip_spans();
+        assert_eq!(
+            a, b,
+            "seed {seed}: printed text reparsed differently\n--- printed ---\n{printed}"
+        );
+        // Both trees must lower identically (and successfully: the
+        // generator only emits valid specifications).
+        let lowered_original = resolve(&original)
+            .unwrap_or_else(|e| panic!("seed {seed}: original failed to lower: {e}\n{printed}"));
+        let lowered_reparsed = resolve(&reparsed)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed to lower: {e}\n{printed}"));
+        assert_eq!(
+            lowered_original.spec, lowered_reparsed.spec,
+            "seed {seed}: lowered specifications diverge"
+        );
+        assert_eq!(
+            lowered_original.properties, lowered_reparsed.properties,
+            "seed {seed}: lowered properties diverge"
+        );
+    }
+}
+
+/// Formatting a formatted file is a fixed point for every seed.
+#[test]
+fn seeded_formatting_is_idempotent() {
+    for seed in 0..96u64 {
+        let printed = format_spec(&gen_spec(seed));
+        let again = format_spec(&parse(&printed).unwrap());
+        assert_eq!(printed, again, "seed {seed}");
+    }
+}

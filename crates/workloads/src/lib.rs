@@ -22,7 +22,9 @@ pub use cycles::{
     skewed_grid,
 };
 pub use cyclomatic::cyclomatic_complexity;
-pub use properties::{candidate_conditions, generate_properties, order_fulfillment_property};
+pub use properties::{
+    candidate_conditions, generate_properties, loan_approval_property, order_fulfillment_property,
+};
 pub use real::{
     base_workflows, insurance_claim, loan_approval, order_fulfillment, order_fulfillment_buggy,
     real_workflows,

@@ -125,10 +125,32 @@ pub fn order_fulfillment_property(spec: &HasSpec) -> LtlFoProperty {
     )
 }
 
+/// A named liveness property for the loan approval workflow: "a rejected
+/// decision is eventually archived" (the desk slot is cleared).  Used by
+/// the spec-language frontend's cross-check corpus
+/// (`examples/specs/loan_approval.has` must lower to exactly this
+/// property) and exported for the same reason as
+/// [`order_fulfillment_property`].
+pub fn loan_approval_property(spec: &HasSpec) -> LtlFoProperty {
+    use verifas_model::Term;
+    let (_, root) = spec.task_by_name("LoanDesk").expect("loan approval spec");
+    let decision = root.var_by_name("decision").unwrap().0;
+    let rejected = Condition::eq(Term::var(decision), Term::str("Rejected"));
+    let cleared = Condition::eq(Term::var(decision), Term::Null);
+    // G(rejected -> F cleared)
+    LtlFoProperty::new(
+        "rejection-reaches-archive",
+        spec.root(),
+        vec![],
+        Ltl::globally(Ltl::implies(Ltl::prop(0), Ltl::eventually(Ltl::prop(1)))),
+        vec![PropAtom::Condition(rejected), PropAtom::Condition(cleared)],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::real::{order_fulfillment, order_fulfillment_buggy};
+    use crate::real::{loan_approval, order_fulfillment, order_fulfillment_buggy};
 
     #[test]
     fn twelve_properties_per_workflow_and_they_validate() {
@@ -161,5 +183,14 @@ mod tests {
         let spec = order_fulfillment();
         let candidates = candidate_conditions(&spec);
         assert!(candidates.len() > 5);
+    }
+
+    #[test]
+    fn loan_property_validates() {
+        let spec = loan_approval();
+        let p = loan_approval_property(&spec);
+        p.validate(&spec).unwrap();
+        assert_eq!(p.props.len(), 2);
+        assert!(p.global_vars.is_empty());
     }
 }

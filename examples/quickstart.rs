@@ -2,6 +2,19 @@
 //! verify it through the session-oriented [`Engine`] API.
 //!
 //! Run with `cargo run --example quickstart`.
+//!
+//! Note: the *primary* way to describe a scenario is now the textual
+//! `.has` spec language — the same workflow below is a dozen lines of
+//! text instead of builder calls, and runs without writing any Rust:
+//!
+//! ```text
+//! cargo run --release --bin verifas -- check examples/specs/loan_approval.has
+//! ```
+//!
+//! See `examples/specs/` for the corpus and the README "Spec language"
+//! section for the grammar.  The builder API below remains the right
+//! tool when specifications are *generated* (as the synthetic benchmark
+//! does) or assembled dynamically.
 
 use verifas::model::schema::attr::data;
 use verifas::prelude::*;

@@ -1,0 +1,361 @@
+//! The `verifas` command-line verifier: drive the whole engine from a
+//! textual `.has` specification.
+//!
+//! ```text
+//! verifas check    <spec.has> [--prop NAME] [--threads N] [--json OUT]
+//!                             [--max-states N] [--max-millis MS]
+//! verifas batch    <spec.has> [--all-props] [--threads N] [--json OUT]
+//!                             [--max-states N] [--max-millis MS]
+//! verifas validate <spec.has>
+//! verifas fmt      <spec.has> [--write | --check]
+//! ```
+//!
+//! `check` verifies properties one at a time through `Engine::check`;
+//! `batch` routes the whole property set through `Engine::batch()` with
+//! the sharded scheduler and streams per-property results as they land.
+//! Exit codes: 0 — every requested verification completed (whatever the
+//! verdict); 1 — `fmt --check` found unformatted input; 2 — any error
+//! (parse, resolution, I/O, usage).
+
+use std::process::ExitCode;
+use verifas::core::Json;
+use verifas::prelude::*;
+use verifas::spec::{self, CompiledSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: verifas <command> <spec.has> [options]
+
+commands:
+  check      verify properties one at a time (default: every property)
+  batch      verify every property as one scheduled batch (Engine::batch)
+  validate   parse, resolve and type-check the specification and properties
+  fmt        print the specification in canonical formatting
+
+options:
+  --prop NAME       check only the named property (check only)
+  --all-props       verify every property (batch; this is the default)
+  --threads N       worker threads (check: per search; batch: core budget; 0 = auto)
+  --json OUT        write the reports as a JSON document to OUT
+  --max-states N    per-phase state limit (default 100000)
+  --max-millis MS   per-phase wall-clock limit (default 60000)
+  --write           fmt: rewrite the file in place
+  --check           fmt: exit 1 if the file is not canonically formatted";
+
+struct Options {
+    file: String,
+    prop: Option<String>,
+    threads: usize,
+    json: Option<String>,
+    max_states: Option<usize>,
+    max_millis: Option<u64>,
+    write: bool,
+    check: bool,
+    /// Every flag that appeared, for per-command applicability checks.
+    seen: Vec<&'static str>,
+}
+
+/// The flags each subcommand accepts; anything else is rejected rather
+/// than silently ignored (a typo like `check --check` must surface).
+fn allowed_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        "check" => &[
+            "--prop",
+            "--threads",
+            "--json",
+            "--max-states",
+            "--max-millis",
+        ],
+        "batch" => &[
+            "--all-props",
+            "--threads",
+            "--json",
+            "--max-states",
+            "--max-millis",
+        ],
+        "fmt" => &["--write", "--check"],
+        _ => &[],
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        file: String::new(),
+        prop: None,
+        threads: 1,
+        json: None,
+        max_states: None,
+        max_millis: None,
+        write: false,
+        check: false,
+        seen: Vec::new(),
+    };
+    let mut iter = args.iter();
+    let value_of = |flag: &str, iter: &mut std::slice::Iter<'_, String>| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| format!("error: {flag} needs a value\n\n{USAGE}"))
+    };
+    while let Some(arg) = iter.next() {
+        if let Some(flag) = KNOWN_FLAGS.iter().find(|f| **f == arg.as_str()) {
+            options.seen.push(flag);
+        }
+        match arg.as_str() {
+            "--prop" => options.prop = Some(value_of("--prop", &mut iter)?),
+            "--threads" => {
+                options.threads = value_of("--threads", &mut iter)?
+                    .parse()
+                    .map_err(|_| "error: --threads needs a number".to_string())?
+            }
+            "--json" => options.json = Some(value_of("--json", &mut iter)?),
+            "--max-states" => {
+                options.max_states = Some(
+                    value_of("--max-states", &mut iter)?
+                        .parse()
+                        .map_err(|_| "error: --max-states needs a number".to_string())?,
+                )
+            }
+            "--max-millis" => {
+                options.max_millis = Some(
+                    value_of("--max-millis", &mut iter)?
+                        .parse()
+                        .map_err(|_| "error: --max-millis needs a number".to_string())?,
+                )
+            }
+            "--all-props" => {}
+            "--write" => options.write = true,
+            "--check" => options.check = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("error: unknown option {flag}\n\n{USAGE}"))
+            }
+            path if options.file.is_empty() => options.file = path.to_string(),
+            extra => return Err(format!("error: unexpected argument {extra:?}\n\n{USAGE}")),
+        }
+    }
+    if options.file.is_empty() {
+        return Err(format!("error: no specification file given\n\n{USAGE}"));
+    }
+    Ok(options)
+}
+
+/// Every flag any subcommand knows about.
+const KNOWN_FLAGS: &[&str] = &[
+    "--prop",
+    "--threads",
+    "--json",
+    "--max-states",
+    "--max-millis",
+    "--all-props",
+    "--write",
+    "--check",
+];
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let options = parse_options(&args[1..])?;
+    let allowed = allowed_flags(command);
+    if let Some(flag) = options.seen.iter().find(|f| !allowed.contains(f)) {
+        return Err(format!(
+            "error: {flag} does not apply to `{command}`\n\n{USAGE}"
+        ));
+    }
+    let source = std::fs::read_to_string(&options.file)
+        .map_err(|e| format!("error: cannot read {}: {e}", options.file))?;
+    match command.as_str() {
+        "check" => check(&options, &source, false),
+        "batch" => check(&options, &source, true),
+        "validate" => validate(&options, &source),
+        "fmt" => fmt(&options, &source),
+        other => Err(format!("error: unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn compile(options: &Options, source: &str) -> Result<CompiledSpec, String> {
+    spec::compile(source).map_err(|e| e.render(&options.file))
+}
+
+fn verifier_options(options: &Options) -> VerifierOptions {
+    let mut out = VerifierOptions::default();
+    if let Some(max_states) = options.max_states {
+        out.limits.max_states = max_states;
+    }
+    if let Some(max_millis) = options.max_millis {
+        out.limits.max_millis = max_millis;
+    }
+    out
+}
+
+fn validate(options: &Options, source: &str) -> Result<ExitCode, String> {
+    let compiled = compile(options, source)?;
+    let stats = compiled.spec.stats();
+    println!(
+        "OK: {} — {} tasks, {} relations, {} services, {} properties",
+        compiled.spec.name,
+        stats.tasks,
+        stats.relations,
+        stats.services,
+        compiled.properties.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn fmt(options: &Options, source: &str) -> Result<ExitCode, String> {
+    let formatted = spec::format_source(source).map_err(|e| e.render(&options.file))?;
+    if options.check {
+        if formatted == source {
+            Ok(ExitCode::SUCCESS)
+        } else if spec::has_comments(source) {
+            // Canonical formatting drops comments, so a commented file
+            // can never compare equal — say so instead of leaving the
+            // user with an unexplained, unsatisfiable failure.
+            eprintln!(
+                "{}: contains // comments, which canonical formatting does not \
+                 preserve — `fmt --check` cannot verify commented files",
+                options.file
+            );
+            Ok(ExitCode::from(1))
+        } else {
+            eprintln!("{}: not canonically formatted", options.file);
+            Ok(ExitCode::from(1))
+        }
+    } else if options.write {
+        // The canonical printer does not carry comments through; an
+        // in-place rewrite would silently destroy them.
+        if spec::has_comments(source) {
+            return Err(format!(
+                "error: {}: refusing --write, the file contains // comments which \
+                 formatting would delete (run `verifas fmt` without --write to \
+                 print the canonical text instead)",
+                options.file
+            ));
+        }
+        std::fs::write(&options.file, &formatted)
+            .map_err(|e| format!("error: cannot write {}: {e}", options.file))?;
+        Ok(ExitCode::SUCCESS)
+    } else {
+        print!("{formatted}");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn check(options: &Options, source: &str, batch: bool) -> Result<ExitCode, String> {
+    let compiled = compile(options, source)?;
+    let CompiledSpec { spec, properties } = compiled;
+    let selected: Vec<LtlFoProperty> = match &options.prop {
+        None => properties,
+        Some(name) => {
+            let found: Vec<LtlFoProperty> =
+                properties.into_iter().filter(|p| p.name == *name).collect();
+            if found.is_empty() {
+                return Err(format!(
+                    "error: {}: no property named {name:?}",
+                    options.file
+                ));
+            }
+            found
+        }
+    };
+    if selected.is_empty() {
+        println!("{}: no properties to verify", spec.name);
+        return Ok(ExitCode::SUCCESS);
+    }
+    let name = spec.name.clone();
+    let engine = Engine::load_with_options(spec, verifier_options(options))
+        .map_err(|e| format!("error: {}: {e}", options.file))?;
+    println!("{name}: verifying {} properties", selected.len());
+    let reports: Vec<Result<VerificationReport, VerifasError>> = if batch {
+        // Stream completions as the scheduler finishes them (completion
+        // order); the full per-property summaries follow in input order.
+        let total = selected.len();
+        let mut done = 0usize;
+        let mut on_result = |index: usize, result: &Result<VerificationReport, VerifasError>| {
+            done += 1;
+            let status = match result {
+                Ok(report) => format!("{:?}", report.outcome),
+                Err(_) => "error".to_owned(),
+            };
+            println!("  [{done}/{total}] finished #{index} ({status})");
+        };
+        engine
+            .batch()
+            .batch_threads(options.threads)
+            .on_result(&mut on_result)
+            .run(&selected)
+    } else {
+        selected
+            .iter()
+            .map(|property| {
+                let report = engine
+                    .verification()
+                    .property(property)
+                    .search_threads(options.threads)
+                    .run();
+                println!("  {}", summarize(&report));
+                report
+            })
+            .collect()
+    };
+    if batch {
+        for report in &reports {
+            println!("  {}", summarize(report));
+        }
+    }
+    if let Some(path) = &options.json {
+        let documents: Vec<Json> = reports
+            .iter()
+            .map(|r| match r {
+                Ok(report) => report.to_json_value(),
+                Err(e) => Json::Obj(vec![("error".to_owned(), Json::Str(e.to_string()))]),
+            })
+            .collect();
+        let document = Json::Obj(vec![
+            ("spec".to_owned(), Json::Str(name.clone())),
+            ("reports".to_owned(), Json::Arr(documents)),
+        ]);
+        std::fs::write(path, document.to_string())
+            .map_err(|e| format!("error: cannot write {path}: {e}"))?;
+        println!("wrote {} reports to {path}", reports.len());
+    }
+    if reports.iter().any(|r| r.is_err()) {
+        return Err(format!(
+            "error: {}: some verifications failed",
+            options.file
+        ));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn summarize(report: &Result<VerificationReport, VerifasError>) -> String {
+    match report {
+        Err(e) => format!("error: {e}"),
+        Ok(report) => {
+            let outcome = match report.outcome {
+                VerificationOutcome::Satisfied => "satisfied",
+                VerificationOutcome::Violated => "VIOLATED",
+                VerificationOutcome::Inconclusive => "inconclusive",
+            };
+            let mut line = format!(
+                "{}: {outcome} ({} states, {} ms)",
+                report.property,
+                report.stats.states_created,
+                report.elapsed_ms()
+            );
+            if let Some(witness) = &report.witness {
+                let kind = if witness.finite { "finite" } else { "infinite" };
+                line.push_str(&format!("\n      {kind} witness: {}", witness.description));
+            }
+            line
+        }
+    }
+}

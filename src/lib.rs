@@ -84,22 +84,29 @@
 //!   operational semantics (`verifas-model`),
 //! * [`ltl`] — LTL / LTL-FO properties and Büchi automata (`verifas-ltl`),
 //! * [`core`] — the symbolic verifier and the engine (`verifas-core`),
+//! * [`spec`] — the textual `.has` frontend: parse a specification and
+//!   its properties from a file and drive the engine from text
+//!   (`verifas-spec`; see the `verifas` CLI binary and `examples/specs/`),
 //! * [`workloads`] — benchmark workflows, the synthetic generator and the
 //!   cyclomatic-complexity metric (`verifas-workloads`).
 //!
-//! See the repository `README.md` for a quickstart.
+//! See the repository `README.md` for a quickstart — the `.has` textual
+//! path (`verifas check examples/specs/loan_approval.has`) is the fastest
+//! way to put a new scenario through the engine without writing Rust.
 
 pub use verifas_core as core;
 pub use verifas_ltl as ltl;
 pub use verifas_model as model;
+pub use verifas_spec as spec;
 pub use verifas_workloads as workloads;
 
 pub use verifas_core::{
     BatchBuilder, BatchOptions, CancelToken, CycleStats, Engine, OccupancySample, Phase,
     ProgressEvent, ProgressObserver, SchedulePolicy, ScheduleStats, SearchLimits, SearchStats,
-    ThreadBudget, VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport,
-    VerifierOptions, Witness, WitnessStep, WorkerStats,
+    SourceSpan, ThreadBudget, VerifasError, VerificationBuilder, VerificationOutcome,
+    VerificationReport, VerifierOptions, Witness, WitnessStep, WorkerStats,
 };
+pub use verifas_spec::{CompiledSpec, SpecError};
 
 /// Everything a typical engine user needs, in one import.
 ///
@@ -110,12 +117,14 @@ pub mod prelude {
     pub use verifas_core::{
         BatchBuilder, BatchOptions, CancelToken, CoverageKind, CycleStats, Engine, OccupancySample,
         Phase, ProgressEvent, ProgressObserver, SchedulePolicy, ScheduleStats, SearchLimits,
-        SearchStats, ThreadBudget, VerifasError, VerificationBuilder, VerificationOutcome,
-        VerificationReport, VerifierOptions, Witness, WitnessStep, WorkerStats,
+        SearchStats, SourceSpan, ThreadBudget, VerifasError, VerificationBuilder,
+        VerificationOutcome, VerificationReport, VerifierOptions, Witness, WitnessStep,
+        WorkerStats,
     };
     pub use verifas_ltl::{Ltl, LtlFoProperty, PropAtom, PropertyHandle};
     pub use verifas_model::{
         Condition, DatabaseSchema, HasSpec, ServiceRef, SpecBuilder, TaskBuilder, TaskId, Term,
         VarId,
     };
+    pub use verifas_spec::{CompiledSpec, SpecError};
 }

@@ -17,7 +17,8 @@
 
 use verifas::prelude::*;
 use verifas::workloads::{
-    cycle_grid, cycle_grid_liveness, generate, generate_properties, real_workflows, SyntheticParams,
+    cycle_grid, cycle_grid_liveness, generate, generate_properties, real_workflows,
+    skewed_batch_properties, skewed_grid, SyntheticParams,
 };
 
 const SEEDS: std::ops::Range<u64> = 0..4;
@@ -214,6 +215,54 @@ fn skewed_batches_are_schedule_invariant_and_reassign_cores() {
     assert_eq!(report.stats.threads, 4, "the straggler gets all cores");
     let schedule = report.schedule.unwrap();
     assert_eq!(schedule.occupancy.last().unwrap().threads, 4);
+}
+
+/// The frontier-width-weighted straggler split (the scheduler weighs the
+/// post-drain budget split by each search's live frontier width) on the
+/// batch shape it exists for: `skewed_grid`'s one heavy root search plus
+/// many trivial `Chore` properties.  Weighting is advisory scheduling
+/// input only, so every result must stay bit-identical to flat
+/// scheduling and to independent sequential checks — and the straggler's
+/// occupancy timeline must be non-worse than the pre-weighting contract:
+/// it ends with the whole core budget and never dips below one thread.
+#[test]
+fn skewed_grid_weighted_split_is_schedule_invariant() {
+    let spec = skewed_grid(4);
+    let engine = Engine::load_with_options(
+        spec.clone(),
+        VerifierOptions {
+            limits: SearchLimits {
+                max_states: 4_000,
+                max_millis: 600_000,
+            },
+            ..VerifierOptions::default()
+        },
+    )
+    .unwrap();
+    let properties = skewed_batch_properties(&spec, 4);
+    assert_schedule_invariant(&engine, &properties, "skewed-grid weighted batch");
+    // Under an explicit budget the heavy search (property 0, the only
+    // exhaustive one) must end up owning every core once the lights are
+    // done, exactly as before the weighted split — freed cores may only
+    // arrive earlier or in bigger slices, never stop arriving.
+    let reports = engine.check_all_with(
+        &properties,
+        BatchOptions {
+            batch_threads: 4,
+            schedule: SchedulePolicy::Sharded,
+        },
+    );
+    let heavy = reports[0].as_ref().unwrap();
+    let schedule = heavy.schedule.as_ref().unwrap();
+    let occupancy = &schedule.occupancy;
+    assert!(!occupancy.is_empty());
+    assert_eq!(
+        occupancy.last().unwrap().threads,
+        4,
+        "the straggler must inherit the whole budget"
+    );
+    assert!(occupancy.iter().all(|s| s.threads >= 1 && s.threads <= 4));
+    assert_eq!(heavy.stats.threads, 4, "the widest pool is recorded");
 }
 
 /// Cancelling the batch token mid-batch stops every search: properties

@@ -1,0 +1,229 @@
+//! The spec-language frontend end to end: every `.has` file in
+//! `examples/specs/` parses, validates, formats idempotently and
+//! verifies; the two ported real workloads (loan approval, order
+//! fulfillment) lower *bit-identically* to their programmatic builders —
+//! same `HasSpec`, same `LtlFoProperty`, and same verdict, witness and
+//! search statistics when run through the engine.
+
+use std::path::{Path, PathBuf};
+use verifas::prelude::*;
+use verifas::spec::{self, CompiledSpec};
+use verifas::workloads::{
+    loan_approval, loan_approval_property, order_fulfillment, order_fulfillment_property,
+};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/specs")
+}
+
+fn corpus() -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("examples/specs exists")
+        .filter_map(|entry| {
+            let path = entry.unwrap().path();
+            (path.extension().is_some_and(|e| e == "has")).then(|| {
+                let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                let source = std::fs::read_to_string(&path).unwrap();
+                (name, source)
+            })
+        })
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 4,
+        "the corpus must hold the two ported workloads plus at least two new scenarios"
+    );
+    files
+}
+
+fn compile(name: &str, source: &str) -> CompiledSpec {
+    spec::compile(source).unwrap_or_else(|e| panic!("{}", e.render(name)))
+}
+
+/// Deterministic engine options: state-bounded, no wall-clock cutoff.
+fn options() -> VerifierOptions {
+    VerifierOptions {
+        limits: SearchLimits {
+            max_states: 50_000,
+            max_millis: 600_000,
+        },
+        ..VerifierOptions::default()
+    }
+}
+
+/// A report's scheduling- and timing-independent core.
+fn comparable(
+    report: &VerificationReport,
+) -> (
+    VerificationOutcome,
+    Option<Witness>,
+    SearchStats,
+    Option<SearchStats>,
+    Option<CycleStats>,
+) {
+    let strip = |mut stats: SearchStats| {
+        stats.elapsed_ms = 0;
+        stats.threads = 0;
+        stats
+    };
+    let cycle = report.repeated_cycle.map(|mut cycle| {
+        cycle.edge_micros = 0;
+        cycle.scc_micros = 0;
+        cycle.threads = 0;
+        cycle
+    });
+    (
+        report.outcome,
+        report.witness.clone(),
+        strip(report.stats),
+        report.repeated_stats.map(strip),
+        cycle,
+    )
+}
+
+/// One ported workload: the text file and the programmatic builder must
+/// agree on everything, down to the verification report.
+fn assert_port_is_bit_identical(file: &str, built: HasSpec, property: LtlFoProperty) {
+    let source = std::fs::read_to_string(corpus_dir().join(file)).unwrap();
+    let compiled = compile(file, &source);
+    assert_eq!(
+        compiled.spec, built,
+        "{file}: the lowered specification must equal the programmatic builder's"
+    );
+    let ported = compiled
+        .properties
+        .iter()
+        .find(|p| p.name == property.name)
+        .unwrap_or_else(|| panic!("{file}: property {:?} missing", property.name));
+    assert_eq!(
+        *ported, property,
+        "{file}: the lowered property must equal the programmatic one"
+    );
+    // Same verdict, witness and search statistics through the engine.
+    let text_engine = Engine::load_with_options(compiled.spec.clone(), options()).unwrap();
+    let built_engine = Engine::load_with_options(built, options()).unwrap();
+    let from_text = text_engine.check(ported).unwrap();
+    let from_builder = built_engine.check(&property).unwrap();
+    assert_eq!(
+        comparable(&from_text),
+        comparable(&from_builder),
+        "{file}: the verification reports must be bit-identical"
+    );
+    assert_ne!(
+        from_text.outcome,
+        VerificationOutcome::Inconclusive,
+        "{file}: the cross-checked property must reach a verdict"
+    );
+}
+
+#[test]
+fn order_fulfillment_port_is_bit_identical() {
+    let built = order_fulfillment();
+    let property = order_fulfillment_property(&built);
+    assert_port_is_bit_identical("order_fulfillment.has", built, property);
+}
+
+#[test]
+fn loan_approval_port_is_bit_identical() {
+    let built = loan_approval();
+    let property = loan_approval_property(&built);
+    assert_port_is_bit_identical("loan_approval.has", built, property);
+}
+
+/// Every corpus file parses, validates, and every one of its properties
+/// verifies to a conclusive verdict through the engine.
+#[test]
+fn every_corpus_file_compiles_and_verifies() {
+    for (name, source) in corpus() {
+        let compiled = compile(&name, &source);
+        compiled
+            .spec
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: lowered spec invalid: {e}"));
+        assert!(
+            !compiled.properties.is_empty(),
+            "{name}: corpus files must state at least one property"
+        );
+        let engine = Engine::load_with_options(compiled.spec, options()).unwrap();
+        for property in &compiled.properties {
+            let report = engine
+                .check(property)
+                .unwrap_or_else(|e| panic!("{name}: {} failed: {e}", property.name));
+            assert_ne!(
+                report.outcome,
+                VerificationOutcome::Inconclusive,
+                "{name}: {} must reach a verdict within the corpus limits",
+                property.name
+            );
+            // Reports stay serializable end to end.
+            let parsed = VerificationReport::from_json(&report.to_json()).unwrap();
+            assert_eq!(parsed, report);
+        }
+    }
+}
+
+/// The canonical formatter is stable over the whole corpus: formatting is
+/// idempotent and the formatted text lowers to the same specification.
+#[test]
+fn corpus_formatting_is_idempotent_and_lowering_invariant() {
+    for (name, source) in corpus() {
+        let formatted =
+            spec::format_source(&source).unwrap_or_else(|e| panic!("{}", e.render(&name)));
+        let again = spec::format_source(&formatted).unwrap();
+        assert_eq!(formatted, again, "{name}: formatting must be idempotent");
+        let original = compile(&name, &source);
+        let reformatted = compile(&name, &formatted);
+        assert_eq!(original.spec, reformatted.spec, "{name}");
+        assert_eq!(original.properties, reformatted.properties, "{name}");
+    }
+}
+
+/// The batch path (`Engine::batch`, sharded scheduler, streaming
+/// callback) produces the same results as one-at-a-time checks for a
+/// compiled `.has` property set — the CLI's `batch` subcommand rides on
+/// exactly this.
+#[test]
+fn compiled_property_sets_batch_like_they_check() {
+    let (name, source) = corpus()
+        .into_iter()
+        .find(|(name, _)| name == "conference_review.has")
+        .expect("corpus holds conference_review.has");
+    let compiled = compile(&name, &source);
+    let engine = Engine::load_with_options(compiled.spec, options()).unwrap();
+    let mut streamed = 0usize;
+    let mut on_result = |_: usize, _: &Result<VerificationReport, VerifasError>| streamed += 1;
+    let batched = engine
+        .batch()
+        .batch_threads(2)
+        .on_result(&mut on_result)
+        .run(&compiled.properties);
+    assert_eq!(streamed, compiled.properties.len());
+    for (property, batched) in compiled.properties.iter().zip(&batched) {
+        let single = engine.check(property).unwrap();
+        let batched = batched.as_ref().unwrap();
+        assert_eq!(
+            comparable(&single),
+            comparable(batched),
+            "{}",
+            property.name
+        );
+    }
+}
+
+/// Frontend errors surface as the typed `VerifasError::Spec` with the
+/// offending line and column.
+#[test]
+fn frontend_errors_are_typed_and_spanned() {
+    let err: VerifasError = spec::compile(
+        "spec \"x\";\nschema { relation R(a: data); }\ntask T { vars { x: data } opening: x == null; }",
+    )
+    .unwrap_err()
+    .into();
+    match err {
+        VerifasError::Spec { span, message } => {
+            assert_eq!(span.line, 3);
+            assert!(message.contains("root task"), "{message}");
+        }
+        other => panic!("expected a Spec error, got {other:?}"),
+    }
+}
