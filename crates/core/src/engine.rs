@@ -47,10 +47,10 @@
 
 use crate::error::VerifasError;
 use crate::expr::ExprUniverse;
-use crate::observer::{CancelToken, ProgressObserver, SearchControl};
+use crate::observer::{CancelToken, ProgressEvent, ProgressObserver, SearchControl};
 use crate::product::ProductSystem;
 use crate::report::VerificationReport;
-use crate::schedule::{BatchOptions, Scheduler};
+use crate::schedule::{BatchOptions, Scheduler, SchedulerHandle};
 use crate::search::SearchLimits;
 use crate::static_analysis::ConstraintGraph;
 use crate::transition::{spec_constants, SymbolicTask};
@@ -221,7 +221,10 @@ impl Engine {
             batch: BatchOptions::default(),
             options: self.options,
             cancel: None,
+            deadline: None,
             on_result: None,
+            on_event: None,
+            scheduler_handle: None,
         }
     }
 
@@ -414,13 +417,47 @@ impl<'e, 'o> VerificationBuilder<'e, 'o> {
 pub type BatchResultCallback<'f> =
     &'f mut (dyn FnMut(usize, &Result<VerificationReport, VerifasError>) + Send);
 
+/// A shared per-batch progress-event sink (see [`BatchBuilder::on_event`]):
+/// called with the property's batch index and the event, concurrently from
+/// whichever worker thread coordinates that property's search.
+pub type BatchEventSink<'f> = &'f (dyn Fn(usize, &ProgressEvent) + Send + Sync);
+
+/// The typed end-of-batch summary of one [`BatchBuilder::run_with_summary`]
+/// call: how the batch ended, without inspecting the per-property result
+/// set.  A streaming consumer (a verification service forwarding
+/// [`BatchBuilder::on_result`] frames to a client) uses it as the terminal
+/// end-of-stream event — in particular [`BatchSummary::aborted`]
+/// distinguishes "stream finished" from "stream cut short by cancellation
+/// or a deadline".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Number of properties submitted.
+    pub properties: usize,
+    /// Properties that finished with a report that was *not* cut short
+    /// (report present, `cancelled` unset).
+    pub completed: usize,
+    /// Properties whose report carries the `cancelled` flag (stopped by
+    /// the batch token or the batch deadline before finishing).
+    pub cancelled: usize,
+    /// Properties that reported a typed error instead of a report.
+    pub errors: usize,
+    /// `true` when the batch was stopped early: the batch-wide
+    /// [`CancelToken`] fired, the batch deadline passed, or any property's
+    /// report was cut short.  `false` means every submitted property ran
+    /// to its natural end.
+    pub aborted: bool,
+}
+
 /// Builder for one batch verification request (see [`Engine::batch`]).
 pub struct BatchBuilder<'e, 'f> {
     engine: &'e Engine,
     batch: BatchOptions,
     options: VerifierOptions,
     cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
     on_result: Option<BatchResultCallback<'f>>,
+    on_event: Option<BatchEventSink<'f>>,
+    scheduler_handle: Option<SchedulerHandle>,
 }
 
 impl<'e, 'f> BatchBuilder<'e, 'f> {
@@ -462,6 +499,38 @@ impl<'e, 'f> BatchBuilder<'e, 'f> {
         self
     }
 
+    /// Stop the whole batch once this much wall-clock time has passed
+    /// (measured from [`BatchBuilder::run`]): running searches stop at
+    /// their next state expansion, queued properties report `cancelled`
+    /// immediately — the batch analogue of
+    /// [`VerificationBuilder::deadline`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a shared progress-event sink: every property's search emits
+    /// its [`ProgressEvent`]s into it, tagged with the property's batch
+    /// index.  Unlike [`VerificationBuilder::observer`] the sink is called
+    /// concurrently (from whichever worker coordinates each search), so it
+    /// takes `&self` — a metrics registry of atomics is the intended
+    /// consumer.
+    pub fn on_event(mut self, sink: BatchEventSink<'f>) -> Self {
+        self.on_event = Some(sink);
+        self
+    }
+
+    /// Attach a [`SchedulerHandle`] to the batch: while the batch runs,
+    /// [`SchedulerHandle::set_total`] resizes its total core budget and
+    /// re-splits it over the running searches — how a multi-tenant server
+    /// reclaims cores from a long batch for a newly arrived interactive
+    /// request without waiting for it.  The handle detaches itself when
+    /// the batch finishes.
+    pub fn scheduler_handle(mut self, handle: &SchedulerHandle) -> Self {
+        self.scheduler_handle = Some(handle.clone());
+        self
+    }
+
     /// Stream per-property results as they complete: the callback receives
     /// the property's batch index and its result, from the worker thread
     /// that finished it (calls are serialized, but not in index order).
@@ -479,6 +548,15 @@ impl<'e, 'f> BatchBuilder<'e, 'f> {
         self,
         properties: &[LtlFoProperty],
     ) -> Vec<Result<VerificationReport, VerifasError>> {
+        self.run_with_summary(properties).0
+    }
+
+    /// [`BatchBuilder::run`], additionally returning the typed
+    /// [`BatchSummary`] of how the batch ended.
+    pub fn run_with_summary(
+        self,
+        properties: &[LtlFoProperty],
+    ) -> (Vec<Result<VerificationReport, VerifasError>>, BatchSummary) {
         let engine = self.engine;
         let options = self.options;
         // Warm the cache sequentially so every preprocessing is built once
@@ -488,9 +566,13 @@ impl<'e, 'f> BatchBuilder<'e, 'f> {
             let _ = engine.warm(property);
         }
         if properties.is_empty() {
-            return Vec::new();
+            return (Vec::new(), BatchSummary::default());
         }
-        let scheduler = Scheduler::new(self.batch, properties.len());
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        let mut scheduler = Scheduler::new(self.batch, properties.len());
+        if let Some(handle) = &self.scheduler_handle {
+            scheduler.attach(handle);
+        }
         let on_result = self.on_result.map(Mutex::new);
         let outputs = scheduler.run(|index, handle| {
             let property = &properties[index];
@@ -498,9 +580,14 @@ impl<'e, 'f> BatchBuilder<'e, 'f> {
             // batch nor abort the process: it becomes a typed per-property
             // error.
             let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut forward = self
+                    .on_event
+                    .map(|sink| move |event: &ProgressEvent| sink(index, event));
                 let mut control = SearchControl {
                     cancel: self.cancel.clone(),
+                    deadline,
                     thread_budget: handle.budget().cloned(),
+                    observer: forward.as_mut().map(|f| f as &mut dyn ProgressObserver),
                     ..SearchControl::default()
                 };
                 engine.run_request(property, options, &mut control)
@@ -524,7 +611,7 @@ impl<'e, 'f> BatchBuilder<'e, 'f> {
             }
             report
         });
-        outputs
+        let results: Vec<Result<VerificationReport, VerifasError>> = outputs
             .into_iter()
             .enumerate()
             .map(|(index, slot)| match slot {
@@ -544,8 +631,60 @@ impl<'e, 'f> BatchBuilder<'e, 'f> {
                     ),
                 }),
             })
-            .collect()
+            .collect();
+        let mut summary = BatchSummary {
+            properties: results.len(),
+            ..BatchSummary::default()
+        };
+        for result in &results {
+            match result {
+                Ok(report) if report.cancelled => summary.cancelled += 1,
+                Ok(_) => summary.completed += 1,
+                Err(_) => summary.errors += 1,
+            }
+        }
+        summary.aborted = summary.cancelled > 0
+            || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || deadline.is_some_and(|d| Instant::now() >= d);
+        (results, summary)
     }
+}
+
+/// The canonical hash of a *lowered* specification — the session-cache
+/// key of a verification service (`verifas serve`), also printed by
+/// `verifas hash` / `verifas validate` so cache behaviour is scriptable.
+///
+/// The hash covers the whole lowered [`HasSpec`] structure (name, schema,
+/// task hierarchy, services, global pre-condition), **not** the source
+/// text it may have come from: two `.has` files that differ only in
+/// formatting or comments lower to the same structure (the `verifas-spec`
+/// frontend lowers through the same builders programmatic callers use,
+/// bit-identically) and therefore share one session.  FNV-1a over the
+/// structure's canonical rendering; stable for a given build of the
+/// library, which is exactly the lifetime of an in-memory session cache.
+pub fn spec_hash(spec: &HasSpec) -> u64 {
+    use std::fmt::Write;
+    struct Fnv(u64);
+    impl Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for byte in s.bytes() {
+                self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut fnv = Fnv(0xcbf2_9ce4_8422_2325);
+    // The derived Debug rendering is a canonical, total serialization of
+    // the lowered structure: equal specs render equally, and every field
+    // that distinguishes two specs appears in it.
+    write!(fnv, "{spec:?}").expect("writing to a hasher cannot fail");
+    fnv.0
+}
+
+/// [`spec_hash`] rendered as the 16-digit lowercase hex string used on
+/// the wire and in the CLI.
+pub fn spec_hash_hex(spec: &HasSpec) -> String {
+    format!("{:016x}", spec_hash(spec))
 }
 
 #[cfg(test)]
@@ -686,6 +825,79 @@ mod tests {
             vec![],
         );
         assert!(matches!(engine.check(&bad), Err(VerifasError::Model(_))));
+    }
+
+    #[test]
+    fn spec_hash_is_canonical_over_the_lowered_structure() {
+        let spec = flow_spec();
+        assert_eq!(spec_hash(&spec), spec_hash(&spec.clone()));
+        assert_eq!(spec_hash_hex(&spec).len(), 16);
+        // Any structural difference — even just the name — changes the key
+        // (a session must never be shared across distinct specs).
+        let mut renamed = spec.clone();
+        renamed.name = "flow2".to_owned();
+        assert_ne!(spec_hash(&spec), spec_hash(&renamed));
+        let mut extended = spec.clone();
+        extended.tasks[0].services.pop();
+        assert_ne!(spec_hash(&spec), spec_hash(&extended));
+    }
+
+    #[test]
+    fn a_clean_batch_summarizes_as_not_aborted() {
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        let properties = vec![never("a", &spec, "Done"), never("b", &spec, "Broken")];
+        let (results, summary) = engine.batch().run_with_summary(&properties);
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            summary,
+            BatchSummary {
+                properties: 2,
+                completed: 2,
+                cancelled: 0,
+                errors: 0,
+                aborted: false,
+            }
+        );
+    }
+
+    #[test]
+    fn a_cancelled_batch_summarizes_as_aborted() {
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        let properties = vec![never("a", &spec, "Done"), never("b", &spec, "Broken")];
+        let token = CancelToken::new();
+        token.cancel();
+        let (results, summary) = engine
+            .batch()
+            .cancel_token(token)
+            .run_with_summary(&properties);
+        assert_eq!(results.len(), 2);
+        assert!(summary.aborted);
+        assert_eq!(summary.completed, 0);
+        assert_eq!(summary.cancelled, 2);
+        for result in &results {
+            assert!(result.as_ref().unwrap().cancelled);
+        }
+    }
+
+    #[test]
+    fn batch_event_sinks_see_every_property_phase() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spec = flow_spec();
+        let engine = Engine::load(spec.clone()).unwrap();
+        let properties = vec![never("a", &spec, "Done"), never("b", &spec, "Broken")];
+        let seen = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        let sink = |index: usize, event: &crate::observer::ProgressEvent| {
+            if matches!(event, crate::observer::ProgressEvent::PhaseFinished { .. }) {
+                seen[index].fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let results = engine.batch().on_event(&sink).run(&properties);
+        assert!(results.iter().all(Result::is_ok));
+        for counter in &seen {
+            assert!(counter.load(Ordering::Relaxed) >= 1);
+        }
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub mod verifier;
 
 pub use baseline::BaselineVerifier;
 pub use coverage::{accelerate, covers, CoverageKind};
-pub use engine::{BatchBuilder, BatchResultCallback, Engine, VerificationBuilder};
+pub use engine::{
+    spec_hash, spec_hash_hex, BatchBuilder, BatchEventSink, BatchResultCallback, BatchSummary,
+    Engine, VerificationBuilder,
+};
 pub use error::{SourceSpan, VerifasError, VALID_OPTIMIZATIONS};
 pub use expr::{ExprHead, ExprId, ExprSort, ExprUniverse};
 pub use json::{Json, JsonError};
@@ -67,7 +70,8 @@ pub use repeated::{
 };
 pub use report::{VerificationReport, Witness, WitnessStep, REPORT_SCHEMA_VERSION};
 pub use schedule::{
-    BatchOptions, OccupancySample, SchedulePolicy, ScheduleStats, Scheduler, ThreadBudget,
+    BatchOptions, OccupancySample, SchedulePolicy, ScheduleStats, Scheduler, SchedulerHandle,
+    ThreadBudget,
 };
 pub use search::{KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats};
 pub use transition::{spec_constants, SymbolicTask};

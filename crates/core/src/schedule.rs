@@ -33,6 +33,17 @@
 //! [`crate::report::VerificationReport`] serializes (schema v4) so a
 //! verification service can see exactly how the machine was shared over
 //! the life of a batch.
+//!
+//! The total core budget itself is dynamic: a [`SchedulerHandle`]
+//! attached to a running batch (see
+//! [`crate::engine::BatchBuilder::scheduler_handle`]) lets an *outer*
+//! arbiter — a multi-tenant verification server sharing one machine
+//! between many concurrent batches — grow or shrink the batch's whole
+//! budget mid-run.  [`SchedulerHandle::set_total`] re-splits the new
+//! total over the running searches immediately, and each search picks its
+//! resized [`ThreadBudget`] up at its next round boundary; because rounds
+//! are bit-identical for any worker count, reclaiming cores from a long
+//! batch search never changes its verdict.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -272,6 +283,120 @@ struct ShardState {
     running: Vec<(usize, ThreadBudget)>,
 }
 
+/// The shared state of one scheduler, reachable both from the batch's own
+/// worker threads (through [`Scheduler`]) and from an outer arbiter
+/// (through an attached [`SchedulerHandle`]).
+struct SchedulerInner {
+    /// The *live* total core budget.  [`SchedulerHandle::set_total`]
+    /// resizes it mid-run; the initial value is the resolved
+    /// [`BatchOptions::batch_threads`].
+    threads: AtomicUsize,
+    policy: SchedulePolicy,
+    epoch: Instant,
+    state: Mutex<ShardState>,
+}
+
+impl SchedulerInner {
+    /// Re-split the core budget over the running set: width first (budget
+    /// 1 each while jobs are still queued — every queued job will get a
+    /// core sooner than a deep search could use it), then a split weighted
+    /// by each search's live frontier width (a search can use at most one
+    /// worker per frontier node next round, so wide stragglers absorb the
+    /// cores narrow ones would waste).  Searches that have not reported a
+    /// frontier yet weigh 1, which reduces to the previous even split with
+    /// the remainder going to the longest-running searches.
+    fn rebalance(&self, state: &mut ShardState) {
+        if self.policy == SchedulePolicy::Flat || state.running.is_empty() {
+            return;
+        }
+        if state.pending > 0 {
+            for (_, budget) in &state.running {
+                budget.set(1);
+            }
+            return;
+        }
+        let total = self.threads.load(Ordering::Relaxed).max(1);
+        let weights: Vec<u64> = state
+            .running
+            .iter()
+            .map(|(_, budget)| budget.frontier_hint().max(1) as u64)
+            .collect();
+        for (share, (_, budget)) in weighted_split(total, &weights)
+            .into_iter()
+            .zip(&state.running)
+        {
+            budget.set(share);
+        }
+    }
+}
+
+/// A cloneable remote control over one batch's *total* core budget,
+/// connecting an outer arbiter (a verification server sharing one machine
+/// between concurrent requests) to a running [`Scheduler`].
+///
+/// The handle starts detached; [`Scheduler::attach`] (or
+/// [`crate::engine::BatchBuilder::scheduler_handle`]) wires it to a batch,
+/// and the batch detaches it again when it finishes.  All clones share the
+/// attachment.  Resizing a detached handle is a recorded no-op, so an
+/// arbiter can keep resizing without racing request completion.
+#[derive(Clone, Default)]
+pub struct SchedulerHandle {
+    slot: Arc<Mutex<Option<Arc<SchedulerInner>>>>,
+}
+
+impl SchedulerHandle {
+    /// A fresh, detached handle.
+    pub fn new() -> Self {
+        SchedulerHandle::default()
+    }
+
+    /// Resize the attached batch's total core budget (clamped to at
+    /// least one) and re-split it over the batch's running searches
+    /// immediately; each search adopts its resized share at its next
+    /// round boundary.  Returns `false` (and does nothing) when no
+    /// batch is attached.
+    ///
+    /// While the batch still has queued properties every running search
+    /// keeps a floor budget of one thread (width-first scheduling), so the
+    /// sum of per-search budgets can transiently exceed a shrunken total
+    /// by at most one thread per running search — searches never block,
+    /// they only narrow.
+    pub fn set_total(&self, threads: usize) -> bool {
+        let slot = lock_ignoring_poison(&self.slot);
+        let Some(inner) = slot.as_ref() else {
+            return false;
+        };
+        let mut state = lock_ignoring_poison(&inner.state);
+        inner.threads.store(threads.max(1), Ordering::Relaxed);
+        inner.rebalance(&mut state);
+        true
+    }
+
+    /// The attached batch's live total core budget (`None` while
+    /// detached).
+    pub fn total(&self) -> Option<usize> {
+        lock_ignoring_poison(&self.slot)
+            .as_ref()
+            .map(|inner| inner.threads.load(Ordering::Relaxed).max(1))
+    }
+
+    fn attach(&self, inner: &Arc<SchedulerInner>) {
+        *lock_ignoring_poison(&self.slot) = Some(Arc::clone(inner));
+    }
+
+    fn detach(&self) {
+        *lock_ignoring_poison(&self.slot) = None;
+    }
+}
+
+impl std::fmt::Debug for SchedulerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerHandle")
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
 /// The batch work scheduler (see the module docs).
 ///
 /// [`Scheduler::run`] executes one closure invocation per job over
@@ -280,31 +405,49 @@ struct ShardState {
 /// drains.  The scheduler is policy-agnostic plumbing: it neither knows
 /// nor cares that the jobs are verifications.
 pub struct Scheduler {
-    threads: usize,
-    policy: SchedulePolicy,
-    epoch: Instant,
+    inner: Arc<SchedulerInner>,
+    /// The budget resolved at construction — recorded in every job's
+    /// [`ScheduleStats`] even when a [`SchedulerHandle`] resizes the live
+    /// total later.
+    initial_threads: usize,
     jobs: usize,
-    state: Mutex<ShardState>,
+    /// Handles attached to this batch, detached again when `run` returns.
+    attached: Vec<SchedulerHandle>,
 }
 
 impl Scheduler {
     /// A scheduler for `jobs` jobs under the given batch options.
     pub fn new(options: BatchOptions, jobs: usize) -> Self {
+        let threads = options.resolved_threads();
         Scheduler {
-            threads: options.resolved_threads(),
-            policy: options.schedule,
-            epoch: Instant::now(),
-            jobs,
-            state: Mutex::new(ShardState {
-                pending: jobs,
-                running: Vec::new(),
+            inner: Arc::new(SchedulerInner {
+                threads: AtomicUsize::new(threads),
+                policy: options.schedule,
+                epoch: Instant::now(),
+                state: Mutex::new(ShardState {
+                    pending: jobs,
+                    running: Vec::new(),
+                }),
             }),
+            initial_threads: threads,
+            jobs,
+            attached: Vec::new(),
         }
     }
 
-    /// The resolved core budget.
+    /// The resolved core budget (as of construction; a
+    /// [`SchedulerHandle`] may resize the live total while the batch
+    /// runs).
     pub fn threads(&self) -> usize {
-        self.threads
+        self.initial_threads
+    }
+
+    /// Attach a [`SchedulerHandle`] to this batch: until `run` returns,
+    /// [`SchedulerHandle::set_total`] resizes this batch's total core
+    /// budget.
+    pub fn attach(&mut self, handle: &SchedulerHandle) {
+        handle.attach(&self.inner);
+        self.attached.push(handle.clone());
     }
 
     /// Run the scheduler's jobs to completion and return one
@@ -320,7 +463,7 @@ impl Scheduler {
         F: Fn(usize, &JobHandle) -> T + Sync,
     {
         let jobs = self.jobs;
-        let workers = self.threads.min(jobs).max(1);
+        let workers = self.initial_threads.min(jobs).max(1);
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<(T, ScheduleStats)>>> =
             (0..jobs).map(|_| Mutex::new(None)).collect();
@@ -343,6 +486,10 @@ impl Scheduler {
                 });
             }
         });
+        // The batch is over: outer arbiters must stop resizing it.
+        for handle in &self.attached {
+            handle.detach();
+        }
         slots
             .into_iter()
             .map(|slot| slot.into_inner().unwrap_or_else(|p| p.into_inner()))
@@ -351,17 +498,17 @@ impl Scheduler {
 
     /// Claim job `index`: register it in the running set and rebalance.
     fn start_job(&self, index: usize) -> JobHandle {
-        let started_ms = elapsed_ms(self.epoch);
-        let budget = match self.policy {
+        let started_ms = elapsed_ms(self.inner.epoch);
+        let budget = match self.inner.policy {
             SchedulePolicy::Flat => None,
-            SchedulePolicy::Sharded => Some(ThreadBudget::with_epoch(1, self.epoch)),
+            SchedulePolicy::Sharded => Some(ThreadBudget::with_epoch(1, self.inner.epoch)),
         };
-        let mut state = lock_ignoring_poison(&self.state);
+        let mut state = lock_ignoring_poison(&self.inner.state);
         state.pending = state.pending.saturating_sub(1);
         if let Some(budget) = &budget {
             state.running.push((index, budget.clone()));
         }
-        self.rebalance(&mut state);
+        self.inner.rebalance(&mut state);
         JobHandle {
             index,
             started_ms,
@@ -373,52 +520,21 @@ impl Scheduler {
     /// its [`ScheduleStats`].
     fn finish_job(&self, handle: &JobHandle) -> ScheduleStats {
         if handle.budget.is_some() {
-            let mut state = lock_ignoring_poison(&self.state);
+            let mut state = lock_ignoring_poison(&self.inner.state);
             state.running.retain(|(index, _)| *index != handle.index);
-            self.rebalance(&mut state);
+            self.inner.rebalance(&mut state);
         }
         ScheduleStats {
-            policy: self.policy,
-            batch_threads: self.threads,
+            policy: self.inner.policy,
+            batch_threads: self.initial_threads,
             property_index: handle.index,
             started_ms: handle.started_ms,
-            finished_ms: elapsed_ms(self.epoch),
+            finished_ms: elapsed_ms(self.inner.epoch),
             occupancy: handle
                 .budget
                 .as_ref()
                 .map(ThreadBudget::timeline)
                 .unwrap_or_default(),
-        }
-    }
-
-    /// Re-split the core budget over the running set: width first (budget
-    /// 1 each while jobs are still queued — every queued job will get a
-    /// core sooner than a deep search could use it), then a split weighted
-    /// by each search's live frontier width (a search can use at most one
-    /// worker per frontier node next round, so wide stragglers absorb the
-    /// cores narrow ones would waste).  Searches that have not reported a
-    /// frontier yet weigh 1, which reduces to the previous even split with
-    /// the remainder going to the longest-running searches.
-    fn rebalance(&self, state: &mut ShardState) {
-        if self.policy == SchedulePolicy::Flat || state.running.is_empty() {
-            return;
-        }
-        if state.pending > 0 {
-            for (_, budget) in &state.running {
-                budget.set(1);
-            }
-            return;
-        }
-        let weights: Vec<u64> = state
-            .running
-            .iter()
-            .map(|(_, budget)| budget.frontier_hint().max(1) as u64)
-            .collect();
-        for (share, (_, budget)) in weighted_split(self.threads, &weights)
-            .into_iter()
-            .zip(&state.running)
-        {
-            budget.set(share);
         }
     }
 }
@@ -660,6 +776,69 @@ mod tests {
         // The last straggler still inherits the whole budget.
         scheduler.finish_job(&b);
         assert_eq!(a.budget().unwrap().current(), 8);
+    }
+
+    #[test]
+    fn a_detached_handle_resizes_nothing() {
+        let handle = SchedulerHandle::new();
+        assert!(!handle.set_total(4));
+        assert_eq!(handle.total(), None);
+    }
+
+    #[test]
+    fn an_attached_handle_resizes_the_running_split_immediately() {
+        let mut scheduler = Scheduler::new(sharded(8), 2);
+        let handle = SchedulerHandle::new();
+        scheduler.attach(&handle);
+        let a = scheduler.start_job(0);
+        let b = scheduler.start_job(1);
+        // Queue drained: even split of 8 over 2.
+        assert_eq!(a.budget().unwrap().current(), 4);
+        assert_eq!(b.budget().unwrap().current(), 4);
+        // The arbiter reclaims six cores mid-run: the survivors narrow at
+        // once (each search adopts the value at its next round boundary).
+        assert!(handle.set_total(2));
+        assert_eq!(handle.total(), Some(2));
+        assert_eq!(a.budget().unwrap().current(), 1);
+        assert_eq!(b.budget().unwrap().current(), 1);
+        // Handing the cores back widens the survivors again, and the last
+        // straggler still inherits the whole (live) budget.
+        assert!(handle.set_total(6));
+        assert_eq!(a.budget().unwrap().current(), 3);
+        scheduler.finish_job(&a);
+        assert_eq!(b.budget().unwrap().current(), 6);
+        // ScheduleStats keep reporting the budget resolved at
+        // construction; the occupancy timeline tells the live story.
+        let stats = scheduler.finish_job(&b);
+        assert_eq!(stats.batch_threads, 8);
+    }
+
+    #[test]
+    fn set_total_clamps_to_one_and_width_first_scheduling_still_rules() {
+        let mut scheduler = Scheduler::new(sharded(4), 2);
+        let handle = SchedulerHandle::new();
+        scheduler.attach(&handle);
+        let a = scheduler.start_job(0);
+        // Job 1 still pending: width first, even after a resize.
+        assert!(handle.set_total(0));
+        assert_eq!(handle.total(), Some(1));
+        assert_eq!(a.budget().unwrap().current(), 1);
+        let b = scheduler.start_job(1);
+        // Queue drained under the clamped total: floors of one each.
+        assert_eq!(a.budget().unwrap().current(), 1);
+        assert_eq!(b.budget().unwrap().current(), 1);
+    }
+
+    #[test]
+    fn handles_detach_when_the_batch_finishes() {
+        let mut scheduler = Scheduler::new(sharded(2), 2);
+        let handle = SchedulerHandle::new();
+        scheduler.attach(&handle);
+        let clone = handle.clone();
+        let results = scheduler.run(|index, _| index);
+        assert_eq!(results.len(), 2);
+        assert!(!handle.set_total(4), "a finished batch must be detached");
+        assert_eq!(clone.total(), None, "clones share the detachment");
     }
 
     #[test]

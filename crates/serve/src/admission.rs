@@ -1,0 +1,142 @@
+//! Priority classes and admission limits.
+//!
+//! A multi-tenant verifier serves two very different request shapes: an
+//! editor plugin checking one property on keystroke wants an answer in
+//! milliseconds, while a nightly compliance sweep submits hundreds of
+//! properties and cares only about throughput.  Each request declares
+//! which it is — [`PriorityClass::Interactive`] or
+//! [`PriorityClass::Batch`] — and the server treats the classes
+//! differently at *both* gates:
+//!
+//! * **admission**: each class has its own in-flight limit
+//!   ([`AdmissionLimits`]); an over-limit request is rejected immediately
+//!   with a typed `overloaded` error instead of queueing behind work of
+//!   unknown length, and one class filling up never blocks the other,
+//! * **core allocation**: while any interactive request is running, every
+//!   batch request is squeezed to a floor of one core (see
+//!   [`crate::arbiter::Arbiter`]) — reclaimed at the next search round
+//!   boundary, not at the next request boundary.
+
+use crate::error::ServeError;
+
+/// The scheduling class a request declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PriorityClass {
+    /// Latency-sensitive: admitted generously, takes cores from running
+    /// batch work immediately.
+    #[default]
+    Interactive,
+    /// Throughput-oriented: admitted up to a small in-flight limit, uses
+    /// whatever cores interactive work leaves free.
+    Batch,
+}
+
+impl PriorityClass {
+    /// The class's wire name (`"interactive"` / `"batch"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Batch => "batch",
+        }
+    }
+
+    /// Parse a wire name produced by [`PriorityClass::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "interactive" => Some(PriorityClass::Interactive),
+            "batch" => Some(PriorityClass::Batch),
+            _ => None,
+        }
+    }
+
+    /// Both classes, in metrics/display order.
+    pub const ALL: [PriorityClass; 2] = [PriorityClass::Interactive, PriorityClass::Batch];
+
+    /// Dense index for per-class counter arrays.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            PriorityClass::Interactive => 0,
+            PriorityClass::Batch => 1,
+        }
+    }
+}
+
+/// Per-class in-flight request limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionLimits {
+    /// Maximum interactive requests in flight.
+    pub max_interactive: usize,
+    /// Maximum batch requests in flight.
+    pub max_batch: usize,
+}
+
+impl Default for AdmissionLimits {
+    fn default() -> Self {
+        AdmissionLimits {
+            max_interactive: 8,
+            max_batch: 2,
+        }
+    }
+}
+
+impl AdmissionLimits {
+    /// The limit of one class (clamped to ≥ 1: a server that can admit
+    /// nothing is misconfigured, not protected).
+    pub fn limit(&self, class: PriorityClass) -> usize {
+        match class {
+            PriorityClass::Interactive => self.max_interactive.max(1),
+            PriorityClass::Batch => self.max_batch.max(1),
+        }
+    }
+
+    /// Check one class's in-flight count against its limit.
+    pub fn admit(&self, class: PriorityClass, in_flight: usize) -> Result<(), ServeError> {
+        let limit = self.limit(class);
+        if in_flight >= limit {
+            Err(ServeError::Overloaded { class, limit })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_round_trip() {
+        for class in PriorityClass::ALL {
+            assert_eq!(PriorityClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(PriorityClass::from_name("background"), None);
+    }
+
+    #[test]
+    fn limits_are_per_class() {
+        let limits = AdmissionLimits {
+            max_interactive: 3,
+            max_batch: 1,
+        };
+        assert!(limits.admit(PriorityClass::Batch, 0).is_ok());
+        assert_eq!(
+            limits.admit(PriorityClass::Batch, 1),
+            Err(ServeError::Overloaded {
+                class: PriorityClass::Batch,
+                limit: 1
+            })
+        );
+        // The batch class being full never affects interactive admission.
+        assert!(limits.admit(PriorityClass::Interactive, 2).is_ok());
+    }
+
+    #[test]
+    fn zero_limits_clamp_to_one() {
+        let limits = AdmissionLimits {
+            max_interactive: 0,
+            max_batch: 0,
+        };
+        assert_eq!(limits.limit(PriorityClass::Interactive), 1);
+        assert!(limits.admit(PriorityClass::Batch, 0).is_ok());
+    }
+}

@@ -1,0 +1,329 @@
+//! Cross-request core arbitration.
+//!
+//! The scheduler inside one batch (`verifas_core::Scheduler`) splits a
+//! fixed budget between the searches *of that batch*.  A server runs many
+//! batches at once, so something above them must decide how many cores
+//! each batch deserves — and revise that decision whenever the request
+//! mix changes, not merely when a request finishes.  That something is
+//! the [`Arbiter`].
+//!
+//! The policy is deliberately simple and worst-case-friendly:
+//!
+//! * while **no interactive** request is running, batch requests split
+//!   the server's cores evenly (earliest-admitted requests take the
+//!   remainder),
+//! * the moment an **interactive** request is admitted, every batch
+//!   request is squeezed to a floor of **one core** and the interactive
+//!   requests split the rest evenly.
+//!
+//! Revisions reach running batches through the
+//! [`SchedulerHandle`] attached to each
+//! request: `set_total` re-splits the batch's shard budgets immediately,
+//! and workers observe the new budget at their next round boundary.
+//! Because plan/apply rounds are bit-identical for every worker count,
+//! this preemption-by-rebalance is *advisory only* — it changes when
+//! answers arrive, never what they are.
+//!
+//! Admission control lives here too, because admission and allocation
+//! must agree under one lock: a request is either counted and funded, or
+//! rejected with a typed [`ServeError::Overloaded`] before it touches an
+//! engine.
+
+use crate::admission::{AdmissionLimits, PriorityClass};
+use crate::error::ServeError;
+use std::sync::Mutex;
+use verifas_core::SchedulerHandle;
+
+/// Identifies one admitted request for the lifetime of the server.
+pub type RequestId = u64;
+
+/// What [`Arbiter::admit`] hands an admitted request.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    /// The request's server-wide id (also used to cancel/release it).
+    pub id: RequestId,
+    /// Remote control over the request's batch scheduler.  Attach it via
+    /// `BatchBuilder::scheduler_handle` so later arbiter revisions reach
+    /// the running batch mid-flight.
+    pub handle: SchedulerHandle,
+    /// The cores allocated at admission time — seed the batch's
+    /// `batch_threads` with this so the first round already runs at the
+    /// arbitrated width.
+    pub cores: usize,
+}
+
+struct Entry {
+    id: RequestId,
+    class: PriorityClass,
+    handle: SchedulerHandle,
+    desired: usize,
+}
+
+#[derive(Default)]
+struct ArbiterState {
+    next_id: RequestId,
+    entries: Vec<Entry>,
+}
+
+/// The server-global core budget and admission gate (see module docs).
+pub struct Arbiter {
+    total_cores: usize,
+    limits: AdmissionLimits,
+    state: Mutex<ArbiterState>,
+}
+
+impl Arbiter {
+    /// An arbiter distributing `total_cores` (clamped to ≥ 1) under the
+    /// given per-class admission limits.
+    pub fn new(total_cores: usize, limits: AdmissionLimits) -> Self {
+        Arbiter {
+            total_cores: total_cores.max(1),
+            limits,
+            state: Mutex::new(ArbiterState::default()),
+        }
+    }
+
+    /// The server-wide core budget being distributed.
+    pub fn total_cores(&self) -> usize {
+        self.total_cores
+    }
+
+    /// The configured admission limits.
+    pub fn limits(&self) -> AdmissionLimits {
+        self.limits
+    }
+
+    /// Admit one request of `class`, or refuse with
+    /// [`ServeError::Overloaded`] when the class is at its in-flight
+    /// limit.  Admission immediately re-splits the core budget, shrinking
+    /// running requests' schedulers where the new arrival takes cores
+    /// from them.
+    pub fn admit(&self, class: PriorityClass) -> Result<Admission, ServeError> {
+        let mut state = lock(&self.state);
+        let in_flight = state
+            .entries
+            .iter()
+            .filter(|entry| entry.class == class)
+            .count();
+        self.limits.admit(class, in_flight)?;
+        let id = state.next_id;
+        state.next_id += 1;
+        state.entries.push(Entry {
+            id,
+            class,
+            handle: SchedulerHandle::new(),
+            desired: 1,
+        });
+        self.rebalance(&mut state);
+        let entry = state.entries.last().expect("entry just pushed");
+        Ok(Admission {
+            id,
+            handle: entry.handle.clone(),
+            cores: entry.desired,
+        })
+    }
+
+    /// Release a finished (or failed, or cancelled) request and return
+    /// its cores to the pool.  Unknown ids are ignored, so release is
+    /// idempotent.
+    pub fn release(&self, id: RequestId) {
+        let mut state = lock(&self.state);
+        let before = state.entries.len();
+        state.entries.retain(|entry| entry.id != id);
+        if state.entries.len() != before {
+            self.rebalance(&mut state);
+        }
+    }
+
+    /// The cores currently allocated to `id`, if it is still in flight.
+    /// Read this just before starting the batch: a revision between
+    /// admission and start is then already reflected in `batch_threads`.
+    pub fn desired(&self, id: RequestId) -> Option<usize> {
+        lock(&self.state)
+            .entries
+            .iter()
+            .find(|entry| entry.id == id)
+            .map(|entry| entry.desired)
+    }
+
+    /// In-flight request count of one class.
+    pub fn in_flight(&self, class: PriorityClass) -> usize {
+        lock(&self.state)
+            .entries
+            .iter()
+            .filter(|entry| entry.class == class)
+            .count()
+    }
+
+    /// Recompute every entry's allocation and push it through the
+    /// entries' scheduler handles.  Called with the state lock held, so
+    /// admission, release and allocation are always mutually consistent.
+    fn rebalance(&self, state: &mut ArbiterState) {
+        let interactive: Vec<usize> = indices_of(state, PriorityClass::Interactive);
+        let batch: Vec<usize> = indices_of(state, PriorityClass::Batch);
+        if interactive.is_empty() {
+            assign_even(state, &batch, self.total_cores);
+        } else {
+            // Interactive work present: batch requests drop to the floor
+            // of one core each, interactive splits what remains (never
+            // less than one core per interactive request).
+            for &index in &batch {
+                set_desired(state, index, 1);
+            }
+            let pool = self
+                .total_cores
+                .saturating_sub(batch.len())
+                .max(interactive.len());
+            assign_even(state, &interactive, pool);
+        }
+    }
+}
+
+fn indices_of(state: &ArbiterState, class: PriorityClass) -> Vec<usize> {
+    state
+        .entries
+        .iter()
+        .enumerate()
+        .filter(|(_, entry)| entry.class == class)
+        .map(|(index, _)| index)
+        .collect()
+}
+
+/// Split `pool` cores evenly over `indices` (admission order), at least
+/// one core each, earliest entries taking the remainder.  The split is a
+/// pure function of pool size and admission order — deterministic, so
+/// tests can assert exact allocations.
+fn assign_even(state: &mut ArbiterState, indices: &[usize], pool: usize) {
+    if indices.is_empty() {
+        return;
+    }
+    let base = (pool / indices.len()).max(1);
+    let remainder = pool.saturating_sub(base * indices.len());
+    for (rank, &index) in indices.iter().enumerate() {
+        let extra = usize::from(rank < remainder);
+        set_desired(state, index, base + extra);
+    }
+}
+
+fn set_desired(state: &mut ArbiterState, index: usize, cores: usize) {
+    let entry = &mut state.entries[index];
+    if entry.desired != cores {
+        entry.desired = cores;
+        // No-op until the batch attaches the handle; the gateway bridges
+        // that window by re-reading `desired` right before it starts.
+        entry.handle.set_total(cores);
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arbiter(cores: usize) -> Arbiter {
+        Arbiter::new(
+            cores,
+            AdmissionLimits {
+                max_interactive: 4,
+                max_batch: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn batch_requests_split_cores_evenly_until_interactive_arrives() {
+        let arb = arbiter(8);
+        let b1 = arb.admit(PriorityClass::Batch).unwrap();
+        assert_eq!(b1.cores, 8);
+        let b2 = arb.admit(PriorityClass::Batch).unwrap();
+        // Admitting the second batch halves the first.
+        assert_eq!((arb.desired(b1.id), b2.cores), (Some(4), 4));
+
+        // An interactive arrival squeezes every batch to one core and
+        // takes the rest.
+        let i1 = arb.admit(PriorityClass::Interactive).unwrap();
+        assert_eq!(i1.cores, 6);
+        assert_eq!(arb.desired(b1.id), Some(1));
+        assert_eq!(arb.desired(b2.id), Some(1));
+
+        // A second interactive splits the reclaimed pool.
+        let i2 = arb.admit(PriorityClass::Interactive).unwrap();
+        assert_eq!((arb.desired(i1.id), i2.cores), (Some(3), 3));
+
+        // Interactive work finishing hands the cores straight back.
+        arb.release(i1.id);
+        arb.release(i2.id);
+        assert_eq!(arb.desired(b1.id), Some(4));
+        assert_eq!(arb.desired(b2.id), Some(4));
+    }
+
+    #[test]
+    fn remainder_goes_to_earliest_admitted() {
+        let arb = Arbiter::new(
+            7,
+            AdmissionLimits {
+                max_interactive: 4,
+                max_batch: 3,
+            },
+        );
+        let b1 = arb.admit(PriorityClass::Batch).unwrap();
+        let b2 = arb.admit(PriorityClass::Batch).unwrap();
+        let b3 = arb.admit(PriorityClass::Batch).unwrap();
+        assert_eq!(arb.desired(b1.id), Some(3));
+        assert_eq!(arb.desired(b2.id), Some(2));
+        assert_eq!(arb.desired(b3.id), Some(2));
+    }
+
+    #[test]
+    fn over_limit_batch_is_refused_while_interactive_still_admits() {
+        let arb = arbiter(4);
+        let _b1 = arb.admit(PriorityClass::Batch).unwrap();
+        let _b2 = arb.admit(PriorityClass::Batch).unwrap();
+        let refused = arb.admit(PriorityClass::Batch).unwrap_err();
+        assert_eq!(
+            refused,
+            ServeError::Overloaded {
+                class: PriorityClass::Batch,
+                limit: 2
+            }
+        );
+        // The batch class being saturated does not gate interactive.
+        assert!(arb.admit(PriorityClass::Interactive).is_ok());
+    }
+
+    #[test]
+    fn more_requests_than_cores_floor_at_one_each() {
+        let arb = Arbiter::new(
+            2,
+            AdmissionLimits {
+                max_interactive: 4,
+                max_batch: 4,
+            },
+        );
+        let ids: Vec<_> = (0..4)
+            .map(|_| arb.admit(PriorityClass::Batch).unwrap().id)
+            .collect();
+        for id in &ids {
+            assert_eq!(arb.desired(*id), Some(1));
+        }
+        let i = arb.admit(PriorityClass::Interactive).unwrap();
+        assert_eq!(i.cores, 1);
+    }
+
+    #[test]
+    fn release_is_idempotent_and_frees_a_slot() {
+        let arb = arbiter(4);
+        let b1 = arb.admit(PriorityClass::Batch).unwrap();
+        let _b2 = arb.admit(PriorityClass::Batch).unwrap();
+        assert!(arb.admit(PriorityClass::Batch).is_err());
+        arb.release(b1.id);
+        arb.release(b1.id);
+        assert_eq!(arb.in_flight(PriorityClass::Batch), 1);
+        assert!(arb.admit(PriorityClass::Batch).is_ok());
+    }
+}

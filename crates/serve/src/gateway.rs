@@ -1,0 +1,437 @@
+//! The gateway: the transport-independent heart of `verifas serve`.
+//!
+//! A [`Gateway`] owns the four server-global components — the
+//! [`SessionCache`] of loaded engines, the core-budget [`Arbiter`], the
+//! [`Metrics`] registry and the table of cancellable in-flight requests
+//! — and runs one verification request end to end: compile, admit, look
+//! up (or load) the session, stream per-property frames as searches
+//! finish, emit the terminal `done` frame, release the cores.
+//!
+//! It is deliberately transport-free: [`Gateway::submit`] writes frames
+//! through a caller-supplied sink, so the HTTP layer (`crate::http`),
+//! in-process tests and any future transport share exactly one request
+//! path.  `submit` runs on the *caller's* thread — the server's
+//! connection pool provides the concurrency, and the arbiter decides how
+//! many cores each concurrent call may use.
+
+use crate::admission::{AdmissionLimits, PriorityClass};
+use crate::arbiter::{Arbiter, RequestId};
+use crate::error::ServeError;
+use crate::metrics::{type_line, write_metric, Metrics, RequestOutcome};
+use crate::protocol::{
+    admitted_frame, done_frame, hash_frame, report_error_frame, report_frame, VerifyRequest,
+};
+use crate::session::SessionCache;
+use std::sync::Mutex;
+use std::time::Duration;
+use verifas_core::{spec_hash, spec_hash_hex, BatchSummary, CancelToken, Engine};
+use verifas_ltl::LtlFoProperty;
+use verifas_spec::compile;
+
+/// A frame sink: receives each response line (without the trailing
+/// newline) as soon as it is produced.
+pub type FrameSink<'f> = &'f (dyn Fn(&str) + Send + Sync);
+
+/// Configuration of a [`Gateway`] (and therefore of a server).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// The server-global core budget the arbiter distributes.
+    pub cores: usize,
+    /// How many loaded engine sessions the LRU keeps.
+    pub sessions: usize,
+    /// Per-class admission limits.
+    pub limits: AdmissionLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            sessions: 8,
+            limits: AdmissionLimits::default(),
+        }
+    }
+}
+
+/// The transport-independent server core (see module docs).
+pub struct Gateway {
+    sessions: SessionCache,
+    arbiter: Arbiter,
+    metrics: Metrics,
+    /// Cancel tokens of in-flight requests, so `/v1/cancel` (and server
+    /// shutdown) can stop every search of a running batch.
+    active: Mutex<Vec<(RequestId, CancelToken)>>,
+}
+
+impl Gateway {
+    /// A gateway with the given configuration.
+    pub fn new(config: ServeConfig) -> Self {
+        Gateway {
+            sessions: SessionCache::new(config.sessions),
+            arbiter: Arbiter::new(config.cores, config.limits),
+            metrics: Metrics::new(),
+            active: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Run one verification request end to end, pushing response frames
+    /// through `emit` as they are produced.
+    ///
+    /// Errors are only returned *before* the first frame is emitted
+    /// (compile failure, unknown property, admission refusal) — the
+    /// transport can still map them to a status code.  Once the
+    /// `admitted` frame is out, every later failure is a per-property
+    /// `report` frame with an `error` member, and the stream always ends
+    /// with a `done` frame.
+    pub fn submit(
+        &self,
+        request: &VerifyRequest,
+        emit: FrameSink<'_>,
+    ) -> Result<BatchSummary, ServeError> {
+        let compiled = compile(&request.spec).map_err(verifas_core::VerifasError::from)?;
+        let properties = select_properties(compiled.properties, request.properties.as_deref())?;
+        let hash = spec_hash(&compiled.spec);
+
+        let admission = self.arbiter.admit(request.class).inspect_err(|_| {
+            self.metrics.rejected(request.class);
+        })?;
+        self.metrics.admitted(request.class);
+        let id = admission.id;
+
+        let spec = compiled.spec;
+        let (engine, session_hit) = match self.sessions.get_or_load(hash, || Engine::load(spec)) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                self.arbiter.release(id);
+                self.metrics.finished(request.class, RequestOutcome::Failed);
+                return Err(ServeError::Spec(e));
+            }
+        };
+
+        let token = CancelToken::new();
+        lock(&self.active).push((id, token.clone()));
+
+        // Between admission and start the arbiter may already have
+        // revised our allocation (another request arrived); read the live
+        // value so the first round runs at the arbitrated width.
+        let cores = self.arbiter.desired(id).unwrap_or(admission.cores);
+        emit(&admitted_frame(
+            id,
+            &spec_hash_hex_of(hash),
+            session_hit,
+            request.class,
+            cores,
+            properties.len(),
+        ));
+
+        let on_event = |_index: usize, event: &verifas_core::ProgressEvent| {
+            self.metrics.observe_event(event);
+        };
+        let mut on_result = |index: usize,
+                             result: &Result<
+            verifas_core::VerificationReport,
+            verifas_core::VerifasError,
+        >| {
+            match result {
+                Ok(report) => emit(&report_frame(id, index, report)),
+                Err(e) => emit(&report_error_frame(id, index, &e.to_string())),
+            }
+            self.metrics.report_streamed();
+        };
+        let mut batch = engine
+            .batch()
+            .batch_threads(cores)
+            .cancel_token(token.clone())
+            .scheduler_handle(&admission.handle)
+            .on_event(&on_event)
+            .on_result(&mut on_result);
+        if let Some(ms) = request.deadline_ms {
+            batch = batch.deadline(Duration::from_millis(ms));
+        }
+        let (_results, summary) = batch.run_with_summary(&properties);
+
+        emit(&done_frame(id, &summary));
+        lock(&self.active).retain(|(active_id, _)| *active_id != id);
+        self.arbiter.release(id);
+        self.metrics.finished(request.class, outcome_of(&summary));
+        Ok(summary)
+    }
+
+    /// Cancel an in-flight request by id.  Returns whether the id was
+    /// found (an unknown or already-finished id is not an error: the
+    /// race between completion and cancellation is inherent).
+    pub fn cancel(&self, id: RequestId) -> bool {
+        let active = lock(&self.active);
+        match active.iter().find(|(active_id, _)| *active_id == id) {
+            Some((_, token)) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cancel every in-flight request (server shutdown).  Returns how
+    /// many requests were signalled.
+    pub fn cancel_all(&self) -> usize {
+        let active = lock(&self.active);
+        for (_, token) in active.iter() {
+            token.cancel();
+        }
+        active.len()
+    }
+
+    /// Compile `source` and return `(spec name, canonical hash)` — the
+    /// `/v1/hash` endpoint and the `verifas hash` subcommand.
+    pub fn hash_text(&self, source: &str) -> Result<(String, String), ServeError> {
+        let compiled = compile(source).map_err(verifas_core::VerifasError::from)?;
+        Ok((compiled.spec.name.clone(), spec_hash_hex(&compiled.spec)))
+    }
+
+    /// Render the hash response frame for `/v1/hash`.
+    pub fn hash_frame_for(&self, source: &str) -> Result<String, ServeError> {
+        let (name, hex) = self.hash_text(source)?;
+        Ok(hash_frame(&name, &hex))
+    }
+
+    /// The full `/metrics` document: the counter registry plus gauges
+    /// owned by the gateway's components.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        self.metrics.render_into(&mut out);
+        let stats = self.sessions.stats();
+        type_line(&mut out, "verifas_session_cache_lookups_total", "counter");
+        write_metric(
+            &mut out,
+            "verifas_session_cache_lookups_total",
+            &[("result", "hit")],
+            stats.hits,
+        );
+        write_metric(
+            &mut out,
+            "verifas_session_cache_lookups_total",
+            &[("result", "miss")],
+            stats.misses,
+        );
+        type_line(&mut out, "verifas_session_cache_evictions_total", "counter");
+        write_metric(
+            &mut out,
+            "verifas_session_cache_evictions_total",
+            &[],
+            stats.evictions,
+        );
+        type_line(&mut out, "verifas_session_cache_entries", "gauge");
+        write_metric(
+            &mut out,
+            "verifas_session_cache_entries",
+            &[],
+            stats.cached as u64,
+        );
+        type_line(&mut out, "verifas_requests_in_flight", "gauge");
+        for class in PriorityClass::ALL {
+            write_metric(
+                &mut out,
+                "verifas_requests_in_flight",
+                &[("class", class.name())],
+                self.arbiter.in_flight(class) as u64,
+            );
+        }
+        type_line(&mut out, "verifas_cores_total", "gauge");
+        write_metric(
+            &mut out,
+            "verifas_cores_total",
+            &[],
+            self.arbiter.total_cores() as u64,
+        );
+        out
+    }
+
+    /// The session cache (tests and diagnostics).
+    pub fn sessions(&self) -> &SessionCache {
+        &self.sessions
+    }
+
+    /// The core arbiter (tests and diagnostics).
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
+    }
+
+    /// The counter registry (tests and diagnostics).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+/// Resolve the requested property names (or all, in declaration order)
+/// against the compiled spec's property list.
+fn select_properties(
+    all: Vec<LtlFoProperty>,
+    requested: Option<&[String]>,
+) -> Result<Vec<LtlFoProperty>, ServeError> {
+    match requested {
+        None => Ok(all),
+        Some(names) => names
+            .iter()
+            .map(|name| {
+                all.iter()
+                    .find(|property| &property.name == name)
+                    .cloned()
+                    .ok_or_else(|| ServeError::UnknownProperty { name: name.clone() })
+            })
+            .collect(),
+    }
+}
+
+fn outcome_of(summary: &BatchSummary) -> RequestOutcome {
+    if summary.aborted {
+        RequestOutcome::Cancelled
+    } else if summary.errors > 0 {
+        RequestOutcome::Failed
+    } else {
+        RequestOutcome::Completed
+    }
+}
+
+fn spec_hash_hex_of(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifas_core::Json;
+
+    const SPEC: &str = r#"
+spec "tiny";
+schema { relation R(a: data); }
+task Root {
+    vars { status: data }
+    service go {
+        pre: status == null;
+        post: status == "Done";
+    }
+}
+init: status == null;
+property "reaches-done" on Root {
+    formula: F { status == "Done" };
+}
+property "never-done" on Root {
+    formula: G !{ status == "Done" };
+}
+"#;
+
+    fn collected(gateway: &Gateway, request: &VerifyRequest) -> (Vec<String>, BatchSummary) {
+        let frames = Mutex::new(Vec::new());
+        let sink = |line: &str| frames.lock().unwrap().push(line.to_owned());
+        let summary = gateway.submit(request, &sink).unwrap();
+        (frames.into_inner().unwrap(), summary)
+    }
+
+    fn request(spec: &str) -> VerifyRequest {
+        VerifyRequest {
+            spec: spec.to_owned(),
+            class: PriorityClass::Interactive,
+            properties: None,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn submit_streams_admitted_reports_done() {
+        let gateway = Gateway::new(ServeConfig {
+            cores: 2,
+            sessions: 2,
+            limits: AdmissionLimits::default(),
+        });
+        let (frames, summary) = collected(&gateway, &request(SPEC));
+        assert_eq!(frames.len(), 4, "admitted + 2 reports + done: {frames:?}");
+        let first = Json::parse(&frames[0]).unwrap();
+        assert_eq!(first.get("frame").and_then(Json::as_str), Some("admitted"));
+        assert_eq!(first.get("session").and_then(Json::as_str), Some("miss"));
+        assert_eq!(first.get("properties").and_then(Json::as_u64), Some(2));
+        let last = Json::parse(frames.last().unwrap()).unwrap();
+        assert_eq!(last.get("frame").and_then(Json::as_str), Some("done"));
+        assert_eq!(summary.properties, 2);
+        assert_eq!(summary.completed, 2);
+        assert!(!summary.aborted);
+        // The request released its cores and its cancel slot.
+        assert_eq!(gateway.arbiter().in_flight(PriorityClass::Interactive), 0);
+        assert!(lock(&gateway.active).is_empty());
+    }
+
+    #[test]
+    fn resubmission_hits_the_session_cache() {
+        let gateway = Gateway::new(ServeConfig::default());
+        let (_, _) = collected(&gateway, &request(SPEC));
+        // Same spec, different formatting: same lowered structure.
+        let reformatted = SPEC.replace("  ", "\t").replace("property", "\nproperty");
+        let (frames, _) = collected(&gateway, &request(&reformatted));
+        let first = Json::parse(&frames[0]).unwrap();
+        assert_eq!(first.get("session").and_then(Json::as_str), Some("hit"));
+        let stats = gateway.sessions().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn named_property_selection_and_unknown_property() {
+        let gateway = Gateway::new(ServeConfig::default());
+        let mut req = request(SPEC);
+        req.properties = Some(vec!["never-done".to_owned()]);
+        let (frames, summary) = collected(&gateway, &req);
+        assert_eq!(summary.properties, 1);
+        let report = Json::parse(&frames[1]).unwrap();
+        assert_eq!(
+            report
+                .get("report")
+                .and_then(|r| r.get("property"))
+                .and_then(Json::as_str),
+            Some("never-done")
+        );
+
+        req.properties = Some(vec!["nope".to_owned()]);
+        let err = gateway.submit(&req, &|_| {}).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::UnknownProperty {
+                name: "nope".to_owned()
+            }
+        );
+        // Refused before admission: nothing leaked into the arbiter.
+        assert_eq!(gateway.arbiter().in_flight(PriorityClass::Interactive), 0);
+    }
+
+    #[test]
+    fn metrics_text_reflects_traffic() {
+        let gateway = Gateway::new(ServeConfig::default());
+        let (_, _) = collected(&gateway, &request(SPEC));
+        let text = gateway.metrics_text();
+        assert!(text.contains("verifas_requests_admitted_total{class=\"interactive\"} 1"));
+        assert!(text.contains(
+            "verifas_requests_finished_total{class=\"interactive\",outcome=\"completed\"} 1"
+        ));
+        assert!(text.contains("verifas_property_reports_total 2"));
+        assert!(text.contains("verifas_session_cache_lookups_total{result=\"miss\"} 1"));
+        assert!(text.contains("verifas_session_cache_entries 1"));
+        assert!(text.contains("verifas_requests_in_flight{class=\"interactive\"} 0"));
+    }
+
+    #[test]
+    fn hash_endpoint_matches_core_hash() {
+        let gateway = Gateway::new(ServeConfig::default());
+        let (name, hex) = gateway.hash_text(SPEC).unwrap();
+        assert_eq!(name, "tiny");
+        assert_eq!(hex.len(), 16);
+        let frame = gateway.hash_frame_for(SPEC).unwrap();
+        let parsed = Json::parse(&frame).unwrap();
+        assert_eq!(
+            parsed.get("spec_hash").and_then(Json::as_str),
+            Some(hex.as_str())
+        );
+    }
+}

@@ -1,0 +1,461 @@
+//! A hand-rolled HTTP/1.1 front end over [`crate::gateway::Gateway`].
+//!
+//! The build environment is offline, so the server is written directly
+//! over [`std::net::TcpListener`]: a blocking acceptor thread hands
+//! connections to a small fixed pool of worker threads over an `mpsc`
+//! channel, and each worker parses one request, dispatches it, and
+//! closes the connection.  Verification responses stream as
+//! newline-delimited JSON with `Connection: close` delimiting the body —
+//! every frame is flushed the moment the underlying search finishes, so
+//! a client sees per-property reports in completion order, live.
+//!
+//! Routes:
+//!
+//! | method | path           | behaviour                                      |
+//! |--------|----------------|------------------------------------------------|
+//! | POST   | `/v1/verify`   | stream `admitted`/`report`.../`done` frames    |
+//! | POST   | `/v1/cancel`   | cancel an in-flight request by id              |
+//! | POST   | `/v1/hash`     | canonical spec hash of a `.has` source         |
+//! | POST   | `/v1/shutdown` | cancel everything and stop the server          |
+//! | GET    | `/metrics`     | Prometheus-style text exposition               |
+//! | GET    | `/healthz`     | liveness probe                                 |
+//!
+//! Admission refusals map to `429 Too Many Requests`, malformed
+//! requests and spec errors to `400 Bad Request` — both with a single
+//! `error` frame as the body, so clients parse one shape everywhere.
+
+use crate::error::ServeError;
+use crate::gateway::{Gateway, ServeConfig};
+use crate::protocol::{
+    cancelled_frame, error_frame, parse_cancel, parse_hash_request, VerifyRequest,
+};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request body (a `.has` spec is a few KiB; this is
+/// three orders of magnitude of headroom, not a real spec size).
+const MAX_BODY: usize = 4 << 20;
+
+/// How long a worker waits for a slow client before giving up on the
+/// connection.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The running HTTP server.  Dropping it shuts it down (idempotent with
+/// an explicit [`Server::shutdown`] call).
+pub struct Server {
+    addr: SocketAddr,
+    gateway: Arc<Gateway>,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving with
+    /// `workers` connection-handling threads (clamped to ≥ 1).
+    pub fn start(addr: &str, config: ServeConfig, workers: usize) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let gateway = Arc::new(Gateway::new(config));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let worker_handles = (0..workers.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let gateway = Arc::clone(&gateway);
+                let stopping = Arc::clone(&stopping);
+                std::thread::spawn(move || loop {
+                    let next = {
+                        let guard = receiver.lock().unwrap_or_else(|p| p.into_inner());
+                        guard.recv()
+                    };
+                    match next {
+                        Ok(stream) => handle_connection(stream, &gateway, &stopping, addr),
+                        Err(_) => break, // acceptor gone: shutdown
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break; // the wake-up connection, or a late client
+                    }
+                    if let Ok(stream) = stream {
+                        if sender.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                // `sender` drops here; idle workers wake and exit.
+            })
+        };
+
+        Ok(Server {
+            addr,
+            gateway,
+            stopping,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (use with port 0 to discover the chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The gateway behind the server (tests and diagnostics).
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+
+    /// Stop accepting, cancel all in-flight verification requests, and
+    /// join every server thread.  Idempotent.
+    pub fn shutdown(&mut self) {
+        if !self.stopping.swap(true, Ordering::SeqCst) {
+            self.gateway.cancel_all();
+            // Wake the acceptor out of its blocking `accept`.
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.wait();
+    }
+
+    /// Block until the server stops — a `POST /v1/shutdown` request, or
+    /// an explicit [`Server::shutdown`] from another thread — and join
+    /// every server thread.  The `verifas serve` main loop.
+    pub fn wait(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    gateway: &Gateway,
+    stopping: &Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let request = match read_request(&stream) {
+        Ok(request) => request,
+        Err(_) => return, // unparseable or timed-out client: just close
+    };
+    let _ = dispatch(&stream, gateway, stopping, addr, &request);
+}
+
+fn dispatch(
+    stream: &TcpStream,
+    gateway: &Gateway,
+    stopping: &Arc<AtomicBool>,
+    addr: SocketAddr,
+    request: &Request,
+) -> io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/verify") => serve_verify(stream, gateway, &request.body),
+        ("POST", "/v1/cancel") => match parse_cancel(&request.body) {
+            Ok(id) => {
+                let found = gateway.cancel(id);
+                respond(
+                    stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    &cancelled_frame(id, found),
+                )
+            }
+            Err(e) => respond_error(stream, &e),
+        },
+        ("POST", "/v1/hash") => match gateway.hash_frame_for(&request.body_spec()) {
+            Ok(frame) => respond(stream, 200, "OK", "application/json", &frame),
+            Err(e) => respond_error(stream, &e),
+        },
+        ("POST", "/v1/shutdown") => {
+            let result = respond(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                r#"{"frame":"shutdown"}"#,
+            );
+            if !stopping.swap(true, Ordering::SeqCst) {
+                gateway.cancel_all();
+                let _ = TcpStream::connect(addr); // wake the acceptor
+            }
+            result
+        }
+        ("GET", "/metrics") => respond(
+            stream,
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            &gateway.metrics_text(),
+        ),
+        ("GET", "/healthz") => respond(stream, 200, "OK", "text/plain", "ok"),
+        _ => respond(
+            stream,
+            404,
+            "Not Found",
+            "application/json",
+            &error_frame(&ServeError::BadRequest {
+                reason: format!("no route {} {}", request.method, request.path),
+            }),
+        ),
+    }
+}
+
+impl Request {
+    /// `/v1/hash` accepts either a JSON envelope `{"spec": "..."}` or the
+    /// raw `.has` source (convenient for `curl --data-binary @spec.has`).
+    fn body_spec(&self) -> String {
+        parse_hash_request(&self.body).unwrap_or_else(|_| self.body.clone())
+    }
+}
+
+fn serve_verify(stream: &TcpStream, gateway: &Gateway, body: &str) -> io::Result<()> {
+    let request = match VerifyRequest::from_json(body) {
+        Ok(request) => request,
+        Err(e) => return respond_error(stream, &e),
+    };
+    // The response streams: one JSON frame per line, flushed as
+    // produced; `Connection: close` delimits the body.  The status line
+    // goes out lazily with the *first* frame, so a request refused
+    // before any frame (compile error, admission) still gets its proper
+    // 400/429 instead of a 200 it would have to un-see.
+    let writer = Mutex::new(stream);
+    let head_written = AtomicBool::new(false);
+    let emit = |line: &str| {
+        let guard = writer.lock().unwrap_or_else(|p| p.into_inner());
+        let mut sink = *guard;
+        if !head_written.swap(true, Ordering::SeqCst) {
+            let _ = write_head(sink, 200, "OK", "application/x-ndjson", None);
+        }
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.write_all(b"\n");
+        let _ = sink.flush();
+    };
+    match gateway.submit(&request, &emit) {
+        Ok(_summary) => Ok(()), // the `done` frame already went out
+        Err(e) if head_written.load(Ordering::SeqCst) => {
+            // Failed mid-stream (cannot happen today, but stay well-
+            // formed for NDJSON clients if it ever does).
+            emit(&error_frame(&e));
+            Ok(())
+        }
+        Err(e) => respond_error(stream, &e),
+    }
+}
+
+fn respond_error(stream: &TcpStream, error: &ServeError) -> io::Result<()> {
+    let (status, reason) = match error {
+        ServeError::Overloaded { .. } => (429, "Too Many Requests"),
+        _ => (400, "Bad Request"),
+    };
+    respond(
+        stream,
+        status,
+        reason,
+        "application/json",
+        &error_frame(error),
+    )
+}
+
+fn respond(
+    stream: &TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write_head(stream, status, reason, content_type, Some(body.len() + 1))?;
+    let mut sink = stream;
+    sink.write_all(body.as_bytes())?;
+    sink.write_all(b"\n")?;
+    sink.flush()
+}
+
+fn write_head(
+    stream: &TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    content_length: Option<usize>,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nConnection: close\r\n"
+    );
+    if let Some(length) = content_length {
+        head.push_str(&format!("Content-Length: {length}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut sink = stream;
+    sink.write_all(head.as_bytes())?;
+    sink.flush()
+}
+
+fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || path.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifas_core::Json;
+
+    const SPEC: &str = r#"
+spec "httptiny";
+schema { relation R(a: data); }
+task Root {
+    vars { status: data }
+    service go {
+        pre: status == null;
+        post: status == "Done";
+    }
+}
+init: status == null;
+property "reaches-done" on Root {
+    formula: F { status == "Done" };
+}
+"#;
+
+    /// Minimal HTTP/1.1 client: send one request, read the whole
+    /// response (the server closes the connection), split off the body.
+    fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, tail) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), tail.to_owned())
+    }
+
+    fn verify_body(spec: &str) -> String {
+        Json::Obj(vec![("spec".to_owned(), Json::Str(spec.to_owned()))]).to_string()
+    }
+
+    #[test]
+    fn verify_metrics_hash_and_shutdown_over_loopback() {
+        let mut server = Server::start("127.0.0.1:0", ServeConfig::default(), 2).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = roundtrip(addr, "POST", "/v1/verify", &verify_body(SPEC));
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/x-ndjson"));
+        let frames: Vec<Json> = body
+            .lines()
+            .map(|line| Json::parse(line).unwrap())
+            .collect();
+        assert_eq!(frames.len(), 3, "admitted + report + done: {body}");
+        assert_eq!(
+            frames[0].get("frame").and_then(Json::as_str),
+            Some("admitted")
+        );
+        assert_eq!(
+            frames[1].get("frame").and_then(Json::as_str),
+            Some("report")
+        );
+        assert_eq!(frames[2].get("frame").and_then(Json::as_str), Some("done"));
+
+        let (head, body) = roundtrip(addr, "POST", "/v1/hash", SPEC);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let hash = Json::parse(body.trim()).unwrap();
+        assert_eq!(hash.get("name").and_then(Json::as_str), Some("httptiny"));
+
+        let (head, body) = roundtrip(addr, "GET", "/metrics", "");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("verifas_requests_admitted_total{class=\"interactive\"} 1"));
+        assert!(body.contains("verifas_session_cache_entries 1"));
+
+        let (head, _) = roundtrip(addr, "GET", "/healthz", "");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let (head, _) = roundtrip(addr, "GET", "/nope", "");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        let (head, _) = roundtrip(addr, "POST", "/v1/shutdown", "{}");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        server.shutdown(); // joins the already-stopping threads
+    }
+
+    #[test]
+    fn malformed_verify_gets_a_400_error_frame() {
+        let server = Server::start("127.0.0.1:0", ServeConfig::default(), 1).unwrap();
+        let (head, body) = roundtrip(server.local_addr(), "POST", "/v1/verify", "{not json");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        let frame = Json::parse(body.trim()).unwrap();
+        assert_eq!(
+            frame.get("kind").and_then(Json::as_str),
+            Some("bad_request")
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # verifas-serve — the multi-tenant verification service
+//!
+//! PR 2–4 made one *batch* fast: sharded scheduling, deterministic
+//! rounds, streaming per-property results.  This crate makes many
+//! batches coexist — the `verifas serve` daemon that keeps verification
+//! sessions warm between requests and arbitrates the machine's cores
+//! between tenants:
+//!
+//! * [`session`] — an LRU of loaded [`verifas_core::Engine`]s keyed by
+//!   the canonical spec hash ([`verifas_core::spec_hash`]), so a
+//!   re-submitted spec pays zero preprocessing,
+//! * [`admission`] — priority classes (`interactive` / `batch`) with
+//!   per-class in-flight limits and typed `overloaded` refusals,
+//! * [`arbiter`] — the server-global core budget: interactive arrivals
+//!   squeeze running batch requests to a one-core floor *mid-search*
+//!   through [`verifas_core::SchedulerHandle`] (safe because rounds are
+//!   bit-identical for any worker count — preemption never changes a
+//!   verdict),
+//! * [`metrics`] — engine [`verifas_core::ProgressEvent`]s and request
+//!   lifecycle folded into Prometheus-style counters for `/metrics`,
+//! * [`protocol`] — the JSON request envelope and the newline-delimited
+//!   response frames (`admitted`, `report`…, `done`),
+//! * [`gateway`] — the transport-independent request path tying the
+//!   above together,
+//! * [`http`] — a dependency-free HTTP/1.1 front end on
+//!   [`std::net::TcpListener`] with a fixed worker pool.
+
+pub mod admission;
+pub mod arbiter;
+pub mod error;
+pub mod gateway;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod session;
+
+pub use admission::{AdmissionLimits, PriorityClass};
+pub use arbiter::{Admission, Arbiter, RequestId};
+pub use error::ServeError;
+pub use gateway::{FrameSink, Gateway, ServeConfig};
+pub use http::Server;
+pub use metrics::{Metrics, RequestOutcome};
+pub use protocol::VerifyRequest;
+pub use session::{SessionCache, SessionCacheStats};

@@ -1,0 +1,185 @@
+//! The session cache: an LRU of loaded [`Engine`]s keyed by canonical
+//! spec hash.
+//!
+//! Loading a specification is cheap, but the per-property preprocessing
+//! an [`Engine`] accumulates (expression universes, compiled symbolic
+//! tasks, static-analysis graphs) is not — a tenant re-submitting the
+//! same spec must land on the same engine so the second batch pays no
+//! setup cost at all.  The key is [`verifas_core::spec_hash`] over the
+//! *lowered* `HasSpec`, not the source text: two `.has` files that differ
+//! only in formatting or comments lower bit-identically and share one
+//! session.
+//!
+//! Eviction is strict least-recently-used over a recency list, so the
+//! order is deterministic: touch order alone decides who goes, never
+//! timing.  Hit/miss/eviction counters feed the server's `/metrics`
+//! endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use verifas_core::{Engine, VerifasError};
+
+/// Counters of one [`SessionCache`]'s life so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionCacheStats {
+    /// Lookups that found a loaded session.
+    pub hits: u64,
+    /// Lookups that had to load a new session.
+    pub misses: u64,
+    /// Sessions evicted to make room.
+    pub evictions: u64,
+    /// Sessions currently cached.
+    pub cached: usize,
+}
+
+/// An LRU cache of loaded verification sessions (see the module docs).
+pub struct SessionCache {
+    capacity: usize,
+    /// Most-recently-used first.  A `Vec` is the right structure at
+    /// session-cache sizes (a handful to a few dozen engines).
+    inner: Mutex<Vec<(u64, Arc<Engine>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SessionCache {
+    /// A cache holding at most `capacity` sessions (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        SessionCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up the session for `hash`, loading it with `load` on a miss.
+    /// Returns the (shared) engine and whether the lookup was a hit.
+    ///
+    /// The cache lock is held across `load`, deliberately: two concurrent
+    /// first requests for the same spec must produce *one* engine — the
+    /// second caller waits and then hits, instead of both building and
+    /// one being thrown away (which would double every preprocessing the
+    /// engines later accumulate).
+    pub fn get_or_load(
+        &self,
+        hash: u64,
+        load: impl FnOnce() -> Result<Engine, VerifasError>,
+    ) -> Result<(Arc<Engine>, bool), VerifasError> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        if let Some(position) = inner.iter().position(|(key, _)| *key == hash) {
+            // Touch: move to the front of the recency list.
+            let entry = inner.remove(position);
+            let engine = Arc::clone(&entry.1);
+            inner.insert(0, entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((engine, true));
+        }
+        let engine = Arc::new(load()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        inner.insert(0, (hash, Arc::clone(&engine)));
+        while inner.len() > self.capacity {
+            inner.pop();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((engine, false))
+    }
+
+    /// The cached keys, most-recently-used first (diagnostics and tests —
+    /// this *is* the eviction order, reversed).
+    pub fn keys_mru(&self) -> Vec<u64> {
+        lock_ignoring_poison(&self.inner)
+            .iter()
+            .map(|(key, _)| *key)
+            .collect()
+    }
+
+    /// Life-so-far counters plus the current size.
+    pub fn stats(&self) -> SessionCacheStats {
+        SessionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cached: lock_ignoring_poison(&self.inner).len(),
+        }
+    }
+}
+
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifas_model::schema::attr::data;
+    use verifas_model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, Term};
+
+    fn tiny_engine(name: &str) -> Engine {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let status = root.data_var("status");
+        root.service_parts(
+            "go",
+            Condition::eq(Term::var(status), Term::Null),
+            Condition::eq(Term::var(status), Term::str("Done")),
+            vec![],
+            None,
+        );
+        let mut b = SpecBuilder::new(name, db, root.build());
+        b.global_pre(Condition::eq(Term::var(status), Term::Null));
+        Engine::load(b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_lru() {
+        let cache = SessionCache::new(2);
+        for key in [1u64, 2, 3] {
+            let (_, hit) = cache.get_or_load(key, || Ok(tiny_engine("s"))).unwrap();
+            assert!(!hit);
+        }
+        // Capacity 2: inserting 3 evicted 1 (the least recently used).
+        assert_eq!(cache.keys_mru(), vec![3, 2]);
+        // Touching 2 protects it; inserting 4 now evicts 3.
+        assert!(cache.get_or_load(2, || unreachable!()).unwrap().1);
+        cache.get_or_load(4, || Ok(tiny_engine("s"))).unwrap();
+        assert_eq!(cache.keys_mru(), vec![4, 2]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 4, 2));
+        assert_eq!(stats.cached, 2);
+    }
+
+    #[test]
+    fn hits_share_one_engine() {
+        let cache = SessionCache::new(4);
+        let (first, _) = cache.get_or_load(7, || Ok(tiny_engine("s"))).unwrap();
+        let (second, hit) = cache.get_or_load(7, || unreachable!()).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn failed_loads_cache_nothing() {
+        let cache = SessionCache::new(4);
+        let result = cache.get_or_load(9, || {
+            Err(VerifasError::Internal {
+                reason: "boom".to_owned(),
+            })
+        });
+        assert!(result.is_err());
+        assert!(cache.keys_mru().is_empty());
+        // The next lookup for the same key loads again.
+        let (_, hit) = cache.get_or_load(9, || Ok(tiny_engine("s"))).unwrap();
+        assert!(!hit);
+    }
+}

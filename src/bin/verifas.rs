@@ -5,21 +5,28 @@
 //! verifas check    <spec.has> [--prop NAME] [--threads N] [--json OUT]
 //!                             [--max-states N] [--max-millis MS]
 //! verifas batch    <spec.has> [--all-props] [--threads N] [--json OUT]
+//!                             [--batch-threads N] [--schedule flat|sharded]
 //!                             [--max-states N] [--max-millis MS]
 //! verifas validate <spec.has>
+//! verifas hash     <spec.has>
 //! verifas fmt      <spec.has> [--write | --check]
+//! verifas serve    [--addr HOST:PORT] [--cores N] [--sessions N]
+//!                  [--max-interactive N] [--max-batch N]
 //! ```
 //!
 //! `check` verifies properties one at a time through `Engine::check`;
 //! `batch` routes the whole property set through `Engine::batch()` with
-//! the sharded scheduler and streams per-property results as they land.
+//! the sharded scheduler and streams per-property results as they land;
+//! `serve` runs the multi-tenant verification daemon (`verifas-serve`)
+//! until a `POST /v1/shutdown` stops it.
 //! Exit codes: 0 — every requested verification completed (whatever the
 //! verdict); 1 — `fmt --check` found unformatted input; 2 — any error
 //! (parse, resolution, I/O, usage).
 
 use std::process::ExitCode;
-use verifas::core::Json;
+use verifas::core::{spec_hash_hex, Json};
 use verifas::prelude::*;
+use verifas::serve::{AdmissionLimits, ServeConfig, Server};
 use verifas::spec::{self, CompiledSpec};
 
 fn main() -> ExitCode {
@@ -39,27 +46,44 @@ commands:
   check      verify properties one at a time (default: every property)
   batch      verify every property as one scheduled batch (Engine::batch)
   validate   parse, resolve and type-check the specification and properties
+  hash       print the canonical spec hash (the serve session-cache key)
   fmt        print the specification in canonical formatting
+  serve      run the multi-tenant verification daemon (no spec file)
 
 options:
-  --prop NAME       check only the named property (check only)
-  --all-props       verify every property (batch; this is the default)
-  --threads N       worker threads (check: per search; batch: core budget; 0 = auto)
-  --json OUT        write the reports as a JSON document to OUT
-  --max-states N    per-phase state limit (default 100000)
-  --max-millis MS   per-phase wall-clock limit (default 60000)
-  --write           fmt: rewrite the file in place
-  --check           fmt: exit 1 if the file is not canonically formatted";
+  --prop NAME        check only the named property (check only)
+  --all-props        verify every property (batch; this is the default)
+  --threads N        worker threads (check: per search; batch: core budget; 0 = auto)
+  --batch-threads N  batch: core budget shared by the whole batch (0 = auto;
+                     overrides --threads)
+  --schedule POLICY  batch: `sharded` (adaptive, default) or `flat`
+  --json OUT         write the reports as a JSON document to OUT
+  --max-states N     per-phase state limit (default 100000)
+  --max-millis MS    per-phase wall-clock limit (default 60000)
+  --write            fmt: rewrite the file in place
+  --check            fmt: exit 1 if the file is not canonically formatted
+  --addr HOST:PORT   serve: listen address (default 127.0.0.1:7464)
+  --cores N          serve: server-global core budget (0 = all cores)
+  --sessions N       serve: loaded-session LRU capacity (default 8)
+  --max-interactive N  serve: in-flight limit of the interactive class
+  --max-batch N      serve: in-flight limit of the batch class";
 
 struct Options {
     file: String,
     prop: Option<String>,
     threads: usize,
+    batch_threads: Option<usize>,
+    schedule: Option<SchedulePolicy>,
     json: Option<String>,
     max_states: Option<usize>,
     max_millis: Option<u64>,
     write: bool,
     check: bool,
+    addr: String,
+    cores: usize,
+    sessions: usize,
+    max_interactive: usize,
+    max_batch: usize,
     /// Every flag that appeared, for per-command applicability checks.
     seen: Vec<&'static str>,
 }
@@ -78,25 +102,41 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "batch" => &[
             "--all-props",
             "--threads",
+            "--batch-threads",
+            "--schedule",
             "--json",
             "--max-states",
             "--max-millis",
         ],
         "fmt" => &["--write", "--check"],
+        "serve" => &[
+            "--addr",
+            "--cores",
+            "--sessions",
+            "--max-interactive",
+            "--max-batch",
+        ],
         _ => &[],
     }
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+fn parse_options(args: &[String], needs_file: bool) -> Result<Options, String> {
     let mut options = Options {
         file: String::new(),
         prop: None,
         threads: 1,
+        batch_threads: None,
+        schedule: None,
         json: None,
         max_states: None,
         max_millis: None,
         write: false,
         check: false,
+        addr: "127.0.0.1:7464".to_owned(),
+        cores: 0,
+        sessions: 8,
+        max_interactive: 8,
+        max_batch: 2,
         seen: Vec::new(),
     };
     let mut iter = args.iter();
@@ -116,6 +156,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "error: --threads needs a number".to_string())?
             }
+            "--batch-threads" => {
+                options.batch_threads = Some(
+                    value_of("--batch-threads", &mut iter)?
+                        .parse()
+                        .map_err(|_| "error: --batch-threads needs a number".to_string())?,
+                )
+            }
+            "--schedule" => {
+                options.schedule = Some(match value_of("--schedule", &mut iter)?.as_str() {
+                    "flat" => SchedulePolicy::Flat,
+                    "sharded" => SchedulePolicy::Sharded,
+                    other => {
+                        return Err(format!(
+                            "error: --schedule must be `flat` or `sharded`, not {other:?}"
+                        ))
+                    }
+                })
+            }
             "--json" => options.json = Some(value_of("--json", &mut iter)?),
             "--max-states" => {
                 options.max_states = Some(
@@ -134,6 +192,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--all-props" => {}
             "--write" => options.write = true,
             "--check" => options.check = true,
+            "--addr" => options.addr = value_of("--addr", &mut iter)?,
+            "--cores" => {
+                options.cores = value_of("--cores", &mut iter)?
+                    .parse()
+                    .map_err(|_| "error: --cores needs a number".to_string())?
+            }
+            "--sessions" => {
+                options.sessions = value_of("--sessions", &mut iter)?
+                    .parse()
+                    .map_err(|_| "error: --sessions needs a number".to_string())?
+            }
+            "--max-interactive" => {
+                options.max_interactive = value_of("--max-interactive", &mut iter)?
+                    .parse()
+                    .map_err(|_| "error: --max-interactive needs a number".to_string())?
+            }
+            "--max-batch" => {
+                options.max_batch = value_of("--max-batch", &mut iter)?
+                    .parse()
+                    .map_err(|_| "error: --max-batch needs a number".to_string())?
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("error: unknown option {flag}\n\n{USAGE}"))
             }
@@ -141,8 +220,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             extra => return Err(format!("error: unexpected argument {extra:?}\n\n{USAGE}")),
         }
     }
-    if options.file.is_empty() {
+    if needs_file && options.file.is_empty() {
         return Err(format!("error: no specification file given\n\n{USAGE}"));
+    }
+    if !needs_file && !options.file.is_empty() {
+        return Err(format!(
+            "error: unexpected argument {:?}\n\n{USAGE}",
+            options.file
+        ));
     }
     Ok(options)
 }
@@ -151,24 +236,34 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 const KNOWN_FLAGS: &[&str] = &[
     "--prop",
     "--threads",
+    "--batch-threads",
+    "--schedule",
     "--json",
     "--max-states",
     "--max-millis",
     "--all-props",
     "--write",
     "--check",
+    "--addr",
+    "--cores",
+    "--sessions",
+    "--max-interactive",
+    "--max-batch",
 ];
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(USAGE.to_string());
     };
-    let options = parse_options(&args[1..])?;
+    let options = parse_options(&args[1..], command != "serve")?;
     let allowed = allowed_flags(command);
     if let Some(flag) = options.seen.iter().find(|f| !allowed.contains(f)) {
         return Err(format!(
             "error: {flag} does not apply to `{command}`\n\n{USAGE}"
         ));
+    }
+    if command == "serve" {
+        return serve(&options);
     }
     let source = std::fs::read_to_string(&options.file)
         .map_err(|e| format!("error: cannot read {}: {e}", options.file))?;
@@ -176,6 +271,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "check" => check(&options, &source, false),
         "batch" => check(&options, &source, true),
         "validate" => validate(&options, &source),
+        "hash" => hash(&options, &source),
         "fmt" => fmt(&options, &source),
         other => Err(format!("error: unknown command {other:?}\n\n{USAGE}")),
     }
@@ -207,6 +303,58 @@ fn validate(options: &Options, source: &str) -> Result<ExitCode, String> {
         stats.services,
         compiled.properties.len()
     );
+    println!("canonical hash: {}", spec_hash_hex(&compiled.spec));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Print the canonical spec hash — the `verifas serve` session-cache key
+/// — in `sha256sum` style, so `verifas hash a.has b.formatted.has` diffs
+/// are scriptable (formatting-equivalent specs hash identically).
+fn hash(options: &Options, source: &str) -> Result<ExitCode, String> {
+    let compiled = compile(options, source)?;
+    println!(
+        "{}  {} ({})",
+        spec_hash_hex(&compiled.spec),
+        options.file,
+        compiled.spec.name
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn serve(options: &Options) -> Result<ExitCode, String> {
+    let config = ServeConfig {
+        cores: if options.cores == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            options.cores
+        },
+        sessions: options.sessions,
+        limits: AdmissionLimits {
+            max_interactive: options.max_interactive,
+            max_batch: options.max_batch,
+        },
+    };
+    // One connection thread per admissible request (each verification
+    // stream occupies its worker for the request's lifetime) plus two
+    // for control traffic (`/metrics`, `/v1/cancel`, `/v1/shutdown`).
+    let workers = config
+        .limits
+        .limit(verifas::serve::PriorityClass::Interactive)
+        + config.limits.limit(verifas::serve::PriorityClass::Batch)
+        + 2;
+    let mut server = Server::start(&options.addr, config, workers)
+        .map_err(|e| format!("error: cannot bind {}: {e}", options.addr))?;
+    println!(
+        "verifas serve: listening on http://{} — {} cores, {} sessions, \
+         limits {}/{} (interactive/batch); POST /v1/shutdown to stop",
+        server.local_addr(),
+        config.cores,
+        config.sessions,
+        config.limits.max_interactive,
+        config.limits.max_batch,
+    );
+    server.wait();
+    println!("verifas serve: shut down");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -289,7 +437,10 @@ fn check(options: &Options, source: &str, batch: bool) -> Result<ExitCode, Strin
         };
         engine
             .batch()
-            .batch_threads(options.threads)
+            .batch_options(BatchOptions {
+                batch_threads: options.batch_threads.unwrap_or(options.threads),
+                schedule: options.schedule.unwrap_or_default(),
+            })
             .on_result(&mut on_result)
             .run(&selected)
     } else {

@@ -87,6 +87,9 @@
 //! * [`spec`] — the textual `.has` frontend: parse a specification and
 //!   its properties from a file and drive the engine from text
 //!   (`verifas-spec`; see the `verifas` CLI binary and `examples/specs/`),
+//! * [`serve`] — the multi-tenant verification service behind
+//!   `verifas serve`: session cache, priority-class core arbitration and
+//!   a dependency-free HTTP/1.1 front end (`verifas-serve`),
 //! * [`workloads`] — benchmark workflows, the synthetic generator and the
 //!   cyclomatic-complexity metric (`verifas-workloads`).
 //!
@@ -97,6 +100,7 @@
 pub use verifas_core as core;
 pub use verifas_ltl as ltl;
 pub use verifas_model as model;
+pub use verifas_serve as serve;
 pub use verifas_spec as spec;
 pub use verifas_workloads as workloads;
 

@@ -1,0 +1,419 @@
+//! End-to-end tests of the `verifas serve` service layer.
+//!
+//! The server's whole value proposition is that putting a multi-tenant
+//! gateway, a session cache and a core arbiter between the client and
+//! the engine changes *nothing* about the answers: every report that
+//! comes out of a served request must be bit-identical (modulo timing
+//! and machine-sharing fields) to a direct `Engine::check_all` of the
+//! same properties — including when an interactive request lands
+//! mid-batch and steals cores from the running searches.  These tests
+//! pin exactly that, plus the cache-reuse guarantee (a re-submitted
+//! spec builds zero new preprocessing, observed through
+//! `verifas::core::counters`), typed admission refusals, server-side
+//! cancellation, and the HTTP front end.
+
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use verifas::core::{counters, Json};
+use verifas::prelude::*;
+use verifas::serve::{AdmissionLimits, Gateway, PriorityClass, ServeConfig, Server, VerifyRequest};
+
+fn example(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/specs")
+        .join(name);
+    std::fs::read_to_string(&path).expect("example spec exists")
+}
+
+/// A report's scheduling-independent core (same idiom as the
+/// `batch_scheduling` suite): verdict, witness and search statistics
+/// with timing and machine-sharing fields stripped.
+fn comparable(
+    report: &VerificationReport,
+) -> (
+    VerificationOutcome,
+    Option<Witness>,
+    SearchStats,
+    Option<SearchStats>,
+    Option<CycleStats>,
+) {
+    let strip = |mut stats: SearchStats| {
+        stats.elapsed_ms = 0;
+        stats.threads = 0;
+        stats
+    };
+    let cycle = report.repeated_cycle.map(|mut cycle| {
+        cycle.edge_micros = 0;
+        cycle.scc_micros = 0;
+        cycle.threads = 0;
+        cycle
+    });
+    (
+        report.outcome,
+        report.witness.clone(),
+        strip(report.stats),
+        report.repeated_stats.map(strip),
+        cycle,
+    )
+}
+
+fn request(spec: &str, class: PriorityClass) -> VerifyRequest {
+    VerifyRequest {
+        spec: spec.to_owned(),
+        class,
+        properties: None,
+        deadline_ms: None,
+    }
+}
+
+/// Submit synchronously, collecting every frame.
+fn collect(gateway: &Gateway, request: &VerifyRequest) -> Vec<Json> {
+    let frames = Mutex::new(Vec::new());
+    let sink = |line: &str| frames.lock().unwrap().push(Json::parse(line).unwrap());
+    gateway
+        .submit(request, &sink)
+        .expect("request should be served");
+    frames.into_inner().unwrap()
+}
+
+fn frame_kind(frame: &Json) -> &str {
+    frame.get("frame").and_then(Json::as_str).unwrap()
+}
+
+/// Extract the streamed per-property reports, keyed by property index.
+fn streamed_reports(frames: &[Json]) -> Vec<(usize, VerificationReport)> {
+    frames
+        .iter()
+        .filter(|frame| frame_kind(frame) == "report")
+        .map(|frame| {
+            let index = frame.get("index").and_then(Json::as_u64).unwrap() as usize;
+            let report = frame.get("report").expect("no error reports in this test");
+            (
+                index,
+                VerificationReport::from_json(&report.to_string()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn resubmitted_spec_reuses_cached_session_and_matches_direct_check_all() {
+    let source = example("conference_review.has");
+    let compiled = verifas::spec::compile(&source).unwrap();
+    let direct = Engine::load(compiled.spec.clone())
+        .unwrap()
+        .check_all(&compiled.properties);
+
+    let gateway = Gateway::new(ServeConfig {
+        cores: 2,
+        sessions: 4,
+        limits: AdmissionLimits::default(),
+    });
+    let frames = collect(&gateway, &request(&source, PriorityClass::Interactive));
+
+    // Frame shape: `admitted` first, `done` last, one `report` per
+    // property in between, streamed in completion order.
+    assert_eq!(frame_kind(&frames[0]), "admitted");
+    assert_eq!(
+        frames[0].get("session").and_then(Json::as_str),
+        Some("miss")
+    );
+    assert_eq!(frame_kind(frames.last().unwrap()), "done");
+    let reports = streamed_reports(&frames);
+    assert_eq!(reports.len(), compiled.properties.len());
+
+    // Served reports are bit-identical to the direct engine run.
+    for (index, report) in &reports {
+        assert_eq!(
+            comparable(report),
+            comparable(direct[*index].as_ref().unwrap()),
+            "property #{index} must not change behind the server"
+        );
+    }
+
+    // Re-submitting the same spec — reformatted, so the *text* differs —
+    // lands on the cached session and builds no new preprocessing.
+    let universe_before = counters::universe_builds();
+    let graph_before = counters::spec_graph_builds();
+    let reformatted = format!("// resubmission with different formatting\n{source}\n\n");
+    let frames = collect(&gateway, &request(&reformatted, PriorityClass::Interactive));
+    assert_eq!(
+        frames[0].get("session").and_then(Json::as_str),
+        Some("hit"),
+        "format-equivalent spec must share the session"
+    );
+    assert_eq!(
+        (counters::universe_builds(), counters::spec_graph_builds()),
+        (universe_before, graph_before),
+        "a cached session must serve the batch with zero new preprocessing"
+    );
+    for (index, report) in &streamed_reports(&frames) {
+        assert_eq!(
+            comparable(report),
+            comparable(direct[*index].as_ref().unwrap())
+        );
+    }
+    let stats = gateway.sessions().stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}
+
+/// A long batch request is running; an interactive request arrives,
+/// which makes the arbiter squeeze the batch to its one-core floor
+/// mid-search (through the scheduler handle, picked up at the next
+/// round boundary).  Scheduling rounds are bit-identical for any worker
+/// count, so the batch's verdicts, witnesses and search statistics must
+/// come out exactly as a direct `Engine::check_all` — that is the whole
+/// safety argument for preemption-by-rebalance.
+#[test]
+fn interactive_arrival_mid_batch_never_changes_batch_results() {
+    let batch_source = example("conference_review.has");
+    let compiled = verifas::spec::compile(&batch_source).unwrap();
+    // Stretch the batch by requesting each property several times: 12
+    // searches keep the batch in flight long after the interactive
+    // request lands.
+    let names: Vec<String> = compiled.properties.iter().map(|p| p.name.clone()).collect();
+    let repeated: Vec<String> = std::iter::repeat_n(names.clone(), 6).flatten().collect();
+    let selected: Vec<LtlFoProperty> = repeated
+        .iter()
+        .map(|name| {
+            compiled
+                .properties
+                .iter()
+                .find(|p| &p.name == name)
+                .unwrap()
+                .clone()
+        })
+        .collect();
+    let direct = Engine::load(compiled.spec.clone())
+        .unwrap()
+        .check_all(&selected);
+
+    let gateway = Arc::new(Gateway::new(ServeConfig {
+        cores: 4,
+        sessions: 4,
+        limits: AdmissionLimits::default(),
+    }));
+
+    let mut batch_request = request(&batch_source, PriorityClass::Batch);
+    batch_request.properties = Some(repeated.clone());
+    let (frame_tx, frame_rx) = mpsc::channel::<String>();
+    let batch_thread = {
+        let gateway = Arc::clone(&gateway);
+        std::thread::spawn(move || {
+            let sink = move |line: &str| frame_tx.send(line.to_owned()).unwrap();
+            gateway.submit(&batch_request, &sink).unwrap()
+        })
+    };
+
+    // Wait for the batch to be admitted (it holds its arbiter slot from
+    // this moment until its `done` frame), then hit the server with an
+    // interactive request.
+    let admitted = Json::parse(&frame_rx.recv().unwrap()).unwrap();
+    assert_eq!(frame_kind(&admitted), "admitted");
+    assert_eq!(admitted.get("cores").and_then(Json::as_u64), Some(4));
+
+    let interactive_frames = collect(
+        &gateway,
+        &request(&example("loan_approval.has"), PriorityClass::Interactive),
+    );
+    // The interactive request was allocated the reclaimed cores: with
+    // the batch squeezed to its one-core floor, 4 - 1 = 3 are left.
+    assert_eq!(
+        interactive_frames[0].get("cores").and_then(Json::as_u64),
+        Some(3),
+        "interactive admission must reclaim cores from the running batch"
+    );
+    assert_eq!(frame_kind(interactive_frames.last().unwrap()), "done");
+
+    let summary = batch_thread.join().unwrap();
+    assert_eq!(summary.properties, repeated.len());
+    assert_eq!(summary.completed, repeated.len());
+    assert!(!summary.aborted);
+
+    let frames: Vec<Json> = frame_rx
+        .iter()
+        .map(|line| Json::parse(&line).unwrap())
+        .collect();
+    let reports = streamed_reports(&frames);
+    assert_eq!(reports.len(), repeated.len());
+    for (index, report) in &reports {
+        assert_eq!(
+            comparable(report),
+            comparable(direct[*index].as_ref().unwrap()),
+            "property #{index}: a mid-run core rebalance must never change the result"
+        );
+    }
+}
+
+#[test]
+fn over_limit_batch_is_refused_with_a_typed_error_while_interactive_admits() {
+    let gateway = Arc::new(Gateway::new(ServeConfig {
+        cores: 2,
+        sessions: 4,
+        limits: AdmissionLimits {
+            max_interactive: 2,
+            max_batch: 1,
+        },
+    }));
+    let source = example("conference_review.has");
+    let compiled = verifas::spec::compile(&source).unwrap();
+    let names: Vec<String> = compiled.properties.iter().map(|p| p.name.clone()).collect();
+
+    let mut long_batch = request(&source, PriorityClass::Batch);
+    long_batch.properties = Some(std::iter::repeat_n(names, 6).flatten().collect::<Vec<_>>());
+    let (frame_tx, frame_rx) = mpsc::channel::<String>();
+    let batch_thread = {
+        let gateway = Arc::clone(&gateway);
+        std::thread::spawn(move || {
+            let sink = move |line: &str| frame_tx.send(line.to_owned()).unwrap();
+            gateway.submit(&long_batch, &sink).unwrap()
+        })
+    };
+    let admitted = Json::parse(&frame_rx.recv().unwrap()).unwrap();
+    assert_eq!(frame_kind(&admitted), "admitted");
+
+    // A second batch-class request is over the limit: typed refusal.
+    let refused = gateway
+        .submit(&request(&source, PriorityClass::Batch), &|_| {
+            panic!("refused requests must not emit frames")
+        })
+        .unwrap_err();
+    assert_eq!(
+        refused,
+        verifas::serve::ServeError::Overloaded {
+            class: PriorityClass::Batch,
+            limit: 1
+        }
+    );
+    assert_eq!(refused.kind(), "overloaded");
+
+    // The batch class being full does not gate the interactive class.
+    let frames = collect(
+        &gateway,
+        &request(&example("loan_approval.has"), PriorityClass::Interactive),
+    );
+    assert_eq!(frame_kind(frames.last().unwrap()), "done");
+
+    let summary = batch_thread.join().unwrap();
+    assert!(!summary.aborted);
+    // The refusal is visible on /metrics.
+    assert!(gateway
+        .metrics_text()
+        .contains("verifas_requests_rejected_total{class=\"batch\"} 1"));
+}
+
+#[test]
+fn server_side_cancel_stops_every_search_of_a_batch() {
+    let gateway = Gateway::new(ServeConfig {
+        cores: 2,
+        sessions: 4,
+        limits: AdmissionLimits::default(),
+    });
+    let source = example("parcel_returns.has");
+    let compiled = verifas::spec::compile(&source).unwrap();
+    let names: Vec<String> = compiled.properties.iter().map(|p| p.name.clone()).collect();
+    let mut req = request(&source, PriorityClass::Batch);
+    let repeated: Vec<String> = std::iter::repeat_n(names, 4).flatten().collect();
+    req.properties = Some(repeated.clone());
+
+    // Cancel through the *server's* cancel path the moment the request
+    // is admitted: the one batch-wide token must stop every search.
+    let frames = Mutex::new(Vec::new());
+    let sink = |line: &str| {
+        let frame = Json::parse(line).unwrap();
+        if frame_kind(&frame) == "admitted" {
+            let id = frame.get("request").and_then(Json::as_u64).unwrap();
+            assert!(gateway.cancel(id), "admitted request must be cancellable");
+        }
+        frames.lock().unwrap().push(frame);
+    };
+    let summary = gateway.submit(&req, &sink).unwrap();
+
+    assert!(summary.aborted, "a cancelled batch must report aborted");
+    assert_eq!(summary.cancelled, repeated.len());
+    assert_eq!(summary.completed, 0);
+    let frames = frames.into_inner().unwrap();
+    let done = frames.last().unwrap();
+    assert_eq!(frame_kind(done), "done");
+    assert_eq!(
+        done.get("summary")
+            .and_then(|s| s.get("aborted"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "the terminal frame must distinguish an aborted stream from a finished one"
+    );
+    // The cancelled request released its slot: the server is not wedged.
+    assert_eq!(gateway.arbiter().in_flight(PriorityClass::Batch), 0);
+}
+
+#[test]
+fn per_request_deadline_rides_the_cancel_plumbing() {
+    let gateway = Gateway::new(ServeConfig {
+        cores: 2,
+        sessions: 4,
+        limits: AdmissionLimits::default(),
+    });
+    let mut req = request(
+        &example("conference_review.has"),
+        PriorityClass::Interactive,
+    );
+    req.deadline_ms = Some(0);
+    let frames = Mutex::new(Vec::new());
+    let sink = |line: &str| frames.lock().unwrap().push(Json::parse(line).unwrap());
+    let summary = gateway.submit(&req, &sink).unwrap();
+    assert!(summary.aborted, "an expired deadline must abort the stream");
+    assert_eq!(summary.completed, 0);
+}
+
+#[test]
+fn http_round_trip_streams_reports_and_reuses_sessions() {
+    use std::io::{Read, Write};
+
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            cores: 2,
+            sessions: 4,
+            limits: AdmissionLimits::default(),
+        },
+        2,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let source = example("order_fulfillment.has");
+    let verify = |body: &str| {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let request = format!(
+            "POST /v1/verify HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        body.lines()
+            .map(|line| Json::parse(line).unwrap())
+            .collect::<Vec<_>>()
+    };
+    let body = Json::Obj(vec![("spec".to_owned(), Json::Str(source.clone()))]).to_string();
+
+    let first = verify(&body);
+    assert_eq!(frame_kind(&first[0]), "admitted");
+    assert_eq!(first[0].get("session").and_then(Json::as_str), Some("miss"));
+    assert_eq!(frame_kind(first.last().unwrap()), "done");
+    assert!(first.len() >= 3);
+
+    let second = verify(&body);
+    assert_eq!(
+        second[0].get("session").and_then(Json::as_str),
+        Some("hit"),
+        "second HTTP submission must reuse the cached session"
+    );
+
+    let text = server.gateway().metrics_text();
+    assert!(text.contains("verifas_session_cache_lookups_total{result=\"hit\"} 1"));
+    assert!(text.contains("verifas_requests_admitted_total{class=\"interactive\"} 2"));
+    server.shutdown();
+}
