@@ -33,21 +33,31 @@
 //! witnesses and search sizes must be identical across both policies and
 //! a sequential reference.
 //!
+//! A sixth gate covers incremental re-verification (`Engine::load_delta`,
+//! see `crates/core/src/delta.rs`): one edit-loop iteration on the
+//! `cycle_grid` liveness check, cold (fresh engine, full search) versus
+//! warm (delta-loaded from a prior session — the unchanged slice carries
+//! its preprocessing and finished report across, so the re-check answers
+//! from the carried report).  `--min-incremental-speedup` gates the
+//! cold/warm ratio; a replay arm (renamed property, recorded enumerations
+//! replayed through the carried memo) is measured alongside, and both
+//! warm verdicts must be bit-identical to the cold one.
+//!
 //! Usage:
 //!
 //! ```text
 //! ci_bench [--quick] [--threads N] [--seed N] [--out PATH]
 //!          [--baseline PATH] [--update-baseline] [--min-speedup X]
 //!          [--min-repeated-speedup X] [--min-repeated-parallel-speedup X]
-//!          [--min-batch-speedup X]
+//!          [--min-batch-speedup X] [--min-incremental-speedup X]
 //! ```
 
 use std::time::Instant;
 use verifas_core::static_analysis::ConstraintGraph;
 use verifas_core::{
     find_infinite_violation_reference, find_infinite_violation_with, BatchOptions, CoverageKind,
-    Engine as VerifasEngine, Json, ProductSystem, RepeatedOutcome, SchedulePolicy, SearchControl,
-    SearchLimits, VerificationOutcome, VerificationReport, VerifierOptions,
+    Engine as VerifasEngine, Json, ProductSystem, RepeatedOutcome, ReuseMode, SchedulePolicy,
+    SearchControl, SearchLimits, VerificationOutcome, VerificationReport, VerifierOptions,
 };
 use verifas_ltl::LtlFoProperty;
 use verifas_model::HasSpec;
@@ -67,6 +77,7 @@ struct Args {
     min_repeated_speedup: Option<f64>,
     min_repeated_parallel_speedup: Option<f64>,
     min_batch_speedup: Option<f64>,
+    min_incremental_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -81,6 +92,7 @@ fn parse_args() -> Args {
         min_repeated_speedup: None,
         min_repeated_parallel_speedup: None,
         min_batch_speedup: None,
+        min_incremental_speedup: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,6 +129,13 @@ fn parse_args() -> Args {
                     value("--min-batch-speedup")
                         .parse()
                         .expect("--min-batch-speedup"),
+                )
+            }
+            "--min-incremental-speedup" => {
+                args.min_incremental_speedup = Some(
+                    value("--min-incremental-speedup")
+                        .parse()
+                        .expect("--min-incremental-speedup"),
                 )
             }
             other => panic!("unknown flag {other:?} (see ci_bench source for usage)"),
@@ -557,6 +576,124 @@ fn measure_batch(args: &Args, failures: &mut Vec<String>) -> BatchRow {
     }
 }
 
+/// The incremental edit-loop measurement: one iteration of the
+/// check–edit–re-check loop on the `cycle_grid` liveness property.
+struct IncrementalRow {
+    name: String,
+    /// A cold iteration: fresh `Engine::load_with_options` plus the full
+    /// search.
+    cold_millis: f64,
+    /// A warm iteration: `Engine::load_delta` from a prior session (the
+    /// unchanged slice carries preprocessing and report), then the same
+    /// `check` — answered from the carried report, no search.
+    warm_millis: f64,
+    /// A replay iteration: delta-load in replay mode, then check a
+    /// *renamed* (otherwise identical) property — the report cache
+    /// misses, the search runs, the carried memo replays the recorded
+    /// spec-side enumerations.
+    replay_millis: f64,
+    /// Edit-loop time ratio: cold / warm (the `--min-incremental-speedup`
+    /// gate).
+    speedup: f64,
+    /// Edit-loop time ratio: cold / replay.
+    replay_speedup: f64,
+    /// Warm iteration throughput (the quantity the baseline regression
+    /// gate compares).
+    warm_iterations_per_sec: f64,
+}
+
+fn measure_incremental(args: &Args, failures: &mut Vec<String>) -> IncrementalRow {
+    let spec = cycle_grid(if args.quick { 12 } else { 16 });
+    let property = cycle_grid_liveness(&spec);
+    let options = VerifierOptions {
+        limits: SearchLimits {
+            max_states: 100_000,
+            // The state budget is the only limiter (wall-clock stops
+            // would be scheduling dependent).
+            max_millis: 600_000,
+        },
+        ..VerifierOptions::default()
+    };
+    let name = format!("{}/{}", spec.name, property.name);
+    let samples = if args.quick { 1 } else { 3 };
+    // One warm-up plus `samples` timed runs per arm, keep the fastest
+    // (with its report, for the determinism cross-check).
+    let time_arm = |run: &mut dyn FnMut() -> VerificationReport| {
+        let mut best: Option<(f64, VerificationReport)> = None;
+        for sample in 0..=samples {
+            let start = Instant::now();
+            let report = run();
+            let millis = start.elapsed().as_secs_f64() * 1_000.0;
+            if sample == 0 {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(b, _)| millis < *b) {
+                best = Some((millis, report));
+            }
+        }
+        best.expect("at least one timed sample ran")
+    };
+    let (cold_millis, cold) = time_arm(&mut || {
+        VerifasEngine::load_with_options(spec.clone(), options)
+            .expect("cycle grid is valid")
+            .check(&property)
+            .expect("cycle grid verifies")
+    });
+    // The prior session the edit loop resumes from: it has checked the
+    // property once, so its preprocessing and report are there to carry.
+    let prior = VerifasEngine::load_with_reuse(spec.clone(), options, ReuseMode::Preproc).unwrap();
+    prior.check(&property).expect("cycle grid verifies");
+    let (warm_millis, warm) = time_arm(&mut || {
+        let (engine, _) =
+            VerifasEngine::load_delta(&prior, spec.clone(), ReuseMode::Preproc).unwrap();
+        engine.check(&property).expect("cycle grid verifies")
+    });
+    let recorder =
+        VerifasEngine::load_with_reuse(spec.clone(), options, ReuseMode::Replay).unwrap();
+    recorder.check(&property).expect("cycle grid verifies");
+    let mut renamed = property.clone();
+    renamed.name = format!("{}-edited", property.name);
+    let (replay_millis, replayed) = time_arm(&mut || {
+        let (engine, _) =
+            VerifasEngine::load_delta(&recorder, spec.clone(), ReuseMode::Replay).unwrap();
+        engine.check(&renamed).expect("cycle grid verifies")
+    });
+    // Determinism cross-check: both warm arms must reproduce the cold
+    // verdict, witness and search size bit for bit.
+    for (arm, report) in [("warm", &warm), ("replay", &replayed)] {
+        if report.outcome != cold.outcome
+            || report.witness != cold.witness
+            || report.stats.states_created != cold.stats.states_created
+        {
+            failures.push(format!("{name}: {arm} incremental run diverged from cold"));
+        }
+    }
+    IncrementalRow {
+        name,
+        cold_millis,
+        warm_millis,
+        replay_millis,
+        speedup: cold_millis / warm_millis,
+        replay_speedup: cold_millis / replay_millis,
+        warm_iterations_per_sec: 1_000.0 / warm_millis,
+    }
+}
+
+fn incremental_json(row: &IncrementalRow) -> Json {
+    Json::Obj(vec![
+        ("name".to_owned(), Json::Str(row.name.clone())),
+        ("cold_millis".to_owned(), Json::Num(row.cold_millis)),
+        ("warm_millis".to_owned(), Json::Num(row.warm_millis)),
+        ("replay_millis".to_owned(), Json::Num(row.replay_millis)),
+        ("speedup".to_owned(), Json::Num(row.speedup)),
+        ("replay_speedup".to_owned(), Json::Num(row.replay_speedup)),
+        (
+            "warm_iterations_per_sec".to_owned(),
+            Json::Num(row.warm_iterations_per_sec),
+        ),
+    ])
+}
+
 fn batch_json(row: &BatchRow) -> Json {
     Json::Obj(vec![
         ("name".to_owned(), Json::Str(row.name.clone())),
@@ -624,13 +761,15 @@ fn results_json(
     rows: &[Row],
     repeated: &[RepeatedRow],
     batch: &BatchRow,
+    incremental: &IncrementalRow,
     args: &Args,
     host_parallelism: usize,
 ) -> Json {
     Json::Obj(vec![
         // Version 2 added the `repeated_reachability` section; version 3
-        // the `batch_sharded` section.
-        ("schema".to_owned(), Json::Num(3.0)),
+        // the `batch_sharded` section; version 4 the `incremental`
+        // section.
+        ("schema".to_owned(), Json::Num(4.0)),
         ("threads".to_owned(), Json::Num(args.threads as f64)),
         (
             "host_parallelism".to_owned(),
@@ -672,6 +811,7 @@ fn results_json(
             Json::Arr(repeated.iter().map(repeated_json).collect()),
         ),
         ("batch_sharded".to_owned(), batch_json(batch)),
+        ("incremental".to_owned(), incremental_json(incremental)),
     ])
 }
 
@@ -687,10 +827,28 @@ fn regression_failures(
     rows: &[Row],
     repeated: &[RepeatedRow],
     batch: &BatchRow,
+    incremental: &IncrementalRow,
     baseline: &Json,
 ) -> Vec<String> {
     const TOLERANCE: f64 = 0.7; // fail on a >30% drop
     let mut failures = Vec::new();
+    // The incremental edit loop regresses on its warm-iteration
+    // throughput (absent from pre-PR-7 baselines: nothing to compare).
+    if let Some(base) = baseline.get("incremental") {
+        if base.get("name").and_then(Json::as_str) == Some(incremental.name.as_str()) {
+            if let Some(reference) = num_member(base, "warm_iterations_per_sec") {
+                let current = incremental.warm_iterations_per_sec;
+                if current < reference * TOLERANCE {
+                    failures.push(format!(
+                        "{}: warm_iterations_per_sec regressed to {current:.1} \
+                         (baseline {reference:.1}, floor {:.1})",
+                        incremental.name,
+                        reference * TOLERANCE
+                    ));
+                }
+            }
+        }
+    }
     // The sharded batch regresses on its end-to-end throughput (absent
     // from pre-PR-4 baselines: nothing to compare).
     if let Some(base) = baseline.get("batch_sharded") {
@@ -849,7 +1007,25 @@ fn main() {
         batch.sharded_millis,
         batch.speedup,
     );
-    let doc = results_json(&rows, &repeated, &batch, &args, host_parallelism);
+    let incremental = measure_incremental(&args, &mut verdict_failures);
+    println!(
+        "  {:<48} {:>12}          edit-loop: cold {:>9.1}ms  warm {:>9.3}ms  replay {:>9.1}ms  speedup {:.0}x / {:.2}x",
+        incremental.name,
+        "incremental",
+        incremental.cold_millis,
+        incremental.warm_millis,
+        incremental.replay_millis,
+        incremental.speedup,
+        incremental.replay_speedup,
+    );
+    let doc = results_json(
+        &rows,
+        &repeated,
+        &batch,
+        &incremental,
+        &args,
+        host_parallelism,
+    );
     std::fs::write(&args.out, format!("{doc}\n")).expect("write results file");
     println!("wrote {}", args.out);
 
@@ -879,7 +1055,8 @@ fn main() {
                         .and_then(Json::as_u64)
                         .unwrap_or(0) as usize;
                     let comparable = baseline_cores == host_parallelism;
-                    let failures = regression_failures(&rows, &repeated, &batch, &baseline);
+                    let failures =
+                        regression_failures(&rows, &repeated, &batch, &incremental, &baseline);
                     if !failures.is_empty() && comparable {
                         failed = true;
                         eprintln!("FAIL: >30% throughput regression vs {path}:");
@@ -1005,6 +1182,23 @@ fn main() {
                 "note: host has {host_parallelism} core(s) < {} threads; sharded batch \
                  speedup gate skipped (observed {:.2}x)",
                 args.threads, batch.speedup
+            );
+        }
+    }
+    if let Some(min) = args.min_incremental_speedup {
+        // Unlike the parallel gates, the warm edit loop needs no spare
+        // cores — the speedup comes from not redoing work, so the gate
+        // holds on any host.
+        if incremental.speedup < min {
+            failed = true;
+            eprintln!(
+                "FAIL: incremental edit-loop speedup {:.2}x is below the required {min:.2}x",
+                incremental.speedup
+            );
+        } else {
+            println!(
+                "incremental edit-loop speedup {:.0}x warm, {:.2}x replay (required {min:.2}x)",
+                incremental.speedup, incremental.replay_speedup
             );
         }
     }

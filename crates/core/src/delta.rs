@@ -1,0 +1,676 @@
+//! Incremental re-verification on spec deltas.
+//!
+//! The paper's pitch is *interactive* verification: a designer edits a
+//! workflow, re-checks, edits again.  Rebuilding every artefact from
+//! scratch on each edit throws away almost all of the previous session's
+//! work — the expression universe, the compiled symbolic task, the static
+//! analysis, the finished searches.  This module is the IVM-style answer
+//! (never recompute what did not change):
+//!
+//! * [`SpecDelta`] — a structural diff between two lowered
+//!   [`HasSpec`]s, computed from per-task *slice hashes* (see
+//!   [`slice_hash`]).  A task's slice covers everything its compiled
+//!   artefacts can observe: its own definition, its whole subtree, the
+//!   database schema, the specification constants and (for the root) the
+//!   global pre-condition.  Two equal slices therefore guarantee that the
+//!   expression universe, the compiled [`crate::transition::SymbolicTask`]
+//!   and the spec-side constraint graph are bit-identical — which is what
+//!   lets `Engine::load_delta` carry them over instead of rebuilding.
+//! * [`ReuseMode`] — how much a delta-loaded engine may reuse:
+//!   [`ReuseMode::Cold`] (nothing), [`ReuseMode::Preproc`] (carried
+//!   preprocessing + prior [`crate::report::VerificationReport`]s for
+//!   unchanged (task slice, property, options) keys) or
+//!   [`ReuseMode::Replay`] (additionally replay the prior searches'
+//!   enumerated transitions through a [`TransitionMemo`]).
+//! * [`TransitionMemo`] — the session-lifetime generalisation of the
+//!   search's per-run transition log: every spec-side `succ(I)`
+//!   enumeration is recorded, keyed by the *resolved* instance (the type,
+//!   the child-activation mask and the stored-tuple types backing the
+//!   counters — counter *values* provably do not affect which successors
+//!   exist, only the successor counters, which are recomputed on replay).
+//!   A re-verification after an edit replays every enumeration whose key
+//!   it reaches again and recomputes only instances the previous runs
+//!   never saw — "revalidate only subtrees whose enumerated successors
+//!   could have changed".  Replay is bit-identical to a cold enumeration
+//!   by construction: the recorded successors *are* the cold successors,
+//!   including the order and side effects of stored-type interning
+//!   (cross-checked against cold runs in `tests/incremental.rs`).
+//!
+//! Reuse is observable through [`crate::counters`] (carried
+//! preprocessings, reused reports, memo hits/misses) so tests — and the
+//! `/metrics` endpoint of `verifas serve` — can assert that unchanged
+//! work was provably not redone.
+
+use crate::pit::{Edge, Pit};
+use crate::psi::{InternTypes, Psi, StoredTypeId};
+use crate::transition::{spec_constants, SymbolicTask};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+use verifas_model::{ArtRelId, HasSpec, ServiceRef, TaskId};
+
+/// How much a delta-loaded engine reuses from its predecessor session
+/// (see `Engine::load_delta`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReuseMode {
+    /// No reuse: behave exactly like a freshly loaded engine.
+    Cold,
+    /// Carry the spec-side preprocessing of unchanged task slices and
+    /// answer unchanged (task, property, options) requests from the prior
+    /// session's reports.
+    #[default]
+    Preproc,
+    /// [`ReuseMode::Preproc`] plus transition-level replay: record every
+    /// spec-side successor enumeration in a [`TransitionMemo`] and replay
+    /// it — instead of recomputing it — whenever a later search reaches
+    /// the same resolved instance again.
+    Replay,
+}
+
+impl ReuseMode {
+    /// The wire/CLI name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReuseMode::Cold => "cold",
+            ReuseMode::Preproc => "preproc",
+            ReuseMode::Replay => "replay",
+        }
+    }
+
+    /// Parse a wire/CLI name.
+    pub fn from_name(name: &str) -> Option<ReuseMode> {
+        match name {
+            "cold" => Some(ReuseMode::Cold),
+            "preproc" => Some(ReuseMode::Preproc),
+            "replay" => Some(ReuseMode::Replay),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ReuseMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// FNV-1a over the canonical `Debug` rendering of a value — the same
+/// canonical-structural-hash idiom as [`crate::engine::spec_hash`].
+/// Equal structures render (and therefore hash) equally; stable for one
+/// build of the library, which is the lifetime of every in-memory cache
+/// keyed by it.
+pub fn fingerprint<T: fmt::Debug + ?Sized>(value: &T) -> u64 {
+    use std::fmt::Write;
+    struct Fnv(u64);
+    impl Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for byte in s.bytes() {
+                self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut fnv = Fnv(0xcbf2_9ce4_8422_2325);
+    write!(fnv, "{value:?}").expect("writing to a hasher cannot fail");
+    fnv.0
+}
+
+/// The slice hash of one task: a fingerprint of *everything the task's
+/// compiled verification artefacts can observe*.  Two specs whose task
+/// `T` has equal slice hashes produce bit-identical expression universes,
+/// compiled symbolic tasks and spec-side constraint graphs for `T`:
+///
+/// * the task's own definition (variables, services with their pre/post
+///   conditions, artifact relations, opening/closing guards) and its id,
+/// * the full definition and id of every descendant (their opening
+///   guards and closing output maps are compiled into the parent's
+///   transition system; ids appear in [`verifas_model::ServiceRef`]s),
+/// * the database schema (expression universes navigate it),
+/// * the specification constants (every universe contains all of them,
+///   wherever in the spec they occur — see
+///   [`crate::transition::spec_constants`]),
+/// * the spec name (it is embedded in every report), and
+/// * for the root task, the global pre-condition (compiled into the
+///   initial instances; for other tasks only its constants matter and
+///   those are already covered).
+pub fn slice_hash(spec: &HasSpec, task: TaskId) -> u64 {
+    let mut rendering = format!("{:?};{:?};{:?}", spec.name, task, spec.task(task));
+    let mut descendants = spec.descendants(task);
+    descendants.sort();
+    for d in descendants {
+        rendering.push_str(&format!(";{:?}={:?}", d, spec.task(d)));
+    }
+    rendering.push_str(&format!(";db={:?}", spec.db));
+    rendering.push_str(&format!(";consts={:?}", spec_constants(spec)));
+    if task == spec.root() {
+        rendering.push_str(&format!(";global_pre={:?}", spec.global_pre));
+    }
+    fingerprint(rendering.as_str())
+}
+
+/// The per-task entry of a [`SpecDelta`]: which facets of the task
+/// definition changed, and whether its whole *slice* (the reuse unit —
+/// see [`slice_hash`]) is untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDelta {
+    /// The task's name in the new specification.
+    pub name: String,
+    /// `true` iff the task exists in the new spec but not (at this id,
+    /// with this name) in the old one.
+    pub added: bool,
+    /// Task-local schema changed: variables, input/output variables or
+    /// artifact relations.
+    pub schema_changed: bool,
+    /// Internal services changed (including any pre/post condition).
+    pub services_changed: bool,
+    /// Opening or closing guard changed.
+    pub guards_changed: bool,
+    /// Some descendant task changed (or the descendant set itself did).
+    pub subtree_changed: bool,
+    /// `true` iff the task's whole slice hash is unchanged — the
+    /// condition under which its preprocessing and reports carry over.
+    pub unchanged: bool,
+}
+
+/// A structural diff between two lowered specifications, computed by
+/// [`SpecDelta::diff`].  Indexed by the *new* specification's task ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecDelta {
+    /// Per-task deltas, indexed by the new spec's [`TaskId`]s.
+    pub tasks: Vec<TaskDelta>,
+    /// Tasks of the old spec with no counterpart (same id, same name) in
+    /// the new one.
+    pub removed_tasks: usize,
+    /// The database schema changed.
+    pub schema_changed: bool,
+    /// The global pre-condition changed.
+    pub global_pre_changed: bool,
+    /// The specification was renamed.
+    pub renamed: bool,
+}
+
+impl SpecDelta {
+    /// Diff `new` against `old`.
+    pub fn diff(old: &HasSpec, new: &HasSpec) -> SpecDelta {
+        let mut tasks = Vec::with_capacity(new.tasks.len());
+        for (id, task) in new.iter_tasks() {
+            let old_task = old
+                .tasks
+                .get(id.index())
+                .filter(|t| t.name == task.name && t.parent == task.parent);
+            let entry = match old_task {
+                None => TaskDelta {
+                    name: task.name.clone(),
+                    added: true,
+                    schema_changed: true,
+                    services_changed: true,
+                    guards_changed: true,
+                    subtree_changed: true,
+                    unchanged: false,
+                },
+                Some(o) => TaskDelta {
+                    name: task.name.clone(),
+                    added: false,
+                    schema_changed: fingerprint(&(
+                        &task.vars,
+                        &task.input_vars,
+                        &task.output_vars,
+                        &task.art_relations,
+                    )) != fingerprint(&(
+                        &o.vars,
+                        &o.input_vars,
+                        &o.output_vars,
+                        &o.art_relations,
+                    )),
+                    services_changed: fingerprint(&task.services) != fingerprint(&o.services),
+                    guards_changed: fingerprint(&(&task.opening, &task.closing))
+                        != fingerprint(&(&o.opening, &o.closing)),
+                    subtree_changed: {
+                        let mut nd = new.descendants(id);
+                        let mut od = old.descendants(id);
+                        nd.sort();
+                        od.sort();
+                        nd != od
+                            || nd
+                                .iter()
+                                .any(|&d| fingerprint(new.task(d)) != fingerprint(old.task(d)))
+                    },
+                    unchanged: slice_hash(new, id) == slice_hash(old, id),
+                },
+            };
+            tasks.push(entry);
+        }
+        let matched = tasks.iter().filter(|t| !t.added).count();
+        SpecDelta {
+            tasks,
+            removed_tasks: old.tasks.len().saturating_sub(matched),
+            schema_changed: fingerprint(&new.db) != fingerprint(&old.db),
+            global_pre_changed: fingerprint(&new.global_pre) != fingerprint(&old.global_pre),
+            renamed: new.name != old.name,
+        }
+    }
+
+    /// `true` iff `task` (a new-spec id) has an unchanged slice, so its
+    /// preprocessing and prior reports are valid verbatim.
+    pub fn task_unchanged(&self, task: TaskId) -> bool {
+        self.tasks.get(task.index()).is_some_and(|t| t.unchanged)
+    }
+
+    /// Number of tasks with unchanged slices.
+    pub fn unchanged_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| t.unchanged).count()
+    }
+
+    /// `true` iff the prior session is worth upgrading from: at least one
+    /// task slice survives the edit.  `verifas serve` uses this to pick a
+    /// delta-compatible base among its cached sessions instead of
+    /// requiring exact spec-hash equality.
+    pub fn compatible(&self) -> bool {
+        self.unchanged_tasks() > 0
+    }
+}
+
+/// What `Engine::load_delta` reused from the prior session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// The reuse mode of the new engine.
+    pub mode: ReuseMode,
+    /// Tasks in the new specification.
+    pub tasks: usize,
+    /// Tasks whose slice (and therefore preprocessing) is unchanged.
+    pub tasks_unchanged: usize,
+    /// Preprocessing cache entries carried over (not rebuilt).
+    pub preps_carried: usize,
+    /// Finished verification reports carried over.
+    pub reports_carried: usize,
+}
+
+/// Order-independent fingerprint of the static-analysis result: the memo
+/// of a task is scoped per *removed-edge set* because
+/// [`SymbolicTask::successors`] reads it while enumerating (the set is
+/// property-dependent).
+pub(crate) fn static_removed_fingerprint(removed: &std::collections::HashSet<Edge>) -> u64 {
+    let mut edges: Vec<Edge> = removed.iter().copied().collect();
+    edges.sort();
+    fingerprint(&edges)
+}
+
+/// How one recorded successor's counters relate to its source instance.
+/// Counter *values* are recomputed on replay from the live instance, so a
+/// recorded enumeration applies to every instance with the same resolved
+/// support — including ω-accelerated variants the recording run never saw.
+#[derive(Debug, Clone)]
+enum CounterOp {
+    /// Counters unchanged (also covers insertions into and retrievals
+    /// from an ω counter, which leave the vector bitwise intact; in the
+    /// insertion case the interned type is then necessarily already
+    /// shared, so skipping the intern call is side-effect-free).
+    Same,
+    /// An insertion: intern the stored type and increment its counter.
+    /// Replaying the intern call reproduces the recording run's interner
+    /// side effects (provisional-id allocation, per-node new-type lists)
+    /// exactly, which the deterministic publication order depends on.
+    Insert(ArtRelId, Pit),
+    /// A retrieval: decrement the counter at this position of the source
+    /// instance's (id-ordered) counter support.
+    Decrement(usize),
+}
+
+/// One recorded spec-side successor.
+#[derive(Debug, Clone)]
+struct MemoSuccessor {
+    service: ServiceRef,
+    pit: Pit,
+    child_active: u64,
+    op: CounterOp,
+}
+
+/// The key of one recorded enumeration: the *resolved* partial symbolic
+/// instance.  Counter ids are search-local, so the key stores the stored
+/// types themselves (in counter-iteration order — the enumeration order
+/// of retrieval successors follows it).  Finite counter *values* are
+/// deliberately excluded (see [`CounterOp`]), but each entry's ω-ness is
+/// part of the key: the recorded op for an insertion into (or retrieval
+/// from) an ω counter is [`CounterOp::Same`], which is only exact for
+/// instances that are ω at the same position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    pit: Pit,
+    child_active: u64,
+    support: Vec<(ArtRelId, Pit, bool)>,
+}
+
+/// A recorded enumeration map for one (task preprocessing, removed-edge
+/// set) pair.  Shared by every search of the session (and, through
+/// `Engine::load_delta`, by later sessions whose task slice is
+/// unchanged); concurrent lookups from parallel plan workers take the
+/// read lock.
+pub struct MemoScope {
+    map: RwLock<HashMap<MemoKey, Arc<Vec<MemoSuccessor>>>>,
+}
+
+/// Recorded enumerations beyond this many keys are discarded instead of
+/// stored (the memo is a pure cache; a runaway search must not hold the
+/// whole state space in it twice).
+const MEMO_SCOPE_CAPACITY: usize = 1 << 20;
+
+impl MemoScope {
+    fn new() -> Self {
+        MemoScope {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of recorded enumerations.
+    pub fn len(&self) -> usize {
+        read_ignoring_poison(&self.map).len()
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The spec-side successor enumeration of `psi`, replayed from the
+    /// memo when this resolved instance was enumerated before, computed
+    /// (and recorded) by `task` otherwise.  Bit-identical to
+    /// [`SymbolicTask::successors`] in both results and interner side
+    /// effects.
+    pub(crate) fn successors(
+        &self,
+        task: &SymbolicTask,
+        psi: &Psi,
+        interner: &mut dyn InternTypes,
+    ) -> Vec<(ServiceRef, Psi)> {
+        let ids: Vec<StoredTypeId> = psi.counters.iter().map(|(t, _)| t).collect();
+        let support: Vec<(ArtRelId, Pit, bool)> = psi
+            .counters
+            .iter()
+            .map(|(t, c)| {
+                let (rel, pit) = interner.get(t).clone();
+                (rel, pit, c == crate::psi::OMEGA)
+            })
+            .collect();
+        let key = MemoKey {
+            pit: psi.pit.clone(),
+            child_active: psi.child_active,
+            support,
+        };
+        let recorded = read_ignoring_poison(&self.map).get(&key).cloned();
+        if let Some(recorded) = recorded {
+            crate::counters::MEMO_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return recorded
+                .iter()
+                .map(|m| {
+                    let counters = match &m.op {
+                        CounterOp::Same => psi.counters.clone(),
+                        CounterOp::Insert(rel, pit) => {
+                            let id = interner.intern(*rel, pit.clone());
+                            psi.counters.incremented(id)
+                        }
+                        CounterOp::Decrement(pos) => psi
+                            .counters
+                            .decremented(ids[*pos])
+                            .expect("recorded retrieval position has a positive count"),
+                    };
+                    (
+                        m.service,
+                        Psi {
+                            pit: m.pit.clone(),
+                            counters,
+                            child_active: m.child_active,
+                        },
+                    )
+                })
+                .collect();
+        }
+        crate::counters::MEMO_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let succs = task.successors(psi, interner);
+        let recorded: Vec<MemoSuccessor> = succs
+            .iter()
+            .map(|(service, s)| MemoSuccessor {
+                service: *service,
+                pit: s.pit.clone(),
+                child_active: s.child_active,
+                op: diff_counters(psi, s, &ids, interner),
+            })
+            .collect();
+        let mut map = write_ignoring_poison(&self.map);
+        if map.len() < MEMO_SCOPE_CAPACITY {
+            map.insert(key, Arc::new(recorded));
+        }
+        succs
+    }
+}
+
+impl fmt::Debug for MemoScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoScope")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+/// Reconstruct the counter operation of one successor by diffing its
+/// counter vector against the source's.  At most one counter changes per
+/// service application; a bitwise-equal vector replays as
+/// [`CounterOp::Same`] (see there for why that is exact even for ω
+/// insertions).
+fn diff_counters(
+    source: &Psi,
+    succ: &Psi,
+    source_ids: &[StoredTypeId],
+    interner: &dyn crate::psi::TypeTable,
+) -> CounterOp {
+    if succ.counters == source.counters {
+        return CounterOp::Same;
+    }
+    // Exactly one id's count moved: up by one (insert) or down (retrieve).
+    for (id, count) in succ.counters.iter() {
+        if count > source.counters.get(id) {
+            let (rel, pit) = interner.get(id).clone();
+            return CounterOp::Insert(rel, pit);
+        }
+    }
+    for (pos, &id) in source_ids.iter().enumerate() {
+        if succ.counters.get(id) < source.counters.get(id) {
+            return CounterOp::Decrement(pos);
+        }
+    }
+    unreachable!("successor counters differ from the source but no entry moved")
+}
+
+/// The transition memo of one task preprocessing: recorded spec-side
+/// enumerations, scoped per static-analysis removed-edge fingerprint
+/// (the removed set is property-dependent and read during enumeration).
+#[derive(Default)]
+pub struct TransitionMemo {
+    scopes: Mutex<HashMap<u64, Arc<MemoScope>>>,
+}
+
+impl TransitionMemo {
+    /// A fresh, empty memo.
+    pub fn new() -> Self {
+        TransitionMemo::default()
+    }
+
+    /// The scope for one removed-edge fingerprint (created on first use).
+    pub(crate) fn scope(&self, static_removed_fp: u64) -> Arc<MemoScope> {
+        let mut scopes = self
+            .scopes
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(
+            scopes
+                .entry(static_removed_fp)
+                .or_insert_with(|| Arc::new(MemoScope::new())),
+        )
+    }
+
+    /// Total recorded enumerations across all scopes (diagnostic).
+    pub fn len(&self) -> usize {
+        let scopes = self
+            .scopes
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        scopes.values().map(|s| s.len()).sum()
+    }
+
+    /// `true` iff nothing has been recorded in any scope.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for TransitionMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransitionMemo")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+fn read_ignoring_poison<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_ignoring_poison<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifas_model::schema::attr::data;
+    use verifas_model::{Condition, DatabaseSchema, SpecBuilder, TaskBuilder, Term};
+
+    fn two_task_spec(child_value: &str) -> HasSpec {
+        let mut db = DatabaseSchema::new();
+        db.add_relation("R", vec![data("a")]).unwrap();
+        let mut root = TaskBuilder::new("Root");
+        let status = root.data_var("status");
+        // Receives the child's output by same-name wiring.
+        let _result = root.data_var("result");
+        root.service_parts(
+            "go",
+            Condition::eq(Term::var(status), Term::Null),
+            Condition::eq(Term::var(status), Term::str("Done")),
+            vec![],
+            None,
+        );
+        let mut b = SpecBuilder::new("delta", db, root.build());
+        let mut child = TaskBuilder::new("Child");
+        let r = child.data_var("result");
+        child.outputs([r]);
+        child.opening_pre(Condition::True);
+        child.closing_pre(Condition::eq(Term::var(r), Term::str(child_value)));
+        b.add_child("Root", child.build()).unwrap();
+        b.global_pre(Condition::eq(Term::var(status), Term::Null));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_specs_diff_as_fully_unchanged() {
+        let spec = two_task_spec("Ok");
+        let delta = SpecDelta::diff(&spec, &spec.clone());
+        assert_eq!(delta.tasks.len(), 2);
+        assert!(delta.tasks.iter().all(|t| t.unchanged && !t.added));
+        assert_eq!(delta.unchanged_tasks(), 2);
+        assert_eq!(delta.removed_tasks, 0);
+        assert!(!delta.schema_changed);
+        assert!(!delta.global_pre_changed);
+        assert!(!delta.renamed);
+        assert!(delta.compatible());
+    }
+
+    #[test]
+    fn a_child_edit_invalidates_the_ancestors_but_not_unrelated_facets() {
+        let old = two_task_spec("Ok");
+        let new = two_task_spec("Changed");
+        let delta = SpecDelta::diff(&old, &new);
+        // The child's own guard changed, and the root's slice includes
+        // its subtree, so nothing is reusable...
+        let root = &delta.tasks[0];
+        assert!(!root.unchanged);
+        assert!(root.subtree_changed);
+        // ...but the root's local facets are untouched.
+        assert!(!root.schema_changed);
+        assert!(!root.services_changed);
+        assert!(!root.guards_changed);
+        let child = &delta.tasks[1];
+        assert!(!child.unchanged);
+        assert!(child.guards_changed);
+        assert!(!child.services_changed);
+        // The constant "Changed" enters the spec constants, which every
+        // slice observes — so incompatibility is expected here.
+        assert!(!delta.compatible());
+    }
+
+    #[test]
+    fn a_root_service_edit_leaves_the_child_slice_intact() {
+        let old = two_task_spec("Ok");
+        let mut new = two_task_spec("Ok");
+        // Widen the root's post-condition without introducing or dropping
+        // any constant, so the shared constant set stays stable.
+        new.tasks[0].services[0].post = Condition::or([
+            Condition::eq(Term::var(verifas_model::VarId::new(0)), Term::str("Done")),
+            Condition::eq(Term::var(verifas_model::VarId::new(0)), Term::str("Ok")),
+        ]);
+        let delta = SpecDelta::diff(&old, &new);
+        assert!(delta.tasks[0].services_changed);
+        assert!(!delta.tasks[0].unchanged);
+        assert!(delta.tasks[1].unchanged, "child slice must survive");
+        assert!(delta.compatible());
+        assert!(delta.task_unchanged(TaskId::new(1)));
+        assert!(!delta.task_unchanged(TaskId::new(0)));
+    }
+
+    #[test]
+    fn renames_and_schema_edits_are_reported() {
+        let old = two_task_spec("Ok");
+        let mut renamed = old.clone();
+        renamed.name = "delta2".to_owned();
+        let delta = SpecDelta::diff(&old, &renamed);
+        assert!(delta.renamed);
+        // The spec name is part of every slice (reports embed it).
+        assert_eq!(delta.unchanged_tasks(), 0);
+
+        let mut reschema = old.clone();
+        reschema.db.add_relation("S", vec![data("b")]).unwrap();
+        let delta = SpecDelta::diff(&old, &reschema);
+        assert!(delta.schema_changed);
+        assert_eq!(delta.unchanged_tasks(), 0);
+    }
+
+    #[test]
+    fn added_and_removed_tasks_are_counted() {
+        let one = {
+            let mut db = DatabaseSchema::new();
+            db.add_relation("R", vec![data("a")]).unwrap();
+            let mut root = TaskBuilder::new("Root");
+            let _ = root.data_var("status");
+            SpecBuilder::new("delta", db, root.build()).build().unwrap()
+        };
+        let two = two_task_spec("Ok");
+        let grown = SpecDelta::diff(&one, &two);
+        assert!(grown.tasks[1].added);
+        assert_eq!(grown.removed_tasks, 0);
+        let shrunk = SpecDelta::diff(&two, &one);
+        assert_eq!(shrunk.removed_tasks, 1);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_structural() {
+        let spec = two_task_spec("Ok");
+        assert_eq!(fingerprint(&spec), fingerprint(&spec.clone()));
+        assert_eq!(
+            slice_hash(&spec, spec.root()),
+            slice_hash(&spec.clone(), spec.root())
+        );
+        assert_ne!(
+            slice_hash(&spec, TaskId::new(0)),
+            slice_hash(&spec, TaskId::new(1))
+        );
+    }
+}

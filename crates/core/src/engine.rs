@@ -45,6 +45,9 @@
 //! println!("{}", report.to_json());
 //! ```
 
+use crate::delta::{
+    fingerprint, static_removed_fingerprint, DeltaSummary, ReuseMode, SpecDelta, TransitionMemo,
+};
 use crate::error::VerifasError;
 use crate::expr::ExprUniverse;
 use crate::observer::{CancelToken, ProgressEvent, ProgressObserver, SearchControl};
@@ -54,6 +57,7 @@ use crate::schedule::{BatchOptions, Scheduler, SchedulerHandle};
 use crate::search::SearchLimits;
 use crate::static_analysis::ConstraintGraph;
 use crate::transition::{spec_constants, SymbolicTask};
+use crate::verifier::VerificationOutcome;
 use crate::verifier::{run_verification, VerifierOptions};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
@@ -83,6 +87,11 @@ struct PrepKey {
 struct TaskPreprocessing {
     task: SymbolicTask,
     spec_graph: std::sync::OnceLock<ConstraintGraph>,
+    /// Replay-mode transition memo (see [`crate::delta`]).  Lives with the
+    /// preprocessing so [`Engine::load_delta`] carries recorded
+    /// enumerations across sessions exactly when the compiled task itself
+    /// carries over; empty unless a replay-mode request recorded into it.
+    memo: TransitionMemo,
 }
 
 impl TaskPreprocessing {
@@ -98,6 +107,33 @@ impl TaskPreprocessing {
 /// not grow without bound.
 const PREPROCESSING_CACHE_CAPACITY: usize = 64;
 
+/// The report cache clears itself once it holds this many entries (one
+/// entry per distinct (task, property, options) request that ran to a
+/// definite verdict).
+const REPORT_CACHE_CAPACITY: usize = 256;
+
+/// Cache key of one finished verification: the verified task plus
+/// structural fingerprints of the property and the full options (the
+/// search is deterministic in these — and in the task's slice, which
+/// [`Engine::load_delta`] checks before carrying entries across
+/// sessions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ReportKey {
+    task: TaskId,
+    property_fp: u64,
+    options_fp: u64,
+}
+
+impl ReportKey {
+    fn new(property: &LtlFoProperty, options: &VerifierOptions) -> Self {
+        ReportKey {
+            task: property.task,
+            property_fp: fingerprint(property),
+            options_fp: fingerprint(options),
+        }
+    }
+}
+
 /// A long-lived verification engine over one loaded specification.
 ///
 /// The engine is `Sync`: one engine can serve concurrent `check` calls
@@ -105,10 +141,18 @@ const PREPROCESSING_CACHE_CAPACITY: usize = 64;
 pub struct Engine {
     spec: HasSpec,
     options: VerifierOptions,
+    /// How much this engine reuses from a prior session (see
+    /// [`crate::delta`]); plain [`Engine::load`] sessions are
+    /// [`ReuseMode::Cold`].
+    reuse: ReuseMode,
     /// The specification's own constants (property constants are keyed on
     /// top of these).
     base_constants: BTreeSet<DataValue>,
     cache: Mutex<HashMap<PrepKey, Arc<TaskPreprocessing>>>,
+    /// Finished reports of definite, uncancelled runs — always recorded
+    /// (so a later [`Engine::load_delta`] can carry them), only consulted
+    /// on non-[`ReuseMode::Cold`] engines.
+    reports: Mutex<HashMap<ReportKey, Arc<VerificationReport>>>,
 }
 
 impl Engine {
@@ -124,14 +168,93 @@ impl Engine {
         spec: HasSpec,
         options: VerifierOptions,
     ) -> Result<Self, VerifasError> {
+        Engine::load_with_reuse(spec, options, ReuseMode::Cold)
+    }
+
+    /// [`Engine::load_with_options`] with an explicit [`ReuseMode`].
+    ///
+    /// A non-[`ReuseMode::Cold`] engine answers repeated identical
+    /// requests from its report cache (without re-running the search —
+    /// no progress events are emitted for such answers), and under
+    /// [`ReuseMode::Replay`] additionally records every spec-side
+    /// transition enumeration so that later searches — of this session or
+    /// of a [`Engine::load_delta`] successor — replay instead of
+    /// recompute.  Results are bit-identical to a cold engine's in every
+    /// mode (modulo wall-clock fields); the modes only change how much
+    /// work producing them takes.
+    pub fn load_with_reuse(
+        spec: HasSpec,
+        options: VerifierOptions,
+        reuse: ReuseMode,
+    ) -> Result<Self, VerifasError> {
         spec.validate()?;
         let base_constants = spec_constants(&spec);
         Ok(Engine {
             spec,
             options,
+            reuse,
             base_constants,
             cache: Mutex::new(HashMap::new()),
+            reports: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Load an edited specification as the successor of a prior session,
+    /// carrying over everything the structural [`SpecDelta`] proves
+    /// untouched: the spec-side preprocessing (expression universe,
+    /// compiled symbolic task, static-analysis graph — and, under
+    /// [`ReuseMode::Replay`], the recorded transition enumerations) of
+    /// every task whose slice is unchanged, plus the finished reports of
+    /// unchanged (task, property, options) requests, which later
+    /// identical requests answer without any search.
+    ///
+    /// Nothing is rebuilt for carried entries — see
+    /// [`crate::counters::preps_carried`] — and nothing changed is ever
+    /// carried: the slice hash (see [`crate::delta::slice_hash`]) covers
+    /// the full dependency cone of each compiled artefact.  With
+    /// [`ReuseMode::Cold`] this is equivalent to a fresh
+    /// [`Engine::load_with_options`] (useful as a baseline).
+    pub fn load_delta(
+        prior: &Engine,
+        spec: HasSpec,
+        mode: ReuseMode,
+    ) -> Result<(Self, DeltaSummary), VerifasError> {
+        let engine = Engine::load_with_reuse(spec, prior.options, mode)?;
+        let delta = SpecDelta::diff(&prior.spec, &engine.spec);
+        let mut summary = DeltaSummary {
+            mode,
+            tasks: delta.tasks.len(),
+            tasks_unchanged: delta.unchanged_tasks(),
+            preps_carried: 0,
+            reports_carried: 0,
+        };
+        if mode == ReuseMode::Cold {
+            return Ok((engine, summary));
+        }
+        {
+            let prior_cache = lock_ignoring_poison(&prior.cache);
+            let mut cache = lock_ignoring_poison(&engine.cache);
+            for (key, prep) in prior_cache.iter() {
+                if delta.task_unchanged(key.task) {
+                    cache.insert(key.clone(), Arc::clone(prep));
+                    summary.preps_carried += 1;
+                }
+            }
+        }
+        {
+            let prior_reports = lock_ignoring_poison(&prior.reports);
+            let mut reports = lock_ignoring_poison(&engine.reports);
+            for (key, report) in prior_reports.iter() {
+                if delta.task_unchanged(key.task) {
+                    reports.insert(key.clone(), Arc::clone(report));
+                    summary.reports_carried += 1;
+                }
+            }
+        }
+        use std::sync::atomic::Ordering;
+        crate::counters::PREPS_CARRIED.fetch_add(summary.preps_carried, Ordering::Relaxed);
+        crate::counters::REPORTS_CARRIED.fetch_add(summary.reports_carried, Ordering::Relaxed);
+        Ok((engine, summary))
     }
 
     /// The loaded specification.
@@ -144,10 +267,20 @@ impl Engine {
         self.options
     }
 
+    /// The engine's [`ReuseMode`].
+    pub fn reuse_mode(&self) -> ReuseMode {
+        self.reuse
+    }
+
     /// Number of distinct spec-side preprocessings currently cached
     /// (diagnostic; see [`crate::counters`] for process-wide build counts).
     pub fn cached_preprocessings(&self) -> usize {
         lock_ignoring_poison(&self.cache).len()
+    }
+
+    /// Number of finished reports currently cached (diagnostic).
+    pub fn cached_reports(&self) -> usize {
+        lock_ignoring_poison(&self.reports).len()
     }
 
     /// Build (or reuse) the spec-side preprocessing a property needs,
@@ -269,6 +402,7 @@ impl Engine {
         let prep = Arc::new(TaskPreprocessing {
             task,
             spec_graph: std::sync::OnceLock::new(),
+            memo: TransitionMemo::new(),
         });
         cache.insert(key, Arc::clone(&prep));
         prep
@@ -282,6 +416,14 @@ impl Engine {
         control: &mut SearchControl<'_>,
     ) -> Result<VerificationReport, VerifasError> {
         property.validate(&self.spec)?;
+        let key = ReportKey::new(property, &options);
+        if self.reuse != ReuseMode::Cold {
+            if let Some(report) = lock_ignoring_poison(&self.reports).get(&key) {
+                use std::sync::atomic::Ordering;
+                crate::counters::REPORTS_REUSED.fetch_add(1, Ordering::Relaxed);
+                return Ok((**report).clone());
+            }
+        }
         let prep = self.preprocessing(property, options);
         // The property was validated against the engine's spec just above,
         // and the cached task was compiled from that same spec.
@@ -293,14 +435,33 @@ impl Engine {
             let removed = graph.non_violating_edges(&product.task.universe);
             product.set_static_removed(removed);
         }
+        if self.reuse == ReuseMode::Replay {
+            // Scope the memo to the final removed-edge set (recorded
+            // successors are only valid under the removed set they were
+            // enumerated with), after `set_static_removed` above.
+            let fp = static_removed_fingerprint(&product.task.static_removed);
+            product.set_memo(prep.memo.scope(fp));
+        }
         let result = run_verification(&product, options, control);
-        Ok(VerificationReport::from_result(
+        let report = VerificationReport::from_result(
             &self.spec,
             &property.name,
             property.task,
             options,
             result,
-        ))
+        );
+        // Record for later reuse (within this session on non-cold engines,
+        // across sessions through `load_delta`) — but only definite,
+        // uncancelled verdicts: a cancelled or inconclusive run depends on
+        // wall-clock limits and must not answer a future request.
+        if !report.cancelled && report.outcome != VerificationOutcome::Inconclusive {
+            let mut reports = lock_ignoring_poison(&self.reports);
+            if reports.len() >= REPORT_CACHE_CAPACITY {
+                reports.clear();
+            }
+            reports.insert(key, Arc::new(report.clone()));
+        }
+        Ok(report)
     }
 }
 
@@ -915,5 +1076,110 @@ mod tests {
         // gets its own universe; the first two share one.
         engine.check(&never("p3", &spec, "Broken")).unwrap();
         assert_eq!(engine.cached_preprocessings(), 2);
+    }
+
+    /// Zero the wall-clock-dependent report fields (the only ones that may
+    /// legitimately differ between a cold and an incremental run).
+    fn scrubbed(mut report: VerificationReport) -> VerificationReport {
+        report.stats.elapsed_ms = 0;
+        if let Some(stats) = &mut report.repeated_stats {
+            stats.elapsed_ms = 0;
+        }
+        if let Some(cycle) = &mut report.repeated_cycle {
+            cycle.edge_micros = 0;
+            cycle.scc_micros = 0;
+        }
+        for worker in &mut report.workers {
+            worker.busy_micros = 0;
+        }
+        report.schedule = None;
+        report
+    }
+
+    #[test]
+    fn load_delta_carries_preprocessing_and_reports() {
+        let spec = flow_spec();
+        let prior = Engine::load(spec.clone()).unwrap();
+        let property = never("delta-carried", &spec, "Done");
+        let cold = prior.check(&property).unwrap();
+        assert_eq!(prior.cached_preprocessings(), 1);
+        assert_eq!(prior.cached_reports(), 1);
+
+        let (warm, summary) = Engine::load_delta(&prior, spec.clone(), ReuseMode::Preproc).unwrap();
+        assert_eq!(summary.tasks, 1);
+        assert_eq!(summary.tasks_unchanged, 1);
+        assert_eq!(summary.preps_carried, 1);
+        assert_eq!(summary.reports_carried, 1);
+        // The preprocessing was transplanted, not rebuilt: it is present
+        // before the warm engine has run anything.
+        assert_eq!(warm.cached_preprocessings(), 1);
+
+        // The identical request is answered from the carried report — the
+        // exact same report, wall-clock fields included.
+        let warm_report = warm.check(&property).unwrap();
+        assert_eq!(warm_report, cold);
+        // No new preprocessing appeared to answer it.
+        assert_eq!(warm.cached_preprocessings(), 1);
+    }
+
+    #[test]
+    fn a_cold_delta_carries_nothing() {
+        let spec = flow_spec();
+        let prior = Engine::load(spec.clone()).unwrap();
+        prior.check(&never("cold-base", &spec, "Done")).unwrap();
+        let (fresh, summary) = Engine::load_delta(&prior, spec, ReuseMode::Cold).unwrap();
+        assert_eq!(summary.preps_carried, 0);
+        assert_eq!(summary.reports_carried, 0);
+        assert_eq!(fresh.cached_preprocessings(), 0);
+        assert_eq!(fresh.cached_reports(), 0);
+    }
+
+    #[test]
+    fn a_changed_spec_carries_no_stale_artefacts() {
+        let spec = flow_spec();
+        let prior = Engine::load(spec.clone()).unwrap();
+        prior.check(&never("stale", &spec, "Done")).unwrap();
+        // Change the root's service guard: its slice hash moves, so
+        // nothing may be carried.
+        let mut edited = spec.clone();
+        edited.tasks[0].services[1].pre = Condition::neq(Term::var(VarId::new(0)), Term::Null);
+        let (warm, summary) =
+            Engine::load_delta(&prior, edited.clone(), ReuseMode::Preproc).unwrap();
+        assert_eq!(summary.tasks_unchanged, 0);
+        assert_eq!(summary.preps_carried, 0);
+        assert_eq!(summary.reports_carried, 0);
+        // The edited engine still verifies correctly from scratch.
+        let report = warm.check(&never("stale", &edited, "Done")).unwrap();
+        assert_eq!(report.outcome, VerificationOutcome::Violated);
+    }
+
+    #[test]
+    fn replay_mode_records_and_replays_bit_identically() {
+        let spec = flow_spec();
+        let property = never("replayed", &spec, "Done");
+        let cold = Engine::load(spec.clone())
+            .unwrap()
+            .check(&property)
+            .unwrap();
+
+        let prior =
+            Engine::load_with_reuse(spec.clone(), VerifierOptions::default(), ReuseMode::Replay)
+                .unwrap();
+        let first = prior.check(&property).unwrap();
+        assert_eq!(scrubbed(first), scrubbed(cold.clone()));
+
+        // Carry the recorded enumerations into a successor session and
+        // force a real search there with a renamed (otherwise identical)
+        // property: the report cache misses, the memo hits.
+        let (warm, summary) = Engine::load_delta(&prior, spec.clone(), ReuseMode::Replay).unwrap();
+        assert_eq!(summary.preps_carried, 1);
+        let hits_before = crate::counters::memo_hits();
+        let mut replayed = warm.check(&never("replayed-2", &spec, "Done")).unwrap();
+        assert!(
+            crate::counters::memo_hits() > hits_before,
+            "the carried memo must serve enumerations"
+        );
+        replayed.property = "replayed".to_owned();
+        assert_eq!(scrubbed(replayed), scrubbed(cold));
     }
 }

@@ -21,6 +21,8 @@
 //! * [`schedule`] — the sharded batch scheduler: adaptive core
 //!   partitioning between batch width and per-search depth,
 //! * [`verifier`] — the user-facing API tying everything together,
+//! * [`delta`] — structural spec diffing and the transition memo behind
+//!   incremental re-verification ([`engine::Engine::load_delta`]),
 //! * [`baseline`] — the unoptimised baseline standing in for the Spin-based
 //!   verifier of the paper,
 //! * [`vass`] — a small generic VASS + classic Karp–Miller implementation
@@ -29,6 +31,7 @@
 pub mod baseline;
 pub mod counters;
 pub mod coverage;
+pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -50,6 +53,7 @@ pub mod verifier;
 
 pub use baseline::BaselineVerifier;
 pub use coverage::{accelerate, covers, CoverageKind};
+pub use delta::{fingerprint, slice_hash, DeltaSummary, ReuseMode, SpecDelta, TaskDelta};
 pub use engine::{
     spec_hash, spec_hash_hex, BatchBuilder, BatchEventSink, BatchResultCallback, BatchSummary,
     Engine, VerificationBuilder,

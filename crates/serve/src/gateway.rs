@@ -24,7 +24,7 @@ use crate::protocol::{
 use crate::session::SessionCache;
 use std::sync::Mutex;
 use std::time::Duration;
-use verifas_core::{spec_hash, spec_hash_hex, BatchSummary, CancelToken, Engine};
+use verifas_core::{spec_hash, spec_hash_hex, BatchSummary, CancelToken, ReuseMode};
 use verifas_ltl::LtlFoProperty;
 use verifas_spec::compile;
 
@@ -41,6 +41,13 @@ pub struct ServeConfig {
     pub sessions: usize,
     /// Per-class admission limits.
     pub limits: AdmissionLimits,
+    /// How much an edited spec reuses from a delta-compatible cached
+    /// session (see [`verifas_core::ReuseMode`]).  The default,
+    /// [`ReuseMode::Preproc`], carries preprocessing and finished
+    /// reports; [`ReuseMode::Cold`] disables upgrades entirely;
+    /// [`ReuseMode::Replay`] additionally records and replays transition
+    /// enumerations.
+    pub reuse: ReuseMode,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +56,7 @@ impl Default for ServeConfig {
             cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
             sessions: 8,
             limits: AdmissionLimits::default(),
+            reuse: ReuseMode::Preproc,
         }
     }
 }
@@ -58,6 +66,7 @@ pub struct Gateway {
     sessions: SessionCache,
     arbiter: Arbiter,
     metrics: Metrics,
+    reuse: ReuseMode,
     /// Cancel tokens of in-flight requests, so `/v1/cancel` (and server
     /// shutdown) can stop every search of a running batch.
     active: Mutex<Vec<(RequestId, CancelToken)>>,
@@ -70,6 +79,7 @@ impl Gateway {
             sessions: SessionCache::new(config.sessions),
             arbiter: Arbiter::new(config.cores, config.limits),
             metrics: Metrics::new(),
+            reuse: config.reuse,
             active: Mutex::new(Vec::new()),
         }
     }
@@ -99,7 +109,7 @@ impl Gateway {
         let id = admission.id;
 
         let spec = compiled.spec;
-        let (engine, session_hit) = match self.sessions.get_or_load(hash, || Engine::load(spec)) {
+        let (engine, reuse) = match self.sessions.get_or_upgrade(hash, spec, self.reuse) {
             Ok(loaded) => loaded,
             Err(e) => {
                 self.arbiter.release(id);
@@ -118,7 +128,7 @@ impl Gateway {
         emit(&admitted_frame(
             id,
             &spec_hash_hex_of(hash),
-            session_hit,
+            reuse,
             request.class,
             cores,
             properties.len(),
@@ -213,6 +223,13 @@ impl Gateway {
             &[("result", "miss")],
             stats.misses,
         );
+        type_line(&mut out, "verifas_session_cache_upgrades_total", "counter");
+        write_metric(
+            &mut out,
+            "verifas_session_cache_upgrades_total",
+            &[],
+            stats.upgrades,
+        );
         type_line(&mut out, "verifas_session_cache_evictions_total", "counter");
         write_metric(
             &mut out,
@@ -242,6 +259,42 @@ impl Gateway {
             "verifas_cores_total",
             &[],
             self.arbiter.total_cores() as u64,
+        );
+        // Incremental-reuse counters (process-wide, from the core's
+        // counter registry — session upgrades are what drive them here).
+        type_line(&mut out, "verifas_delta_preps_carried_total", "counter");
+        write_metric(
+            &mut out,
+            "verifas_delta_preps_carried_total",
+            &[],
+            verifas_core::counters::preps_carried() as u64,
+        );
+        type_line(&mut out, "verifas_delta_reports_carried_total", "counter");
+        write_metric(
+            &mut out,
+            "verifas_delta_reports_carried_total",
+            &[],
+            verifas_core::counters::reports_carried() as u64,
+        );
+        type_line(&mut out, "verifas_delta_reports_reused_total", "counter");
+        write_metric(
+            &mut out,
+            "verifas_delta_reports_reused_total",
+            &[],
+            verifas_core::counters::reports_reused() as u64,
+        );
+        type_line(&mut out, "verifas_delta_memo_enumerations_total", "counter");
+        write_metric(
+            &mut out,
+            "verifas_delta_memo_enumerations_total",
+            &[("result", "hit")],
+            verifas_core::counters::memo_hits() as u64,
+        );
+        write_metric(
+            &mut out,
+            "verifas_delta_memo_enumerations_total",
+            &[("result", "miss")],
+            verifas_core::counters::memo_misses() as u64,
         );
         out
     }
@@ -347,7 +400,7 @@ property "never-done" on Root {
         let gateway = Gateway::new(ServeConfig {
             cores: 2,
             sessions: 2,
-            limits: AdmissionLimits::default(),
+            ..ServeConfig::default()
         });
         let (frames, summary) = collected(&gateway, &request(SPEC));
         assert_eq!(frames.len(), 4, "admitted + 2 reports + done: {frames:?}");
@@ -376,6 +429,78 @@ property "never-done" on Root {
         assert_eq!(first.get("session").and_then(Json::as_str), Some("hit"));
         let stats = gateway.sessions().stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// A two-task spec whose root can be edited (widening `go`'s guard
+    /// with an already-present constant) while the child slice — and the
+    /// spec's constant set — stays bit-identical.
+    const PAIR: &str = r#"
+spec "pair";
+schema { relation R(a: data); }
+task Root {
+    vars { status: data, result: data }
+    service go {
+        pre: status == null;
+        post: status == "Done";
+    }
+}
+task Child child of Root {
+    vars { result: data }
+    outputs { result }
+    opening: true;
+    closing: result == "Done";
+}
+init: status == null;
+property "reaches-done" on Root {
+    formula: F { status == "Done" };
+}
+"#;
+
+    #[test]
+    fn an_edited_spec_upgrades_a_compatible_session() {
+        let gateway = Gateway::new(ServeConfig::default());
+        let (_, _) = collected(&gateway, &request(PAIR));
+        // A root-local edit leaves the child slice reusable: the session
+        // cache upgrades the prior engine instead of cold-loading.
+        let edited = PAIR.replace(
+            "pre: status == null;",
+            "pre: status == null || status == \"Done\";",
+        );
+        assert_ne!(edited, PAIR);
+        let (frames, summary) = collected(&gateway, &request(&edited));
+        let first = Json::parse(&frames[0]).unwrap();
+        assert_eq!(first.get("session").and_then(Json::as_str), Some("miss"));
+        assert_eq!(first.get("reuse").and_then(Json::as_str), Some("preproc"));
+        assert_eq!(summary.completed, 1);
+        let stats = gateway.sessions().stats();
+        assert_eq!(stats.upgrades, 1);
+        let text = gateway.metrics_text();
+        assert!(text.contains("verifas_session_cache_upgrades_total 1"));
+
+        // An incompatible edit (schema change) falls back to a cold load.
+        let reschema = PAIR.replace("relation R(a: data);", "relation R(a: data, b: data);");
+        assert_ne!(reschema, PAIR);
+        let (frames, _) = collected(&gateway, &request(&reschema));
+        let first = Json::parse(&frames[0]).unwrap();
+        assert_eq!(first.get("session").and_then(Json::as_str), Some("miss"));
+        assert_eq!(first.get("reuse").and_then(Json::as_str), Some("cold"));
+    }
+
+    #[test]
+    fn cold_reuse_mode_disables_upgrades() {
+        let gateway = Gateway::new(ServeConfig {
+            reuse: ReuseMode::Cold,
+            ..ServeConfig::default()
+        });
+        let (_, _) = collected(&gateway, &request(PAIR));
+        let edited = PAIR.replace(
+            "pre: status == null;",
+            "pre: status == null || status == \"Done\";",
+        );
+        let (frames, _) = collected(&gateway, &request(&edited));
+        let first = Json::parse(&frames[0]).unwrap();
+        assert_eq!(first.get("reuse").and_then(Json::as_str), Some("cold"));
+        assert_eq!(gateway.sessions().stats().upgrades, 0);
     }
 
     #[test]

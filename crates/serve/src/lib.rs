@@ -41,4 +41,4 @@ pub use gateway::{FrameSink, Gateway, ServeConfig};
 pub use http::Server;
 pub use metrics::{Metrics, RequestOutcome};
 pub use protocol::VerifyRequest;
-pub use session::{SessionCache, SessionCacheStats};
+pub use session::{SessionCache, SessionCacheStats, SessionReuse};

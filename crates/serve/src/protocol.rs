@@ -16,6 +16,7 @@
 use crate::admission::PriorityClass;
 use crate::arbiter::RequestId;
 use crate::error::ServeError;
+use crate::session::SessionReuse;
 use verifas_core::{BatchSummary, Json, VerificationReport};
 
 /// A parsed `/v1/verify` request body.
@@ -112,10 +113,15 @@ pub fn parse_hash_request(text: &str) -> Result<String, ServeError> {
 }
 
 /// The first frame of a verification stream: the request was admitted.
+///
+/// `session` reports the cache lookup (`hit` / `miss`); `reuse` refines
+/// it with the delta-reuse kind — `session` (exact hit), `cold` (fresh
+/// load), or `preproc` / `replay` (a delta-compatible session was
+/// upgraded in that [`verifas_core::ReuseMode`]).
 pub fn admitted_frame(
     id: RequestId,
     spec_hash: &str,
-    session_hit: bool,
+    reuse: SessionReuse,
     class: PriorityClass,
     cores: usize,
     properties: usize,
@@ -126,8 +132,9 @@ pub fn admitted_frame(
         ("spec_hash".to_owned(), Json::Str(spec_hash.to_owned())),
         (
             "session".to_owned(),
-            Json::Str(if session_hit { "hit" } else { "miss" }.to_owned()),
+            Json::Str(if reuse.is_hit() { "hit" } else { "miss" }.to_owned()),
         ),
+        ("reuse".to_owned(), Json::Str(reuse.wire_name().to_owned())),
         ("class".to_owned(), Json::Str(class.name().to_owned())),
         ("cores".to_owned(), Json::Num(cores as f64)),
         ("properties".to_owned(), Json::Num(properties as f64)),
@@ -290,7 +297,7 @@ mod tests {
             aborted: true,
         };
         let frames = [
-            admitted_frame(3, "00ff", false, PriorityClass::Batch, 4, 2),
+            admitted_frame(3, "00ff", SessionReuse::Cold, PriorityClass::Batch, 4, 2),
             done_frame(3, &summary),
             error_frame(&ServeError::Overloaded {
                 class: PriorityClass::Batch,

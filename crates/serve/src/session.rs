@@ -17,7 +17,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use verifas_core::{Engine, VerifasError};
+use verifas_core::{DeltaSummary, Engine, ReuseMode, SpecDelta, VerifasError};
+use verifas_model::HasSpec;
 
 /// Counters of one [`SessionCache`]'s life so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,10 +27,41 @@ pub struct SessionCacheStats {
     pub hits: u64,
     /// Lookups that had to load a new session.
     pub misses: u64,
+    /// Misses resolved by upgrading a delta-compatible cached session
+    /// (a subset of `misses`).
+    pub upgrades: u64,
     /// Sessions evicted to make room.
     pub evictions: u64,
     /// Sessions currently cached.
     pub cached: usize,
+}
+
+/// How a [`SessionCache::get_or_upgrade`] lookup was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionReuse {
+    /// The exact spec (by canonical hash) was already loaded.
+    Hit,
+    /// No usable base: a fresh engine was loaded from scratch.
+    Cold,
+    /// A delta-compatible cached session was upgraded via
+    /// [`Engine::load_delta`], carrying the summarised artefacts.
+    Delta(DeltaSummary),
+}
+
+impl SessionReuse {
+    /// The wire name for the `admitted` frame's `reuse` member.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            SessionReuse::Hit => "session",
+            SessionReuse::Cold => "cold",
+            SessionReuse::Delta(summary) => summary.mode.name(),
+        }
+    }
+
+    /// Whether the lookup found the exact session.
+    pub fn is_hit(self) -> bool {
+        matches!(self, SessionReuse::Hit)
+    }
 }
 
 /// An LRU cache of loaded verification sessions (see the module docs).
@@ -40,6 +72,7 @@ pub struct SessionCache {
     inner: Mutex<Vec<(u64, Arc<Engine>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    upgrades: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -51,6 +84,7 @@ impl SessionCache {
             inner: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            upgrades: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
@@ -92,6 +126,70 @@ impl SessionCache {
         Ok((engine, false))
     }
 
+    /// Look up the session for `hash`; on a miss, try to *upgrade* a
+    /// delta-compatible cached session via [`Engine::load_delta`] before
+    /// falling back to a cold load.  `spec` must be the lowered spec
+    /// whose canonical hash is `hash`.
+    ///
+    /// Candidate bases are scanned most-recently-used first, and the
+    /// first [`SpecDelta::compatible`] one wins — an edit loop touches
+    /// the same spec repeatedly, so the freshest session is almost
+    /// always the right (and the richest) base.  The upgraded engine is
+    /// cached under the *new* hash; the base stays cached under its own,
+    /// so further edits can still branch from either. Like
+    /// [`SessionCache::get_or_load`], the lock is held across the load
+    /// so concurrent first requests produce one engine.
+    ///
+    /// With [`ReuseMode::Cold`] no upgrade is attempted — every miss
+    /// loads from scratch (the PR 6 behaviour).
+    pub fn get_or_upgrade(
+        &self,
+        hash: u64,
+        spec: HasSpec,
+        mode: ReuseMode,
+    ) -> Result<(Arc<Engine>, SessionReuse), VerifasError> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        if let Some(position) = inner.iter().position(|(key, _)| *key == hash) {
+            let entry = inner.remove(position);
+            let engine = Arc::clone(&entry.1);
+            inner.insert(0, entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((engine, SessionReuse::Hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut reuse = SessionReuse::Cold;
+        let engine = if mode == ReuseMode::Cold {
+            Engine::load(spec)?
+        } else {
+            let base = inner
+                .iter()
+                .map(|(_, engine)| engine)
+                .find(|base| SpecDelta::diff(base.spec(), &spec).compatible());
+            match base {
+                Some(base) => {
+                    let (engine, summary) = Engine::load_delta(base, spec, mode)?;
+                    self.upgrades.fetch_add(1, Ordering::Relaxed);
+                    reuse = SessionReuse::Delta(summary);
+                    engine
+                }
+                // No usable base — but keep the engine in the configured
+                // reuse mode, so repeated identical requests against this
+                // session answer from its report cache (and, under
+                // replay, record enumerations for future upgrades).
+                None => {
+                    Engine::load_with_reuse(spec, verifas_core::VerifierOptions::default(), mode)?
+                }
+            }
+        };
+        let engine = Arc::new(engine);
+        inner.insert(0, (hash, Arc::clone(&engine)));
+        while inner.len() > self.capacity {
+            inner.pop();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((engine, reuse))
+    }
+
     /// The cached keys, most-recently-used first (diagnostics and tests —
     /// this *is* the eviction order, reversed).
     pub fn keys_mru(&self) -> Vec<u64> {
@@ -106,6 +204,7 @@ impl SessionCache {
         SessionCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             cached: lock_ignoring_poison(&self.inner).len(),
         }

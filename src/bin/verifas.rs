@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! verifas check    <spec.has> [--prop NAME] [--threads N] [--json OUT]
+//!                             [--base PRIOR.json] [--incremental MODE]
 //!                             [--max-states N] [--max-millis MS]
 //! verifas batch    <spec.has> [--all-props] [--threads N] [--json OUT]
 //!                             [--batch-threads N] [--schedule flat|sharded]
@@ -12,6 +13,7 @@
 //! verifas fmt      <spec.has> [--write | --check]
 //! verifas serve    [--addr HOST:PORT] [--cores N] [--sessions N]
 //!                  [--max-interactive N] [--max-batch N]
+//!                  [--incremental MODE]
 //! ```
 //!
 //! `check` verifies properties one at a time through `Engine::check`;
@@ -19,15 +21,27 @@
 //! the sharded scheduler and streams per-property results as they land;
 //! `serve` runs the multi-tenant verification daemon (`verifas-serve`)
 //! until a `POST /v1/shutdown` stops it.
+//!
+//! The edit loop (`docs/SPEC_LANGUAGE.md` walks through it): `check
+//! --json out.json` embeds an `incremental` snapshot (per-task slice
+//! hashes plus report fingerprints) in the output document; a later
+//! `check --base out.json` on the *edited* spec reuses every prior
+//! report whose task slice, property and options are provably unchanged
+//! and verifies only the rest.  `--incremental cold` disables reuse,
+//! `preproc` (the default with `--base`) also shares preprocessing
+//! within the run, and `replay` additionally memoizes transition
+//! enumerations across the run's searches.
 //! Exit codes: 0 — every requested verification completed (whatever the
 //! verdict); 1 — `fmt --check` found unformatted input; 2 — any error
 //! (parse, resolution, I/O, usage).
 
 use std::process::ExitCode;
+use verifas::core::delta::{fingerprint, slice_hash};
 use verifas::core::{spec_hash_hex, Json};
 use verifas::prelude::*;
 use verifas::serve::{AdmissionLimits, ServeConfig, Server};
 use verifas::spec::{self, CompiledSpec};
+use verifas::ReuseMode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +66,11 @@ commands:
 
 options:
   --prop NAME        check only the named property (check only)
+  --base PRIOR.json  check: reuse reports from a prior `--json` snapshot
+                     whose task slice / property / options are unchanged
+  --incremental MODE reuse mode: `cold`, `preproc` or `replay` (check:
+                     default `preproc` when --base is given, else `cold`;
+                     serve: default `preproc`)
   --all-props        verify every property (batch; this is the default)
   --threads N        worker threads (check: per search; batch: core budget; 0 = auto)
   --batch-threads N  batch: core budget shared by the whole batch (0 = auto;
@@ -71,6 +90,8 @@ options:
 struct Options {
     file: String,
     prop: Option<String>,
+    base: Option<String>,
+    incremental: Option<ReuseMode>,
     threads: usize,
     batch_threads: Option<usize>,
     schedule: Option<SchedulePolicy>,
@@ -96,6 +117,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "--prop",
             "--threads",
             "--json",
+            "--base",
+            "--incremental",
             "--max-states",
             "--max-millis",
         ],
@@ -115,6 +138,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "--sessions",
             "--max-interactive",
             "--max-batch",
+            "--incremental",
         ],
         _ => &[],
     }
@@ -124,6 +148,8 @@ fn parse_options(args: &[String], needs_file: bool) -> Result<Options, String> {
     let mut options = Options {
         file: String::new(),
         prop: None,
+        base: None,
+        incremental: None,
         threads: 1,
         batch_threads: None,
         schedule: None,
@@ -151,6 +177,15 @@ fn parse_options(args: &[String], needs_file: bool) -> Result<Options, String> {
         }
         match arg.as_str() {
             "--prop" => options.prop = Some(value_of("--prop", &mut iter)?),
+            "--base" => options.base = Some(value_of("--base", &mut iter)?),
+            "--incremental" => {
+                let name = value_of("--incremental", &mut iter)?;
+                options.incremental = Some(ReuseMode::from_name(&name).ok_or_else(|| {
+                    format!(
+                        "error: --incremental must be `cold`, `preproc` or `replay`, not {name:?}"
+                    )
+                })?)
+            }
             "--threads" => {
                 options.threads = value_of("--threads", &mut iter)?
                     .parse()
@@ -235,6 +270,8 @@ fn parse_options(args: &[String], needs_file: bool) -> Result<Options, String> {
 /// Every flag any subcommand knows about.
 const KNOWN_FLAGS: &[&str] = &[
     "--prop",
+    "--base",
+    "--incremental",
     "--threads",
     "--batch-threads",
     "--schedule",
@@ -292,6 +329,107 @@ fn verifier_options(options: &Options) -> VerifierOptions {
     out
 }
 
+/// The options a `check` search actually runs with — the fingerprint key
+/// of snapshot reports, so a later `--base` run only reuses a report
+/// produced under identical options.
+fn effective_options(options: &Options) -> VerifierOptions {
+    let mut out = verifier_options(options);
+    out.search_threads = options.threads;
+    out
+}
+
+fn hex64(value: u64) -> String {
+    format!("{value:016x}")
+}
+
+/// A parsed `--base` snapshot: the prior run's per-task slice hashes and
+/// its definite, uncancelled reports keyed by fingerprints.
+struct BaseSnapshot {
+    /// task name → slice hash (hex).
+    slices: Vec<(String, String)>,
+    /// (property fingerprint, options fingerprint, task name, report).
+    reports: Vec<(String, String, String, VerificationReport)>,
+}
+
+impl BaseSnapshot {
+    /// Parse the `incremental` member of a prior `--json` document.
+    fn load(path: &str) -> Result<BaseSnapshot, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("error: cannot read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("error: {path}: invalid JSON: {e}"))?;
+        let incremental = doc.get("incremental").ok_or_else(|| {
+            format!(
+                "error: {path}: no \"incremental\" member (not a `verifas check --json` snapshot?)"
+            )
+        })?;
+        let all_reports = doc
+            .get("reports")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("error: {path}: no \"reports\" array"))?;
+        let mut slices = Vec::new();
+        for entry in incremental
+            .get("slices")
+            .and_then(Json::as_array)
+            .unwrap_or_default()
+        {
+            if let (Some(task), Some(hash)) = (
+                entry.get("task").and_then(Json::as_str),
+                entry.get("hash").and_then(Json::as_str),
+            ) {
+                slices.push((task.to_owned(), hash.to_owned()));
+            }
+        }
+        let mut reports = Vec::new();
+        for entry in incremental
+            .get("reports")
+            .and_then(Json::as_array)
+            .unwrap_or_default()
+        {
+            let (Some(index), Some(pfp), Some(ofp), Some(task)) = (
+                entry.get("index").and_then(Json::as_u64),
+                entry.get("property_fp").and_then(Json::as_str),
+                entry.get("options_fp").and_then(Json::as_str),
+                entry.get("task").and_then(Json::as_str),
+            ) else {
+                continue;
+            };
+            let Some(report) = all_reports.get(index as usize) else {
+                continue;
+            };
+            // Re-render and reparse through the report's own schema-checked
+            // reader; a malformed or stale entry is skipped, not fatal.
+            let Ok(report) = VerificationReport::from_json(&report.to_string()) else {
+                continue;
+            };
+            reports.push((pfp.to_owned(), ofp.to_owned(), task.to_owned(), report));
+        }
+        Ok(BaseSnapshot { slices, reports })
+    }
+
+    /// The prior report for `property` under `effective` options — if and
+    /// only if the property's task slice is bit-identically unchanged in
+    /// `spec` and the fingerprints match.
+    fn lookup(
+        &self,
+        spec: &HasSpec,
+        property: &LtlFoProperty,
+        effective: &VerifierOptions,
+    ) -> Option<&VerificationReport> {
+        let task_name = &spec.task(property.task).name;
+        let slice = hex64(slice_hash(spec, property.task));
+        self.slices
+            .iter()
+            .any(|(name, hash)| name == task_name && *hash == slice)
+            .then_some(())?;
+        let pfp = hex64(fingerprint(property));
+        let ofp = hex64(fingerprint(effective));
+        self.reports
+            .iter()
+            .find(|(p, o, t, _)| *p == pfp && *o == ofp && t == task_name)
+            .map(|(_, _, _, report)| report)
+    }
+}
+
 fn validate(options: &Options, source: &str) -> Result<ExitCode, String> {
     let compiled = compile(options, source)?;
     let stats = compiled.spec.stats();
@@ -333,6 +471,7 @@ fn serve(options: &Options) -> Result<ExitCode, String> {
             max_interactive: options.max_interactive,
             max_batch: options.max_batch,
         },
+        reuse: options.incremental.unwrap_or(ReuseMode::Preproc),
     };
     // One connection thread per admissible request (each verification
     // stream occupies its worker for the request's lifetime) plus two
@@ -419,7 +558,18 @@ fn check(options: &Options, source: &str, batch: bool) -> Result<ExitCode, Strin
         return Ok(ExitCode::SUCCESS);
     }
     let name = spec.name.clone();
-    let engine = Engine::load_with_options(spec, verifier_options(options))
+    // Reuse mode: `--incremental` wins; otherwise `preproc` when a base
+    // snapshot is given, `cold` (the historical behaviour) when not.
+    let mode = options.incremental.unwrap_or(if options.base.is_some() {
+        ReuseMode::Preproc
+    } else {
+        ReuseMode::Cold
+    });
+    let base = match &options.base {
+        Some(path) if mode != ReuseMode::Cold => Some(BaseSnapshot::load(path)?),
+        _ => None,
+    };
+    let engine = Engine::load_with_reuse(spec, verifier_options(options), mode)
         .map_err(|e| format!("error: {}: {e}", options.file))?;
     println!("{name}: verifying {} properties", selected.len());
     let reports: Vec<Result<VerificationReport, VerifasError>> = if batch {
@@ -444,9 +594,20 @@ fn check(options: &Options, source: &str, batch: bool) -> Result<ExitCode, Strin
             .on_result(&mut on_result)
             .run(&selected)
     } else {
-        selected
+        let effective = effective_options(options);
+        let mut reused = 0usize;
+        let reports: Vec<Result<VerificationReport, VerifasError>> = selected
             .iter()
             .map(|property| {
+                if let Some(report) = base
+                    .as_ref()
+                    .and_then(|base| base.lookup(engine.spec(), property, &effective))
+                {
+                    reused += 1;
+                    let report = Ok(report.clone());
+                    println!("  {} [reused]", summarize(&report));
+                    return report;
+                }
                 let report = engine
                     .verification()
                     .property(property)
@@ -455,7 +616,14 @@ fn check(options: &Options, source: &str, batch: bool) -> Result<ExitCode, Strin
                 println!("  {}", summarize(&report));
                 report
             })
-            .collect()
+            .collect();
+        if base.is_some() {
+            println!(
+                "incremental ({mode}): reused {reused} of {} reports",
+                selected.len()
+            );
+        }
+        reports
     };
     if batch {
         for report in &reports {
@@ -470,11 +638,22 @@ fn check(options: &Options, source: &str, batch: bool) -> Result<ExitCode, Strin
                 Err(e) => Json::Obj(vec![("error".to_owned(), Json::Str(e.to_string()))]),
             })
             .collect();
-        let document = Json::Obj(vec![
+        let mut members = vec![
             ("spec".to_owned(), Json::Str(name.clone())),
             ("reports".to_owned(), Json::Arr(documents)),
-        ]);
-        std::fs::write(path, document.to_string())
+        ];
+        if !batch {
+            // The edit-loop snapshot: enough identity to let a later
+            // `check --base` prove which reports are still valid.  Batch
+            // runs are excluded — their thread budgets are
+            // scheduler-driven, so their stats are not what a later
+            // `check` would reproduce.
+            members.push((
+                "incremental".to_owned(),
+                incremental_snapshot(engine.spec(), &selected, &reports, options),
+            ));
+        }
+        std::fs::write(path, Json::Obj(members).to_string())
             .map_err(|e| format!("error: cannot write {path}: {e}"))?;
         println!("wrote {} reports to {path}", reports.len());
     }
@@ -485,6 +664,52 @@ fn check(options: &Options, source: &str, batch: bool) -> Result<ExitCode, Strin
         ));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `incremental` member of a `--json` document: per-task slice
+/// hashes plus (property, options) fingerprints of every definite,
+/// uncancelled report — everything `BaseSnapshot::lookup` needs.
+fn incremental_snapshot(
+    spec: &HasSpec,
+    selected: &[LtlFoProperty],
+    reports: &[Result<VerificationReport, VerifasError>],
+    options: &Options,
+) -> Json {
+    let slices: Vec<Json> = spec
+        .iter_tasks()
+        .map(|(id, task)| {
+            Json::Obj(vec![
+                ("task".to_owned(), Json::Str(task.name.clone())),
+                ("hash".to_owned(), Json::Str(hex64(slice_hash(spec, id)))),
+            ])
+        })
+        .collect();
+    let effective = effective_options(options);
+    let options_fp = hex64(fingerprint(&effective));
+    let mut entries = Vec::new();
+    for (index, (property, result)) in selected.iter().zip(reports).enumerate() {
+        let Ok(report) = result else { continue };
+        // A cancelled or inconclusive verdict depends on wall-clock
+        // limits; reusing one would not be bit-identical to re-running.
+        if report.cancelled || report.outcome == VerificationOutcome::Inconclusive {
+            continue;
+        }
+        entries.push(Json::Obj(vec![
+            ("index".to_owned(), Json::Num(index as f64)),
+            ("task".to_owned(), Json::Str(report.task.clone())),
+            (
+                "property_fp".to_owned(),
+                Json::Str(hex64(fingerprint(property))),
+            ),
+            ("options_fp".to_owned(), Json::Str(options_fp.clone())),
+        ]));
+    }
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Num(1.0)),
+        ("spec_hash".to_owned(), Json::Str(spec_hash_hex(spec))),
+        ("slices".to_owned(), Json::Arr(slices)),
+        ("reports".to_owned(), Json::Arr(entries)),
+    ])
 }
 
 fn summarize(report: &Result<VerificationReport, VerifasError>) -> String {

@@ -105,10 +105,10 @@ pub use verifas_spec as spec;
 pub use verifas_workloads as workloads;
 
 pub use verifas_core::{
-    BatchBuilder, BatchOptions, CancelToken, CycleStats, Engine, OccupancySample, Phase,
-    ProgressEvent, ProgressObserver, SchedulePolicy, ScheduleStats, SearchLimits, SearchStats,
-    SourceSpan, ThreadBudget, VerifasError, VerificationBuilder, VerificationOutcome,
-    VerificationReport, VerifierOptions, Witness, WitnessStep, WorkerStats,
+    BatchBuilder, BatchOptions, CancelToken, CycleStats, DeltaSummary, Engine, OccupancySample,
+    Phase, ProgressEvent, ProgressObserver, ReuseMode, SchedulePolicy, ScheduleStats, SearchLimits,
+    SearchStats, SourceSpan, SpecDelta, ThreadBudget, VerifasError, VerificationBuilder,
+    VerificationOutcome, VerificationReport, VerifierOptions, Witness, WitnessStep, WorkerStats,
 };
 pub use verifas_spec::{CompiledSpec, SpecError};
 
@@ -119,11 +119,11 @@ pub use verifas_spec::{CompiledSpec, SpecError};
 /// ```
 pub mod prelude {
     pub use verifas_core::{
-        BatchBuilder, BatchOptions, CancelToken, CoverageKind, CycleStats, Engine, OccupancySample,
-        Phase, ProgressEvent, ProgressObserver, SchedulePolicy, ScheduleStats, SearchLimits,
-        SearchStats, SourceSpan, ThreadBudget, VerifasError, VerificationBuilder,
-        VerificationOutcome, VerificationReport, VerifierOptions, Witness, WitnessStep,
-        WorkerStats,
+        BatchBuilder, BatchOptions, CancelToken, CoverageKind, CycleStats, DeltaSummary, Engine,
+        OccupancySample, Phase, ProgressEvent, ProgressObserver, ReuseMode, SchedulePolicy,
+        ScheduleStats, SearchLimits, SearchStats, SourceSpan, SpecDelta, ThreadBudget,
+        VerifasError, VerificationBuilder, VerificationOutcome, VerificationReport,
+        VerifierOptions, Witness, WitnessStep, WorkerStats,
     };
     pub use verifas_ltl::{Ltl, LtlFoProperty, PropAtom, PropertyHandle};
     pub use verifas_model::{

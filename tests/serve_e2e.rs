@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex};
 use verifas::core::{counters, Json};
 use verifas::prelude::*;
 use verifas::serve::{AdmissionLimits, Gateway, PriorityClass, ServeConfig, Server, VerifyRequest};
+use verifas::ReuseMode;
 
 fn example(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -109,6 +110,7 @@ fn resubmitted_spec_reuses_cached_session_and_matches_direct_check_all() {
         cores: 2,
         sessions: 4,
         limits: AdmissionLimits::default(),
+        reuse: ReuseMode::Preproc,
     });
     let frames = collect(&gateway, &request(&source, PriorityClass::Interactive));
 
@@ -193,6 +195,7 @@ fn interactive_arrival_mid_batch_never_changes_batch_results() {
         cores: 4,
         sessions: 4,
         limits: AdmissionLimits::default(),
+        reuse: ReuseMode::Preproc,
     }));
 
     let mut batch_request = request(&batch_source, PriorityClass::Batch);
@@ -255,6 +258,7 @@ fn over_limit_batch_is_refused_with_a_typed_error_while_interactive_admits() {
             max_interactive: 2,
             max_batch: 1,
         },
+        reuse: ReuseMode::Preproc,
     }));
     let source = example("conference_review.has");
     let compiled = verifas::spec::compile(&source).unwrap();
@@ -309,6 +313,7 @@ fn server_side_cancel_stops_every_search_of_a_batch() {
         cores: 2,
         sessions: 4,
         limits: AdmissionLimits::default(),
+        reuse: ReuseMode::Preproc,
     });
     let source = example("parcel_returns.has");
     let compiled = verifas::spec::compile(&source).unwrap();
@@ -353,6 +358,7 @@ fn per_request_deadline_rides_the_cancel_plumbing() {
         cores: 2,
         sessions: 4,
         limits: AdmissionLimits::default(),
+        reuse: ReuseMode::Preproc,
     });
     let mut req = request(
         &example("conference_review.has"),
@@ -376,6 +382,7 @@ fn http_round_trip_streams_reports_and_reuses_sessions() {
             cores: 2,
             sessions: 4,
             limits: AdmissionLimits::default(),
+            reuse: ReuseMode::Preproc,
         },
         2,
     )
