@@ -283,6 +283,22 @@ impl Engine {
         lock_ignoring_poison(&self.reports).len()
     }
 
+    /// Deterministic estimate of this engine's resident bytes — a fixed
+    /// base plus per-element costs for the preprocessing and report
+    /// caches (the structures that actually grow with use).  Feeds
+    /// byte-based session-cache eviction in `verifas serve`; like
+    /// [`crate::search::KarpMillerSearch::estimated_bytes`] it is an
+    /// accounting figure, never an allocator probe, so eviction order is
+    /// identical on every host.
+    pub fn estimated_bytes(&self) -> usize {
+        const ENGINE_BASE_BYTES: usize = 64 << 10;
+        const PREP_BYTES: usize = 256 << 10;
+        const REPORT_BYTES: usize = 8 << 10;
+        ENGINE_BASE_BYTES
+            + self.cached_preprocessings() * PREP_BYTES
+            + self.cached_reports() * REPORT_BYTES
+    }
+
     /// Build (or reuse) the spec-side preprocessing a property needs,
     /// without running any search, and return the property's
     /// [`PropertyHandle`].
@@ -312,6 +328,7 @@ impl Engine {
             deadline: None,
             cancel: None,
             progress_every: 0,
+            memory: None,
         }
     }
 
@@ -358,6 +375,7 @@ impl Engine {
             on_result: None,
             on_event: None,
             scheduler_handle: None,
+            memory: None,
         }
     }
 
@@ -443,6 +461,24 @@ impl Engine {
             product.set_memo(prep.memo.scope(fp));
         }
         let result = run_verification(&product, options, control);
+        // A memory-budgeted run that tripped its lease degrades to a
+        // typed error instead of a (limit-shaped) report: the verdict
+        // would be Inconclusive anyway, and the caller needs to
+        // distinguish "out of budget" from "out of states" to size a
+        // retry.  Checked before caching — an exhausted run must never
+        // answer a future request.
+        if control.memory_exhausted() {
+            let (bytes, limit_bytes) = control
+                .memory
+                .as_ref()
+                .map(|lease| (lease.held_bytes(), lease.limit_bytes()))
+                .unwrap_or((0, 0));
+            return Err(VerifasError::ResourceExhausted {
+                states: result.stats.states_created,
+                bytes,
+                limit_bytes,
+            });
+        }
         let report = VerificationReport::from_result(
             &self.spec,
             &property.name,
@@ -495,6 +531,7 @@ pub struct VerificationBuilder<'e, 'o> {
     deadline: Option<Duration>,
     cancel: Option<CancelToken>,
     progress_every: usize,
+    memory: Option<crate::memory::MemoryBudget>,
 }
 
 impl<'e, 'o> VerificationBuilder<'e, 'o> {
@@ -558,6 +595,16 @@ impl<'e, 'o> VerificationBuilder<'e, 'o> {
         self
     }
 
+    /// Account this run's search state against a shared
+    /// [`crate::memory::MemoryBudget`]: the search re-sizes its lease at
+    /// round boundaries and, if the pool refuses a grow, stops and
+    /// reports a typed [`VerifasError::ResourceExhausted`] instead of
+    /// growing without bound.
+    pub fn memory_budget(mut self, budget: &crate::memory::MemoryBudget) -> Self {
+        self.memory = Some(budget.clone());
+        self
+    }
+
     /// Run the request.
     pub fn run(self) -> Result<VerificationReport, VerifasError> {
         let property = self.property.ok_or(VerifasError::MissingProperty)?;
@@ -566,6 +613,7 @@ impl<'e, 'o> VerificationBuilder<'e, 'o> {
             cancel: self.cancel,
             deadline: self.deadline.map(|d| Instant::now() + d),
             progress_every: self.progress_every,
+            memory: self.memory.as_ref().map(crate::memory::MemoryBudget::lease),
             ..SearchControl::default()
         };
         self.engine
@@ -619,6 +667,7 @@ pub struct BatchBuilder<'e, 'f> {
     on_result: Option<BatchResultCallback<'f>>,
     on_event: Option<BatchEventSink<'f>>,
     scheduler_handle: Option<SchedulerHandle>,
+    memory: Option<crate::memory::MemoryBudget>,
 }
 
 impl<'e, 'f> BatchBuilder<'e, 'f> {
@@ -704,6 +753,17 @@ impl<'e, 'f> BatchBuilder<'e, 'f> {
         self
     }
 
+    /// Account every search of this batch against a shared
+    /// [`crate::memory::MemoryBudget`] (one lease per property).  A
+    /// search whose lease is refused a grow stops at its next round
+    /// boundary and reports a typed
+    /// [`VerifasError::ResourceExhausted`] for that property; the rest
+    /// of the batch keeps running on whatever the pool still holds.
+    pub fn memory_budget(mut self, budget: &crate::memory::MemoryBudget) -> Self {
+        self.memory = Some(budget.clone());
+        self
+    }
+
     /// Run the batch, returning one result per property in input order.
     pub fn run(
         self,
@@ -749,6 +809,7 @@ impl<'e, 'f> BatchBuilder<'e, 'f> {
                     deadline,
                     thread_budget: handle.budget().cloned(),
                     observer: forward.as_mut().map(|f| f as &mut dyn ProgressObserver),
+                    memory: self.memory.as_ref().map(crate::memory::MemoryBudget::lease),
                     ..SearchControl::default()
                 };
                 engine.run_request(property, options, &mut control)

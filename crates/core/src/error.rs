@@ -78,6 +78,18 @@ pub enum VerifasError {
         /// What was wrong.
         message: String,
     },
+    /// A memory-budgeted search ran out of its byte budget
+    /// ([`crate::memory::MemoryBudget`]) and stopped at a round boundary —
+    /// a graceful, typed degradation instead of an OOM abort.  Carries
+    /// what the search had explored so the caller can report progress.
+    ResourceExhausted {
+        /// States the search had created when the budget ran out.
+        states: usize,
+        /// Estimated resident bytes of the search at that point.
+        bytes: usize,
+        /// The byte budget that was exceeded.
+        limit_bytes: usize,
+    },
 }
 
 impl fmt::Display for VerifasError {
@@ -99,6 +111,17 @@ impl fmt::Display for VerifasError {
             }
             VerifasError::Spec { span, message } => {
                 write!(f, "specification syntax error at {span}: {message}")
+            }
+            VerifasError::ResourceExhausted {
+                states,
+                bytes,
+                limit_bytes,
+            } => {
+                write!(
+                    f,
+                    "memory budget exhausted: search held ~{bytes} bytes of a \
+                     {limit_bytes}-byte budget after exploring {states} states"
+                )
             }
         }
     }

@@ -20,6 +20,8 @@
 //!   (Appendix C),
 //! * [`schedule`] — the sharded batch scheduler: adaptive core
 //!   partitioning between batch width and per-search depth,
+//! * [`memory`] — byte-accounted memory budgets: searches lease from a
+//!   shared pool and degrade to a typed error instead of an OOM abort,
 //! * [`verifier`] — the user-facing API tying everything together,
 //! * [`delta`] — structural spec diffing and the transition memo behind
 //!   incremental re-verification ([`engine::Engine::load_delta`]),
@@ -38,6 +40,7 @@ pub mod eval;
 pub mod expr;
 pub mod index;
 pub mod json;
+pub mod memory;
 pub mod observer;
 pub mod pit;
 pub mod product;
@@ -61,6 +64,7 @@ pub use engine::{
 pub use error::{SourceSpan, VerifasError, VALID_OPTIMIZATIONS};
 pub use expr::{ExprHead, ExprId, ExprSort, ExprUniverse};
 pub use json::{Json, JsonError};
+pub use memory::{MemoryBudget, MemoryLease};
 pub use observer::{CancelToken, Phase, ProgressEvent, ProgressObserver, SearchControl};
 pub use pit::{Edge, Pit, PitBuilder};
 pub use product::{ProductState, ProductSuccessor, ProductSystem};

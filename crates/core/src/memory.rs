@@ -1,0 +1,167 @@
+//! Byte-accounted memory budgeting for searches and caches.
+//!
+//! A long-lived verification service cannot let one pathological spec
+//! OOM the process: the search state of a Karp–Miller run (nodes,
+//! interned stored types, successor logs) grows with the explored tree,
+//! and a server runs many of them concurrently over one heap.  This
+//! module gives the server a *budget* — a shared byte pool — and each
+//! search a *lease* on it:
+//!
+//! * [`MemoryBudget`] — a cloneable handle on a shared pool of
+//!   `limit_bytes`.  Creating it costs nothing; it only tracks a
+//!   counter.  All figures are deterministic *estimates* (fixed
+//!   per-structure constants times element counts), never allocator
+//!   probes, so a budgeted run behaves identically on every host.
+//! * [`MemoryLease`] — one search's slice of the pool.  The search
+//!   reports its estimated resident size at round boundaries
+//!   ([`MemoryLease::resize`]); the lease holds the delta against the
+//!   pool and releases everything on drop.  The first failed resize
+//!   trips a sticky `exhausted` flag that the owning engine request
+//!   (`Engine::run_request`) turns into a typed
+//!   [`crate::error::VerifasError::ResourceExhausted`] — the search
+//!   itself just stops at the next boundary, exactly like a state or
+//!   time limit.
+//!
+//! Polling happens only at plan/apply round boundaries (`search.rs`)
+//! and edge-construction wave boundaries (`repeated.rs`), the same
+//! places the thread budget is re-read: the search path taken is
+//! byte-identical with or without a budget installed — a budget can
+//! only *truncate* a run, never steer it.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared pool of accounted bytes (see the module docs).
+#[derive(Clone, Debug)]
+pub struct MemoryBudget {
+    limit_bytes: usize,
+    used: Arc<AtomicUsize>,
+}
+
+impl MemoryBudget {
+    /// A pool of `limit_bytes` (clamped to ≥ 1 so "0" cannot mean
+    /// "unlimited" by accident — pass no budget at all for that).
+    pub fn new(limit_bytes: usize) -> Self {
+        MemoryBudget {
+            limit_bytes: limit_bytes.max(1),
+            used: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The pool size in bytes.
+    pub fn limit_bytes(&self) -> usize {
+        self.limit_bytes
+    }
+
+    /// Currently accounted bytes across every live lease.
+    pub fn used_bytes(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// A fresh lease holding zero bytes.
+    pub fn lease(&self) -> MemoryLease {
+        MemoryLease {
+            budget: self.clone(),
+            held: AtomicUsize::new(0),
+            exhausted: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+/// One search's slice of a [`MemoryBudget`] (see the module docs).
+///
+/// Interior mutability throughout: a lease is shared by `&` through
+/// [`crate::observer::SearchControl`] across worker threads, but only
+/// the coordinator calls [`MemoryLease::resize`] (at round boundaries),
+/// so the relaxed read-modify-write cycle below is single-writer.
+#[derive(Debug)]
+pub struct MemoryLease {
+    budget: MemoryBudget,
+    held: AtomicUsize,
+    exhausted: Arc<AtomicBool>,
+}
+
+impl MemoryLease {
+    /// Re-account this lease at `bytes`.  Returns `false` — and trips
+    /// the sticky [`MemoryLease::exhausted`] flag — when growing to
+    /// `bytes` would push the pool past its limit; the failed delta is
+    /// rolled back so the pool stays consistent for other leases.
+    pub fn resize(&self, bytes: usize) -> bool {
+        let held = self.held.load(Ordering::Relaxed);
+        if bytes > held {
+            let grow = bytes - held;
+            let before = self.budget.used.fetch_add(grow, Ordering::Relaxed);
+            if before + grow > self.budget.limit_bytes {
+                self.budget.used.fetch_sub(grow, Ordering::Relaxed);
+                self.exhausted.store(true, Ordering::Relaxed);
+                return false;
+            }
+            self.held.store(bytes, Ordering::Relaxed);
+        } else {
+            self.budget.used.fetch_sub(held - bytes, Ordering::Relaxed);
+            self.held.store(bytes, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Bytes this lease currently holds against the pool.
+    pub fn held_bytes(&self) -> usize {
+        self.held.load(Ordering::Relaxed)
+    }
+
+    /// The pool's limit (for error reports).
+    pub fn limit_bytes(&self) -> usize {
+        self.budget.limit_bytes
+    }
+
+    /// Whether any resize of this lease ever failed.  Sticky: once the
+    /// budget refused a grow, the run is over-budget even if later
+    /// rounds would fit again.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for MemoryLease {
+    fn drop(&mut self) {
+        let held = self.held.load(Ordering::Relaxed);
+        self.budget.used.fetch_sub(held, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_account_against_one_pool() {
+        let budget = MemoryBudget::new(1000);
+        let a = budget.lease();
+        let b = budget.lease();
+        assert!(a.resize(400));
+        assert!(b.resize(500));
+        assert_eq!(budget.used_bytes(), 900);
+        // Growing past the pool fails, rolls back, and trips the flag.
+        assert!(!a.resize(600));
+        assert_eq!(budget.used_bytes(), 900);
+        assert!(a.exhausted());
+        assert!(!b.exhausted());
+        // Shrinking always succeeds and frees pool space.
+        assert!(b.resize(100));
+        assert_eq!(budget.used_bytes(), 500);
+        drop(a);
+        assert_eq!(budget.used_bytes(), 100);
+        drop(b);
+        assert_eq!(budget.used_bytes(), 0);
+    }
+
+    #[test]
+    fn exhaustion_is_sticky() {
+        let budget = MemoryBudget::new(10);
+        let lease = budget.lease();
+        assert!(!lease.resize(100));
+        // A later resize that fits does not clear the verdict.
+        assert!(lease.resize(5));
+        assert!(lease.exhausted());
+    }
+}

@@ -19,6 +19,7 @@
 //! `Inconclusive`, or `Violated` when a violation was already in hand —
 //! with [`crate::search::SearchStats::cancelled`] set.
 
+use crate::memory::MemoryLease;
 use crate::schedule::ThreadBudget;
 use crate::search::SearchStats;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -154,6 +155,13 @@ pub struct SearchControl<'o> {
     /// wave boundary), so a batch can grow or shrink a running search's
     /// worker pool without changing its result.
     pub thread_budget: Option<ThreadBudget>,
+    /// A lease on a server-wide [`crate::memory::MemoryBudget`].  When
+    /// set, the search re-accounts its estimated resident bytes at
+    /// every round boundary (and the repeated-reachability edge
+    /// construction at every wave boundary) and stops — like a state
+    /// limit — once the pool refuses a grow.  The sticky verdict is
+    /// read back through [`SearchControl::memory_exhausted`].
+    pub memory: Option<MemoryLease>,
 }
 
 impl<'o> SearchControl<'o> {
@@ -188,6 +196,23 @@ impl<'o> SearchControl<'o> {
         if let Some(budget) = &self.thread_budget {
             budget.report_frontier(width);
         }
+    }
+
+    /// Re-account the run's estimated resident size against the
+    /// installed memory lease.  Returns `false` when the budget refused
+    /// the grow — the caller stops at this boundary, exactly like a
+    /// state limit.  Always `true` when no budget governs this run.
+    pub(crate) fn charge_memory(&self, bytes: usize) -> bool {
+        match &self.memory {
+            Some(lease) => lease.resize(bytes),
+            None => true,
+        }
+    }
+
+    /// Whether the installed memory lease ever refused a grow (sticky;
+    /// `false` when no budget governs this run).
+    pub fn memory_exhausted(&self) -> bool {
+        self.memory.as_ref().is_some_and(MemoryLease::exhausted)
     }
 
     /// `true` when the run was cancelled or its deadline has passed.

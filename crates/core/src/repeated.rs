@@ -472,6 +472,15 @@ fn build_abstract_edges(
         let workers = control.workers_for_round(workers);
         cycle.threads = cycle.threads.max(workers);
         crate::search::ensure_worker_slots(&mut worker_stats, workers);
+        // Memory boundary: the finished search plus the growing edge
+        // lists are this pass's resident set.  A refused grow interrupts
+        // the pass like cancellation (the caller reports limit_reached —
+        // a partial graph must never be cycle-checked).
+        const EDGE_BYTES: usize = 48;
+        if !control.charge_memory(search.estimated_bytes() + cycle.edges * EDGE_BYTES) {
+            cycle.completed = false;
+            break;
+        }
         let end = (processed + wave).min(n);
         let complete = if workers <= 1 || end - processed < 2 * workers {
             // Small waves run inline: the wave split alone bounds the

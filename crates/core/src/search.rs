@@ -288,6 +288,21 @@ impl<'a> KarpMillerSearch<'a> {
         }
     }
 
+    /// Deterministic estimate of this search's resident bytes: fixed
+    /// per-element costs times the tree / interner / successor-log
+    /// sizes — never an allocator probe, so a memory-budgeted run takes
+    /// the same rounds on every host.  The constants approximate the
+    /// in-memory footprint of each element including its heap members
+    /// (counter vectors, children lists, pit edges).
+    pub fn estimated_bytes(&self) -> usize {
+        const NODE_BYTES: usize = 256;
+        const TYPE_BYTES: usize = 192;
+        const LOG_BYTES: usize = 224;
+        self.nodes.len() * NODE_BYTES
+            + self.interner.len() * TYPE_BYTES
+            + self.successor_log.len() * LOG_BYTES
+    }
+
     /// The worker count after resolving the automatic setting.
     fn effective_threads(&self) -> usize {
         match self.threads {
@@ -343,6 +358,14 @@ impl<'a> KarpMillerSearch<'a> {
             workers = control.workers_for_round(configured);
             self.stats.threads = self.stats.threads.max(workers);
             ensure_worker_slots(&mut self.worker_stats, workers);
+            // Memory boundary: re-account the tree against the installed
+            // byte budget.  A refused grow stops the run here — like a
+            // state limit, never an OOM abort; the lease's sticky flag
+            // tells the owner why.
+            if !control.charge_memory(self.estimated_bytes()) {
+                self.stats.limit_reached = true;
+                break 'search SearchOutcome::LimitReached;
+            }
             // Plan phase: speculate on every frontier node in parallel
             // against the frozen tree.  Workers honour the run's own
             // wall-clock budget, so a large frontier cannot overshoot

@@ -1,4 +1,4 @@
-//! Priority classes and admission limits.
+//! Priority classes, admission limits, and the bounded admission queue.
 //!
 //! A multi-tenant verifier serves two very different request shapes: an
 //! editor plugin checking one property on keystroke wants an answer in
@@ -9,13 +9,20 @@
 //! differently at *both* gates:
 //!
 //! * **admission**: each class has its own in-flight limit
-//!   ([`AdmissionLimits`]); an over-limit request is rejected immediately
-//!   with a typed `overloaded` error instead of queueing behind work of
-//!   unknown length, and one class filling up never blocks the other,
+//!   ([`AdmissionLimits`]) and its own bounded FIFO queue
+//!   ([`AdmissionQueue`]).  An over-limit request *queues* — the client
+//!   gets an immediate `queued` frame with its position and a retry
+//!   hint, and its deadline keeps ticking while it waits.  Only queue
+//!   *overflow* is refused with a typed `overloaded` error, and one
+//!   class filling up never blocks the other,
 //! * **core allocation**: while any interactive request is running, every
 //!   batch request is squeezed to a floor of one core (see
 //!   [`crate::arbiter::Arbiter`]) — reclaimed at the next search round
 //!   boundary, not at the next request boundary.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use crate::error::ServeError;
 
@@ -61,13 +68,16 @@ impl PriorityClass {
     }
 }
 
-/// Per-class in-flight request limits.
+/// Per-class in-flight request limits plus the shared queue bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionLimits {
     /// Maximum interactive requests in flight.
     pub max_interactive: usize,
     /// Maximum batch requests in flight.
     pub max_batch: usize,
+    /// Maximum requests *waiting* per class; an arrival that would
+    /// overflow this is the only request the server still refuses.
+    pub queue_depth: usize,
 }
 
 impl Default for AdmissionLimits {
@@ -75,13 +85,14 @@ impl Default for AdmissionLimits {
         AdmissionLimits {
             max_interactive: 8,
             max_batch: 2,
+            queue_depth: 8,
         }
     }
 }
 
 impl AdmissionLimits {
-    /// The limit of one class (clamped to ≥ 1: a server that can admit
-    /// nothing is misconfigured, not protected).
+    /// The in-flight limit of one class (clamped to ≥ 1: a server that
+    /// can admit nothing is misconfigured, not protected).
     pub fn limit(&self, class: PriorityClass) -> usize {
         match class {
             PriorityClass::Interactive => self.max_interactive.max(1),
@@ -100,9 +111,159 @@ impl AdmissionLimits {
     }
 }
 
+/// What [`AdmissionQueue::enqueue`] decided about an arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueued {
+    /// A slot was free: the request is in flight immediately.
+    Admitted,
+    /// The class is at its limit: the request holds a FIFO ticket.
+    Queued {
+        /// Hand this to [`AdmissionQueue::await_turn`].
+        ticket: u64,
+        /// 1-based position in the class's queue at arrival time.
+        position: usize,
+    },
+}
+
+/// How a queued wait ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOutcome {
+    /// The ticket reached the head and a slot freed: now in flight.
+    Admitted,
+    /// The caller's `give_up` predicate fired (deadline or cancel)
+    /// before a slot freed; the ticket has been removed.
+    GaveUp,
+}
+
+#[derive(Default)]
+struct QueueState {
+    in_flight: [usize; 2],
+    waiting: [VecDeque<u64>; 2],
+    next_ticket: u64,
+}
+
+/// The bounded FIFO admission queue (one lane per [`PriorityClass`]).
+///
+/// Replaces refuse-at-limit admission: a request past its class's
+/// in-flight limit waits its turn instead of bouncing, and every slot
+/// release ([`AdmissionQueue::release`]) wakes the waiters so the head
+/// of the lane claims the slot.  Fairness within a class is strict
+/// arrival order; between classes the lanes are independent.
+pub struct AdmissionQueue {
+    limits: AdmissionLimits,
+    state: Mutex<QueueState>,
+    freed: Condvar,
+}
+
+impl AdmissionQueue {
+    /// An empty queue enforcing `limits`.
+    pub fn new(limits: AdmissionLimits) -> Self {
+        AdmissionQueue {
+            limits,
+            state: Mutex::new(QueueState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The limits this queue enforces.
+    pub fn limits(&self) -> &AdmissionLimits {
+        &self.limits
+    }
+
+    /// Admit immediately if a slot is free and nobody is waiting, queue
+    /// a ticket otherwise, refuse only when the class's lane is full.
+    pub fn enqueue(&self, class: PriorityClass) -> Result<Enqueued, ServeError> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        let lane = class.index();
+        if state.waiting[lane].is_empty() && state.in_flight[lane] < self.limits.limit(class) {
+            state.in_flight[lane] += 1;
+            return Ok(Enqueued::Admitted);
+        }
+        let depth = self.limits.queue_depth;
+        if state.waiting[lane].len() >= depth {
+            return Err(ServeError::Overloaded {
+                class,
+                limit: self.limits.limit(class),
+            });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.waiting[lane].push_back(ticket);
+        Ok(Enqueued::Queued {
+            ticket,
+            position: state.waiting[lane].len(),
+        })
+    }
+
+    /// Block until `ticket` reaches the head of its lane and a slot
+    /// frees, or until `give_up` returns true (checked every poll tick,
+    /// so deadlines keep ticking while queued).
+    pub fn await_turn(
+        &self,
+        class: PriorityClass,
+        ticket: u64,
+        mut give_up: impl FnMut() -> bool,
+    ) -> QueueOutcome {
+        let lane = class.index();
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        loop {
+            let at_head = state.waiting[lane].front() == Some(&ticket);
+            if at_head && state.in_flight[lane] < self.limits.limit(class) {
+                state.waiting[lane].pop_front();
+                state.in_flight[lane] += 1;
+                // The next waiter may also have a free slot (e.g. after
+                // a limit of 2 drained to 0): pass the wake-up on.
+                self.freed.notify_all();
+                return QueueOutcome::Admitted;
+            }
+            if give_up() {
+                state.waiting[lane].retain(|&t| t != ticket);
+                self.freed.notify_all();
+                return QueueOutcome::GaveUp;
+            }
+            let (next, _timeout) = self
+                .freed
+                .wait_timeout(state, Duration::from_millis(25))
+                .expect("admission queue poisoned");
+            state = next;
+        }
+    }
+
+    /// Release one in-flight slot of `class` and wake the waiters.
+    pub fn release(&self, class: PriorityClass) {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        let lane = class.index();
+        state.in_flight[lane] = state.in_flight[lane].saturating_sub(1);
+        drop(state);
+        self.freed.notify_all();
+    }
+
+    /// Requests currently waiting in `class`'s lane.
+    pub fn queued_len(&self, class: PriorityClass) -> usize {
+        let state = self.state.lock().expect("admission queue poisoned");
+        state.waiting[class.index()].len()
+    }
+
+    /// Requests of `class` currently holding an in-flight slot.
+    pub fn in_flight(&self, class: PriorityClass) -> usize {
+        let state = self.state.lock().expect("admission queue poisoned");
+        state.in_flight[class.index()]
+    }
+
+    /// A Retry-After-style hint (milliseconds) for a request queued at
+    /// 1-based `position`: a coarse, monotone-in-position estimate, not
+    /// a promise.  Clients should retry *the stream they already hold*
+    /// — the hint exists for clients that would rather disconnect and
+    /// come back.
+    pub fn retry_hint_ms(position: usize) -> u64 {
+        (position as u64 * 100).max(50)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn class_names_round_trip() {
@@ -117,6 +278,7 @@ mod tests {
         let limits = AdmissionLimits {
             max_interactive: 3,
             max_batch: 1,
+            queue_depth: 4,
         };
         assert!(limits.admit(PriorityClass::Batch, 0).is_ok());
         assert_eq!(
@@ -135,8 +297,99 @@ mod tests {
         let limits = AdmissionLimits {
             max_interactive: 0,
             max_batch: 0,
+            queue_depth: 4,
         };
         assert_eq!(limits.limit(PriorityClass::Interactive), 1);
         assert!(limits.admit(PriorityClass::Batch, 0).is_ok());
+    }
+
+    #[test]
+    fn over_limit_requests_queue_and_only_overflow_refuses() {
+        let queue = AdmissionQueue::new(AdmissionLimits {
+            max_interactive: 8,
+            max_batch: 1,
+            queue_depth: 2,
+        });
+        assert_eq!(queue.enqueue(PriorityClass::Batch), Ok(Enqueued::Admitted));
+        let first = queue.enqueue(PriorityClass::Batch).unwrap();
+        let second = queue.enqueue(PriorityClass::Batch).unwrap();
+        assert!(matches!(first, Enqueued::Queued { position: 1, .. }));
+        assert!(matches!(second, Enqueued::Queued { position: 2, .. }));
+        // Lane full: the third waiter is the only refusal left.
+        assert_eq!(
+            queue.enqueue(PriorityClass::Batch),
+            Err(ServeError::Overloaded {
+                class: PriorityClass::Batch,
+                limit: 1
+            })
+        );
+        // A full batch lane never blocks interactive arrivals.
+        assert_eq!(
+            queue.enqueue(PriorityClass::Interactive),
+            Ok(Enqueued::Admitted)
+        );
+    }
+
+    #[test]
+    fn released_slots_admit_waiters_in_fifo_order() {
+        let queue = Arc::new(AdmissionQueue::new(AdmissionLimits {
+            max_interactive: 8,
+            max_batch: 1,
+            queue_depth: 4,
+        }));
+        assert_eq!(queue.enqueue(PriorityClass::Batch), Ok(Enqueued::Admitted));
+        let Ok(Enqueued::Queued { ticket: a, .. }) = queue.enqueue(PriorityClass::Batch) else {
+            panic!("second batch request must queue");
+        };
+        let Ok(Enqueued::Queued { ticket: b, .. }) = queue.enqueue(PriorityClass::Batch) else {
+            panic!("third batch request must queue");
+        };
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let waiters: Vec<_> = [a, b]
+            .into_iter()
+            .map(|ticket| {
+                let queue = Arc::clone(&queue);
+                let order = Arc::clone(&order);
+                std::thread::spawn(move || {
+                    let outcome = queue.await_turn(PriorityClass::Batch, ticket, || false);
+                    assert_eq!(outcome, QueueOutcome::Admitted);
+                    order.lock().unwrap().push(ticket);
+                    queue.release(PriorityClass::Batch);
+                })
+            })
+            .collect();
+        queue.release(PriorityClass::Batch);
+        for waiter in waiters {
+            waiter.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![a, b], "strict arrival order");
+        assert_eq!(queue.in_flight(PriorityClass::Batch), 0);
+        assert_eq!(queue.queued_len(PriorityClass::Batch), 0);
+    }
+
+    #[test]
+    fn giving_up_removes_the_ticket_and_unblocks_the_lane() {
+        let queue = AdmissionQueue::new(AdmissionLimits {
+            max_interactive: 8,
+            max_batch: 1,
+            queue_depth: 4,
+        });
+        assert_eq!(queue.enqueue(PriorityClass::Batch), Ok(Enqueued::Admitted));
+        let Ok(Enqueued::Queued { ticket, .. }) = queue.enqueue(PriorityClass::Batch) else {
+            panic!("second batch request must queue");
+        };
+        // An expired deadline surfaces on the first poll tick.
+        let outcome = queue.await_turn(PriorityClass::Batch, ticket, || true);
+        assert_eq!(outcome, QueueOutcome::GaveUp);
+        assert_eq!(queue.queued_len(PriorityClass::Batch), 0);
+        // The abandoned ticket freed its lane slot for new arrivals.
+        let next = queue.enqueue(PriorityClass::Batch).unwrap();
+        assert!(matches!(next, Enqueued::Queued { position: 1, .. }));
+    }
+
+    #[test]
+    fn retry_hints_grow_with_position() {
+        assert_eq!(AdmissionQueue::retry_hint_ms(1), 100);
+        assert!(AdmissionQueue::retry_hint_ms(5) > AdmissionQueue::retry_hint_ms(1));
     }
 }

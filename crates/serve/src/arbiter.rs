@@ -24,20 +24,25 @@
 //! this preemption-by-rebalance is *advisory only* — it changes when
 //! answers arrive, never what they are.
 //!
-//! Admission control lives here too, because admission and allocation
-//! must agree under one lock: a request is either counted and funded, or
-//! rejected with a typed [`ServeError::Overloaded`] before it touches an
-//! engine.
+//! Admission gating does **not** live here: whether a request may run
+//! now, must wait, or is refused is the
+//! [`crate::admission::AdmissionQueue`]'s call.  The arbiter's two-step
+//! API reflects that split: [`Arbiter::allocate`] mints a request id
+//! immediately (so a queued request can already be named in its `queued`
+//! frame and cancelled while waiting), and [`Arbiter::fund`] — called
+//! only once the queue admits the request — enters it into the core
+//! split.  A request that gives up while queued is never funded and
+//! never perturbs running allocations.
 
-use crate::admission::{AdmissionLimits, PriorityClass};
-use crate::error::ServeError;
+use crate::admission::PriorityClass;
 use std::sync::Mutex;
 use verifas_core::SchedulerHandle;
 
-/// Identifies one admitted request for the lifetime of the server.
+/// Identifies one request for the lifetime of the server — minted at
+/// arrival ([`Arbiter::allocate`]), before any slot is held.
 pub type RequestId = u64;
 
-/// What [`Arbiter::admit`] hands an admitted request.
+/// What [`Arbiter::fund`] hands an admitted request.
 #[derive(Debug, Clone)]
 pub struct Admission {
     /// The request's server-wide id (also used to cancel/release it).
@@ -65,20 +70,17 @@ struct ArbiterState {
     entries: Vec<Entry>,
 }
 
-/// The server-global core budget and admission gate (see module docs).
+/// The server-global core budget (see module docs).
 pub struct Arbiter {
     total_cores: usize,
-    limits: AdmissionLimits,
     state: Mutex<ArbiterState>,
 }
 
 impl Arbiter {
-    /// An arbiter distributing `total_cores` (clamped to ≥ 1) under the
-    /// given per-class admission limits.
-    pub fn new(total_cores: usize, limits: AdmissionLimits) -> Self {
+    /// An arbiter distributing `total_cores` (clamped to ≥ 1).
+    pub fn new(total_cores: usize) -> Self {
         Arbiter {
             total_cores: total_cores.max(1),
-            limits,
             state: Mutex::new(ArbiterState::default()),
         }
     }
@@ -88,26 +90,25 @@ impl Arbiter {
         self.total_cores
     }
 
-    /// The configured admission limits.
-    pub fn limits(&self) -> AdmissionLimits {
-        self.limits
-    }
-
-    /// Admit one request of `class`, or refuse with
-    /// [`ServeError::Overloaded`] when the class is at its in-flight
-    /// limit.  Admission immediately re-splits the core budget, shrinking
-    /// running requests' schedulers where the new arrival takes cores
-    /// from them.
-    pub fn admit(&self, class: PriorityClass) -> Result<Admission, ServeError> {
+    /// Mint the next request id.  Costs nothing and never fails: ids
+    /// exist so that queued (not yet funded) requests can be streamed
+    /// about and cancelled.
+    pub fn allocate(&self) -> RequestId {
         let mut state = lock(&self.state);
-        let in_flight = state
-            .entries
-            .iter()
-            .filter(|entry| entry.class == class)
-            .count();
-        self.limits.admit(class, in_flight)?;
         let id = state.next_id;
         state.next_id += 1;
+        id
+    }
+
+    /// Enter an admitted request into the core split.  Funding
+    /// immediately re-splits the budget, shrinking running requests'
+    /// schedulers where the new arrival takes cores from them.
+    ///
+    /// Call only after the admission queue granted the request a slot;
+    /// the arbiter itself imposes no limit (every funded request gets
+    /// its one-core floor).
+    pub fn fund(&self, id: RequestId, class: PriorityClass) -> Admission {
+        let mut state = lock(&self.state);
         state.entries.push(Entry {
             id,
             class,
@@ -116,16 +117,17 @@ impl Arbiter {
         });
         self.rebalance(&mut state);
         let entry = state.entries.last().expect("entry just pushed");
-        Ok(Admission {
+        Admission {
             id,
             handle: entry.handle.clone(),
             cores: entry.desired,
-        })
+        }
     }
 
     /// Release a finished (or failed, or cancelled) request and return
     /// its cores to the pool.  Unknown ids are ignored, so release is
-    /// idempotent.
+    /// idempotent — and safe to call for ids that were allocated but
+    /// never funded.
     pub fn release(&self, id: RequestId) {
         let mut state = lock(&self.state);
         let before = state.entries.len();
@@ -135,9 +137,9 @@ impl Arbiter {
         }
     }
 
-    /// The cores currently allocated to `id`, if it is still in flight.
-    /// Read this just before starting the batch: a revision between
-    /// admission and start is then already reflected in `batch_threads`.
+    /// The cores currently allocated to `id`, if it is funded.  Read
+    /// this just before starting the batch: a revision between funding
+    /// and start is then already reflected in `batch_threads`.
     pub fn desired(&self, id: RequestId) -> Option<usize> {
         lock(&self.state)
             .entries
@@ -146,7 +148,7 @@ impl Arbiter {
             .map(|entry| entry.desired)
     }
 
-    /// In-flight request count of one class.
+    /// Funded (running) request count of one class.
     pub fn in_flight(&self, class: PriorityClass) -> usize {
         lock(&self.state)
             .entries
@@ -157,7 +159,7 @@ impl Arbiter {
 
     /// Recompute every entry's allocation and push it through the
     /// entries' scheduler handles.  Called with the state lock held, so
-    /// admission, release and allocation are always mutually consistent.
+    /// funding, release and allocation are always mutually consistent.
     fn rebalance(&self, state: &mut ArbiterState) {
         let interactive: Vec<usize> = indices_of(state, PriorityClass::Interactive);
         let batch: Vec<usize> = indices_of(state, PriorityClass::Batch);
@@ -225,34 +227,29 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 mod tests {
     use super::*;
 
-    fn arbiter(cores: usize) -> Arbiter {
-        Arbiter::new(
-            cores,
-            AdmissionLimits {
-                max_interactive: 4,
-                max_batch: 2,
-            },
-        )
+    fn fund(arb: &Arbiter, class: PriorityClass) -> Admission {
+        let id = arb.allocate();
+        arb.fund(id, class)
     }
 
     #[test]
     fn batch_requests_split_cores_evenly_until_interactive_arrives() {
-        let arb = arbiter(8);
-        let b1 = arb.admit(PriorityClass::Batch).unwrap();
+        let arb = Arbiter::new(8);
+        let b1 = fund(&arb, PriorityClass::Batch);
         assert_eq!(b1.cores, 8);
-        let b2 = arb.admit(PriorityClass::Batch).unwrap();
-        // Admitting the second batch halves the first.
+        let b2 = fund(&arb, PriorityClass::Batch);
+        // Funding the second batch halves the first.
         assert_eq!((arb.desired(b1.id), b2.cores), (Some(4), 4));
 
         // An interactive arrival squeezes every batch to one core and
         // takes the rest.
-        let i1 = arb.admit(PriorityClass::Interactive).unwrap();
+        let i1 = fund(&arb, PriorityClass::Interactive);
         assert_eq!(i1.cores, 6);
         assert_eq!(arb.desired(b1.id), Some(1));
         assert_eq!(arb.desired(b2.id), Some(1));
 
         // A second interactive splits the reclaimed pool.
-        let i2 = arb.admit(PriorityClass::Interactive).unwrap();
+        let i2 = fund(&arb, PriorityClass::Interactive);
         assert_eq!((arb.desired(i1.id), i2.cores), (Some(3), 3));
 
         // Interactive work finishing hands the cores straight back.
@@ -264,66 +261,51 @@ mod tests {
 
     #[test]
     fn remainder_goes_to_earliest_admitted() {
-        let arb = Arbiter::new(
-            7,
-            AdmissionLimits {
-                max_interactive: 4,
-                max_batch: 3,
-            },
-        );
-        let b1 = arb.admit(PriorityClass::Batch).unwrap();
-        let b2 = arb.admit(PriorityClass::Batch).unwrap();
-        let b3 = arb.admit(PriorityClass::Batch).unwrap();
+        let arb = Arbiter::new(7);
+        let b1 = fund(&arb, PriorityClass::Batch);
+        let b2 = fund(&arb, PriorityClass::Batch);
+        let b3 = fund(&arb, PriorityClass::Batch);
         assert_eq!(arb.desired(b1.id), Some(3));
         assert_eq!(arb.desired(b2.id), Some(2));
         assert_eq!(arb.desired(b3.id), Some(2));
     }
 
     #[test]
-    fn over_limit_batch_is_refused_while_interactive_still_admits() {
-        let arb = arbiter(4);
-        let _b1 = arb.admit(PriorityClass::Batch).unwrap();
-        let _b2 = arb.admit(PriorityClass::Batch).unwrap();
-        let refused = arb.admit(PriorityClass::Batch).unwrap_err();
-        assert_eq!(
-            refused,
-            ServeError::Overloaded {
-                class: PriorityClass::Batch,
-                limit: 2
-            }
-        );
-        // The batch class being saturated does not gate interactive.
-        assert!(arb.admit(PriorityClass::Interactive).is_ok());
+    fn allocation_without_funding_never_perturbs_the_split() {
+        let arb = Arbiter::new(8);
+        let b1 = fund(&arb, PriorityClass::Batch);
+        // A queued arrival holds an id but no cores.
+        let queued = arb.allocate();
+        assert_eq!(arb.desired(b1.id), Some(8));
+        assert_eq!(arb.desired(queued), None);
+        // Giving up while queued releases nothing and changes nothing.
+        arb.release(queued);
+        assert_eq!(arb.desired(b1.id), Some(8));
+        // Funding it later is when the split moves.
+        arb.fund(arb.allocate(), PriorityClass::Batch);
+        assert_eq!(arb.desired(b1.id), Some(4));
     }
 
     #[test]
     fn more_requests_than_cores_floor_at_one_each() {
-        let arb = Arbiter::new(
-            2,
-            AdmissionLimits {
-                max_interactive: 4,
-                max_batch: 4,
-            },
-        );
+        let arb = Arbiter::new(2);
         let ids: Vec<_> = (0..4)
-            .map(|_| arb.admit(PriorityClass::Batch).unwrap().id)
+            .map(|_| fund(&arb, PriorityClass::Batch).id)
             .collect();
         for id in &ids {
             assert_eq!(arb.desired(*id), Some(1));
         }
-        let i = arb.admit(PriorityClass::Interactive).unwrap();
+        let i = fund(&arb, PriorityClass::Interactive);
         assert_eq!(i.cores, 1);
     }
 
     #[test]
-    fn release_is_idempotent_and_frees_a_slot() {
-        let arb = arbiter(4);
-        let b1 = arb.admit(PriorityClass::Batch).unwrap();
-        let _b2 = arb.admit(PriorityClass::Batch).unwrap();
-        assert!(arb.admit(PriorityClass::Batch).is_err());
+    fn release_is_idempotent() {
+        let arb = Arbiter::new(4);
+        let b1 = fund(&arb, PriorityClass::Batch);
+        let _b2 = fund(&arb, PriorityClass::Batch);
         arb.release(b1.id);
         arb.release(b1.id);
         assert_eq!(arb.in_flight(PriorityClass::Batch), 1);
-        assert!(arb.admit(PriorityClass::Batch).is_ok());
     }
 }

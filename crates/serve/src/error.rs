@@ -14,13 +14,22 @@ use verifas_core::VerifasError;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// Admission control rejected the request: the class already has
-    /// `limit` requests in flight.  Maps to HTTP 429; the client should
-    /// retry later (or resubmit as the other class, where policy allows).
+    /// `limit` requests in flight *and* its admission queue is full.
+    /// (An over-limit request with queue room waits its turn instead;
+    /// see [`crate::admission::AdmissionQueue`].)  Maps to HTTP 429; the
+    /// client should back off and retry later (or resubmit as the other
+    /// class, where policy allows).
     Overloaded {
         /// The class whose limit was hit.
         class: PriorityClass,
         /// The configured in-flight limit of that class.
         limit: usize,
+    },
+    /// The request body exceeds the server's size limit.  Maps to
+    /// HTTP 413.
+    PayloadTooLarge {
+        /// The configured maximum body size, in bytes.
+        limit_bytes: usize,
     },
     /// The request envelope is malformed (missing member, wrong type,
     /// unknown class name, invalid JSON).  Maps to HTTP 400.
@@ -46,6 +55,7 @@ impl ServeError {
     pub fn kind(&self) -> &'static str {
         match self {
             ServeError::Overloaded { .. } => "overloaded",
+            ServeError::PayloadTooLarge { .. } => "payload_too_large",
             ServeError::BadRequest { .. } => "bad_request",
             ServeError::Spec(_) => "spec",
             ServeError::UnknownProperty { .. } => "unknown_property",
@@ -61,6 +71,9 @@ impl fmt::Display for ServeError {
                 "over capacity: {limit} {} requests already in flight",
                 class.name()
             ),
+            ServeError::PayloadTooLarge { limit_bytes } => {
+                write!(f, "request body exceeds the {limit_bytes}-byte limit")
+            }
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             ServeError::Spec(e) => write!(f, "{e}"),
             ServeError::UnknownProperty { name } => {

@@ -1,11 +1,14 @@
 //! The gateway: the transport-independent heart of `verifas serve`.
 //!
-//! A [`Gateway`] owns the four server-global components — the
-//! [`SessionCache`] of loaded engines, the core-budget [`Arbiter`], the
-//! [`Metrics`] registry and the table of cancellable in-flight requests
-//! — and runs one verification request end to end: compile, admit, look
-//! up (or load) the session, stream per-property frames as searches
-//! finish, emit the terminal `done` frame, release the cores.
+//! A [`Gateway`] owns the server-global components — the
+//! [`SessionCache`] of loaded engines, the [`AdmissionQueue`] that holds
+//! over-limit requests instead of refusing them, the core-budget
+//! [`Arbiter`], the optional [`MemoryBudget`] that byte-accounts live
+//! search state, the [`Metrics`] registry and the table of cancellable
+//! in-flight requests — and runs one verification request end to end:
+//! compile, look up (or load) the session, admit or queue, stream
+//! per-property frames as searches finish, emit the terminal `done`
+//! frame, release the cores.
 //!
 //! It is deliberately transport-free: [`Gateway::submit`] writes frames
 //! through a caller-supplied sink, so the HTTP layer (`crate::http`),
@@ -13,18 +16,29 @@
 //! path.  `submit` runs on the *caller's* thread — the server's
 //! connection pool provides the concurrency, and the arbiter decides how
 //! many cores each concurrent call may use.
+//!
+//! Every resource a request holds — its admission slot, its core lease,
+//! its cancel-table entry, its terminal lifecycle counter — is released
+//! by a single RAII guard, so no exit path (including a panic unwinding
+//! out of the engine, e.g. one injected by a [`FaultPlan`]) can leak a
+//! gauge.
 
-use crate::admission::{AdmissionLimits, PriorityClass};
+use crate::admission::{AdmissionLimits, AdmissionQueue, Enqueued, PriorityClass, QueueOutcome};
 use crate::arbiter::{Arbiter, RequestId};
 use crate::error::ServeError;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::metrics::{type_line, write_metric, Metrics, RequestOutcome};
 use crate::protocol::{
-    admitted_frame, done_frame, hash_frame, report_error_frame, report_frame, VerifyRequest,
+    admitted_frame, done_frame, hash_frame, queued_frame, report_error_frame, report_frame,
+    VerifyRequest,
 };
 use crate::session::SessionCache;
-use std::sync::Mutex;
-use std::time::Duration;
-use verifas_core::{spec_hash, spec_hash_hex, BatchSummary, CancelToken, ReuseMode};
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use verifas_core::{
+    spec_hash, spec_hash_hex, BatchSummary, CancelToken, MemoryBudget, ReuseMode, VerifasError,
+};
 use verifas_ltl::LtlFoProperty;
 use verifas_spec::compile;
 
@@ -39,7 +53,7 @@ pub struct ServeConfig {
     pub cores: usize,
     /// How many loaded engine sessions the LRU keeps.
     pub sessions: usize,
-    /// Per-class admission limits.
+    /// Per-class admission limits and queue depth.
     pub limits: AdmissionLimits,
     /// How much an edited spec reuses from a delta-compatible cached
     /// session (see [`verifas_core::ReuseMode`]).  The default,
@@ -48,6 +62,14 @@ pub struct ServeConfig {
     /// [`ReuseMode::Replay`] additionally records and replays transition
     /// enumerations.
     pub reuse: ReuseMode,
+    /// Soft server-wide memory budget, in bytes.  When non-zero, live
+    /// search state is byte-accounted against one shared
+    /// [`MemoryBudget`] — a search that would push past it degrades to a
+    /// typed [`VerifasError::ResourceExhausted`] report error instead of
+    /// growing without bound — and the session cache additionally evicts
+    /// by resident-byte estimate toward the same figure.  `0` (the
+    /// default) disables memory accounting.
+    pub memory_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +79,7 @@ impl Default for ServeConfig {
             sessions: 8,
             limits: AdmissionLimits::default(),
             reuse: ReuseMode::Preproc,
+            memory_bytes: 0,
         }
     }
 }
@@ -64,23 +87,49 @@ impl Default for ServeConfig {
 /// The transport-independent server core (see module docs).
 pub struct Gateway {
     sessions: SessionCache,
+    queue: AdmissionQueue,
     arbiter: Arbiter,
     metrics: Metrics,
     reuse: ReuseMode,
-    /// Cancel tokens of in-flight requests, so `/v1/cancel` (and server
-    /// shutdown) can stop every search of a running batch.
+    memory: Option<MemoryBudget>,
+    faults: Option<Arc<FaultPlan>>,
+    /// Cancel tokens of queued and running requests, so `/v1/cancel`
+    /// (and server shutdown) can stop every search of a running batch —
+    /// and pull a still-waiting request out of the admission queue.
     active: Mutex<Vec<(RequestId, CancelToken)>>,
 }
 
 impl Gateway {
-    /// A gateway with the given configuration.
+    /// A gateway with the given configuration and no fault injection.
     pub fn new(config: ServeConfig) -> Self {
+        Gateway::with_faults(config, None)
+    }
+
+    /// A gateway with the given configuration and an optional seeded
+    /// [`FaultPlan`] (chaos tests and `verifas serve --fault-plan`).
+    pub fn with_faults(config: ServeConfig, faults: Option<Arc<FaultPlan>>) -> Self {
         Gateway {
-            sessions: SessionCache::new(config.sessions),
-            arbiter: Arbiter::new(config.cores, config.limits),
+            sessions: SessionCache::with_max_bytes(config.sessions, config.memory_bytes),
+            queue: AdmissionQueue::new(config.limits),
+            arbiter: Arbiter::new(config.cores),
             metrics: Metrics::new(),
             reuse: config.reuse,
+            memory: (config.memory_bytes > 0).then(|| MemoryBudget::new(config.memory_bytes)),
+            faults,
             active: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Does the fault plan (if any) fire at `site` right now?  Counts
+    /// every fired fault in the metrics registry.  Public so the HTTP
+    /// layer can drive its socket-level fault sites off the same plan.
+    pub fn fault_fires(&self, site: FaultSite) -> bool {
+        match &self.faults {
+            Some(plan) if plan.fires(site) => {
+                self.metrics.fault_injected();
+                true
+            }
+            _ => false,
         }
     }
 
@@ -88,42 +137,96 @@ impl Gateway {
     /// through `emit` as they are produced.
     ///
     /// Errors are only returned *before* the first frame is emitted
-    /// (compile failure, unknown property, admission refusal) — the
-    /// transport can still map them to a status code.  Once the
-    /// `admitted` frame is out, every later failure is a per-property
-    /// `report` frame with an `error` member, and the stream always ends
-    /// with a `done` frame.
+    /// (compile failure, unknown property, spec-load failure, admission
+    /// refusal on queue overflow) — the transport can still map them to
+    /// a status code.  Once the first frame (`queued` or `admitted`) is
+    /// out, every later failure is a per-property `report` frame with an
+    /// `error` member, and the stream always ends with a `done` frame.
     pub fn submit(
         &self,
         request: &VerifyRequest,
         emit: FrameSink<'_>,
     ) -> Result<BatchSummary, ServeError> {
-        let compiled = compile(&request.spec).map_err(verifas_core::VerifasError::from)?;
+        let compiled = compile(&request.spec).map_err(VerifasError::from)?;
         let properties = select_properties(compiled.properties, request.properties.as_deref())?;
         let hash = spec_hash(&compiled.spec);
+        let spec = compiled.spec;
 
-        let admission = self.arbiter.admit(request.class).inspect_err(|_| {
+        // Load (or upgrade) the session *before* admission, so every
+        // typed refusal stays ahead of the first frame.  The eviction
+        // fault site races a forced LRU eviction against the lookup —
+        // the Arc-per-session design must shrug it off.
+        if self.fault_fires(FaultSite::EvictRace) {
+            self.sessions.evict_lru();
+        }
+        let (engine, reuse) = self.sessions.get_or_upgrade(hash, spec, self.reuse)?;
+
+        // Fix the absolute deadline before queueing: time spent waiting
+        // in the admission queue counts against it.  The clock-skew
+        // fault perturbs it here — exactly where a skewed host clock
+        // would.
+        let mut budget_ms = request.deadline_ms.map(|ms| ms as i64);
+        if budget_ms.is_some() && self.fault_fires(FaultSite::ClockSkew) {
+            let skew = self.faults.as_ref().map_or(0, |plan| plan.skew_ms());
+            budget_ms = budget_ms.map(|ms| (ms + skew).max(0));
+        }
+        let deadline = budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms as u64));
+
+        let id = self.arbiter.allocate();
+        let token = CancelToken::new();
+        let enqueued = self.queue.enqueue(request.class).inspect_err(|_| {
             self.metrics.rejected(request.class);
         })?;
-        self.metrics.admitted(request.class);
-        let id = admission.id;
 
-        let spec = compiled.spec;
-        let (engine, reuse) = match self.sessions.get_or_upgrade(hash, spec, self.reuse) {
-            Ok(loaded) => loaded,
-            Err(e) => {
-                self.arbiter.release(id);
-                self.metrics.finished(request.class, RequestOutcome::Failed);
-                return Err(ServeError::Spec(e));
-            }
+        // From here on the request is visible (cancellable even while
+        // queued), and the guard guarantees its admission slot, core
+        // lease, cancel-table entry and terminal lifecycle counter on
+        // *every* exit path — including a panic unwinding through this
+        // frame.
+        lock(&self.active).push((id, token.clone()));
+        let guard = RequestGuard {
+            gateway: self,
+            id,
+            class: request.class,
+            slot: Cell::new(matches!(enqueued, Enqueued::Admitted)),
+            outcome: Cell::new(None),
         };
 
-        let token = CancelToken::new();
-        lock(&self.active).push((id, token.clone()));
+        if let Enqueued::Queued { ticket, position } = enqueued {
+            self.metrics.queued(request.class);
+            emit(&queued_frame(
+                id,
+                request.class,
+                position,
+                AdmissionQueue::retry_hint_ms(position),
+            ));
+            let waited = self.queue.await_turn(request.class, ticket, || {
+                token.is_cancelled() || deadline.is_some_and(|at| Instant::now() >= at)
+            });
+            match waited {
+                QueueOutcome::Admitted => guard.slot.set(true),
+                QueueOutcome::GaveUp => {
+                    // Cancelled or expired while still waiting: nothing
+                    // ran, so the batch reports itself fully aborted.
+                    let summary = BatchSummary {
+                        properties: properties.len(),
+                        completed: 0,
+                        cancelled: properties.len(),
+                        errors: 0,
+                        aborted: true,
+                    };
+                    emit(&done_frame(id, &summary));
+                    guard.outcome.set(Some(RequestOutcome::Cancelled));
+                    return Ok(summary);
+                }
+            }
+        }
 
-        // Between admission and start the arbiter may already have
-        // revised our allocation (another request arrived); read the live
-        // value so the first round runs at the arbitrated width.
+        self.metrics.admitted(request.class);
+        let admission = self.arbiter.fund(id, request.class);
+        // Between funding and start the arbiter may already have revised
+        // our allocation (another request arrived); read the live value
+        // so the first round runs at the arbitrated width.
         let cores = self.arbiter.desired(id).unwrap_or(admission.cores);
         emit(&admitted_frame(
             id,
@@ -135,19 +238,35 @@ impl Gateway {
         ));
 
         let on_event = |_index: usize, event: &verifas_core::ProgressEvent| {
+            // The worker-panic fault site detonates inside a search
+            // worker; the engine's per-job containment must turn it into
+            // a typed per-property error without losing the batch.
+            if self.fault_fires(FaultSite::WorkerPanic) {
+                panic!("injected fault: worker panic mid-search");
+            }
             self.metrics.observe_event(event);
         };
-        let mut on_result = |index: usize,
-                             result: &Result<
-            verifas_core::VerificationReport,
-            verifas_core::VerifasError,
-        >| {
-            match result {
-                Ok(report) => emit(&report_frame(id, index, report)),
-                Err(e) => emit(&report_error_frame(id, index, &e.to_string())),
-            }
-            self.metrics.report_streamed();
-        };
+        let mut on_result =
+            |index: usize, result: &Result<verifas_core::VerificationReport, VerifasError>| {
+                match result {
+                    Ok(report) => emit(&report_frame(id, index, report)),
+                    Err(e) => {
+                        match e {
+                            VerifasError::ResourceExhausted { .. } => {
+                                self.metrics.resource_exhausted();
+                            }
+                            VerifasError::Internal { reason }
+                                if reason.contains("worker panicked") =>
+                            {
+                                self.metrics.worker_panicked();
+                            }
+                            _ => {}
+                        }
+                        emit(&report_error_frame(id, index, &e.to_string()));
+                    }
+                }
+                self.metrics.report_streamed();
+            };
         let mut batch = engine
             .batch()
             .batch_threads(cores)
@@ -155,21 +274,23 @@ impl Gateway {
             .scheduler_handle(&admission.handle)
             .on_event(&on_event)
             .on_result(&mut on_result);
-        if let Some(ms) = request.deadline_ms {
-            batch = batch.deadline(Duration::from_millis(ms));
+        if let Some(budget) = &self.memory {
+            batch = batch.memory_budget(budget);
+        }
+        if let Some(at) = deadline {
+            batch = batch.deadline(at.saturating_duration_since(Instant::now()));
         }
         let (_results, summary) = batch.run_with_summary(&properties);
 
         emit(&done_frame(id, &summary));
-        lock(&self.active).retain(|(active_id, _)| *active_id != id);
-        self.arbiter.release(id);
-        self.metrics.finished(request.class, outcome_of(&summary));
+        guard.outcome.set(Some(outcome_of(&summary)));
         Ok(summary)
     }
 
-    /// Cancel an in-flight request by id.  Returns whether the id was
-    /// found (an unknown or already-finished id is not an error: the
-    /// race between completion and cancellation is inherent).
+    /// Cancel an in-flight (or still-queued) request by id.  Returns
+    /// whether the id was found (an unknown or already-finished id is
+    /// not an error: the race between completion and cancellation is
+    /// inherent).
     pub fn cancel(&self, id: RequestId) -> bool {
         let active = lock(&self.active);
         match active.iter().find(|(active_id, _)| *active_id == id) {
@@ -194,7 +315,7 @@ impl Gateway {
     /// Compile `source` and return `(spec name, canonical hash)` — the
     /// `/v1/hash` endpoint and the `verifas hash` subcommand.
     pub fn hash_text(&self, source: &str) -> Result<(String, String), ServeError> {
-        let compiled = compile(source).map_err(verifas_core::VerifasError::from)?;
+        let compiled = compile(source).map_err(VerifasError::from)?;
         Ok((compiled.spec.name.clone(), spec_hash_hex(&compiled.spec)))
     }
 
@@ -244,6 +365,13 @@ impl Gateway {
             &[],
             stats.cached as u64,
         );
+        type_line(&mut out, "verifas_session_cache_resident_bytes", "gauge");
+        write_metric(
+            &mut out,
+            "verifas_session_cache_resident_bytes",
+            &[],
+            self.sessions.resident_bytes() as u64,
+        );
         type_line(&mut out, "verifas_requests_in_flight", "gauge");
         for class in PriorityClass::ALL {
             write_metric(
@@ -253,12 +381,35 @@ impl Gateway {
                 self.arbiter.in_flight(class) as u64,
             );
         }
+        type_line(&mut out, "verifas_queue_depth", "gauge");
+        for class in PriorityClass::ALL {
+            write_metric(
+                &mut out,
+                "verifas_queue_depth",
+                &[("class", class.name())],
+                self.queue.queued_len(class) as u64,
+            );
+        }
         type_line(&mut out, "verifas_cores_total", "gauge");
         write_metric(
             &mut out,
             "verifas_cores_total",
             &[],
             self.arbiter.total_cores() as u64,
+        );
+        type_line(&mut out, "verifas_memory_budget_bytes", "gauge");
+        write_metric(
+            &mut out,
+            "verifas_memory_budget_bytes",
+            &[],
+            self.memory.as_ref().map_or(0, MemoryBudget::limit_bytes) as u64,
+        );
+        type_line(&mut out, "verifas_memory_used_bytes", "gauge");
+        write_metric(
+            &mut out,
+            "verifas_memory_used_bytes",
+            &[],
+            self.memory.as_ref().map_or(0, MemoryBudget::used_bytes) as u64,
         );
         // Incremental-reuse counters (process-wide, from the core's
         // counter registry — session upgrades are what drive them here).
@@ -304,6 +455,11 @@ impl Gateway {
         &self.sessions
     }
 
+    /// The admission queue (tests and diagnostics).
+    pub fn queue(&self) -> &AdmissionQueue {
+        &self.queue
+    }
+
     /// The core arbiter (tests and diagnostics).
     pub fn arbiter(&self) -> &Arbiter {
         &self.arbiter
@@ -312,6 +468,42 @@ impl Gateway {
     /// The counter registry (tests and diagnostics).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The fault plan, when one is installed (tests and diagnostics).
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+}
+
+/// Releases everything one request holds — its cancel-table entry, its
+/// admission-queue slot, its core lease — and records its terminal
+/// lifecycle counter, exactly once, on every exit path out of
+/// [`Gateway::submit`].  Cleanup lives in `Drop` so a panic unwinding
+/// through the request path (a real bug, or a [`FaultPlan`] detonation)
+/// can never leak a gauge.
+struct RequestGuard<'g> {
+    gateway: &'g Gateway,
+    id: RequestId,
+    class: PriorityClass,
+    /// Whether the request currently holds an in-flight admission slot.
+    slot: Cell<bool>,
+    /// The recorded terminal outcome; `None` (a panic escaped before the
+    /// `done` frame) finishes as [`RequestOutcome::Failed`].
+    outcome: Cell<Option<RequestOutcome>>,
+}
+
+impl Drop for RequestGuard<'_> {
+    fn drop(&mut self) {
+        lock(&self.gateway.active).retain(|(active_id, _)| *active_id != self.id);
+        if self.slot.get() {
+            self.gateway.queue.release(self.class);
+        }
+        self.gateway.arbiter.release(self.id);
+        self.gateway.metrics.finished(
+            self.class,
+            self.outcome.get().unwrap_or(RequestOutcome::Failed),
+        );
     }
 }
 
@@ -395,6 +587,15 @@ property "never-done" on Root {
         }
     }
 
+    fn frame_kind(line: &str) -> String {
+        Json::parse(line)
+            .unwrap()
+            .get("frame")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned()
+    }
+
     #[test]
     fn submit_streams_admitted_reports_done() {
         let gateway = Gateway::new(ServeConfig {
@@ -413,8 +614,10 @@ property "never-done" on Root {
         assert_eq!(summary.properties, 2);
         assert_eq!(summary.completed, 2);
         assert!(!summary.aborted);
-        // The request released its cores and its cancel slot.
+        // The request released its cores, its queue slot and its cancel
+        // slot.
         assert_eq!(gateway.arbiter().in_flight(PriorityClass::Interactive), 0);
+        assert_eq!(gateway.queue().in_flight(PriorityClass::Interactive), 0);
         assert!(lock(&gateway.active).is_empty());
     }
 
@@ -527,8 +730,157 @@ property "reaches-done" on Root {
                 name: "nope".to_owned()
             }
         );
-        // Refused before admission: nothing leaked into the arbiter.
+        // Refused before admission: nothing leaked into the arbiter or
+        // the queue.
         assert_eq!(gateway.arbiter().in_flight(PriorityClass::Interactive), 0);
+        assert_eq!(gateway.queue().in_flight(PriorityClass::Interactive), 0);
+    }
+
+    #[test]
+    fn an_over_limit_request_queues_then_runs() {
+        let gateway = Gateway::new(ServeConfig {
+            cores: 2,
+            limits: AdmissionLimits {
+                max_interactive: 1,
+                max_batch: 1,
+                queue_depth: 4,
+            },
+            ..ServeConfig::default()
+        });
+        // Occupy the single interactive slot directly, so the submit
+        // below must queue behind it.
+        assert!(matches!(
+            gateway.queue().enqueue(PriorityClass::Interactive).unwrap(),
+            Enqueued::Admitted
+        ));
+        std::thread::scope(|scope| {
+            let gateway = &gateway;
+            let worker = scope.spawn(move || collected(gateway, &request(SPEC)));
+            // Wait until the request is visibly queued, then free the
+            // slot it is waiting for.
+            while gateway.queue().queued_len(PriorityClass::Interactive) == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            gateway.queue().release(PriorityClass::Interactive);
+            let (frames, summary) = worker.join().unwrap();
+            let kinds: Vec<_> = frames.iter().map(|f| frame_kind(f)).collect();
+            assert_eq!(kinds[0], "queued", "{frames:?}");
+            assert_eq!(kinds[1], "admitted");
+            assert_eq!(kinds.last().unwrap(), "done");
+            let queued = Json::parse(&frames[0]).unwrap();
+            assert_eq!(queued.get("position").and_then(Json::as_u64), Some(1));
+            assert!(queued.get("retry_ms").and_then(Json::as_u64).unwrap() >= 50);
+            assert_eq!(summary.completed, 2);
+        });
+        assert_eq!(gateway.queue().in_flight(PriorityClass::Interactive), 0);
+        assert!(lock(&gateway.active).is_empty());
+        let text = gateway.metrics_text();
+        assert!(text.contains("verifas_requests_queued_total{class=\"interactive\"} 1"));
+    }
+
+    #[test]
+    fn queue_overflow_is_the_only_refusal() {
+        let gateway = Gateway::new(ServeConfig {
+            limits: AdmissionLimits {
+                max_interactive: 1,
+                max_batch: 1,
+                queue_depth: 1,
+            },
+            ..ServeConfig::default()
+        });
+        // Fill the slot and the whole queue.
+        gateway.queue().enqueue(PriorityClass::Interactive).unwrap();
+        assert!(matches!(
+            gateway.queue().enqueue(PriorityClass::Interactive).unwrap(),
+            Enqueued::Queued { .. }
+        ));
+        let err = gateway.submit(&request(SPEC), &|_| {}).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }), "{err:?}");
+        // The refusal leaked nothing.
+        assert_eq!(gateway.arbiter().in_flight(PriorityClass::Interactive), 0);
+        assert!(lock(&gateway.active).is_empty());
+        let text = gateway.metrics_text();
+        assert!(text.contains("verifas_requests_rejected_total{class=\"interactive\"} 1"));
+    }
+
+    #[test]
+    fn a_deadline_expiring_in_the_queue_aborts_cleanly() {
+        let gateway = Gateway::new(ServeConfig {
+            limits: AdmissionLimits {
+                max_interactive: 1,
+                max_batch: 1,
+                queue_depth: 4,
+            },
+            ..ServeConfig::default()
+        });
+        // Occupy the slot and never release it: the queued request's
+        // deadline must expire while it waits.
+        gateway.queue().enqueue(PriorityClass::Interactive).unwrap();
+        let mut req = request(SPEC);
+        req.deadline_ms = Some(1);
+        let (frames, summary) = collected(&gateway, &req);
+        let kinds: Vec<_> = frames.iter().map(|f| frame_kind(f)).collect();
+        assert_eq!(kinds, vec!["queued", "done"], "{frames:?}");
+        assert!(summary.aborted);
+        assert_eq!(summary.completed, 0);
+        // The request never held a slot; the occupier still does.
+        assert_eq!(gateway.queue().in_flight(PriorityClass::Interactive), 1);
+        assert_eq!(gateway.arbiter().in_flight(PriorityClass::Interactive), 0);
+        assert!(lock(&gateway.active).is_empty());
+        let text = gateway.metrics_text();
+        assert!(text.contains(
+            "verifas_requests_finished_total{class=\"interactive\",outcome=\"cancelled\"} 1"
+        ));
+    }
+
+    #[test]
+    fn a_memory_budget_degrades_to_typed_resource_exhaustion() {
+        let gateway = Gateway::new(ServeConfig {
+            memory_bytes: 1,
+            ..ServeConfig::default()
+        });
+        let frames = Mutex::new(Vec::new());
+        let sink = |line: &str| frames.lock().unwrap().push(line.to_owned());
+        let summary = gateway.submit(&request(SPEC), &sink).unwrap();
+        // Every property hit the 1-byte budget: typed report errors, no
+        // abort of the server.
+        assert_eq!(summary.errors, 2, "{summary:?}");
+        let frames = frames.into_inner().unwrap();
+        let report = Json::parse(&frames[1]).unwrap();
+        let message = report.get("error").and_then(Json::as_str).unwrap();
+        assert!(message.contains("memory budget"), "{message}");
+        let text = gateway.metrics_text();
+        assert!(text.contains("verifas_resource_exhausted_total 2"));
+        assert!(text.contains("verifas_memory_budget_bytes 1"));
+    }
+
+    #[test]
+    fn an_injected_worker_panic_is_contained() {
+        let plan = Arc::new(FaultPlan::new(7).with_rate(FaultSite::WorkerPanic, 1));
+        let gateway = Gateway::with_faults(ServeConfig::default(), Some(plan));
+        let (frames, summary) = collected(&gateway, &request(SPEC));
+        // Every search panicked at its first progress event; each panic
+        // became a typed per-property error and the stream still ended
+        // with `done`.
+        assert_eq!(summary.errors, 2, "{summary:?}");
+        assert_eq!(frame_kind(frames.last().unwrap()), "done");
+        let report = Json::parse(&frames[1]).unwrap();
+        let message = report.get("error").and_then(Json::as_str).unwrap();
+        assert!(message.contains("panicked"), "{message}");
+        // Nothing leaked: cores, queue slots and the cancel table are
+        // all clean.
+        assert_eq!(gateway.arbiter().in_flight(PriorityClass::Interactive), 0);
+        assert_eq!(gateway.queue().in_flight(PriorityClass::Interactive), 0);
+        assert!(lock(&gateway.active).is_empty());
+        assert!(
+            gateway
+                .faults()
+                .unwrap()
+                .fired_count(FaultSite::WorkerPanic)
+                >= 1
+        );
+        let text = gateway.metrics_text();
+        assert!(text.contains("verifas_worker_panics_total 2"));
     }
 
     #[test]
@@ -544,6 +896,8 @@ property "reaches-done" on Root {
         assert!(text.contains("verifas_session_cache_lookups_total{result=\"miss\"} 1"));
         assert!(text.contains("verifas_session_cache_entries 1"));
         assert!(text.contains("verifas_requests_in_flight{class=\"interactive\"} 0"));
+        assert!(text.contains("verifas_queue_depth{class=\"interactive\"} 0"));
+        assert!(text.contains("verifas_memory_budget_bytes 0"));
     }
 
     #[test]

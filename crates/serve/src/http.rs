@@ -13,24 +13,38 @@
 //!
 //! | method | path           | behaviour                                      |
 //! |--------|----------------|------------------------------------------------|
-//! | POST   | `/v1/verify`   | stream `admitted`/`report`.../`done` frames    |
-//! | POST   | `/v1/cancel`   | cancel an in-flight request by id              |
+//! | POST   | `/v1/verify`   | stream `queued`?/`admitted`/`report`.../`done` |
+//! | POST   | `/v1/cancel`   | cancel a queued or running request by id       |
 //! | POST   | `/v1/hash`     | canonical spec hash of a `.has` source         |
 //! | POST   | `/v1/shutdown` | cancel everything and stop the server          |
 //! | GET    | `/metrics`     | Prometheus-style text exposition               |
 //! | GET    | `/healthz`     | liveness probe                                 |
 //!
-//! Admission refusals map to `429 Too Many Requests`, malformed
-//! requests and spec errors to `400 Bad Request` — both with a single
-//! `error` frame as the body, so clients parse one shape everywhere.
+//! Error mapping: queue overflow is `429 Too Many Requests`, an
+//! oversized body is `413 Content Too Large`, a wrong method on a known
+//! path is `405 Method Not Allowed`, malformed requests and spec errors
+//! are `400 Bad Request` — each with a single `error` frame as the
+//! body, so clients parse one shape everywhere.  A client that times
+//! out, resets, or disconnects mid-request gets a silent close, never a
+//! worker crash.
+//!
+//! Robustness: each connection is handled under
+//! [`std::panic::catch_unwind`] — a panicking handler (for example one
+//! detonated by a [`FaultPlan`] worker-panic
+//! site) closes that one connection, bumps
+//! `verifas_worker_panics_total`, and the pool keeps serving.  The
+//! read/write fault sites of an installed plan stall or reset the
+//! socket at the byte layer, which is exactly where a hostile network
+//! would.
 
 use crate::error::ServeError;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::gateway::{Gateway, ServeConfig};
 use crate::protocol::{
     cancelled_frame, error_frame, parse_cancel, parse_hash_request, VerifyRequest,
 };
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -42,7 +56,8 @@ use std::time::Duration;
 const MAX_BODY: usize = 4 << 20;
 
 /// How long a worker waits for a slow client before giving up on the
-/// connection.
+/// connection (slowloris defence: a client trickling headers holds a
+/// worker for at most this long).
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// The running HTTP server.  Dropping it shuts it down (idempotent with
@@ -59,9 +74,21 @@ impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving with
     /// `workers` connection-handling threads (clamped to ≥ 1).
     pub fn start(addr: &str, config: ServeConfig, workers: usize) -> io::Result<Server> {
+        Server::start_with_faults(addr, config, workers, None)
+    }
+
+    /// [`Server::start`] with a seeded [`FaultPlan`] installed — the
+    /// chaos-test entry point, also reachable via
+    /// `verifas serve --fault-plan`.
+    pub fn start_with_faults(
+        addr: &str,
+        config: ServeConfig,
+        workers: usize,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let gateway = Arc::new(Gateway::new(config));
+        let gateway = Arc::new(Gateway::with_faults(config, faults));
         let stopping = Arc::new(AtomicBool::new(false));
         let (sender, receiver) = mpsc::channel::<TcpStream>();
         let receiver = Arc::new(Mutex::new(receiver));
@@ -156,6 +183,18 @@ struct Request {
     body: String,
 }
 
+/// Why a request could not be read off the socket, split by what the
+/// client should see: a typed HTTP error, or nothing at all.
+enum ReadError {
+    /// The declared body exceeds [`MAX_BODY`] — answer `413`.
+    TooLarge,
+    /// The request head or body is malformed — answer `400`.
+    Malformed(String),
+    /// The client timed out, reset, or hung up mid-request — close the
+    /// connection silently (there is no one left to answer).
+    Disconnected,
+}
+
 fn handle_connection(
     stream: TcpStream,
     gateway: &Gateway,
@@ -164,11 +203,49 @@ fn handle_connection(
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
+    // Socket-level read faults, injected before the first byte is
+    // parsed: a stall models a half-dead client link, a reset a client
+    // that vanished between `accept` and `read`.
+    if gateway.fault_fires(FaultSite::ReadStall) {
+        std::thread::sleep(fault_stall(gateway));
+    }
+    if gateway.fault_fires(FaultSite::ReadReset) {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
     let request = match read_request(&stream) {
         Ok(request) => request,
-        Err(_) => return, // unparseable or timed-out client: just close
+        Err(ReadError::TooLarge) => {
+            let _ = respond_error(
+                &stream,
+                &ServeError::PayloadTooLarge {
+                    limit_bytes: MAX_BODY,
+                },
+            );
+            return;
+        }
+        Err(ReadError::Malformed(reason)) => {
+            let _ = respond_error(&stream, &ServeError::BadRequest { reason });
+            return;
+        }
+        Err(ReadError::Disconnected) => return,
     };
-    let _ = dispatch(&stream, gateway, stopping, addr, &request);
+    // Contain a panicking handler: this one connection dies, the worker
+    // thread (and every gauge — the gateway's request guard released
+    // them while the panic unwound) survives.
+    let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dispatch(&stream, gateway, stopping, addr, &request)
+    }));
+    if handled.is_err() {
+        gateway.metrics().worker_panicked();
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The injected stall duration of the installed plan (zero when no plan
+/// is installed — callers only ask after a site fired).
+fn fault_stall(gateway: &Gateway) -> Duration {
+    gateway.faults().map_or(Duration::ZERO, FaultPlan::stall)
 }
 
 fn dispatch(
@@ -178,6 +255,12 @@ fn dispatch(
     addr: SocketAddr,
     request: &Request,
 ) -> io::Result<()> {
+    // The connection-panic fault site: a handler that blows up after
+    // the request was read, exercising the catch_unwind containment in
+    // `handle_connection`.
+    if gateway.fault_fires(FaultSite::ConnPanic) {
+        panic!("injected fault: connection handler panic");
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/verify") => serve_verify(stream, gateway, &request.body),
         ("POST", "/v1/cancel") => match parse_cancel(&request.body) {
@@ -219,6 +302,21 @@ fn dispatch(
             &gateway.metrics_text(),
         ),
         ("GET", "/healthz") => respond(stream, 200, "OK", "text/plain", "ok"),
+        // A known path with the wrong method is a distinct, typed
+        // refusal — not a mysterious 404, and never a dropped
+        // connection.
+        (
+            _,
+            "/v1/verify" | "/v1/cancel" | "/v1/hash" | "/v1/shutdown" | "/metrics" | "/healthz",
+        ) => respond(
+            stream,
+            405,
+            "Method Not Allowed",
+            "application/json",
+            &error_frame(&ServeError::BadRequest {
+                reason: format!("method {} not allowed on {}", request.method, request.path),
+            }),
+        ),
         _ => respond(
             stream,
             404,
@@ -247,11 +345,24 @@ fn serve_verify(stream: &TcpStream, gateway: &Gateway, body: &str) -> io::Result
     // The response streams: one JSON frame per line, flushed as
     // produced; `Connection: close` delimits the body.  The status line
     // goes out lazily with the *first* frame, so a request refused
-    // before any frame (compile error, admission) still gets its proper
-    // 400/429 instead of a 200 it would have to un-see.
+    // before any frame (compile error, queue overflow) still gets its
+    // proper 400/413/429 instead of a 200 it would have to un-see.
+    // Write errors are swallowed: a client that disconnected mid-stream
+    // costs at most the remainder of its batch, after which every
+    // resource is reclaimed through the gateway's request guard.
     let writer = Mutex::new(stream);
     let head_written = AtomicBool::new(false);
     let emit = |line: &str| {
+        // Socket-level write faults: a stall models TCP backpressure
+        // from a stuck reader, a reset a client that vanished
+        // mid-stream.  Either way the verification keeps its course and
+        // the server stays accountable for every gauge.
+        if gateway.fault_fires(FaultSite::WriteStall) {
+            std::thread::sleep(fault_stall(gateway));
+        }
+        if gateway.fault_fires(FaultSite::WriteReset) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         let guard = writer.lock().unwrap_or_else(|p| p.into_inner());
         let mut sink = *guard;
         if !head_written.swap(true, Ordering::SeqCst) {
@@ -276,6 +387,7 @@ fn serve_verify(stream: &TcpStream, gateway: &Gateway, body: &str) -> io::Result
 fn respond_error(stream: &TcpStream, error: &ServeError) -> io::Result<()> {
     let (status, reason) = match error {
         ServeError::Overloaded { .. } => (429, "Too Many Requests"),
+        ServeError::PayloadTooLarge { .. } => (413, "Content Too Large"),
         _ => (400, "Bad Request"),
     };
     respond(
@@ -320,27 +432,33 @@ fn write_head(
     sink.flush()
 }
 
-fn read_request(stream: &TcpStream) -> io::Result<Request> {
+fn read_request(stream: &TcpStream) -> Result<Request, ReadError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    if reader
+        .read_line(&mut line)
+        .map_err(|_| ReadError::Disconnected)?
+        == 0
+    {
+        // Connected and hung up without a byte: nothing to answer.
+        return Err(ReadError::Disconnected);
+    }
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_owned();
     let path = parts.next().unwrap_or_default().to_owned();
     if method.is_empty() || path.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad request line",
-        ));
+        return Err(ReadError::Malformed("bad request line".to_owned()));
     }
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "truncated headers",
-            ));
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|_| ReadError::Disconnected)?;
+        if n == 0 {
+            // Truncated mid-headers (or a slowloris that hit the read
+            // timeout above): the client is gone or hostile.
+            return Err(ReadError::Disconnected);
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -348,19 +466,22 @@ fn read_request(stream: &TcpStream) -> io::Result<Request> {
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                })?;
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad content-length".to_owned()))?;
             }
         }
     }
     if content_length > MAX_BODY {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+        return Err(ReadError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ReadError::Disconnected)?;
     let body = String::from_utf8(body)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+        .map_err(|_| ReadError::Malformed("body is not UTF-8".to_owned()))?;
     Ok(Request { method, path, body })
 }
 
@@ -457,5 +578,97 @@ property "reaches-done" on Root {
             frame.get("kind").and_then(Json::as_str),
             Some("bad_request")
         );
+    }
+
+    #[test]
+    fn an_oversized_body_gets_a_typed_413() {
+        let server = Server::start("127.0.0.1:0", ServeConfig::default(), 1).unwrap();
+        // Declare a body over the limit; the server must refuse on the
+        // headers alone, without reading (or us sending) the payload.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let request = format!(
+            "POST /v1/verify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        let (_, body) = response.split_once("\r\n\r\n").unwrap();
+        let frame = Json::parse(body.trim()).unwrap();
+        assert_eq!(
+            frame.get("kind").and_then(Json::as_str),
+            Some("payload_too_large")
+        );
+    }
+
+    #[test]
+    fn a_wrong_method_on_a_known_path_gets_a_405() {
+        let server = Server::start("127.0.0.1:0", ServeConfig::default(), 1).unwrap();
+        let (head, _) = roundtrip(server.local_addr(), "GET", "/v1/verify", "");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        let (head, _) = roundtrip(server.local_addr(), "DELETE", "/metrics", "");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+    }
+
+    #[test]
+    fn truncated_requests_close_cleanly_and_the_server_lives() {
+        let server = Server::start("127.0.0.1:0", ServeConfig::default(), 1).unwrap();
+        let addr = server.local_addr();
+        // Hang up mid-headers.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /v1/verify HTTP/1.1\r\nContent-Le")
+            .unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.is_empty(), "{response}");
+        // Hang up mid-body.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /v1/verify HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")
+            .unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.is_empty(), "{response}");
+        // The single worker survived both and still serves.
+        let (head, _) = roundtrip(addr, "GET", "/healthz", "");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    }
+
+    #[test]
+    fn an_injected_connection_panic_is_contained() {
+        let plan = Arc::new(FaultPlan::new(11).with_rate(FaultSite::ConnPanic, 2));
+        let server =
+            Server::start_with_faults("127.0.0.1:0", ServeConfig::default(), 1, Some(plan))
+                .unwrap();
+        let addr = server.local_addr();
+        // With rate 2 roughly half the dispatches panic; after a burst
+        // the single worker must still answer.
+        let mut alive = 0;
+        for _ in 0..8 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            let _ = stream.read_to_string(&mut response);
+            if response.starts_with("HTTP/1.1 200") {
+                alive += 1;
+            }
+        }
+        assert!(alive >= 1, "the worker never recovered from a panic");
+        let panics = server
+            .gateway()
+            .faults()
+            .unwrap()
+            .fired_count(FaultSite::ConnPanic);
+        assert!(panics >= 1, "the fault plan never fired");
+        assert!(server
+            .gateway()
+            .metrics_text()
+            .contains(&format!("verifas_worker_panics_total {panics}")));
     }
 }

@@ -10,7 +10,9 @@
 //!   the canonical spec hash ([`verifas_core::spec_hash`]), so a
 //!   re-submitted spec pays zero preprocessing,
 //! * [`admission`] — priority classes (`interactive` / `batch`) with
-//!   per-class in-flight limits and typed `overloaded` refusals,
+//!   per-class in-flight limits and a bounded FIFO queue: over-limit
+//!   requests wait their turn (with a `queued` frame and retry hint)
+//!   and only queue *overflow* draws a typed `overloaded` refusal,
 //! * [`arbiter`] — the server-global core budget: interactive arrivals
 //!   squeeze running batch requests to a one-core floor *mid-search*
 //!   through [`verifas_core::SchedulerHandle`] (safe because rounds are
@@ -21,22 +23,29 @@
 //! * [`protocol`] — the JSON request envelope and the newline-delimited
 //!   response frames (`admitted`, `report`…, `done`),
 //! * [`gateway`] — the transport-independent request path tying the
-//!   above together,
+//!   above together (plus the server-wide
+//!   [`verifas_core::MemoryBudget`] that lets searches degrade to typed
+//!   `ResourceExhausted` errors instead of OOM-aborting),
+//! * [`faults`] — seeded, replayable fault injection for chaos testing
+//!   the daemon (socket stalls/resets, worker panics, eviction races,
+//!   clock skew),
 //! * [`http`] — a dependency-free HTTP/1.1 front end on
 //!   [`std::net::TcpListener`] with a fixed worker pool.
 
 pub mod admission;
 pub mod arbiter;
 pub mod error;
+pub mod faults;
 pub mod gateway;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod session;
 
-pub use admission::{AdmissionLimits, PriorityClass};
+pub use admission::{AdmissionLimits, AdmissionQueue, Enqueued, PriorityClass, QueueOutcome};
 pub use arbiter::{Admission, Arbiter, RequestId};
 pub use error::ServeError;
+pub use faults::{FaultPlan, FaultSite};
 pub use gateway::{FrameSink, Gateway, ServeConfig};
 pub use http::Server;
 pub use metrics::{Metrics, RequestOutcome};

@@ -52,6 +52,7 @@ const PHASE_NAMES: [&str; 2] = ["reachability", "repeated_reachability"];
 #[derive(Default)]
 struct PerClass {
     admitted: AtomicU64,
+    queued: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
@@ -63,6 +64,9 @@ struct PerClass {
 pub struct Metrics {
     classes: [PerClass; 2],
     reports: AtomicU64,
+    resource_exhausted: AtomicU64,
+    faults_injected: AtomicU64,
+    worker_panics: AtomicU64,
     phases_started: [AtomicU64; 2],
     phases_finished: [AtomicU64; 2],
     progress_events: AtomicU64,
@@ -80,12 +84,38 @@ impl Metrics {
         bump(&self.classes[class.index()].admitted);
     }
 
-    /// A request of `class` was refused by admission control.
+    /// A request of `class` arrived over its in-flight limit and is
+    /// waiting in the admission queue.
+    pub fn queued(&self, class: PriorityClass) {
+        bump(&self.classes[class.index()].queued);
+    }
+
+    /// A request of `class` was refused by admission control (queue
+    /// overflow — the only refusal left).
     pub fn rejected(&self, class: PriorityClass) {
         bump(&self.classes[class.index()].rejected);
     }
 
-    /// An admitted request of `class` ended with `outcome`.
+    /// A property's search hit its memory budget and degraded to a typed
+    /// `ResourceExhausted` report error.
+    pub fn resource_exhausted(&self) {
+        bump(&self.resource_exhausted);
+    }
+
+    /// An injected fault fired at one of the serve path's fault sites
+    /// (chaos testing only; always 0 in production).
+    pub fn fault_injected(&self) {
+        bump(&self.faults_injected);
+    }
+
+    /// A worker thread panicked and the panic was contained (the
+    /// connection or request it served got an error; the server lives).
+    pub fn worker_panicked(&self) {
+        bump(&self.worker_panics);
+    }
+
+    /// A request of `class` that entered the pipeline (admitted, or
+    /// queued and later given up) ended with `outcome`.
     pub fn finished(&self, class: PriorityClass, outcome: RequestOutcome) {
         let counters = &self.classes[class.index()];
         match outcome {
@@ -126,6 +156,15 @@ impl Metrics {
                 load(&self.classes[class.index()].admitted),
             );
         }
+        type_line(out, "verifas_requests_queued_total", "counter");
+        for class in PriorityClass::ALL {
+            write_metric(
+                out,
+                "verifas_requests_queued_total",
+                &[("class", class.name())],
+                load(&self.classes[class.index()].queued),
+            );
+        }
         type_line(out, "verifas_requests_rejected_total", "counter");
         for class in PriorityClass::ALL {
             write_metric(
@@ -157,6 +196,27 @@ impl Metrics {
             "verifas_property_reports_total",
             &[],
             load(&self.reports),
+        );
+        type_line(out, "verifas_resource_exhausted_total", "counter");
+        write_metric(
+            out,
+            "verifas_resource_exhausted_total",
+            &[],
+            load(&self.resource_exhausted),
+        );
+        type_line(out, "verifas_faults_injected_total", "counter");
+        write_metric(
+            out,
+            "verifas_faults_injected_total",
+            &[],
+            load(&self.faults_injected),
+        );
+        type_line(out, "verifas_worker_panics_total", "counter");
+        write_metric(
+            out,
+            "verifas_worker_panics_total",
+            &[],
+            load(&self.worker_panics),
         );
         type_line(out, "verifas_search_phases_started_total", "counter");
         for (index, name) in PHASE_NAMES.iter().enumerate() {
@@ -232,13 +292,21 @@ mod tests {
         metrics.admitted(PriorityClass::Interactive);
         metrics.admitted(PriorityClass::Batch);
         metrics.rejected(PriorityClass::Batch);
+        metrics.queued(PriorityClass::Batch);
         metrics.finished(PriorityClass::Interactive, RequestOutcome::Completed);
         metrics.finished(PriorityClass::Batch, RequestOutcome::Cancelled);
         metrics.report_streamed();
+        metrics.resource_exhausted();
+        metrics.fault_injected();
+        metrics.worker_panicked();
         let mut out = String::new();
         metrics.render_into(&mut out);
         assert!(out.contains("verifas_requests_admitted_total{class=\"interactive\"} 1"));
         assert!(out.contains("verifas_requests_rejected_total{class=\"batch\"} 1"));
+        assert!(out.contains("verifas_requests_queued_total{class=\"batch\"} 1"));
+        assert!(out.contains("verifas_resource_exhausted_total 1"));
+        assert!(out.contains("verifas_faults_injected_total 1"));
+        assert!(out.contains("verifas_worker_panics_total 1"));
         assert!(out.contains(
             "verifas_requests_finished_total{class=\"interactive\",outcome=\"completed\"} 1"
         ));

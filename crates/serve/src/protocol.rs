@@ -4,7 +4,8 @@
 //! *newline-delimited JSON frames* so per-property reports stream out as
 //! each search finishes instead of buffering until the batch ends.
 //! Every frame is a one-line JSON object whose `frame` member names its
-//! shape: `admitted`, `report`, `done`, `error`, `cancelled`, `hash`.
+//! shape: `queued`, `admitted`, `report`, `done`, `error`, `cancelled`,
+//! `hash`.
 //! The `done` frame is terminal and carries the batch summary, so a
 //! client can always distinguish "stream finished" from "connection
 //! died" from "stream aborted by cancellation".
@@ -110,6 +111,27 @@ pub fn parse_hash_request(text: &str) -> Result<String, ServeError> {
         .as_str()
         .ok_or_else(|| bad_request("member \"spec\" must be a string"))?
         .to_owned())
+}
+
+/// The first frame of a stream whose request arrived over its class's
+/// in-flight limit: the request is waiting in the admission queue.
+///
+/// `position` is the 1-based queue position at arrival; `retry_ms` is a
+/// Retry-After-style hint for clients that would rather disconnect and
+/// come back than hold the stream open.  Clients that keep the stream
+/// open need to do nothing: an `admitted` frame follows when a slot
+/// frees (or a `done` frame with `aborted: true` if the request's
+/// deadline expires while it waits — deadlines keep ticking in the
+/// queue).
+pub fn queued_frame(id: RequestId, class: PriorityClass, position: usize, retry_ms: u64) -> String {
+    Json::Obj(vec![
+        frame_tag("queued"),
+        ("request".to_owned(), Json::Num(id as f64)),
+        ("class".to_owned(), Json::Str(class.name().to_owned())),
+        ("position".to_owned(), Json::Num(position as f64)),
+        ("retry_ms".to_owned(), Json::Num(retry_ms as f64)),
+    ])
+    .to_string()
 }
 
 /// The first frame of a verification stream: the request was admitted.
@@ -297,6 +319,7 @@ mod tests {
             aborted: true,
         };
         let frames = [
+            queued_frame(3, PriorityClass::Batch, 2, 200),
             admitted_frame(3, "00ff", SessionReuse::Cold, PriorityClass::Batch, 4, 2),
             done_frame(3, &summary),
             error_frame(&ServeError::Overloaded {
@@ -311,7 +334,7 @@ mod tests {
             let parsed = Json::parse(frame).unwrap();
             assert!(parsed.get("frame").and_then(Json::as_str).is_some());
         }
-        let done = Json::parse(&frames[1]).unwrap();
+        let done = Json::parse(&frames[2]).unwrap();
         let summary_json = done.get("summary").unwrap();
         assert_eq!(summary_json.get("aborted"), Some(&Json::Bool(true)));
         assert_eq!(

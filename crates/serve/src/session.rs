@@ -12,8 +12,14 @@
 //!
 //! Eviction is strict least-recently-used over a recency list, so the
 //! order is deterministic: touch order alone decides who goes, never
-//! timing.  Hit/miss/eviction counters feed the server's `/metrics`
-//! endpoint.
+//! timing.  Besides the entry-count capacity the cache can carry a byte
+//! budget ([`SessionCache::with_max_bytes`]): sessions estimate their
+//! resident footprint via [`Engine::estimated_bytes`] (deterministic
+//! per-artefact constants, not allocator probes), and when the sum
+//! exceeds the budget the LRU tail is evicted — always keeping at least
+//! one session, since a cache that cannot hold the spec being verified
+//! would thrash instead of protect.  Hit/miss/eviction counters feed the
+//! server's `/metrics` endpoint.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,6 +73,9 @@ impl SessionReuse {
 /// An LRU cache of loaded verification sessions (see the module docs).
 pub struct SessionCache {
     capacity: usize,
+    /// Resident-byte budget over all cached engines (0 = entry-count
+    /// eviction only).
+    max_bytes: usize,
     /// Most-recently-used first.  A `Vec` is the right structure at
     /// session-cache sizes (a handful to a few dozen engines).
     inner: Mutex<Vec<(u64, Arc<Engine>)>>,
@@ -77,10 +86,19 @@ pub struct SessionCache {
 }
 
 impl SessionCache {
-    /// A cache holding at most `capacity` sessions (clamped to ≥ 1).
+    /// A cache holding at most `capacity` sessions (clamped to ≥ 1),
+    /// with no byte budget.
     pub fn new(capacity: usize) -> Self {
+        SessionCache::with_max_bytes(capacity, 0)
+    }
+
+    /// A cache bounded by both entry count and estimated resident bytes
+    /// (0 = unbounded bytes).  The byte bound always keeps at least one
+    /// session.
+    pub fn with_max_bytes(capacity: usize, max_bytes: usize) -> Self {
         SessionCache {
             capacity: capacity.max(1),
+            max_bytes,
             inner: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -92,6 +110,55 @@ impl SessionCache {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured resident-byte budget (0 = none).
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// The estimated resident bytes of every cached session, summed.
+    pub fn resident_bytes(&self) -> usize {
+        lock_ignoring_poison(&self.inner)
+            .iter()
+            .map(|(_, engine)| engine.estimated_bytes())
+            .sum()
+    }
+
+    /// Evict the least-recently-used session right now, regardless of
+    /// budgets.  Returns whether anything was evicted.  This is the
+    /// `evict-race` fault hook: chaos tests force an eviction between a
+    /// request's admission and its session lookup to prove a request
+    /// never depends on its session *staying* cached.
+    pub fn evict_lru(&self) -> bool {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        if inner.pop().is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evict the LRU tail until both the entry-count capacity and the
+    /// byte budget hold (the byte budget never evicts the last entry).
+    /// Called with the cache lock held.
+    fn evict_over_budget(&self, inner: &mut Vec<(u64, Arc<Engine>)>) {
+        loop {
+            let over_count = inner.len() > self.capacity;
+            let over_bytes = self.max_bytes > 0
+                && inner.len() > 1
+                && inner
+                    .iter()
+                    .map(|(_, engine)| engine.estimated_bytes())
+                    .sum::<usize>()
+                    > self.max_bytes;
+            if !(over_count || over_bytes) {
+                return;
+            }
+            inner.pop();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Look up the session for `hash`, loading it with `load` on a miss.
@@ -119,10 +186,7 @@ impl SessionCache {
         let engine = Arc::new(load()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         inner.insert(0, (hash, Arc::clone(&engine)));
-        while inner.len() > self.capacity {
-            inner.pop();
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        self.evict_over_budget(&mut inner);
         Ok((engine, false))
     }
 
@@ -183,10 +247,7 @@ impl SessionCache {
         };
         let engine = Arc::new(engine);
         inner.insert(0, (hash, Arc::clone(&engine)));
-        while inner.len() > self.capacity {
-            inner.pop();
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        self.evict_over_budget(&mut inner);
         Ok((engine, reuse))
     }
 
@@ -265,6 +326,33 @@ mod tests {
         let (second, hit) = cache.get_or_load(7, || unreachable!()).unwrap();
         assert!(hit);
         assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn a_byte_budget_evicts_the_lru_tail_but_keeps_one_session() {
+        // Every tiny engine estimates at least its fixed base footprint,
+        // so a budget below one base can hold exactly one entry.
+        let cache = SessionCache::with_max_bytes(8, 1);
+        for key in [1u64, 2, 3] {
+            cache.get_or_load(key, || Ok(tiny_engine("s"))).unwrap();
+        }
+        assert_eq!(cache.keys_mru(), vec![3], "budget keeps the MRU entry");
+        assert_eq!(cache.stats().evictions, 2);
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn forced_eviction_pops_the_lru_entry() {
+        let cache = SessionCache::new(4);
+        assert!(!cache.evict_lru(), "empty cache has nothing to evict");
+        cache.get_or_load(1, || Ok(tiny_engine("s"))).unwrap();
+        cache.get_or_load(2, || Ok(tiny_engine("s"))).unwrap();
+        assert!(cache.evict_lru());
+        assert_eq!(cache.keys_mru(), vec![2]);
+        assert_eq!(cache.stats().evictions, 1);
+        // The evicted spec simply reloads on its next request.
+        let (_, hit) = cache.get_or_load(1, || Ok(tiny_engine("s"))).unwrap();
+        assert!(!hit);
     }
 
     #[test]

@@ -13,14 +13,23 @@
 //! verifas fmt      <spec.has> [--write | --check]
 //! verifas serve    [--addr HOST:PORT] [--cores N] [--sessions N]
 //!                  [--max-interactive N] [--max-batch N]
-//!                  [--incremental MODE]
+//!                  [--incremental MODE] [--memory-mb N]
+//! verifas submit   <spec.has> [--addr HOST:PORT] [--class NAME]
+//!                  [--prop NAME] [--deadline-ms MS] [--retries N]
 //! ```
 //!
 //! `check` verifies properties one at a time through `Engine::check`;
 //! `batch` routes the whole property set through `Engine::batch()` with
 //! the sharded scheduler and streams per-property results as they land;
 //! `serve` runs the multi-tenant verification daemon (`verifas-serve`)
-//! until a `POST /v1/shutdown` stops it.
+//! until a `POST /v1/shutdown` stops it; `submit` sends one spec to a
+//! running daemon and streams the response frames, retrying `overloaded`
+//! refusals and connection resets with jittered exponential backoff.
+//!
+//! `serve` also accepts a hidden `--fault-plan PLAN` flag (e.g.
+//! `--fault-plan seed=42,conn-panic=20,write-reset=50`) that installs a
+//! seeded, replayable fault-injection plan — chaos testing and CI only;
+//! see `crates/serve/src/faults.rs`.
 //!
 //! The edit loop (`docs/SPEC_LANGUAGE.md` walks through it): `check
 //! --json out.json` embeds an `incremental` snapshot (per-task slice
@@ -39,7 +48,7 @@ use std::process::ExitCode;
 use verifas::core::delta::{fingerprint, slice_hash};
 use verifas::core::{spec_hash_hex, Json};
 use verifas::prelude::*;
-use verifas::serve::{AdmissionLimits, ServeConfig, Server};
+use verifas::serve::{AdmissionLimits, FaultPlan, ServeConfig, Server};
 use verifas::spec::{self, CompiledSpec};
 use verifas::ReuseMode;
 
@@ -63,6 +72,8 @@ commands:
   hash       print the canonical spec hash (the serve session-cache key)
   fmt        print the specification in canonical formatting
   serve      run the multi-tenant verification daemon (no spec file)
+  submit     send a spec to a running daemon, streaming response frames
+             (retries `overloaded` and resets with jittered backoff)
 
 options:
   --prop NAME        check only the named property (check only)
@@ -82,10 +93,17 @@ options:
   --write            fmt: rewrite the file in place
   --check            fmt: exit 1 if the file is not canonically formatted
   --addr HOST:PORT   serve: listen address (default 127.0.0.1:7464)
+                     submit: daemon address to send to
   --cores N          serve: server-global core budget (0 = all cores)
   --sessions N       serve: loaded-session LRU capacity (default 8)
   --max-interactive N  serve: in-flight limit of the interactive class
-  --max-batch N      serve: in-flight limit of the batch class";
+  --max-batch N      serve: in-flight limit of the batch class
+  --memory-mb N      serve: soft memory budget in MiB — searches over it
+                     degrade to typed resource_exhausted errors (0 = off)
+  --class NAME       submit: priority class, `interactive` or `batch`
+  --deadline-ms MS   submit: per-request deadline (keeps ticking while
+                     the request waits in the admission queue)
+  --retries N        submit: attempts on `overloaded`/reset (default 5)";
 
 struct Options {
     file: String,
@@ -105,6 +123,11 @@ struct Options {
     sessions: usize,
     max_interactive: usize,
     max_batch: usize,
+    memory_mb: usize,
+    fault_plan: Option<String>,
+    class: String,
+    deadline_ms: Option<u64>,
+    retries: u32,
     /// Every flag that appeared, for per-command applicability checks.
     seen: Vec<&'static str>,
 }
@@ -139,7 +162,10 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "--max-interactive",
             "--max-batch",
             "--incremental",
+            "--memory-mb",
+            "--fault-plan",
         ],
+        "submit" => &["--addr", "--class", "--prop", "--deadline-ms", "--retries"],
         _ => &[],
     }
 }
@@ -163,6 +189,11 @@ fn parse_options(args: &[String], needs_file: bool) -> Result<Options, String> {
         sessions: 8,
         max_interactive: 8,
         max_batch: 2,
+        memory_mb: 0,
+        fault_plan: None,
+        class: "interactive".to_owned(),
+        deadline_ms: None,
+        retries: 5,
         seen: Vec::new(),
     };
     let mut iter = args.iter();
@@ -248,6 +279,25 @@ fn parse_options(args: &[String], needs_file: bool) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "error: --max-batch needs a number".to_string())?
             }
+            "--memory-mb" => {
+                options.memory_mb = value_of("--memory-mb", &mut iter)?
+                    .parse()
+                    .map_err(|_| "error: --memory-mb needs a number".to_string())?
+            }
+            "--fault-plan" => options.fault_plan = Some(value_of("--fault-plan", &mut iter)?),
+            "--class" => options.class = value_of("--class", &mut iter)?,
+            "--deadline-ms" => {
+                options.deadline_ms = Some(
+                    value_of("--deadline-ms", &mut iter)?
+                        .parse()
+                        .map_err(|_| "error: --deadline-ms needs a number".to_string())?,
+                )
+            }
+            "--retries" => {
+                options.retries = value_of("--retries", &mut iter)?
+                    .parse()
+                    .map_err(|_| "error: --retries needs a number".to_string())?
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("error: unknown option {flag}\n\n{USAGE}"))
             }
@@ -286,6 +336,11 @@ const KNOWN_FLAGS: &[&str] = &[
     "--sessions",
     "--max-interactive",
     "--max-batch",
+    "--memory-mb",
+    "--fault-plan",
+    "--class",
+    "--deadline-ms",
+    "--retries",
 ];
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -310,6 +365,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "validate" => validate(&options, &source),
         "hash" => hash(&options, &source),
         "fmt" => fmt(&options, &source),
+        "submit" => submit(&options, &source),
         other => Err(format!("error: unknown command {other:?}\n\n{USAGE}")),
     }
 }
@@ -470,31 +526,195 @@ fn serve(options: &Options) -> Result<ExitCode, String> {
         limits: AdmissionLimits {
             max_interactive: options.max_interactive,
             max_batch: options.max_batch,
+            ..AdmissionLimits::default()
         },
         reuse: options.incremental.unwrap_or(ReuseMode::Preproc),
+        memory_bytes: options.memory_mb << 20,
+    };
+    let faults = match &options.fault_plan {
+        Some(text) => Some(std::sync::Arc::new(
+            FaultPlan::parse(text).map_err(|e| format!("error: --fault-plan: {e}"))?,
+        )),
+        None => None,
     };
     // One connection thread per admissible request (each verification
-    // stream occupies its worker for the request's lifetime) plus two
+    // stream occupies its worker for the request's lifetime), one per
+    // queue slot (a queued request also holds its connection), plus two
     // for control traffic (`/metrics`, `/v1/cancel`, `/v1/shutdown`).
     let workers = config
         .limits
         .limit(verifas::serve::PriorityClass::Interactive)
         + config.limits.limit(verifas::serve::PriorityClass::Batch)
+        + 2 * config.limits.queue_depth
         + 2;
-    let mut server = Server::start(&options.addr, config, workers)
+    let mut server = Server::start_with_faults(&options.addr, config, workers, faults.clone())
         .map_err(|e| format!("error: cannot bind {}: {e}", options.addr))?;
     println!(
         "verifas serve: listening on http://{} — {} cores, {} sessions, \
-         limits {}/{} (interactive/batch); POST /v1/shutdown to stop",
+         limits {}/{} (interactive/batch, queue depth {}); \
+         POST /v1/shutdown to stop",
         server.local_addr(),
         config.cores,
         config.sessions,
         config.limits.max_interactive,
         config.limits.max_batch,
+        config.limits.queue_depth,
     );
+    if let Some(plan) = &faults {
+        println!("verifas serve: CHAOS MODE — fault plan installed: {plan}");
+    }
     server.wait();
     println!("verifas serve: shut down");
     Ok(ExitCode::SUCCESS)
+}
+
+/// `verifas submit`: send one spec to a running daemon over its NDJSON
+/// HTTP protocol and stream the response frames to stdout.  An
+/// `overloaded` refusal (HTTP 429: the admission queue is full) or a
+/// connection reset retries with jittered exponential backoff —
+/// verification is deterministic, so a retry is always safe.
+fn submit(options: &Options, source: &str) -> Result<ExitCode, String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let mut members = vec![
+        ("spec".to_owned(), Json::Str(source.to_owned())),
+        ("class".to_owned(), Json::Str(options.class.clone())),
+    ];
+    if let Some(name) = &options.prop {
+        members.push((
+            "properties".to_owned(),
+            Json::Arr(vec![Json::Str(name.clone())]),
+        ));
+    }
+    if let Some(ms) = options.deadline_ms {
+        members.push(("deadline_ms".to_owned(), Json::Num(ms as f64)));
+    }
+    let body = Json::Obj(members).to_string();
+    let attempts = options.retries.max(1);
+
+    for attempt in 1..=attempts {
+        let outcome = (|| -> Result<SubmitOutcome, String> {
+            let mut stream = TcpStream::connect(&options.addr)
+                .map_err(|e| format!("cannot connect to {}: {e}", options.addr))?;
+            let request = format!(
+                "POST /v1/verify HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                options.addr,
+                body.len()
+            );
+            stream
+                .write_all(request.as_bytes())
+                .map_err(|e| format!("send failed: {e}"))?;
+            let mut reader = BufReader::new(stream);
+            let mut status = String::new();
+            reader
+                .read_line(&mut status)
+                .map_err(|e| format!("read failed: {e}"))?;
+            let code: u16 = status
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("malformed status line {status:?}"))?;
+            // Skip the remaining headers; the NDJSON body follows.
+            loop {
+                let mut line = String::new();
+                if reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("read failed: {e}"))?
+                    == 0
+                    || line.trim_end().is_empty()
+                {
+                    break;
+                }
+            }
+            if code == 429 {
+                return Ok(SubmitOutcome::Overloaded);
+            }
+            let mut saw_done = false;
+            for line in reader.lines() {
+                let line = line.map_err(|e| format!("stream reset: {e}"))?;
+                if line.is_empty() {
+                    continue;
+                }
+                println!("{line}");
+                if let Ok(frame) = Json::parse(&line) {
+                    if frame.get("frame").and_then(Json::as_str) == Some("done") {
+                        saw_done = true;
+                    }
+                }
+            }
+            if code != 200 {
+                return Ok(SubmitOutcome::Refused(code));
+            }
+            if !saw_done {
+                // 200 but the stream ended without its terminal frame:
+                // the connection was reset mid-stream.
+                return Err("stream ended before the done frame".to_owned());
+            }
+            Ok(SubmitOutcome::Done)
+        })();
+        match outcome {
+            Ok(SubmitOutcome::Done) => return Ok(ExitCode::SUCCESS),
+            Ok(SubmitOutcome::Refused(code)) => {
+                return Err(format!(
+                    "error: {}: request refused (HTTP {code})",
+                    options.addr
+                ));
+            }
+            Ok(SubmitOutcome::Overloaded) if attempt < attempts => {
+                let delay = backoff_delay(attempt);
+                eprintln!(
+                    "verifas submit: overloaded; retry {attempt}/{} in {}ms",
+                    attempts - 1,
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+            }
+            Ok(SubmitOutcome::Overloaded) => {
+                return Err(format!(
+                    "error: {}: still overloaded after {attempts} attempts",
+                    options.addr
+                ));
+            }
+            Err(reason) if attempt < attempts => {
+                let delay = backoff_delay(attempt);
+                eprintln!(
+                    "verifas submit: {reason}; retry {attempt}/{} in {}ms",
+                    attempts - 1,
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+            }
+            Err(reason) => return Err(format!("error: {}: {reason}", options.addr)),
+        }
+    }
+    unreachable!("the loop returns on its last attempt");
+}
+
+enum SubmitOutcome {
+    /// The stream completed with a `done` frame.
+    Done,
+    /// HTTP 429: the admission queue is full — back off and retry.
+    Overloaded,
+    /// Any other non-200 status: a typed refusal, not retryable.
+    Refused(u16),
+}
+
+/// Exponential backoff with ±50% multiplicative jitter: 100ms base,
+/// doubling per attempt, capped at 5s.  Jitter decorrelates a thundering
+/// herd of clients that were all refused by the same overload.
+fn backoff_delay(attempt: u32) -> std::time::Duration {
+    let base_ms = 100u64.saturating_mul(1 << (attempt - 1).min(10)).min(5_000);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64);
+    let mut mix = nanos ^ ((std::process::id() as u64) << 32) ^ (attempt as u64);
+    mix = mix
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let factor = 50 + (mix >> 33) % 101; // 50%..150%
+    std::time::Duration::from_millis(base_ms * factor / 100)
 }
 
 fn fmt(options: &Options, source: &str) -> Result<ExitCode, String> {

@@ -9,8 +9,9 @@
 //! mid-batch and steals cores from the running searches.  These tests
 //! pin exactly that, plus the cache-reuse guarantee (a re-submitted
 //! spec builds zero new preprocessing, observed through
-//! `verifas::core::counters`), typed admission refusals, server-side
-//! cancellation, and the HTTP front end.
+//! `verifas::core::counters`), admission queueing with typed overflow
+//! refusals, server-side cancellation, shutdown and client-disconnect
+//! resource reclamation, and the HTTP front end.
 
 use std::path::Path;
 use std::sync::mpsc;
@@ -111,6 +112,7 @@ fn resubmitted_spec_reuses_cached_session_and_matches_direct_check_all() {
         sessions: 4,
         limits: AdmissionLimits::default(),
         reuse: ReuseMode::Preproc,
+        memory_bytes: 0,
     });
     let frames = collect(&gateway, &request(&source, PriorityClass::Interactive));
 
@@ -196,6 +198,7 @@ fn interactive_arrival_mid_batch_never_changes_batch_results() {
         sessions: 4,
         limits: AdmissionLimits::default(),
         reuse: ReuseMode::Preproc,
+        memory_bytes: 0,
     }));
 
     let mut batch_request = request(&batch_source, PriorityClass::Batch);
@@ -250,15 +253,17 @@ fn interactive_arrival_mid_batch_never_changes_batch_results() {
 }
 
 #[test]
-fn over_limit_batch_is_refused_with_a_typed_error_while_interactive_admits() {
+fn over_limit_batch_queues_and_only_queue_overflow_is_refused() {
     let gateway = Arc::new(Gateway::new(ServeConfig {
         cores: 2,
         sessions: 4,
         limits: AdmissionLimits {
             max_interactive: 2,
             max_batch: 1,
+            queue_depth: 1,
         },
         reuse: ReuseMode::Preproc,
+        memory_bytes: 0,
     }));
     let source = example("conference_review.has");
     let compiled = verifas::spec::compile(&source).unwrap();
@@ -267,7 +272,7 @@ fn over_limit_batch_is_refused_with_a_typed_error_while_interactive_admits() {
     let mut long_batch = request(&source, PriorityClass::Batch);
     long_batch.properties = Some(std::iter::repeat_n(names, 6).flatten().collect::<Vec<_>>());
     let (frame_tx, frame_rx) = mpsc::channel::<String>();
-    let batch_thread = {
+    let first_batch = {
         let gateway = Arc::clone(&gateway);
         std::thread::spawn(move || {
             let sink = move |line: &str| frame_tx.send(line.to_owned()).unwrap();
@@ -277,7 +282,30 @@ fn over_limit_batch_is_refused_with_a_typed_error_while_interactive_admits() {
     let admitted = Json::parse(&frame_rx.recv().unwrap()).unwrap();
     assert_eq!(frame_kind(&admitted), "admitted");
 
-    // A second batch-class request is over the limit: typed refusal.
+    // A second batch-class request is over the in-flight limit: it is
+    // *queued*, not refused — the client gets an immediate `queued`
+    // frame with its position and a retry hint, and the request runs
+    // once the first batch releases its slot.
+    let (second_tx, second_rx) = mpsc::channel::<String>();
+    let second_batch = {
+        let gateway = Arc::clone(&gateway);
+        let queued_request = request(&source, PriorityClass::Batch);
+        std::thread::spawn(move || {
+            let sink = move |line: &str| second_tx.send(line.to_owned()).unwrap();
+            gateway.submit(&queued_request, &sink).unwrap()
+        })
+    };
+    let queued = Json::parse(&second_rx.recv().unwrap()).unwrap();
+    assert_eq!(frame_kind(&queued), "queued");
+    assert_eq!(queued.get("class").and_then(Json::as_str), Some("batch"));
+    assert_eq!(queued.get("position").and_then(Json::as_u64), Some(1));
+    assert!(
+        queued.get("retry_ms").and_then(Json::as_u64).unwrap() >= 50,
+        "a queued frame must carry a usable retry hint"
+    );
+
+    // With one request running and one waiting (queue_depth 1), a third
+    // batch arrival overflows the lane: the only refusal left, typed.
     let refused = gateway
         .submit(&request(&source, PriorityClass::Batch), &|_| {
             panic!("refused requests must not emit frames")
@@ -292,19 +320,35 @@ fn over_limit_batch_is_refused_with_a_typed_error_while_interactive_admits() {
     );
     assert_eq!(refused.kind(), "overloaded");
 
-    // The batch class being full does not gate the interactive class.
+    // The batch lane being full does not gate the interactive class.
     let frames = collect(
         &gateway,
         &request(&example("loan_approval.has"), PriorityClass::Interactive),
     );
     assert_eq!(frame_kind(frames.last().unwrap()), "done");
 
-    let summary = batch_thread.join().unwrap();
-    assert!(!summary.aborted);
-    // The refusal is visible on /metrics.
-    assert!(gateway
-        .metrics_text()
-        .contains("verifas_requests_rejected_total{class=\"batch\"} 1"));
+    let first_summary = first_batch.join().unwrap();
+    assert!(!first_summary.aborted);
+    let second_summary = second_batch.join().unwrap();
+    assert!(
+        !second_summary.aborted,
+        "the queued request must run to completion once a slot frees"
+    );
+    let second_frames: Vec<Json> = second_rx
+        .iter()
+        .map(|line| Json::parse(&line).unwrap())
+        .collect();
+    assert!(
+        second_frames.iter().any(|f| frame_kind(f) == "admitted"),
+        "a queued request must still get its admitted frame"
+    );
+    // Both the queueing and the overflow refusal are visible on /metrics,
+    // and the lane drained completely.
+    let text = gateway.metrics_text();
+    assert!(text.contains("verifas_requests_queued_total{class=\"batch\"} 1"));
+    assert!(text.contains("verifas_requests_rejected_total{class=\"batch\"} 1"));
+    assert_eq!(gateway.queue().queued_len(PriorityClass::Batch), 0);
+    assert_eq!(gateway.queue().in_flight(PriorityClass::Batch), 0);
 }
 
 #[test]
@@ -314,6 +358,7 @@ fn server_side_cancel_stops_every_search_of_a_batch() {
         sessions: 4,
         limits: AdmissionLimits::default(),
         reuse: ReuseMode::Preproc,
+        memory_bytes: 0,
     });
     let source = example("parcel_returns.has");
     let compiled = verifas::spec::compile(&source).unwrap();
@@ -359,6 +404,7 @@ fn per_request_deadline_rides_the_cancel_plumbing() {
         sessions: 4,
         limits: AdmissionLimits::default(),
         reuse: ReuseMode::Preproc,
+        memory_bytes: 0,
     });
     let mut req = request(
         &example("conference_review.has"),
@@ -383,6 +429,7 @@ fn http_round_trip_streams_reports_and_reuses_sessions() {
             sessions: 4,
             limits: AdmissionLimits::default(),
             reuse: ReuseMode::Preproc,
+            memory_bytes: 0,
         },
         2,
     )
@@ -422,5 +469,254 @@ fn http_round_trip_streams_reports_and_reuses_sessions() {
     let text = server.gateway().metrics_text();
     assert!(text.contains("verifas_session_cache_lookups_total{result=\"hit\"} 1"));
     assert!(text.contains("verifas_requests_admitted_total{class=\"interactive\"} 2"));
+    server.shutdown();
+}
+
+/// Cancelling a request whose stream already finished is a clean no-op:
+/// the id has left the active table, so `cancel` reports not-found
+/// instead of poking a dead token (the completion/cancel race is
+/// inherent, so not-found is an answer, not an error).
+#[test]
+fn cancel_after_done_is_a_not_found_no_op() {
+    let gateway = Gateway::new(ServeConfig {
+        cores: 2,
+        sessions: 4,
+        limits: AdmissionLimits::default(),
+        reuse: ReuseMode::Preproc,
+        memory_bytes: 0,
+    });
+    let frames = collect(
+        &gateway,
+        &request(&example("loan_approval.has"), PriorityClass::Interactive),
+    );
+    assert_eq!(frame_kind(frames.last().unwrap()), "done");
+    let id = frames[0].get("request").and_then(Json::as_u64).unwrap();
+    assert!(
+        !gateway.cancel(id),
+        "a finished request must no longer be cancellable"
+    );
+    assert!(
+        !gateway.cancel(id + 1000),
+        "an unknown id is the same no-op"
+    );
+    assert_eq!(gateway.arbiter().in_flight(PriorityClass::Interactive), 0);
+}
+
+/// Cancelling the same in-flight request twice is idempotent: both
+/// calls find the request, the second re-fires an already-fired token,
+/// and the stream still ends in exactly one aborted `done` frame with
+/// every slot released.
+#[test]
+fn double_cancel_is_idempotent() {
+    let gateway = Gateway::new(ServeConfig {
+        cores: 2,
+        sessions: 4,
+        limits: AdmissionLimits::default(),
+        reuse: ReuseMode::Preproc,
+        memory_bytes: 0,
+    });
+    let source = example("parcel_returns.has");
+    let compiled = verifas::spec::compile(&source).unwrap();
+    let names: Vec<String> = compiled.properties.iter().map(|p| p.name.clone()).collect();
+    let mut req = request(&source, PriorityClass::Batch);
+    req.properties = Some(std::iter::repeat_n(names, 4).flatten().collect::<Vec<_>>());
+
+    let frames = Mutex::new(Vec::new());
+    let sink = |line: &str| {
+        let frame = Json::parse(line).unwrap();
+        if frame_kind(&frame) == "admitted" {
+            let id = frame.get("request").and_then(Json::as_u64).unwrap();
+            assert!(gateway.cancel(id), "first cancel must find the request");
+            assert!(
+                gateway.cancel(id),
+                "second cancel must be an idempotent hit"
+            );
+        }
+        frames.lock().unwrap().push(frame);
+    };
+    let summary = gateway.submit(&req, &sink).unwrap();
+    assert!(summary.aborted);
+    assert_eq!(summary.completed, 0);
+    let frames = frames.into_inner().unwrap();
+    assert_eq!(
+        frames
+            .iter()
+            .filter(|frame| frame_kind(frame) == "done")
+            .count(),
+        1,
+        "a double-cancelled stream still ends in exactly one done frame"
+    );
+    assert_eq!(gateway.arbiter().in_flight(PriorityClass::Batch), 0);
+    assert_eq!(gateway.queue().in_flight(PriorityClass::Batch), 0);
+}
+
+/// `Server::shutdown` with a request mid-stream: the in-flight batch is
+/// cancelled (not leaked, not wedged), its client sees a well-formed
+/// aborted `done` frame, and every thread joins.
+#[test]
+fn shutdown_with_inflight_requests_aborts_the_stream_and_joins() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            cores: 2,
+            sessions: 4,
+            limits: AdmissionLimits::default(),
+            reuse: ReuseMode::Preproc,
+            memory_bytes: 0,
+        },
+        2,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let source = example("conference_review.has");
+    let compiled = verifas::spec::compile(&source).unwrap();
+    let names: Vec<Json> = std::iter::repeat_n(&compiled.properties, 8)
+        .flatten()
+        .map(|p| Json::Str(p.name.clone()))
+        .collect();
+    let body = Json::Obj(vec![
+        ("spec".to_owned(), Json::Str(source)),
+        ("class".to_owned(), Json::Str("batch".to_owned())),
+        ("properties".to_owned(), Json::Arr(names)),
+    ])
+    .to_string();
+
+    let (admitted_tx, admitted_rx) = mpsc::channel::<()>();
+    let client = std::thread::spawn(move || {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let http = format!(
+            "POST /v1/verify HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        (&stream).write_all(http.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "connection closed before the body");
+            if line == "\r\n" {
+                break;
+            }
+        }
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        admitted_tx.send(()).unwrap();
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        let mut frames = vec![Json::parse(first.trim()).unwrap()];
+        frames.extend(rest.lines().map(|l| Json::parse(l).unwrap()));
+        frames
+    });
+
+    admitted_rx.recv().unwrap();
+    server.shutdown();
+    let frames = client.join().unwrap();
+    assert_eq!(frame_kind(&frames[0]), "admitted");
+    let done = frames.last().unwrap();
+    assert_eq!(frame_kind(done), "done");
+    assert_eq!(
+        done.get("summary")
+            .and_then(|s| s.get("aborted"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "shutdown must abort the in-flight stream, not truncate it"
+    );
+    let text = server.gateway().metrics_text();
+    assert!(text.contains("verifas_requests_in_flight{class=\"batch\"} 0"));
+    assert!(text.contains("verifas_queue_depth{class=\"batch\"} 0"));
+}
+
+/// A client that hangs up mid-stream costs the server at most the rest
+/// of that batch: the searches run their course with writes swallowed,
+/// after which the request guard reclaims the cores, the admission
+/// slot, and the in-flight gauges — and the server keeps serving.
+#[test]
+fn client_disconnect_mid_stream_reclaims_cores_and_gauges() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::time::{Duration, Instant};
+
+    let mut server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            cores: 2,
+            sessions: 4,
+            limits: AdmissionLimits::default(),
+            reuse: ReuseMode::Preproc,
+            memory_bytes: 0,
+        },
+        2,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let source = example("conference_review.has");
+    let compiled = verifas::spec::compile(&source).unwrap();
+    let names: Vec<Json> = std::iter::repeat_n(&compiled.properties, 2)
+        .flatten()
+        .map(|p| Json::Str(p.name.clone()))
+        .collect();
+    let body = Json::Obj(vec![
+        ("spec".to_owned(), Json::Str(source)),
+        ("class".to_owned(), Json::Str("batch".to_owned())),
+        ("properties".to_owned(), Json::Arr(names)),
+    ])
+    .to_string();
+
+    {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let http = format!(
+            "POST /v1/verify HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        (&stream).write_all(http.as_bytes()).unwrap();
+        let mut reader = BufReader::new(&stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "connection closed before the body");
+            if line == "\r\n" {
+                break;
+            }
+        }
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            frame_kind(&Json::parse(line.trim()).unwrap()),
+            "admitted",
+            "the stream must be live before we hang up on it"
+        );
+        // Scope end: the connection drops mid-stream.
+    }
+
+    // The batch finishes server-side (writes silently swallowed), after
+    // which every gauge must return to zero.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if server.gateway().arbiter().in_flight(PriorityClass::Batch) == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnected client's request never released its slot"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let text = server.gateway().metrics_text();
+    assert!(text.contains("verifas_requests_in_flight{class=\"batch\"} 0"));
+    assert!(text.contains("verifas_requests_in_flight{class=\"interactive\"} 0"));
+    assert!(text.contains("verifas_queue_depth{class=\"batch\"} 0"));
+
+    // The server is still healthy and still answers.
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    (&stream)
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    let mut status = String::new();
+    reader.read_line(&mut status).unwrap();
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
     server.shutdown();
 }
