@@ -43,6 +43,14 @@
 //! replayed through the carried memo) is measured alongside, and both
 //! warm verdicts must be bit-identical to the cold one.
 //!
+//! A seventh gate covers the arena state layout: the million-state
+//! open/close lattice is searched single-threaded under the arena-backed
+//! grouped layout and under the retained pre-overhaul reference layout
+//! (boxed nodes, full linear coverage scans), and the states/sec ratio is
+//! gated with `--min-layout-speedup`.  The two layouts are additionally
+//! cross-checked bit for bit at the reference arm's state budget, and the
+//! arena arm's peak memory estimate is recorded alongside.
+//!
 //! Usage:
 //!
 //! ```text
@@ -50,20 +58,23 @@
 //!          [--baseline PATH] [--update-baseline] [--min-speedup X]
 //!          [--min-repeated-speedup X] [--min-repeated-parallel-speedup X]
 //!          [--min-batch-speedup X] [--min-incremental-speedup X]
+//!          [--min-layout-speedup X]
 //! ```
 
 use std::time::Instant;
 use verifas_core::static_analysis::ConstraintGraph;
 use verifas_core::{
     find_infinite_violation_reference, find_infinite_violation_with, BatchOptions, CoverageKind,
-    Engine as VerifasEngine, Json, ProductSystem, RepeatedOutcome, ReuseMode, SchedulePolicy,
-    SearchControl, SearchLimits, VerificationOutcome, VerificationReport, VerifierOptions,
+    Engine as VerifasEngine, Json, KarpMillerSearch, ProductSystem, RepeatedOutcome, ReuseMode,
+    SchedulePolicy, SearchControl, SearchLimits, VerificationOutcome, VerificationReport,
+    VerifierOptions,
 };
 use verifas_ltl::LtlFoProperty;
 use verifas_model::HasSpec;
 use verifas_workloads::{
-    cycle_grid, cycle_grid_liveness, cycle_torus, generate, generate_properties, real_workflows,
-    skewed_batch_properties, skewed_grid, SyntheticParams,
+    cycle_grid, cycle_grid_liveness, cycle_torus, generate, generate_properties,
+    lattice_false_property, open_close_lattice, real_workflows, skewed_batch_properties,
+    skewed_grid, SyntheticParams,
 };
 
 struct Args {
@@ -78,6 +89,7 @@ struct Args {
     min_repeated_parallel_speedup: Option<f64>,
     min_batch_speedup: Option<f64>,
     min_incremental_speedup: Option<f64>,
+    min_layout_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -93,6 +105,7 @@ fn parse_args() -> Args {
         min_repeated_parallel_speedup: None,
         min_batch_speedup: None,
         min_incremental_speedup: None,
+        min_layout_speedup: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -136,6 +149,13 @@ fn parse_args() -> Args {
                     value("--min-incremental-speedup")
                         .parse()
                         .expect("--min-incremental-speedup"),
+                )
+            }
+            "--min-layout-speedup" => {
+                args.min_layout_speedup = Some(
+                    value("--min-layout-speedup")
+                        .parse()
+                        .expect("--min-layout-speedup"),
                 )
             }
             other => panic!("unknown flag {other:?} (see ci_bench source for usage)"),
@@ -679,6 +699,145 @@ fn measure_incremental(args: &Args, failures: &mut Vec<String>) -> IncrementalRo
     }
 }
 
+/// The state-layout measurement: the open/close lattice searched raw
+/// (no engine pipeline, no repeated-reachability pass) and
+/// single-threaded, once under the arena-backed grouped layout and once
+/// under the retained pre-overhaul reference layout.
+struct LayoutRow {
+    name: String,
+    /// States created per arm — the arms run under *different* state
+    /// budgets (the reference layout is orders of magnitude slower, and
+    /// its per-state cost grows with the node count, so capping it low
+    /// flatters it; the reported speedup is therefore conservative).
+    new_states: usize,
+    reference_states: usize,
+    new_millis: f64,
+    reference_millis: f64,
+    new_states_per_sec: f64,
+    reference_states_per_sec: f64,
+    /// States/sec ratio: arena layout / reference layout (the
+    /// `--min-layout-speedup` gate).
+    layout_speedup: f64,
+    /// The arena arm's `estimated_bytes` at the end of its (larger) run —
+    /// the same deterministic estimate the memory budget charges against,
+    /// recorded so the per-state footprint of the layout is tracked.
+    peak_bytes_estimate: usize,
+}
+
+/// Run one single-threaded lattice search arm to its state budget and
+/// return `(states_created, best_millis, final estimated_bytes)` plus the
+/// identity the cross-check compares: the state count and the exact
+/// active-node id set.
+#[allow(clippy::type_complexity)]
+fn time_layout_arm(
+    product: &ProductSystem,
+    reference_layout: bool,
+    max_states: usize,
+    samples: usize,
+) -> (usize, f64, usize, (usize, usize, Vec<usize>)) {
+    let limits = SearchLimits {
+        max_states,
+        // The state budget is the only limiter (wall-clock stops would be
+        // scheduling dependent).
+        max_millis: 600_000,
+    };
+    let mut best: Option<(usize, f64, usize, (usize, usize, Vec<usize>))> = None;
+    for sample in 0..=samples {
+        let mut search = KarpMillerSearch::new(product, CoverageKind::Subsumption, false, limits);
+        search.reference_layout = reference_layout;
+        search.threads = 1;
+        let start = Instant::now();
+        search.run();
+        let millis = start.elapsed().as_secs_f64() * 1_000.0;
+        if sample == 0 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(_, b, _, _)| millis < *b) {
+            best = Some((
+                search.stats.states_created,
+                millis,
+                search.estimated_bytes(),
+                (
+                    search.stats.states_created,
+                    search.len(),
+                    search.active_nodes(),
+                ),
+            ));
+        }
+    }
+    best.expect("at least one timed sample ran")
+}
+
+fn measure_layout(args: &Args, failures: &mut Vec<String>) -> LayoutRow {
+    let spec = open_close_lattice(16, 16);
+    let property = lattice_false_property(&spec);
+    let product = ProductSystem::new(&spec, &property, true).expect("lattice is valid");
+    let name = format!("{}/{}", spec.name, property.name);
+    let samples = if args.quick { 1 } else { 2 };
+    // The arena arm gets a budget deep enough that group scans, arena
+    // interning and the publication protocol dominate; the reference arm
+    // gets a budget it can clear in seconds (its full linear scans are
+    // quadratic in the node count).
+    let new_cap = if args.quick { 30_000 } else { 120_000 };
+    let reference_cap = if args.quick { 4_000 } else { 8_000 };
+    let (new_states, new_millis, peak_bytes_estimate, _) =
+        time_layout_arm(&product, false, new_cap, samples);
+    let (reference_states, reference_millis, _, reference_id) =
+        time_layout_arm(&product, true, reference_cap, samples);
+    // Cross-check: at the *same* budget the two layouts must materialise
+    // bit-identical trees (the grouped scan visits exactly the states the
+    // full scan does, in the same order).
+    let (_, _, _, new_id) = time_layout_arm(&product, false, reference_cap, 1);
+    if new_id != reference_id {
+        failures.push(format!(
+            "{name}: arena and reference layouts diverged at {reference_cap} states \
+             (arena {new_id:?} vs reference {reference_id:?})"
+        ));
+    }
+    let new_states_per_sec = new_states as f64 / (new_millis / 1_000.0);
+    let reference_states_per_sec = reference_states as f64 / (reference_millis / 1_000.0);
+    LayoutRow {
+        name,
+        new_states,
+        reference_states,
+        new_millis,
+        reference_millis,
+        new_states_per_sec,
+        reference_states_per_sec,
+        layout_speedup: new_states_per_sec / reference_states_per_sec,
+        peak_bytes_estimate,
+    }
+}
+
+fn layout_json(row: &LayoutRow) -> Json {
+    Json::Obj(vec![
+        ("name".to_owned(), Json::Str(row.name.clone())),
+        ("new_states".to_owned(), Json::Num(row.new_states as f64)),
+        (
+            "reference_states".to_owned(),
+            Json::Num(row.reference_states as f64),
+        ),
+        ("new_millis".to_owned(), Json::Num(row.new_millis)),
+        (
+            "reference_millis".to_owned(),
+            Json::Num(row.reference_millis),
+        ),
+        (
+            "new_states_per_sec".to_owned(),
+            Json::Num(row.new_states_per_sec),
+        ),
+        (
+            "reference_states_per_sec".to_owned(),
+            Json::Num(row.reference_states_per_sec),
+        ),
+        ("layout_speedup".to_owned(), Json::Num(row.layout_speedup)),
+        (
+            "peak_bytes_estimate".to_owned(),
+            Json::Num(row.peak_bytes_estimate as f64),
+        ),
+    ])
+}
+
 fn incremental_json(row: &IncrementalRow) -> Json {
     Json::Obj(vec![
         ("name".to_owned(), Json::Str(row.name.clone())),
@@ -762,14 +921,15 @@ fn results_json(
     repeated: &[RepeatedRow],
     batch: &BatchRow,
     incremental: &IncrementalRow,
+    layout: &LayoutRow,
     args: &Args,
     host_parallelism: usize,
 ) -> Json {
     Json::Obj(vec![
         // Version 2 added the `repeated_reachability` section; version 3
         // the `batch_sharded` section; version 4 the `incremental`
-        // section.
-        ("schema".to_owned(), Json::Num(4.0)),
+        // section; version 5 the `state_layout` section.
+        ("schema".to_owned(), Json::Num(5.0)),
         ("threads".to_owned(), Json::Num(args.threads as f64)),
         (
             "host_parallelism".to_owned(),
@@ -812,6 +972,7 @@ fn results_json(
         ),
         ("batch_sharded".to_owned(), batch_json(batch)),
         ("incremental".to_owned(), incremental_json(incremental)),
+        ("state_layout".to_owned(), layout_json(layout)),
     ])
 }
 
@@ -828,10 +989,42 @@ fn regression_failures(
     repeated: &[RepeatedRow],
     batch: &BatchRow,
     incremental: &IncrementalRow,
+    layout: &LayoutRow,
     baseline: &Json,
 ) -> Vec<String> {
     const TOLERANCE: f64 = 0.7; // fail on a >30% drop
     let mut failures = Vec::new();
+    // The arena state layout regresses on its states/sec (absent from
+    // pre-PR-9 baselines: nothing to compare).
+    if let Some(base) = baseline.get("state_layout") {
+        if base.get("name").and_then(Json::as_str) == Some(layout.name.as_str()) {
+            if let Some(reference) = num_member(base, "new_states_per_sec") {
+                let current = layout.new_states_per_sec;
+                if current < reference * TOLERANCE {
+                    failures.push(format!(
+                        "{}: new_states_per_sec regressed to {current:.0} \
+                         (baseline {reference:.0}, floor {:.0})",
+                        layout.name,
+                        reference * TOLERANCE
+                    ));
+                }
+            }
+            // Peak memory regresses upward: the estimate is deterministic
+            // for a deterministic search, so any growth is a layout
+            // change, not noise — allow the same 30% headroom.
+            if let Some(reference) = num_member(base, "peak_bytes_estimate") {
+                let current = layout.peak_bytes_estimate as f64;
+                if current > reference / TOLERANCE {
+                    failures.push(format!(
+                        "{}: peak_bytes_estimate grew to {current:.0} \
+                         (baseline {reference:.0}, ceiling {:.0})",
+                        layout.name,
+                        reference / TOLERANCE
+                    ));
+                }
+            }
+        }
+    }
     // The incremental edit loop regresses on its warm-iteration
     // throughput (absent from pre-PR-7 baselines: nothing to compare).
     if let Some(base) = baseline.get("incremental") {
@@ -1018,11 +1211,22 @@ fn main() {
         incremental.speedup,
         incremental.replay_speedup,
     );
+    let layout = measure_layout(&args, &mut verdict_failures);
+    println!(
+        "  {:<48} {:>12}          layout: arena {:>8.0}/s  reference {:>8.0}/s  speedup {:.1}x  peak ~{:.0} MB",
+        layout.name,
+        "state-layout",
+        layout.new_states_per_sec,
+        layout.reference_states_per_sec,
+        layout.layout_speedup,
+        layout.peak_bytes_estimate as f64 / 1e6,
+    );
     let doc = results_json(
         &rows,
         &repeated,
         &batch,
         &incremental,
+        &layout,
         &args,
         host_parallelism,
     );
@@ -1055,8 +1259,14 @@ fn main() {
                         .and_then(Json::as_u64)
                         .unwrap_or(0) as usize;
                     let comparable = baseline_cores == host_parallelism;
-                    let failures =
-                        regression_failures(&rows, &repeated, &batch, &incremental, &baseline);
+                    let failures = regression_failures(
+                        &rows,
+                        &repeated,
+                        &batch,
+                        &incremental,
+                        &layout,
+                        &baseline,
+                    );
                     if !failures.is_empty() && comparable {
                         failed = true;
                         eprintln!("FAIL: >30% throughput regression vs {path}:");
@@ -1199,6 +1409,21 @@ fn main() {
             println!(
                 "incremental edit-loop speedup {:.0}x warm, {:.2}x replay (required {min:.2}x)",
                 incremental.speedup, incremental.replay_speedup
+            );
+        }
+    }
+    if let Some(min) = args.min_layout_speedup {
+        // Both arms are single-threaded, so this gate holds on any host.
+        if layout.layout_speedup < min {
+            failed = true;
+            eprintln!(
+                "FAIL: arena state-layout speedup {:.2}x is below the required {min:.2}x",
+                layout.layout_speedup
+            );
+        } else {
+            println!(
+                "arena state-layout speedup {:.1}x (required {min:.2}x)",
+                layout.layout_speedup
             );
         }
     }

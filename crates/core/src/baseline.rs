@@ -50,6 +50,7 @@ impl BaselineVerifier {
             KarpMillerSearch::new(&self.product, CoverageKind::Equality, false, self.limits);
         let outcome = search.run();
         let stats = search.stats;
+        let failure = std::mem::take(&mut search.failure);
         let describe = |services: &[ServiceRef]| {
             services
                 .iter()
@@ -72,6 +73,7 @@ impl BaselineVerifier {
                     repeated_stats: None,
                     repeated_cycle: None,
                     worker_stats: Vec::new(),
+                    failure,
                 }
             }
             SearchOutcome::LimitReached => VerificationResult {
@@ -81,6 +83,7 @@ impl BaselineVerifier {
                 repeated_stats: None,
                 repeated_cycle: None,
                 worker_stats: Vec::new(),
+                failure,
             },
             SearchOutcome::Exhausted => {
                 let repeated = find_infinite_violation(
@@ -91,6 +94,7 @@ impl BaselineVerifier {
                 );
                 let repeated_stats = Some(repeated.stats);
                 let repeated_cycle = repeated.cycle;
+                let failure = failure.or(repeated.failure);
                 if let Some(finite) = repeated.finite_violation {
                     return VerificationResult {
                         outcome: VerificationOutcome::Violated,
@@ -103,6 +107,7 @@ impl BaselineVerifier {
                         repeated_stats,
                         repeated_cycle,
                         worker_stats: Vec::new(),
+                        failure,
                     };
                 }
                 match repeated.violation {
@@ -117,6 +122,7 @@ impl BaselineVerifier {
                         repeated_stats,
                         repeated_cycle,
                         worker_stats: Vec::new(),
+                        failure: failure.clone(),
                     },
                     None if repeated.limit_reached => VerificationResult {
                         outcome: VerificationOutcome::Inconclusive,
@@ -125,6 +131,7 @@ impl BaselineVerifier {
                         repeated_stats,
                         repeated_cycle,
                         worker_stats: Vec::new(),
+                        failure: failure.clone(),
                     },
                     None => VerificationResult {
                         outcome: VerificationOutcome::Satisfied,
@@ -133,6 +140,7 @@ impl BaselineVerifier {
                         repeated_stats,
                         repeated_cycle,
                         worker_stats: Vec::new(),
+                        failure: failure.clone(),
                     },
                 }
             }

@@ -4,8 +4,8 @@
 //! its strict variant `≼⁺` used by the repeated-reachability extension
 //! (Appendix C, Definition 31).
 
-use crate::product::ProductState;
-use crate::psi::{CounterVec, TypeTable, OMEGA};
+use crate::product::StateView;
+use crate::psi::{CounterVec, StoredTypeId, TypeTable, OMEGA};
 
 /// Which order the search uses to prune covered states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,14 +40,43 @@ fn count_value(c: u32) -> i64 {
 /// only when their discrete keys are equal, so both the state index and
 /// the repeated-reachability edge construction partition candidates by
 /// this key before running the exact tests.
-pub fn discrete_key(state: &ProductState) -> (usize, u64, bool) {
-    (state.buchi, state.psi.child_active, state.closed)
+pub fn discrete_key(state: StateView<'_>) -> (usize, u64, bool) {
+    (state.buchi, state.child_active, state.closed)
 }
 
 /// Discrete components (automaton state, child activation, closed flag)
 /// must match exactly for any coverage relation.
-fn discrete_match(covered: &ProductState, covering: &ProductState) -> bool {
+fn discrete_match(covered: StateView<'_>, covering: StateView<'_>) -> bool {
     discrete_key(covered) == discrete_key(covering)
+}
+
+/// The count for a stored type in a sorted entry slice (0 if absent).
+fn slice_get(entries: &[(StoredTypeId, u32)], id: StoredTypeId) -> u32 {
+    entries
+        .binary_search_by_key(&id, |(t, _)| *t)
+        .map(|i| entries[i].1)
+        .unwrap_or(0)
+}
+
+/// Pointwise comparison `left ≤ right` (with `n < ω` for all `n`) over
+/// sorted entry slices — the borrowed twin of [`CounterVec::leq`].
+fn slice_leq(left: &[(StoredTypeId, u32)], right: &[(StoredTypeId, u32)]) -> bool {
+    left.iter().all(|(t, c)| {
+        let o = slice_get(right, *t);
+        o == OMEGA || (*c != OMEGA && *c <= o)
+    })
+}
+
+/// `true` iff some counter of `right` strictly exceeds the matching one
+/// of `left` — the borrowed twin of [`CounterVec::strictly_less_somewhere`].
+fn slice_strictly_less_somewhere(
+    left: &[(StoredTypeId, u32)],
+    right: &[(StoredTypeId, u32)],
+) -> bool {
+    right.iter().any(|(t, c)| {
+        let mine = slice_get(left, *t);
+        mine != OMEGA && (*c == OMEGA || mine < *c)
+    })
 }
 
 /// `true` iff `covering` covers `covered` under the given order
@@ -55,26 +84,29 @@ fn discrete_match(covered: &ProductState, covering: &ProductState) -> bool {
 /// `covering`.
 pub fn covers(
     kind: CoverageKind,
-    covered: &ProductState,
-    covering: &ProductState,
+    covered: StateView<'_>,
+    covering: StateView<'_>,
     interner: &dyn TypeTable,
 ) -> bool {
     if !discrete_match(covered, covering) {
         return false;
     }
+    // The discrete components already matched, so full equality reduces
+    // to the type and the counters.
+    let equal = || covered.pit == covering.pit && covered.counters == covering.counters;
     match kind {
-        CoverageKind::Equality => covered == covering,
+        CoverageKind::Equality => equal(),
         CoverageKind::Standard => {
-            covered.psi.pit == covering.psi.pit && covered.psi.counters.leq(&covering.psi.counters)
+            covered.pit == covering.pit && slice_leq(covered.counters, covering.counters)
         }
         CoverageKind::Subsumption => {
-            covered.psi.pit.implies(&covering.psi.pit)
-                && flow_feasible(&covered.psi.counters, &covering.psi.counters, interner, 0)
+            covered.pit.implies(covering.pit)
+                && flow_feasible(covered.counters, covering.counters, interner, 0)
         }
         CoverageKind::StrictSubsumption => {
-            covered == covering
-                || (covered.psi.pit.implies(&covering.psi.pit)
-                    && flow_feasible(&covered.psi.counters, &covering.psi.counters, interner, 1))
+            equal()
+                || (covered.pit.implies(covering.pit)
+                    && flow_feasible(covered.counters, covering.counters, interner, 1))
         }
     }
 }
@@ -85,13 +117,13 @@ pub fn covers(
 /// addition leave at least that much unused capacity on the right
 /// (Definition 31).
 pub fn flow_feasible(
-    left: &CounterVec,
-    right: &CounterVec,
+    left: &[(StoredTypeId, u32)],
+    right: &[(StoredTypeId, u32)],
     interner: &dyn TypeTable,
     required_slack: i64,
 ) -> bool {
-    let left_entries: Vec<(u32, i64)> = left.iter().map(|(t, c)| (t, count_value(c))).collect();
-    let right_entries: Vec<(u32, i64)> = right.iter().map(|(t, c)| (t, count_value(c))).collect();
+    let left_entries: Vec<(u32, i64)> = left.iter().map(|(t, c)| (*t, count_value(*c))).collect();
+    let right_entries: Vec<(u32, i64)> = right.iter().map(|(t, c)| (*t, count_value(*c))).collect();
     let demand: i64 = left_entries.iter().map(|(_, c)| *c).sum();
     let supply: i64 = right_entries.iter().map(|(_, c)| *c).sum();
     if demand == 0 {
@@ -136,8 +168,8 @@ pub fn flow_feasible(
 /// Returns `None` when no acceleration applies.
 pub fn accelerate(
     kind: CoverageKind,
-    ancestor: &ProductState,
-    candidate: &ProductState,
+    ancestor: StateView<'_>,
+    candidate: StateView<'_>,
     interner: &dyn TypeTable,
 ) -> Option<CounterVec> {
     if !discrete_match(ancestor, candidate) {
@@ -146,18 +178,15 @@ pub fn accelerate(
     match kind {
         CoverageKind::Equality => None,
         CoverageKind::Standard => {
-            if ancestor.psi.pit != candidate.psi.pit
-                || !ancestor.psi.counters.leq(&candidate.psi.counters)
-                || !ancestor
-                    .psi
-                    .counters
-                    .strictly_less_somewhere(&candidate.psi.counters)
+            if ancestor.pit != candidate.pit
+                || !slice_leq(ancestor.counters, candidate.counters)
+                || !slice_strictly_less_somewhere(ancestor.counters, candidate.counters)
             {
                 return None;
             }
-            let mut counters = candidate.psi.counters.clone();
-            for (t, c) in candidate.psi.counters.iter() {
-                let anc = ancestor.psi.counters.get(t);
+            let mut counters = CounterVec::from_sorted(candidate.counters.to_vec());
+            for &(t, c) in candidate.counters {
+                let anc = slice_get(ancestor.counters, t);
                 if anc != OMEGA && c != OMEGA && anc < c {
                     counters = counters.with_omega(t);
                 }
@@ -168,24 +197,25 @@ pub fn accelerate(
             Some(counters)
         }
         CoverageKind::Subsumption | CoverageKind::StrictSubsumption => {
-            if !ancestor.psi.pit.implies(&candidate.psi.pit)
-                || !flow_feasible(&ancestor.psi.counters, &candidate.psi.counters, interner, 0)
+            if !ancestor.pit.implies(candidate.pit)
+                || !flow_feasible(ancestor.counters, candidate.counters, interner, 0)
             {
                 return None;
             }
             // A right-hand type can be accelerated if the mapping can leave
             // slack on it: feasibility still holds after lowering its
             // capacity by one.
-            let mut counters = candidate.psi.counters.clone();
+            let owned = CounterVec::from_sorted(candidate.counters.to_vec());
+            let mut counters = owned.clone();
             let mut changed = false;
-            for (t, c) in candidate.psi.counters.iter() {
+            for (t, c) in owned.iter() {
                 if c == OMEGA {
                     continue;
                 }
-                let Some(reduced) = candidate.psi.counters.decremented(t) else {
+                let Some(reduced) = owned.decremented(t) else {
                     continue;
                 };
-                if flow_feasible(&ancestor.psi.counters, &reduced, interner, 0) {
+                if flow_feasible(ancestor.counters, reduced.as_slice(), interner, 0) {
                     counters = counters.with_omega(t);
                     changed = true;
                 }
@@ -308,6 +338,8 @@ mod tests {
         (spec, u)
     }
 
+    use crate::product::ProductState;
+
     fn state(pit: Pit, counters: crate::psi::CounterVec) -> ProductState {
         ProductState {
             psi: Psi {
@@ -342,14 +374,39 @@ mod tests {
         let interner = StoredTypeInterner::new();
         let a = state(Pit::empty(), crate::psi::CounterVec::empty());
         let b = state(constrained(&u, "a"), crate::psi::CounterVec::empty());
-        assert!(covers(CoverageKind::Standard, &a, &a, &interner));
-        assert!(!covers(CoverageKind::Standard, &b, &a, &interner));
+        assert!(covers(
+            CoverageKind::Standard,
+            a.view(),
+            a.view(),
+            &interner
+        ));
+        assert!(!covers(
+            CoverageKind::Standard,
+            b.view(),
+            a.view(),
+            &interner
+        ));
         // Subsumption allows pruning the more constrained state in favour of
         // the less constrained one.
-        assert!(covers(CoverageKind::Subsumption, &b, &a, &interner));
-        assert!(!covers(CoverageKind::Subsumption, &a, &b, &interner));
+        assert!(covers(
+            CoverageKind::Subsumption,
+            b.view(),
+            a.view(),
+            &interner
+        ));
+        assert!(!covers(
+            CoverageKind::Subsumption,
+            a.view(),
+            b.view(),
+            &interner
+        ));
         // Equality is the strictest.
-        assert!(!covers(CoverageKind::Equality, &b, &a, &interner));
+        assert!(!covers(
+            CoverageKind::Equality,
+            b.view(),
+            a.view(),
+            &interner
+        ));
     }
 
     #[test]
@@ -375,22 +432,22 @@ mod tests {
         let covering = state(Pit::empty(), right.clone());
         assert!(covers(
             CoverageKind::Subsumption,
-            &covered,
-            &covering,
+            covered.view(),
+            covering.view(),
             &interner
         ));
         // Standard coverage fails: counters are not pointwise comparable.
         assert!(!covers(
             CoverageKind::Standard,
-            &covered,
-            &covering,
+            covered.view(),
+            covering.view(),
             &interner
         ));
         // The reverse direction does not hold: τa tuples cannot map to τb.
         assert!(!covers(
             CoverageKind::Subsumption,
-            &covering,
-            &covered,
+            covering.view(),
+            covered.view(),
             &interner
         ));
     }
@@ -405,15 +462,30 @@ mod tests {
         let two = one.incremented(tau_a);
         let s1 = state(Pit::empty(), one.clone());
         let s2 = state(Pit::empty(), two);
-        assert!(covers(CoverageKind::StrictSubsumption, &s1, &s1, &interner));
-        assert!(covers(CoverageKind::StrictSubsumption, &s1, &s2, &interner));
-        // Same totals, different nothing: ≼ holds but ≼⁺ needs strict slack.
-        let s1b = state(Pit::empty(), one);
-        assert!(covers(CoverageKind::Subsumption, &s1, &s1b, &interner));
         assert!(covers(
             CoverageKind::StrictSubsumption,
-            &s1,
-            &s1b,
+            s1.view(),
+            s1.view(),
+            &interner
+        ));
+        assert!(covers(
+            CoverageKind::StrictSubsumption,
+            s1.view(),
+            s2.view(),
+            &interner
+        ));
+        // Same totals, different nothing: ≼ holds but ≼⁺ needs strict slack.
+        let s1b = state(Pit::empty(), one);
+        assert!(covers(
+            CoverageKind::Subsumption,
+            s1.view(),
+            s1b.view(),
+            &interner
+        ));
+        assert!(covers(
+            CoverageKind::StrictSubsumption,
+            s1.view(),
+            s1b.view(),
             &interner
         )); // equality case
         let different = state(
@@ -422,8 +494,8 @@ mod tests {
         );
         assert!(!covers(
             CoverageKind::StrictSubsumption,
-            &different,
-            &s1,
+            different.view(),
+            s1.view(),
             &interner
         ));
         let _ = u;
@@ -442,14 +514,30 @@ mod tests {
                 .incremented(t)
                 .incremented(t),
         );
-        let accelerated = accelerate(CoverageKind::Standard, &ancestor, &candidate, &interner)
-            .expect("acceleration applies");
+        let accelerated = accelerate(
+            CoverageKind::Standard,
+            ancestor.view(),
+            candidate.view(),
+            &interner,
+        )
+        .expect("acceleration applies");
         assert_eq!(accelerated.get(t), OMEGA);
         // No acceleration when counters did not grow.
-        assert!(accelerate(CoverageKind::Standard, &ancestor, &ancestor, &interner).is_none());
+        assert!(accelerate(
+            CoverageKind::Standard,
+            ancestor.view(),
+            ancestor.view(),
+            &interner
+        )
+        .is_none());
         // Subsumption-based acceleration also pumps.
-        let accelerated = accelerate(CoverageKind::Subsumption, &ancestor, &candidate, &interner)
-            .expect("subsumption acceleration applies");
+        let accelerated = accelerate(
+            CoverageKind::Subsumption,
+            ancestor.view(),
+            candidate.view(),
+            &interner,
+        )
+        .expect("subsumption acceleration applies");
         assert_eq!(accelerated.get(t), OMEGA);
     }
 
@@ -460,12 +548,27 @@ mod tests {
         let a = state(Pit::empty(), crate::psi::CounterVec::empty());
         let mut b = a.clone();
         b.buchi = 1;
-        assert!(!covers(CoverageKind::Subsumption, &a, &b, &interner));
+        assert!(!covers(
+            CoverageKind::Subsumption,
+            a.view(),
+            b.view(),
+            &interner
+        ));
         let mut c = a.clone();
         c.psi.child_active = 1;
-        assert!(!covers(CoverageKind::Standard, &a, &c, &interner));
+        assert!(!covers(
+            CoverageKind::Standard,
+            a.view(),
+            c.view(),
+            &interner
+        ));
         let mut d = a.clone();
         d.closed = true;
-        assert!(!covers(CoverageKind::Equality, &a, &d, &interner));
+        assert!(!covers(
+            CoverageKind::Equality,
+            a.view(),
+            d.view(),
+            &interner
+        ));
     }
 }

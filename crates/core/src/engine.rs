@@ -460,7 +460,7 @@ impl Engine {
             let fp = static_removed_fingerprint(&product.task.static_removed);
             product.set_memo(prep.memo.scope(fp));
         }
-        let result = run_verification(&product, options, control);
+        let mut result = run_verification(&product, options, control);
         // A memory-budgeted run that tripped its lease degrades to a
         // typed error instead of a (limit-shaped) report: the verdict
         // would be Inconclusive anyway, and the caller needs to
@@ -478,6 +478,15 @@ impl Engine {
                 bytes,
                 limit_bytes,
             });
+        }
+        // A run in which a worker thread panicked degrades the same way:
+        // a typed error instead of a (limit-shaped) report.  The search
+        // tree behind the partial result is consistent — panicked rounds
+        // are discarded unapplied — but the verdict would be Inconclusive
+        // and the caller needs the panic message, not a report.  Checked
+        // before caching, like memory exhaustion above.
+        if let Some(reason) = result.failure.take() {
+            return Err(VerifasError::Internal { reason });
         }
         let report = VerificationReport::from_result(
             &self.spec,
@@ -510,17 +519,7 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Best-effort rendering of a panic payload (the common `&str` / `String`
-/// cases; anything else is reported opaquely).
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
-}
+use crate::error::panic_message;
 
 /// Builder for one verification request (see [`Engine::verification`]).
 pub struct VerificationBuilder<'e, 'o> {

@@ -25,7 +25,7 @@
 //! locks per group).
 
 use crate::pit::Edge;
-use crate::product::ProductState;
+use crate::product::StateView;
 use crate::psi::TypeTable;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -40,7 +40,7 @@ type GroupKey = (usize, u64, bool);
 /// contention when many groups are created at once).
 const SHARD_COUNT: usize = 16;
 
-fn group_key(state: &ProductState) -> GroupKey {
+fn group_key(state: StateView<'_>) -> GroupKey {
     crate::coverage::discrete_key(state)
 }
 
@@ -71,9 +71,8 @@ fn shard_of(key: &GroupKey) -> usize {
 ///
 /// Because the filter is sound in both directions, a search run with the
 /// index enabled is bit-identical to one without it.
-pub fn edge_signature(state: &ProductState, _interner: &dyn TypeTable) -> BTreeSet<Edge> {
+pub fn edge_signature(state: StateView<'_>, _interner: &dyn TypeTable) -> BTreeSet<Edge> {
     state
-        .psi
         .pit
         .edges()
         .iter()
@@ -84,14 +83,14 @@ pub fn edge_signature(state: &ProductState, _interner: &dyn TypeTable) -> BTreeS
 
 #[derive(Debug, Default)]
 struct GroupIndex {
-    /// Posting lists: edge → states whose signature contains the edge.
-    postings: HashMap<Edge, Vec<usize>>,
+    /// Posting lists: edge → arena ids whose signature contains the edge.
+    postings: HashMap<Edge, Vec<u32>>,
     /// Signature size per state.
-    sizes: HashMap<usize, usize>,
+    sizes: HashMap<u32, usize>,
     /// States with an empty signature.
-    empty: Vec<usize>,
+    empty: Vec<u32>,
     /// States marked removed (lazily filtered out of query results).
-    removed: HashSet<usize>,
+    removed: HashSet<u32>,
 }
 
 /// Inverted index over active states used to filter coverage candidates.
@@ -128,7 +127,7 @@ impl StateIndex {
     /// entries, so candidate queries need no per-hit activity filtering.
     pub fn over_states<'a, I>(states: I, interner: &dyn TypeTable) -> Self
     where
-        I: IntoIterator<Item = (usize, &'a ProductState)>,
+        I: IntoIterator<Item = (u32, StateView<'a>)>,
     {
         let index = StateIndex::new();
         for (id, state) in states {
@@ -152,7 +151,7 @@ impl StateIndex {
     }
 
     /// Insert a state under the given id.
-    pub fn insert(&self, id: usize, state: &ProductState, interner: &dyn TypeTable) {
+    pub fn insert(&self, id: u32, state: StateView<'_>, interner: &dyn TypeTable) {
         let group = self.group_or_insert(group_key(state));
         let signature = edge_signature(state, interner);
         let mut group = group.write().unwrap();
@@ -168,7 +167,7 @@ impl StateIndex {
     }
 
     /// Mark a state as removed (lazily filtered out of query results).
-    pub fn remove(&self, id: usize, state: &ProductState) {
+    pub fn remove(&self, id: u32, state: StateView<'_>) {
         if let Some(group) = self.group(&group_key(state)) {
             group.write().unwrap().removed.insert(id);
         }
@@ -177,7 +176,7 @@ impl StateIndex {
     /// Candidate states whose signature is a *subset* of the query's
     /// signature — the only states that can possibly cover the query under
     /// ≼ (their types are less restrictive).
-    pub fn subset_candidates(&self, state: &ProductState, interner: &dyn TypeTable) -> Vec<usize> {
+    pub fn subset_candidates(&self, state: StateView<'_>, interner: &dyn TypeTable) -> Vec<u32> {
         self.subset_candidates_bounded(state, interner, usize::MAX)
             .expect("an unbounded query always returns")
     }
@@ -191,10 +190,10 @@ impl StateIndex {
     /// is a net loss and the caller should scan instead.
     pub fn subset_candidates_bounded(
         &self,
-        state: &ProductState,
+        state: StateView<'_>,
         interner: &dyn TypeTable,
         budget: usize,
-    ) -> Option<Vec<usize>> {
+    ) -> Option<Vec<u32>> {
         let Some(group) = self.group(&group_key(state)) else {
             return Some(Vec::new());
         };
@@ -207,7 +206,7 @@ impl StateIndex {
         if cost > budget {
             return None;
         }
-        let mut hits: HashMap<usize, usize> = HashMap::new();
+        let mut hits: HashMap<u32, usize> = HashMap::new();
         for edge in &signature {
             if let Some(list) = group.postings.get(edge) {
                 for &id in list {
@@ -215,7 +214,7 @@ impl StateIndex {
                 }
             }
         }
-        let mut out: Vec<usize> = group
+        let mut out: Vec<u32> = group
             .empty
             .iter()
             .copied()
@@ -232,27 +231,23 @@ impl StateIndex {
     /// Candidate states whose signature is a *superset* of the query's
     /// signature — the only states that the query can possibly cover under
     /// ≼.
-    pub fn superset_candidates(
-        &self,
-        state: &ProductState,
-        interner: &dyn TypeTable,
-    ) -> Vec<usize> {
+    pub fn superset_candidates(&self, state: StateView<'_>, interner: &dyn TypeTable) -> Vec<u32> {
         let Some(group) = self.group(&group_key(state)) else {
             return Vec::new();
         };
         let signature = edge_signature(state, interner);
         let group = group.read().unwrap();
-        let mut result: Option<HashSet<usize>> = None;
+        let mut result: Option<HashSet<u32>> = None;
         if signature.is_empty() {
             // Every state of the group is a superset of the empty signature.
-            let mut all: HashSet<usize> = group.sizes.keys().copied().collect();
+            let mut all: HashSet<u32> = group.sizes.keys().copied().collect();
             all.retain(|id| !group.removed.contains(id));
-            let mut out: Vec<usize> = all.into_iter().collect();
+            let mut out: Vec<u32> = all.into_iter().collect();
             out.sort_unstable();
             return out;
         }
         for edge in &signature {
-            let list: HashSet<usize> = group
+            let list: HashSet<u32> = group
                 .postings
                 .get(edge)
                 .map(|l| l.iter().copied().collect())
@@ -265,7 +260,7 @@ impl StateIndex {
                 return Vec::new();
             }
         }
-        let mut out: Vec<usize> = result
+        let mut out: Vec<u32> = result
             .unwrap_or_default()
             .into_iter()
             .filter(|id| !group.removed.contains(id))
@@ -280,6 +275,7 @@ mod tests {
     use super::*;
     use crate::expr::ExprUniverse;
     use crate::pit::{Pit, PitBuilder};
+    use crate::product::ProductState;
     use crate::psi::{Psi, StoredTypeInterner};
     use std::collections::BTreeSet as StdBTreeSet;
     use verifas_model::schema::attr::data;
@@ -327,17 +323,23 @@ mod tests {
         let empty = state_with(Pit::empty());
         let xa = state_with(pit_eq(&u, 0, "a"));
         let both = state_with(pit_eq(&u, 0, "a").conjoin(&pit_eq(&u, 1, "b"), &u).unwrap());
-        index.insert(0, &empty, &interner);
-        index.insert(1, &xa, &interner);
-        index.insert(2, &both, &interner);
+        index.insert(0, empty.view(), &interner);
+        index.insert(1, xa.view(), &interner);
+        index.insert(2, both.view(), &interner);
         // Subset candidates of `both`: everything with signature ⊆ both.
-        assert_eq!(index.subset_candidates(&both, &interner), vec![0, 1, 2]);
+        assert_eq!(
+            index.subset_candidates(both.view(), &interner),
+            vec![0, 1, 2]
+        );
         // Subset candidates of `xa`: the empty state and itself.
-        assert_eq!(index.subset_candidates(&xa, &interner), vec![0, 1]);
+        assert_eq!(index.subset_candidates(xa.view(), &interner), vec![0, 1]);
         // Superset candidates of `xa`: itself and `both`.
-        assert_eq!(index.superset_candidates(&xa, &interner), vec![1, 2]);
+        assert_eq!(index.superset_candidates(xa.view(), &interner), vec![1, 2]);
         // Superset candidates of the empty state: all.
-        assert_eq!(index.superset_candidates(&empty, &interner), vec![0, 1, 2]);
+        assert_eq!(
+            index.superset_candidates(empty.view(), &interner),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -346,13 +348,14 @@ mod tests {
         let interner = StoredTypeInterner::new();
         let index = StateIndex::new();
         let xa = state_with(pit_eq(&u, 0, "a"));
-        index.insert(0, &xa, &interner);
-        index.insert(1, &state_with(Pit::empty()), &interner);
-        index.remove(0, &xa);
-        assert_eq!(index.subset_candidates(&xa, &interner), vec![1]);
+        index.insert(0, xa.view(), &interner);
+        let empty = state_with(Pit::empty());
+        index.insert(1, empty.view(), &interner);
+        index.remove(0, xa.view());
+        assert_eq!(index.subset_candidates(xa.view(), &interner), vec![1]);
         assert_eq!(
-            index.superset_candidates(&xa, &interner),
-            Vec::<usize>::new()
+            index.superset_candidates(xa.view(), &interner),
+            Vec::<u32>::new()
         );
     }
 
@@ -362,11 +365,11 @@ mod tests {
         let interner = StoredTypeInterner::new();
         let index = StateIndex::new();
         let mut a = state_with(pit_eq(&u, 0, "a"));
-        index.insert(0, &a, &interner);
+        index.insert(0, a.view(), &interner);
         a.buchi = 3;
         // Different automaton state: no candidates from the other group.
-        assert!(index.subset_candidates(&a, &interner).is_empty());
-        assert!(index.superset_candidates(&a, &interner).is_empty());
+        assert!(index.subset_candidates(a.view(), &interner).is_empty());
+        assert!(index.superset_candidates(a.view(), &interner).is_empty());
     }
 
     #[test]
@@ -382,7 +385,7 @@ mod tests {
             })
             .collect();
         for (i, s) in states.iter().enumerate() {
-            index.insert(i, s, &interner);
+            index.insert(i as u32, s.view(), &interner);
         }
         std::thread::scope(|scope| {
             for s in &states {
@@ -390,9 +393,9 @@ mod tests {
                 let interner = &interner;
                 scope.spawn(move || {
                     for _ in 0..50 {
-                        let subs = index.subset_candidates(s, interner);
+                        let subs = index.subset_candidates(s.view(), interner);
                         assert_eq!(subs.len(), 1);
-                        assert_eq!(index.superset_candidates(s, interner), subs);
+                        assert_eq!(index.superset_candidates(s.view(), interner), subs);
                     }
                 });
             }

@@ -13,6 +13,8 @@
 //! * [`coverage`] — the `≤`, `≼` and `≼⁺` comparison relations (the latter
 //!   two via a max-flow reduction),
 //! * [`index`] — Trie / inverted-list indices for candidate filtering,
+//! * [`arena`] — arena-backed structure-of-arrays storage for the search
+//!   tree (deduplicated types, counters and dense node columns),
 //! * [`static_analysis`] — the non-violating-edge analysis of Section 3.7,
 //! * [`search`] — the Karp–Miller search with monotone pruning and
 //!   acceleration,
@@ -30,6 +32,7 @@
 //! * [`vass`] — a small generic VASS + classic Karp–Miller implementation
 //!   used for testing and benchmarking the search machinery in isolation.
 
+pub mod arena;
 pub mod baseline;
 pub mod counters;
 pub mod coverage;
@@ -54,6 +57,7 @@ pub mod transition;
 pub mod vass;
 pub mod verifier;
 
+pub use arena::{CounterArena, PitArena, StateArena};
 pub use baseline::BaselineVerifier;
 pub use coverage::{accelerate, covers, CoverageKind};
 pub use delta::{fingerprint, slice_hash, DeltaSummary, ReuseMode, SpecDelta, TaskDelta};
@@ -67,7 +71,7 @@ pub use json::{Json, JsonError};
 pub use memory::{MemoryBudget, MemoryLease};
 pub use observer::{CancelToken, Phase, ProgressEvent, ProgressObserver, SearchControl};
 pub use pit::{Edge, Pit, PitBuilder};
-pub use product::{ProductState, ProductSuccessor, ProductSystem};
+pub use product::{ProductState, ProductSuccessor, ProductSystem, StateView};
 pub use psi::{
     CounterVec, InternTypes, Psi, StoredTypeId, StoredTypeInterner, TypeTable, WorkerInterner,
     OMEGA,

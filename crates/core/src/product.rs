@@ -23,7 +23,7 @@
 use crate::delta::MemoScope;
 use crate::eval::{compile_condition, extend_all, CompiledCondition};
 use crate::pit::Pit;
-use crate::psi::{InternTypes, Psi};
+use crate::psi::{InternTypes, Psi, StoredTypeId};
 use crate::transition::SymbolicTask;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -40,6 +40,37 @@ pub struct ProductState {
     /// `true` iff the local run has ended (the task closed); closed states
     /// have no successors.
     pub closed: bool,
+}
+
+/// A borrowed, allocation-free view of a product state: the shape every
+/// coverage test and index query operates on, so states kept in the
+/// structure-of-arrays [`crate::arena::StateArena`] can be compared
+/// without materialising owned [`ProductState`] values.
+#[derive(Debug, Clone, Copy)]
+pub struct StateView<'a> {
+    /// The partial isomorphism type.
+    pub pit: &'a Pit,
+    /// The stored-tuple counters: non-zero entries sorted by type id.
+    pub counters: &'a [(StoredTypeId, u32)],
+    /// Bitmask over the task's children: bit `i` set iff active.
+    pub child_active: u64,
+    /// The violation-automaton state.
+    pub buchi: usize,
+    /// `true` iff the local run has ended.
+    pub closed: bool,
+}
+
+impl ProductState {
+    /// A borrowed view of this state.
+    pub fn view(&self) -> StateView<'_> {
+        StateView {
+            pit: &self.psi.pit,
+            counters: self.psi.counters.as_slice(),
+            child_active: self.psi.child_active,
+            buchi: self.buchi,
+            closed: self.closed,
+        }
+    }
 }
 
 /// One product successor.
@@ -167,6 +198,11 @@ impl ProductSystem {
     /// `true` iff the automaton state of a product state is accepting
     /// (candidate for an infinite violation through repeated reachability).
     pub fn is_accepting(&self, state: &ProductState) -> bool {
+        self.automaton.buchi.accepting[state.buchi]
+    }
+
+    /// [`ProductSystem::is_accepting`] over a borrowed arena view.
+    pub fn is_accepting_view(&self, state: StateView<'_>) -> bool {
         self.automaton.buchi.accepting[state.buchi]
     }
 

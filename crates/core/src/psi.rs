@@ -249,6 +249,21 @@ impl CounterVec {
         self.entries.iter().copied()
     }
 
+    /// The non-zero entries as a sorted slice — the borrowed form the
+    /// arena/state-view layer compares and stores.
+    pub fn as_slice(&self) -> &[(StoredTypeId, u32)] {
+        &self.entries
+    }
+
+    /// Rebuild a counter vector from entries that are already sorted by
+    /// type id, deduplicated and strictly positive — the invariant every
+    /// slice stored in [`crate::arena::CounterArena`] satisfies.
+    pub fn from_sorted(entries: Vec<(StoredTypeId, u32)>) -> CounterVec {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.iter().all(|(_, c)| *c > 0));
+        CounterVec { entries }
+    }
+
     /// Number of non-zero counters.
     pub fn support_len(&self) -> usize {
         self.entries.len()

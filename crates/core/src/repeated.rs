@@ -69,10 +69,11 @@
 use crate::coverage::{covers, discrete_key, CoverageKind};
 use crate::index::StateIndex;
 use crate::observer::{Phase, ProgressEvent, SearchControl};
-use crate::product::{ProductState, ProductSuccessor, ProductSystem};
-use crate::psi::{StoredTypeInterner, TypeTable, WorkerInterner, OMEGA};
+use crate::product::{ProductSuccessor, ProductSystem, StateView};
+use crate::psi::{TypeTable, WorkerInterner, OMEGA};
 use crate::search::{
-    merge_worker_stats, KarpMillerSearch, SearchLimits, SearchOutcome, SearchStats, WorkerStats,
+    merge_worker_stats, KarpMillerSearch, LoggedSuccessor, SearchLimits, SearchOutcome,
+    SearchStats, WorkerStats,
 };
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -163,6 +164,12 @@ pub struct RepeatedOutcome {
     /// the search found a finite violation or rule (a) already produced
     /// the answer).
     pub cycle: Option<CycleStats>,
+    /// Set when a worker thread of the auxiliary search or the edge
+    /// construction panicked: the analysis degraded to a limit-stopped
+    /// run (partial answers stay sound — a violation found before the
+    /// panic is real) and the owning engine request surfaces the message
+    /// as a typed [`crate::error::VerifasError::Internal`].
+    pub failure: Option<String>,
 }
 
 /// Run the repeated-reachability analysis on a product system.
@@ -214,6 +221,7 @@ pub fn find_infinite_violation_with(
     let outcome = search.run_with(control);
     let mut stats = search.stats;
     let mut worker_stats = std::mem::take(&mut search.worker_stats);
+    let mut failure = std::mem::take(&mut search.failure);
     if let SearchOutcome::FiniteViolation(node) = outcome {
         let prefix = search.trace(node).into_iter().map(|(s, _)| s).collect();
         return RepeatedOutcome {
@@ -223,6 +231,7 @@ pub fn find_infinite_violation_with(
             finite_violation: Some(prefix),
             worker_stats,
             cycle: None,
+            failure,
         };
     }
     let mut limit_reached = outcome == SearchOutcome::LimitReached;
@@ -230,10 +239,10 @@ pub fn find_infinite_violation_with(
     // Rule (a): an accepting active state with an ω counter is repeatedly
     // reachable — the acceleration that produced the ω witnesses a cycle.
     if let Some(&i) = active.iter().find(|&&i| {
-        let node = &search.nodes[i];
-        product.is_accepting(&node.state)
-            && !node.state.closed
-            && node.state.psi.counters.iter().any(|(_, c)| c == OMEGA)
+        let state = search.state_view(i);
+        product.is_accepting_view(state)
+            && !state.closed
+            && state.counters.iter().any(|&(_, c)| c == OMEGA)
     }) {
         let prefix = search.trace(i).into_iter().map(|(s, _)| s).collect();
         return RepeatedOutcome {
@@ -247,6 +256,7 @@ pub fn find_infinite_violation_with(
             finite_violation: None,
             worker_stats,
             cycle: None,
+            failure,
         };
     }
     // Rule (b): cycle detection over the abstract transition graph of the
@@ -257,8 +267,8 @@ pub fn find_infinite_violation_with(
     // Deterministic apply order already groups the log by parent; the
     // stable sort makes the per-parent ranges binary-searchable without
     // relying on that.
-    successors.sort_by_key(|&(parent, _, _)| parent);
-    let (graph, mut cycle, edge_workers) = build_abstract_edges(
+    successors.sort_by_key(|e| e.parent);
+    let (graph, mut cycle, edge_workers, edge_failure) = build_abstract_edges(
         &search,
         product,
         coverage,
@@ -269,11 +279,12 @@ pub fn find_infinite_violation_with(
         control,
     );
     merge_worker_stats(&mut worker_stats, &edge_workers);
+    failure = failure.or(edge_failure);
     if !cycle.completed {
-        // Cancellation or the deadline interrupted edge construction: a
-        // cycle check over the partial graph would be unsound (it could
-        // miss edges and report Satisfied), so skip it and report the run
-        // as limit-reached and cancelled.
+        // Cancellation, the deadline or a worker panic interrupted edge
+        // construction: a cycle check over the partial graph would be
+        // unsound (it could miss edges and report Satisfied), so skip it
+        // and report the run as limit-reached and cancelled.
         limit_reached = true;
         stats.limit_reached = true;
         stats.cancelled = true;
@@ -284,6 +295,7 @@ pub fn find_infinite_violation_with(
             finite_violation: None,
             worker_stats,
             cycle: Some(cycle),
+            failure,
         };
     }
     let scc_start = Instant::now();
@@ -298,8 +310,8 @@ pub fn find_infinite_violation_with(
     cycle.cyclic_states = (0..graph.len()).filter(|&ai| on_cycle(ai)).count();
     cycle.scc_micros = scc_start.elapsed().as_micros() as u64;
     let hit = active.iter().enumerate().find(|&(ai, &i)| {
-        let state = &search.nodes[i].state;
-        product.is_accepting(state) && !state.closed && on_cycle(ai)
+        let state = search.state_view(i);
+        product.is_accepting_view(state) && !state.closed && on_cycle(ai)
     });
     if let Some((ai, &i)) = hit {
         let prefix = search.trace(i).into_iter().map(|(s, _)| s).collect();
@@ -320,6 +332,7 @@ pub fn find_infinite_violation_with(
             finite_violation: None,
             worker_stats,
             cycle: Some(cycle),
+            failure,
         };
     }
     RepeatedOutcome {
@@ -329,6 +342,7 @@ pub fn find_infinite_violation_with(
         finite_violation: None,
         worker_stats,
         cycle: Some(cycle),
+        failure,
     }
 }
 
@@ -344,25 +358,20 @@ struct Candidates {
     /// Active positions per discrete key, in ascending order — the coarse
     /// candidate set (only same-key states are ever comparable), and the
     /// fallback when an index query would cost more than scanning it.
-    groups: HashMap<(usize, u64, bool), Vec<usize>>,
+    groups: HashMap<(usize, u64, bool), Vec<u32>>,
     /// Subset-signature index over the final active set (positions as
     /// ids), when `use_index` is on.
     index: Option<StateIndex>,
 }
 
 impl Candidates {
-    fn build(
-        use_index: bool,
-        active: &[usize],
-        nodes: &[crate::search::SearchNode],
-        interner: &StoredTypeInterner,
-    ) -> Self {
-        let mut groups: HashMap<(usize, u64, bool), Vec<usize>> = HashMap::new();
+    fn build(use_index: bool, active: &[usize], search: &KarpMillerSearch<'_>) -> Self {
+        let mut groups: HashMap<(usize, u64, bool), Vec<u32>> = HashMap::new();
         for (ai, &i) in active.iter().enumerate() {
             groups
-                .entry(discrete_key(&nodes[i].state))
+                .entry(discrete_key(search.state_view(i)))
                 .or_default()
-                .push(ai);
+                .push(ai as u32);
         }
         Candidates {
             groups,
@@ -371,8 +380,8 @@ impl Candidates {
                     active
                         .iter()
                         .enumerate()
-                        .map(|(ai, &i)| (ai, &nodes[i].state)),
-                    interner,
+                        .map(|(ai, &i)| (ai as u32, search.state_view(i))),
+                    &search.interner,
                 )
             }),
         }
@@ -387,9 +396,9 @@ impl Candidates {
     /// coarser.
     fn for_successor<'c>(
         &'c self,
-        state: &ProductState,
+        state: StateView<'_>,
         interner: &dyn TypeTable,
-    ) -> Cow<'c, [usize]> {
+    ) -> Cow<'c, [u32]> {
         let group = self.groups.get(&discrete_key(state));
         if let (Some(index), Some(group)) = (&self.index, group) {
             if let Some(hits) = index.subset_candidates_bounded(state, interner, group.len()) {
@@ -414,6 +423,11 @@ impl Candidates {
 /// [`ProgressEvent::CycleProgress`] event.  Workers poll
 /// [`SearchControl::should_stop`] per source state; an interrupted pass
 /// returns with `CycleStats::completed == false`.
+///
+/// A panicking worker interrupts the pass the same way cancellation does
+/// (`completed == false`, so the caller skips the unsound cycle check);
+/// the panic message is returned as the fourth component instead of
+/// aborting the process.
 #[allow(clippy::too_many_arguments)]
 fn build_abstract_edges(
     search: &KarpMillerSearch<'_>,
@@ -421,10 +435,15 @@ fn build_abstract_edges(
     coverage: CoverageKind,
     use_index: bool,
     active: &[usize],
-    successors: &[(usize, ServiceRef, ProductState)],
+    successors: &[LoggedSuccessor],
     workers: usize,
     control: &mut SearchControl<'_>,
-) -> (Vec<Vec<AbstractEdge>>, CycleStats, Vec<WorkerStats>) {
+) -> (
+    Vec<Vec<AbstractEdge>>,
+    CycleStats,
+    Vec<WorkerStats>,
+    Option<String>,
+) {
     let start = Instant::now();
     let n = active.len();
     let mut cycle = CycleStats {
@@ -434,14 +453,15 @@ fn build_abstract_edges(
         completed: true,
         ..CycleStats::default()
     };
-    let candidates = Candidates::build(use_index, active, &search.nodes, &search.interner);
+    let candidates = Candidates::build(use_index, active, search);
     // The logged successors of each active source, as a range into the
     // (parent-sorted) log.
-    let ranges: Vec<&[(usize, ServiceRef, ProductState)]> = active
+    let ranges: Vec<&[LoggedSuccessor]> = active
         .iter()
         .map(|&i| {
-            let lo = successors.partition_point(|&(p, _, _)| p < i);
-            let hi = successors.partition_point(|&(p, _, _)| p <= i);
+            let i = i as u32;
+            let lo = successors.partition_point(|e| e.parent < i);
+            let hi = successors.partition_point(|e| e.parent <= i);
             &successors[lo..hi]
         })
         .collect();
@@ -458,6 +478,7 @@ fn build_abstract_edges(
     let mut graph: Vec<Vec<AbstractEdge>> = Vec::with_capacity(n);
     let mut worker_stats: Vec<WorkerStats> = Vec::new();
     crate::search::ensure_worker_slots(&mut worker_stats, workers.max(1));
+    let mut failure: Option<String> = None;
     let mut processed = 0usize;
     while processed < n {
         if control.should_stop() {
@@ -520,7 +541,7 @@ fn build_abstract_edges(
             let cursor = AtomicUsize::new(0);
             let stopped = AtomicBool::new(false);
             let chunk = ((end - processed) / (workers * 4)).max(1);
-            let mut wave_stats: Vec<(WorkerStats, CycleStats)> = Vec::with_capacity(workers);
+            let mut wave_stats: Vec<(usize, WorkerStats, CycleStats)> = Vec::with_capacity(workers);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -563,7 +584,13 @@ fn build_abstract_edges(
                                         &mut stats,
                                         &mut counts,
                                     );
-                                    *slots[offset].lock().unwrap() = Some(edges);
+                                    // Recover a poisoned slot (a sibling
+                                    // worker panicked): slots only ever
+                                    // hold fully built edge lists.
+                                    *slots[offset]
+                                        .lock()
+                                        .unwrap_or_else(|poisoned| poisoned.into_inner()) =
+                                        Some(edges);
                                 }
                             }
                             stats.busy_micros = t0.elapsed().as_micros() as u64;
@@ -571,16 +598,30 @@ fn build_abstract_edges(
                         })
                     })
                     .collect();
-                for handle in handles {
-                    wave_stats.push(handle.join().expect("edge-construction worker panicked"));
+                for (worker, handle) in handles.into_iter().enumerate() {
+                    // A panicked edge worker degrades the pass to an
+                    // interrupted one (the caller then skips the unsound
+                    // cycle check) instead of aborting the process; keep
+                    // joining the rest of the pool so no thread leaks.
+                    match handle.join() {
+                        Ok((stats, counts)) => wave_stats.push((worker, stats, counts)),
+                        Err(panic) => {
+                            let _ = failure.get_or_insert_with(|| {
+                                format!(
+                                    "edge-construction worker panicked: {}",
+                                    crate::error::panic_message(panic.as_ref())
+                                )
+                            });
+                        }
+                    }
                 }
             });
-            for (worker, (stats, counts)) in wave_stats.iter().enumerate() {
-                worker_stats[worker].absorb(stats);
+            for (worker, stats, counts) in wave_stats.iter() {
+                worker_stats[*worker].absorb(stats);
                 cycle.successors += counts.successors;
                 cycle.candidates += counts.candidates;
             }
-            if stopped.load(Ordering::Relaxed) {
+            if stopped.load(Ordering::Relaxed) || failure.is_some() {
                 false
             } else {
                 // Merge the wave in position order (determinism: the graph
@@ -588,7 +629,7 @@ fn build_abstract_edges(
                 for slot in slots {
                     let edges = slot
                         .into_inner()
-                        .unwrap()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
                         .expect("every slot of an uninterrupted wave is filled");
                     cycle.edges += edges.len();
                     graph.push(edges);
@@ -608,7 +649,7 @@ fn build_abstract_edges(
         });
     }
     cycle.edge_micros = start.elapsed().as_micros() as u64;
-    (graph, cycle, worker_stats)
+    (graph, cycle, worker_stats, failure)
 }
 
 /// The outgoing abstract edges of one source state, ascending by target
@@ -628,36 +669,37 @@ fn source_edges(
     candidates: &Candidates,
     active: &[usize],
     position: usize,
-    successors: &[(usize, ServiceRef, ProductState)],
+    successors: &[LoggedSuccessor],
     scratch: &mut WorkerInterner<'_>,
     buffer: &mut Vec<ProductSuccessor>,
     stats: &mut WorkerStats,
     counts: &mut CycleStats,
 ) -> Vec<AbstractEdge> {
-    let node = &search.nodes[active[position]];
+    let node = active[position];
     stats.nodes_planned += 1;
-    if node.state.closed {
+    if search.state_view(node).closed {
         return Vec::new();
     }
     let mut out: Vec<AbstractEdge> = Vec::new();
-    if node.is_expanded() {
+    if search.is_expanded(node) {
         stats.successors_planned += successors.len();
         counts.successors += successors.len();
-        for (_, service, succ) in successors {
+        for entry in successors {
             edges_for_successor(
                 search,
                 coverage,
                 candidates,
                 active,
-                *service,
-                succ,
+                entry.service,
+                search.logged_view(entry),
                 &search.interner,
                 &mut out,
                 counts,
             );
         }
     } else {
-        product.successors_into(&node.state, scratch, buffer);
+        let state = search.materialize_state(node);
+        product.successors_into(&state, scratch, buffer);
         stats.successors_planned += buffer.len();
         counts.successors += buffer.len();
         for succ in buffer.iter() {
@@ -667,7 +709,7 @@ fn source_edges(
                 candidates,
                 active,
                 succ.service,
-                &succ.state,
+                succ.state.view(),
                 scratch,
                 &mut out,
                 counts,
@@ -687,19 +729,20 @@ fn edges_for_successor(
     candidates: &Candidates,
     active: &[usize],
     service: ServiceRef,
-    succ: &ProductState,
+    succ: StateView<'_>,
     table: &dyn TypeTable,
     out: &mut Vec<AbstractEdge>,
     counts: &mut CycleStats,
 ) {
     for &aj in candidates.for_successor(succ, table).iter() {
+        let aj = aj as usize;
         if out.iter().any(|&(t, _)| t == aj) {
             // Already witnessed by an earlier successor; the edge and its
             // service are fixed by the first witness.
             continue;
         }
         counts.candidates += 1;
-        if covers(coverage, succ, &search.nodes[active[aj]].state, table) {
+        if covers(coverage, succ, search.state_view(active[aj]), table) {
             out.push((aj, service));
         }
     }
@@ -807,11 +850,13 @@ fn cycle_services(start: usize, graph: &[Vec<AbstractEdge>], scc: &SccResult) ->
     Vec::new()
 }
 
-/// The pre-index sequential implementation of the analysis — O(active²)
-/// `covers` tests for edge construction plus one DFS walk per accepting
-/// state — kept verbatim as a differential-testing oracle and as the
-/// baseline of the `ci_bench` repeated-reachability speedup measurement.
-/// New callers should use [`find_infinite_violation`].
+/// The pre-optimisation sequential implementation of the analysis —
+/// O(active²) `covers` tests for edge construction plus one DFS walk per
+/// accepting state, over a search running the pre-overhaul
+/// [`KarpMillerSearch::reference_layout`] linear candidate scans — kept as
+/// a differential-testing oracle and as the baseline of the `ci_bench`
+/// repeated-reachability and `state_layout` speedup measurements.  New
+/// callers should use [`find_infinite_violation`].
 pub fn find_infinite_violation_reference(
     product: &ProductSystem,
     coverage: CoverageKind,
@@ -819,9 +864,11 @@ pub fn find_infinite_violation_reference(
     limits: SearchLimits,
 ) -> RepeatedOutcome {
     let mut search = KarpMillerSearch::new(product, coverage, use_index, limits);
+    search.reference_layout = true;
     let outcome = search.run();
     let stats = search.stats;
     let worker_stats = std::mem::take(&mut search.worker_stats);
+    let failure = std::mem::take(&mut search.failure);
     if let SearchOutcome::FiniteViolation(node) = outcome {
         let prefix = search.trace(node).into_iter().map(|(s, _)| s).collect();
         return RepeatedOutcome {
@@ -831,15 +878,16 @@ pub fn find_infinite_violation_reference(
             finite_violation: Some(prefix),
             worker_stats,
             cycle: None,
+            failure,
         };
     }
     let limit_reached = outcome == SearchOutcome::LimitReached;
     let active = search.active_nodes();
     for &i in &active {
-        let node = &search.nodes[i];
-        if product.is_accepting(&node.state)
-            && !node.state.closed
-            && node.state.psi.counters.iter().any(|(_, c)| c == OMEGA)
+        let state = search.state_view(i);
+        if product.is_accepting_view(state)
+            && !state.closed
+            && state.counters.iter().any(|&(_, c)| c == OMEGA)
         {
             let prefix = search.trace(i).into_iter().map(|(s, _)| s).collect();
             return RepeatedOutcome {
@@ -853,6 +901,7 @@ pub fn find_infinite_violation_reference(
                 finite_violation: None,
                 worker_stats,
                 cycle: None,
+                failure,
             };
         }
     }
@@ -860,21 +909,21 @@ pub fn find_infinite_violation_reference(
     let n = active.len();
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (ai, &i) in active.iter().enumerate() {
-        let state = &search.nodes[i].state;
-        if state.closed {
+        if search.state_view(i).closed {
             continue;
         }
-        for succ in product.successors(state, &mut interner) {
+        let state = search.materialize_state(i);
+        for succ in product.successors(&state, &mut interner) {
             for (aj, &j) in active.iter().enumerate() {
-                if covers(coverage, &succ.state, &search.nodes[j].state, &interner) {
+                if covers(coverage, succ.state.view(), search.state_view(j), &interner) {
                     edges[ai].push(aj);
                 }
             }
         }
     }
     for (ai, &i) in active.iter().enumerate() {
-        let state = &search.nodes[i].state;
-        if !product.is_accepting(state) || state.closed {
+        let state = search.state_view(i);
+        if !product.is_accepting_view(state) || state.closed {
             continue;
         }
         let mut seen = vec![false; n];
@@ -903,6 +952,7 @@ pub fn find_infinite_violation_reference(
                 finite_violation: None,
                 worker_stats,
                 cycle: None,
+                failure,
             };
         }
     }
@@ -913,6 +963,7 @@ pub fn find_infinite_violation_reference(
         finite_violation: None,
         worker_stats,
         cycle: None,
+        failure,
     }
 }
 

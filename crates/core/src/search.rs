@@ -10,6 +10,27 @@
 //! which the repeated-reachability analysis ([`crate::repeated`]) then uses
 //! to look for *infinite* violations.
 //!
+//! # State storage
+//!
+//! The tree lives in an arena-backed structure-of-arrays layout
+//! ([`crate::arena::StateArena`]): nodes are dense `u32`-indexed rows over
+//! deduplicating type and counter arenas, compared through borrowed
+//! [`StateView`]s.  Coverage and prune candidates are discovered three
+//! ways, all bit-identical:
+//!
+//! * with the inverted-list index ([`KarpMillerSearch::use_index`]),
+//!   through signature subset/superset posting queries;
+//! * without the index, through per-discrete-group candidate vectors
+//!   (active arena ids in ascending order, one vector per `(automaton
+//!   state, child mask, closed)` key) — since every coverage relation
+//!   requires equal discrete keys, scanning the group in id order visits
+//!   exactly the states a full linear scan would have accepted, in the
+//!   same order;
+//! * with [`KarpMillerSearch::reference_layout`] set, through the
+//!   pre-overhaul full linear scans over the node table — kept as a
+//!   differential oracle and as the denominator of the `state_layout`
+//!   benchmark.
+//!
 //! # Parallel execution
 //!
 //! With [`KarpMillerSearch::threads`] > 1 the search runs as a sequence of
@@ -26,7 +47,8 @@
 //! 2. **Apply phase (sequential, deterministic).**  The coordinating
 //!    thread replays the plans in frontier order: it publishes each node's
 //!    new stored types to the shared interner (in first-intern order, so
-//!    the final numbering matches a sequential run exactly), validates the
+//!    the final numbering matches a sequential run exactly), publishes the
+//!    surviving successor states into the shared arena, validates the
 //!    speculations against what earlier applications of this round changed
 //!    (an ancestor deactivated → the acceleration is recomputed; a
 //!    covering state deactivated → the coverage test is recomputed; states
@@ -45,13 +67,15 @@
 //! is how the batch [`crate::schedule::Scheduler`] hands cores freed by
 //! finished properties to still-running searches mid-flight.
 
+use crate::arena::StateArena;
 use crate::coverage::{accelerate, covers, CoverageKind};
 use crate::index::StateIndex;
 use crate::observer::{ProgressEvent, SearchControl};
 use crate::pit::Pit;
-use crate::product::{ProductState, ProductSystem};
+use crate::product::{ProductState, ProductSystem, StateView};
 use crate::psi::{
-    is_provisional, provisional_parts, CounterVec, StoredTypeId, StoredTypeInterner, WorkerInterner,
+    is_provisional, provisional_parts, CounterVec, StoredTypeId, StoredTypeInterner, TypeTable,
+    WorkerInterner,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -167,36 +191,6 @@ pub enum SearchOutcome {
     LimitReached,
 }
 
-/// One node of the Karp–Miller tree.
-#[derive(Debug, Clone)]
-pub struct SearchNode {
-    /// The product state.
-    pub state: ProductState,
-    /// Parent node (None for initial states).
-    pub parent: Option<usize>,
-    /// The observable service that produced this node (None only for the
-    /// virtual root of initial states, which are produced by the task's
-    /// opening service).
-    pub service: ServiceRef,
-    /// `false` when the node has been deactivated by the monotone pruning.
-    pub active: bool,
-    /// `true` once the apply phase has replayed this node's successors
-    /// (an exhausted search expands every node; a limit-stopped one can
-    /// leave active frontier nodes unexpanded, which the
-    /// repeated-reachability pass must then enumerate itself).
-    expanded: bool,
-    children: Vec<usize>,
-}
-
-impl SearchNode {
-    /// Has the apply phase replayed this node's successors?  (An exhausted
-    /// search expands every node; only a limit-stopped one leaves active
-    /// frontier nodes unexpanded.)
-    pub fn is_expanded(&self) -> bool {
-        self.expanded
-    }
-}
-
 /// One speculatively planned successor of a frontier node.
 struct SuccessorPlan {
     /// The observable service that produced it.
@@ -214,9 +208,9 @@ struct SuccessorPlan {
     /// ω-applications in the speculative acceleration.
     accelerations: usize,
     /// First snapshot-active node covering the successor, if any.
-    covered_by: Option<usize>,
+    covered_by: Option<u32>,
     /// Snapshot-active nodes the successor covers (prune candidates).
-    prunes: Vec<usize>,
+    prunes: Vec<u32>,
 }
 
 /// The plan of one frontier node: the stored types it introduces (in
@@ -224,6 +218,22 @@ struct SuccessorPlan {
 struct NodePlan {
     new_types: Vec<StoredTypeId>,
     succs: Vec<SuccessorPlan>,
+}
+
+/// One entry of the compact successor log: the raw (pre-acceleration)
+/// product successor of `parent` under `service`, with its type and
+/// counters interned into the search arena — ~40 bytes per entry instead
+/// of an owned [`ProductState`].
+pub(crate) struct LoggedSuccessor {
+    /// The expanded tree node.
+    pub(crate) parent: u32,
+    /// The observable service of the transition.
+    pub(crate) service: ServiceRef,
+    pit: u32,
+    counters: u32,
+    child_active: u64,
+    buchi: u32,
+    closed: bool,
 }
 
 /// The Karp–Miller search engine.
@@ -234,13 +244,20 @@ pub struct KarpMillerSearch<'a> {
     /// Whether the inverted-list index filters coverage candidates
     /// (the "data structure support" optimisation).
     pub use_index: bool,
+    /// When set, coverage/prune candidates are discovered through the
+    /// pre-overhaul full linear scans over the node table instead of the
+    /// per-discrete-group vectors (only meaningful without the index).
+    /// Kept as a differential oracle for the grouped layout and as the
+    /// denominator of the `state_layout` benchmark; results are
+    /// bit-identical, only slower.
+    pub reference_layout: bool,
     /// Resource limits.
     pub limits: SearchLimits,
     /// Number of worker threads expanding the frontier (0 = one per
     /// available core, 1 = sequential).
     pub threads: usize,
-    /// The tree.
-    pub nodes: Vec<SearchNode>,
+    /// The tree, in arena-backed structure-of-arrays storage.
+    pub arena: StateArena,
     /// Stored-tuple type interner shared by the whole search.
     pub interner: StoredTypeInterner,
     /// Statistics.
@@ -255,11 +272,23 @@ pub struct KarpMillerSearch<'a> {
     pub(crate) record_successors: bool,
     /// The log filled when [`KarpMillerSearch::record_successors`] is set,
     /// in deterministic apply order (grouped by parent, parents ascending).
-    pub(crate) successor_log: Vec<(usize, ServiceRef, ProductState)>,
+    pub(crate) successor_log: Vec<LoggedSuccessor>,
     /// Compact the successor log (dropping entries of pruned parents) once
     /// it reaches this size; doubles after every compaction.
     log_compact_at: usize,
+    /// Set when a plan-phase worker thread panicked.  The round's plans
+    /// are then discarded unapplied (the tree stays consistent — the
+    /// apply phase never saw them), the search stops at that boundary
+    /// like a resource limit, and the owning engine request surfaces the
+    /// message as a typed [`crate::error::VerifasError::Internal`]
+    /// instead of aborting the process.  Sticky for the run.
+    pub failure: Option<String>,
     index: StateIndex,
+    /// Active arena ids per discrete key, ascending — the coverage/prune
+    /// candidate map used when the index is off (every coverage relation
+    /// requires equal discrete keys, so the group holds every candidate a
+    /// full scan could accept, in the same id order).
+    groups: HashMap<(usize, u64, bool), Vec<u32>>,
 }
 
 impl<'a> KarpMillerSearch<'a> {
@@ -275,32 +304,87 @@ impl<'a> KarpMillerSearch<'a> {
             product,
             coverage,
             use_index,
+            reference_layout: false,
             limits,
             threads: 1,
-            nodes: Vec::new(),
+            arena: StateArena::new(),
             interner: StoredTypeInterner::new(),
             stats: SearchStats::default(),
             worker_stats: Vec::new(),
             record_successors: false,
             successor_log: Vec::new(),
             log_compact_at: 1024,
+            failure: None,
             index: StateIndex::new(),
+            groups: HashMap::new(),
         }
     }
 
-    /// Deterministic estimate of this search's resident bytes: fixed
-    /// per-element costs times the tree / interner / successor-log
-    /// sizes — never an allocator probe, so a memory-budgeted run takes
-    /// the same rounds on every host.  The constants approximate the
-    /// in-memory footprint of each element including its heap members
-    /// (counter vectors, children lists, pit edges).
+    /// Deterministic estimate of this search's resident bytes, re-based on
+    /// the actual occupancy of the state arenas (rows, distinct types and
+    /// their edges, counter slab entries) plus fixed per-element costs for
+    /// the interner and the compact successor log — never an allocator
+    /// probe, so a memory-budgeted run takes the same rounds on every
+    /// host.
     pub fn estimated_bytes(&self) -> usize {
-        const NODE_BYTES: usize = 256;
         const TYPE_BYTES: usize = 192;
-        const LOG_BYTES: usize = 224;
-        self.nodes.len() * NODE_BYTES
+        const LOG_BYTES: usize = 40;
+        self.arena.estimated_bytes()
             + self.interner.len() * TYPE_BYTES
             + self.successor_log.len() * LOG_BYTES
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// `true` before any node has been created.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// Is the node active (not pruned)?
+    pub fn is_active(&self, node: usize) -> bool {
+        self.arena.is_active(node as u32)
+    }
+
+    /// Has the apply phase replayed this node's successors?  (An exhausted
+    /// search expands every node; only a limit-stopped one leaves active
+    /// frontier nodes unexpanded.)
+    pub fn is_expanded(&self, node: usize) -> bool {
+        self.arena.is_expanded(node as u32)
+    }
+
+    /// The node's parent, if any.
+    pub fn parent_of(&self, node: usize) -> Option<usize> {
+        self.arena.parent(node as u32).map(|p| p as usize)
+    }
+
+    /// The observable service that produced the node.
+    pub fn service_of(&self, node: usize) -> ServiceRef {
+        self.arena.service(node as u32)
+    }
+
+    /// A borrowed view of the node's state.
+    pub fn state_view(&self, node: usize) -> StateView<'_> {
+        self.arena.view(node as u32)
+    }
+
+    /// Materialise an owned copy of the node's state.
+    pub fn materialize_state(&self, node: usize) -> ProductState {
+        self.arena.materialize(node as u32)
+    }
+
+    /// A borrowed view of a compact successor-log entry.
+    pub(crate) fn logged_view(&self, entry: &LoggedSuccessor) -> StateView<'_> {
+        self.arena.raw_view(
+            entry.pit,
+            entry.counters,
+            entry.child_active,
+            entry.buchi,
+            entry.closed,
+        )
     }
 
     /// The worker count after resolving the automatic setting.
@@ -339,9 +423,9 @@ impl<'a> KarpMillerSearch<'a> {
         ensure_worker_slots(&mut self.worker_stats, workers);
         let mut expanded_since_event = 0usize;
         control.emit(ProgressEvent::PhaseStarted { phase });
-        let mut frontier: Vec<usize> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::new();
         for state in self.product.initial_states() {
-            let id = self.add_node(state, None, self.product.task.opening_service());
+            let id = self.add_node(&state, None, self.product.task.opening_service());
             frontier.push(id);
         }
         let outcome = 'search: loop {
@@ -358,7 +442,7 @@ impl<'a> KarpMillerSearch<'a> {
             workers = control.workers_for_round(configured);
             self.stats.threads = self.stats.threads.max(workers);
             ensure_worker_slots(&mut self.worker_stats, workers);
-            // Memory boundary: re-account the tree against the installed
+            // Memory boundary: re-account the arenas against the installed
             // byte budget.  A refused grow stops the run here — like a
             // state limit, never an OOM abort; the lease's sticky flag
             // tells the owner why.
@@ -372,13 +456,22 @@ impl<'a> KarpMillerSearch<'a> {
             // `limits.max_millis` by a whole round of planning.
             let time_budget = start + Duration::from_millis(self.limits.max_millis);
             let (mut plans, scratch) = self.plan_round(&frontier, workers, time_budget, control);
+            // A panicked plan worker leaves its chunk's plans incomplete;
+            // applying the rest would diverge from a sequential run.  Drop
+            // the whole round and stop at this boundary — the tree holds
+            // only fully applied rounds, and the failure message reaches
+            // the caller through `self.failure`.
+            if self.failure.is_some() {
+                self.stats.limit_reached = true;
+                break 'search SearchOutcome::LimitReached;
+            }
             // Apply phase: replay the plans in deterministic order.
-            let round_base = self.nodes.len();
+            let round_base = self.arena.len() as u32;
             let mut remap: HashMap<StoredTypeId, StoredTypeId> = HashMap::new();
-            let mut deactivated_this_round: HashSet<usize> = HashSet::new();
-            let mut next: Vec<usize> = Vec::new();
+            let mut deactivated_this_round: HashSet<u32> = HashSet::new();
+            let mut next: Vec<u32> = Vec::new();
             for (pos, &id) in frontier.iter().enumerate() {
-                if !self.nodes[id].active {
+                if !self.arena.is_active(id) {
                     continue;
                 }
                 if control.should_stop() {
@@ -386,7 +479,7 @@ impl<'a> KarpMillerSearch<'a> {
                     self.stats.cancelled = true;
                     break 'search SearchOutcome::LimitReached;
                 }
-                if self.nodes.len() >= self.limits.max_states
+                if self.arena.len() >= self.limits.max_states
                     || start.elapsed().as_millis() as u64 >= self.limits.max_millis
                 {
                     self.stats.limit_reached = true;
@@ -415,7 +508,7 @@ impl<'a> KarpMillerSearch<'a> {
                     &mut deactivated_this_round,
                     &mut next,
                 ) {
-                    break 'search SearchOutcome::FiniteViolation(violation);
+                    break 'search SearchOutcome::FiniteViolation(violation as usize);
                 }
             }
             frontier = next;
@@ -423,13 +516,12 @@ impl<'a> KarpMillerSearch<'a> {
             // entries of pruned nodes once the log doubles past the last
             // compaction (amortized O(total log) over the whole search).
             if self.record_successors && self.successor_log.len() >= self.log_compact_at {
-                let nodes = &self.nodes;
-                self.successor_log
-                    .retain(|&(parent, _, _)| nodes[parent].active);
+                let arena = &self.arena;
+                self.successor_log.retain(|e| arena.is_active(e.parent));
                 self.log_compact_at = (self.successor_log.len() * 2).max(1024);
             }
         };
-        self.stats.states_active = self.nodes.iter().filter(|n| n.active).count();
+        self.stats.states_active = self.arena.active_count();
         self.stats.stored_types = self.interner.len();
         self.stats.elapsed_ms = start.elapsed().as_millis() as u64;
         control.emit(ProgressEvent::PhaseFinished {
@@ -444,13 +536,14 @@ impl<'a> KarpMillerSearch<'a> {
     /// needed to resolve provisional ids.
     ///
     /// A plan may be missing only for a node that was already inactive,
-    /// or after cancellation / the `time_budget` deadline — conditions
+    /// after cancellation / the `time_budget` deadline, or after a worker
+    /// panic (recorded in [`KarpMillerSearch::failure`]) — conditions
     /// that are sticky, so the apply loop's own checks always break
     /// before reaching an unplanned position.
     #[allow(clippy::type_complexity)]
     fn plan_round(
         &mut self,
-        frontier: &[usize],
+        frontier: &[u32],
         workers: usize,
         time_budget: Instant,
         control: &SearchControl<'_>,
@@ -465,7 +558,7 @@ impl<'a> KarpMillerSearch<'a> {
             let t0 = Instant::now();
             let mut plans = Vec::with_capacity(frontier.len());
             for &id in frontier {
-                if !self.nodes[id].active || out_of_time() {
+                if !self.arena.is_active(id) || out_of_time() {
                     plans.push(None);
                     continue;
                 }
@@ -481,6 +574,7 @@ impl<'a> KarpMillerSearch<'a> {
         let chunk = (frontier.len() / (workers * 4)).max(1);
         let mut scratch: Vec<Vec<(ArtRelId, Pit)>> = vec![Vec::new(); workers];
         let mut round_stats: Vec<WorkerStats> = vec![WorkerStats::default(); workers];
+        let mut failure: Option<String> = None;
         let this = &*self;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -502,11 +596,18 @@ impl<'a> KarpMillerSearch<'a> {
                                     break 'steal;
                                 }
                                 let id = frontier[pos];
-                                if !this.nodes[id].active {
+                                if !this.arena.is_active(id) {
                                     continue;
                                 }
                                 let plan = this.plan_node(id, &mut interner, &mut stats);
-                                *slots[pos].lock().unwrap() = Some(plan);
+                                // Recover a poisoned slot instead of
+                                // propagating the panic: slots only ever
+                                // hold fully constructed plans, so the
+                                // contents stay consistent even when a
+                                // sibling worker panicked mid-round.
+                                *slots[pos]
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(plan);
                             }
                         }
                         stats.busy_micros = t0.elapsed().as_micros() as u64;
@@ -515,16 +616,40 @@ impl<'a> KarpMillerSearch<'a> {
                 })
                 .collect();
             for (worker, handle) in handles.into_iter().enumerate() {
-                let (types, stats) = handle.join().expect("search worker panicked");
-                scratch[worker] = types;
-                round_stats[worker] = stats;
+                // A panicked worker must degrade to a typed error, not
+                // abort the process: record the first panic message (the
+                // run stops at this round boundary) and keep joining the
+                // rest of the pool so no thread leaks.
+                match handle.join() {
+                    Ok((types, stats)) => {
+                        scratch[worker] = types;
+                        round_stats[worker] = stats;
+                    }
+                    Err(panic) => {
+                        let _ = failure.get_or_insert_with(|| {
+                            format!(
+                                "search worker panicked: {}",
+                                crate::error::panic_message(panic.as_ref())
+                            )
+                        });
+                    }
+                }
             }
         });
+        if let Some(reason) = failure {
+            self.failure.get_or_insert(reason);
+        }
         for (worker, stats) in round_stats.iter().enumerate() {
             self.worker_stats[worker].absorb(stats);
         }
         (
-            slots.into_iter().map(|m| m.into_inner().unwrap()).collect(),
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                })
+                .collect(),
             scratch,
         )
     }
@@ -532,12 +657,12 @@ impl<'a> KarpMillerSearch<'a> {
     /// Plan one frontier node against the frozen tree snapshot.
     fn plan_node(
         &self,
-        id: usize,
+        id: u32,
         interner: &mut WorkerInterner<'_>,
         stats: &mut WorkerStats,
     ) -> NodePlan {
         interner.begin_node();
-        let current = self.nodes[id].state.clone();
+        let current = self.arena.materialize(id);
         let successors = self.product.successors(&current, interner);
         stats.nodes_planned += 1;
         stats.successors_planned += successors.len();
@@ -551,15 +676,15 @@ impl<'a> KarpMillerSearch<'a> {
             let mut accelerations = 0usize;
             let mut ancestor = Some(id);
             while let Some(a) = ancestor {
-                if self.nodes[a].active {
+                if self.arena.is_active(a) {
                     if let Some(counters) =
-                        accelerate(self.coverage, &self.nodes[a].state, &state, &*interner)
+                        accelerate(self.coverage, self.arena.view(a), state.view(), &*interner)
                     {
                         state.psi.counters = counters;
                         accelerations += 1;
                     }
                 }
-                ancestor = self.nodes[a].parent;
+                ancestor = self.arena.parent(a);
             }
             let finite_violation = succ.finite_violation;
             let (covered_by, prunes) = if finite_violation {
@@ -591,48 +716,66 @@ impl<'a> KarpMillerSearch<'a> {
         }
     }
 
+    /// The group candidate vector of a state, if one exists (empty when
+    /// the discrete key has never been seen).
+    fn group_of(&self, state: StateView<'_>) -> &[u32] {
+        self.groups
+            .get(&crate::coverage::discrete_key(state))
+            .map_or(&[], Vec::as_slice)
+    }
+
     /// First snapshot-active node covering the candidate state, if any.
-    fn snapshot_covered_by(
-        &self,
-        state: &ProductState,
-        interner: &dyn crate::psi::TypeTable,
-    ) -> Option<usize> {
+    fn snapshot_covered_by(&self, state: &ProductState, interner: &dyn TypeTable) -> Option<u32> {
+        let view = state.view();
         if self.use_index {
             self.index
-                .subset_candidates(state, interner)
+                .subset_candidates(view, interner)
                 .into_iter()
                 .find(|&j| {
-                    self.nodes[j].active
-                        && covers(self.coverage, state, &self.nodes[j].state, interner)
+                    self.arena.is_active(j)
+                        && covers(self.coverage, view, self.arena.view(j), interner)
                 })
-        } else {
-            (0..self.nodes.len()).find(|&j| {
-                self.nodes[j].active && covers(self.coverage, state, &self.nodes[j].state, interner)
+        } else if self.reference_layout {
+            (0..self.arena.len() as u32).find(|&j| {
+                self.arena.is_active(j) && covers(self.coverage, view, self.arena.view(j), interner)
             })
+        } else {
+            // Group members are exactly the active states sharing the
+            // discrete key, ascending — the only ones `covers` can accept,
+            // in the order the full scan would have visited them.
+            self.group_of(view)
+                .iter()
+                .copied()
+                .find(|&j| covers(self.coverage, view, self.arena.view(j), interner))
         }
     }
 
     /// All snapshot-active nodes covered by the candidate state.
-    fn snapshot_prunes(
-        &self,
-        state: &ProductState,
-        interner: &dyn crate::psi::TypeTable,
-    ) -> Vec<usize> {
-        let candidates: Vec<usize> = if self.use_index {
+    fn snapshot_prunes(&self, state: &ProductState, interner: &dyn TypeTable) -> Vec<u32> {
+        let view = state.view();
+        if self.use_index {
             self.index
-                .superset_candidates(state, interner)
+                .superset_candidates(view, interner)
                 .into_iter()
-                .filter(|&j| self.nodes[j].active)
+                .filter(|&j| {
+                    self.arena.is_active(j)
+                        && covers(self.coverage, self.arena.view(j), view, interner)
+                })
+                .collect()
+        } else if self.reference_layout {
+            (0..self.arena.len() as u32)
+                .filter(|&j| {
+                    self.arena.is_active(j)
+                        && covers(self.coverage, self.arena.view(j), view, interner)
+                })
                 .collect()
         } else {
-            (0..self.nodes.len())
-                .filter(|&j| self.nodes[j].active)
+            self.group_of(view)
+                .iter()
+                .copied()
+                .filter(|&j| covers(self.coverage, self.arena.view(j), view, interner))
                 .collect()
-        };
-        candidates
-            .into_iter()
-            .filter(|&j| covers(self.coverage, &self.nodes[j].state, state, interner))
-            .collect()
+        }
     }
 
     /// Replay one node's plan against the live tree.  Returns the id of a
@@ -640,15 +783,15 @@ impl<'a> KarpMillerSearch<'a> {
     #[allow(clippy::too_many_arguments)]
     fn apply_plan(
         &mut self,
-        id: usize,
+        id: u32,
         plan: NodePlan,
         scratch: &[Vec<(ArtRelId, Pit)>],
         remap: &mut HashMap<StoredTypeId, StoredTypeId>,
-        round_base: usize,
-        deactivated_this_round: &mut HashSet<usize>,
-        next: &mut Vec<usize>,
-    ) -> Option<usize> {
-        self.nodes[id].expanded = true;
+        round_base: u32,
+        deactivated_this_round: &mut HashSet<u32>,
+        next: &mut Vec<u32>,
+    ) -> Option<u32> {
+        self.arena.mark_expanded(id);
         // Publish the node's new stored types in first-intern order; this
         // is what makes the final type numbering (and hence successor
         // enumeration in later rounds) independent of worker scheduling.
@@ -663,11 +806,11 @@ impl<'a> KarpMillerSearch<'a> {
         };
         // Did anything this round touch the ancestors the speculation was
         // computed against?
-        let mut ancestors: HashSet<usize> = HashSet::new();
+        let mut ancestors: HashSet<u32> = HashSet::new();
         let mut a = Some(id);
         while let Some(x) = a {
             ancestors.insert(x);
-            a = self.nodes[x].parent;
+            a = self.arena.parent(x);
         }
         let speculation_valid = deactivated_this_round.is_disjoint(&ancestors);
         for succ in plan.succs {
@@ -676,20 +819,19 @@ impl<'a> KarpMillerSearch<'a> {
                 // Log the *raw* successor (pre-acceleration counters): the
                 // repeated-reachability edge tests run on the successors
                 // the product defines, exactly as a re-enumeration would
-                // produce them.
-                self.successor_log.push((
-                    id,
-                    succ.service,
-                    ProductState {
-                        psi: crate::psi::Psi {
-                            pit: state.psi.pit.clone(),
-                            counters: publish(&succ.raw_counters),
-                            child_active: state.psi.child_active,
-                        },
-                        buchi: state.buchi,
-                        closed: state.closed,
-                    },
-                ));
+                // produce them.  The entry is published compactly — type
+                // and counters interned into the shared arena.
+                let raw = publish(&succ.raw_counters);
+                let entry = LoggedSuccessor {
+                    parent: id,
+                    service: succ.service,
+                    pit: self.arena.intern_pit(&state.psi.pit),
+                    counters: self.arena.intern_counters(raw.as_slice()),
+                    child_active: state.psi.child_active,
+                    buchi: state.buchi as u32,
+                    closed: state.closed,
+                };
+                self.successor_log.push(entry);
             }
             let accelerations;
             if speculation_valid {
@@ -702,21 +844,24 @@ impl<'a> KarpMillerSearch<'a> {
                 let mut count = 0usize;
                 let mut ancestor = Some(id);
                 while let Some(a) = ancestor {
-                    if self.nodes[a].active {
-                        if let Some(counters) =
-                            accelerate(self.coverage, &self.nodes[a].state, &state, &self.interner)
-                        {
+                    if self.arena.is_active(a) {
+                        if let Some(counters) = accelerate(
+                            self.coverage,
+                            self.arena.view(a),
+                            state.view(),
+                            &self.interner,
+                        ) {
                             state.psi.counters = counters;
                             count += 1;
                         }
                     }
-                    ancestor = self.nodes[a].parent;
+                    ancestor = self.arena.parent(a);
                 }
                 accelerations = count;
             }
             self.stats.accelerations += accelerations;
             if succ.finite_violation {
-                let vid = self.add_node(state, Some(id), succ.service);
+                let vid = self.add_node(&state, Some(id), succ.service);
                 return Some(vid);
             }
             // Skip if an active state already covers the new one.  The
@@ -739,11 +884,11 @@ impl<'a> KarpMillerSearch<'a> {
             // descendants) covered by the new one, except ancestors of
             // the node being extended (conservative variant of the
             // Reynier–Servais rule).
-            let mut to_prune: Vec<usize> = if speculation_valid {
+            let mut to_prune: Vec<u32> = if speculation_valid {
                 succ.prunes
                     .iter()
                     .copied()
-                    .filter(|j| self.nodes[*j].active && !ancestors.contains(j))
+                    .filter(|j| self.arena.is_active(*j) && !ancestors.contains(j))
                     .collect()
             } else {
                 self.live_prunes(&state, &ancestors, 0)
@@ -755,32 +900,21 @@ impl<'a> KarpMillerSearch<'a> {
             for j in to_prune {
                 self.deactivate_subtree(j, &ancestors, deactivated_this_round);
             }
-            let new_id = self.add_node(state, Some(id), succ.service);
+            let new_id = self.add_node(&state, Some(id), succ.service);
             next.push(new_id);
         }
         None
     }
 
-    fn add_node(
-        &mut self,
-        state: ProductState,
-        parent: Option<usize>,
-        service: ServiceRef,
-    ) -> usize {
-        let id = self.nodes.len();
+    fn add_node(&mut self, state: &ProductState, parent: Option<u32>, service: ServiceRef) -> u32 {
+        let id = self.arena.push(state, parent, service);
         if self.use_index {
-            self.index.insert(id, &state, &self.interner);
-        }
-        self.nodes.push(SearchNode {
-            state,
-            parent,
-            service,
-            active: true,
-            expanded: false,
-            children: Vec::new(),
-        });
-        if let Some(p) = parent {
-            self.nodes[p].children.push(id);
+            self.index.insert(id, self.arena.view(id), &self.interner);
+        } else if !self.reference_layout {
+            self.groups
+                .entry(self.arena.discrete_key(id))
+                .or_default()
+                .push(id);
         }
         self.stats.states_created += 1;
         id
@@ -789,97 +923,120 @@ impl<'a> KarpMillerSearch<'a> {
     /// Is the candidate state covered by some active state of the live
     /// tree?
     fn covered_by_active(&self, state: &ProductState) -> bool {
+        let view = state.view();
         if self.use_index {
             // Candidates whose signature is a subset of the query's — the
             // only ones that can be less restrictive (and hence cover it).
             self.index
-                .subset_candidates(state, &self.interner)
+                .subset_candidates(view, &self.interner)
                 .into_iter()
                 .any(|j| {
-                    self.nodes[j].active
-                        && covers(self.coverage, state, &self.nodes[j].state, &self.interner)
+                    self.arena.is_active(j)
+                        && covers(self.coverage, view, self.arena.view(j), &self.interner)
                 })
+        } else if self.reference_layout {
+            (0..self.arena.len() as u32).any(|j| {
+                self.arena.is_active(j)
+                    && covers(self.coverage, view, self.arena.view(j), &self.interner)
+            })
         } else {
-            self.nodes
+            self.group_of(view)
                 .iter()
-                .any(|n| n.active && covers(self.coverage, state, &n.state, &self.interner))
+                .any(|&j| covers(self.coverage, view, self.arena.view(j), &self.interner))
         }
     }
 
     /// Is the candidate covered by an active state created at or after
     /// `round_base` (i.e. in the current round)?
-    fn covered_by_added(&self, state: &ProductState, round_base: usize) -> bool {
+    fn covered_by_added(&self, state: &ProductState, round_base: u32) -> bool {
+        let view = state.view();
         if self.use_index {
             self.index
-                .subset_candidates(state, &self.interner)
+                .subset_candidates(view, &self.interner)
                 .into_iter()
                 .any(|j| {
                     j >= round_base
-                        && self.nodes[j].active
-                        && covers(self.coverage, state, &self.nodes[j].state, &self.interner)
+                        && self.arena.is_active(j)
+                        && covers(self.coverage, view, self.arena.view(j), &self.interner)
                 })
-        } else {
-            (round_base..self.nodes.len()).any(|j| {
-                self.nodes[j].active
-                    && covers(self.coverage, state, &self.nodes[j].state, &self.interner)
+        } else if self.reference_layout {
+            (round_base..self.arena.len() as u32).any(|j| {
+                self.arena.is_active(j)
+                    && covers(self.coverage, view, self.arena.view(j), &self.interner)
             })
+        } else {
+            let group = self.group_of(view);
+            let from = group.partition_point(|&j| j < round_base);
+            group[from..]
+                .iter()
+                .any(|&j| covers(self.coverage, view, self.arena.view(j), &self.interner))
         }
     }
 
     /// Active, non-ancestor nodes with id ≥ `from` covered by `state` on
     /// the live tree.
-    fn live_prunes(
-        &self,
-        state: &ProductState,
-        ancestors: &HashSet<usize>,
-        from: usize,
-    ) -> Vec<usize> {
-        let candidates: Vec<usize> = if self.use_index {
+    fn live_prunes(&self, state: &ProductState, ancestors: &HashSet<u32>, from: u32) -> Vec<u32> {
+        let view = state.view();
+        let accepts = |j: u32| {
+            !ancestors.contains(&j)
+                && covers(self.coverage, self.arena.view(j), view, &self.interner)
+        };
+        if self.use_index {
             self.index
-                .superset_candidates(state, &self.interner)
+                .superset_candidates(view, &self.interner)
                 .into_iter()
-                .filter(|&j| j >= from && self.nodes[j].active)
+                .filter(|&j| j >= from && self.arena.is_active(j) && accepts(j))
+                .collect()
+        } else if self.reference_layout {
+            (from..self.arena.len() as u32)
+                .filter(|&j| self.arena.is_active(j) && accepts(j))
                 .collect()
         } else {
-            (from..self.nodes.len())
-                .filter(|&j| self.nodes[j].active)
+            let group = self.group_of(view);
+            let start = group.partition_point(|&j| j < from);
+            group[start..]
+                .iter()
+                .copied()
+                .filter(|&j| accepts(j))
                 .collect()
-        };
-        candidates
-            .into_iter()
-            .filter(|&j| {
-                !ancestors.contains(&j)
-                    && covers(self.coverage, &self.nodes[j].state, state, &self.interner)
-            })
-            .collect()
+        }
     }
 
     fn deactivate_subtree(
         &mut self,
-        root: usize,
-        protected: &HashSet<usize>,
-        deactivated: &mut HashSet<usize>,
+        root: u32,
+        protected: &HashSet<u32>,
+        deactivated: &mut HashSet<u32>,
     ) {
         let mut stack = vec![root];
         while let Some(j) = stack.pop() {
-            if protected.contains(&j) || !self.nodes[j].active {
+            if protected.contains(&j) || !self.arena.is_active(j) {
                 continue;
             }
-            self.nodes[j].active = false;
+            self.arena.set_active(j, false);
             deactivated.insert(j);
             self.stats.states_pruned += 1;
             if self.use_index {
-                self.index.remove(j, &self.nodes[j].state);
+                self.index.remove(j, self.arena.view(j));
+            } else if !self.reference_layout {
+                // Ordered removal keeps the group vector ascending.
+                let key = self.arena.discrete_key(j);
+                if let Some(group) = self.groups.get_mut(&key) {
+                    if let Ok(pos) = group.binary_search(&j) {
+                        group.remove(pos);
+                    }
+                }
             }
-            stack.extend(self.nodes[j].children.iter().copied());
+            stack.extend(self.arena.children(j));
         }
     }
 
     /// Indices of the nodes still active at the end of the search (the
     /// coverability-set candidates).
     pub fn active_nodes(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].active)
+        (0..self.arena.len() as u32)
+            .filter(|&i| self.arena.is_active(i))
+            .map(|i| i as usize)
             .collect()
     }
 
@@ -887,10 +1044,10 @@ impl<'a> KarpMillerSearch<'a> {
     /// (inclusive), oldest first — used to build counterexample traces.
     pub fn trace(&self, node: usize) -> Vec<(ServiceRef, ProductState)> {
         let mut out = Vec::new();
-        let mut current = Some(node);
+        let mut current = Some(node as u32);
         while let Some(i) = current {
-            out.push((self.nodes[i].service, self.nodes[i].state.clone()));
-            current = self.nodes[i].parent;
+            out.push((self.arena.service(i), self.arena.materialize(i)));
+            current = self.arena.parent(i);
         }
         out.reverse();
         out
@@ -987,7 +1144,7 @@ mod tests {
             SearchLimits::default(),
         );
         search.run();
-        let last = search.nodes.len() - 1;
+        let last = search.len() - 1;
         let trace = search.trace(last);
         assert!(!trace.is_empty());
         assert_eq!(trace[0].0, product.task.opening_service());
@@ -1036,7 +1193,7 @@ mod tests {
             parallel.threads = 4;
             let par_outcome = parallel.run();
             assert_eq!(seq_outcome, par_outcome);
-            assert_eq!(sequential.nodes.len(), parallel.nodes.len());
+            assert_eq!(sequential.len(), parallel.len());
             assert_eq!(sequential.active_nodes(), parallel.active_nodes());
             assert_eq!(sequential.interner.len(), parallel.interner.len());
             let mut seq_stats = sequential.stats;
@@ -1049,6 +1206,39 @@ mod tests {
             assert_eq!(parallel.worker_stats.len(), 4);
             let planned: usize = parallel.worker_stats.iter().map(|w| w.nodes_planned).sum();
             assert!(planned > 0, "workers must have planned some nodes");
+        }
+    }
+
+    /// The grouped candidate map must be a bit-identical replacement for
+    /// the pre-overhaul full linear scans (the `reference_layout` oracle):
+    /// same tree, same active set, same statistics.
+    #[test]
+    fn grouped_layout_matches_reference_scans_exactly() {
+        let spec = unbounded_pool();
+        let property = trivial_property();
+        let product = ProductSystem::new(&spec, &property, true).unwrap();
+        for coverage in [
+            CoverageKind::Subsumption,
+            CoverageKind::Standard,
+            CoverageKind::Equality,
+        ] {
+            let limits = SearchLimits {
+                max_states: 300,
+                max_millis: 60_000,
+            };
+            let mut grouped = KarpMillerSearch::new(&product, coverage, false, limits);
+            let grouped_outcome = grouped.run();
+            let mut reference = KarpMillerSearch::new(&product, coverage, false, limits);
+            reference.reference_layout = true;
+            let reference_outcome = reference.run();
+            assert_eq!(grouped_outcome, reference_outcome);
+            assert_eq!(grouped.len(), reference.len());
+            assert_eq!(grouped.active_nodes(), reference.active_nodes());
+            let mut g = grouped.stats;
+            let mut r = reference.stats;
+            g.elapsed_ms = 0;
+            r.elapsed_ms = 0;
+            assert_eq!(g, r);
         }
     }
 }

@@ -168,6 +168,11 @@ pub struct VerificationResult {
     /// Per-worker statistics across both phases (empty for runs made by
     /// engines predating the parallel search).
     pub worker_stats: Vec<WorkerStats>,
+    /// Set when a worker thread of either phase panicked: the run
+    /// degraded to a limit-stopped one (any violation already in hand is
+    /// still sound) and the owning engine request surfaces the message
+    /// as a typed [`VerifasError::Internal`] instead of a report.
+    pub failure: Option<String>,
 }
 
 impl VerificationResult {
@@ -245,6 +250,7 @@ pub fn run_verification(
     let outcome = search.run_with(control);
     let stats = search.stats;
     let worker_stats = std::mem::take(&mut search.worker_stats);
+    let failure = std::mem::take(&mut search.failure);
     match outcome {
         SearchOutcome::FiniteViolation(node) => {
             let services: Vec<ServiceRef> =
@@ -261,6 +267,7 @@ pub fn run_verification(
                 repeated_stats: None,
                 repeated_cycle: None,
                 worker_stats,
+                failure,
             }
         }
         SearchOutcome::LimitReached => VerificationResult {
@@ -270,6 +277,7 @@ pub fn run_verification(
             repeated_stats: None,
             repeated_cycle: None,
             worker_stats,
+            failure,
         },
         SearchOutcome::Exhausted => {
             if !options.check_repeated {
@@ -280,6 +288,7 @@ pub fn run_verification(
                     repeated_stats: None,
                     repeated_cycle: None,
                     worker_stats,
+                    failure,
                 };
             }
             // Phase 2: repeated reachability for infinite violations.
@@ -293,6 +302,7 @@ pub fn run_verification(
             );
             let repeated_stats = Some(repeated.stats);
             let repeated_cycle = repeated.cycle;
+            let failure = failure.or(repeated.failure);
             // Merge the repeated phase's pools (auxiliary search + edge
             // construction) into the per-worker totals.
             let mut worker_stats = worker_stats;
@@ -310,6 +320,7 @@ pub fn run_verification(
                     repeated_stats,
                     repeated_cycle,
                     worker_stats,
+                    failure,
                 };
             }
             match repeated.violation {
@@ -330,6 +341,7 @@ pub fn run_verification(
                         repeated_stats,
                         repeated_cycle,
                         worker_stats,
+                        failure,
                     }
                 }
                 None if repeated.limit_reached => VerificationResult {
@@ -339,6 +351,7 @@ pub fn run_verification(
                     repeated_stats,
                     repeated_cycle,
                     worker_stats,
+                    failure,
                 },
                 None => VerificationResult {
                     outcome: VerificationOutcome::Satisfied,
@@ -347,6 +360,7 @@ pub fn run_verification(
                     repeated_stats,
                     repeated_cycle,
                     worker_stats,
+                    failure,
                 },
             }
         }

@@ -1,0 +1,146 @@
+//! The open/close lattice: a million-state coverability workload for the
+//! arena state layout.
+//!
+//! The historical scenarios top out around a few thousand symbolic states
+//! — big enough to exercise correctness, far too small to expose the cost
+//! of per-state heap allocation or of linear coverage scans.
+//! [`open_close_lattice`] is built to blow the state count up while
+//! keeping every *per-state* ingredient tiny:
+//!
+//! * the root task has a single `tick` variable cycling over `ticks`
+//!   pinned string values (an internal service per step, applicable only
+//!   while no child is active);
+//! * `children` trivial child tasks open and close freely (their opening
+//!   guards are `true`), toggling bits of the parent's child-activity
+//!   mask.
+//!
+//! Reachable root states are exactly the pairs (tick value or null, child
+//! mask): `(ticks + 1) · 2^children` states — with the default
+//! 16 × 16 parameters, 1,114,112 of them — spread over `2^children`
+//! *discrete groups* of `ticks + 1` states each.  Distinct pinned tick
+//! constants mean no state's type implies another's, so nothing is ever
+//! pruned and the search must materialise the whole lattice; only ~
+//! `ticks + 1` distinct partial isomorphism types and one (empty) counter
+//! vector ever exist, so the deduplicating arenas collapse per-state
+//! storage to one dense row.  Every expansion re-derives ~`children + 1`
+//! already-known successors, so coverage-check throughput — a group scan
+//! of ≤ `ticks + 1` candidates in the arena layout, a scan of the entire
+//! node table in the pre-overhaul reference layout — dominates the run,
+//! which is precisely what the `state_layout` benchmark wants to measure.
+
+use verifas_ltl::{Ltl, LtlFoProperty, PropAtom};
+use verifas_model::schema::attr::data;
+use verifas_model::{Condition, DatabaseSchema, HasSpec, SpecBuilder, TaskBuilder, Term, VarId};
+
+/// The `i`-th tick value.
+fn tick_value(i: usize) -> String {
+    format!("t{i}")
+}
+
+/// Build the `(ticks + 1) · 2^children`-state open/close lattice.
+///
+/// `ticks` must be at least 2 (the tick cycle) and `children` between 1
+/// and 60 (the child-activity mask is a `u64`, and the top bits are left
+/// clear for headroom).
+pub fn open_close_lattice(ticks: usize, children: usize) -> HasSpec {
+    assert!(ticks >= 2, "a tick cycle needs at least two values");
+    assert!(
+        (1..=60).contains(&children),
+        "child masks must fit in a u64"
+    );
+    let mut db = DatabaseSchema::new();
+    db.add_relation("R", vec![data("a")]).unwrap();
+    let mut root = TaskBuilder::new("Lattice");
+    let tick = root.data_var("tick");
+    root.service_parts(
+        "enter",
+        Condition::eq(Term::var(tick), Term::Null),
+        Condition::eq(Term::var(tick), Term::str(tick_value(0))),
+        vec![],
+        None,
+    );
+    for i in 0..ticks {
+        root.service_parts(
+            format!("tick_{i}"),
+            Condition::eq(Term::var(tick), Term::str(tick_value(i))),
+            Condition::eq(Term::var(tick), Term::str(tick_value((i + 1) % ticks))),
+            vec![],
+            None,
+        );
+    }
+    let mut b = SpecBuilder::new(
+        format!("open-close-lattice-{ticks}x{children}"),
+        db,
+        root.build(),
+    );
+    for c in 0..children {
+        // A child's opening guard defaults to `true`, so each gate toggles
+        // freely; no outputs means closing returns nothing and the
+        // parent's tick constraint survives every close.
+        let mut gate = TaskBuilder::new(format!("Gate{c}"));
+        let step = gate.data_var("step");
+        gate.closing_pre(Condition::eq(Term::var(step), Term::str("Done")));
+        gate.service_parts(
+            "work",
+            Condition::eq(Term::var(step), Term::Null),
+            Condition::eq(Term::var(step), Term::str("Done")),
+            vec![],
+            None,
+        );
+        b.add_child("Lattice", gate.build()).unwrap();
+    }
+    b.global_pre(Condition::eq(Term::var(tick), Term::Null));
+    b.build().unwrap()
+}
+
+/// The property `false` over a lattice spec.  Driving a raw
+/// product-system search with it (as the `state_layout` benchmark and the
+/// candidate-path differential tests do)
+/// exhausts exactly the `(ticks + 1) · 2^children` reachable states — a
+/// pure measure of search (and state storage) throughput.  Note the
+/// full *verifier* pipeline trivially refutes `false` instead; use
+/// [`lattice_liveness`] for engine-level flows.
+pub fn lattice_false_property(spec: &HasSpec) -> LtlFoProperty {
+    LtlFoProperty::new("false-exhaust", spec.root(), vec![], Ltl::False, vec![])
+}
+
+/// The liveness property `F (tick = "goal")` over a lattice spec: no run
+/// ever reaches `"goal"`, so the engine must exhaust the lattice (up to
+/// its limits) and run the repeated-reachability post-pass to return the
+/// Violated-by-an-infinite-run verdict — the engine-level counterpart of
+/// [`lattice_false_property`].
+pub fn lattice_liveness(spec: &HasSpec) -> LtlFoProperty {
+    LtlFoProperty::new(
+        "eventually-goal",
+        spec.root(),
+        vec![],
+        Ltl::eventually(Ltl::prop(0)),
+        vec![PropAtom::Condition(Condition::eq(
+            Term::var(VarId::new(0)),
+            Term::str("goal"),
+        ))],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_spec_builds_with_expected_shape() {
+        let spec = open_close_lattice(4, 3);
+        assert_eq!(spec.name, "open-close-lattice-4x3");
+        // enter + one step per tick value.
+        assert_eq!(spec.task(spec.root()).services.len(), 5);
+        // Three gates hang off the root.
+        assert_eq!(spec.task(spec.root()).children.len(), 3);
+        let property = lattice_false_property(&spec);
+        assert_eq!(property.name, "false-exhaust");
+    }
+
+    #[test]
+    #[should_panic(expected = "tick cycle")]
+    fn rejects_degenerate_tick_cycles() {
+        open_close_lattice(1, 2);
+    }
+}

@@ -9,10 +9,13 @@
 //!   templates and the specification's own conditions,
 //! * [`cyclomatic`] — the cyclomatic-complexity metric of Section 4.2,
 //! * [`cycles`] — cycle-heavy exhausted-search workloads stressing the
-//!   repeated-reachability post-pass.
+//!   repeated-reachability post-pass,
+//! * [`lattice`] — the million-state open/close lattice stressing the
+//!   arena state layout of the Karp–Miller search.
 
 pub mod cycles;
 pub mod cyclomatic;
+pub mod lattice;
 pub mod properties;
 pub mod real;
 pub mod synthetic;
@@ -22,6 +25,7 @@ pub use cycles::{
     skewed_grid,
 };
 pub use cyclomatic::cyclomatic_complexity;
+pub use lattice::{lattice_false_property, lattice_liveness, open_close_lattice};
 pub use properties::{
     candidate_conditions, generate_properties, loan_approval_property, order_fulfillment_property,
 };

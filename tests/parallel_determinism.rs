@@ -10,9 +10,10 @@
 
 use verifas::prelude::*;
 use verifas::workloads::{
-    counter_cycle, cycle_grid, cycle_grid_liveness, generate, generate_properties, real_workflows,
-    SyntheticParams,
+    counter_cycle, cycle_grid, cycle_grid_liveness, generate, generate_properties,
+    lattice_false_property, lattice_liveness, open_close_lattice, real_workflows, SyntheticParams,
 };
+use verifas_core::{CoverageKind, KarpMillerSearch, ProductSystem};
 
 const SEEDS: std::ops::Range<u64> = 0..8;
 
@@ -240,6 +241,109 @@ fn cycle_heavy_post_pass_is_deterministic() {
     assert!(cycle.states > 30);
     assert!(cycle.edges >= cycle.states, "the torus is cycle-heavy");
     assert!(cycle.cyclic_states > 0);
+}
+
+/// The million-state open/close lattice — the workload the arena state
+/// layout exists for — must be deterministic like everything else.  The
+/// parameter sweep stands in for seeds (the lattice is a closed-form
+/// construction): each pair changes the discrete-group population and the
+/// frontier shape, and every run is capped by a deterministic state
+/// budget, so the 1-vs-4-thread × index-on/off sweep of
+/// `assert_deterministic` exercises limit-stopped million-state searches
+/// without exhausting one in a debug build.
+#[test]
+fn lattice_scenario_is_deterministic_across_threads_and_index() {
+    for (ticks, children) in [(4usize, 4usize), (5, 3), (3, 6)] {
+        let spec = open_close_lattice(ticks, children);
+        let engine = Engine::load(spec.clone()).expect("lattice is valid");
+        let property = lattice_liveness(&spec);
+        assert_deterministic(
+            &engine,
+            &property,
+            &format!("open-close-lattice-{ticks}x{children}/eventually-goal"),
+        );
+    }
+}
+
+/// At the search layer, the three candidate-discovery paths — per-group
+/// vectors (the arena layout's default), the pre-overhaul reference
+/// linear scans, and the signature index — must produce bit-identical
+/// trees on a capped lattice run, sequentially and with 4 workers.
+#[test]
+fn lattice_candidate_paths_are_bit_identical() {
+    let spec = open_close_lattice(8, 8);
+    let property = lattice_false_property(&spec);
+    let product = ProductSystem::new(&spec, &property, true).unwrap();
+    let limits = SearchLimits {
+        max_states: 3_000,
+        max_millis: 600_000,
+    };
+    let run = |use_index: bool, reference_layout: bool, threads: usize| {
+        let mut search =
+            KarpMillerSearch::new(&product, CoverageKind::Subsumption, use_index, limits);
+        search.reference_layout = reference_layout;
+        search.threads = threads;
+        let outcome = search.run();
+        let mut stats = search.stats;
+        stats.elapsed_ms = 0;
+        stats.threads = 0;
+        (outcome, search.len(), search.active_nodes(), stats)
+    };
+    let baseline = run(false, false, 1);
+    for (use_index, reference_layout, threads) in [
+        (false, false, 4),
+        (false, true, 1),
+        (false, true, 4),
+        (true, false, 1),
+        (true, false, 4),
+    ] {
+        assert_eq!(
+            baseline,
+            run(use_index, reference_layout, threads),
+            "candidate path diverged (index {use_index}, reference {reference_layout}, \
+             {threads} threads)"
+        );
+    }
+}
+
+/// A panic escaping a verification worker must come back as a typed
+/// `VerifasError::Internal` naming the panic — and must not leak state
+/// into the engine: the same engine instance serves the same property
+/// cleanly right after.
+#[test]
+fn worker_panic_is_a_typed_error_and_leaks_no_state() {
+    let spec = open_close_lattice(4, 4);
+    let engine = Engine::load(spec.clone()).expect("lattice is valid");
+    let property = lattice_liveness(&spec);
+    let on_event = |_index: usize, _event: &ProgressEvent| {
+        panic!("injected fault: die mid-search");
+    };
+    let reports = engine
+        .batch()
+        .batch_threads(1)
+        .on_event(&on_event)
+        .run(std::slice::from_ref(&property));
+    assert_eq!(reports.len(), 1);
+    match &reports[0] {
+        Err(VerifasError::Internal { reason }) => {
+            assert!(
+                reason.contains("worker panicked"),
+                "panic containment must name the worker, got: {reason}"
+            );
+            assert!(
+                reason.contains("die mid-search"),
+                "the panic message must survive into the typed error, got: {reason}"
+            );
+        }
+        other => panic!("expected a typed internal error, got {other:?}"),
+    }
+    // No leaked state: the poisoned run must not have cached a bogus
+    // report or wedged a lock — a clean run on the same engine succeeds,
+    // exhausts the (tiny) lattice and reaches the definite verdict (the
+    // goal is never reached, so the infinite cycling runs violate F goal).
+    let clean = engine.check(&property).expect("the engine must recover");
+    assert_eq!(clean.outcome, VerificationOutcome::Violated);
+    assert!(clean.stats.states_created > 0);
 }
 
 /// Regression test for the `StateIndex` signature soundness (ROADMAP
