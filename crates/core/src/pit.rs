@@ -295,18 +295,26 @@ impl<'u> PitBuilder<'u> {
             return;
         }
         // Congruence: merge navigation children attribute-wise.
-        let drop_children: Vec<(AttrId, ExprId)> = self
+        let mut drop_children: Vec<(AttrId, ExprId)> = self
             .class_children
             .iter()
             .filter(|((rep, _), _)| *rep == rb)
             .map(|((_, attr), child)| (*attr, *child))
             .collect();
+        drop_children.sort_unstable();
         for (attr, child_b) in drop_children {
             self.class_children.remove(&(rb, attr));
-            match self.class_children.get(&(ra, attr)).copied() {
+            // The recursive merge below can union `ra`'s class under a
+            // different root, so the surviving representative must be
+            // re-resolved on every iteration.  Keying off the stale `ra`
+            // would orphan child entries (and miss existing ones), leaving
+            // the congruence closure incomplete in a way that depends on
+            // the map's iteration order.
+            let keep = self.find(ra);
+            match self.class_children.get(&(keep, attr)).copied() {
                 Some(child_a) => self.assert_eq(child_a, child_b),
                 None => {
-                    self.class_children.insert((ra, attr), child_b);
+                    self.class_children.insert((keep, attr), child_b);
                 }
             }
             if self.inconsistent {

@@ -562,6 +562,14 @@ fn options_to_json(options: &VerifierOptions) -> Json {
                 ),
             ]),
         ),
+        (
+            "reference_layout".to_owned(),
+            Json::Bool(options.reference_layout),
+        ),
+        (
+            "reference_repeated".to_owned(),
+            Json::Bool(options.reference_repeated),
+        ),
     ])
 }
 
@@ -578,6 +586,20 @@ fn options_from_json(value: &Json) -> Result<VerifierOptions, VerifasError> {
             max_states: u64_member(limits, "max_states")? as usize,
             max_millis: u64_member(limits, "max_millis")?,
         },
+        // Oracle-arm toggles postdate schema v4; documents written before
+        // them simply omit the members and default to the real engine.
+        reference_layout: value
+            .get("reference_layout")
+            .map_or(Ok(false), |v| match v {
+                Json::Bool(b) => Ok(*b),
+                _ => bool_member(value, "reference_layout"),
+            })?,
+        reference_repeated: value
+            .get("reference_repeated")
+            .map_or(Ok(false), |v| match v {
+                Json::Bool(b) => Ok(*b),
+                _ => bool_member(value, "reference_repeated"),
+            })?,
     })
 }
 

@@ -50,6 +50,16 @@ pub struct VerifierOptions {
     pub search_threads: usize,
     /// Resource limits of each search phase.
     pub limits: SearchLimits,
+    /// Run phase 1 on the retained pre-arena linear-scan state layout
+    /// instead of the arena-backed one (an oracle arm for differential
+    /// testing; verdicts, witnesses and stats must be bit-identical).
+    pub reference_layout: bool,
+    /// Run phase 2 through [`crate::repeated::find_infinite_violation_reference`]
+    /// (the retained O(active²) oracle) instead of the indexed
+    /// implementation.  The reference arm produces no [`CycleStats`], so
+    /// differential comparisons against it cover verdict + witness +
+    /// phase-1 stats only.
+    pub reference_repeated: bool,
 }
 
 impl Default for VerifierOptions {
@@ -62,6 +72,8 @@ impl Default for VerifierOptions {
             check_repeated: true,
             search_threads: 1,
             limits: SearchLimits::default(),
+            reference_layout: false,
+            reference_repeated: false,
         }
     }
 }
@@ -247,6 +259,7 @@ pub fn run_verification(
         options.limits,
     );
     search.threads = options.search_threads;
+    search.reference_layout = options.reference_layout;
     let outcome = search.run_with(control);
     let stats = search.stats;
     let worker_stats = std::mem::take(&mut search.worker_stats);
@@ -292,14 +305,23 @@ pub fn run_verification(
                 };
             }
             // Phase 2: repeated reachability for infinite violations.
-            let repeated = find_infinite_violation_with(
-                product,
-                options.repeated_coverage(),
-                options.data_structure_support,
-                options.limits,
-                options.search_threads,
-                control,
-            );
+            let repeated = if options.reference_repeated {
+                crate::repeated::find_infinite_violation_reference(
+                    product,
+                    options.repeated_coverage(),
+                    options.data_structure_support,
+                    options.limits,
+                )
+            } else {
+                find_infinite_violation_with(
+                    product,
+                    options.repeated_coverage(),
+                    options.data_structure_support,
+                    options.limits,
+                    options.search_threads,
+                    control,
+                )
+            };
             let repeated_stats = Some(repeated.stats);
             let repeated_cycle = repeated.cycle;
             let failure = failure.or(repeated.failure);

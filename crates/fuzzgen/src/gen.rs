@@ -1,0 +1,504 @@
+//! The seeded generator of random *valid-by-construction* specifications.
+//!
+//! This extends the printer/parser round-trip generator of
+//! `verifas-spec` (`crates/spec/tests/roundtrip.rs`) from "one root,
+//! maybe one child" to the full surface the verifier exercises:
+//!
+//! * schemas of 1–4 relations with foreign keys,
+//! * task hierarchies up to three levels deep (children's variables are
+//!   a prefix of their parent's, so the same-name input/output wiring
+//!   convention stays valid at every level),
+//! * per-task artifact relations with insert/retrieve services that
+//!   propagate exactly the task's inputs,
+//! * LTL-FO properties over any task mixing condition atoms, `did` /
+//!   `open` / `close` service atoms (restricted to the task's observable
+//!   services), `define` aliases, `forall` globals, the full operator
+//!   set including `R`, and instantiations of the Table-4 templates.
+//!
+//! Validity is by construction, not by filtering: every emitted
+//! [`SpecFile`] must print, reparse, lower and load.  A seed that does
+//! not is itself a bug worth a minimized repro.
+
+use crate::rng::Lcg;
+use verifas_ltl::templates::all_templates;
+use verifas_spec::ast::*;
+
+fn ident(name: impl Into<String>) -> Ident {
+    Ident::synthetic(name.into())
+}
+
+/// Relation layout the generator tracks to keep conditions well-typed.
+pub struct GenRelation {
+    pub name: String,
+    /// `None` for a data attribute, `Some(target index)` for a foreign key.
+    pub attrs: Vec<Option<usize>>,
+}
+
+#[derive(Clone)]
+pub struct GenVar {
+    pub name: String,
+    /// `None` for data, `Some(relation index)` for an id variable.
+    pub rel: Option<usize>,
+}
+
+/// One generated task, kept in declaration (pre-)order: parents precede
+/// their children, as the resolver requires.
+struct GenTask {
+    name: String,
+    vars: Vec<GenVar>,
+    decl: TaskDecl,
+    children: Vec<String>,
+    service_names: Vec<String>,
+}
+
+fn gen_relations(rng: &mut Lcg) -> Vec<GenRelation> {
+    let count = rng.range(1, 4);
+    let mut out: Vec<GenRelation> = Vec::new();
+    for i in 0..count {
+        let attr_count = rng.range(1, 3);
+        let mut attrs = Vec::new();
+        for _ in 0..attr_count {
+            // Foreign keys may only reference previously declared
+            // relations (the schema must stay acyclic).
+            if !out.is_empty() && rng.chance(30) {
+                attrs.push(Some(rng.below(out.len())));
+            } else {
+                attrs.push(None);
+            }
+        }
+        out.push(GenRelation {
+            name: format!("R{i}"),
+            attrs,
+        });
+    }
+    out
+}
+
+fn gen_vars(rng: &mut Lcg, relations: &[GenRelation], count: usize) -> Vec<GenVar> {
+    (0..count)
+        .map(|i| GenVar {
+            name: format!("v{i}"),
+            rel: rng.chance(40).then(|| rng.below(relations.len())),
+        })
+        .collect()
+}
+
+/// A random term of the given type (`None` = data) over the scope.
+fn gen_term(rng: &mut Lcg, vars: &[GenVar], rel: Option<usize>) -> TermExpr {
+    let candidates: Vec<&GenVar> = vars.iter().filter(|v| v.rel == rel).collect();
+    match rel {
+        None => match rng.below(if candidates.is_empty() { 2 } else { 3 }) {
+            0 => TermExpr::Str(format!("c{}", rng.below(4)), Default::default()),
+            1 => TermExpr::Null(Default::default()),
+            _ => TermExpr::Var(ident(candidates[rng.below(candidates.len())].name.clone())),
+        },
+        Some(_) => {
+            if candidates.is_empty() || rng.chance(30) {
+                TermExpr::Null(Default::default())
+            } else {
+                TermExpr::Var(ident(candidates[rng.below(candidates.len())].name.clone()))
+            }
+        }
+    }
+}
+
+/// A random well-typed atomic condition over the scope.
+fn gen_atom_cond(rng: &mut Lcg, relations: &[GenRelation], vars: &[GenVar]) -> CondExpr {
+    // A relational atom needs an id variable keyed to some relation.
+    let keyed: Vec<usize> = vars.iter().filter_map(|v| v.rel).collect();
+    if !keyed.is_empty() && rng.chance(30) {
+        let rel_index = keyed[rng.below(keyed.len())];
+        let relation = &relations[rel_index];
+        let key = gen_term(rng, vars, Some(rel_index));
+        let mut args = vec![key];
+        for attr in &relation.attrs {
+            args.push(gen_term(rng, vars, *attr));
+        }
+        return CondExpr::Rel {
+            rel: ident(relation.name.clone()),
+            args,
+        };
+    }
+    // Comparison between same-typed terms (null compares with anything).
+    let var = &vars[rng.below(vars.len())];
+    let left = TermExpr::Var(ident(var.name.clone()));
+    let right = gen_term(rng, vars, var.rel);
+    CondExpr::Cmp {
+        left,
+        eq: rng.chance(60),
+        right,
+    }
+}
+
+pub fn gen_cond(
+    rng: &mut Lcg,
+    relations: &[GenRelation],
+    vars: &[GenVar],
+    depth: usize,
+) -> CondExpr {
+    if depth == 0 || rng.chance(35) {
+        return gen_atom_cond(rng, relations, vars);
+    }
+    match rng.below(5) {
+        0 => CondExpr::Not(
+            Box::new(gen_cond(rng, relations, vars, depth - 1)),
+            Default::default(),
+        ),
+        1 => CondExpr::And(
+            (0..2 + rng.below(2))
+                .map(|_| gen_cond(rng, relations, vars, depth - 1))
+                .collect(),
+        ),
+        2 => CondExpr::Or(
+            (0..2 + rng.below(2))
+                .map(|_| gen_cond(rng, relations, vars, depth - 1))
+                .collect(),
+        ),
+        3 => CondExpr::Implies(
+            Box::new(gen_cond(rng, relations, vars, depth - 1)),
+            Box::new(gen_cond(rng, relations, vars, depth - 1)),
+        ),
+        _ => {
+            if rng.chance(50) {
+                CondExpr::True(Default::default())
+            } else {
+                CondExpr::False(Default::default())
+            }
+        }
+    }
+}
+
+fn type_decl(relations: &[GenRelation], rel: Option<usize>) -> TypeDecl {
+    match rel {
+        None => TypeDecl::Data,
+        Some(i) => TypeDecl::Id(ident(relations[i].name.clone())),
+    }
+}
+
+fn var_decls(relations: &[GenRelation], vars: &[GenVar]) -> Vec<VarDecl> {
+    vars.iter()
+        .map(|v| VarDecl {
+            name: ident(v.name.clone()),
+            typ: type_decl(relations, v.rel),
+        })
+        .collect()
+}
+
+/// Generate one task's services (and maybe an artifact with its update
+/// service).  `inputs` is the task's input variable list: every service
+/// must propagate a superset of it, and an update service must propagate
+/// exactly it.
+fn gen_services(
+    rng: &mut Lcg,
+    relations: &[GenRelation],
+    task_name: &str,
+    vars: &[GenVar],
+    inputs: &[String],
+    artifacts: &mut Vec<ArtifactDecl>,
+) -> Vec<ServiceDecl> {
+    let propagate: Vec<Ident> = inputs.iter().map(|n| ident(n.clone())).collect();
+    let mut services = Vec::new();
+    // Optionally one artifact relation plus a matching insert/retrieve
+    // service.  Update services must propagate exactly the inputs.
+    if vars.len() >= 2 && rng.chance(40) {
+        let columns = vec![ident(vars[0].name.clone()), ident(vars[1].name.clone())];
+        let artifact = format!("POOL_{task_name}");
+        artifacts.push(ArtifactDecl {
+            name: ident(artifact.clone()),
+            columns: columns.clone(),
+        });
+        services.push(ServiceDecl {
+            name: ident("stash".to_owned()),
+            pre: gen_cond(rng, relations, vars, 1),
+            post: gen_cond(rng, relations, vars, 1),
+            propagate: propagate.clone(),
+            update: Some(UpdateDecl {
+                insert: rng.chance(50),
+                rel: ident(artifact),
+                vars: columns,
+            }),
+        });
+    }
+    for i in 0..rng.range(1, 3) {
+        services.push(ServiceDecl {
+            name: ident(format!("s{i}")),
+            pre: gen_cond(rng, relations, vars, 2),
+            post: gen_cond(rng, relations, vars, 2),
+            propagate: propagate.clone(),
+            update: None,
+        });
+    }
+    services
+}
+
+/// Recursively grow the task tree below `parent_index`.  Each child's
+/// variables are a prefix of its parent's (same names, same types), its
+/// input is the first variable and its output the last — distinct by the
+/// `len >= 2` guard, so the returned parent variable never overlaps the
+/// parent's own input.
+fn grow_children(
+    rng: &mut Lcg,
+    relations: &[GenRelation],
+    tasks: &mut Vec<GenTask>,
+    parent_index: usize,
+    depth: usize,
+    counter: &mut usize,
+) {
+    if depth >= 3 {
+        return;
+    }
+    let parent_vars = tasks[parent_index].vars.clone();
+    let parent_name = tasks[parent_index].name.clone();
+    if parent_vars.len() < 2 {
+        return;
+    }
+    let child_chance = [55, 40, 25][depth];
+    let max_children = if depth == 0 { 2 } else { 1 };
+    for _ in 0..max_children {
+        if tasks.len() >= 6 || !rng.chance(child_chance) {
+            continue;
+        }
+        let take = rng.range(2, parent_vars.len());
+        let child_vars: Vec<GenVar> = parent_vars[..take].to_vec();
+        let input = child_vars[0].name.clone();
+        let output = child_vars[take - 1].name.clone();
+        let name = format!("T{counter}");
+        *counter += 1;
+        let mut artifacts = Vec::new();
+        let services = gen_services(
+            rng,
+            relations,
+            &name,
+            &child_vars,
+            std::slice::from_ref(&input),
+            &mut artifacts,
+        );
+        let service_names: Vec<String> = services.iter().map(|s| s.name.name.clone()).collect();
+        let decl = TaskDecl {
+            name: ident(name.clone()),
+            parent: Some(ident(parent_name.clone())),
+            vars: var_decls(relations, &child_vars),
+            inputs: vec![IoPair {
+                child: ident(input.clone()),
+                parent: None,
+            }],
+            outputs: if output != input {
+                vec![IoPair {
+                    child: ident(output),
+                    parent: None,
+                }]
+            } else {
+                Vec::new()
+            },
+            artifacts,
+            // The opening condition is evaluated in the *parent's* scope,
+            // the closing condition in the child's own.
+            opening: rng
+                .chance(70)
+                .then(|| gen_cond(rng, relations, &parent_vars, 1)),
+            closing: rng
+                .chance(70)
+                .then(|| gen_cond(rng, relations, &child_vars, 1)),
+            services,
+        };
+        let child_index = tasks.len();
+        tasks.push(GenTask {
+            name: name.clone(),
+            vars: child_vars,
+            decl,
+            children: Vec::new(),
+            service_names,
+        });
+        tasks[parent_index].children.push(name);
+        grow_children(rng, relations, tasks, child_index, depth + 1, counter);
+    }
+}
+
+/// What a property over one task may observe: the task's own internal
+/// services, its own opening/closing, and its direct children's.
+struct Observable {
+    task: String,
+    services: Vec<String>,
+    children: Vec<String>,
+}
+
+/// A random atomic proposition for a property on `obs.task`.
+fn gen_prop_atom(
+    rng: &mut Lcg,
+    relations: &[GenRelation],
+    scope: &[GenVar],
+    obs: &Observable,
+    aliases: &[String],
+) -> AtomExpr {
+    match rng.below(10) {
+        0 | 1 if !obs.services.is_empty() => AtomExpr::Did(
+            ident(obs.task.clone()),
+            ident(obs.services[rng.below(obs.services.len())].clone()),
+        ),
+        2 => {
+            let targets: Vec<&String> = std::iter::once(&obs.task).chain(&obs.children).collect();
+            AtomExpr::Open(ident(targets[rng.below(targets.len())].clone()))
+        }
+        3 => {
+            let targets: Vec<&String> = std::iter::once(&obs.task).chain(&obs.children).collect();
+            AtomExpr::Close(ident(targets[rng.below(targets.len())].clone()))
+        }
+        4 if !aliases.is_empty() => {
+            AtomExpr::Alias(ident(aliases[rng.below(aliases.len())].clone()))
+        }
+        _ => AtomExpr::Cond(
+            Box::new(gen_cond(rng, relations, scope, 1)),
+            Default::default(),
+        ),
+    }
+}
+
+fn gen_ltl(
+    rng: &mut Lcg,
+    relations: &[GenRelation],
+    scope: &[GenVar],
+    obs: &Observable,
+    aliases: &[String],
+    depth: usize,
+) -> LtlExpr {
+    if depth == 0 || rng.chance(30) {
+        return LtlExpr::Atom(gen_prop_atom(rng, relations, scope, obs, aliases));
+    }
+    let sub = |rng: &mut Lcg| Box::new(gen_ltl(rng, relations, scope, obs, aliases, depth - 1));
+    match rng.below(9) {
+        0 => LtlExpr::Not(sub(rng), Default::default()),
+        1 => LtlExpr::And(sub(rng), sub(rng)),
+        2 => LtlExpr::Or(sub(rng), sub(rng)),
+        3 => LtlExpr::Implies(sub(rng), sub(rng)),
+        4 => LtlExpr::Globally(sub(rng), Default::default()),
+        5 => LtlExpr::Eventually(sub(rng), Default::default()),
+        6 => LtlExpr::Until(sub(rng), sub(rng)),
+        7 => LtlExpr::Release(sub(rng), sub(rng)),
+        _ => LtlExpr::Next(sub(rng), Default::default()),
+    }
+}
+
+fn gen_property(
+    rng: &mut Lcg,
+    relations: &[GenRelation],
+    tasks: &[GenTask],
+    index: usize,
+) -> PropertyDecl {
+    let task = &tasks[rng.below(tasks.len())];
+    let obs = Observable {
+        task: task.name.clone(),
+        services: task.service_names.clone(),
+        children: task.children.clone(),
+    };
+    // Scope: the task's variables plus the property's forall globals.
+    let mut scope = task.vars.clone();
+    let mut foralls = Vec::new();
+    for g in 0..rng.below(3) {
+        let rel = rng.chance(30).then(|| rng.below(relations.len()));
+        foralls.push(VarDecl {
+            name: ident(format!("g{g}")),
+            typ: type_decl(relations, rel),
+        });
+        scope.push(GenVar {
+            name: format!("g{g}"),
+            rel,
+        });
+    }
+    let mut defines = Vec::new();
+    let mut aliases = Vec::new();
+    for d in 0..rng.below(3) {
+        let name = format!("d{d}");
+        defines.push(DefineDecl {
+            name: ident(name.clone()),
+            cond: gen_cond(rng, relations, &scope, 1),
+        });
+        aliases.push(name);
+    }
+    let body = if rng.chance(35) {
+        let templates = all_templates();
+        let template = &templates[rng.below(templates.len())];
+        let atom = |rng: &mut Lcg| gen_prop_atom(rng, relations, &scope, &obs, &aliases);
+        PropertyBody::Template {
+            name: template.name.to_owned(),
+            span: Default::default(),
+            phi: (template.arity >= 1).then(|| atom(rng)),
+            psi: (template.arity >= 2).then(|| atom(rng)),
+        }
+    } else {
+        let depth = rng.range(2, 3);
+        PropertyBody::Formula(gen_ltl(rng, relations, &scope, &obs, &aliases, depth))
+    };
+    PropertyDecl {
+        name: format!("p{index}"),
+        span: Default::default(),
+        task: ident(task.name.clone()),
+        foralls,
+        defines,
+        body,
+    }
+}
+
+/// One random, valid-by-construction specification file for `seed`.
+pub fn gen_spec_file(seed: u64) -> SpecFile {
+    let mut rng = Lcg::from_seed(seed);
+    let rng = &mut rng;
+    let relations = gen_relations(rng);
+    let root_var_count = rng.range(3, 5);
+    let root_vars = gen_vars(rng, &relations, root_var_count);
+    let mut artifacts = Vec::new();
+    let services = gen_services(rng, &relations, "Root", &root_vars, &[], &mut artifacts);
+    let service_names: Vec<String> = services.iter().map(|s| s.name.name.clone()).collect();
+    let root_decl = TaskDecl {
+        name: ident("Root".to_owned()),
+        parent: None,
+        vars: var_decls(&relations, &root_vars),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        artifacts,
+        opening: None,
+        closing: None,
+        services,
+    };
+    let mut tasks = vec![GenTask {
+        name: "Root".to_owned(),
+        vars: root_vars.clone(),
+        decl: root_decl,
+        children: Vec::new(),
+        service_names,
+    }];
+    let mut counter = 1usize;
+    grow_children(rng, &relations, &mut tasks, 0, 0, &mut counter);
+
+    let init = rng
+        .chance(70)
+        .then(|| gen_cond(rng, &relations, &root_vars, 1));
+    let properties = (0..rng.range(1, 3))
+        .map(|i| gen_property(rng, &relations, &tasks, i))
+        .collect();
+
+    SpecFile {
+        name: format!("fuzz-{seed}"),
+        span: Default::default(),
+        relations: relations
+            .iter()
+            .map(|r| RelationDecl {
+                name: ident(r.name.clone()),
+                attrs: r
+                    .attrs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, target)| AttrDecl {
+                        name: ident(format!("a{i}")),
+                        kind: match target {
+                            None => AttrKindDecl::Data,
+                            Some(t) => AttrKindDecl::Ref(ident(relations[*t].name.clone())),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect(),
+        tasks: tasks.into_iter().map(|t| t.decl).collect(),
+        init,
+        properties,
+    }
+}

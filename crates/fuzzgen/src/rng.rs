@@ -1,0 +1,37 @@
+//! The deterministic random source behind every generated spec.
+//!
+//! Same MMIX constants as the printer/parser round-trip suite in
+//! `verifas-spec`, so a seed here is as cheap to replay as one there:
+//! the sequence depends on nothing but the seed.
+
+/// A minimal deterministic LCG (Knuth's MMIX constants).
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// An LCG whose stream is decorrelated from small consecutive seeds.
+    pub fn from_seed(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// Uniform value in `0..bound` (bound ≥ 1).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+
+    pub fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}

@@ -1,0 +1,267 @@
+//! The greedy structural shrinker.
+//!
+//! Given a spec AST whose matrix run diverges, the shrinker repeatedly
+//! proposes single structural reductions — drop a property, a task
+//! subtree, a service, an artifact, a variable, the init condition, a
+//! forall or define; replace a condition with `true`; hoist an LTL
+//! subformula over its parent — and keeps a reduction exactly when the
+//! reduced spec *still diverges*.  Candidates that break validity are
+//! rejected for free: an invalid spec fails to compile, so the
+//! divergence predicate returns `false` and the greedy loop moves on.
+//!
+//! The result is a local minimum: no single listed reduction applies.
+//! That is deliberately simple — divergences are rare, and a
+//! deterministic, explainable reduction order beats a cleverer search
+//! when a human is about to read the repro.
+
+use crate::oracle::{check_spec_file, Divergence, FuzzConfig};
+use verifas_spec::ast::{CondExpr, LtlExpr, PropertyBody, SpecFile};
+
+/// Upper bound on divergence-predicate evaluations per shrink, so a
+/// pathological case cannot stall a fuzz run (each evaluation re-runs
+/// the failing arm).
+const MAX_CHECKS: usize = 400;
+
+/// Greedily minimize `file` while `still_fails` holds.  Returns the
+/// reduced AST (possibly `file` itself if nothing could be removed).
+pub fn shrink(file: &SpecFile, still_fails: &mut dyn FnMut(&SpecFile) -> bool) -> SpecFile {
+    let mut current = file.clone();
+    let mut checks = 0usize;
+    loop {
+        let mut progressed = false;
+        for candidate in reductions(&current) {
+            checks += 1;
+            if checks > MAX_CHECKS {
+                return current;
+            }
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Shrink a known divergence: re-runs only the diverging arm at each
+/// candidate.  Returns the minimized AST and the divergence it still
+/// exhibits.
+pub fn shrink_divergence(
+    file: &SpecFile,
+    divergence: &Divergence,
+    config: &FuzzConfig,
+) -> (SpecFile, Divergence) {
+    let narrowed = FuzzConfig {
+        arms: vec![divergence.arm],
+        ..config.clone()
+    };
+    let seed = divergence.seed;
+    let mut predicate =
+        |candidate: &SpecFile| matches!(check_spec_file(candidate, seed, &narrowed), Ok(Some(_)));
+    let minimized = shrink(file, &mut predicate);
+    let final_divergence = match check_spec_file(&minimized, seed, &narrowed) {
+        Ok(Some(d)) => d,
+        // Unreachable in practice (the predicate held for `minimized`),
+        // but never panic inside a fuzz harness.
+        _ => divergence.clone(),
+    };
+    (minimized, final_divergence)
+}
+
+/// Every single-step reduction of `file`, most drastic first.
+fn reductions(file: &SpecFile) -> Vec<SpecFile> {
+    let mut out = Vec::new();
+
+    // Drop one property.
+    for i in 0..file.properties.len() {
+        let mut reduced = file.clone();
+        reduced.properties.remove(i);
+        out.push(reduced);
+    }
+
+    // Drop one non-root task subtree.
+    for i in 1..file.tasks.len() {
+        let mut doomed = vec![file.tasks[i].name.name.clone()];
+        // Children always follow their parent in declaration order, so
+        // one forward sweep closes the subtree.
+        for task in &file.tasks[i + 1..] {
+            if let Some(parent) = &task.parent {
+                if doomed.contains(&parent.name) {
+                    doomed.push(task.name.name.clone());
+                }
+            }
+        }
+        let mut reduced = file.clone();
+        reduced.tasks.retain(|t| !doomed.contains(&t.name.name));
+        out.push(reduced);
+    }
+
+    // Drop one service.
+    for (t, task) in file.tasks.iter().enumerate() {
+        for s in 0..task.services.len() {
+            let mut reduced = file.clone();
+            reduced.tasks[t].services.remove(s);
+            out.push(reduced);
+        }
+    }
+
+    // Drop one artifact together with the updates that reference it.
+    for (t, task) in file.tasks.iter().enumerate() {
+        for a in 0..task.artifacts.len() {
+            let name = task.artifacts[a].name.name.clone();
+            let mut reduced = file.clone();
+            reduced.tasks[t].artifacts.remove(a);
+            for service in &mut reduced.tasks[t].services {
+                if service.update.as_ref().is_some_and(|u| u.rel.name == name) {
+                    service.update = None;
+                }
+            }
+            out.push(reduced);
+        }
+    }
+
+    // Drop one variable (and any io pair or artifact column that names
+    // it; a remaining reference elsewhere simply fails to compile and
+    // the candidate is rejected).
+    for (t, task) in file.tasks.iter().enumerate() {
+        for v in 0..task.vars.len() {
+            let name = task.vars[v].name.name.clone();
+            let mut reduced = file.clone();
+            let task = &mut reduced.tasks[t];
+            task.vars.remove(v);
+            task.inputs.retain(|io| io.child.name != name);
+            task.outputs.retain(|io| io.child.name != name);
+            task.artifacts
+                .retain(|a| a.columns.iter().all(|c| c.name != name));
+            out.push(reduced);
+        }
+    }
+
+    // Drop one output wire.
+    for (t, task) in file.tasks.iter().enumerate() {
+        for o in 0..task.outputs.len() {
+            let mut reduced = file.clone();
+            reduced.tasks[t].outputs.remove(o);
+            out.push(reduced);
+        }
+    }
+
+    // Drop the init condition.
+    if file.init.is_some() {
+        let mut reduced = file.clone();
+        reduced.init = None;
+        out.push(reduced);
+    }
+
+    // Drop one forall global or one define.
+    for (p, property) in file.properties.iter().enumerate() {
+        for f in 0..property.foralls.len() {
+            let mut reduced = file.clone();
+            reduced.properties[p].foralls.remove(f);
+            out.push(reduced);
+        }
+        for d in 0..property.defines.len() {
+            let mut reduced = file.clone();
+            reduced.properties[p].defines.remove(d);
+            out.push(reduced);
+        }
+    }
+
+    // Replace one condition site with `true`.
+    let sites = count_cond_sites(file);
+    for site in 0..sites {
+        if let Some(reduced) = simplify_cond_site(file, site) {
+            out.push(reduced);
+        }
+    }
+
+    // Hoist one direct subformula over a property's LTL body.
+    for (p, property) in file.properties.iter().enumerate() {
+        if let PropertyBody::Formula(body) = &property.body {
+            for sub in subformulas(body) {
+                let mut reduced = file.clone();
+                reduced.properties[p].body = PropertyBody::Formula(sub);
+                out.push(reduced);
+            }
+        }
+    }
+
+    out
+}
+
+/// Condition sites in a fixed order: init, then per task its opening,
+/// closing and each service's pre/post.
+fn count_cond_sites(file: &SpecFile) -> usize {
+    let mut count = usize::from(file.init.is_some());
+    for task in &file.tasks {
+        count += usize::from(task.opening.is_some());
+        count += usize::from(task.closing.is_some());
+        count += 2 * task.services.len();
+    }
+    count
+}
+
+/// Replace the `site`-th condition with `true` (skipped when it already
+/// is `true`).
+fn simplify_cond_site(file: &SpecFile, site: usize) -> Option<SpecFile> {
+    let mut reduced = file.clone();
+    let mut remaining = site;
+    {
+        let mut visit = |cond: &mut CondExpr| -> Option<bool> {
+            if remaining == 0 {
+                if matches!(cond, CondExpr::True(_)) {
+                    return Some(false);
+                }
+                *cond = CondExpr::True(Default::default());
+                return Some(true);
+            }
+            remaining -= 1;
+            None
+        };
+        if let Some(init) = &mut reduced.init {
+            if let Some(changed) = visit(init) {
+                return changed.then_some(reduced);
+            }
+        }
+        for task in &mut reduced.tasks {
+            if let Some(opening) = &mut task.opening {
+                if let Some(changed) = visit(opening) {
+                    return changed.then_some(reduced);
+                }
+            }
+            if let Some(closing) = &mut task.closing {
+                if let Some(changed) = visit(closing) {
+                    return changed.then_some(reduced);
+                }
+            }
+            for service in &mut task.services {
+                if let Some(changed) = visit(&mut service.pre) {
+                    return changed.then_some(reduced);
+                }
+                if let Some(changed) = visit(&mut service.post) {
+                    return changed.then_some(reduced);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The direct subformulas of an LTL node (hoisting candidates).
+fn subformulas(expr: &LtlExpr) -> Vec<LtlExpr> {
+    match expr {
+        LtlExpr::True(_) | LtlExpr::False(_) | LtlExpr::Atom(_) => Vec::new(),
+        LtlExpr::Not(inner, _)
+        | LtlExpr::Next(inner, _)
+        | LtlExpr::Globally(inner, _)
+        | LtlExpr::Eventually(inner, _) => vec![(**inner).clone()],
+        LtlExpr::And(a, b)
+        | LtlExpr::Or(a, b)
+        | LtlExpr::Implies(a, b)
+        | LtlExpr::Until(a, b)
+        | LtlExpr::Release(a, b) => vec![(**a).clone(), (**b).clone()],
+    }
+}

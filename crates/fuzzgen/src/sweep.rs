@@ -1,0 +1,95 @@
+//! The seed-range driver shared by `verifas fuzz` and the tests.
+
+use crate::gen::gen_spec_file;
+use crate::oracle::{check_spec_file, Divergence, FuzzConfig};
+use crate::shrink::shrink_divergence;
+use verifas_spec::format_spec;
+
+/// The result of one minimized divergence: the shrunken `.has` text
+/// plus the divergence it still exhibits.
+#[derive(Debug, Clone)]
+pub struct MinimizedRepro {
+    pub divergence: Divergence,
+    /// Canonical `.has` text of the minimized spec.
+    pub minimized: String,
+}
+
+/// What a seed sweep found.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// How many seeds actually ran (the CI smoke job prints and asserts
+    /// on this, so a silently-empty range cannot pass as a green sweep).
+    pub seeds_run: usize,
+    /// Seeds whose generated spec failed to print/compile/load — always
+    /// a bug (the generator promises validity by construction).
+    pub errors: Vec<(u64, String)>,
+    /// Divergences, minimized when shrinking was requested.
+    pub divergences: Vec<MinimizedRepro>,
+}
+
+impl SweepOutcome {
+    pub fn clean(&self) -> bool {
+        self.errors.is_empty() && self.divergences.is_empty()
+    }
+}
+
+/// Run seeds `range` through the matrix.  With `shrink_failures` each
+/// divergence is minimized before being reported; `progress` receives
+/// one line per event (seed milestones, divergences) for live output.
+pub fn run_sweep(
+    range: std::ops::Range<u64>,
+    config: &FuzzConfig,
+    shrink_failures: bool,
+    progress: &mut dyn FnMut(&str),
+) -> SweepOutcome {
+    let mut outcome = SweepOutcome::default();
+    for seed in range {
+        let file = gen_spec_file(seed);
+        match check_spec_file(&file, seed, config) {
+            Ok(None) => {}
+            Ok(Some(divergence)) => {
+                progress(&format!(
+                    "seed {seed}: divergence on arm `{}`: {}",
+                    divergence.arm.name(),
+                    truncated(&divergence.detail)
+                ));
+                let repro = if shrink_failures {
+                    let (minimized, final_divergence) =
+                        shrink_divergence(&file, &divergence, config);
+                    progress(&format!(
+                        "seed {seed}: shrunk repro to {} bytes",
+                        format_spec(&minimized).len()
+                    ));
+                    MinimizedRepro {
+                        minimized: format_spec(&minimized),
+                        divergence: final_divergence,
+                    }
+                } else {
+                    MinimizedRepro {
+                        minimized: divergence.source.clone(),
+                        divergence,
+                    }
+                };
+                outcome.divergences.push(repro);
+            }
+            Err(error) => {
+                progress(&format!("seed {seed}: harness error: {error}"));
+                outcome.errors.push((seed, error));
+            }
+        }
+        outcome.seeds_run += 1;
+    }
+    outcome
+}
+
+fn truncated(detail: &str) -> String {
+    const LIMIT: usize = 200;
+    if detail.len() <= LIMIT {
+        return detail.to_owned();
+    }
+    let mut end = LIMIT;
+    while !detail.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &detail[..end])
+}

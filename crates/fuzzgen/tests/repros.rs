@@ -1,0 +1,61 @@
+//! Committed divergence repros stay fixed.
+//!
+//! Every `.has` file under `repros/` is a minimized reproducer of a
+//! divergence the harness once caught; replaying it through the full
+//! oracle matrix must now be clean.  The first 1000-seed sweep found
+//! five divergences (seeds 42/63/313 on `threads`, 609 on `index`, 645
+//! on `layout`), all rooted in an iteration-order-dependent congruence
+//! closure in `PitBuilder::assert_eq`; the shrunken specs are committed
+//! under `repros/` (see its README for the full story).  The companion
+//! assertion — that a fresh seed block actually swept — keeps this test
+//! load-bearing even if the directory is ever emptied: an
+//! accidentally-empty sweep cannot masquerade as green.
+
+use std::path::{Path, PathBuf};
+use verifas_fuzzgen::{check_spec_file, run_sweep, FuzzConfig};
+use verifas_spec::parse;
+
+fn repros_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("repros")
+}
+
+#[test]
+fn committed_repros_replay_clean_through_the_full_matrix() {
+    let config = FuzzConfig::default();
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(repros_dir()).expect("repros/ directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "has") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).unwrap();
+        let file = parse(&source).unwrap_or_else(|e| panic!("{name}: no longer parses: {e}"));
+        match check_spec_file(&file, 0, &config) {
+            Ok(None) => {}
+            Ok(Some(d)) => panic!(
+                "{name}: fixed divergence is BACK on arm `{}`: {}",
+                d.arm.name(),
+                d.detail
+            ),
+            Err(e) => panic!("{name}: repro no longer runs through the harness: {e}"),
+        }
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 3,
+        "expected the committed repro specs to be replayed, got {replayed}"
+    );
+    let mut lines = Vec::new();
+    let outcome = run_sweep(0..16, &config, false, &mut |line| {
+        lines.push(line.to_owned())
+    });
+    assert_eq!(
+        outcome.seeds_run, 16,
+        "the regression sweep must actually run its seed block"
+    );
+    assert!(
+        outcome.clean(),
+        "regression sweep diverged (replayed {replayed} repros first): {lines:?}"
+    );
+}

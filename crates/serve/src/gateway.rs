@@ -274,6 +274,19 @@ impl Gateway {
             .scheduler_handle(&admission.handle)
             .on_event(&on_event)
             .on_result(&mut on_result);
+        // Per-request search limits: unlike the wall-clock deadline these
+        // are deterministic, so a bounded request replays bit-identically
+        // (the fuzz harness's served arm depends on this).
+        if request.max_states.is_some() || request.max_millis.is_some() {
+            let mut options = engine.options();
+            if let Some(max_states) = request.max_states {
+                options.limits.max_states = max_states;
+            }
+            if let Some(max_millis) = request.max_millis {
+                options.limits.max_millis = max_millis;
+            }
+            batch = batch.options(options);
+        }
         if let Some(budget) = &self.memory {
             batch = batch.memory_budget(budget);
         }
@@ -584,6 +597,8 @@ property "never-done" on Root {
             class: PriorityClass::Interactive,
             properties: None,
             deadline_ms: None,
+            max_states: None,
+            max_millis: None,
         }
     }
 

@@ -31,6 +31,16 @@ pub struct VerifyRequest {
     pub properties: Option<Vec<String>>,
     /// Soft deadline for the whole batch, in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Per-search state budget (`SearchLimits::max_states`); `None`
+    /// keeps the engine default.  Unlike `deadline_ms` this bound is
+    /// deterministic: two requests with the same spec and the same
+    /// `max_states` produce bit-identical reports, which is what the
+    /// fuzz harness's served oracle arm compares against a direct
+    /// `check_all`.
+    pub max_states: Option<usize>,
+    /// Per-search wall-clock budget in milliseconds
+    /// (`SearchLimits::max_millis`); `None` keeps the engine default.
+    pub max_millis: Option<u64>,
 }
 
 impl VerifyRequest {
@@ -83,11 +93,28 @@ impl VerifyRequest {
                     .ok_or_else(|| bad_request("member \"deadline_ms\" must be an integer"))?,
             ),
         };
+        let max_states = match value.get("max_states") {
+            None | Some(Json::Null) => None,
+            Some(json) => Some(
+                json.as_u64()
+                    .ok_or_else(|| bad_request("member \"max_states\" must be an integer"))?
+                    as usize,
+            ),
+        };
+        let max_millis = match value.get("max_millis") {
+            None | Some(Json::Null) => None,
+            Some(json) => Some(
+                json.as_u64()
+                    .ok_or_else(|| bad_request("member \"max_millis\" must be an integer"))?,
+            ),
+        };
         Ok(VerifyRequest {
             spec,
             class,
             properties,
             deadline_ms,
+            max_states,
+            max_millis,
         })
     }
 }
@@ -272,10 +299,13 @@ mod tests {
                 class: PriorityClass::Interactive,
                 properties: None,
                 deadline_ms: None,
+                max_states: None,
+                max_millis: None,
             }
         );
         let full = VerifyRequest::from_json(
-            r#"{"spec": "s", "class": "batch", "properties": ["p", "q"], "deadline_ms": 250}"#,
+            r#"{"spec": "s", "class": "batch", "properties": ["p", "q"], "deadline_ms": 250,
+                "max_states": 4000, "max_millis": 60000}"#,
         )
         .unwrap();
         assert_eq!(full.class, PriorityClass::Batch);
@@ -284,6 +314,8 @@ mod tests {
             Some(&["p".to_owned(), "q".to_owned()][..])
         );
         assert_eq!(full.deadline_ms, Some(250));
+        assert_eq!(full.max_states, Some(4000));
+        assert_eq!(full.max_millis, Some(60000));
     }
 
     #[test]
@@ -298,6 +330,14 @@ mod tests {
             ),
             (r#"{"spec": "s", "properties": "p"}"#, "must be an array"),
             (r#"{"spec": "s", "deadline_ms": -1}"#, "must be an integer"),
+            (
+                r#"{"spec": "s", "max_states": "many"}"#,
+                "member \"max_states\" must be an integer",
+            ),
+            (
+                r#"{"spec": "s", "max_millis": 1.5}"#,
+                "member \"max_millis\" must be an integer",
+            ),
         ];
         for (body, needle) in cases {
             let error = VerifyRequest::from_json(body).unwrap_err();

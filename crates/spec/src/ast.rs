@@ -291,6 +291,26 @@ pub enum LtlExpr {
     Release(Box<LtlExpr>, Box<LtlExpr>),
 }
 
+impl LtlExpr {
+    /// The formula's source position (its leftmost token).
+    pub fn span(&self) -> SourceSpan {
+        match self {
+            LtlExpr::True(s)
+            | LtlExpr::False(s)
+            | LtlExpr::Not(_, s)
+            | LtlExpr::Next(_, s)
+            | LtlExpr::Globally(_, s)
+            | LtlExpr::Eventually(_, s) => *s,
+            LtlExpr::Atom(a) => a.span(),
+            LtlExpr::And(a, _)
+            | LtlExpr::Or(a, _)
+            | LtlExpr::Implies(a, _)
+            | LtlExpr::Until(a, _)
+            | LtlExpr::Release(a, _) => a.span(),
+        }
+    }
+}
+
 /// `define name := condition;`
 #[derive(Debug, Clone, PartialEq)]
 pub struct DefineDecl {

@@ -320,9 +320,9 @@ impl<'a> Lexer<'a> {
 }
 
 /// `true` when the source contains `//` comments (outside string
-/// literals).  The canonical printer does not preserve comments, so
-/// in-place formatting (`verifas fmt --write`) refuses commented files
-/// instead of silently destroying their documentation.
+/// literals).  Formatting preserves comments (see [`collect_comments`]
+/// and `format_source`); this predicate remains for callers that care
+/// whether a file has any — e.g. to pick a comment-free fast path.
 pub fn has_comments(source: &str) -> bool {
     let mut chars = source.chars().peekable();
     let mut in_string = false;
@@ -343,6 +343,50 @@ pub fn has_comments(source: &str) -> bool {
         }
     }
     false
+}
+
+/// A `//` comment, collected for the comment-preserving formatter
+/// (`verifas fmt` re-anchors these against the canonical layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// `true` when the comment is the first non-whitespace on its line
+    /// (a standalone comment); `false` when it trails code.
+    pub own_line: bool,
+    /// The text after `//`, trimmed.
+    pub text: String,
+}
+
+/// Every `//` comment in `source` (outside string literals), in order.
+///
+/// Uses the same string-awareness rules as [`has_comments`]: escapes
+/// only exist inside strings, and a string never spans lines, so the
+/// in-string state resets at each newline.
+pub fn collect_comments(source: &str) -> Vec<Comment> {
+    let mut out = Vec::new();
+    for (index, text) in source.lines().enumerate() {
+        let mut chars = text.char_indices().peekable();
+        let mut in_string = false;
+        while let Some((at, c)) = chars.next() {
+            match c {
+                '"' => in_string = !in_string,
+                '\\' if in_string => {
+                    chars.next();
+                }
+                '/' if !in_string && matches!(chars.peek(), Some((_, '/'))) => {
+                    out.push(Comment {
+                        line: (index + 1) as u32,
+                        own_line: text[..at].trim().is_empty(),
+                        text: text[at + 2..].trim().to_owned(),
+                    });
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
 }
 
 /// Tokenize a whole source text (stops at the first lexical error).

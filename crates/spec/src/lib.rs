@@ -44,7 +44,8 @@
 //!            | 'did' '(' TASK '.' SERVICE ')' | ALIAS
 //! ```
 //!
-//! Comments run `//` to end of line.  `template` names are the Table-4
+//! Comments run `//` to end of line and survive formatting
+//! ([`format_source`] re-anchors them).  `template` names are the Table-4
 //! rows of `verifas_ltl::all_templates` (e.g. `"G phi"`, `"GF phi"`).
 //! Identical atoms share one proposition, assigned in first-occurrence
 //! order — exactly how the programmatic properties are written.
@@ -84,9 +85,9 @@ pub mod resolve;
 
 pub use ast::SpecFile;
 pub use error::SpecError;
-pub use lexer::has_comments;
+pub use lexer::{collect_comments, has_comments, Comment};
 pub use parser::parse;
-pub use printer::format_spec;
+pub use printer::{format_spec, format_spec_with_comments};
 pub use resolve::{resolve, CompiledSpec};
 
 /// Parse and lower a `.has` source text in one step.
@@ -95,8 +96,16 @@ pub fn compile(source: &str) -> Result<CompiledSpec, SpecError> {
 }
 
 /// Parse a `.has` source text and render it in canonical formatting.
+/// `//` comments survive: each is re-anchored against the canonical
+/// layout (trailing comments stay trailing, standalone comments stay
+/// before the declaration that followed them).
 pub fn format_source(source: &str) -> Result<String, SpecError> {
-    Ok(format_spec(&parse(source)?))
+    let file = parse(source)?;
+    if has_comments(source) {
+        Ok(format_spec_with_comments(&file, &collect_comments(source)))
+    } else {
+        Ok(format_spec(&file))
+    }
 }
 
 #[cfg(test)]

@@ -6,16 +6,37 @@
 //! reparsing the output yields the same AST (up to spans) — the seeded
 //! round-trip fuzz test pins this against printer/parser drift — and
 //! printing is idempotent.
+//!
+//! `//` comments survive formatting: [`format_spec_with_comments`]
+//! takes the comments the lexer collected from the original source and
+//! re-anchors each one against the canonical layout.  A comment that
+//! trailed a declaration trails the same declaration's canonical line;
+//! a standalone comment is emitted, at the canonical indent, before the
+//! first declaration that originally followed it.  No comment is ever
+//! dropped — anything left unanchored (e.g. trailing the final `}`)
+//! flushes at the end of the file.
 
 use crate::ast::*;
+use crate::lexer::Comment;
 
-/// Render a parsed specification in canonical formatting.
+/// Render a parsed specification in canonical formatting (comments,
+/// if the tree came from source text, are dropped — use
+/// [`format_spec_with_comments`] or `format_source` to keep them).
 pub fn format_spec(file: &SpecFile) -> String {
-    let mut out = String::new();
-    let p = &mut out;
-    line(p, 0, &format!("spec {};", quoted(&file.name)));
-    blank(p);
-    line(p, 0, "schema {");
+    format_spec_with_comments(file, &[])
+}
+
+/// Render a parsed specification in canonical formatting, re-anchoring
+/// the given source comments (see [`crate::lexer::collect_comments`]).
+pub fn format_spec_with_comments(file: &SpecFile, comments: &[Comment]) -> String {
+    let mut p = Printer {
+        out: String::new(),
+        comments,
+        next: 0,
+    };
+    p.line(0, &format!("spec {};", quoted(&file.name)), file.span.line);
+    p.blank();
+    p.line(0, "schema {", 0);
     for rel in &file.relations {
         let attrs: Vec<String> = rel
             .attrs
@@ -25,44 +46,125 @@ pub fn format_spec(file: &SpecFile) -> String {
                 AttrKindDecl::Ref(target) => format!("{}: ref {}", a.name.name, target.name),
             })
             .collect();
-        line(
-            p,
+        p.line(
             1,
             &format!("relation {}({});", rel.name.name, attrs.join(", ")),
+            rel.name.span.line,
         );
     }
-    line(p, 0, "}");
+    p.line(0, "}", 0);
     for task in &file.tasks {
-        blank(p);
-        print_task(p, task);
+        p.blank();
+        print_task(&mut p, task);
     }
     if let Some(init) = &file.init {
-        blank(p);
-        line(p, 0, &format!("init: {};", cond(init, COND_TOP)));
+        p.blank();
+        p.line(
+            0,
+            &format!("init: {};", cond(init, COND_TOP)),
+            init.span().line,
+        );
     }
     for prop in &file.properties {
-        blank(p);
-        print_property(p, prop);
+        p.blank();
+        print_property(&mut p, prop);
     }
-    out
+    p.finish()
 }
 
-fn print_task(p: &mut String, task: &TaskDecl) {
-    match &task.parent {
-        None => line(p, 0, &format!("task {} {{", task.name.name)),
-        Some(parent) => line(
-            p,
-            0,
-            &format!("task {} child of {} {{", task.name.name, parent.name),
-        ),
+/// The emitter: canonical lines interleaved with re-anchored comments.
+struct Printer<'a> {
+    out: String,
+    comments: &'a [Comment],
+    /// Index of the first comment not yet emitted.
+    next: usize,
+}
+
+impl Printer<'_> {
+    /// Emit one canonical line.  `anchor` is the 1-based source line of
+    /// the construct being printed (0 for structural lines — braces,
+    /// block keywords — that have no span of their own).  Standalone
+    /// comments from before the anchor are flushed first at this line's
+    /// indent; a comment that trailed the anchor line in the source is
+    /// appended to this line.
+    fn line(&mut self, indent: usize, text: &str, anchor: u32) {
+        if anchor != 0 {
+            while self
+                .comments
+                .get(self.next)
+                .is_some_and(|c| c.line < anchor)
+            {
+                let comment = &self.comments[self.next];
+                self.next += 1;
+                self.push_indent(indent);
+                self.out.push_str(&rendered(comment));
+                self.out.push('\n');
+            }
+        }
+        self.push_indent(indent);
+        self.out.push_str(text);
+        if anchor != 0
+            && self
+                .comments
+                .get(self.next)
+                .is_some_and(|c| c.line == anchor && !c.own_line)
+        {
+            self.out.push(' ');
+            self.out.push_str(&rendered(&self.comments[self.next]));
+            self.next += 1;
+        }
+        self.out.push('\n');
     }
+
+    fn blank(&mut self) {
+        self.out.push('\n');
+    }
+
+    fn push_indent(&mut self, indent: usize) {
+        for _ in 0..indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    /// Flush any comments no construct claimed (e.g. after the last
+    /// declaration) and return the finished text.
+    fn finish(mut self) -> String {
+        while self.next < self.comments.len() {
+            let comment = &self.comments[self.next];
+            self.next += 1;
+            self.out.push_str(&rendered(comment));
+            self.out.push('\n');
+        }
+        self.out
+    }
+}
+
+/// A comment in canonical form: `// text`, or a bare `//` when empty.
+fn rendered(comment: &Comment) -> String {
+    if comment.text.is_empty() {
+        "//".to_owned()
+    } else {
+        format!("// {}", comment.text)
+    }
+}
+
+fn print_task(p: &mut Printer<'_>, task: &TaskDecl) {
+    let header = match &task.parent {
+        None => format!("task {} {{", task.name.name),
+        Some(parent) => format!("task {} child of {} {{", task.name.name, parent.name),
+    };
+    p.line(0, &header, task.name.span.line);
     if !task.vars.is_empty() {
-        line(p, 1, "vars {");
+        p.line(1, "vars {", 0);
         for (i, v) in task.vars.iter().enumerate() {
             let comma = if i + 1 < task.vars.len() { "," } else { "" };
-            line(p, 2, &format!("{}: {}{comma}", v.name.name, typ(&v.typ)));
+            p.line(
+                2,
+                &format!("{}: {}{comma}", v.name.name, typ(&v.typ)),
+                v.name.span.line,
+            );
         }
-        line(p, 1, "}");
+        p.line(1, "}", 0);
     }
     for (keyword, pairs) in [("inputs", &task.inputs), ("outputs", &task.outputs)] {
         if !pairs.is_empty() {
@@ -73,50 +175,78 @@ fn print_task(p: &mut String, task: &TaskDecl) {
                     Some(parent) => format!("{} -> {}", pair.child.name, parent.name),
                 })
                 .collect();
-            line(p, 1, &format!("{keyword} {{ {} }}", rendered.join(", ")));
+            p.line(
+                1,
+                &format!("{keyword} {{ {} }}", rendered.join(", ")),
+                pairs[0].child.span.line,
+            );
         }
     }
     for artifact in &task.artifacts {
         let columns: Vec<&str> = artifact.columns.iter().map(|c| c.name.as_str()).collect();
-        line(
-            p,
+        p.line(
             1,
             &format!("artifact {}({});", artifact.name.name, columns.join(", ")),
+            artifact.name.span.line,
         );
     }
     if let Some(c) = &task.opening {
-        line(p, 1, &format!("opening: {};", cond(c, COND_TOP)));
+        p.line(
+            1,
+            &format!("opening: {};", cond(c, COND_TOP)),
+            c.span().line,
+        );
     }
     if let Some(c) = &task.closing {
-        line(p, 1, &format!("closing: {};", cond(c, COND_TOP)));
+        p.line(
+            1,
+            &format!("closing: {};", cond(c, COND_TOP)),
+            c.span().line,
+        );
     }
     for svc in &task.services {
-        line(p, 1, &format!("service {} {{", svc.name.name));
-        line(p, 2, &format!("pre: {};", cond(&svc.pre, COND_TOP)));
-        line(p, 2, &format!("post: {};", cond(&svc.post, COND_TOP)));
+        p.line(
+            1,
+            &format!("service {} {{", svc.name.name),
+            svc.name.span.line,
+        );
+        p.line(
+            2,
+            &format!("pre: {};", cond(&svc.pre, COND_TOP)),
+            svc.pre.span().line,
+        );
+        p.line(
+            2,
+            &format!("post: {};", cond(&svc.post, COND_TOP)),
+            svc.post.span().line,
+        );
         if !svc.propagate.is_empty() {
             let vars: Vec<&str> = svc.propagate.iter().map(|v| v.name.as_str()).collect();
-            line(p, 2, &format!("propagate {};", vars.join(", ")));
+            p.line(
+                2,
+                &format!("propagate {};", vars.join(", ")),
+                svc.propagate[0].span.line,
+            );
         }
         if let Some(update) = &svc.update {
             let vars: Vec<&str> = update.vars.iter().map(|v| v.name.as_str()).collect();
             let verb = if update.insert { "insert" } else { "retrieve" };
-            line(
-                p,
+            p.line(
                 2,
                 &format!("{verb} {}({});", update.rel.name, vars.join(", ")),
+                update.rel.span.line,
             );
         }
-        line(p, 1, "}");
+        p.line(1, "}", 0);
     }
-    line(p, 0, "}");
+    p.line(0, "}", 0);
 }
 
-fn print_property(p: &mut String, prop: &PropertyDecl) {
-    line(
-        p,
+fn print_property(p: &mut Printer<'_>, prop: &PropertyDecl) {
+    p.line(
         0,
         &format!("property {} on {} {{", quoted(&prop.name), prop.task.name),
+        prop.span.line,
     );
     if !prop.foralls.is_empty() {
         let decls: Vec<String> = prop
@@ -124,22 +254,33 @@ fn print_property(p: &mut String, prop: &PropertyDecl) {
             .iter()
             .map(|v| format!("{}: {}", v.name.name, typ(&v.typ)))
             .collect();
-        line(p, 1, &format!("forall {};", decls.join(", ")));
+        p.line(
+            1,
+            &format!("forall {};", decls.join(", ")),
+            prop.foralls[0].name.span.line,
+        );
     }
     for define in &prop.defines {
-        line(
-            p,
+        p.line(
             1,
             &format!(
                 "define {} := {};",
                 define.name.name,
                 cond(&define.cond, COND_TOP)
             ),
+            define.name.span.line,
         );
     }
     match &prop.body {
-        PropertyBody::Formula(f) => line(p, 1, &format!("formula: {};", ltl(f, LTL_TOP))),
-        PropertyBody::Template { name, phi, psi, .. } => {
+        PropertyBody::Formula(f) => {
+            p.line(1, &format!("formula: {};", ltl(f, LTL_TOP)), f.span().line)
+        }
+        PropertyBody::Template {
+            name,
+            phi,
+            psi,
+            span,
+        } => {
             let mut text = format!("template {}", quoted(name));
             let mut args = Vec::new();
             if let Some(a) = phi {
@@ -152,10 +293,10 @@ fn print_property(p: &mut String, prop: &PropertyDecl) {
                 text.push_str(&format!(" with {}", args.join(", ")));
             }
             text.push(';');
-            line(p, 1, &text);
+            p.line(1, &text, span.line);
         }
     }
-    line(p, 0, "}");
+    p.line(0, "}", 0);
 }
 
 fn typ(t: &TypeDecl) -> String {
@@ -290,18 +431,6 @@ fn atom(a: &AtomExpr) -> String {
     }
 }
 
-fn line(out: &mut String, indent: usize, text: &str) {
-    for _ in 0..indent {
-        out.push_str("    ");
-    }
-    out.push_str(text);
-    out.push('\n');
-}
-
-fn blank(out: &mut String) {
-    out.push('\n');
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +471,106 @@ property "t" on Root {
         assert_eq!(a, b, "printed text must reparse to the same tree");
         // Idempotence: formatting the formatted text changes nothing.
         assert_eq!(format_spec(&reparsed), printed);
+    }
+
+    #[test]
+    fn comments_survive_formatting_golden() {
+        let source = r#"// file header: a demo spec
+spec "demo"; // trailing the spec line
+schema {
+    // R holds one data column
+  relation R( a: data );
+}
+task Root {
+    vars { x: data } // the only variable
+    service S {
+        // the precondition is trivial
+        pre:   true;
+        post: x == "done";
+    }
+}
+// properties follow
+property "p" on Root {
+    formula: G !{ x == "bad" }; // never bad
+}
+// trailing the end of file
+"#;
+        let expected = r#"// file header: a demo spec
+spec "demo"; // trailing the spec line
+
+schema {
+    // R holds one data column
+    relation R(a: data);
+}
+
+task Root {
+    vars {
+        x: data // the only variable
+    }
+    service S {
+        // the precondition is trivial
+        pre: true;
+        post: x == "done";
+    }
+}
+
+// properties follow
+property "p" on Root {
+    formula: G (!{ x == "bad" }); // never bad
+}
+// trailing the end of file
+"#;
+        let file = parse(source).unwrap();
+        let comments = crate::lexer::collect_comments(source);
+        let printed = format_spec_with_comments(&file, &comments);
+        assert_eq!(printed, expected);
+        // Idempotent: reformatting the commented output changes nothing.
+        let again = format_spec_with_comments(
+            &parse(&printed).unwrap(),
+            &crate::lexer::collect_comments(&printed),
+        );
+        assert_eq!(again, printed);
+        // And the commented output still reparses to the same tree.
+        let mut a = file;
+        let mut b = parse(&printed).unwrap();
+        a.strip_spans();
+        b.strip_spans();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_comment_is_ever_dropped() {
+        // Comments in awkward places: inside blocks the printer folds
+        // onto one line, trailing closers, and between reordered items.
+        let source = r#"spec "x";
+schema { relation R(a: data); }
+task T {
+    artifact POOL(x); // artifact first: the printer reorders it after vars
+    vars {
+        // standalone inside vars
+        x: data
+    }
+    service S {
+        pre: true;
+        post: x == "a";
+    } // trailing the service closer
+} // trailing the task closer
+"#;
+        let file = parse(source).unwrap();
+        let comments = crate::lexer::collect_comments(source);
+        let printed = format_spec_with_comments(&file, &comments);
+        for comment in &comments {
+            assert!(
+                printed.contains(&comment.text),
+                "comment {:?} was dropped:\n{printed}",
+                comment.text
+            );
+        }
+        let again = format_spec_with_comments(
+            &parse(&printed).unwrap(),
+            &crate::lexer::collect_comments(&printed),
+        );
+        assert_eq!(again, printed, "commented formatting must be idempotent");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!                  [--incremental MODE] [--memory-mb N]
 //! verifas submit   <spec.has> [--addr HOST:PORT] [--class NAME]
 //!                  [--prop NAME] [--deadline-ms MS] [--retries N]
+//! verifas fuzz     [--seeds A..B] [--matrix ARM,ARM,...] [--shrink]
+//!                  [--repro-dir DIR] [--max-states N] [--max-millis MS]
 //! ```
 //!
 //! `check` verifies properties one at a time through `Engine::check`;
@@ -25,6 +27,15 @@
 //! until a `POST /v1/shutdown` stops it; `submit` sends one spec to a
 //! running daemon and streams the response frames, retrying `overloaded`
 //! refusals and connection resets with jittered exponential backoff.
+//!
+//! `fuzz` drives the differential harness in `crates/fuzzgen`: each
+//! seed generates a valid specification, runs it through every selected
+//! oracle arm, and any disagreement with the baseline engine is a
+//! failure (exit 1), minimized to a small `.has` repro when `--shrink`
+//! is given.  See `docs/FUZZING.md` for the matrix and the seed-replay
+//! workflow.  A hidden `--corrupt-arm ARM` flag deliberately corrupts
+//! one arm's reports — it exists to prove, in CI and in tests, that the
+//! harness actually catches and shrinks a divergence.
 //!
 //! `serve` also accepts a hidden `--fault-plan PLAN` flag (e.g.
 //! `--fault-plan seed=42,conn-panic=20,write-reset=50`) that installs a
@@ -47,6 +58,7 @@
 use std::process::ExitCode;
 use verifas::core::delta::{fingerprint, slice_hash};
 use verifas::core::{spec_hash_hex, Json};
+use verifas::fuzzgen::{run_sweep, FuzzConfig, OracleArm};
 use verifas::prelude::*;
 use verifas::serve::{AdmissionLimits, FaultPlan, ServeConfig, Server};
 use verifas::spec::{self, CompiledSpec};
@@ -74,6 +86,8 @@ commands:
   serve      run the multi-tenant verification daemon (no spec file)
   submit     send a spec to a running daemon, streaming response frames
              (retries `overloaded` and resets with jittered backoff)
+  fuzz       generate seeded specs and run them through the differential
+             oracle matrix (no spec file; exit 1 on any divergence)
 
 options:
   --prop NAME        check only the named property (check only)
@@ -103,7 +117,12 @@ options:
   --class NAME       submit: priority class, `interactive` or `batch`
   --deadline-ms MS   submit: per-request deadline (keeps ticking while
                      the request waits in the admission queue)
-  --retries N        submit: attempts on `overloaded`/reset (default 5)";
+  --retries N        submit: attempts on `overloaded`/reset (default 5)
+  --seeds A..B       fuzz: half-open seed range to sweep (default 0..256)
+  --matrix ARMS      fuzz: comma-separated oracle arms (default: all of
+                     threads,index,layout,repeated,preproc,replay,serve)
+  --shrink           fuzz: minimize each divergence to a small repro
+  --repro-dir DIR    fuzz: write each divergence's `.has` repro to DIR";
 
 struct Options {
     file: String,
@@ -128,6 +147,11 @@ struct Options {
     class: String,
     deadline_ms: Option<u64>,
     retries: u32,
+    seeds: Option<String>,
+    matrix: Option<String>,
+    shrink: bool,
+    repro_dir: Option<String>,
+    corrupt_arm: Option<String>,
     /// Every flag that appeared, for per-command applicability checks.
     seen: Vec<&'static str>,
 }
@@ -166,6 +190,15 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "--fault-plan",
         ],
         "submit" => &["--addr", "--class", "--prop", "--deadline-ms", "--retries"],
+        "fuzz" => &[
+            "--seeds",
+            "--matrix",
+            "--shrink",
+            "--repro-dir",
+            "--corrupt-arm",
+            "--max-states",
+            "--max-millis",
+        ],
         _ => &[],
     }
 }
@@ -194,6 +227,11 @@ fn parse_options(args: &[String], needs_file: bool) -> Result<Options, String> {
         class: "interactive".to_owned(),
         deadline_ms: None,
         retries: 5,
+        seeds: None,
+        matrix: None,
+        shrink: false,
+        repro_dir: None,
+        corrupt_arm: None,
         seen: Vec::new(),
     };
     let mut iter = args.iter();
@@ -298,6 +336,11 @@ fn parse_options(args: &[String], needs_file: bool) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "error: --retries needs a number".to_string())?
             }
+            "--seeds" => options.seeds = Some(value_of("--seeds", &mut iter)?),
+            "--matrix" => options.matrix = Some(value_of("--matrix", &mut iter)?),
+            "--shrink" => options.shrink = true,
+            "--repro-dir" => options.repro_dir = Some(value_of("--repro-dir", &mut iter)?),
+            "--corrupt-arm" => options.corrupt_arm = Some(value_of("--corrupt-arm", &mut iter)?),
             flag if flag.starts_with("--") => {
                 return Err(format!("error: unknown option {flag}\n\n{USAGE}"))
             }
@@ -341,13 +384,18 @@ const KNOWN_FLAGS: &[&str] = &[
     "--class",
     "--deadline-ms",
     "--retries",
+    "--seeds",
+    "--matrix",
+    "--shrink",
+    "--repro-dir",
+    "--corrupt-arm",
 ];
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(USAGE.to_string());
     };
-    let options = parse_options(&args[1..], command != "serve")?;
+    let options = parse_options(&args[1..], command != "serve" && command != "fuzz")?;
     let allowed = allowed_flags(command);
     if let Some(flag) = options.seen.iter().find(|f| !allowed.contains(f)) {
         return Err(format!(
@@ -356,6 +404,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     if command == "serve" {
         return serve(&options);
+    }
+    if command == "fuzz" {
+        return fuzz(&options);
     }
     let source = std::fs::read_to_string(&options.file)
         .map_err(|e| format!("error: cannot read {}: {e}", options.file))?;
@@ -568,6 +619,109 @@ fn serve(options: &Options) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `verifas fuzz`: sweep a seed range through the differential oracle
+/// matrix and exit nonzero on any divergence or harness error.  The
+/// last line always reports how many seeds ran — the CI smoke job
+/// asserts on it, so an accidentally-empty range cannot pass as green.
+fn fuzz(options: &Options) -> Result<ExitCode, String> {
+    let seeds = match &options.seeds {
+        None => 0..256,
+        Some(text) => {
+            let (a, b) = text.split_once("..").ok_or_else(|| {
+                format!("error: --seeds must be a range like 0..256, not {text:?}")
+            })?;
+            let start: u64 = a
+                .parse()
+                .map_err(|_| format!("error: --seeds start {a:?} is not a number"))?;
+            let end: u64 = b
+                .parse()
+                .map_err(|_| format!("error: --seeds end {b:?} is not a number"))?;
+            if start >= end {
+                return Err(format!("error: --seeds range {text} is empty"));
+            }
+            start..end
+        }
+    };
+    let mut config = FuzzConfig::default();
+    if let Some(list) = &options.matrix {
+        config.arms = list
+            .split(',')
+            .map(|name| {
+                OracleArm::from_name(name.trim()).ok_or_else(|| {
+                    let known: Vec<&str> = OracleArm::ALL.iter().map(|a| a.name()).collect();
+                    format!(
+                        "error: --matrix: unknown arm {name:?} (known: {})",
+                        known.join(", ")
+                    )
+                })
+            })
+            .collect::<Result<Vec<OracleArm>, String>>()?;
+    }
+    if let Some(max_states) = options.max_states {
+        config.limits.max_states = max_states;
+    }
+    if let Some(max_millis) = options.max_millis {
+        config.limits.max_millis = max_millis;
+    }
+    if let Some(name) = &options.corrupt_arm {
+        let arm = OracleArm::from_name(name)
+            .ok_or_else(|| format!("error: --corrupt-arm: unknown arm {name:?}"))?;
+        // Corrupting an arm the matrix never runs would "prove" the
+        // harness works while exercising nothing — reject the combo so
+        // a typo'd CI job cannot pass green.
+        if !config.arms.contains(&arm) {
+            return Err(format!(
+                "error: --corrupt-arm {name} is not in the selected matrix"
+            ));
+        }
+        config.corrupt = Some(arm);
+        println!("fuzz: CORRUPTION MODE — arm `{name}` deliberately broken");
+    }
+    let arm_names: Vec<&str> = config.arms.iter().map(|a| a.name()).collect();
+    println!(
+        "fuzz: seeds {}..{} across arms [{}], max-states {}",
+        seeds.start,
+        seeds.end,
+        arm_names.join(", "),
+        config.limits.max_states
+    );
+    let outcome = run_sweep(seeds, &config, options.shrink, &mut |line| {
+        println!("fuzz: {line}")
+    });
+    for (index, repro) in outcome.divergences.iter().enumerate() {
+        let d = &repro.divergence;
+        println!(
+            "fuzz: divergence {index}: seed {} arm `{}`: {}",
+            d.seed,
+            d.arm.name(),
+            d.detail
+        );
+        if let Some(dir) = &options.repro_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("error: cannot create {dir}: {e}"))?;
+            let path = format!("{dir}/seed{}_{}.has", d.seed, d.arm.name());
+            std::fs::write(&path, &repro.minimized)
+                .map_err(|e| format!("error: cannot write {path}: {e}"))?;
+            println!("fuzz: wrote repro to {path}");
+        } else {
+            println!("--- repro ---\n{}", repro.minimized);
+        }
+    }
+    for (seed, error) in &outcome.errors {
+        println!("fuzz: seed {seed}: harness error: {error}");
+    }
+    println!(
+        "fuzz: ran {} seeds — {} divergences, {} errors",
+        outcome.seeds_run,
+        outcome.divergences.len(),
+        outcome.errors.len()
+    );
+    if outcome.clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
 /// `verifas submit`: send one spec to a running daemon over its NDJSON
 /// HTTP protocol and stream the response frames to stdout.  An
 /// `overloaded` refusal (HTTP 429: the admission queue is full) or a
@@ -718,35 +872,18 @@ fn backoff_delay(attempt: u32) -> std::time::Duration {
 }
 
 fn fmt(options: &Options, source: &str) -> Result<ExitCode, String> {
+    // `format_source` re-anchors `//` comments against the canonical
+    // layout, so commented files format (and rewrite in place) without
+    // losing their documentation.
     let formatted = spec::format_source(source).map_err(|e| e.render(&options.file))?;
     if options.check {
         if formatted == source {
             Ok(ExitCode::SUCCESS)
-        } else if spec::has_comments(source) {
-            // Canonical formatting drops comments, so a commented file
-            // can never compare equal — say so instead of leaving the
-            // user with an unexplained, unsatisfiable failure.
-            eprintln!(
-                "{}: contains // comments, which canonical formatting does not \
-                 preserve — `fmt --check` cannot verify commented files",
-                options.file
-            );
-            Ok(ExitCode::from(1))
         } else {
             eprintln!("{}: not canonically formatted", options.file);
             Ok(ExitCode::from(1))
         }
     } else if options.write {
-        // The canonical printer does not carry comments through; an
-        // in-place rewrite would silently destroy them.
-        if spec::has_comments(source) {
-            return Err(format!(
-                "error: {}: refusing --write, the file contains // comments which \
-                 formatting would delete (run `verifas fmt` without --write to \
-                 print the canonical text instead)",
-                options.file
-            ));
-        }
         std::fs::write(&options.file, &formatted)
             .map_err(|e| format!("error: cannot write {}: {e}", options.file))?;
         Ok(ExitCode::SUCCESS)

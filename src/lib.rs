@@ -91,13 +91,16 @@
 //!   `verifas serve`: session cache, priority-class core arbitration and
 //!   a dependency-free HTTP/1.1 front end (`verifas-serve`),
 //! * [`workloads`] — benchmark workflows, the synthetic generator and the
-//!   cyclomatic-complexity metric (`verifas-workloads`).
+//!   cyclomatic-complexity metric (`verifas-workloads`),
+//! * [`fuzzgen`] — the seeded valid-spec generator and differential
+//!   oracle matrix behind `verifas fuzz` (`verifas-fuzzgen`).
 //!
 //! See the repository `README.md` for a quickstart — the `.has` textual
 //! path (`verifas check examples/specs/loan_approval.has`) is the fastest
 //! way to put a new scenario through the engine without writing Rust.
 
 pub use verifas_core as core;
+pub use verifas_fuzzgen as fuzzgen;
 pub use verifas_ltl as ltl;
 pub use verifas_model as model;
 pub use verifas_serve as serve;

@@ -1,0 +1,70 @@
+//! Fresh engine builds of the same spec must be bit-identical.
+//!
+//! The differential fuzzer's first 1000-seed sweep caught five stat
+//! divergences whose shared root cause was an iteration-order-dependent
+//! congruence closure in `PitBuilder::assert_eq`: recursive child
+//! merges could re-parent the surviving class mid-loop, and entries
+//! keyed off the stale representative were silently orphaned — so the
+//! canonical type computed for a condition depended on `HashMap`
+//! iteration order, i.e. varied across fresh `ProductSystem` builds
+//! within one process.  These tests pin the fix at the layer the bug
+//! lived in: repeated cold builds from one compiled spec must produce
+//! identical successor structures, before any search policy is applied.
+
+use verifas::core::{ProductState, ProductSystem, StoredTypeInterner};
+use verifas::spec::compile;
+
+/// Dump the initial states and their direct successors in a canonical
+/// textual form.  Any nondeterminism in product construction or in the
+/// minimal-extension computation shows up as a differing dump.
+fn level1_dump(product: &ProductSystem) -> String {
+    let mut interner = StoredTypeInterner::new();
+    let level: Vec<ProductState> = product.initial_states();
+    let mut out = String::new();
+    for (i, state) in level.iter().enumerate() {
+        out.push_str(&format!("init[{i}] = {state:?}\n"));
+        for (j, succ) in product.successors(state, &mut interner).iter().enumerate() {
+            out.push_str(&format!(
+                "  succ[{j}] via {:?} fv={} = {:?}\n",
+                succ.service, succ.finite_violation, succ.state
+            ));
+        }
+    }
+    out
+}
+
+fn assert_deterministic(source: &str) {
+    let compiled = compile(source).expect("repro spec compiles");
+    for property in &compiled.properties {
+        let mut baseline: Option<String> = None;
+        // Each iteration builds fresh per-instance `HashMap`s, so ten
+        // rounds give ten independent draws of iteration order.
+        for round in 0..10 {
+            let product = ProductSystem::new(&compiled.spec, property, true).expect("product");
+            let dump = level1_dump(&product);
+            match &baseline {
+                None => baseline = Some(dump),
+                Some(expected) => assert_eq!(
+                    expected, &dump,
+                    "fresh build {round} produced a different level-1 structure"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzzer_repros_build_identically_across_fresh_engines() {
+    for name in [
+        "seed42_threads.has",
+        "seed609_index.has",
+        "seed645_layout.has",
+    ] {
+        let path = format!(
+            "{}/crates/fuzzgen/repros/{name}",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let source = std::fs::read_to_string(&path).unwrap();
+        assert_deterministic(&source);
+    }
+}

@@ -162,6 +162,8 @@ fn completed_results_under_chaos_match_direct_check_all_bit_for_bit() {
             // A generous deadline the ±250 ms clock-skew fault cannot
             // push into the past.
             deadline_ms: Some(600_000),
+            max_states: None,
+            max_millis: None,
         };
         let frames = collect(&gateway, &request);
         assert_eq!(frame_kind(&frames[0]), "admitted", "round {round}");
@@ -335,6 +337,8 @@ fn the_same_fault_plan_replays_the_same_decisions_and_frames() {
                 class: PriorityClass::Interactive,
                 properties: None,
                 deadline_ms: Some(600_000 + round),
+                max_states: None,
+                max_millis: None,
             };
             for frame in collect(&gateway, &request) {
                 kinds.push(frame_kind(&frame).to_owned());

@@ -66,6 +66,8 @@ fn request(spec: &str, class: PriorityClass) -> VerifyRequest {
         class,
         properties: None,
         deadline_ms: None,
+        max_states: None,
+        max_millis: None,
     }
 }
 

@@ -210,6 +210,68 @@ fn compiled_property_sets_batch_like_they_check() {
     }
 }
 
+/// The curated scenario files stay in the corpus and keep exercising
+/// the surface they were written for: a three-level task hierarchy,
+/// Table-4 template instantiations, and the `R` (release) operator.
+#[test]
+fn curated_scenarios_cover_depth_templates_and_release() {
+    use verifas::spec::ast::{LtlExpr, PropertyBody};
+
+    for name in [
+        "insurance_claim.has",
+        "procurement.has",
+        "cicd_pipeline.has",
+    ] {
+        let source = std::fs::read_to_string(corpus_dir().join(name))
+            .unwrap_or_else(|e| panic!("{name} must stay in the corpus: {e}"));
+        let file = spec::parse(&source).unwrap_or_else(|e| panic!("{}", e.render(name)));
+
+        // Depth ≥ 3: some task's parent is itself a child.
+        let is_child = |task_name: &str| {
+            file.tasks
+                .iter()
+                .any(|t| t.name.name == task_name && t.parent.is_some())
+        };
+        assert!(
+            file.tasks
+                .iter()
+                .any(|t| t.parent.as_ref().is_some_and(|p| is_child(&p.name))),
+            "{name}: must declare a grandchild task"
+        );
+
+        // At least one Table-4 template instantiation.
+        assert!(
+            file.properties
+                .iter()
+                .any(|p| matches!(p.body, PropertyBody::Template { .. })),
+            "{name}: must instantiate a Table-4 template"
+        );
+
+        // At least one `R` (release) operator in a formula body.
+        fn has_release(f: &LtlExpr) -> bool {
+            match f {
+                LtlExpr::Release(..) => true,
+                LtlExpr::True(_) | LtlExpr::False(_) | LtlExpr::Atom(_) => false,
+                LtlExpr::Not(inner, _)
+                | LtlExpr::Next(inner, _)
+                | LtlExpr::Globally(inner, _)
+                | LtlExpr::Eventually(inner, _) => has_release(inner),
+                LtlExpr::And(a, b)
+                | LtlExpr::Or(a, b)
+                | LtlExpr::Implies(a, b)
+                | LtlExpr::Until(a, b) => has_release(a) || has_release(b),
+            }
+        }
+        assert!(
+            file.properties.iter().any(|p| match &p.body {
+                PropertyBody::Formula(f) => has_release(f),
+                PropertyBody::Template { .. } => false,
+            }),
+            "{name}: must use the R (release) operator"
+        );
+    }
+}
+
 /// Frontend errors surface as the typed `VerifasError::Spec` with the
 /// offending line and column.
 #[test]
